@@ -1,0 +1,69 @@
+// Extension bench (Section 5.4 remark): dynamic weight updates. The balanced
+// tree hierarchy is weight-independent, so after traffic-style weight changes
+// only the distance values (contraction offsets, shortcuts, label arrays)
+// need recomputation. This bench measures RebuildLabels() against a full
+// Build() and verifies both yield identical index sizes.
+
+#include <cstdio>
+
+#include "benchsupport/evaluation.h"
+#include "benchsupport/table_printer.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/hc2l.h"
+
+namespace {
+
+hc2l::Graph PerturbWeights(const hc2l::Graph& g, double frac, uint64_t seed) {
+  using namespace hc2l;
+  std::vector<Edge> edges = g.UndirectedEdges();
+  Rng rng(seed);
+  for (Edge& e : edges) {
+    if (rng.Chance(frac)) {
+      // Congestion: weight inflated 1x-4x.
+      e.weight = static_cast<Weight>(e.weight * (1.0 + 3.0 * rng.NextDouble()));
+    }
+  }
+  GraphBuilder builder(g.NumVertices());
+  builder.AddEdges(edges);
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hc2l;
+  std::printf(
+      "=== Extension: dynamic weight updates (Section 5.4) ===\n"
+      "10%% of road segments congested; hierarchy reused, distances "
+      "recomputed.\n\n");
+  TablePrinter table({"Dataset", "full build[s]", "rebuild[s]", "speedup",
+                      "queries exact"});
+  for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kTravelTime)) {
+    const Graph g = GenerateRoadNetwork(spec.options);
+    Hc2lIndex index = Hc2lIndex::Build(g);
+    const double full_build = index.Stats().build_seconds;
+
+    const Graph congested = PerturbWeights(g, 0.1, spec.options.seed + 1);
+    Timer timer;
+    index.RebuildLabels(congested);
+    const double rebuild = timer.Seconds();
+
+    // Spot-verify exactness on the updated weights.
+    Hc2lIndex reference = Hc2lIndex::Build(congested);
+    Rng rng(3);
+    bool exact = true;
+    for (int i = 0; i < 2000 && exact; ++i) {
+      const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      exact = index.Query(s, t) == reference.Query(s, t);
+    }
+    table.AddRow({spec.name, FormatSeconds(full_build),
+                  FormatSeconds(rebuild),
+                  FormatDouble(full_build / std::max(rebuild, 1e-9), 1) + "x",
+                  exact ? "yes" : "NO"});
+    std::fflush(stdout);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 6: average query time per distance-banded query set
+// Q1..Q10 (l_min = 1000 m, geometric bands up to the diameter) for
+// HC2L / H2H / PHL / HL on every dataset, distance weights.
+//
+// The paper's shape: HC2L is fastest in every band; PHL is relatively poor
+// on local (Q1-Q3) queries; all methods drift slowly upward with distance.
+
+#include <cstdio>
+
+#include "benchsupport/evaluation.h"
+#include "benchsupport/table_printer.h"
+#include "benchsupport/workload.h"
+
+int main() {
+  using namespace hc2l;
+  std::printf("=== Figure 6: query time (us) vs distance band ===\n\n");
+  for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kDistance)) {
+    const Graph g = GenerateRoadNetwork(spec.options);
+    EvaluationDriver driver(g, Hc2lOptions{}, /*build_baselines=*/true);
+    DistanceBandedQuerySets sets = GenerateDistanceBandedSets(
+        g, /*per_set=*/2000, /*seed=*/spec.options.seed * 31 + 5);
+
+    std::printf("--- %s (l_min=%llu, l_max=%llu) ---\n", spec.name.c_str(),
+                static_cast<unsigned long long>(sets.l_min),
+                static_cast<unsigned long long>(sets.l_max));
+    TablePrinter table({"Method", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7",
+                        "Q8", "Q9", "Q10"});
+    for (MethodEvaluation& m : driver.Result().methods) {
+      std::vector<std::string> row{m.name};
+      for (int band = 0; band < 10; ++band) {
+        const auto& pairs = sets.sets[band];
+        if (pairs.empty()) {
+          row.push_back("-");
+          continue;
+        }
+        // Repeat small sets so each cell measures a comparable query count.
+        std::vector<QueryPair> timed = pairs;
+        while (timed.size() < 10000) {
+          timed.insert(timed.end(), pairs.begin(), pairs.end());
+        }
+        row.push_back(FormatMicros(MeasureAvgQueryMicros(m.query, timed)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figure 7: average query time and average cut size under varying
+// balance thresholds beta in {0.15, 0.20, 0.25, 0.30, 0.35}, distance
+// weights. The paper finds beta = 0.20 near-optimal: query time tracks cut
+// size, both mildly U-shaped around 0.2.
+
+#include <cstdio>
+
+#include "benchsupport/evaluation.h"
+#include "benchsupport/table_printer.h"
+#include "benchsupport/workload.h"
+#include "core/hc2l.h"
+
+int main() {
+  using namespace hc2l;
+  static constexpr double kBetas[] = {0.15, 0.20, 0.25, 0.30, 0.35};
+  std::printf(
+      "=== Figure 7: HC2L query time and avg cut size vs balance threshold "
+      "===\n\n");
+  TablePrinter time_table({"Dataset", "t(0.15)", "t(0.20)", "t(0.25)",
+                           "t(0.30)", "t(0.35)"});
+  TablePrinter cut_table({"Dataset", "c(0.15)", "c(0.20)", "c(0.25)",
+                          "c(0.30)", "c(0.35)"});
+  for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kDistance)) {
+    const Graph g = GenerateRoadNetwork(spec.options);
+    const auto pairs =
+        UniformRandomPairs(g.NumVertices(), BenchQueryCount() / 2, 11);
+    std::vector<std::string> time_row{spec.name};
+    std::vector<std::string> cut_row{spec.name};
+    for (const double beta : kBetas) {
+      Hc2lOptions options;
+      options.beta = beta;
+      const Hc2lIndex index = Hc2lIndex::Build(g, options);
+      time_row.push_back(FormatMicros(MeasureAvgQueryMicros(
+          [&](Vertex s, Vertex t) { return index.Query(s, t); }, pairs)));
+      cut_row.push_back(FormatDouble(index.Stats().avg_cut_size, 1));
+    }
+    time_table.AddRow(std::move(time_row));
+    cut_table.AddRow(std::move(cut_row));
+    std::fflush(stdout);
+  }
+  std::printf("(a/b) Average query time [us]:\n");
+  time_table.Print();
+  std::printf("\n(c/d) Average cut size:\n");
+  cut_table.Print();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark micro measurements: per-query latency of every method on
+// one mid-size dataset, plus the O(1) LCA-level primitive. Complements the
+// table benches with statistically robust per-op numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/contraction_hierarchies.h"
+#include "baselines/h2h.h"
+#include "baselines/hub_labelling.h"
+#include "baselines/pruned_highway_labelling.h"
+#include "benchsupport/workload.h"
+#include "core/hc2l.h"
+#include "graph/road_network_generator.h"
+#include "hierarchy/tree_code.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+namespace {
+
+// One shared fixture graph (built lazily, reused by every benchmark).
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    RoadNetworkOptions opt;
+    opt.rows = 48;
+    opt.cols = 48;
+    opt.seed = 2026;
+    return new Graph(GenerateRoadNetwork(opt));
+  }();
+  return *graph;
+}
+
+const std::vector<QueryPair>& BenchPairs() {
+  static const auto* pairs = new std::vector<QueryPair>(
+      UniformRandomPairs(BenchGraph().NumVertices(), 4096, 9));
+  return *pairs;
+}
+
+template <typename Index>
+void RunQueries(benchmark::State& state, const Index& index) {
+  const auto& pairs = BenchPairs();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i];
+    benchmark::DoNotOptimize(index.Query(s, t));
+    i = (i + 1) & (pairs.size() - 1);
+  }
+}
+
+void BM_Hc2lQuery(benchmark::State& state) {
+  static const auto* index =
+      new Hc2lIndex(Hc2lIndex::Build(BenchGraph(), Hc2lOptions{}));
+  RunQueries(state, *index);
+}
+BENCHMARK(BM_Hc2lQuery);
+
+void BM_H2hQuery(benchmark::State& state) {
+  static const auto* index = new H2hIndex(BenchGraph());
+  RunQueries(state, *index);
+}
+BENCHMARK(BM_H2hQuery);
+
+void BM_PhlQuery(benchmark::State& state) {
+  static const auto* index = new PrunedHighwayLabelling(BenchGraph());
+  RunQueries(state, *index);
+}
+BENCHMARK(BM_PhlQuery);
+
+void BM_HlQuery(benchmark::State& state) {
+  static const auto* index = [] {
+    ContractionHierarchies ch(BenchGraph());
+    return new HubLabelling(BenchGraph(), ch.ImportanceOrder());
+  }();
+  RunQueries(state, *index);
+}
+BENCHMARK(BM_HlQuery);
+
+void BM_ChQuery(benchmark::State& state) {
+  static const auto* index = new ContractionHierarchies(BenchGraph());
+  RunQueries(state, *index);
+}
+BENCHMARK(BM_ChQuery);
+
+void BM_BidirectionalDijkstraQuery(benchmark::State& state) {
+  static auto* bidi = new BidirectionalDijkstra(BenchGraph());
+  const auto& pairs = BenchPairs();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i];
+    benchmark::DoNotOptimize(bidi->Query(s, t));
+    i = (i + 1) & (pairs.size() - 1);
+  }
+}
+BENCHMARK(BM_BidirectionalDijkstraQuery);
+
+void BM_LcaLevelPrimitive(benchmark::State& state) {
+  // The XOR + clz tree-code LCA (Lemma 4.21) in isolation.
+  static const auto* index =
+      new Hc2lIndex(Hc2lIndex::Build(BenchGraph(), Hc2lOptions{}));
+  const auto& h = index->Hierarchy();
+  const size_t n = index->Stats().num_core_vertices;
+  size_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        h.LcaLevel(static_cast<Vertex>(i % n),
+                   static_cast<Vertex>((i * 7919) % n)));
+    ++i;
+  }
+}
+BENCHMARK(BM_LcaLevelPrimitive);
+
+}  // namespace
+}  // namespace hc2l
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+// Reproduces Table 2: query times, labelling sizes and construction times
+// with *distances* as edge weights, for HC2L / HC2L_p / H2H / PHL / HL.
+
+#include "bench_table_common.h"
+
+int main() {
+  hc2l::RunMainComparisonTable(
+      hc2l::WeightMode::kDistance,
+      "Table 2: query time / labelling size / construction time "
+      "(distance weights)");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 4: query times, labelling sizes and construction times
+// with *travel times* as edge weights. The paper's shape: PHL and HL labels
+// shrink markedly versus Table 2 (better orderings on travel-time metrics),
+// HC2L shrinks slightly, H2H stays roughly the same; HC2L remains fastest.
+
+#include "bench_table_common.h"
+
+int main() {
+  hc2l::RunMainComparisonTable(
+      hc2l::WeightMode::kTravelTime,
+      "Table 4: query time / labelling size / construction time "
+      "(travel-time weights)");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef HC2L_BENCH_BENCH_TABLE_COMMON_H_
+#define HC2L_BENCH_BENCH_TABLE_COMMON_H_
+
+// Shared driver for Tables 2 and 4 (same layout, different edge-weight
+// semantics) and Table 3.
+
+#include <cstdio>
+
+#include "benchsupport/evaluation.h"
+#include "benchsupport/table_printer.h"
+#include "benchsupport/workload.h"
+
+namespace hc2l {
+
+/// Runs the full method comparison over every selected dataset in `mode` and
+/// prints the paper's Table 2/4 layout: query time, labelling size,
+/// construction time per method (plus HC2L_p construction).
+inline void RunMainComparisonTable(WeightMode mode, const char* title) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "(scale: HC2L_BENCH_SCALE=%s; %zu queries/method; paper shape: HC2L "
+      "fastest queries, smallest or near-smallest labels)\n\n",
+      std::getenv("HC2L_BENCH_SCALE") ? std::getenv("HC2L_BENCH_SCALE")
+                                      : "small",
+      BenchQueryCount());
+  TablePrinter table({"Dataset", "Q HC2L[us]", "Q H2H[us]", "Q PHL[us]",
+                      "Q HL[us]", "S HC2L", "S H2H", "S PHL", "S HL",
+                      "C HC2L[s]", "C HC2Lp[s]", "C H2H[s]", "C PHL[s]",
+                      "C HL[s]"});
+  for (const DatasetSpec& spec : SelectedDatasets(mode)) {
+    const Graph g = GenerateRoadNetwork(spec.options);
+    EvaluationDriver driver(g, Hc2lOptions{}, /*build_baselines=*/true);
+    const auto pairs =
+        UniformRandomPairs(g.NumVertices(), BenchQueryCount(), 42);
+    driver.MeasureQueries(pairs);
+    const DatasetEvaluation& e = driver.Result();
+    table.AddRow({spec.name,
+                  FormatMicros(e.methods[0].avg_query_micros),
+                  FormatMicros(e.methods[1].avg_query_micros),
+                  FormatMicros(e.methods[2].avg_query_micros),
+                  FormatMicros(e.methods[3].avg_query_micros),
+                  FormatBytes(e.methods[0].index_bytes),
+                  FormatBytes(e.methods[1].index_bytes),
+                  FormatBytes(e.methods[2].index_bytes),
+                  FormatBytes(e.methods[3].index_bytes),
+                  FormatSeconds(e.methods[0].build_seconds),
+                  FormatSeconds(e.hc2lp_build_seconds),
+                  FormatSeconds(e.methods[1].build_seconds),
+                  FormatSeconds(e.methods[2].build_seconds),
+                  FormatSeconds(e.methods[3].build_seconds)});
+    std::fflush(stdout);
+  }
+  table.Print();
+}
+
+}  // namespace hc2l
+
+#endif  // HC2L_BENCH_BENCH_TABLE_COMMON_H_

@@ -1,0 +1,54 @@
+// Quickstart: build a tiny road network, construct an HC2L index, and answer
+// distance queries.
+//
+//   $ ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "core/hc2l.h"
+#include "graph/graph.h"
+
+int main() {
+  using namespace hc2l;
+
+  // A toy network: two neighbourhoods joined by a bridge.
+  //
+  //   0 - 1 - 2         6 - 7
+  //   |   |   |  bridge |   |
+  //   3 - 4 - 5 ------- 8 - 9
+  GraphBuilder builder(10);
+  builder.AddEdge(0, 1, 100);
+  builder.AddEdge(1, 2, 100);
+  builder.AddEdge(0, 3, 120);
+  builder.AddEdge(1, 4, 120);
+  builder.AddEdge(2, 5, 120);
+  builder.AddEdge(3, 4, 100);
+  builder.AddEdge(4, 5, 100);
+  builder.AddEdge(5, 8, 400);  // the bridge
+  builder.AddEdge(6, 7, 100);
+  builder.AddEdge(6, 8, 120);
+  builder.AddEdge(7, 9, 120);
+  builder.AddEdge(8, 9, 100);
+  Graph g = std::move(builder).Build();
+
+  // Build the index. Options mirror the paper: beta = 0.2 balance threshold,
+  // tail pruning and degree-one contraction on; num_threads > 1 gives the
+  // parallel HC2L_p construction.
+  Hc2lOptions options;
+  options.beta = 0.2;
+  Hc2lIndex index = Hc2lIndex::Build(g, options);
+
+  std::printf("Built HC2L over %zu vertices: height=%u, max cut=%llu, "
+              "labels=%zu bytes\n",
+              index.NumVertices(), index.Stats().tree_height,
+              static_cast<unsigned long long>(index.Stats().max_cut_size),
+              index.LabelSizeBytes());
+
+  const std::pair<Vertex, Vertex> queries[] = {{0, 9}, {2, 6}, {3, 7}, {4, 4}};
+  for (const auto& [s, t] : queries) {
+    const Dist d = index.Query(s, t);
+    std::printf("d(%u, %u) = %llu\n", s, t,
+                static_cast<unsigned long long>(d));
+  }
+  return 0;
+}

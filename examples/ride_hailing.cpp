@@ -1,0 +1,86 @@
+// Ride hailing: the paper's motivating workload (Section 1) — match each
+// customer to their nearest cars, requiring millions of shortest-path
+// distances per second. This example places cars and customers on a
+// synthetic city, answers every car-customer distance with HC2L, and
+// contrasts the throughput with bidirectional Dijkstra.
+//
+//   $ ./build/examples/example_ride_hailing
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/hc2l.h"
+#include "graph/road_network_generator.h"
+#include "search/dijkstra.h"
+
+int main() {
+  using namespace hc2l;
+
+  RoadNetworkOptions opt;
+  opt.rows = 60;
+  opt.cols = 60;
+  opt.seed = 7;
+  opt.weight_mode = WeightMode::kTravelTime;
+  const Graph city = GenerateRoadNetwork(opt);
+  std::printf("City: %zu intersections, %zu road segments\n",
+              city.NumVertices(), city.NumEdges());
+
+  Timer build_timer;
+  const Hc2lIndex index = Hc2lIndex::Build(city);
+  std::printf("HC2L built in %.2fs (%zu label bytes)\n", build_timer.Seconds(),
+              index.LabelSizeBytes());
+
+  // 100 idle cars, 500 waiting customers.
+  Rng rng(99);
+  std::vector<Vertex> cars(100);
+  std::vector<Vertex> customers(500);
+  for (Vertex& v : cars) v = static_cast<Vertex>(rng.Below(city.NumVertices()));
+  for (Vertex& v : customers) {
+    v = static_cast<Vertex>(rng.Below(city.NumVertices()));
+  }
+
+  // Nearest 3 cars per customer via the index.
+  constexpr int kNearest = 3;
+  Timer match_timer;
+  uint64_t total_assignments = 0;
+  std::vector<std::pair<Dist, Vertex>> ranked;
+  for (const Vertex customer : customers) {
+    ranked.clear();
+    for (const Vertex car : cars) {
+      ranked.emplace_back(index.Query(car, customer), car);
+    }
+    std::partial_sort(ranked.begin(), ranked.begin() + kNearest, ranked.end());
+    total_assignments += kNearest;
+  }
+  const double hc2l_seconds = match_timer.Seconds();
+  const uint64_t num_queries =
+      static_cast<uint64_t>(cars.size()) * customers.size();
+  std::printf(
+      "HC2L matching: %llu distance queries in %.3fs (%.2f M queries/s)\n",
+      static_cast<unsigned long long>(num_queries), hc2l_seconds,
+      num_queries / hc2l_seconds / 1e6);
+
+  // The same workload with bidirectional Dijkstra (sampled to keep runtime
+  // sane, then extrapolated).
+  BidirectionalDijkstra bidi(city);
+  const size_t sample = 2000;
+  Timer dijkstra_timer;
+  uint64_t checksum = 0;
+  for (size_t i = 0; i < sample; ++i) {
+    const Vertex car = cars[i % cars.size()];
+    const Vertex customer = customers[i % customers.size()];
+    const Dist d = bidi.Query(car, customer);
+    checksum += d == kInfDist ? 0 : d;
+  }
+  const double per_query = dijkstra_timer.Seconds() / sample;
+  std::printf(
+      "Bidirectional Dijkstra: %.1f us/query -> full matching would take "
+      "%.1fs (%.0fx slower)  [checksum %llu]\n",
+      per_query * 1e6, per_query * num_queries,
+      per_query * num_queries / hc2l_seconds,
+      static_cast<unsigned long long>(checksum));
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include "baselines/contraction_hierarchies.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+namespace {
+
+/// Witness searcher: bounded Dijkstra on the remaining (uncontracted) graph
+/// that skips one excluded vertex. Buffers are reused across calls with
+/// version stamps.
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(size_t n) : dist_(n, kInfDist), stamp_(n, 0) {}
+
+  /// Distance from source to target in the remaining graph, excluding
+  /// `excluded`, giving up (returning kInfDist) beyond `limit` or after
+  /// `max_settled` settles.
+  Dist Run(const std::vector<std::vector<Arc>>& adjacency,
+           const std::vector<uint8_t>& contracted, Vertex source,
+           Vertex target, Vertex excluded, Dist limit, int max_settled) {
+    ++version_;
+    heap_.clear();
+    auto get = [&](Vertex v) {
+      return stamp_[v] == version_ ? dist_[v] : kInfDist;
+    };
+    auto set = [&](Vertex v, Dist d) {
+      dist_[v] = d;
+      stamp_[v] = version_;
+    };
+    set(source, 0);
+    heap_.push_back({0, source});
+    int settled = 0;
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      const auto [d, v] = heap_.back();
+      heap_.pop_back();
+      if (d > get(v)) continue;
+      if (v == target) return d;
+      if (d > limit || ++settled > max_settled) break;
+      for (const Arc& a : adjacency[v]) {
+        if (a.to == excluded || contracted[a.to]) continue;
+        const Dist nd = d + a.weight;
+        if (nd < get(a.to)) {
+          set(a.to, nd);
+          heap_.push_back({nd, a.to});
+          std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+        }
+      }
+    }
+    return get(target);
+  }
+
+ private:
+  std::vector<Dist> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t version_ = 0;
+  std::vector<std::pair<Dist, Vertex>> heap_;
+};
+
+constexpr int kWitnessSettleLimit = 64;
+
+}  // namespace
+
+ContractionHierarchies::ContractionHierarchies(const Graph& g) {
+  const size_t n = g.NumVertices();
+  num_vertices_ = n;
+  rank_.assign(n, 0);
+
+  // Dynamic adjacency, extended by shortcuts as contraction proceeds.
+  std::vector<std::vector<Arc>> adjacency(n);
+  for (Vertex v = 0; v < n; ++v) {
+    auto nbrs = g.Neighbors(v);
+    adjacency[v].assign(nbrs.begin(), nbrs.end());
+  }
+  std::vector<uint8_t> contracted(n, 0);
+  std::vector<uint32_t> contracted_neighbours(n, 0);
+  std::vector<Edge> all_edges = g.UndirectedEdges();
+  WitnessSearch witness(n);
+
+  // Simulates (count_only) or performs the contraction of v; returns the
+  // number of shortcuts required/added. *live_degree (optional) receives the
+  // number of uncontracted neighbours.
+  auto contract = [&](Vertex v, bool count_only,
+                      size_t* live_degree = nullptr) -> int {
+    // Collect live neighbours (deduplicated by minimum weight).
+    std::vector<Arc> nbrs;
+    for (const Arc& a : adjacency[v]) {
+      if (contracted[a.to]) continue;
+      bool merged = false;
+      for (Arc& existing : nbrs) {
+        if (existing.to == a.to) {
+          existing.weight = std::min(existing.weight, a.weight);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) nbrs.push_back(a);
+    }
+    int shortcuts = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        const Dist via_v = static_cast<Dist>(nbrs[i].weight) + nbrs[j].weight;
+        const Dist alt =
+            witness.Run(adjacency, contracted, nbrs[i].to, nbrs[j].to, v,
+                        via_v, kWitnessSettleLimit);
+        if (alt <= via_v) continue;  // witness found, no shortcut needed
+        ++shortcuts;
+        if (!count_only) {
+          HC2L_CHECK_LE(via_v, std::numeric_limits<Weight>::max());
+          const Weight w = static_cast<Weight>(via_v);
+          adjacency[nbrs[i].to].push_back({nbrs[j].to, w});
+          adjacency[nbrs[j].to].push_back({nbrs[i].to, w});
+          all_edges.push_back({nbrs[i].to, nbrs[j].to, w});
+        }
+      }
+    }
+    if (!count_only) {
+      for (const Arc& a : nbrs) ++contracted_neighbours[a.to];
+    }
+    if (live_degree != nullptr) *live_degree = nbrs.size();
+    return shortcuts;
+  };
+
+  // Lazy-updated priority queue over (edge difference + contracted
+  // neighbours).
+  auto priority = [&](Vertex v) -> int64_t {
+    size_t live_degree = 0;
+    const int shortcuts = contract(v, /*count_only=*/true, &live_degree);
+    return 2 * (static_cast<int64_t>(shortcuts) -
+                static_cast<int64_t>(live_degree)) +
+           contracted_neighbours[v];
+  };
+  using QueueEntry = std::pair<int64_t, Vertex>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  for (Vertex v = 0; v < n; ++v) queue.push({priority(v), v});
+
+  uint32_t next_rank = 0;
+  while (!queue.empty()) {
+    const auto [key, v] = queue.top();
+    queue.pop();
+    if (contracted[v]) continue;
+    const int64_t current = priority(v);
+    if (!queue.empty() && current > queue.top().first) {
+      queue.push({current, v});  // stale priority: re-insert
+      continue;
+    }
+    num_shortcuts_ += contract(v, /*count_only=*/false);
+    contracted[v] = 1;
+    rank_[v] = next_rank++;
+  }
+  HC2L_CHECK_EQ(next_rank, n);
+
+  // Upward CSR: each edge oriented from lower to higher rank.
+  std::sort(all_edges.begin(), all_edges.end(),
+            [](const Edge& a, const Edge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.weight < b.weight;
+            });
+  all_edges.erase(std::unique(all_edges.begin(), all_edges.end(),
+                              [](const Edge& a, const Edge& b) {
+                                return a.u == b.u && a.v == b.v;
+                              }),
+                  all_edges.end());
+  up_offsets_.assign(n + 1, 0);
+  for (const Edge& e : all_edges) {
+    const Vertex lo = rank_[e.u] < rank_[e.v] ? e.u : e.v;
+    ++up_offsets_[lo + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) up_offsets_[i] += up_offsets_[i - 1];
+  up_arcs_.resize(all_edges.size());
+  std::vector<uint32_t> cursor(up_offsets_.begin(), up_offsets_.end() - 1);
+  for (const Edge& e : all_edges) {
+    const bool u_low = rank_[e.u] < rank_[e.v];
+    const Vertex lo = u_low ? e.u : e.v;
+    const Vertex hi = u_low ? e.v : e.u;
+    up_arcs_[cursor[lo]++] = {hi, e.weight};
+  }
+
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].assign(n, kInfDist);
+    stamp_[side].assign(n, 0);
+  }
+}
+
+Dist ContractionHierarchies::Query(Vertex s, Vertex t) const {
+  HC2L_CHECK_LT(s, num_vertices_);
+  HC2L_CHECK_LT(t, num_vertices_);
+  if (s == t) return 0;
+  ++version_;
+  auto get = [&](int side, Vertex v) {
+    return stamp_[side][v] == version_ ? dist_[side][v] : kInfDist;
+  };
+  auto set = [&](int side, Vertex v, Dist d) {
+    dist_[side][v] = d;
+    stamp_[side][v] = version_;
+  };
+
+  using HeapEntry = std::pair<Dist, Vertex>;
+  std::vector<HeapEntry> heap[2];
+  set(0, s, 0);
+  heap[0].push_back({0, s});
+  set(1, t, 0);
+  heap[1].push_back({0, t});
+
+  Dist best = kInfDist;
+  bool active[2] = {true, true};
+  while (active[0] || active[1]) {
+    for (int side = 0; side < 2; ++side) {
+      if (!active[side]) continue;
+      if (heap[side].empty()) {
+        active[side] = false;
+        continue;
+      }
+      std::pop_heap(heap[side].begin(), heap[side].end(), std::greater<>());
+      const auto [d, v] = heap[side].back();
+      heap[side].pop_back();
+      if (d > get(side, v)) continue;
+      if (d >= best) {  // upward searches cannot improve beyond best
+        active[side] = false;
+        continue;
+      }
+      const Dist other = get(1 - side, v);
+      if (other != kInfDist && d + other < best) best = d + other;
+      for (uint32_t i = up_offsets_[v]; i < up_offsets_[v + 1]; ++i) {
+        const UpArc& a = up_arcs_[i];
+        const Dist nd = d + a.weight;
+        if (nd < get(side, a.to)) {
+          set(side, a.to, nd);
+          heap[side].push_back({nd, a.to});
+          std::push_heap(heap[side].begin(), heap[side].end(),
+                         std::greater<>());
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<Vertex> ContractionHierarchies::ImportanceOrder() const {
+  std::vector<Vertex> order(num_vertices_);
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    order[num_vertices_ - 1 - rank_[v]] = v;
+  }
+  return order;
+}
+
+size_t ContractionHierarchies::MemoryBytes() const {
+  return rank_.size() * sizeof(uint32_t) +
+         up_offsets_.size() * sizeof(uint32_t) +
+         up_arcs_.size() * sizeof(UpArc);
+}
+
+}  // namespace hc2l

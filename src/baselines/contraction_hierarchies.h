@@ -1,0 +1,63 @@
+#ifndef HC2L_BASELINES_CONTRACTION_HIERARCHIES_H_
+#define HC2L_BASELINES_CONTRACTION_HIERARCHIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Contraction Hierarchies (Geisberger et al. 2008).
+///
+/// The search-based baseline of the paper's related-work section, and the
+/// source of the vertex importance order used by the Hub Labelling baseline
+/// (Abraham et al. construct HL labels in CH order).
+///
+/// Vertices are contracted in increasing importance (lazy-updated
+/// edge-difference + contracted-neighbour heuristic); witness searches bound
+/// shortcut insertion. Queries run a bidirectional upward Dijkstra over the
+/// original + shortcut arcs.
+class ContractionHierarchies {
+ public:
+  /// Builds the hierarchy (ordering + shortcuts).
+  explicit ContractionHierarchies(const Graph& g);
+
+  /// Exact shortest-path distance (kInfDist if disconnected).
+  Dist Query(Vertex s, Vertex t) const;
+
+  /// Contraction rank of v: 0 = contracted first (least important).
+  uint32_t Rank(Vertex v) const { return rank_[v]; }
+
+  /// Vertices ordered by decreasing importance (rank n-1 first). This is the
+  /// hub order consumed by HubLabelling.
+  std::vector<Vertex> ImportanceOrder() const;
+
+  /// Number of shortcut edges added during contraction.
+  size_t NumShortcuts() const { return num_shortcuts_; }
+
+  /// Approximate memory footprint of the upward/downward search graphs.
+  size_t MemoryBytes() const;
+
+ private:
+  struct UpArc {
+    Vertex to;
+    Weight weight;
+  };
+
+  size_t num_vertices_ = 0;
+  size_t num_shortcuts_ = 0;
+  std::vector<uint32_t> rank_;
+  // CSR upward graph: arcs to higher-ranked vertices (original + shortcuts).
+  std::vector<uint32_t> up_offsets_;
+  std::vector<UpArc> up_arcs_;
+
+  // Reusable query buffers (mutable: queries are logically const).
+  mutable std::vector<Dist> dist_[2];
+  mutable std::vector<uint32_t> stamp_[2];
+  mutable uint32_t version_ = 0;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_BASELINES_CONTRACTION_HIERARCHIES_H_

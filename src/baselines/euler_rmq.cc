@@ -1,0 +1,99 @@
+#include "baselines/euler_rmq.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+EulerTourRmq::EulerTourRmq(const std::vector<int32_t>& parent) {
+  const size_t n = parent.size();
+  depth_.assign(n, 0);
+  first_.assign(n, UINT32_MAX);
+  tree_id_.assign(n, UINT32_MAX);
+  if (n == 0) return;
+
+  std::vector<std::vector<int32_t>> children(n);
+  std::vector<int32_t> roots;
+  for (size_t v = 0; v < n; ++v) {
+    if (parent[v] < 0) {
+      roots.push_back(static_cast<int32_t>(v));
+    } else {
+      children[parent[v]].push_back(static_cast<int32_t>(v));
+    }
+  }
+  HC2L_CHECK(!roots.empty());
+
+  // Iterative Euler tour: each node is emitted on entry and again after each
+  // child returns — the classic 2*size-1 tour per tree.
+  euler_.reserve(2 * n);
+  struct Frame {
+    int32_t node;
+    size_t child_idx;
+  };
+  std::vector<Frame> stack;
+  for (size_t tree = 0; tree < roots.size(); ++tree) {
+    const int32_t root = roots[tree];
+    depth_[root] = 0;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const int32_t v = frame.node;
+      if (frame.child_idx == 0) {
+        first_[v] = static_cast<uint32_t>(euler_.size());
+        tree_id_[v] = static_cast<uint32_t>(tree);
+        euler_.push_back(v);
+      }
+      if (frame.child_idx < children[v].size()) {
+        const int32_t c = children[v][frame.child_idx++];
+        depth_[c] = depth_[v] + 1;
+        stack.push_back({c, 0});
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) euler_.push_back(stack.back().node);
+      }
+    }
+  }
+
+  // Sparse table over tour depths.
+  const size_t m = euler_.size();
+  log2_floor_.assign(m + 1, 0);
+  for (size_t i = 2; i <= m; ++i) log2_floor_[i] = log2_floor_[i / 2] + 1;
+  const uint32_t levels = log2_floor_[m] + 1;
+  sparse_.assign(levels, std::vector<uint32_t>(m));
+  for (size_t i = 0; i < m; ++i) sparse_[0][i] = static_cast<uint32_t>(i);
+  for (uint32_t k = 1; k < levels; ++k) {
+    const size_t span = size_t{1} << k;
+    for (size_t i = 0; i + span <= m; ++i) {
+      const uint32_t left = sparse_[k - 1][i];
+      const uint32_t right = sparse_[k - 1][i + span / 2];
+      sparse_[k][i] =
+          depth_[euler_[left]] <= depth_[euler_[right]] ? left : right;
+    }
+  }
+}
+
+int32_t EulerTourRmq::Lca(int32_t a, int32_t b) const {
+  if (tree_id_[a] != tree_id_[b]) return -1;
+  if (a == b) return a;
+  uint32_t lo = first_[a];
+  uint32_t hi = first_[b];
+  if (lo > hi) std::swap(lo, hi);
+  ++hi;  // half-open
+  const uint32_t k = log2_floor_[hi - lo];
+  const uint32_t left = sparse_[k][lo];
+  const uint32_t right = sparse_[k][hi - (uint32_t{1} << k)];
+  return depth_[euler_[left]] <= depth_[euler_[right]] ? euler_[left]
+                                                       : euler_[right];
+}
+
+size_t EulerTourRmq::MemoryBytes() const {
+  size_t sparse_bytes = 0;
+  for (const auto& row : sparse_) sparse_bytes += row.size() * sizeof(uint32_t);
+  return depth_.size() * sizeof(uint32_t) + euler_.size() * sizeof(int32_t) +
+         first_.size() * sizeof(uint32_t) +
+         tree_id_.size() * sizeof(uint32_t) +
+         log2_floor_.size() * sizeof(uint32_t) + sparse_bytes;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,43 @@
+#ifndef HC2L_BASELINES_EULER_RMQ_H_
+#define HC2L_BASELINES_EULER_RMQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hc2l {
+
+/// O(1) LCA via Euler tour + sparse-table RMQ (Bender & Farach-Colton).
+///
+/// This is the LCA machinery H2H/P2H rely on; the paper's Table 3 measures
+/// its precomputed storage (4.64 GB on USA) against HC2L's 8-byte-per-vertex
+/// tree codes. MemoryBytes() reports the corresponding footprint here.
+class EulerTourRmq {
+ public:
+  /// parent[v] = parent node id, or -1 for roots. Multiple roots are allowed
+  /// (forest); LCA of nodes in different trees returns -1.
+  explicit EulerTourRmq(const std::vector<int32_t>& parent);
+
+  /// Lowest common ancestor of a and b (-1 if in different trees).
+  int32_t Lca(int32_t a, int32_t b) const;
+
+  /// Depth of node v (roots have depth 0).
+  uint32_t Depth(int32_t v) const { return depth_[v]; }
+
+  /// Bytes of precomputed RMQ structures (Euler tour + sparse table +
+  /// first-occurrence index).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<uint32_t> depth_;
+  std::vector<int32_t> euler_;          // node at each tour position
+  std::vector<uint32_t> first_;         // first tour position of each node
+  std::vector<uint32_t> tree_id_;       // forest component of each node
+  std::vector<uint32_t> log2_floor_;    // floor(log2(i)) lookup
+  // sparse_[k][i] = tour position with minimum depth in [i, i + 2^k).
+  std::vector<std::vector<uint32_t>> sparse_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_BASELINES_EULER_RMQ_H_

@@ -1,0 +1,143 @@
+#include "baselines/h2h.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+namespace {
+
+uint32_t EncodeLabel(Dist d) {
+  if (d >= kInfDist) return H2hIndex::kUnreachableLabel;
+  HC2L_CHECK_LT(d, Dist{1} << 31);
+  return static_cast<uint32_t>(d);
+}
+
+Dist DecodeLabel(uint32_t v) {
+  return v == H2hIndex::kUnreachableLabel ? kInfDist : v;
+}
+
+}  // namespace
+
+H2hIndex::H2hIndex(const Graph& g)
+    : decomposition_(BuildTreeDecomposition(g)),
+      rmq_([this] {
+        std::vector<int32_t> parent(decomposition_.parent.size());
+        for (size_t v = 0; v < parent.size(); ++v) {
+          parent[v] = decomposition_.parent[v] == kInvalidVertex
+                          ? -1
+                          : static_cast<int32_t>(decomposition_.parent[v]);
+        }
+        return parent;
+      }()) {
+  const size_t n = g.NumVertices();
+  dist_off_.assign(n + 1, 0);
+  pos_off_.assign(n + 1, 0);
+  if (n == 0) return;
+
+  // CSR sizes: distance array length = depth(v) + 1; position array length =
+  // bag size + 1.
+  for (Vertex v = 0; v < n; ++v) {
+    dist_off_[v + 1] = dist_off_[v] + decomposition_.depth[v] + 1;
+    pos_off_[v + 1] = pos_off_[v] + decomposition_.bag[v].size() + 1;
+  }
+  dist_data_.assign(dist_off_[n], kUnreachableLabel);
+  pos_data_.resize(pos_off_[n]);
+
+  // Children lists for a root-first traversal that maintains the root path.
+  std::vector<std::vector<Vertex>> children(n);
+  Vertex root = kInvalidVertex;
+  for (Vertex v = 0; v < n; ++v) {
+    if (decomposition_.parent[v] == kInvalidVertex) {
+      HC2L_CHECK_EQ(root, kInvalidVertex);  // single root (fake-linked forest)
+      root = v;
+    } else {
+      children[decomposition_.parent[v]].push_back(v);
+    }
+  }
+
+  // Position arrays are order-independent.
+  for (Vertex v = 0; v < n; ++v) {
+    uint64_t cursor = pos_off_[v];
+    for (const auto& e : decomposition_.bag[v]) {
+      pos_data_[cursor++] = decomposition_.depth[e.vertex];
+    }
+    pos_data_[cursor++] = decomposition_.depth[v];
+    HC2L_CHECK_EQ(cursor, pos_off_[v + 1]);
+  }
+
+  // Distance arrays via the H2H dynamic program, top-down with the explicit
+  // root path: d(v, anc_k) = min over (u, w) in bag(v) of
+  //   w + (depth(u) >= k ? dist_u[k] : dist_{path[k]}[depth(u)]).
+  std::vector<Vertex> path;  // path[k] = ancestor of the current node at depth k
+  struct Frame {
+    Vertex node;
+    size_t child_idx;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  path.push_back(root);
+  dist_data_[dist_off_[root] + decomposition_.depth[root]] = 0;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Vertex v = frame.node;
+    if (frame.child_idx == 0 && v != root) {
+      // First visit: compute v's distance array.
+      const uint32_t dv = decomposition_.depth[v];
+      dist_data_[dist_off_[v] + dv] = 0;
+      for (uint32_t k = 0; k < dv; ++k) {
+        Dist best = kInfDist;
+        for (const auto& [u, w] : decomposition_.bag[v]) {
+          const uint32_t du = decomposition_.depth[u];
+          const Dist via =
+              du >= k ? DecodeLabel(dist_data_[dist_off_[u] + k])
+                      : DecodeLabel(dist_data_[dist_off_[path[k]] + du]);
+          if (via != kInfDist && w + via < best) best = w + via;
+        }
+        dist_data_[dist_off_[v] + k] = EncodeLabel(best);
+      }
+    }
+    if (frame.child_idx < children[v].size()) {
+      const Vertex c = children[v][frame.child_idx++];
+      stack.push_back({c, 0});
+      path.push_back(c);
+    } else {
+      stack.pop_back();
+      path.pop_back();
+    }
+  }
+}
+
+Dist H2hIndex::Query(Vertex s, Vertex t) const {
+  return QueryCountingHubs(s, t, nullptr);
+}
+
+Dist H2hIndex::QueryCountingHubs(Vertex s, Vertex t,
+                                 uint64_t* hubs_scanned) const {
+  if (s == t) return 0;
+  const int32_t lca =
+      rmq_.Lca(static_cast<int32_t>(s), static_cast<int32_t>(t));
+  if (lca < 0) return kInfDist;
+  const uint64_t begin = pos_off_[lca];
+  const uint64_t end = pos_off_[lca + 1];
+  if (hubs_scanned != nullptr) *hubs_scanned += end - begin;
+  uint64_t best = UINT64_MAX;
+  const uint32_t* ds = dist_data_.data() + dist_off_[s];
+  const uint32_t* dt = dist_data_.data() + dist_off_[t];
+  for (uint64_t i = begin; i < end; ++i) {
+    const uint32_t p = pos_data_[i];
+    const uint64_t sum = static_cast<uint64_t>(ds[p]) + dt[p];
+    if (sum < best) best = sum;
+  }
+  return best >= kUnreachableLabel ? kInfDist : best;
+}
+
+size_t H2hIndex::LabelSizeBytes() const {
+  return dist_off_.size() * sizeof(uint64_t) +
+         dist_data_.size() * sizeof(uint32_t) +
+         pos_off_.size() * sizeof(uint64_t) +
+         pos_data_.size() * sizeof(uint32_t);
+}
+
+}  // namespace hc2l

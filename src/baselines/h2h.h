@@ -1,0 +1,64 @@
+#ifndef HC2L_BASELINES_H2H_H_
+#define HC2L_BASELINES_H2H_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/euler_rmq.h"
+#include "baselines/tree_decomposition.h"
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// H2H baseline (Ouyang et al. 2018): tree-decomposition labelling.
+///
+/// A minimum-degree-elimination tree decomposition assigns each vertex a tree
+/// node; the label of v is a *distance array* with the exact distances to all
+/// its tree ancestors plus a *position array* locating its bag members among
+/// those ancestors. A query finds LCA(s, t) with an Euler-tour RMQ (whose
+/// precomputed storage Table 3 measures) and min-reduces the distance arrays
+/// at the LCA's bag positions (Eq. 3 of the paper).
+class H2hIndex {
+ public:
+  static constexpr uint32_t kUnreachableLabel = UINT32_MAX;
+
+  explicit H2hIndex(const Graph& g);
+
+  /// Exact shortest-path distance (kInfDist if disconnected).
+  Dist Query(Vertex s, Vertex t) const;
+
+  /// Query that also reports the number of positions scanned (AHS, Table 3).
+  Dist QueryCountingHubs(Vertex s, Vertex t, uint64_t* hubs_scanned) const;
+
+  /// Height of the tree decomposition (Table 5).
+  uint32_t TreeHeight() const { return decomposition_.Height(); }
+
+  /// Width of the decomposition: max bag size (Table 5's Max Cut Size/Width).
+  size_t TreeWidth() const { return decomposition_.MaxBagSize(); }
+
+  /// Bytes of the RMQ LCA structures (Table 3's "LCA Storage").
+  size_t LcaStorageBytes() const { return rmq_.MemoryBytes(); }
+
+  /// Bytes of distance + position arrays.
+  size_t LabelSizeBytes() const;
+
+  /// Total distance entries stored.
+  size_t NumDistanceEntries() const { return dist_data_.size(); }
+
+  const TreeDecomposition& Decomposition() const { return decomposition_; }
+
+ private:
+  TreeDecomposition decomposition_;
+  EulerTourRmq rmq_;
+  // Distance arrays: dist_data_[dist_off_[v] + k] = d(v, ancestor at depth
+  // k), k = 0 .. depth(v) (the last entry is 0 = v itself).
+  std::vector<uint64_t> dist_off_;
+  std::vector<uint32_t> dist_data_;
+  // Position arrays: for node v, the depths of bag(v) members plus depth(v).
+  std::vector<uint64_t> pos_off_;
+  std::vector<uint32_t> pos_data_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_BASELINES_H2H_H_

@@ -1,0 +1,55 @@
+#ifndef HC2L_BASELINES_HUB_LABELLING_H_
+#define HC2L_BASELINES_HUB_LABELLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Hub Labelling (HL) baseline — hierarchical hub labels à la Abraham et al.
+/// [1, 2], constructed with pruned Dijkstra searches (Akiba et al.'s pruned
+/// landmark labelling) in a vertex importance order.
+///
+/// The label of v is a list of (hub, distance) entries with hubs restricted
+/// to vertices at least as important as v; a query merge-intersects the two
+/// sorted labels (Eq. 1 of the paper). Query time is proportional to label
+/// size — the behaviour Table 3 contrasts with HC2L's cut-restricted scans.
+class HubLabelling {
+ public:
+  /// Builds labels over g, processing hubs in `order` (most important
+  /// first). If order is empty, a degree-descending order is used; for the
+  /// paper's configuration pass ContractionHierarchies::ImportanceOrder().
+  explicit HubLabelling(const Graph& g, std::vector<Vertex> order = {});
+
+  /// Exact shortest-path distance (kInfDist if disconnected).
+  Dist Query(Vertex s, Vertex t) const;
+
+  /// Query that also reports the number of label entries scanned (for the
+  /// AHS column of Table 3).
+  Dist QueryCountingHubs(Vertex s, Vertex t, uint64_t* hubs_scanned) const;
+
+  /// Total number of (hub, distance) entries.
+  size_t NumEntries() const { return hub_rank_of_entry_.size(); }
+
+  /// Mean label size per vertex.
+  double AvgLabelSize() const {
+    return offsets_.size() <= 1
+               ? 0.0
+               : static_cast<double>(NumEntries()) / (offsets_.size() - 1);
+  }
+
+  /// Label storage in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  // CSR labels sorted by hub rank (position in the importance order).
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> hub_rank_of_entry_;
+  std::vector<uint32_t> dist_of_entry_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_BASELINES_HUB_LABELLING_H_

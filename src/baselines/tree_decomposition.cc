@@ -1,0 +1,157 @@
+#include "baselines/tree_decomposition.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+size_t TreeDecomposition::MaxBagSize() const {
+  size_t max_bag = 0;
+  for (const auto& b : bag) max_bag = std::max(max_bag, b.size() + 1);
+  return max_bag;
+}
+
+uint32_t TreeDecomposition::Height() const {
+  uint32_t h = 0;
+  for (uint32_t d : depth) h = std::max(h, d);
+  return h;
+}
+
+bool TreeDecomposition::Validate(const Graph& g) const {
+  const size_t n = g.NumVertices();
+  if (bag.size() != n || parent.size() != n || depth.size() != n) return false;
+  // Edge coverage: the earlier-eliminated endpoint's bag contains the other,
+  // with weight at most the edge weight.
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      const Vertex lo =
+          elimination_index[u] < elimination_index[a.to] ? u : a.to;
+      const Vertex hi = lo == u ? a.to : u;
+      const bool covered = std::any_of(
+          bag[lo].begin(), bag[lo].end(), [&](const BagEntry& e) {
+            return e.vertex == hi && e.weight <= a.weight;
+          });
+      if (!covered) return false;
+    }
+  }
+  // Parent linkage: bag members minus the parent appear in the parent's bag.
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex p = parent[v];
+    if (p == kInvalidVertex) {
+      if (v != root && !bag[v].empty()) return false;
+      continue;
+    }
+    if (elimination_index[p] <= elimination_index[v]) return false;
+    for (const BagEntry& e : bag[v]) {
+      if (e.vertex == p) continue;
+      const bool in_parent =
+          e.vertex == p ||
+          std::any_of(bag[p].begin(), bag[p].end(), [&](const BagEntry& pe) {
+            return pe.vertex == e.vertex;
+          });
+      if (!in_parent && !bag[v].empty() && p != e.vertex) return false;
+    }
+  }
+  return true;
+}
+
+TreeDecomposition BuildTreeDecomposition(const Graph& g) {
+  const size_t n = g.NumVertices();
+  TreeDecomposition td;
+  td.elimination_index.assign(n, 0);
+  td.bag.resize(n);
+  td.parent.assign(n, kInvalidVertex);
+  td.depth.assign(n, 0);
+  if (n == 0) return td;
+
+  // Dynamic elimination graph with relaxed fill-in weights.
+  std::vector<std::unordered_map<Vertex, Weight>> adjacency(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      auto [it, inserted] = adjacency[u].try_emplace(a.to, a.weight);
+      if (!inserted) it->second = std::min(it->second, a.weight);
+    }
+  }
+
+  // Lazy min-degree queue.
+  using Entry = std::pair<uint32_t, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (Vertex v = 0; v < n; ++v) {
+    queue.push({static_cast<uint32_t>(adjacency[v].size()), v});
+  }
+  std::vector<uint8_t> eliminated(n, 0);
+
+  uint32_t next_index = 0;
+  std::vector<Vertex> order;
+  order.reserve(n);
+  while (!queue.empty()) {
+    const auto [deg, v] = queue.top();
+    queue.pop();
+    if (eliminated[v]) continue;
+    if (deg != adjacency[v].size()) {
+      queue.push({static_cast<uint32_t>(adjacency[v].size()), v});
+      continue;
+    }
+    // Eliminate v: record its bag, connect its neighbourhood into a clique
+    // with relaxed weights, detach v.
+    eliminated[v] = 1;
+    td.elimination_index[v] = next_index++;
+    order.push_back(v);
+    td.bag[v].reserve(adjacency[v].size());
+    for (const auto& [u, w] : adjacency[v]) {
+      td.bag[v].push_back({u, w});
+    }
+    std::sort(td.bag[v].begin(), td.bag[v].end(),
+              [](const TreeDecomposition::BagEntry& a,
+                 const TreeDecomposition::BagEntry& b) {
+                return a.vertex < b.vertex;
+              });
+    for (const auto& [u, wu] : adjacency[v]) {
+      adjacency[u].erase(v);
+      for (const auto& [x, wx] : adjacency[v]) {
+        if (x <= u) continue;
+        const Dist fill = static_cast<Dist>(wu) + wx;
+        HC2L_CHECK_LE(fill, std::numeric_limits<Weight>::max());
+        const Weight fw = static_cast<Weight>(fill);
+        auto [iu, new_u] = adjacency[u].try_emplace(x, fw);
+        if (!new_u) iu->second = std::min(iu->second, fw);
+        auto [ix, new_x] = adjacency[x].try_emplace(u, fw);
+        if (!new_x) ix->second = std::min(ix->second, fw);
+      }
+    }
+    adjacency[v].clear();
+  }
+  HC2L_CHECK_EQ(order.size(), n);
+  td.root = order.back();
+
+  // Parents: earliest-eliminated bag member; empty-bag non-root vertices
+  // (other components' roots) hang off the global root.
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == td.root) continue;
+    if (td.bag[v].empty()) {
+      td.parent[v] = td.root;
+      continue;
+    }
+    Vertex best = td.bag[v].front().vertex;
+    for (const auto& e : td.bag[v]) {
+      if (td.elimination_index[e.vertex] < td.elimination_index[best]) {
+        best = e.vertex;
+      }
+    }
+    td.parent[v] = best;
+  }
+
+  // Depths, root first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Vertex v = *it;
+    td.depth[v] = td.parent[v] == kInvalidVertex
+                      ? 0
+                      : td.depth[td.parent[v]] + 1;
+  }
+  return td;
+}
+
+}  // namespace hc2l

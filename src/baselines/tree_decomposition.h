@@ -1,0 +1,53 @@
+#ifndef HC2L_BASELINES_TREE_DECOMPOSITION_H_
+#define HC2L_BASELINES_TREE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Tree decomposition by minimum-degree elimination (the sub-optimal
+/// O(|V| * (w^2 + log|V|)) heuristic of Bodlaender [12] that H2H/P2H build
+/// on). Every vertex owns one tree node (its *bag*): itself plus its
+/// neighbours at elimination time, each carrying the relaxed elimination
+/// weight. The parent of v's node is the bag owner of the earliest-eliminated
+/// vertex in bag(v) \ {v}; elimination creates fill-in edges with weights
+/// w(u,v) + w(v,x), relaxed to minima.
+struct TreeDecomposition {
+  struct BagEntry {
+    Vertex vertex;   // a member of bag(v) other than v
+    Weight weight;   // elimination-graph edge weight w_X(v, member)
+  };
+
+  /// Elimination order position of each vertex (0 = eliminated first).
+  std::vector<uint32_t> elimination_index;
+  /// bag[v] = entries for bag(v) \ {v}.
+  std::vector<std::vector<BagEntry>> bag;
+  /// parent[v] = owner of v's parent node (kInvalidVertex for the root).
+  std::vector<Vertex> parent;
+  /// Root vertex (eliminated last).
+  Vertex root = kInvalidVertex;
+  /// depth[v] = number of proper ancestors of v's node (root has 0).
+  std::vector<uint32_t> depth;
+
+  /// Tree width (max bag size incl. owner) and height statistics (Table 5).
+  size_t MaxBagSize() const;
+  uint32_t Height() const;
+
+  /// Validity checks: every graph edge covered by some bag, parent bags
+  /// contain the child bag minus its owner ("connectedness" in the
+  /// elimination sense). Test helper.
+  bool Validate(const Graph& g) const;
+};
+
+/// Builds the decomposition of a connected or disconnected graph g.
+/// (Disconnected inputs produce one tree per component, linked under an
+/// arbitrary global root bag owner for indexing convenience — H2H treats
+/// unreachable pairs via infinite distances.)
+TreeDecomposition BuildTreeDecomposition(const Graph& g);
+
+}  // namespace hc2l
+
+#endif  // HC2L_BASELINES_TREE_DECOMPOSITION_H_

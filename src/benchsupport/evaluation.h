@@ -1,0 +1,79 @@
+#ifndef HC2L_BENCHSUPPORT_EVALUATION_H_
+#define HC2L_BENCHSUPPORT_EVALUATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/contraction_hierarchies.h"
+#include "baselines/h2h.h"
+#include "baselines/hub_labelling.h"
+#include "baselines/pruned_highway_labelling.h"
+#include "benchsupport/workload.h"
+#include "core/hc2l.h"
+#include "graph/road_network_generator.h"
+
+namespace hc2l {
+
+/// Reads HC2L_BENCH_SCALE (tiny|small|medium|large, default small) and
+/// HC2L_BENCH_DATASETS (comma-separated names, default all ten) and returns
+/// the selected dataset miniatures.
+std::vector<DatasetSpec> SelectedDatasets(WeightMode mode);
+
+/// Number of timed queries per measurement; HC2L_BENCH_QUERIES overrides
+/// (default 100000 — the paper uses 1M on server hardware).
+size_t BenchQueryCount();
+
+/// Mean per-query latency in microseconds of `query` over `pairs`.
+/// The accumulated checksum defeats dead-code elimination.
+double MeasureAvgQueryMicros(
+    const std::function<Dist(Vertex, Vertex)>& query,
+    const std::vector<QueryPair>& pairs);
+
+/// One built method with everything the paper's tables report about it.
+struct MethodEvaluation {
+  std::string name;
+  double build_seconds = 0.0;
+  uint64_t index_bytes = 0;
+  double avg_query_micros = 0.0;
+  double avg_hub_size = 0.0;   // AHS (Table 3)
+  uint64_t lca_bytes = 0;      // LCA storage (Table 3); 0 if n/a
+  std::function<Dist(Vertex, Vertex)> query;
+  std::function<Dist(Vertex, Vertex, uint64_t*)> query_counting;
+};
+
+/// All indexes built for one dataset graph.
+struct DatasetEvaluation {
+  // Order: HC2L, H2H, PHL, HL (matching the paper's column order). HC2L_p is
+  // reported via hc2lp_build_seconds (the index itself is identical).
+  std::vector<MethodEvaluation> methods;
+  double hc2lp_build_seconds = 0.0;
+  const Hc2lIndex* hc2l = nullptr;
+  const H2hIndex* h2h = nullptr;
+};
+
+/// Builds HC2L (serial + parallel timing), H2H, PHL and HL (CH order) over
+/// g, then measures average query time and hub size over `pairs`.
+/// `measure_queries` can be disabled for structure-only tables (1, 5).
+class EvaluationDriver {
+ public:
+  EvaluationDriver(const Graph& g, const Hc2lOptions& hc2l_options,
+                   bool build_baselines);
+
+  /// Measures query latency + AHS for every built method.
+  void MeasureQueries(const std::vector<QueryPair>& pairs);
+
+  DatasetEvaluation& Result() { return result_; }
+
+ private:
+  DatasetEvaluation result_;
+  std::unique_ptr<Hc2lIndex> hc2l_;
+  std::unique_ptr<H2hIndex> h2h_;
+  std::unique_ptr<PrunedHighwayLabelling> phl_;
+  std::unique_ptr<HubLabelling> hl_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_BENCHSUPPORT_EVALUATION_H_

@@ -1,0 +1,81 @@
+#include "benchsupport/table_printer.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  HC2L_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "| " : " | ",
+                  static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf(" |\n");
+  };
+  auto print_rule = [&]() {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::printf("%s", c == 0 ? "|-" : "-|-");
+      for (size_t i = 0; i < widths[c]; ++i) std::printf("-");
+    }
+    std::printf("-|\n");
+  };
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1000ull * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / 1e6);
+  } else if (bytes >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatMicros(double micros) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", micros);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,42 @@
+#ifndef HC2L_BENCHSUPPORT_TABLE_PRINTER_H_
+#define HC2L_BENCHSUPPORT_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hc2l {
+
+/// Fixed-width console table used by every bench binary to print the
+/// reproduced paper tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.24 GB", "236 MB", "17 KB" — the paper's size formatting.
+std::string FormatBytes(uint64_t bytes);
+
+/// "0.225" (microseconds with 3 decimals).
+std::string FormatMicros(double micros);
+
+/// "1,197" style integer or "12.4" seconds formatting.
+std::string FormatSeconds(double seconds);
+
+/// Plain fixed-precision double.
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace hc2l
+
+#endif  // HC2L_BENCHSUPPORT_TABLE_PRINTER_H_

@@ -1,0 +1,84 @@
+#include "benchsupport/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+
+std::vector<QueryPair> UniformRandomPairs(size_t num_vertices, size_t count,
+                                          uint64_t seed) {
+  HC2L_CHECK_GT(num_vertices, 0u);
+  Rng rng(seed);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<Vertex>(rng.Below(num_vertices)),
+                       static_cast<Vertex>(rng.Below(num_vertices)));
+  }
+  return pairs;
+}
+
+Dist EstimateDiameter(const Graph& g) {
+  if (g.NumVertices() == 0) return 0;
+  Dijkstra dijkstra(g);
+  dijkstra.Run(0);
+  const Vertex far = dijkstra.FurthestVertex();
+  if (far == kInvalidVertex) return 0;
+  dijkstra.Run(far);
+  const Vertex far2 = dijkstra.FurthestVertex();
+  return far2 == kInvalidVertex ? 0 : dijkstra.DistanceTo(far2);
+}
+
+DistanceBandedQuerySets GenerateDistanceBandedSets(const Graph& g,
+                                                   size_t per_set,
+                                                   uint64_t seed, Dist l_min) {
+  DistanceBandedQuerySets result;
+  result.sets.resize(10);
+  result.l_min = l_min;
+  result.l_max = std::max<Dist>(EstimateDiameter(g), l_min + 1);
+
+  const double x = std::pow(
+      static_cast<double>(result.l_max) / static_cast<double>(l_min), 0.1);
+  // Band i (0-based) = (l_min * x^i, l_min * x^(i+1)].
+  auto band_of = [&](Dist d) -> int {
+    if (d == 0 || d == kInfDist) return -1;
+    const double ratio = static_cast<double>(d) / static_cast<double>(l_min);
+    if (ratio <= 1.0) return 0;  // short queries fold into Q1
+    const int band = static_cast<int>(std::ceil(std::log(ratio) / std::log(x))) - 1;
+    return std::min(band, 9);
+  };
+
+  Rng rng(seed);
+  Dijkstra dijkstra(g);
+  // Sweep random sources, bucketing reachable targets by band, until every
+  // set is filled (or a generous source budget is exhausted — tiny graphs may
+  // not populate the far bands).
+  const size_t max_sources = 200;
+  for (size_t attempt = 0; attempt < max_sources; ++attempt) {
+    const bool done =
+        std::all_of(result.sets.begin(), result.sets.end(),
+                    [&](const auto& s) { return s.size() >= per_set; });
+    if (done) break;
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    // Reservoir-lite: iterate settled targets in random stride.
+    for (Vertex t : dijkstra.SettledVertices()) {
+      if (t == s) continue;
+      const int band = band_of(dijkstra.DistanceTo(t));
+      if (band < 0) continue;
+      auto& set = result.sets[band];
+      if (set.size() < per_set) {
+        set.emplace_back(s, t);
+      } else if (rng.Chance(0.05)) {
+        set[rng.Below(set.size())] = {s, t};
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,39 @@
+#ifndef HC2L_BENCHSUPPORT_WORKLOAD_H_
+#define HC2L_BENCHSUPPORT_WORKLOAD_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+using QueryPair = std::pair<Vertex, Vertex>;
+
+/// `count` source/target pairs sampled uniformly from V x V (the paper's main
+/// query benchmark; Section 5 "Benchmark Generation").
+std::vector<QueryPair> UniformRandomPairs(size_t num_vertices, size_t count,
+                                          uint64_t seed);
+
+/// Lower bound on the graph diameter (in weight units) via a double Dijkstra
+/// sweep; also what Table 1's "diam." column reports.
+Dist EstimateDiameter(const Graph& g);
+
+/// The paper's distance-banded query sets Q1..Q10 (Figure 6): with
+/// x = (l_max / l_min)^(1/10), set Q_i holds pairs whose distance falls in
+/// (l_min * x^(i-1), l_min * x^i]. Pairs are found by bucketing full Dijkstra
+/// sweeps from random sources.
+struct DistanceBandedQuerySets {
+  std::vector<std::vector<QueryPair>> sets;  // 10 sets
+  Dist l_min = 0;
+  Dist l_max = 0;
+};
+DistanceBandedQuerySets GenerateDistanceBandedSets(const Graph& g,
+                                                   size_t per_set,
+                                                   uint64_t seed,
+                                                   Dist l_min = 1000);
+
+}  // namespace hc2l
+
+#endif  // HC2L_BENCHSUPPORT_WORKLOAD_H_

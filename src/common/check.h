@@ -1,0 +1,37 @@
+#ifndef HC2L_COMMON_CHECK_H_
+#define HC2L_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant-checking macros. The library does not use exceptions (per the
+/// project style guide); violated invariants abort with a source location.
+/// These checks stay enabled in release builds: they guard index correctness,
+/// and their cost is negligible next to Dijkstra searches.
+
+#define HC2L_CHECK(condition)                                            \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "HC2L_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #condition);                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define HC2L_CHECK_MSG(condition, msg)                                       \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "HC2L_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #condition, msg);                     \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define HC2L_CHECK_EQ(a, b) HC2L_CHECK((a) == (b))
+#define HC2L_CHECK_NE(a, b) HC2L_CHECK((a) != (b))
+#define HC2L_CHECK_LT(a, b) HC2L_CHECK((a) < (b))
+#define HC2L_CHECK_LE(a, b) HC2L_CHECK((a) <= (b))
+#define HC2L_CHECK_GT(a, b) HC2L_CHECK((a) > (b))
+#define HC2L_CHECK_GE(a, b) HC2L_CHECK((a) >= (b))
+
+#endif  // HC2L_COMMON_CHECK_H_

@@ -1,0 +1,34 @@
+#ifndef HC2L_COMMON_TIMER_H_
+#define HC2L_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace hc2l {
+
+/// Simple wall-clock stopwatch used by construction code and benchmarks.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_COMMON_TIMER_H_

@@ -1,0 +1,29 @@
+#ifndef HC2L_COMMON_TYPES_H_
+#define HC2L_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hc2l {
+
+/// Vertex identifier. Road networks in the paper have up to ~24M vertices,
+/// far below the 32-bit limit.
+using Vertex = uint32_t;
+
+/// Edge weight (positive; either metres for "distance" weights or
+/// deci-seconds for "travel time" weights).
+using Weight = uint32_t;
+
+/// Shortest-path distance. 64 bits so that sums of 32-bit weights along any
+/// path can never overflow.
+using Dist = uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
+
+/// Sentinel for "unreachable" distances.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+}  // namespace hc2l
+
+#endif  // HC2L_COMMON_TYPES_H_

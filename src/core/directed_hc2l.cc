@@ -1,0 +1,316 @@
+#include "core/directed_hc2l.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "partition/balanced_cut.h"
+#include "search/directed_dijkstra.h"
+
+namespace hc2l {
+
+namespace {
+
+uint32_t EncodeLabelDistance(Dist d) {
+  if (d == kInfDist) return DirectedHc2lIndex::kUnreachableLabel;
+  HC2L_CHECK_LT(d, Dist{1} << 31);
+  return static_cast<uint32_t>(d);
+}
+
+}  // namespace
+
+/// Recursive construction: balanced cuts on the undirected projection,
+/// per-direction tail-pruned labels, directed shortcut arcs.
+class DirectedHc2lBuilder {
+ public:
+  DirectedHc2lBuilder(const Digraph& g, const DirectedHc2lOptions& options)
+      : options_(options) {
+    const size_t n = g.NumVertices();
+    hierarchy_.node_of_vertex_.assign(n, UINT32_MAX);
+    hierarchy_.vertex_code_.assign(n, kRootCode);
+    out_label_.resize(n);
+    in_label_.resize(n);
+    out_lens_.resize(n);
+    in_lens_.resize(n);
+    std::vector<Vertex> identity(n);
+    for (Vertex v = 0; v < n; ++v) identity[v] = v;
+    hierarchy_.nodes_.push_back(HierarchyNode{kRootCode, -1, -1, -1, {}});
+    Digraph root = g;
+    BuildNode(std::move(root), std::move(identity), 0, kRootCode);
+  }
+
+  void Finish(DirectedHc2lIndex* index) {
+    index->hierarchy_ = std::move(hierarchy_);
+    Flatten(out_label_, out_lens_, &index->out_data_,
+            &index->out_level_start_, &index->out_base_);
+    Flatten(in_label_, in_lens_, &index->in_data_, &index->in_level_start_,
+            &index->in_base_);
+  }
+
+ private:
+  static void Flatten(std::vector<std::vector<uint32_t>>& data,
+                      std::vector<std::vector<uint32_t>>& lens,
+                      std::vector<uint32_t>* out_data,
+                      std::vector<uint32_t>* out_level_start,
+                      std::vector<uint32_t>* out_base) {
+    const size_t n = data.size();
+    out_base->assign(n + 1, 0);
+    for (size_t v = 0; v < n; ++v) {
+      (*out_base)[v] = static_cast<uint32_t>(out_level_start->size());
+      size_t pos = 0;
+      for (const uint32_t len : lens[v]) {
+        out_level_start->push_back(static_cast<uint32_t>(out_data->size()));
+        out_data->insert(out_data->end(), data[v].begin() + pos,
+                         data[v].begin() + pos + len);
+        pos += len;
+      }
+      HC2L_CHECK_EQ(pos, data[v].size());
+      out_level_start->push_back(static_cast<uint32_t>(out_data->size()));
+      data[v] = {};
+      lens[v] = {};
+    }
+    (*out_base)[n] = static_cast<uint32_t>(out_level_start->size());
+  }
+
+  void BuildNode(Digraph sub, std::vector<Vertex> to_global, int32_t node_idx,
+                 TreeCode code) {
+    const size_t n = sub.NumVertices();
+    const uint32_t depth = TreeCodeDepth(code);
+
+    BalancedCutResult bc;
+    bool is_leaf = n <= options_.leaf_size || depth >= kMaxTreeDepth;
+    if (!is_leaf) {
+      bc = BalancedCut(sub.UndirectedProjection(), options_.beta);
+      is_leaf = bc.part_a.empty() && bc.part_b.empty();
+    }
+    std::vector<Vertex> cut;
+    if (is_leaf) {
+      cut.resize(n);
+      for (Vertex v = 0; v < n; ++v) cut[v] = v;
+    } else {
+      cut = std::move(bc.cut);
+    }
+
+    const size_t m = cut.size();
+    std::vector<DistAndPruneResult> fwd(m);  // d(cut_i -> u), prunes in-side
+    std::vector<DistAndPruneResult> bwd(m);  // d(u -> cut_i), prunes out-side
+    if (m == 0) {
+      for (Vertex v = 0; v < n; ++v) {
+        out_lens_[to_global[v]].push_back(0);
+        in_lens_[to_global[v]].push_back(0);
+      }
+    } else {
+      RankAndLabel(sub, &cut, to_global, node_idx, code, &fwd, &bwd);
+    }
+    if (is_leaf) return;
+
+    for (int side = 0; side < 2; ++side) {
+      const std::vector<Vertex>& part = side == 0 ? bc.part_a : bc.part_b;
+      if (part.empty()) continue;
+      std::vector<DirectedArc> shortcuts =
+          ComputeDirectedShortcuts(sub, cut, part, fwd, bwd);
+      Subdigraph child = InducedSubdigraph(sub, part, shortcuts);
+      std::vector<Vertex> child_to_global;
+      child_to_global.reserve(part.size());
+      for (Vertex v : child.to_parent) child_to_global.push_back(to_global[v]);
+      const TreeCode child_code = TreeCodeChild(code, side);
+      hierarchy_.nodes_.push_back(
+          HierarchyNode{child_code, node_idx, -1, -1, {}});
+      const int32_t child_idx =
+          static_cast<int32_t>(hierarchy_.nodes_.size() - 1);
+      (side == 0 ? hierarchy_.nodes_[node_idx].left
+                 : hierarchy_.nodes_[node_idx].right) = child_idx;
+      BuildNode(std::move(child.graph), std::move(child_to_global), child_idx,
+                child_code);
+    }
+  }
+
+  /// Ranks the cut (sum of both directions' coverability, ascending), runs
+  /// the per-direction prefix-tracking Dijkstras, and emits the two label
+  /// arrays per subgraph vertex.
+  void RankAndLabel(const Digraph& sub, std::vector<Vertex>* cut,
+                    const std::vector<Vertex>& to_global, int32_t node_idx,
+                    TreeCode code, std::vector<DistAndPruneResult>* fwd,
+                    std::vector<DistAndPruneResult>* bwd) {
+    const size_t n = sub.NumVertices();
+    const size_t m = cut->size();
+
+    if (options_.tail_pruning && m > 1) {
+      std::vector<uint8_t> in_cut(n, 0);
+      for (Vertex v : *cut) in_cut[v] = 1;
+      std::vector<uint64_t> score(m, 0);
+      for (size_t i = 0; i < m; ++i) {
+        const auto f = DirectedDistAndPrune(sub, (*cut)[i],
+                                            SearchDirection::kForward, in_cut);
+        const auto b = DirectedDistAndPrune(
+            sub, (*cut)[i], SearchDirection::kBackward, in_cut);
+        for (Vertex v = 0; v < n; ++v) score[i] += f.via[v] + b.via[v];
+      }
+      std::vector<size_t> order(m);
+      for (size_t i = 0; i < m; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (score[a] != score[b]) return score[a] < score[b];
+        return to_global[(*cut)[a]] < to_global[(*cut)[b]];
+      });
+      std::vector<Vertex> ranked(m);
+      for (size_t i = 0; i < m; ++i) ranked[i] = (*cut)[order[i]];
+      *cut = std::move(ranked);
+    } else {
+      std::sort(cut->begin(), cut->end(), [&](Vertex a, Vertex b) {
+        return to_global[a] < to_global[b];
+      });
+    }
+
+    std::vector<uint8_t> mask(n, 0);
+    const std::vector<uint8_t> empty_mask(n, 0);
+    for (size_t i = 0; i < m; ++i) {
+      const auto& tracked = options_.tail_pruning ? mask : empty_mask;
+      (*fwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
+                                       SearchDirection::kForward, tracked);
+      (*bwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
+                                       SearchDirection::kBackward, tracked);
+      mask[(*cut)[i]] = 1;
+    }
+
+    for (Vertex v = 0; v < n; ++v) {
+      size_t k_in = 0;
+      size_t k_out = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if ((*fwd)[i].via[v] == 0) k_in = i;
+        if ((*bwd)[i].via[v] == 0) k_out = i;
+      }
+      auto& in_data = in_label_[to_global[v]];
+      for (size_t i = 0; i <= k_in; ++i) {
+        in_data.push_back(EncodeLabelDistance((*fwd)[i].dist[v]));
+      }
+      in_lens_[to_global[v]].push_back(static_cast<uint32_t>(k_in + 1));
+      auto& out_data = out_label_[to_global[v]];
+      for (size_t i = 0; i <= k_out; ++i) {
+        out_data.push_back(EncodeLabelDistance((*bwd)[i].dist[v]));
+      }
+      out_lens_[to_global[v]].push_back(static_cast<uint32_t>(k_out + 1));
+    }
+
+    HierarchyNode& node = hierarchy_.nodes_[node_idx];
+    node.cut.reserve(m);
+    for (Vertex v : *cut) {
+      const Vertex global = to_global[v];
+      node.cut.push_back(global);
+      hierarchy_.node_of_vertex_[global] = static_cast<uint32_t>(node_idx);
+      hierarchy_.vertex_code_[global] = code;
+    }
+  }
+
+  /// Directed Algorithm 3: shortcut arcs that make the child sub-digraph
+  /// distance-preserving in both directions.
+  std::vector<DirectedArc> ComputeDirectedShortcuts(
+      const Digraph& sub, const std::vector<Vertex>& cut,
+      const std::vector<Vertex>& part,
+      const std::vector<DistAndPruneResult>& fwd,
+      const std::vector<DistAndPruneResult>& bwd) {
+    const size_t n = sub.NumVertices();
+    std::vector<uint8_t> in_cut(n, 0);
+    for (Vertex v : cut) in_cut[v] = 1;
+
+    std::vector<Vertex> border;
+    for (Vertex v : part) {
+      bool touches = false;
+      for (const Arc& a : sub.OutArcs(v)) touches |= in_cut[a.to] != 0;
+      for (const Arc& a : sub.InArcs(v)) touches |= in_cut[a.to] != 0;
+      if (touches) border.push_back(v);
+    }
+    const size_t b = border.size();
+    if (b < 2) return {};
+
+    Subdigraph gp = InducedSubdigraph(sub, part);
+    std::vector<Vertex> to_child(n, kInvalidVertex);
+    for (size_t i = 0; i < part.size(); ++i) to_child[part[i]] = i;
+
+    // d_GP(border_i -> border_j), forward Dijkstras inside G[P].
+    std::vector<std::vector<Dist>> d_gp(b, std::vector<Dist>(b));
+    for (size_t i = 0; i < b; ++i) {
+      const auto dist = DirectedDistancesFrom(gp.graph, to_child[border[i]],
+                                              SearchDirection::kForward);
+      for (size_t j = 0; j < b; ++j) d_gp[i][j] = dist[to_child[border[j]]];
+    }
+
+    // True directed distances: best of in-partition and via-cut routes.
+    std::vector<std::vector<Dist>> d_g = d_gp;
+    for (size_t i = 0; i < b; ++i) {
+      for (size_t j = 0; j < b; ++j) {
+        if (i == j) continue;
+        Dist through_cut = kInfDist;
+        for (size_t c = 0; c < cut.size(); ++c) {
+          const Dist to_c = bwd[c].dist[border[i]];    // d(border_i -> cut_c)
+          const Dist from_c = fwd[c].dist[border[j]];  // d(cut_c -> border_j)
+          if (to_c == kInfDist || from_c == kInfDist) continue;
+          through_cut = std::min(through_cut, to_c + from_c);
+        }
+        d_g[i][j] = std::min(d_gp[i][j], through_cut);
+      }
+    }
+
+    std::vector<DirectedArc> shortcuts;
+    for (size_t i = 0; i < b; ++i) {
+      for (size_t j = 0; j < b; ++j) {
+        if (i == j || d_g[i][j] >= d_gp[i][j]) continue;
+        bool redundant = false;
+        for (size_t k = 0; k < b && !redundant; ++k) {
+          if (k == i || k == j) continue;
+          if (d_g[i][k] != kInfDist && d_g[k][j] != kInfDist &&
+              d_g[i][k] + d_g[k][j] == d_g[i][j]) {
+            redundant = true;
+          }
+        }
+        if (!redundant) {
+          HC2L_CHECK_LE(d_g[i][j], std::numeric_limits<Weight>::max());
+          shortcuts.push_back(
+              {border[i], border[j], static_cast<Weight>(d_g[i][j])});
+        }
+      }
+    }
+    return shortcuts;
+  }
+
+  const DirectedHc2lOptions options_;
+  BalancedTreeHierarchy hierarchy_;
+  std::vector<std::vector<uint32_t>> out_label_, in_label_;
+  std::vector<std::vector<uint32_t>> out_lens_, in_lens_;
+};
+
+DirectedHc2lIndex DirectedHc2lIndex::Build(const Digraph& g,
+                                           const DirectedHc2lOptions& options) {
+  HC2L_CHECK_GT(options.beta, 0.0);
+  HC2L_CHECK_LE(options.beta, 0.5);
+  DirectedHc2lIndex index;
+  DirectedHc2lBuilder builder(g, options);
+  builder.Finish(&index);
+  return index;
+}
+
+Dist DirectedHc2lIndex::Query(Vertex s, Vertex t) const {
+  HC2L_CHECK_LT(s, NumVertices());
+  HC2L_CHECK_LT(t, NumVertices());
+  if (s == t) return 0;
+  const uint32_t level = hierarchy_.LcaLevel(s, t);
+  const uint32_t s_idx = out_base_[s] + level;
+  const uint32_t t_idx = in_base_[t] + level;
+  const uint32_t* a = out_data_.data() + out_level_start_[s_idx];
+  const uint32_t* b = in_data_.data() + in_level_start_[t_idx];
+  const uint32_t len =
+      std::min(out_level_start_[s_idx + 1] - out_level_start_[s_idx],
+               in_level_start_[t_idx + 1] - in_level_start_[t_idx]);
+  uint64_t best = UINT64_MAX;
+  for (uint32_t i = 0; i < len; ++i) {
+    const uint64_t sum = static_cast<uint64_t>(a[i]) + b[i];
+    if (sum < best) best = sum;
+  }
+  return best >= kUnreachableLabel ? kInfDist : best;
+}
+
+size_t DirectedHc2lIndex::LabelSizeBytes() const {
+  return (out_data_.size() + in_data_.size() + out_level_start_.size() +
+          in_level_start_.size() + out_base_.size() + in_base_.size()) *
+         sizeof(uint32_t);
+}
+
+}  // namespace hc2l

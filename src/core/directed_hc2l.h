@@ -1,0 +1,66 @@
+#ifndef HC2L_CORE_DIRECTED_HC2L_H_
+#define HC2L_CORE_DIRECTED_HC2L_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "hierarchy/hierarchy.h"
+
+namespace hc2l {
+
+/// Options for the directed HC2L extension.
+struct DirectedHc2lOptions {
+  double beta = 0.2;
+  uint32_t leaf_size = 8;
+  bool tail_pruning = true;
+};
+
+/// Directed-graph HC2L (the Section 5.3 extension).
+///
+/// Vertex cuts are computed on the undirected projection, so they separate
+/// paths in both directions; every label level stores *two* distance arrays
+/// per vertex — an out-array d(v -> hub) and an in-array d(hub -> v) — each
+/// tail-pruned independently per direction. A query min-reduces the source's
+/// out-array against the target's in-array at the LCA level:
+///   d(s -> t) = min_r d(s -> r) + d(r -> t),  r in cut(LCA(s, t)).
+///
+/// Degree-one contraction is not applied in the directed variant (pendant
+/// trees are not distance-transparent under asymmetric arcs); the paper notes
+/// road networks are "almost undirected", so the undirected index remains the
+/// default for symmetric inputs.
+class DirectedHc2lIndex {
+ public:
+  static constexpr uint32_t kUnreachableLabel = UINT32_MAX;
+
+  /// Builds an index over the digraph.
+  static DirectedHc2lIndex Build(const Digraph& g,
+                                 const DirectedHc2lOptions& options = {});
+
+  /// Exact directed distance d(s -> t); kInfDist if t is unreachable from s.
+  Dist Query(Vertex s, Vertex t) const;
+
+  size_t NumVertices() const { return out_base_.size() - 1; }
+  const BalancedTreeHierarchy& Hierarchy() const { return hierarchy_; }
+
+  /// Total stored distance entries (both directions).
+  size_t NumEntries() const { return out_data_.size() + in_data_.size(); }
+
+  /// Label storage in bytes.
+  size_t LabelSizeBytes() const;
+
+ private:
+  DirectedHc2lIndex() = default;
+  friend class DirectedHc2lBuilder;
+
+  BalancedTreeHierarchy hierarchy_;
+  // Flattened per-direction labels, same layout as the undirected index:
+  // the level-k array of v spans
+  //   data[level_start[base[v] + k] .. level_start[base[v] + k + 1]).
+  std::vector<uint32_t> out_data_, out_level_start_, out_base_;
+  std::vector<uint32_t> in_data_, in_level_start_, in_base_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_CORE_DIRECTED_HC2L_H_

@@ -1,0 +1,796 @@
+#include "core/hc2l.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "partition/balanced_cut.h"
+#include "partition/shortcuts.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+
+namespace {
+
+/// Encodes a 64-bit distance into a 32-bit label entry. Finite values must
+/// stay below 2^31 so that any finite pair-sum is strictly smaller than
+/// sentinel + anything; Query() exploits this to avoid per-entry branches.
+uint32_t EncodeLabelDistance(Dist d) {
+  if (d == kInfDist) return Hc2lIndex::kUnreachableLabel;
+  HC2L_CHECK_LT(d, Dist{1} << 31);
+  return static_cast<uint32_t>(d);
+}
+
+/// Pool of worker threads shared by one build. Grants are coarse: a caller
+/// asks for extra threads and must release them after joining.
+class ThreadBudget {
+ public:
+  explicit ThreadBudget(uint32_t total)
+      : available_(total == 0 ? 0 : total - 1) {}
+
+  /// Tries to reserve up to `want` extra threads; returns the number granted.
+  uint32_t Acquire(uint32_t want) {
+    uint32_t granted = 0;
+    uint32_t current = available_.load(std::memory_order_relaxed);
+    while (granted < want && current > 0) {
+      if (available_.compare_exchange_weak(current, current - 1,
+                                           std::memory_order_relaxed)) {
+        ++granted;
+      }
+    }
+    return granted;
+  }
+
+  void Release(uint32_t count) {
+    available_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint32_t> available_;
+};
+
+}  // namespace
+
+/// Recursive construction of the balanced tree hierarchy and the tail-pruned
+/// labelling (Algorithms 1-5), over the core graph.
+class Hc2lBuilder {
+ public:
+  Hc2lBuilder(const Graph& core, const Hc2lOptions& options)
+      : options_(options), budget_(options.num_threads) {
+    const size_t n = core.NumVertices();
+    hierarchy_.node_of_vertex_.assign(n, UINT32_MAX);
+    hierarchy_.vertex_code_.assign(n, kRootCode);
+    label_data_.resize(n);
+    label_lens_.resize(n);
+
+    std::vector<Vertex> identity(n);
+    for (Vertex v = 0; v < n; ++v) identity[v] = v;
+    const int32_t root = NewNode(kRootCode, -1);
+    Graph root_copy = core;  // recursion consumes its subgraph
+    BuildNode(std::move(root_copy), std::move(identity), root, kRootCode);
+  }
+
+  /// Moves results into the index.
+  void Finish(Hc2lIndex* index) {
+    const size_t n = label_data_.size();
+    index->hierarchy_ = std::move(hierarchy_);
+    index->base_.assign(n + 1, 0);
+    size_t total_arrays = 0;
+    size_t total_entries = 0;
+    for (size_t v = 0; v < n; ++v) {
+      total_arrays += label_lens_[v].size();
+      total_entries += label_data_[v].size();
+    }
+    index->level_start_.reserve(total_arrays + n);
+    index->data_.reserve(total_entries);
+    for (size_t v = 0; v < n; ++v) {
+      index->base_[v] = static_cast<uint32_t>(index->level_start_.size());
+      size_t pos = 0;
+      for (const uint32_t len : label_lens_[v]) {
+        index->level_start_.push_back(
+            static_cast<uint32_t>(index->data_.size()));
+        index->data_.insert(index->data_.end(), label_data_[v].begin() + pos,
+                            label_data_[v].begin() + pos + len);
+        pos += len;
+      }
+      HC2L_CHECK_EQ(pos, label_data_[v].size());
+      index->level_start_.push_back(static_cast<uint32_t>(index->data_.size()));
+      // Free the accumulator eagerly to halve peak memory.
+      label_data_[v] = {};
+      label_lens_[v] = {};
+    }
+    index->base_[n] = static_cast<uint32_t>(index->level_start_.size());
+
+    index->stats_.num_tree_nodes = index->hierarchy_.NumNodes();
+    index->stats_.tree_height = index->hierarchy_.Height();
+    index->stats_.max_cut_size = index->hierarchy_.MaxCutSize();
+    index->stats_.avg_cut_size = index->hierarchy_.AvgCutSize();
+    index->stats_.num_shortcuts = shortcut_count_.load();
+    index->stats_.label_entries = total_entries;
+    index->stats_.label_bytes =
+        index->data_.size() * sizeof(uint32_t) +
+        index->level_start_.size() * sizeof(uint32_t) +
+        index->base_.size() * sizeof(uint32_t);
+    index->stats_.lca_bytes = index->hierarchy_.LcaStorageBytes();
+  }
+
+ private:
+  int32_t NewNode(TreeCode code, int32_t parent) {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    hierarchy_.nodes_.push_back(HierarchyNode{code, parent, -1, -1, {}});
+    return static_cast<int32_t>(hierarchy_.nodes_.size() - 1);
+  }
+
+  /// Runs fn(i) for i in [0, count), using up to the granted extra threads.
+  template <typename Fn>
+  void ParallelFor(size_t count, const Fn& fn) {
+    if (count == 0) return;
+    uint32_t extra = count > 1
+                         ? budget_.Acquire(static_cast<uint32_t>(
+                               std::min<size_t>(count - 1, 64)))
+                         : 0;
+    if (extra == 0) {
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(extra);
+    for (uint32_t t = 0; t < extra; ++t) threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads) t.join();
+    budget_.Release(extra);
+  }
+
+  /// Ranks `cut` (ascending Eq. 6 score, ties by global id), runs the
+  /// prefix-tracking Dijkstras of Algorithm 5, emits one (tail-pruned)
+  /// distance array per subgraph vertex, and registers the cut vertices with
+  /// the hierarchy node. Returns the per-cut-vertex distance vectors (rank
+  /// order) for shortcut computation.
+  std::vector<std::vector<Dist>> LabelCutSet(const Graph& sub,
+                                             std::vector<Vertex>* cut,
+                                             const std::vector<Vertex>& to_global,
+                                             int32_t node_idx, TreeCode code) {
+    const size_t n = sub.NumVertices();
+    const size_t m = cut->size();
+
+    if (m == 0) {
+      // Disconnected split: the empty cut still contributes one (empty)
+      // array per subtree vertex so that label levels stay aligned.
+      for (Vertex v = 0; v < n; ++v) {
+        label_lens_[to_global[v]].push_back(0);
+      }
+      return {};
+    }
+
+    // Rank cut vertices by Eq. 6 / Algorithm 5 lines 2-5: ascending count of
+    // vertices whose shortest path from the cut vertex passes through
+    // another cut vertex ("most coverable last").
+    if (options_.tail_pruning && m > 1) {
+      std::vector<uint8_t> in_cut(n, 0);
+      for (Vertex v : *cut) in_cut[v] = 1;
+      std::vector<uint64_t> score(m, 0);
+      ParallelFor(m, [&](size_t i) {
+        const DistAndPruneResult r = DistAndPrune(sub, (*cut)[i], in_cut);
+        uint64_t covered = 0;
+        for (Vertex v = 0; v < n; ++v) covered += r.via[v];
+        score[i] = covered;
+      });
+      std::vector<size_t> order(m);
+      for (size_t i = 0; i < m; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (score[a] != score[b]) return score[a] < score[b];
+        return to_global[(*cut)[a]] < to_global[(*cut)[b]];
+      });
+      std::vector<Vertex> ranked(m);
+      for (size_t i = 0; i < m; ++i) ranked[i] = (*cut)[order[i]];
+      *cut = std::move(ranked);
+    } else {
+      // Deterministic order without ranking.
+      std::sort(cut->begin(), cut->end(), [&](Vertex a, Vertex b) {
+        return to_global[a] < to_global[b];
+      });
+    }
+
+    // Prefix-tracking Dijkstras (Algorithm 5 lines 6-7). The tracked set of
+    // v_i is {v_0 .. v_{i-1}}.
+    std::vector<DistAndPruneResult> results(m);
+    std::vector<std::vector<uint8_t>> prefix_masks;
+    if (options_.tail_pruning) {
+      prefix_masks.resize(m);
+      std::vector<uint8_t> mask(n, 0);
+      for (size_t i = 0; i < m; ++i) {
+        prefix_masks[i] = mask;
+        mask[(*cut)[i]] = 1;
+      }
+    }
+    const std::vector<uint8_t> empty_mask(n, 0);
+    ParallelFor(m, [&](size_t i) {
+      results[i] = DistAndPrune(
+          sub, (*cut)[i],
+          options_.tail_pruning ? prefix_masks[i] : empty_mask);
+    });
+    prefix_masks.clear();
+
+    // Labels with tail pruning (Algorithm 5 lines 8-10).
+    for (Vertex v = 0; v < n; ++v) {
+      size_t k = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (results[i].via[v] == 0) k = i;
+      }
+      auto& data = label_data_[to_global[v]];
+      for (size_t i = 0; i <= k; ++i) {
+        data.push_back(EncodeLabelDistance(results[i].dist[v]));
+      }
+      label_lens_[to_global[v]].push_back(static_cast<uint32_t>(k + 1));
+    }
+
+    // Register cut vertices (global ids, rank order) with the node. The
+    // nodes_ vector may be reallocated concurrently by sibling subtrees, so
+    // the node reference is taken under the lock; per-vertex arrays are
+    // fixed-size and each element is written by exactly one node.
+    {
+      std::lock_guard<std::mutex> lock(nodes_mutex_);
+      HierarchyNode& node = hierarchy_.nodes_[node_idx];
+      node.cut.reserve(m);
+      for (Vertex v : *cut) node.cut.push_back(to_global[v]);
+    }
+    for (Vertex v : *cut) {
+      const Vertex global = to_global[v];
+      hierarchy_.node_of_vertex_[global] = static_cast<uint32_t>(node_idx);
+      hierarchy_.vertex_code_[global] = code;
+    }
+
+    std::vector<std::vector<Dist>> dist_from_cut(m);
+    for (size_t i = 0; i < m; ++i) {
+      dist_from_cut[i] = std::move(results[i].dist);
+    }
+    return dist_from_cut;
+  }
+
+  void BuildNode(Graph sub, std::vector<Vertex> to_global, int32_t node_idx,
+                 TreeCode code) {
+    const size_t n = sub.NumVertices();
+    const uint32_t depth = TreeCodeDepth(code);
+
+    std::vector<Vertex> cut;
+    BalancedCutResult bc;
+    bool is_leaf = n <= options_.leaf_size || depth >= kMaxTreeDepth;
+    if (!is_leaf) {
+      bc = BalancedCut(sub, options_.beta);
+      // Degenerate splits (everything became the cut) terminate recursion.
+      is_leaf = bc.part_a.empty() && bc.part_b.empty();
+    }
+    if (is_leaf) {
+      cut.resize(n);
+      for (Vertex v = 0; v < n; ++v) cut[v] = v;
+      LabelCutSet(sub, &cut, to_global, node_idx, code);
+      return;
+    }
+
+    cut = std::move(bc.cut);
+    const std::vector<std::vector<Dist>> dist_from_cut =
+        LabelCutSet(sub, &cut, to_global, node_idx, code);
+
+    // Prepare both child subgraphs (Algorithm 3 shortcuts keep each side
+    // distance-preserving), then recurse — in parallel when the budget
+    // allows.
+    struct Child {
+      Graph graph;
+      std::vector<Vertex> to_global;
+      int32_t node = -1;
+      TreeCode code = kRootCode;
+    };
+    std::vector<Child> children;
+    const std::vector<Vertex>* parts[2] = {&bc.part_a, &bc.part_b};
+    for (int side = 0; side < 2; ++side) {
+      const std::vector<Vertex>& part = *parts[side];
+      if (part.empty()) continue;
+      ShortcutResult sc = ComputeShortcuts(sub, cut, part, dist_from_cut);
+      shortcut_count_.fetch_add(sc.shortcuts.size(),
+                                std::memory_order_relaxed);
+      Subgraph child_sub = InducedSubgraph(sub, part, sc.shortcuts);
+      Child child;
+      child.graph = std::move(child_sub.graph);
+      child.to_global.reserve(part.size());
+      for (Vertex v : child_sub.to_parent) {
+        child.to_global.push_back(to_global[v]);
+      }
+      child.code = TreeCodeChild(code, side);
+      child.node = NewNode(child.code, node_idx);
+      {
+        std::lock_guard<std::mutex> lock(nodes_mutex_);
+        (side == 0 ? hierarchy_.nodes_[node_idx].left
+                   : hierarchy_.nodes_[node_idx].right) = child.node;
+      }
+      children.push_back(std::move(child));
+    }
+
+    // Release the parent subgraph before descending.
+    sub = Graph();
+    to_global.clear();
+    to_global.shrink_to_fit();
+
+    if (children.size() == 2 && budget_.Acquire(1) == 1) {
+      Child left = std::move(children[0]);
+      std::thread worker([this, &left]() {
+        BuildNode(std::move(left.graph), std::move(left.to_global), left.node,
+                  left.code);
+      });
+      BuildNode(std::move(children[1].graph), std::move(children[1].to_global),
+                children[1].node, children[1].code);
+      worker.join();
+      budget_.Release(1);
+    } else {
+      for (Child& child : children) {
+        BuildNode(std::move(child.graph), std::move(child.to_global),
+                  child.node, child.code);
+      }
+    }
+  }
+
+  const Hc2lOptions options_;
+  ThreadBudget budget_;
+  std::mutex nodes_mutex_;
+  std::atomic<uint64_t> shortcut_count_{0};
+  BalancedTreeHierarchy hierarchy_;
+  // Per-core-vertex label accumulators: concatenated level arrays + lengths.
+  std::vector<std::vector<uint32_t>> label_data_;
+  std::vector<std::vector<uint32_t>> label_lens_;
+};
+
+Hc2lIndex Hc2lIndex::Build(const Graph& g, const Hc2lOptions& options) {
+  HC2L_CHECK_GT(options.beta, 0.0);
+  HC2L_CHECK_LE(options.beta, 0.5);
+  Timer timer;
+  Hc2lIndex index;
+  index.stats_.num_vertices = g.NumVertices();
+
+  const Graph* core = &g;
+  if (options.contract_degree_one) {
+    index.contraction_ = std::make_unique<DegreeOneContraction>(g);
+    core = &index.contraction_->CoreGraph();
+    index.stats_.num_contracted = index.contraction_->NumContracted();
+  }
+  index.stats_.num_core_vertices = core->NumVertices();
+
+  Hc2lBuilder builder(*core, options);
+  builder.Finish(&index);
+  index.stats_.build_seconds = timer.Seconds();
+  return index;
+}
+
+Dist Hc2lIndex::CoreQuery(Vertex s, Vertex t, uint64_t* hubs_scanned) const {
+  if (s == t) return 0;
+  const uint32_t level = hierarchy_.LcaLevel(s, t);
+  const uint32_t s_idx = base_[s] + level;
+  const uint32_t t_idx = base_[t] + level;
+  const uint32_t* a = data_.data() + level_start_[s_idx];
+  const uint32_t* b = data_.data() + level_start_[t_idx];
+  const uint32_t len_a = level_start_[s_idx + 1] - level_start_[s_idx];
+  const uint32_t len_b = level_start_[t_idx + 1] - level_start_[t_idx];
+  const uint32_t len = std::min(len_a, len_b);
+  if (hubs_scanned != nullptr) *hubs_scanned += len;
+  uint64_t best = UINT64_MAX;
+  for (uint32_t i = 0; i < len; ++i) {
+    const uint64_t sum = static_cast<uint64_t>(a[i]) + b[i];
+    if (sum < best) best = sum;
+  }
+  return best >= kUnreachableLabel ? kInfDist : best;
+}
+
+Dist Hc2lIndex::Query(Vertex s, Vertex t) const {
+  return QueryCountingHubs(s, t, nullptr);
+}
+
+Dist Hc2lIndex::QueryCountingHubs(Vertex s, Vertex t,
+                                  uint64_t* hubs_scanned) const {
+  HC2L_CHECK_LT(s, stats_.num_vertices);
+  HC2L_CHECK_LT(t, stats_.num_vertices);
+  if (s == t) return 0;
+  if (contraction_ == nullptr) return CoreQuery(s, t, hubs_scanned);
+
+  const Vertex root_s = contraction_->RootCoreId(s);
+  const Vertex root_t = contraction_->RootCoreId(t);
+  if (root_s == root_t) return contraction_->SameTreeDistance(s, t);
+  const Dist core = CoreQuery(root_s, root_t, hubs_scanned);
+  if (core == kInfDist) return kInfDist;
+  return contraction_->DistToRoot(s) + core + contraction_->DistToRoot(t);
+}
+
+void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
+  HC2L_CHECK_EQ(g.NumVertices(), stats_.num_vertices);
+  Timer timer;
+
+  // Refresh the contraction distances (the removal order is deterministic in
+  // topology, so the core vertex set — and its numbering — is unchanged).
+  const Graph* core = &g;
+  if (contraction_ != nullptr) {
+    auto refreshed = std::make_unique<DegreeOneContraction>(g);
+    HC2L_CHECK_EQ(refreshed->CoreGraph().NumVertices(),
+                  stats_.num_core_vertices);
+    contraction_ = std::move(refreshed);
+    core = &contraction_->CoreGraph();
+  }
+  const size_t n = core->NumVertices();
+
+  // Fresh label accumulators.
+  std::vector<std::vector<uint32_t>> label_data(n);
+  std::vector<std::vector<uint32_t>> label_lens(n);
+  uint64_t shortcut_count = 0;
+  auto& nodes = hierarchy_.nodes_;
+
+  // Top-down walk over the stored hierarchy, recomputing distances.
+  //
+  // Weight changes can make the recomputed shortcut sets differ from the
+  // original build's, and a *new* shortcut may connect the two sides of a
+  // stored descendant cut — breaking the separator invariant the labels
+  // depend on (the paper's "with some adjustments for shortcuts", §5.4).
+  // Before labelling each node we therefore scan its subgraph for edges
+  // crossing the stored cut and move one endpoint of each such edge into
+  // the cut (the same repair Algorithm 2 applies to direct S-T edges),
+  // updating the vertex's hierarchy assignment accordingly.
+  struct Frame {
+    Graph sub;
+    std::vector<Vertex> to_global;
+    int32_t node;
+  };
+  std::vector<Frame> stack;
+  {
+    std::vector<Vertex> identity(n);
+    for (Vertex v = 0; v < n; ++v) identity[v] = v;
+    stack.push_back({*core, std::move(identity), 0});
+  }
+  std::vector<Vertex> global_to_child(n, kInvalidVertex);
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const int32_t node_idx = frame.node;
+    const size_t sub_n = frame.sub.NumVertices();
+
+    for (size_t i = 0; i < frame.to_global.size(); ++i) {
+      global_to_child[frame.to_global[i]] = static_cast<Vertex>(i);
+    }
+
+    // Side of each subgraph vertex: 0 = left subtree, 1 = right subtree,
+    // 2 = this node's cut. Membership is derived from the (kept-up-to-date)
+    // vertex codes: v lies in child c's subtree iff LcaLevel(code(v),
+    // code(c)) == depth(c).
+    const int32_t left = nodes[node_idx].left;
+    const int32_t right = nodes[node_idx].right;
+    std::vector<uint8_t> side(sub_n, 2);
+    auto assign_sides = [&]() {
+      for (Vertex v = 0; v < sub_n; ++v) {
+        const TreeCode code = hierarchy_.vertex_code_[frame.to_global[v]];
+        side[v] = 2;
+        for (int which = 0; which < 2; ++which) {
+          const int32_t child = which == 0 ? left : right;
+          if (child < 0) continue;
+          const TreeCode child_code = nodes[child].code;
+          if (TreeCodeLcaLevel(code, child_code) == TreeCodeDepth(child_code)) {
+            side[v] = static_cast<uint8_t>(which);
+            break;
+          }
+        }
+      }
+    };
+    assign_sides();
+
+    // Separator repair: move one endpoint of every cut-crossing edge into
+    // this node's cut.
+    if (left >= 0 || right >= 0) {
+      bool repaired = true;
+      while (repaired) {
+        repaired = false;
+        for (Vertex x = 0; x < sub_n && !repaired; ++x) {
+          if (side[x] != 0) continue;
+          for (const Arc& a : frame.sub.Neighbors(x)) {
+            if (side[a.to] != 1) continue;
+            // Edge x(left) - a.to(right): reassign x to this node's cut.
+            const Vertex global_x = frame.to_global[x];
+            const uint32_t old_node = hierarchy_.node_of_vertex_[global_x];
+            auto& old_cut = nodes[old_node].cut;
+            old_cut.erase(std::find(old_cut.begin(), old_cut.end(), global_x));
+            nodes[node_idx].cut.push_back(global_x);
+            hierarchy_.node_of_vertex_[global_x] =
+                static_cast<uint32_t>(node_idx);
+            hierarchy_.vertex_code_[global_x] = nodes[node_idx].code;
+            side[x] = 2;
+            repaired = true;
+            break;
+          }
+        }
+      }
+    }
+
+    const std::vector<Vertex>& cut_global = nodes[node_idx].cut;
+    const size_t m = cut_global.size();
+    std::vector<Vertex> cut_child(m);
+    for (size_t i = 0; i < m; ++i) {
+      cut_child[i] = global_to_child[cut_global[i]];
+      HC2L_CHECK_NE(cut_child[i], kInvalidVertex);
+    }
+
+    // Prefix-tracking Dijkstras in the stored (+ repaired) rank order.
+    std::vector<DistAndPruneResult> results(m);
+    {
+      std::vector<uint8_t> mask(sub_n, 0);
+      const std::vector<uint8_t> empty_mask(sub_n, 0);
+      for (size_t i = 0; i < m; ++i) {
+        results[i] = DistAndPrune(frame.sub, cut_child[i],
+                                  tail_pruning ? mask : empty_mask);
+        mask[cut_child[i]] = 1;
+      }
+    }
+    if (m == 0) {
+      for (Vertex v = 0; v < sub_n; ++v) {
+        label_lens[frame.to_global[v]].push_back(0);
+      }
+    } else {
+      for (Vertex v = 0; v < sub_n; ++v) {
+        size_t k = 0;
+        for (size_t i = 0; i < m; ++i) {
+          if (results[i].via[v] == 0) k = i;
+        }
+        auto& data = label_data[frame.to_global[v]];
+        for (size_t i = 0; i <= k; ++i) {
+          data.push_back(EncodeLabelDistance(results[i].dist[v]));
+        }
+        label_lens[frame.to_global[v]].push_back(
+            static_cast<uint32_t>(k + 1));
+      }
+    }
+
+    std::vector<std::vector<Dist>> dist_from_cut(m);
+    for (size_t i = 0; i < m; ++i) {
+      dist_from_cut[i] = std::move(results[i].dist);
+    }
+    for (int which = 0; which < 2; ++which) {
+      const int32_t child = which == 0 ? left : right;
+      if (child < 0) continue;
+      std::vector<Vertex> part;
+      for (Vertex v = 0; v < sub_n; ++v) {
+        if (side[v] == which) part.push_back(v);
+      }
+      if (part.empty()) continue;
+      ShortcutResult sc =
+          ComputeShortcuts(frame.sub, cut_child, part, dist_from_cut);
+      shortcut_count += sc.shortcuts.size();
+      Subgraph child_sub = InducedSubgraph(frame.sub, part, sc.shortcuts);
+      std::vector<Vertex> child_to_global;
+      child_to_global.reserve(part.size());
+      for (Vertex v : child_sub.to_parent) {
+        child_to_global.push_back(frame.to_global[v]);
+      }
+      stack.push_back(
+          {std::move(child_sub.graph), std::move(child_to_global), child});
+    }
+  }
+
+  // Re-flatten.
+  data_.clear();
+  level_start_.clear();
+  base_.assign(n + 1, 0);
+  uint64_t total_entries = 0;
+  for (size_t v = 0; v < n; ++v) {
+    base_[v] = static_cast<uint32_t>(level_start_.size());
+    size_t pos = 0;
+    for (const uint32_t len : label_lens[v]) {
+      level_start_.push_back(static_cast<uint32_t>(data_.size()));
+      data_.insert(data_.end(), label_data[v].begin() + pos,
+                   label_data[v].begin() + pos + len);
+      pos += len;
+    }
+    HC2L_CHECK_EQ(pos, label_data[v].size());
+    total_entries += label_data[v].size();
+    level_start_.push_back(static_cast<uint32_t>(data_.size()));
+    label_data[v] = {};
+    label_lens[v] = {};
+  }
+  base_[n] = static_cast<uint32_t>(level_start_.size());
+
+  stats_.num_shortcuts = shortcut_count;
+  stats_.label_entries = total_entries;
+  stats_.label_bytes = data_.size() * sizeof(uint32_t) +
+                       level_start_.size() * sizeof(uint32_t) +
+                       base_.size() * sizeof(uint32_t);
+  // Cut repairs may have moved vertices between nodes.
+  stats_.tree_height = hierarchy_.Height();
+  stats_.max_cut_size = hierarchy_.MaxCutSize();
+  stats_.avg_cut_size = hierarchy_.AvgCutSize();
+  stats_.build_seconds = timer.Seconds();
+}
+
+size_t Hc2lIndex::LabelSizeBytes() const {
+  return data_.size() * sizeof(uint32_t) +
+         level_start_.size() * sizeof(uint32_t) +
+         base_.size() * sizeof(uint32_t);
+}
+
+std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
+                                        std::span<const Vertex> targets) const {
+  std::vector<Dist> out;
+  out.reserve(targets.size());
+  for (const Vertex t : targets) out.push_back(Query(source, t));
+  return out;
+}
+
+std::vector<std::vector<Dist>> Hc2lIndex::DistanceMatrix(
+    std::span<const Vertex> sources, std::span<const Vertex> targets) const {
+  std::vector<std::vector<Dist>> matrix;
+  matrix.reserve(sources.size());
+  for (const Vertex s : sources) matrix.push_back(BatchQuery(s, targets));
+  return matrix;
+}
+
+std::vector<std::pair<Dist, Vertex>> Hc2lIndex::KNearest(
+    Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  std::vector<std::pair<Dist, Vertex>> ranked;
+  ranked.reserve(candidates.size());
+  for (const Vertex c : candidates) {
+    const Dist d = Query(source, c);
+    if (d != kInfDist) ranked.emplace_back(d, c);
+  }
+  const size_t keep = std::min(k, ranked.size());
+  std::partial_sort(
+      ranked.begin(), ranked.begin() + keep, ranked.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  ranked.resize(keep);
+  return ranked;
+}
+
+namespace {
+
+// --- Minimal binary serialization helpers (no exceptions; fwrite/fread). ---
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr uint64_t kMagic = 0x4843324c30303031ULL;  // "HC2L0001"
+
+bool WritePod(std::FILE* f, const void* p, size_t bytes) {
+  return std::fwrite(p, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool WriteValue(std::FILE* f, const T& value) {
+  return WritePod(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool WriteVector(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t size = v.size();
+  return WriteValue(f, size) &&
+         (size == 0 || WritePod(f, v.data(), size * sizeof(T)));
+}
+
+bool ReadPod(std::FILE* f, void* p, size_t bytes) {
+  return std::fread(p, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool ReadValue(std::FILE* f, T* value) {
+  return ReadPod(f, value, sizeof(T));
+}
+
+template <typename T>
+bool ReadVector(std::FILE* f, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!ReadValue(f, &size)) return false;
+  if (size > (uint64_t{1} << 40) / sizeof(T)) return false;  // sanity bound
+  v->resize(size);
+  return size == 0 || ReadPod(f, v->data(), size * sizeof(T));
+}
+
+}  // namespace
+
+bool Hc2lIndex::Save(const std::string& path, std::string* error) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  bool ok = WriteValue(f.get(), kMagic) && WriteValue(f.get(), stats_);
+  const uint8_t has_contraction = contraction_ != nullptr ? 1 : 0;
+  ok = ok && WriteValue(f.get(), has_contraction);
+  if (ok && has_contraction) {
+    const DegreeOneContraction& c = *contraction_;
+    ok = WriteVector(f.get(), c.core_id_) &&
+         WriteVector(f.get(), c.to_original_) &&
+         WriteVector(f.get(), c.root_core_id_) &&
+         WriteVector(f.get(), c.dist_to_root_) &&
+         WriteVector(f.get(), c.parent_) &&
+         WriteVector(f.get(), c.parent_weight_) &&
+         WriteVector(f.get(), c.depth_);
+    const uint64_t contracted = c.num_contracted_;
+    ok = ok && WriteValue(f.get(), contracted);
+  }
+  // Hierarchy.
+  const uint64_t num_nodes = hierarchy_.nodes_.size();
+  ok = ok && WriteValue(f.get(), num_nodes);
+  for (const HierarchyNode& node : hierarchy_.nodes_) {
+    ok = ok && WriteValue(f.get(), node.code) &&
+         WriteValue(f.get(), node.parent) && WriteValue(f.get(), node.left) &&
+         WriteValue(f.get(), node.right) && WriteVector(f.get(), node.cut);
+  }
+  ok = ok && WriteVector(f.get(), hierarchy_.node_of_vertex_) &&
+       WriteVector(f.get(), hierarchy_.vertex_code_) &&
+       WriteVector(f.get(), base_) && WriteVector(f.get(), level_start_) &&
+       WriteVector(f.get(), data_);
+  if (!ok) {
+    *error = "write error on " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<Hc2lIndex> Hc2lIndex::Load(const std::string& path,
+                                         std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  uint64_t magic = 0;
+  if (!ReadValue(f.get(), &magic) || magic != kMagic) {
+    *error = "not an HC2L index file: " + path;
+    return std::nullopt;
+  }
+  Hc2lIndex index;
+  bool ok = ReadValue(f.get(), &index.stats_);
+  uint8_t has_contraction = 0;
+  ok = ok && ReadValue(f.get(), &has_contraction);
+  if (ok && has_contraction) {
+    index.contraction_ =
+        std::unique_ptr<DegreeOneContraction>(new DegreeOneContraction());
+    DegreeOneContraction& c = *index.contraction_;
+    ok = ReadVector(f.get(), &c.core_id_) &&
+         ReadVector(f.get(), &c.to_original_) &&
+         ReadVector(f.get(), &c.root_core_id_) &&
+         ReadVector(f.get(), &c.dist_to_root_) &&
+         ReadVector(f.get(), &c.parent_) &&
+         ReadVector(f.get(), &c.parent_weight_) &&
+         ReadVector(f.get(), &c.depth_);
+    uint64_t contracted = 0;
+    ok = ok && ReadValue(f.get(), &contracted);
+    c.num_contracted_ = contracted;
+  }
+  uint64_t num_nodes = 0;
+  ok = ok && ReadValue(f.get(), &num_nodes);
+  if (ok && num_nodes > (uint64_t{1} << 32)) ok = false;
+  if (ok) {
+    index.hierarchy_.nodes_.resize(num_nodes);
+    for (HierarchyNode& node : index.hierarchy_.nodes_) {
+      ok = ok && ReadValue(f.get(), &node.code) &&
+           ReadValue(f.get(), &node.parent) &&
+           ReadValue(f.get(), &node.left) &&
+           ReadValue(f.get(), &node.right) && ReadVector(f.get(), &node.cut);
+      if (!ok) break;
+    }
+  }
+  ok = ok && ReadVector(f.get(), &index.hierarchy_.node_of_vertex_) &&
+       ReadVector(f.get(), &index.hierarchy_.vertex_code_) &&
+       ReadVector(f.get(), &index.base_) &&
+       ReadVector(f.get(), &index.level_start_) &&
+       ReadVector(f.get(), &index.data_);
+  if (!ok) {
+    *error = "truncated or corrupt HC2L index file: " + path;
+    return std::nullopt;
+  }
+  return index;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,154 @@
+#ifndef HC2L_CORE_HC2L_H_
+#define HC2L_CORE_HC2L_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hierarchy/contraction.h"
+#include "hierarchy/hierarchy.h"
+
+namespace hc2l {
+
+/// Construction options for the HC2L index.
+struct Hc2lOptions {
+  /// Balance threshold beta in (0, 0.5]; the paper selects 0.2 (Section 5).
+  double beta = 0.2;
+  /// Recursion stops when a subgraph has at most this many vertices; the
+  /// remaining set forms a leaf node and is labelled like a cut.
+  uint32_t leaf_size = 8;
+  /// Tail pruning (Definition 4.18). Disabling it yields the naive
+  /// upper-bound labelling of Section 4.2.1 (full distance arrays): ~10-15%
+  /// larger labels, ~20% faster construction.
+  bool tail_pruning = true;
+  /// Degree-one contraction (Section 4.2.2). Disabling indexes the full
+  /// graph (ablation).
+  bool contract_degree_one = true;
+  /// Number of construction threads; >1 gives the paper's HC2L_p variant.
+  /// Query processing is always single-threaded per query.
+  uint32_t num_threads = 1;
+};
+
+/// Construction and size statistics of a built index.
+struct Hc2lStats {
+  uint64_t num_vertices = 0;        // original graph
+  uint64_t num_core_vertices = 0;   // after degree-one contraction
+  uint64_t num_contracted = 0;
+  uint32_t tree_height = 0;
+  uint64_t num_tree_nodes = 0;
+  uint64_t max_cut_size = 0;
+  double avg_cut_size = 0.0;
+  uint64_t num_shortcuts = 0;
+  uint64_t label_entries = 0;  // stored distance values
+  uint64_t label_bytes = 0;    // distance data + per-level offsets
+  uint64_t lca_bytes = 0;      // packed per-vertex tree codes
+  double build_seconds = 0.0;
+};
+
+/// Hierarchical Cut 2-Hop Labelling index (the paper's primary contribution).
+///
+/// Usage:
+///   Graph g = ...;
+///   Hc2lIndex index = Hc2lIndex::Build(g, {.beta = 0.2});
+///   Dist d = index.Query(s, t);   // == d_G(s, t), kInfDist if disconnected
+///
+/// Build() constructs the balanced tree hierarchy (recursive balanced vertex
+/// cuts + distance-preserving shortcuts), then the tail-pruned labelling.
+/// Query() finds the level of LCA(s, t) with one XOR + clz over packed tree
+/// codes and min-reduces the two aligned distance arrays of that level
+/// (Eq. 7). With options.num_threads > 1 this is the paper's HC2L_p; the
+/// resulting index is bit-identical to the single-threaded one.
+class Hc2lIndex {
+ public:
+  /// Sentinel stored in labels for "unreachable from this hub".
+  static constexpr uint32_t kUnreachableLabel = UINT32_MAX;
+
+  /// Builds an index over g.
+  static Hc2lIndex Build(const Graph& g, const Hc2lOptions& options = {});
+
+  Hc2lIndex(Hc2lIndex&&) = default;
+  Hc2lIndex& operator=(Hc2lIndex&&) = default;
+
+  /// Exact shortest-path distance between s and t (kInfDist if
+  /// disconnected).
+  Dist Query(Vertex s, Vertex t) const;
+
+  /// Query() that additionally reports how many hub entries were scanned —
+  /// the quantity averaged in Table 3's AHS column.
+  Dist QueryCountingHubs(Vertex s, Vertex t, uint64_t* hubs_scanned) const;
+
+  /// One-to-many: distances from `source` to every target, in order.
+  /// The bulk interface for the paper's motivating workloads (Section 1:
+  /// matching cars to customers, k-nearest POIs).
+  std::vector<Dist> BatchQuery(Vertex source,
+                               std::span<const Vertex> targets) const;
+
+  /// Many-to-many distance matrix: result[i][j] = d(sources[i], targets[j]).
+  std::vector<std::vector<Dist>> DistanceMatrix(
+      std::span<const Vertex> sources, std::span<const Vertex> targets) const;
+
+  /// The k candidates nearest to `source` (ties broken by candidate order),
+  /// as (distance, candidate) pairs sorted ascending; unreachable candidates
+  /// are excluded, so fewer than k entries may return.
+  std::vector<std::pair<Dist, Vertex>> KNearest(
+      Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+  /// Number of vertices of the indexed graph.
+  size_t NumVertices() const { return stats_.num_vertices; }
+
+  /// Construction/size statistics.
+  const Hc2lStats& Stats() const { return stats_; }
+
+  /// The balanced tree hierarchy (over the core graph).
+  const BalancedTreeHierarchy& Hierarchy() const { return hierarchy_; }
+
+  /// Label storage in bytes (distance arrays + offsets; excludes LCA codes).
+  size_t LabelSizeBytes() const;
+
+  /// Bytes needed for O(1) LCA lookups (Table 3's "LCA Storage").
+  size_t LcaStorageBytes() const { return hierarchy_.LcaStorageBytes(); }
+
+  /// Dynamic weight updates (Section 5.4): refreshes every distance value —
+  /// contraction offsets, shortcuts and label arrays — for a graph with the
+  /// SAME topology but changed edge weights, reusing the stored balanced
+  /// tree hierarchy (whose construction "does not depend on edge weights,
+  /// except for shortcuts"). This skips all partitioning and minimum-cut
+  /// work, so it is substantially faster than Build(); the cut *ordering* is
+  /// kept, which stays correct (tail pruning is sound for any fixed order)
+  /// though cut quality may drift if weights change drastically.
+  void RebuildLabels(const Graph& g, bool tail_pruning = true);
+
+  /// Serializes the index (labels, hierarchy, contraction) to a file.
+  bool Save(const std::string& path, std::string* error) const;
+
+  /// Loads an index previously written by Save().
+  static std::optional<Hc2lIndex> Load(const std::string& path,
+                                       std::string* error);
+
+ private:
+  friend class Hc2lBuilder;
+  Hc2lIndex() = default;
+
+  /// Query over core-graph ids (labels + hierarchy only).
+  Dist CoreQuery(Vertex s, Vertex t, uint64_t* hubs_scanned) const;
+
+  Hc2lStats stats_;
+  /// Degree-one contraction; null when options.contract_degree_one == false
+  /// (then core ids == original ids).
+  std::unique_ptr<DegreeOneContraction> contraction_;
+  BalancedTreeHierarchy hierarchy_;
+  /// Flattened labels: vertex v's level-k distance array occupies
+  /// data_[level_start_[base_[v] + k] .. level_start_[base_[v] + k + 1]).
+  std::vector<uint32_t> data_;
+  std::vector<uint32_t> level_start_;
+  std::vector<uint32_t> base_;  // size num_core_vertices + 1
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_CORE_HC2L_H_

@@ -1,0 +1,131 @@
+#include "flow/dinitz.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+DinitzMaxFlow::DinitzMaxFlow(NodeId num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes) {}
+
+size_t DinitzMaxFlow::AddEdge(NodeId u, NodeId v, Capacity capacity) {
+  HC2L_CHECK_LT(u, num_nodes_);
+  HC2L_CHECK_LT(v, num_nodes_);
+  const size_t id = edges_.size();
+  edges_.push_back({v, capacity, id + 1});
+  edges_.push_back({u, 0, id});
+  adjacency_[u].push_back(id);
+  adjacency_[v].push_back(id + 1);
+  original_capacity_.push_back(capacity);
+  return id;
+}
+
+bool DinitzMaxFlow::BuildLevels() {
+  level_.assign(num_nodes_, UINT32_MAX);
+  level_[source_] = 0;
+  std::vector<NodeId> frontier{source_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (size_t id : adjacency_[v]) {
+        const Edge& e = edges_[id];
+        if (e.capacity > 0 && level_[e.to] == UINT32_MAX) {
+          level_[e.to] = level_[v] + 1;
+          next.push_back(e.to);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return level_[sink_] != UINT32_MAX;
+}
+
+DinitzMaxFlow::Capacity DinitzMaxFlow::PushBlockingFlow(NodeId v,
+                                                        Capacity limit) {
+  if (v == sink_ || limit == 0) return limit;
+  Capacity pushed = 0;
+  for (uint32_t& i = next_arc_[v]; i < adjacency_[v].size(); ++i) {
+    const size_t id = adjacency_[v][i];
+    Edge& e = edges_[id];
+    if (e.capacity == 0 || level_[e.to] != level_[v] + 1) continue;
+    const Capacity d =
+        PushBlockingFlow(e.to, std::min(limit - pushed, e.capacity));
+    if (d == 0) continue;
+    e.capacity -= d;
+    edges_[e.reverse].capacity += d;
+    pushed += d;
+    if (pushed == limit) return pushed;
+  }
+  level_[v] = UINT32_MAX;  // dead end: prune from this phase
+  return pushed;
+}
+
+DinitzMaxFlow::Capacity DinitzMaxFlow::MaxFlow(NodeId s, NodeId t) {
+  HC2L_CHECK_NE(s, t);
+  source_ = s;
+  sink_ = t;
+  Capacity total = 0;
+  while (BuildLevels()) {
+    next_arc_.assign(num_nodes_, 0);
+    total += PushBlockingFlow(source_, kInfCapacity);
+  }
+  return total;
+}
+
+DinitzMaxFlow::Capacity DinitzMaxFlow::ResidualCapacity(size_t id) const {
+  return edges_[id].capacity;
+}
+
+DinitzMaxFlow::Capacity DinitzMaxFlow::Flow(size_t id) const {
+  HC2L_CHECK_EQ(id % 2, 0u);  // flow is defined on forward edges
+  return original_capacity_[id / 2] - edges_[id].capacity;
+}
+
+std::vector<uint8_t> DinitzMaxFlow::ResidualReachableFromSource() const {
+  std::vector<uint8_t> reachable(num_nodes_, 0);
+  std::vector<NodeId> stack{source_};
+  reachable[source_] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (size_t id : adjacency_[v]) {
+      const Edge& e = edges_[id];
+      if (e.capacity > 0 && reachable[e.to] == 0) {
+        reachable[e.to] = 1;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<uint8_t> DinitzMaxFlow::ResidualReachingSink() const {
+  // Reverse residual reachability: u reaches t via edge u->v if that edge has
+  // residual capacity. We scan incoming edge stubs via reverse edges: for node
+  // v, each adjacency entry id is an edge (v -> e.to); the edge (e.to -> v) is
+  // edges_[id].reverse viewed from e.to. Walking backwards from t: from node w
+  // we must find all u with residual cap on (u -> w). Those are exactly the
+  // reverse entries stored in adjacency_[w] whose paired edge has capacity.
+  std::vector<uint8_t> reaching(num_nodes_, 0);
+  std::vector<NodeId> stack{sink_};
+  reaching[sink_] = 1;
+  while (!stack.empty()) {
+    const NodeId w = stack.back();
+    stack.pop_back();
+    for (size_t id : adjacency_[w]) {
+      // adjacency_[w] holds ids of edges leaving w; the reverse of each is an
+      // edge entering w from edges_[id].to. Residual capacity of the entering
+      // edge (u -> w) is edges_[edges_[id].reverse].capacity.
+      const Edge& out = edges_[id];
+      const Edge& in = edges_[out.reverse];
+      if (in.capacity > 0 && reaching[out.to] == 0) {
+        reaching[out.to] = 1;
+        stack.push_back(out.to);
+      }
+    }
+  }
+  return reaching;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,91 @@
+#include "flow/vertex_cut.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "flow/dinitz.h"
+
+namespace hc2l {
+
+VertexCutResult MinStVertexCut(const Graph& g, std::span<const Vertex> sources,
+                               std::span<const Vertex> sinks) {
+  const size_t n = g.NumVertices();
+  HC2L_CHECK(!sources.empty());
+  HC2L_CHECK(!sinks.empty());
+
+  // Node layout: v_in = 2v, v_out = 2v + 1, S = 2n, T = 2n + 1.
+  const auto in_copy = [](Vertex v) { return 2 * v; };
+  const auto out_copy = [](Vertex v) { return 2 * v + 1; };
+  const DinitzMaxFlow::NodeId super_source =
+      static_cast<DinitzMaxFlow::NodeId>(2 * n);
+  const DinitzMaxFlow::NodeId super_sink =
+      static_cast<DinitzMaxFlow::NodeId>(2 * n + 1);
+
+  DinitzMaxFlow flow(static_cast<DinitzMaxFlow::NodeId>(2 * n + 2));
+  for (Vertex v = 0; v < n; ++v) {
+    flow.AddEdge(in_copy(v), out_copy(v), 1);  // inner edge
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      // Outer edges get infinite capacity; both directions are added because
+      // the input is undirected (each arc appears once per direction).
+      flow.AddEdge(out_copy(u), in_copy(a.to), DinitzMaxFlow::kInfCapacity);
+    }
+  }
+  for (Vertex v : sources) {
+    HC2L_CHECK_LT(v, n);
+    flow.AddEdge(super_source, in_copy(v), DinitzMaxFlow::kInfCapacity);
+  }
+  for (Vertex v : sinks) {
+    HC2L_CHECK_LT(v, n);
+    flow.AddEdge(out_copy(v), super_sink, DinitzMaxFlow::kInfCapacity);
+  }
+
+  VertexCutResult result;
+  result.cut_size = flow.MaxFlow(super_source, super_sink);
+
+  // S-side cut: saturated inner edges on the reachability frontier.
+  const std::vector<uint8_t> from_s = flow.ResidualReachableFromSource();
+  // T-side cut: inner edges on the frontier of reverse reachability from T.
+  const std::vector<uint8_t> to_t = flow.ResidualReachingSink();
+  for (Vertex v = 0; v < n; ++v) {
+    if (from_s[in_copy(v)] && !from_s[out_copy(v)]) {
+      result.s_side_cut.push_back(v);
+    }
+    if (to_t[out_copy(v)] && !to_t[in_copy(v)]) {
+      result.t_side_cut.push_back(v);
+    }
+  }
+  HC2L_CHECK_EQ(result.s_side_cut.size(), result.cut_size);
+  HC2L_CHECK_EQ(result.t_side_cut.size(), result.cut_size);
+  return result;
+}
+
+bool CutSeparates(const Graph& g, std::span<const Vertex> cut,
+                  std::span<const Vertex> sources,
+                  std::span<const Vertex> sinks) {
+  std::vector<uint8_t> blocked(g.NumVertices(), 0);
+  for (Vertex v : cut) blocked[v] = 1;
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::vector<Vertex> stack;
+  for (Vertex s : sources) {
+    if (blocked[s] || visited[s]) continue;
+    stack.push_back(s);
+    visited[s] = 1;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.Neighbors(v)) {
+        if (!visited[a.to] && !blocked[a.to]) {
+          visited[a.to] = 1;
+          stack.push_back(a.to);
+        }
+      }
+    }
+  }
+  return std::none_of(sinks.begin(), sinks.end(), [&](Vertex t) {
+    return !blocked[t] && visited[t];
+  });
+}
+
+}  // namespace hc2l

@@ -1,0 +1,46 @@
+#ifndef HC2L_FLOW_VERTEX_CUT_H_
+#define HC2L_FLOW_VERTEX_CUT_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Result of a minimum s-t vertex-cut computation.
+struct VertexCutResult {
+  /// Minimum cut closest to the source side: for each flow path, the first
+  /// vertex whose out-copy is unreachable from S in the residual graph.
+  std::vector<Vertex> s_side_cut;
+  /// Minimum cut closest to the sink side.
+  std::vector<Vertex> t_side_cut;
+  /// Value of the maximum flow (= size of either cut).
+  uint64_t cut_size = 0;
+};
+
+/// Computes a minimum vertex cut of `g` separating `sources` from `sinks`.
+///
+/// This is the classical vertex-splitting reduction (Figure 4(b) of the
+/// paper): every vertex v becomes v_in -> v_out with capacity 1 ("inner
+/// edge"), every undirected edge {u, v} becomes u_out -> v_in and
+/// v_out -> u_in with infinite capacity ("outer edges"), a super-source
+/// attaches to the in-copies of `sources` and the out-copies of `sinks`
+/// attach to a super-sink. Source/sink vertices themselves are eligible cut
+/// vertices. If some vertex is in both sets it necessarily appears in every
+/// cut.
+///
+/// Returns both the S-side and T-side minimum cuts; the caller (Algorithm 2)
+/// picks whichever yields the more balanced partition.
+VertexCutResult MinStVertexCut(const Graph& g, std::span<const Vertex> sources,
+                               std::span<const Vertex> sinks);
+
+/// Verifies that removing `cut` disconnects every vertex of `sources` from
+/// every vertex of `sinks` in g (used by tests and debug checks).
+bool CutSeparates(const Graph& g, std::span<const Vertex> cut,
+                  std::span<const Vertex> sources,
+                  std::span<const Vertex> sinks);
+
+}  // namespace hc2l
+
+#endif  // HC2L_FLOW_VERTEX_CUT_H_

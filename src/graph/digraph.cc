@@ -1,0 +1,109 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+namespace {
+
+void BuildCsr(size_t n, const std::vector<DirectedArc>& arcs, bool reverse,
+              std::vector<uint64_t>* offsets, std::vector<Arc>* out) {
+  offsets->assign(n + 1, 0);
+  for (const DirectedArc& a : arcs) {
+    const Vertex key = reverse ? a.to : a.from;
+    ++(*offsets)[key + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) (*offsets)[i] += (*offsets)[i - 1];
+  out->resize(arcs.size());
+  std::vector<uint64_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (const DirectedArc& a : arcs) {
+    const Vertex key = reverse ? a.to : a.from;
+    const Vertex value = reverse ? a.from : a.to;
+    (*out)[cursor[key]++] = {value, a.weight};
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(out->begin() + (*offsets)[v], out->begin() + (*offsets)[v + 1],
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+}
+
+}  // namespace
+
+std::vector<DirectedArc> Digraph::AllArcs() const {
+  std::vector<DirectedArc> arcs;
+  arcs.reserve(NumArcs());
+  for (Vertex v = 0; v < NumVertices(); ++v) {
+    for (const Arc& a : OutArcs(v)) arcs.push_back({v, a.to, a.weight});
+  }
+  return arcs;
+}
+
+Graph Digraph::UndirectedProjection() const {
+  GraphBuilder builder(NumVertices());
+  for (Vertex v = 0; v < NumVertices(); ++v) {
+    for (const Arc& a : OutArcs(v)) builder.AddEdge(v, a.to, a.weight);
+  }
+  return std::move(builder).Build();
+}
+
+void DigraphBuilder::AddArc(Vertex from, Vertex to, Weight w) {
+  HC2L_CHECK_LT(from, num_vertices_);
+  HC2L_CHECK_LT(to, num_vertices_);
+  HC2L_CHECK_GT(w, 0u);
+  if (from == to) return;
+  arcs_.push_back({from, to, w});
+}
+
+Digraph DigraphBuilder::Build() && {
+  std::sort(arcs_.begin(), arcs_.end(),
+            [](const DirectedArc& a, const DirectedArc& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.weight < b.weight;
+            });
+  arcs_.erase(std::unique(arcs_.begin(), arcs_.end(),
+                          [](const DirectedArc& a, const DirectedArc& b) {
+                            return a.from == b.from && a.to == b.to;
+                          }),
+              arcs_.end());
+  Digraph g;
+  BuildCsr(num_vertices_, arcs_, /*reverse=*/false, &g.out_offsets_,
+           &g.out_arcs_);
+  BuildCsr(num_vertices_, arcs_, /*reverse=*/true, &g.in_offsets_,
+           &g.in_arcs_);
+  return g;
+}
+
+Subdigraph InducedSubdigraph(const Digraph& parent,
+                             std::span<const Vertex> vertices,
+                             std::span<const DirectedArc> extra_parent_arcs) {
+  std::vector<Vertex> to_child(parent.NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    HC2L_CHECK_EQ(to_child[vertices[i]], kInvalidVertex);
+    to_child[vertices[i]] = static_cast<Vertex>(i);
+  }
+  DigraphBuilder builder(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (const Arc& a : parent.OutArcs(vertices[i])) {
+      const Vertex nv = to_child[a.to];
+      if (nv != kInvalidVertex) {
+        builder.AddArc(static_cast<Vertex>(i), nv, a.weight);
+      }
+    }
+  }
+  for (const DirectedArc& a : extra_parent_arcs) {
+    const Vertex nf = to_child[a.from];
+    const Vertex nt = to_child[a.to];
+    HC2L_CHECK_NE(nf, kInvalidVertex);
+    HC2L_CHECK_NE(nt, kInvalidVertex);
+    builder.AddArc(nf, nt, a.weight);
+  }
+  Subdigraph result;
+  result.graph = std::move(builder).Build();
+  result.to_parent.assign(vertices.begin(), vertices.end());
+  return result;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,97 @@
+#ifndef HC2L_GRAPH_DIGRAPH_H_
+#define HC2L_GRAPH_DIGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// A directed arc for digraph assembly.
+struct DirectedArc {
+  Vertex from;
+  Vertex to;
+  Weight weight;
+
+  friend bool operator==(const DirectedArc& a, const DirectedArc& b) {
+    return a.from == b.from && a.to == b.to && a.weight == b.weight;
+  }
+};
+
+/// Immutable weighted directed graph in dual-CSR form (out-arcs and
+/// in-arcs), the substrate of the directed HC2L extension (Section 5.3).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  size_t NumVertices() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+  size_t NumArcs() const { return out_arcs_.size(); }
+
+  /// Arcs leaving v.
+  std::span<const Arc> OutArcs(Vertex v) const {
+    return {out_arcs_.data() + out_offsets_[v],
+            out_arcs_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Arcs entering v (Arc::to is the *source* here).
+  std::span<const Arc> InArcs(Vertex v) const {
+    return {in_arcs_.data() + in_offsets_[v],
+            in_arcs_.data() + in_offsets_[v + 1]};
+  }
+
+  /// All arcs as (from, to, weight).
+  std::vector<DirectedArc> AllArcs() const;
+
+  /// Undirected projection: one edge per arc (parallel arcs collapse to
+  /// minimum weight). Used by the directed builder to find vertex cuts —
+  /// an undirected cut separates paths in both directions (Section 5.3).
+  Graph UndirectedProjection() const;
+
+  size_t MemoryBytes() const {
+    return (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
+           (out_arcs_.size() + in_arcs_.size()) * sizeof(Arc);
+  }
+
+ private:
+  friend class DigraphBuilder;
+  std::vector<uint64_t> out_offsets_;
+  std::vector<Arc> out_arcs_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<Arc> in_arcs_;
+};
+
+/// Assembles a Digraph. Parallel arcs collapse to minimum weight; self-loops
+/// are dropped.
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(size_t num_vertices) : num_vertices_(num_vertices) {}
+
+  void AddArc(Vertex from, Vertex to, Weight w);
+  void AddBidirectional(Vertex u, Vertex v, Weight w) {
+    AddArc(u, v, w);
+    AddArc(v, u, w);
+  }
+
+  Digraph Build() &&;
+
+ private:
+  size_t num_vertices_;
+  std::vector<DirectedArc> arcs_;
+};
+
+/// Induced sub-digraph with id translation, plus optional extra arcs
+/// (directed shortcuts) given in parent ids.
+struct Subdigraph {
+  Digraph graph;
+  std::vector<Vertex> to_parent;
+};
+Subdigraph InducedSubdigraph(const Digraph& parent,
+                             std::span<const Vertex> vertices,
+                             std::span<const DirectedArc> extra_parent_arcs = {});
+
+}  // namespace hc2l
+
+#endif  // HC2L_GRAPH_DIGRAPH_H_

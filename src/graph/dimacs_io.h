@@ -1,0 +1,31 @@
+#ifndef HC2L_GRAPH_DIMACS_IO_H_
+#define HC2L_GRAPH_DIMACS_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Reads a 9th DIMACS Implementation Challenge `.gr` file (the format of the
+/// road networks the paper evaluates on):
+///
+///   c <comment>
+///   p sp <num_vertices> <num_arcs>
+///   a <u> <v> <weight>        (1-based vertex ids)
+///
+/// Arcs are interpreted as undirected edges (DIMACS road files list both
+/// directions; duplicates collapse to minimum weight). Returns std::nullopt
+/// and fills *error on malformed input.
+std::optional<Graph> ReadDimacsGraph(const std::string& path,
+                                     std::string* error);
+
+/// Writes g in DIMACS `.gr` format (both arc directions, 1-based ids).
+/// Returns false and fills *error on I/O failure.
+bool WriteDimacsGraph(const Graph& g, const std::string& path,
+                      std::string* error);
+
+}  // namespace hc2l
+
+#endif  // HC2L_GRAPH_DIMACS_IO_H_

@@ -1,0 +1,132 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+std::vector<Edge> Graph::UndirectedEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (Vertex u = 0; u < NumVertices(); ++u) {
+    for (const Arc& a : Neighbors(u)) {
+      if (u < a.to) edges.push_back({u, a.to, a.weight});
+    }
+  }
+  return edges;
+}
+
+void GraphBuilder::AddEdge(Vertex u, Vertex v, Weight w) {
+  HC2L_CHECK_LT(u, num_vertices_);
+  HC2L_CHECK_LT(v, num_vertices_);
+  HC2L_CHECK_GT(w, 0u);
+  if (u == v) return;  // drop self-loops
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, w});
+}
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) AddEdge(e.u, e.v, e.weight);
+}
+
+Graph GraphBuilder::Build() && {
+  // Deduplicate parallel edges, keeping minimum weight.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.weight < b.weight;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }),
+               edges_.end());
+
+  Graph g;
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i <= num_vertices_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.arcs_.resize(2 * edges_.size());
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    g.arcs_[cursor[e.u]++] = {e.v, e.weight};
+    g.arcs_[cursor[e.v]++] = {e.u, e.weight};
+  }
+  // Sort each adjacency list by target for deterministic iteration.
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    std::sort(g.arcs_.begin() + g.offsets_[v], g.arcs_.begin() + g.offsets_[v + 1],
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+Subgraph InducedSubgraph(const Graph& parent, std::span<const Vertex> vertices,
+                         std::span<const Edge> extra_parent_edges) {
+  // Map parent ids to new ids.
+  std::vector<Vertex> to_child(parent.NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    HC2L_CHECK_EQ(to_child[vertices[i]], kInvalidVertex);  // no duplicates
+    to_child[vertices[i]] = static_cast<Vertex>(i);
+  }
+
+  GraphBuilder builder(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const Vertex old_u = vertices[i];
+    for (const Arc& a : parent.Neighbors(old_u)) {
+      const Vertex new_v = to_child[a.to];
+      if (new_v != kInvalidVertex && old_u < a.to) {
+        builder.AddEdge(static_cast<Vertex>(i), new_v, a.weight);
+      }
+    }
+  }
+  for (const Edge& e : extra_parent_edges) {
+    const Vertex nu = to_child[e.u];
+    const Vertex nv = to_child[e.v];
+    HC2L_CHECK_NE(nu, kInvalidVertex);
+    HC2L_CHECK_NE(nv, kInvalidVertex);
+    builder.AddEdge(nu, nv, e.weight);
+  }
+
+  Subgraph result;
+  result.graph = std::move(builder).Build();
+  result.to_parent.assign(vertices.begin(), vertices.end());
+  return result;
+}
+
+ComponentInfo ConnectedComponents(const Graph& g) {
+  ComponentInfo info;
+  const size_t n = g.NumVertices();
+  info.component_of.assign(n, UINT32_MAX);
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (info.component_of[start] != UINT32_MAX) continue;
+    const uint32_t id = static_cast<uint32_t>(info.num_components++);
+    uint32_t size = 0;
+    stack.push_back(start);
+    info.component_of[start] = id;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const Arc& a : g.Neighbors(v)) {
+        if (info.component_of[a.to] == UINT32_MAX) {
+          info.component_of[a.to] = id;
+          stack.push_back(a.to);
+        }
+      }
+    }
+    info.sizes.push_back(size);
+  }
+  return info;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  return ConnectedComponents(g).num_components == 1;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,307 @@
+#include "graph/road_network_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/digraph.h"
+
+namespace hc2l {
+
+namespace {
+
+/// Union-find for connectivity maintenance while deleting edges.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+enum class RoadClass { kLocal = 0, kArterial = 1, kHighway = 2 };
+
+RoadClass ClassOfLine(uint32_t index, const RoadNetworkOptions& opt) {
+  if (opt.highway_every != 0 && index % opt.highway_every == 0) {
+    return RoadClass::kHighway;
+  }
+  if (opt.arterial_every != 0 && index % opt.arterial_every == 0) {
+    return RoadClass::kArterial;
+  }
+  return RoadClass::kLocal;
+}
+
+/// Speed in m/s per road class; deliberately coarse (urban / arterial /
+/// motorway) so travel-time shortest paths prefer highways.
+double SpeedOf(RoadClass c) {
+  switch (c) {
+    case RoadClass::kLocal:
+      return 8.0;
+    case RoadClass::kArterial:
+      return 16.0;
+    case RoadClass::kHighway:
+      return 32.0;
+  }
+  return 8.0;
+}
+
+Weight EdgeWeight(RoadClass c, uint32_t length_m, WeightMode mode) {
+  if (mode == WeightMode::kDistance) return length_m;
+  // Travel time in deci-seconds, at least 1.
+  const double seconds = static_cast<double>(length_m) / SpeedOf(c);
+  return static_cast<Weight>(std::max(1.0, std::round(seconds * 10.0)));
+}
+
+}  // namespace
+
+Graph GenerateRoadNetwork(const RoadNetworkOptions& opt) {
+  HC2L_CHECK_GE(opt.rows, 1u);
+  HC2L_CHECK_GE(opt.cols, 1u);
+  HC2L_CHECK_GE(opt.pendant_frac, 0.0);
+  const uint64_t lattice_n = static_cast<uint64_t>(opt.rows) * opt.cols;
+  const uint64_t pendant_n =
+      static_cast<uint64_t>(opt.pendant_frac * static_cast<double>(lattice_n));
+  const uint64_t n = lattice_n + pendant_n;
+  Rng rng(opt.seed);
+
+  auto vertex_id = [&](uint32_t r, uint32_t c) -> Vertex {
+    return static_cast<Vertex>(static_cast<uint64_t>(r) * opt.cols + c);
+  };
+  auto jittered_length = [&]() -> uint32_t {
+    const double jitter = 0.8 + 0.4 * rng.NextDouble();
+    return static_cast<uint32_t>(
+        std::max(1.0, std::round(opt.mean_edge_length_m * jitter)));
+  };
+
+  // Candidate lattice edges. Horizontal edges belong to their row's road
+  // class, vertical edges to their column's. Highways/arterials are never
+  // deleted (real trunk roads are contiguous), local edges are deleted with
+  // edge_delete_prob.
+  std::vector<Edge> kept;
+  std::vector<Edge> deleted;
+  kept.reserve(2 * n);
+  for (uint32_t r = 0; r < opt.rows; ++r) {
+    const RoadClass row_class = ClassOfLine(r, opt);
+    for (uint32_t c = 0; c + 1 < opt.cols; ++c) {
+      const Edge e{vertex_id(r, c), vertex_id(r, c + 1),
+                   EdgeWeight(row_class, jittered_length(), opt.weight_mode)};
+      if (row_class == RoadClass::kLocal && rng.Chance(opt.edge_delete_prob)) {
+        deleted.push_back(e);
+      } else {
+        kept.push_back(e);
+      }
+    }
+  }
+  for (uint32_t c = 0; c < opt.cols; ++c) {
+    const RoadClass col_class = ClassOfLine(c, opt);
+    for (uint32_t r = 0; r + 1 < opt.rows; ++r) {
+      const Edge e{vertex_id(r, c), vertex_id(r + 1, c),
+                   EdgeWeight(col_class, jittered_length(), opt.weight_mode)};
+      if (col_class == RoadClass::kLocal && rng.Chance(opt.edge_delete_prob)) {
+        deleted.push_back(e);
+      } else {
+        kept.push_back(e);
+      }
+    }
+  }
+
+  // Re-add just enough deleted edges to restore connectivity.
+  UnionFind uf(n);
+  for (const Edge& e : kept) uf.Union(e.u, e.v);
+  for (const Edge& e : deleted) {
+    if (uf.Union(e.u, e.v)) kept.push_back(e);
+  }
+
+  // Dead-end streets: pendant chains of 1-3 vertices hanging off random
+  // lattice vertices (cul-de-sacs and service roads).
+  {
+    Vertex next_pendant = static_cast<Vertex>(lattice_n);
+    const Vertex end = static_cast<Vertex>(n);
+    while (next_pendant < end) {
+      Vertex anchor = static_cast<Vertex>(rng.Below(lattice_n));
+      const uint64_t chain = 1 + rng.Below(3);
+      for (uint64_t i = 0; i < chain && next_pendant < end; ++i) {
+        const Edge e{anchor, next_pendant,
+                     EdgeWeight(RoadClass::kLocal, jittered_length(),
+                                opt.weight_mode)};
+        kept.push_back(e);
+        uf.Union(e.u, e.v);
+        anchor = next_pendant++;
+      }
+    }
+  }
+
+  GraphBuilder builder(n);
+  builder.AddEdges(kept);
+  Graph g = std::move(builder).Build();
+  HC2L_CHECK(IsConnected(g));
+  return g;
+}
+
+std::vector<DatasetSpec> PaperDatasets(BenchScale scale, WeightMode mode) {
+  struct PaperRow {
+    const char* name;
+    uint64_t num_vertices;
+  };
+  // Table 1 of the paper.
+  static constexpr PaperRow kPaperRows[] = {
+      {"NY", 264346},    {"BAY", 321270},   {"COL", 435666},
+      {"FLA", 1070376},  {"CAL", 1890815},  {"E", 3598623},
+      {"W", 6262104},    {"CTR", 14081816}, {"USA", 23947347},
+      {"EUR", 18010173},
+  };
+
+  // Miniature size = round(K * sqrt(|V|_paper)); K calibrated so that NY hits
+  // the scale's target size.
+  double ny_target = 1000.0;
+  switch (scale) {
+    case BenchScale::kTiny:
+      ny_target = 256.0;
+      break;
+    case BenchScale::kSmall:
+      ny_target = 1000.0;
+      break;
+    case BenchScale::kMedium:
+      ny_target = 4000.0;
+      break;
+    case BenchScale::kLarge:
+      ny_target = 16000.0;
+      break;
+  }
+  const double k_factor = ny_target / std::sqrt(264346.0);
+
+  std::vector<DatasetSpec> specs;
+  uint64_t seed = 7;
+  for (const PaperRow& row : kPaperRows) {
+    const double total_target =
+        k_factor * std::sqrt(static_cast<double>(row.num_vertices));
+    // Lattice size excludes the pendant (dead-end) vertices added on top.
+    const double target = total_target / (1.0 + RoadNetworkOptions{}.pendant_frac);
+    // Pick a rows x cols rectangle with aspect ratio ~4:3.
+    const uint32_t rows = std::max<uint32_t>(
+        4, static_cast<uint32_t>(std::round(std::sqrt(target * 0.75))));
+    const uint32_t cols = std::max<uint32_t>(
+        4, static_cast<uint32_t>(std::round(target / rows)));
+    DatasetSpec spec;
+    spec.name = row.name;
+    spec.paper_num_vertices = row.num_vertices;
+    spec.options.rows = rows;
+    spec.options.cols = cols;
+    spec.options.seed = seed++;
+    spec.options.weight_mode = mode;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+BenchScale ParseBenchScale(const char* text, BenchScale fallback) {
+  if (text == nullptr) return fallback;
+  std::string s(text);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "tiny") return BenchScale::kTiny;
+  if (s == "small") return BenchScale::kSmall;
+  if (s == "medium") return BenchScale::kMedium;
+  if (s == "large") return BenchScale::kLarge;
+  return fallback;
+}
+
+Digraph GenerateDirectedRoadNetwork(const RoadNetworkOptions& options,
+                                    double one_way_frac) {
+  const Graph base = GenerateRoadNetwork(options);
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  DigraphBuilder builder(base.NumVertices());
+  for (const Edge& e : base.UndirectedEdges()) {
+    if (rng.Chance(one_way_frac)) {
+      if (rng.Chance(0.5)) {
+        builder.AddArc(e.u, e.v, e.weight);
+      } else {
+        builder.AddArc(e.v, e.u, e.weight);
+      }
+    } else {
+      builder.AddBidirectional(e.u, e.v, e.weight);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateRandomGeometricGraph(uint32_t n, uint32_t k, uint64_t seed) {
+  HC2L_CHECK_GE(n, 1u);
+  HC2L_CHECK_GE(k, 1u);
+  Rng rng(seed);
+  std::vector<double> xs(n), ys(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    xs[i] = rng.NextDouble();
+    ys[i] = rng.NextDouble();
+  }
+  auto dist2 = [&](uint32_t a, uint32_t b) {
+    const double dx = xs[a] - xs[b];
+    const double dy = ys[a] - ys[b];
+    return dx * dx + dy * dy;
+  };
+
+  GraphBuilder builder(n);
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    // k nearest neighbours by brute force (test-sized graphs only).
+    std::iota(order.begin(), order.end(), 0);
+    const uint32_t limit = std::min(n - 1, k);
+    std::partial_sort(order.begin(), order.begin() + limit + 1, order.end(),
+                      [&](uint32_t a, uint32_t b) {
+                        return dist2(i, a) < dist2(i, b);
+                      });
+    uint32_t added = 0;
+    for (uint32_t j = 0; j <= limit && added < limit; ++j) {
+      if (order[j] == i) continue;
+      const double d = std::sqrt(dist2(i, order[j]));
+      builder.AddEdge(i, order[j],
+                      static_cast<Weight>(std::max(1.0, std::round(d * 1e4))));
+      ++added;
+    }
+  }
+  Graph g = std::move(builder).Build();
+
+  // Reconnect components by chaining one representative of each to the next.
+  ComponentInfo cc = ConnectedComponents(g);
+  if (cc.num_components > 1) {
+    std::vector<Vertex> representative(cc.num_components, kInvalidVertex);
+    for (Vertex v = 0; v < n; ++v) {
+      if (representative[cc.component_of[v]] == kInvalidVertex) {
+        representative[cc.component_of[v]] = v;
+      }
+    }
+    GraphBuilder rebuild(n);
+    rebuild.AddEdges(g.UndirectedEdges());
+    for (size_t c = 1; c < cc.num_components; ++c) {
+      const Vertex a = representative[c - 1];
+      const Vertex b = representative[c];
+      const double d = std::sqrt(dist2(a, b));
+      rebuild.AddEdge(a, b,
+                      static_cast<Weight>(std::max(1.0, std::round(d * 1e4))));
+    }
+    g = std::move(rebuild).Build();
+  }
+  return g;
+}
+
+}  // namespace hc2l

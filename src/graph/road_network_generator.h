@@ -1,0 +1,94 @@
+#ifndef HC2L_GRAPH_ROAD_NETWORK_GENERATOR_H_
+#define HC2L_GRAPH_ROAD_NETWORK_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Edge-weight semantics, matching the two dataset versions in the paper
+/// (Tables 2 vs 4): physical length in metres, or travel time that depends on
+/// the road class (highways are traversed faster, which changes which paths
+/// are shortest and thus the labelling structure).
+enum class WeightMode {
+  kDistance,
+  kTravelTime,
+};
+
+/// Options for the synthetic road-network generator.
+///
+/// The generator replaces the 9th-DIMACS-challenge road graphs, which are not
+/// available in this offline environment (see DESIGN.md §4). It produces
+/// near-planar lattices with randomized edge deletions and a three-level road
+/// class hierarchy (local / arterial / highway). The resulting graphs share
+/// the structural properties that drive the paper's algorithms: average
+/// degree ≈ 2.5–3.5, high diameter, small balanced vertex separators, and a
+/// highway structure that distinguishes distance from travel-time metrics.
+struct RoadNetworkOptions {
+  uint32_t rows = 32;
+  uint32_t cols = 32;
+  uint64_t seed = 1;
+  WeightMode weight_mode = WeightMode::kDistance;
+  /// Fraction of lattice edges removed (bridges are re-added to preserve
+  /// connectivity, so the effective rate can be slightly lower).
+  double edge_delete_prob = 0.15;
+  /// Every `arterial_every`-th row/column is an arterial road (2x speed),
+  /// every `highway_every`-th a highway (4x speed). 0 disables the class.
+  uint32_t arterial_every = 8;
+  uint32_t highway_every = 32;
+  /// Mean edge length in metres; individual lengths jitter ±20%.
+  uint32_t mean_edge_length_m = 100;
+  /// Dead-end streets: pendant chains (length 1-3) attached to random
+  /// lattice vertices, adding `pendant_frac * rows * cols` extra vertices.
+  /// DIMACS road graphs have ~30% of vertices removable by iterated
+  /// degree-one contraction (Section 4.2.2); this reproduces that trait.
+  double pendant_frac = 0.3;
+};
+
+/// Generates a connected synthetic road network. Deterministic in the seed.
+Graph GenerateRoadNetwork(const RoadNetworkOptions& options);
+
+/// A named miniature of one of the paper's Table 1 datasets.
+struct DatasetSpec {
+  std::string name;    // e.g. "NY"
+  uint64_t paper_num_vertices;  // |V| in the paper's Table 1
+  RoadNetworkOptions options;   // scaled-down generator configuration
+};
+
+/// Benchmark scale presets. Sizes grow as sqrt(|V|_paper) so that relative
+/// dataset ordering is preserved while the largest miniature stays tractable
+/// on a single core (see DESIGN.md §4).
+enum class BenchScale {
+  kTiny,    // NY ≈ 256 vertices; used by smoke tests
+  kSmall,   // NY ≈ 1k vertices; default for `build/bench/*` runs
+  kMedium,  // NY ≈ 4k vertices
+  kLarge,   // NY ≈ 16k vertices
+};
+
+/// Returns the ten Table 1 dataset miniatures (NY .. EUR) at the given scale
+/// and weight mode.
+std::vector<DatasetSpec> PaperDatasets(BenchScale scale, WeightMode mode);
+
+/// Parses "tiny"/"small"/"medium"/"large" (case-insensitive); returns
+/// fallback on anything else (including nullptr).
+BenchScale ParseBenchScale(const char* text, BenchScale fallback);
+
+/// Generates a directed road network for the Section 5.3 extension: the
+/// undirected generator's topology with `one_way_frac` of edges turned into
+/// one-way streets (random orientation) and the rest kept bidirectional.
+/// Deterministic in (options.seed, one_way_frac).
+class Digraph;  // graph/digraph.h
+Digraph GenerateDirectedRoadNetwork(const RoadNetworkOptions& options,
+                                    double one_way_frac = 0.2);
+
+/// Generates a random geometric graph: n points uniform in the unit square,
+/// each connected to its k nearest neighbours, weights = Euclidean distance
+/// scaled to integers; reconnected if necessary. Used by property tests for
+/// structural variety beyond lattices.
+Graph GenerateRandomGeometricGraph(uint32_t n, uint32_t k, uint64_t seed);
+
+}  // namespace hc2l
+
+#endif  // HC2L_GRAPH_ROAD_NETWORK_GENERATOR_H_

@@ -1,0 +1,108 @@
+#include "hierarchy/contraction.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+DegreeOneContraction::DegreeOneContraction(const Graph& g) {
+  const size_t n = g.NumVertices();
+  std::vector<uint32_t> degree(n);
+  for (Vertex v = 0; v < n; ++v) degree[v] = g.Degree(v);
+
+  parent_.resize(n);
+  parent_weight_.assign(n, 0);
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<Vertex> removal_order;
+  removal_order.reserve(n);
+
+  // Iteratively strip degree-1 vertices.
+  std::vector<Vertex> queue;
+  for (Vertex v = 0; v < n; ++v) {
+    parent_[v] = v;
+    if (degree[v] == 1) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const Vertex v = queue.back();
+    queue.pop_back();
+    if (removed[v] || degree[v] != 1) continue;
+    // Unique surviving neighbour.
+    Vertex u = kInvalidVertex;
+    Weight w = 0;
+    for (const Arc& a : g.Neighbors(v)) {
+      if (!removed[a.to]) {
+        u = a.to;
+        w = a.weight;
+        break;
+      }
+    }
+    HC2L_CHECK_NE(u, kInvalidVertex);
+    removed[v] = 1;
+    parent_[v] = u;
+    parent_weight_[v] = w;
+    removal_order.push_back(v);
+    if (--degree[u] == 1) queue.push_back(u);
+  }
+  num_contracted_ = removal_order.size();
+
+  // Core graph over surviving vertices.
+  core_id_.assign(n, kInvalidVertex);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!removed[v]) {
+      core_id_[v] = static_cast<Vertex>(to_original_.size());
+      to_original_.push_back(v);
+    }
+  }
+  GraphBuilder builder(to_original_.size());
+  for (Vertex v : to_original_) {
+    for (const Arc& a : g.Neighbors(v)) {
+      if (!removed[a.to] && v < a.to) {
+        builder.AddEdge(core_id_[v], core_id_[a.to], a.weight);
+      }
+    }
+  }
+  core_ = std::move(builder).Build();
+
+  // Root / distance / depth per vertex. Vertices removed later are closer to
+  // the core, so a reverse scan sees every parent before its children.
+  root_core_id_.assign(n, kInvalidVertex);
+  dist_to_root_.assign(n, 0);
+  depth_.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!removed[v]) root_core_id_[v] = core_id_[v];
+  }
+  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+    const Vertex v = *it;
+    const Vertex u = parent_[v];
+    HC2L_CHECK_NE(root_core_id_[u], kInvalidVertex);
+    root_core_id_[v] = root_core_id_[u];
+    dist_to_root_[v] = dist_to_root_[u] + parent_weight_[v];
+    depth_[v] = depth_[u] + 1;
+  }
+}
+
+Dist DegreeOneContraction::SameTreeDistance(Vertex v, Vertex w) const {
+  HC2L_CHECK_EQ(root_core_id_[v], root_core_id_[w]);
+  // Climb to the in-tree LCA by equalising depths first.
+  Vertex a = v;
+  Vertex b = w;
+  while (depth_[a] > depth_[b]) a = parent_[a];
+  while (depth_[b] > depth_[a]) b = parent_[b];
+  while (a != b) {
+    a = parent_[a];
+    b = parent_[b];
+  }
+  return dist_to_root_[v] + dist_to_root_[w] - 2 * dist_to_root_[a];
+}
+
+size_t DegreeOneContraction::MemoryBytes() const {
+  return core_id_.size() * sizeof(Vertex) +
+         to_original_.size() * sizeof(Vertex) +
+         root_core_id_.size() * sizeof(Vertex) +
+         dist_to_root_.size() * sizeof(Dist) + parent_.size() * sizeof(Vertex) +
+         parent_weight_.size() * sizeof(Weight) +
+         depth_.size() * sizeof(uint32_t) + core_.MemoryBytes();
+}
+
+}  // namespace hc2l

@@ -1,0 +1,75 @@
+#ifndef HC2L_HIERARCHY_CONTRACTION_H_
+#define HC2L_HIERARCHY_CONTRACTION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Degree-one contraction (Section 4.2.2, final paragraphs).
+///
+/// Repeatedly strips degree-1 vertices from the input graph. The removed
+/// vertices form pendant trees that attach to the remaining *core* graph at
+/// a single vertex each (their *root*); all shortest paths from a pendant
+/// vertex to anything outside its tree pass through that root. Queries
+/// between two pendant vertices of the same tree are answered by climbing
+/// parent pointers to their in-tree lowest common ancestor:
+///   d(v, w) = d(v, root) + d(w, root) - 2 * d(lca, root).
+///
+/// Unlike PHL's variant (which only removes vertices of degree one in the
+/// original graph) removal is iterated, contracting whole pendant trees.
+class DegreeOneContraction {
+ public:
+  /// Builds the contraction of g.
+  explicit DegreeOneContraction(const Graph& g);
+
+  /// The core graph (all vertices of degree >= 2 after iteration, renumbered
+  /// 0..k-1). If the input is a tree the core is a single vertex.
+  const Graph& CoreGraph() const { return core_; }
+
+  /// Number of vertices removed by the contraction.
+  size_t NumContracted() const { return num_contracted_; }
+
+  /// True iff v survived into the core.
+  bool InCore(Vertex v) const { return core_id_[v] != kInvalidVertex; }
+
+  /// Core id of a surviving vertex (kInvalidVertex for contracted ones).
+  Vertex CoreId(Vertex v) const { return core_id_[v]; }
+
+  /// Original id of a core vertex.
+  Vertex OriginalId(Vertex core_vertex) const { return to_original_[core_vertex]; }
+
+  /// Root of v's pendant tree in core ids (v's own core id if v is in the
+  /// core).
+  Vertex RootCoreId(Vertex v) const { return root_core_id_[v]; }
+
+  /// Distance from v to its root (0 for core vertices).
+  Dist DistToRoot(Vertex v) const { return dist_to_root_[v]; }
+
+  /// Exact distance between two vertices hanging off the *same* root,
+  /// via the in-tree LCA climb. Both arguments may also be the root itself.
+  Dist SameTreeDistance(Vertex v, Vertex w) const;
+
+  /// Bytes used by the contraction side structures.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class Hc2lIndex;  // serialization
+  DegreeOneContraction() = default;
+
+  Graph core_;
+  size_t num_contracted_ = 0;
+  std::vector<Vertex> core_id_;       // original -> core (or kInvalidVertex)
+  std::vector<Vertex> to_original_;   // core -> original
+  std::vector<Vertex> root_core_id_;  // original -> root (core ids)
+  std::vector<Dist> dist_to_root_;    // original -> distance to root
+  std::vector<Vertex> parent_;        // original -> tree parent (original
+                                      // ids; self for core vertices)
+  std::vector<Weight> parent_weight_;  // edge weight to parent
+  std::vector<uint32_t> depth_;        // hops to root (0 for core)
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_HIERARCHY_CONTRACTION_H_

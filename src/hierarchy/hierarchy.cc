@@ -1,0 +1,67 @@
+#include "hierarchy/hierarchy.h"
+
+#include <algorithm>
+
+namespace hc2l {
+
+uint32_t BalancedTreeHierarchy::Height() const {
+  uint32_t height = 0;
+  for (const HierarchyNode& node : nodes_) {
+    height = std::max(height, TreeCodeDepth(node.code));
+  }
+  return height;
+}
+
+size_t BalancedTreeHierarchy::MaxCutSize() const {
+  size_t max_cut = 0;
+  for (const HierarchyNode& node : nodes_) {
+    max_cut = std::max(max_cut, node.cut.size());
+  }
+  return max_cut;
+}
+
+double BalancedTreeHierarchy::AvgCutSize() const {
+  size_t total = 0;
+  size_t count = 0;
+  for (const HierarchyNode& node : nodes_) {
+    if (node.cut.empty()) continue;
+    total += node.cut.size();
+    ++count;
+  }
+  return count == 0 ? 0.0 : static_cast<double>(total) / count;
+}
+
+bool BalancedTreeHierarchy::Validate(size_t num_vertices) const {
+  if (node_of_vertex_.size() != num_vertices ||
+      vertex_code_.size() != num_vertices) {
+    return false;
+  }
+  std::vector<uint32_t> seen(num_vertices, 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const HierarchyNode& node = nodes_[i];
+    // Parent/child pointers must be mutually consistent.
+    if (node.parent >= 0) {
+      const HierarchyNode& parent = nodes_[node.parent];
+      if (parent.left != static_cast<int32_t>(i) &&
+          parent.right != static_cast<int32_t>(i)) {
+        return false;
+      }
+      if (TreeCodeDepth(node.code) != TreeCodeDepth(parent.code) + 1) {
+        return false;
+      }
+    } else if (node.code != kRootCode) {
+      return false;
+    }
+    for (Vertex v : node.cut) {
+      if (v >= num_vertices) return false;
+      if (node_of_vertex_[v] != i) return false;
+      if (vertex_code_[v] != node.code) return false;
+      ++seen[v];
+    }
+  }
+  // ℓ is total and maps each vertex to exactly one node.
+  return std::all_of(seen.begin(), seen.end(),
+                     [](uint32_t c) { return c == 1; });
+}
+
+}  // namespace hc2l

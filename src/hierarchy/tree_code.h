@@ -1,0 +1,48 @@
+#ifndef HC2L_HIERARCHY_TREE_CODE_H_
+#define HC2L_HIERARCHY_TREE_CODE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace hc2l {
+
+/// Packed binary-tree node identifier: the root-to-node path bits occupy the
+/// high 58 bits (first branch at bit 63) and the node depth the low 6 bits —
+/// the paper's "binary strings (including their 6-bit length) stored as
+/// 64-bit integers" (Section 4.2.2).
+using TreeCode = uint64_t;
+
+/// Deepest node representable; the builder forces leaves at this depth.
+inline constexpr uint32_t kMaxTreeDepth = 57;
+
+/// The root's code: empty path, depth 0.
+inline constexpr TreeCode kRootCode = 0;
+
+/// Depth stored in a packed code.
+constexpr uint32_t TreeCodeDepth(TreeCode code) {
+  return static_cast<uint32_t>(code & 63);
+}
+
+/// Code of the child reached via `bit` (0 = left, 1 = right).
+constexpr TreeCode TreeCodeChild(TreeCode code, uint32_t bit) {
+  const uint32_t depth = TreeCodeDepth(code);
+  const uint64_t path = code & ~uint64_t{63};
+  return (path | (static_cast<uint64_t>(bit & 1) << (63 - depth))) |
+         (depth + 1);
+}
+
+/// Depth (level) of the lowest common ancestor of two nodes: the length of
+/// the common path prefix, capped by both depths. One XOR plus a
+/// count-leading-zeros — the O(1) LCA of Lemma 4.21.
+inline uint32_t TreeCodeLcaLevel(TreeCode a, TreeCode b) {
+  const uint64_t xor_path = (a ^ b) & ~uint64_t{63};
+  const uint32_t common =
+      xor_path == 0 ? 64u
+                    : static_cast<uint32_t>(std::countl_zero(xor_path));
+  return std::min({common, TreeCodeDepth(a), TreeCodeDepth(b)});
+}
+
+}  // namespace hc2l
+
+#endif  // HC2L_HIERARCHY_TREE_CODE_H_

@@ -1,0 +1,188 @@
+#include "partition/balanced_cut.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "flow/vertex_cut.h"
+#include "partition/balanced_partition.h"
+
+namespace hc2l {
+
+namespace {
+
+enum Side : uint8_t { kSideA = 0, kSideB = 1, kSideCutRegion = 2 };
+
+/// Assigns the connected components of g minus `cut` to two partitions,
+/// largest component first, always into the currently smaller side
+/// (Algorithm 2, lines 13-15). Returns {part_a, part_b}.
+std::pair<std::vector<Vertex>, std::vector<Vertex>> AssignComponents(
+    const Graph& g, const std::vector<Vertex>& cut) {
+  const size_t n = g.NumVertices();
+  std::vector<uint8_t> blocked(n, 0);
+  for (Vertex v : cut) blocked[v] = 1;
+
+  std::vector<int32_t> component(n, -1);
+  std::vector<std::vector<Vertex>> members;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (blocked[start] || component[start] != -1) continue;
+    const int32_t id = static_cast<int32_t>(members.size());
+    members.emplace_back();
+    component[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      members[id].push_back(v);
+      for (const Arc& a : g.Neighbors(v)) {
+        if (!blocked[a.to] && component[a.to] == -1) {
+          component[a.to] = id;
+          stack.push_back(a.to);
+        }
+      }
+    }
+  }
+  std::sort(members.begin(), members.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+
+  std::pair<std::vector<Vertex>, std::vector<Vertex>> out;
+  for (auto& cc : members) {
+    auto& target = out.first.size() <= out.second.size() ? out.first
+                                                         : out.second;
+    target.insert(target.end(), cc.begin(), cc.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+BalancedCutResult BalancedCut(const Graph& g, double beta) {
+  const size_t n = g.NumVertices();
+  BalancedCutResult result;
+  if (n == 0) return result;
+
+  const BalancedPartitionResult initial = BalancedPartition(g, beta);
+  std::vector<uint8_t> side(n, kSideCutRegion);
+  for (Vertex v : initial.part_a) side[v] = kSideA;
+  for (Vertex v : initial.part_b) side[v] = kSideB;
+
+  // Frontier vertices C_A / C_B (partition vertices with cross edges) join
+  // the flow graph alongside the whole cut region.
+  std::vector<uint8_t> frontier(n, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    if (side[u] != kSideA) continue;
+    for (const Arc& a : g.Neighbors(u)) {
+      if (side[a.to] == kSideB) {
+        frontier[u] = 1;
+        frontier[a.to] = 1;
+      }
+    }
+  }
+
+  std::vector<Vertex> flow_vertices;
+  for (Vertex v = 0; v < n; ++v) {
+    if (side[v] == kSideCutRegion || frontier[v]) flow_vertices.push_back(v);
+  }
+
+  // Sources: C_A plus cut-region vertices adjacent to the A-interior.
+  // Sinks: C_B plus cut-region vertices adjacent to the B-interior.
+  std::vector<Vertex> sources;
+  std::vector<Vertex> sinks;
+  for (Vertex v : flow_vertices) {
+    if (side[v] == kSideA) {
+      sources.push_back(v);
+      continue;
+    }
+    if (side[v] == kSideB) {
+      sinks.push_back(v);
+      continue;
+    }
+    bool touches_a_interior = false;
+    bool touches_b_interior = false;
+    for (const Arc& a : g.Neighbors(v)) {
+      if (side[a.to] == kSideA && !frontier[a.to]) touches_a_interior = true;
+      if (side[a.to] == kSideB && !frontier[a.to]) touches_b_interior = true;
+    }
+    if (touches_a_interior) sources.push_back(v);
+    if (touches_b_interior) sinks.push_back(v);
+  }
+
+  std::vector<Vertex> best_cut;
+  if (!sources.empty() && !sinks.empty()) {
+    Subgraph flow_sub = InducedSubgraph(g, flow_vertices);
+    std::vector<Vertex> to_child(n, kInvalidVertex);
+    for (size_t i = 0; i < flow_vertices.size(); ++i) {
+      to_child[flow_vertices[i]] = static_cast<Vertex>(i);
+    }
+    auto map_to_child = [&](const std::vector<Vertex>& in) {
+      std::vector<Vertex> out;
+      out.reserve(in.size());
+      for (Vertex v : in) out.push_back(to_child[v]);
+      return out;
+    };
+    const std::vector<Vertex> child_sources = map_to_child(sources);
+    const std::vector<Vertex> child_sinks = map_to_child(sinks);
+    const VertexCutResult cuts =
+        MinStVertexCut(flow_sub.graph, child_sources, child_sinks);
+
+    // Evaluate both candidate cuts; keep the one whose component assignment
+    // is more balanced (Section 4.1.1: "we evaluate both options and pick
+    // the more balanced one").
+    size_t best_imbalance = SIZE_MAX;
+    for (const std::vector<Vertex>* candidate :
+         {&cuts.s_side_cut, &cuts.t_side_cut}) {
+      std::vector<Vertex> cut_parent;
+      cut_parent.reserve(candidate->size());
+      for (Vertex v : *candidate) cut_parent.push_back(flow_sub.to_parent[v]);
+      auto [a, b] = AssignComponents(g, cut_parent);
+      const size_t imbalance = std::max(a.size(), b.size());
+      if (imbalance < best_imbalance) {
+        best_imbalance = imbalance;
+        best_cut = std::move(cut_parent);
+        result.part_a = std::move(a);
+        result.part_b = std::move(b);
+      }
+    }
+  } else {
+    // The initial partitions are already separated (disconnected input, or
+    // an absorbing cut region with no path role): the empty cut is minimal.
+    auto [a, b] = AssignComponents(g, best_cut);
+    result.part_a = std::move(a);
+    result.part_b = std::move(b);
+  }
+
+  result.cut = std::move(best_cut);
+  HC2L_CHECK_EQ(result.part_a.size() + result.part_b.size() +
+                    result.cut.size(),
+                n);
+  return result;
+}
+
+bool IsValidSeparator(const Graph& g, const BalancedCutResult& result) {
+  std::vector<uint8_t> blocked(g.NumVertices(), 0);
+  for (Vertex v : result.cut) blocked[v] = 1;
+  std::vector<uint8_t> mark(g.NumVertices(), 0);
+  for (Vertex v : result.part_b) mark[v] = 1;
+
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::vector<Vertex> stack;
+  for (Vertex s : result.part_a) {
+    if (visited[s] || blocked[s]) continue;
+    visited[s] = 1;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      if (mark[v]) return false;
+      for (const Arc& a : g.Neighbors(v)) {
+        if (!visited[a.to] && !blocked[a.to]) {
+          visited[a.to] = 1;
+          stack.push_back(a.to);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,41 @@
+#ifndef HC2L_PARTITION_BALANCED_CUT_H_
+#define HC2L_PARTITION_BALANCED_CUT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Result of Algorithm 2 (Balanced Cut): a vertex cut and the two final
+/// partitions. Every path between part_a and part_b passes through the cut;
+/// the three sets are disjoint and cover the graph.
+struct BalancedCutResult {
+  std::vector<Vertex> part_a;  // P_A
+  std::vector<Vertex> cut;     // V_cut
+  std::vector<Vertex> part_b;  // P_B
+};
+
+/// Algorithm 2 of the paper.
+///
+/// Runs BalancedPartition, builds the s-t flow graph over the cut region plus
+/// the cross-partition frontier vertices C_A / C_B (Figure 4), computes a
+/// minimum s-t vertex cut with Dinitz's algorithm, extracts both the S-side
+/// and the T-side minimum cuts from the residual graph, and keeps whichever
+/// yields the more balanced final partition after greedily assigning the
+/// connected components of G \ V_cut (largest first, to the smaller side).
+///
+/// Direct edges between the initial partitions are handled by the
+/// vertex-split reduction itself: frontier vertices are ordinary flow-graph
+/// vertices with unit inner capacity, so one endpoint of any such edge ends
+/// up in the cut while the other stays in its partition, exactly as
+/// Section 4.1.1 prescribes.
+BalancedCutResult BalancedCut(const Graph& g, double beta);
+
+/// True iff removing `cut` from g leaves part_a and part_b with no connecting
+/// path (test/debug helper; treats membership literally).
+bool IsValidSeparator(const Graph& g, const BalancedCutResult& result);
+
+}  // namespace hc2l
+
+#endif  // HC2L_PARTITION_BALANCED_CUT_H_

@@ -1,0 +1,147 @@
+#include "partition/balanced_partition.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+
+namespace {
+
+/// Signed partition weight pw(v) = d(v_A, v) - d(v_B, v).
+using PartitionWeight = int64_t;
+
+/// Maps a result expressed in subgraph ids back to parent ids.
+BalancedPartitionResult MapToParent(const BalancedPartitionResult& child,
+                                    const std::vector<Vertex>& to_parent) {
+  BalancedPartitionResult out;
+  auto map_all = [&](const std::vector<Vertex>& in, std::vector<Vertex>* dst) {
+    dst->reserve(in.size());
+    for (Vertex v : in) dst->push_back(to_parent[v]);
+  };
+  map_all(child.part_a, &out.part_a);
+  map_all(child.cut_region, &out.cut_region);
+  map_all(child.part_b, &out.part_b);
+  return out;
+}
+
+}  // namespace
+
+BalancedPartitionResult BalancedPartition(const Graph& g, double beta) {
+  HC2L_CHECK_GT(beta, 0.0);
+  HC2L_CHECK_LE(beta, 0.5);
+  const size_t n = g.NumVertices();
+  BalancedPartitionResult result;
+  if (n == 0) return result;
+  if (n == 1) {
+    result.part_a = {0};
+    return result;
+  }
+
+  // Lines 2-10: disconnected input.
+  ComponentInfo cc = ConnectedComponents(g);
+  if (cc.num_components > 1) {
+    // Identify largest and second-largest components.
+    uint32_t largest = 0;
+    for (uint32_t c = 1; c < cc.num_components; ++c) {
+      if (cc.sizes[c] > cc.sizes[largest]) largest = c;
+    }
+    if (cc.sizes[largest] > (1.0 - beta) * static_cast<double>(n)) {
+      // Partition within the dominant component; everything else joins the
+      // cut region (it is disconnected from both sides, so any later vertex
+      // cut still separates).
+      std::vector<Vertex> members;
+      members.reserve(cc.sizes[largest]);
+      std::vector<Vertex> rest;
+      for (Vertex v = 0; v < n; ++v) {
+        (cc.component_of[v] == largest ? members : rest).push_back(v);
+      }
+      Subgraph sub = InducedSubgraph(g, members);
+      BalancedPartitionResult inner =
+          MapToParent(BalancedPartition(sub.graph, beta), sub.to_parent);
+      inner.cut_region.insert(inner.cut_region.end(), rest.begin(),
+                              rest.end());
+      return inner;
+    }
+    uint32_t second = largest == 0 ? 1 : 0;
+    for (uint32_t c = 0; c < cc.num_components; ++c) {
+      if (c != largest && cc.sizes[c] > cc.sizes[second]) second = c;
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (cc.component_of[v] == largest) {
+        result.part_a.push_back(v);
+      } else if (cc.component_of[v] == second) {
+        result.part_b.push_back(v);
+      } else {
+        result.cut_region.push_back(v);
+      }
+    }
+    return result;
+  }
+
+  // Lines 11-12: find two distant vertices with two Dijkstra sweeps.
+  Dijkstra dijkstra(g);
+  dijkstra.Run(0);
+  const Vertex v_a = dijkstra.FurthestVertex();
+  std::vector<Dist> dist_a(n);
+  dijkstra.Run(v_a);
+  for (Vertex v = 0; v < n; ++v) dist_a[v] = dijkstra.DistanceTo(v);
+  const Vertex v_b = dijkstra.FurthestVertex();
+  dijkstra.Run(v_b);
+
+  // Line 13: order vertices by partition weight.
+  std::vector<std::pair<PartitionWeight, Vertex>> order(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const PartitionWeight pw = static_cast<PartitionWeight>(dist_a[v]) -
+                               static_cast<PartitionWeight>(dijkstra.DistanceTo(v));
+    order[v] = {pw, v};
+  }
+  std::sort(order.begin(), order.end());
+
+  // Lines 14-17: initial beta*|V| prefix/suffix and their boundary weights.
+  const size_t take = std::max<size_t>(
+      1, static_cast<size_t>(beta * static_cast<double>(n)));
+  const PartitionWeight w_a = order[take - 1].first;
+  const PartitionWeight w_b = order[n - take].first;
+
+  if (w_a == w_b) {
+    // Lines 18-22: boundary equivalence class spans both partitions — a
+    // bottleneck. Remove the class member closest to v_A and re-partition.
+    Vertex bottleneck = kInvalidVertex;
+    Dist best = kInfDist;
+    for (const auto& [pw, v] : order) {
+      if (pw != w_a) continue;
+      if (dist_a[v] < best) {
+        best = dist_a[v];
+        bottleneck = v;
+      }
+    }
+    HC2L_CHECK_NE(bottleneck, kInvalidVertex);
+    std::vector<Vertex> remaining;
+    remaining.reserve(n - 1);
+    for (Vertex v = 0; v < n; ++v) {
+      if (v != bottleneck) remaining.push_back(v);
+    }
+    Subgraph sub = InducedSubgraph(g, remaining);
+    BalancedPartitionResult inner =
+        MapToParent(BalancedPartition(sub.graph, beta), sub.to_parent);
+    inner.cut_region.push_back(bottleneck);
+    return inner;
+  }
+
+  // Lines 23-25: round partitions outward to whole equivalence classes.
+  for (const auto& [pw, v] : order) {
+    if (pw <= w_a) {
+      result.part_a.push_back(v);
+    } else if (pw >= w_b) {
+      result.part_b.push_back(v);
+    } else {
+      result.cut_region.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace hc2l

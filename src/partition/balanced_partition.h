@@ -1,0 +1,36 @@
+#ifndef HC2L_PARTITION_BALANCED_PARTITION_H_
+#define HC2L_PARTITION_BALANCED_PARTITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hc2l {
+
+/// Result of Algorithm 1 (Balanced Partition): two initial partitions plus
+/// the cut region between them. The three sets are disjoint and cover all
+/// vertices of the input graph.
+struct BalancedPartitionResult {
+  std::vector<Vertex> part_a;      // P'_A
+  std::vector<Vertex> cut_region;  // C
+  std::vector<Vertex> part_b;      // P'_B
+};
+
+/// Algorithm 1 of the paper.
+///
+/// Picks two distant vertices v_A, v_B, orders every vertex by partition
+/// weight pw(v) = d(v_A, v) - d(v_B, v), and takes the beta*|V| lowest /
+/// highest as the initial partitions (rounded outward to whole pw-equivalence
+/// classes). When the boundary classes collide (w_A == w_B) a *bottleneck*
+/// vertex funnels all shortest paths; it is removed, the remaining graph is
+/// re-partitioned recursively, and the bottleneck joins the cut region.
+/// Disconnected inputs follow lines 2-10: partition inside the largest
+/// component if it dominates, otherwise split whole components.
+///
+/// beta must lie in (0, 0.5]. Graphs with fewer than 2 vertices yield
+/// degenerate results (everything in part_a).
+BalancedPartitionResult BalancedPartition(const Graph& g, double beta);
+
+}  // namespace hc2l
+
+#endif  // HC2L_PARTITION_BALANCED_PARTITION_H_

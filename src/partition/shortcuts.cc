@@ -1,0 +1,103 @@
+#include "partition/shortcuts.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+
+ShortcutResult ComputeShortcuts(
+    const Graph& g, std::span<const Vertex> cut, std::span<const Vertex> part,
+    const std::vector<std::vector<Dist>>& dist_from_cut) {
+  HC2L_CHECK_EQ(cut.size(), dist_from_cut.size());
+  const size_t n = g.NumVertices();
+  std::vector<uint8_t> in_cut(n, 0);
+  for (Vertex v : cut) in_cut[v] = 1;
+
+  ShortcutResult result;
+  // Line 2: border vertices = partition vertices adjacent to the cut.
+  for (Vertex v : part) {
+    for (const Arc& a : g.Neighbors(v)) {
+      if (in_cut[a.to]) {
+        result.border.push_back(v);
+        break;
+      }
+    }
+  }
+  const size_t num_border = result.border.size();
+  if (num_border < 2) return result;
+
+  // Dijkstra from every border vertex inside G[P] (lines 3-6).
+  Subgraph gp = InducedSubgraph(g, part);
+  std::vector<Vertex> part_to_child(n, kInvalidVertex);
+  for (size_t i = 0; i < part.size(); ++i) part_to_child[part[i]] = i;
+
+  std::vector<std::vector<Dist>> d_gp(num_border,
+                                      std::vector<Dist>(num_border));
+  Dijkstra dijkstra(gp.graph);
+  for (size_t i = 0; i < num_border; ++i) {
+    dijkstra.Run(part_to_child[result.border[i]]);
+    for (size_t j = 0; j < num_border; ++j) {
+      d_gp[i][j] = dijkstra.DistanceTo(part_to_child[result.border[j]]);
+    }
+  }
+
+  // Lines 7-8: true distances d_G(b, b') = min(d_G[P], best detour through a
+  // cut vertex).
+  std::vector<std::vector<Dist>> d_g = d_gp;
+  for (size_t i = 0; i < num_border; ++i) {
+    for (size_t j = i + 1; j < num_border; ++j) {
+      Dist through_cut = kInfDist;
+      for (size_t c = 0; c < cut.size(); ++c) {
+        const Dist to_b = dist_from_cut[c][result.border[i]];
+        const Dist to_b2 = dist_from_cut[c][result.border[j]];
+        if (to_b == kInfDist || to_b2 == kInfDist) continue;
+        through_cut = std::min(through_cut, to_b + to_b2);
+      }
+      const Dist d = std::min(d_gp[i][j], through_cut);
+      d_g[i][j] = d_g[j][i] = d;
+    }
+  }
+
+  // Lines 9-16: add non-redundant shortcuts.
+  for (size_t i = 0; i < num_border; ++i) {
+    for (size_t j = i + 1; j < num_border; ++j) {
+      if (d_g[i][j] >= d_gp[i][j]) continue;  // condition (1) of Lemma 4.11
+      bool redundant = false;
+      for (size_t k = 0; k < num_border && !redundant; ++k) {
+        if (k == i || k == j) continue;
+        if (d_g[i][k] != kInfDist && d_g[k][j] != kInfDist &&
+            d_g[i][k] + d_g[k][j] == d_g[i][j]) {
+          redundant = true;  // condition (2) of Lemma 4.11
+        }
+      }
+      if (!redundant) {
+        HC2L_CHECK_LE(d_g[i][j], std::numeric_limits<Weight>::max());
+        result.shortcuts.push_back({result.border[i], result.border[j],
+                                    static_cast<Weight>(d_g[i][j])});
+      }
+    }
+  }
+  return result;
+}
+
+bool IsDistancePreserving(const Graph& parent, const Graph& enhanced,
+                          std::span<const Vertex> part_to_parent) {
+  HC2L_CHECK_EQ(enhanced.NumVertices(), part_to_parent.size());
+  Dijkstra in_parent(parent);
+  Dijkstra in_enhanced(enhanced);
+  for (Vertex v = 0; v < enhanced.NumVertices(); ++v) {
+    in_parent.Run(part_to_parent[v]);
+    in_enhanced.Run(v);
+    for (Vertex w = 0; w < enhanced.NumVertices(); ++w) {
+      if (in_enhanced.DistanceTo(w) != in_parent.DistanceTo(part_to_parent[w])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hc2l

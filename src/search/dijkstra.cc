@@ -1,0 +1,208 @@
+#include "search/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+namespace {
+
+using HeapEntry = std::pair<Dist, Vertex>;
+
+struct HeapGreater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.first > b.first;
+  }
+};
+
+}  // namespace
+
+Dijkstra::Dijkstra(const Graph& graph)
+    : graph_(graph),
+      dist_(graph.NumVertices(), kInfDist),
+      stamp_(graph.NumVertices(), 0) {}
+
+void Dijkstra::Reset() {
+  ++version_;
+  settled_.clear();
+  heap_.clear();
+}
+
+void Dijkstra::Run(Vertex source) { RunToTarget(source, kInvalidVertex); }
+
+void Dijkstra::RunToTarget(Vertex source, Vertex target) {
+  HC2L_CHECK_LT(source, graph_.NumVertices());
+  Reset();
+  auto push = [&](Vertex v, Dist d) {
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  };
+
+  dist_[source] = 0;
+  stamp_[source] = version_;
+  push(source, 0);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    const auto [d, v] = heap_.back();
+    heap_.pop_back();
+    if (d > dist_[v]) continue;  // stale heap entry
+    settled_.push_back(v);
+    if (v == target) return;
+    for (const Arc& a : graph_.Neighbors(v)) {
+      const Dist nd = d + a.weight;
+      if (stamp_[a.to] != version_ || nd < dist_[a.to]) {
+        dist_[a.to] = nd;
+        stamp_[a.to] = version_;
+        push(a.to, nd);
+      }
+    }
+  }
+}
+
+Vertex Dijkstra::FurthestVertex() const {
+  if (settled_.empty()) return kInvalidVertex;
+  return settled_.back();
+}
+
+Dist ShortestPathDistance(const Graph& g, Vertex s, Vertex t) {
+  Dijkstra dijkstra(g);
+  dijkstra.RunToTarget(s, t);
+  return dijkstra.DistanceTo(t);
+}
+
+std::vector<Dist> AllDistancesFrom(const Graph& g, Vertex source) {
+  Dijkstra dijkstra(g);
+  dijkstra.Run(source);
+  std::vector<Dist> out(g.NumVertices());
+  for (Vertex v = 0; v < g.NumVertices(); ++v) out[v] = dijkstra.DistanceTo(v);
+  return out;
+}
+
+BidirectionalDijkstra::BidirectionalDijkstra(const Graph& graph)
+    : graph_(graph) {
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].assign(graph.NumVertices(), kInfDist);
+    stamp_[side].assign(graph.NumVertices(), 0);
+  }
+}
+
+Dist BidirectionalDijkstra::Query(Vertex s, Vertex t) {
+  HC2L_CHECK_LT(s, graph_.NumVertices());
+  HC2L_CHECK_LT(t, graph_.NumVertices());
+  if (s == t) return 0;
+  ++version_;
+
+  auto set_dist = [&](int side, Vertex v, Dist d) {
+    dist_[side][v] = d;
+    stamp_[side][v] = version_;
+  };
+  auto get_dist = [&](int side, Vertex v) -> Dist {
+    return stamp_[side][v] == version_ ? dist_[side][v] : kInfDist;
+  };
+
+  for (int side = 0; side < 2; ++side) heap_[side].clear();
+  heap_[0].emplace_back(0, s);
+  set_dist(0, s, 0);
+  heap_[1].emplace_back(0, t);
+  set_dist(1, t, 0);
+
+  Dist best = kInfDist;
+  while (!heap_[0].empty() || !heap_[1].empty()) {
+    // Expand the side with the smaller frontier distance.
+    int side;
+    if (heap_[0].empty()) {
+      side = 1;
+    } else if (heap_[1].empty()) {
+      side = 0;
+    } else {
+      side = heap_[0].front().first <= heap_[1].front().first ? 0 : 1;
+    }
+    std::pop_heap(heap_[side].begin(), heap_[side].end(), HeapGreater{});
+    const auto [d, v] = heap_[side].back();
+    heap_[side].pop_back();
+    if (d > get_dist(side, v)) continue;  // stale entry
+    if (d >= best) break;                 // cannot improve further
+    for (const Arc& a : graph_.Neighbors(v)) {
+      const Dist nd = d + a.weight;
+      if (get_dist(side, a.to) > nd) {
+        set_dist(side, a.to, nd);
+        heap_[side].emplace_back(nd, a.to);
+        std::push_heap(heap_[side].begin(), heap_[side].end(), HeapGreater{});
+        const Dist o = get_dist(1 - side, a.to);
+        if (o != kInfDist && nd + o < best) best = nd + o;
+      }
+    }
+  }
+  return best;
+}
+
+DistAndPruneResult DistAndPrune(const Graph& g, Vertex root,
+                                const std::vector<uint8_t>& in_p) {
+  HC2L_CHECK_LT(root, g.NumVertices());
+  HC2L_CHECK_EQ(in_p.size(), g.NumVertices());
+  DistAndPruneResult result;
+  result.dist.assign(g.NumVertices(), kInfDist);
+  result.via.assign(g.NumVertices(), 0);
+
+  // Heap entries ordered by (distance, pruned) with pruned=true first, per
+  // Algorithm 4's "Q is ordered by (d, p) with True < False". Popping pruned
+  // entries first at equal distance yields the existential semantics: via[v]
+  // is set iff SOME shortest root->v path has a tracked intermediate vertex.
+  struct Entry {
+    Dist d;
+    uint8_t not_pruned;  // 0 if pruned: sorts before non-pruned at equal d
+    Vertex v;
+    bool operator>(const Entry& other) const {
+      if (d != other.d) return d > other.d;
+      return not_pruned > other.not_pruned;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::vector<uint8_t> done(g.NumVertices(), 0);
+
+  queue.push({0, 1, root});
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    const Vertex v = top.v;
+    if (done[v]) continue;
+    done[v] = 1;
+    result.dist[v] = top.d;
+    result.via[v] = top.not_pruned == 0 ? 1 : 0;
+    // The flag propagates along the path; traversing v itself sets it when v
+    // is a tracked vertex (root's own membership is ignored, and a vertex is
+    // not an intermediate of its own path).
+    const bool next_pruned = result.via[v] != 0 || (v != root && in_p[v] != 0);
+    for (const Arc& a : g.Neighbors(v)) {
+      if (done[a.to]) continue;
+      queue.push(
+          {top.d + a.weight, next_pruned ? uint8_t{0} : uint8_t{1}, a.to});
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> BfsHops(const Graph& g, Vertex source) {
+  std::vector<uint32_t> hops(g.NumVertices(), UINT32_MAX);
+  std::vector<Vertex> frontier{source};
+  hops[source] = 0;
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    std::vector<Vertex> next;
+    ++level;
+    for (Vertex v : frontier) {
+      for (const Arc& a : g.Neighbors(v)) {
+        if (hops[a.to] == UINT32_MAX) {
+          hops[a.to] = level;
+          next.push_back(a.to);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return hops;
+}
+
+}  // namespace hc2l

@@ -1,0 +1,86 @@
+#include "search/directed_dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace hc2l {
+
+namespace {
+
+std::span<const Arc> ArcsOf(const Digraph& g, Vertex v,
+                            SearchDirection direction) {
+  return direction == SearchDirection::kForward ? g.OutArcs(v) : g.InArcs(v);
+}
+
+}  // namespace
+
+std::vector<Dist> DirectedDistancesFrom(const Digraph& g, Vertex source,
+                                        SearchDirection direction) {
+  HC2L_CHECK_LT(source, g.NumVertices());
+  std::vector<Dist> dist(g.NumVertices(), kInfDist);
+  std::vector<std::pair<Dist, Vertex>> heap;
+  dist[source] = 0;
+  heap.push_back({0, source});
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    const auto [d, v] = heap.back();
+    heap.pop_back();
+    if (d > dist[v]) continue;
+    for (const Arc& a : ArcsOf(g, v, direction)) {
+      const Dist nd = d + a.weight;
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        heap.push_back({nd, a.to});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>());
+      }
+    }
+  }
+  return dist;
+}
+
+Dist DirectedShortestPathDistance(const Digraph& g, Vertex s, Vertex t) {
+  return DirectedDistancesFrom(g, s, SearchDirection::kForward)[t];
+}
+
+DistAndPruneResult DirectedDistAndPrune(const Digraph& g, Vertex root,
+                                        SearchDirection direction,
+                                        const std::vector<uint8_t>& in_p) {
+  HC2L_CHECK_LT(root, g.NumVertices());
+  HC2L_CHECK_EQ(in_p.size(), g.NumVertices());
+  DistAndPruneResult result;
+  result.dist.assign(g.NumVertices(), kInfDist);
+  result.via.assign(g.NumVertices(), 0);
+
+  struct Entry {
+    Dist d;
+    uint8_t not_pruned;
+    Vertex v;
+    bool operator>(const Entry& other) const {
+      if (d != other.d) return d > other.d;
+      return not_pruned > other.not_pruned;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::vector<uint8_t> done(g.NumVertices(), 0);
+  queue.push({0, 1, root});
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    const Vertex v = top.v;
+    if (done[v]) continue;
+    done[v] = 1;
+    result.dist[v] = top.d;
+    result.via[v] = top.not_pruned == 0 ? 1 : 0;
+    const bool next_pruned = result.via[v] != 0 || (v != root && in_p[v] != 0);
+    for (const Arc& a : ArcsOf(g, v, direction)) {
+      if (done[a.to]) continue;
+      queue.push(
+          {top.d + a.weight, next_pruned ? uint8_t{0} : uint8_t{1}, a.to});
+    }
+  }
+  return result;
+}
+
+}  // namespace hc2l

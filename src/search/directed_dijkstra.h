@@ -1,0 +1,34 @@
+#ifndef HC2L_SEARCH_DIRECTED_DIJKSTRA_H_
+#define HC2L_SEARCH_DIRECTED_DIJKSTRA_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+
+/// Search direction over a Digraph.
+enum class SearchDirection {
+  kForward,   // along out-arcs: computes d(source -> v)
+  kBackward,  // along in-arcs: computes d(v -> source)
+};
+
+/// Single-source shortest paths on a digraph, either direction.
+std::vector<Dist> DirectedDistancesFrom(const Digraph& g, Vertex source,
+                                        SearchDirection direction);
+
+/// One-shot s -> t distance.
+Dist DirectedShortestPathDistance(const Digraph& g, Vertex s, Vertex t);
+
+/// Directed version of Algorithm 4: Dijkstra from `root` in `direction`
+/// that flags, per vertex, whether some shortest path passes through a
+/// tracked intermediate vertex. Used by the directed HC2L's per-side tail
+/// pruning (Section 5.3).
+DistAndPruneResult DirectedDistAndPrune(const Digraph& g, Vertex root,
+                                        SearchDirection direction,
+                                        const std::vector<uint8_t>& in_p);
+
+}  // namespace hc2l
+
+#endif  // HC2L_SEARCH_DIRECTED_DIJKSTRA_H_

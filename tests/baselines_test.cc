@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include "baselines/contraction_hierarchies.h"
+#include "baselines/h2h.h"
+#include "baselines/hub_labelling.h"
+#include "baselines/pruned_highway_labelling.h"
+#include "baselines/tree_decomposition.h"
+#include "common/rng.h"
+#include "graph/road_network_generator.h"
+#include "search/dijkstra.h"
+#include "test_util.h"
+
+namespace hc2l {
+namespace {
+
+using ::hc2l::testing::FloydWarshall;
+using ::hc2l::testing::MakeBarbell;
+using ::hc2l::testing::MakeComplete;
+using ::hc2l::testing::MakeCycle;
+using ::hc2l::testing::MakeGrid;
+using ::hc2l::testing::MakePath;
+using ::hc2l::testing::MakeStar;
+
+template <typename Index>
+void ExpectAllPairsCorrect(const Graph& g, const Index& index) {
+  const auto truth = FloydWarshall(g);
+  for (Vertex s = 0; s < g.NumVertices(); ++s) {
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(index.Query(s, t), truth[s][t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+// ---------- Contraction Hierarchies ----------
+
+TEST(ContractionHierarchies, SmallShapes) {
+  ExpectAllPairsCorrect(MakePath(20, 3), ContractionHierarchies(MakePath(20, 3)));
+  ExpectAllPairsCorrect(MakeCycle(15, 2), ContractionHierarchies(MakeCycle(15, 2)));
+  ExpectAllPairsCorrect(MakeStar(12, 4), ContractionHierarchies(MakeStar(12, 4)));
+  ExpectAllPairsCorrect(MakeComplete(9, 5), ContractionHierarchies(MakeComplete(9, 5)));
+  ExpectAllPairsCorrect(MakeBarbell(6, 3, 1), ContractionHierarchies(MakeBarbell(6, 3, 1)));
+}
+
+TEST(ContractionHierarchies, GridAllPairs) {
+  Graph g = MakeGrid(6, 7, 2);
+  ExpectAllPairsCorrect(g, ContractionHierarchies(g));
+}
+
+TEST(ContractionHierarchies, DisconnectedGraph) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(3, 4, 3);
+  Graph g = std::move(b).Build();
+  ContractionHierarchies ch(g);
+  EXPECT_EQ(ch.Query(0, 2), 3u);
+  EXPECT_EQ(ch.Query(0, 4), kInfDist);
+  EXPECT_EQ(ch.Query(5, 5), 0u);
+}
+
+TEST(ContractionHierarchies, RanksArePermutation) {
+  Graph g = MakeGrid(5, 5);
+  ContractionHierarchies ch(g);
+  std::vector<uint8_t> seen(25, 0);
+  for (Vertex v = 0; v < 25; ++v) {
+    ASSERT_LT(ch.Rank(v), 25u);
+    ASSERT_EQ(seen[ch.Rank(v)], 0);
+    seen[ch.Rank(v)] = 1;
+  }
+  const auto order = ch.ImportanceOrder();
+  ASSERT_EQ(order.size(), 25u);
+  EXPECT_EQ(ch.Rank(order.front()), 24u);  // most important first
+  EXPECT_EQ(ch.Rank(order.back()), 0u);
+}
+
+class ChPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChPropertyTest, MatchesDijkstraOnRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 14;
+  opt.seed = GetParam();
+  opt.weight_mode =
+      GetParam() % 2 == 0 ? WeightMode::kDistance : WeightMode::kTravelTime;
+  Graph g = GenerateRoadNetwork(opt);
+  ContractionHierarchies ch(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() + 500);
+  for (int i = 0; i < 30; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 4; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(ch.Query(s, t), dijkstra.DistanceTo(t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------- Hub Labelling ----------
+
+TEST(HubLabelling, SmallShapes) {
+  ExpectAllPairsCorrect(MakePath(20, 3), HubLabelling(MakePath(20, 3)));
+  ExpectAllPairsCorrect(MakeCycle(15, 2), HubLabelling(MakeCycle(15, 2)));
+  ExpectAllPairsCorrect(MakeStar(12, 4), HubLabelling(MakeStar(12, 4)));
+  ExpectAllPairsCorrect(MakeComplete(9, 5), HubLabelling(MakeComplete(9, 5)));
+}
+
+TEST(HubLabelling, GridWithChOrder) {
+  Graph g = MakeGrid(6, 7, 2);
+  ContractionHierarchies ch(g);
+  HubLabelling hl(g, ch.ImportanceOrder());
+  ExpectAllPairsCorrect(g, hl);
+  EXPECT_GT(hl.NumEntries(), g.NumVertices());
+  EXPECT_GT(hl.AvgLabelSize(), 1.0);
+  EXPECT_GT(hl.MemoryBytes(), 0u);
+}
+
+TEST(HubLabelling, DisconnectedGraph) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(2, 3, 4);
+  Graph g = std::move(b).Build();
+  HubLabelling hl(g);
+  EXPECT_EQ(hl.Query(0, 1), 2u);
+  EXPECT_EQ(hl.Query(0, 3), kInfDist);
+  EXPECT_EQ(hl.Query(4, 0), kInfDist);
+}
+
+TEST(HubLabelling, ChOrderGivesSmallerLabelsThanRandomOrder) {
+  RoadNetworkOptions opt;
+  opt.rows = 14;
+  opt.cols = 14;
+  opt.seed = 9;
+  Graph g = GenerateRoadNetwork(opt);
+  ContractionHierarchies ch(g);
+  HubLabelling good(g, ch.ImportanceOrder());
+  // Adversarial order: identity (spatially clustered, poor hubs).
+  std::vector<Vertex> identity(g.NumVertices());
+  for (Vertex v = 0; v < g.NumVertices(); ++v) identity[v] = v;
+  HubLabelling bad(g, identity);
+  EXPECT_LT(good.NumEntries(), bad.NumEntries());
+}
+
+class HlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HlPropertyTest, MatchesDijkstraOnRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 11;
+  opt.cols = 13;
+  opt.seed = GetParam();
+  Graph g = GenerateRoadNetwork(opt);
+  ContractionHierarchies ch(g);
+  HubLabelling hl(g, ch.ImportanceOrder());
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() * 3 + 1);
+  for (int i = 0; i < 25; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 4; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(hl.Query(s, t), dijkstra.DistanceTo(t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HlPropertyTest, ::testing::Values(1, 2, 3, 4));
+
+// ---------- Tree decomposition ----------
+
+TEST(TreeDecomposition, ValidOnSmallShapes) {
+  for (const Graph& g :
+       {MakePath(15), MakeCycle(12), MakeStar(9), MakeGrid(5, 5),
+        MakeComplete(7)}) {
+    TreeDecomposition td = BuildTreeDecomposition(g);
+    EXPECT_TRUE(td.Validate(g));
+  }
+}
+
+TEST(TreeDecomposition, PathHasWidthTwo) {
+  TreeDecomposition td = BuildTreeDecomposition(MakePath(30));
+  EXPECT_TRUE(td.Validate(MakePath(30)));
+  EXPECT_LE(td.MaxBagSize(), 2u);
+}
+
+TEST(TreeDecomposition, CompleteGraphHasFullWidth) {
+  TreeDecomposition td = BuildTreeDecomposition(MakeComplete(8));
+  EXPECT_EQ(td.MaxBagSize(), 8u);
+}
+
+TEST(TreeDecomposition, GridWidthScalesWithSide) {
+  TreeDecomposition td = BuildTreeDecomposition(MakeGrid(8, 8));
+  EXPECT_GE(td.MaxBagSize(), 8u);   // treewidth of an 8x8 grid is 8
+  EXPECT_LE(td.MaxBagSize(), 20u);  // MDE is suboptimal but not crazy
+  EXPECT_GT(td.Height(), 8u);
+}
+
+TEST(TreeDecomposition, DisconnectedComponentsShareRoot) {
+  GraphBuilder b(8);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(2, 3, 1);
+  b.AddEdge(4, 5, 1);
+  Graph g = std::move(b).Build();
+  TreeDecomposition td = BuildTreeDecomposition(g);
+  size_t roots = 0;
+  for (Vertex v = 0; v < 8; ++v) {
+    if (td.parent[v] == kInvalidVertex) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);  // other components are fake-linked under the root
+}
+
+// ---------- H2H ----------
+
+TEST(H2hIndex, SmallShapes) {
+  ExpectAllPairsCorrect(MakePath(20, 3), H2hIndex(MakePath(20, 3)));
+  ExpectAllPairsCorrect(MakeCycle(15, 2), H2hIndex(MakeCycle(15, 2)));
+  ExpectAllPairsCorrect(MakeStar(12, 4), H2hIndex(MakeStar(12, 4)));
+  ExpectAllPairsCorrect(MakeComplete(9, 5), H2hIndex(MakeComplete(9, 5)));
+  ExpectAllPairsCorrect(MakeBarbell(6, 3, 1), H2hIndex(MakeBarbell(6, 3, 1)));
+}
+
+TEST(H2hIndex, GridAllPairs) {
+  Graph g = MakeGrid(6, 7, 2);
+  ExpectAllPairsCorrect(g, H2hIndex(g));
+}
+
+TEST(H2hIndex, DisconnectedGraph) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(3, 4, 3);
+  Graph g = std::move(b).Build();
+  H2hIndex h2h(g);
+  EXPECT_EQ(h2h.Query(0, 2), 3u);
+  EXPECT_EQ(h2h.Query(0, 4), kInfDist);
+  EXPECT_EQ(h2h.Query(5, 5), 0u);
+  EXPECT_EQ(h2h.Query(5, 0), kInfDist);
+}
+
+TEST(H2hIndex, StatsArePopulated) {
+  Graph g = MakeGrid(8, 8);
+  H2hIndex h2h(g);
+  EXPECT_GT(h2h.TreeHeight(), 0u);
+  EXPECT_GE(h2h.TreeWidth(), 8u);
+  EXPECT_GT(h2h.LcaStorageBytes(), 0u);
+  EXPECT_GT(h2h.LabelSizeBytes(), 0u);
+  EXPECT_GT(h2h.NumDistanceEntries(), 64u);
+  uint64_t hubs = 0;
+  EXPECT_EQ(h2h.QueryCountingHubs(0, 63, &hubs), 14u);
+  EXPECT_GT(hubs, 0u);
+}
+
+class H2hPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(H2hPropertyTest, MatchesDijkstraOnRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 13;
+  opt.seed = GetParam();
+  opt.weight_mode =
+      GetParam() % 2 == 0 ? WeightMode::kDistance : WeightMode::kTravelTime;
+  Graph g = GenerateRoadNetwork(opt);
+  H2hIndex h2h(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() * 7 + 3);
+  for (int i = 0; i < 30; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 4; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(h2h.Query(s, t), dijkstra.DistanceTo(t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, H2hPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------- PHL ----------
+
+TEST(PrunedHighwayLabelling, SmallShapes) {
+  ExpectAllPairsCorrect(MakePath(20, 3),
+                        PrunedHighwayLabelling(MakePath(20, 3)));
+  ExpectAllPairsCorrect(MakeCycle(15, 2),
+                        PrunedHighwayLabelling(MakeCycle(15, 2)));
+  ExpectAllPairsCorrect(MakeStar(12, 4),
+                        PrunedHighwayLabelling(MakeStar(12, 4)));
+  ExpectAllPairsCorrect(MakeComplete(9, 5),
+                        PrunedHighwayLabelling(MakeComplete(9, 5)));
+}
+
+TEST(PrunedHighwayLabelling, GridAllPairs) {
+  Graph g = MakeGrid(6, 7, 2);
+  PrunedHighwayLabelling phl(g);
+  ExpectAllPairsCorrect(g, phl);
+  EXPECT_GT(phl.NumPaths(), 1u);
+  EXPECT_GT(phl.NumEntries(), 0u);
+  EXPECT_GT(phl.MemoryBytes(), 0u);
+}
+
+TEST(PrunedHighwayLabelling, PathGraphDecomposesIntoFewHighways) {
+  // The SP-tree root may sit one hop inside the path, in which case the stub
+  // behind it forms a second (light) path: at most 2 highways.
+  Graph g = MakePath(25, 2);
+  PrunedHighwayLabelling phl(g);
+  EXPECT_LE(phl.NumPaths(), 2u);
+  ExpectAllPairsCorrect(g, phl);
+}
+
+TEST(PrunedHighwayLabelling, DisconnectedGraph) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(3, 4, 3);
+  Graph g = std::move(b).Build();
+  PrunedHighwayLabelling phl(g);
+  EXPECT_EQ(phl.Query(0, 2), 3u);
+  EXPECT_EQ(phl.Query(0, 4), kInfDist);
+  EXPECT_EQ(phl.Query(5, 5), 0u);
+}
+
+class PhlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PhlPropertyTest, MatchesDijkstraOnRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 11;
+  opt.cols = 12;
+  opt.seed = GetParam();
+  opt.weight_mode =
+      GetParam() % 2 == 0 ? WeightMode::kDistance : WeightMode::kTravelTime;
+  Graph g = GenerateRoadNetwork(opt);
+  PrunedHighwayLabelling phl(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() * 13 + 7);
+  for (int i = 0; i < 25; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 4; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(phl.Query(s, t), dijkstra.DistanceTo(t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhlPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------- Cross-method agreement ----------
+
+TEST(AllMethods, AgreeOnModerateRoadNetwork) {
+  RoadNetworkOptions opt;
+  opt.rows = 16;
+  opt.cols = 16;
+  opt.seed = 77;
+  Graph g = GenerateRoadNetwork(opt);
+  ContractionHierarchies ch(g);
+  HubLabelling hl(g, ch.ImportanceOrder());
+  H2hIndex h2h(g);
+  PrunedHighwayLabelling phl(g);
+  BidirectionalDijkstra bidi(g);
+  Rng rng(123);
+  for (int i = 0; i < 150; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Dist expected = bidi.Query(s, t);
+    ASSERT_EQ(ch.Query(s, t), expected);
+    ASSERT_EQ(hl.Query(s, t), expected);
+    ASSERT_EQ(h2h.Query(s, t), expected);
+    ASSERT_EQ(phl.Query(s, t), expected);
+  }
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/hc2l.h"
+#include "graph/road_network_generator.h"
+#include "search/dijkstra.h"
+#include "test_util.h"
+
+namespace hc2l {
+namespace {
+
+using ::hc2l::testing::MakeGrid;
+
+TEST(BatchQuery, MatchesSingleQueries) {
+  Graph g = MakeGrid(9, 9, 3);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  const std::vector<Vertex> targets = {0, 5, 17, 44, 80, 80, 12};
+  const auto batch = index.BatchQuery(40, targets);
+  ASSERT_EQ(batch.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(batch[i], index.Query(40, targets[i]));
+  }
+}
+
+TEST(BatchQuery, EmptyTargets) {
+  Graph g = MakeGrid(3, 3);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  EXPECT_TRUE(index.BatchQuery(0, {}).empty());
+}
+
+TEST(DistanceMatrix, MatchesDijkstraMatrix) {
+  RoadNetworkOptions opt;
+  opt.rows = 10;
+  opt.cols = 11;
+  opt.seed = 77;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  const std::vector<Vertex> sources = {0, 13, 57};
+  const std::vector<Vertex> targets = {3, 99, 101, 42};
+  const auto matrix = index.DistanceMatrix(sources, targets);
+  ASSERT_EQ(matrix.size(), sources.size());
+  Dijkstra dijkstra(g);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ASSERT_EQ(matrix[i].size(), targets.size());
+    dijkstra.Run(sources[i]);
+    for (size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(matrix[i][j], dijkstra.DistanceTo(targets[j]));
+    }
+  }
+}
+
+TEST(KNearest, ReturnsSortedNearest) {
+  Graph g = MakeGrid(8, 8, 10);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  const std::vector<Vertex> candidates = {63, 0, 7, 56, 27, 36};
+  const auto nearest = index.KNearest(0, candidates, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0].second, 0u);  // the source itself, distance 0
+  EXPECT_EQ(nearest[0].first, 0u);
+  EXPECT_LE(nearest[0].first, nearest[1].first);
+  EXPECT_LE(nearest[1].first, nearest[2].first);
+  // Every returned distance beats every excluded candidate.
+  for (const Vertex c : candidates) {
+    bool returned = false;
+    for (const auto& [d, v] : nearest) returned |= v == c;
+    if (!returned) {
+      EXPECT_GE(index.Query(0, c), nearest.back().first);
+    }
+  }
+}
+
+TEST(KNearest, ExcludesUnreachableAndClampsK) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(1, 2, 2);
+  // 3, 4 disconnected.
+  Graph g = std::move(b).Build();
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  const std::vector<Vertex> candidates = {1, 2, 3, 4};
+  const auto nearest = index.KNearest(0, candidates, 10);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_EQ(nearest[0].second, 1u);
+  EXPECT_EQ(nearest[1].second, 2u);
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+namespace hc2l {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  bool any_different = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) any_different |= a2.Next() != c.Next();
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    const uint64_t r = rng.Range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  // Roughly fills the interval.
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, ChanceIsCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, CoversManyDistinctValues) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Next());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double seconds = timer.Seconds();
+  EXPECT_GE(seconds, 0.015);
+  EXPECT_LT(seconds, 5.0);
+  EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1e3, 1.0);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 0.015);
+}
+
+TEST(Types, SentinelsAreExtremes) {
+  EXPECT_EQ(kInfDist, std::numeric_limits<Dist>::max());
+  EXPECT_EQ(kInvalidVertex, std::numeric_limits<Vertex>::max());
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,203 @@
+#include "search/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/road_network_generator.h"
+#include "test_util.h"
+
+namespace hc2l {
+namespace {
+
+using ::hc2l::testing::FloydWarshall;
+using ::hc2l::testing::MakeCycle;
+using ::hc2l::testing::MakeGrid;
+using ::hc2l::testing::MakePath;
+
+TEST(Dijkstra, PathGraphDistances) {
+  Graph g = MakePath(6, 3);
+  Dijkstra d(g);
+  d.Run(0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(d.DistanceTo(v), 3u * v);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1);
+  Graph g = std::move(b).Build();
+  Dijkstra d(g);
+  d.Run(0);
+  EXPECT_EQ(d.DistanceTo(2), kInfDist);
+}
+
+TEST(Dijkstra, ReusableAcrossRuns) {
+  Graph g = MakePath(5, 2);
+  Dijkstra d(g);
+  d.Run(0);
+  EXPECT_EQ(d.DistanceTo(4), 8u);
+  d.Run(4);
+  EXPECT_EQ(d.DistanceTo(0), 8u);
+  EXPECT_EQ(d.DistanceTo(4), 0u);
+}
+
+TEST(Dijkstra, EarlyExitAtTarget) {
+  Graph g = MakePath(100, 1);
+  Dijkstra d(g);
+  d.RunToTarget(0, 3);
+  EXPECT_EQ(d.DistanceTo(3), 3u);
+  // Vertices beyond the target were not settled.
+  EXPECT_LT(d.SettledVertices().size(), 10u);
+}
+
+TEST(Dijkstra, FurthestVertexOnPath) {
+  Graph g = MakePath(7);
+  Dijkstra d(g);
+  d.Run(0);
+  EXPECT_EQ(d.FurthestVertex(), 6u);
+}
+
+TEST(Dijkstra, MatchesFloydWarshallOnRandomGeometricGraph) {
+  Graph g = GenerateRandomGeometricGraph(40, 3, 11);
+  auto truth = FloydWarshall(g);
+  Dijkstra d(g);
+  for (Vertex s = 0; s < g.NumVertices(); ++s) {
+    d.Run(s);
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(d.DistanceTo(t), truth[s][t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ShortestPathDistance, GridCorners) {
+  Graph g = MakeGrid(5, 5);
+  EXPECT_EQ(ShortestPathDistance(g, 0, 24), 8u);
+}
+
+TEST(AllDistancesFrom, MatchesDijkstra) {
+  Graph g = MakeCycle(9, 2);
+  auto dist = AllDistancesFrom(g, 0);
+  EXPECT_EQ(dist[4], 8u);
+  EXPECT_EQ(dist[5], 8u);
+  EXPECT_EQ(dist[8], 2u);
+}
+
+class BidiDijkstraParam : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BidiDijkstraParam, MatchesUnidirectionalOnRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 14;
+  opt.cols = 17;
+  opt.seed = GetParam();
+  Graph g = GenerateRoadNetwork(opt);
+  Dijkstra uni(g);
+  BidirectionalDijkstra bidi(g);
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 50; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    uni.RunToTarget(s, t);
+    ASSERT_EQ(bidi.Query(s, t), uni.DistanceTo(t)) << "s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BidiDijkstraParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BidirectionalDijkstra, SameSourceAndTarget) {
+  Graph g = MakeGrid(3, 3);
+  BidirectionalDijkstra bidi(g);
+  EXPECT_EQ(bidi.Query(4, 4), 0u);
+}
+
+TEST(BidirectionalDijkstra, DisconnectedPair) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(2, 3, 1);
+  Graph g = std::move(b).Build();
+  BidirectionalDijkstra bidi(g);
+  EXPECT_EQ(bidi.Query(0, 3), kInfDist);
+}
+
+TEST(DistAndPrune, FlagsPathsThroughTrackedSet) {
+  // Path 0-1-2-3: from root 0 with P={1}, vertices 2 and 3 are reached only
+  // through 1, vertex 1 itself is not its own intermediate.
+  Graph g = MakePath(4, 1);
+  std::vector<uint8_t> in_p(4, 0);
+  in_p[1] = 1;
+  auto r = DistAndPrune(g, 0, in_p);
+  EXPECT_EQ(r.dist[3], 3u);
+  EXPECT_EQ(r.via[0], 0);
+  EXPECT_EQ(r.via[1], 0);
+  EXPECT_EQ(r.via[2], 1);
+  EXPECT_EQ(r.via[3], 1);
+}
+
+TEST(DistAndPrune, ExistentialOverTiedShortestPaths) {
+  // Diamond: 0-1-3 and 0-2-3, both length 2. P = {1}: one of the two
+  // shortest paths to 3 passes through 1, so via[3] must be set.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(0, 2, 1);
+  b.AddEdge(1, 3, 1);
+  b.AddEdge(2, 3, 1);
+  Graph g = std::move(b).Build();
+  std::vector<uint8_t> in_p(4, 0);
+  in_p[1] = 1;
+  auto r = DistAndPrune(g, 0, in_p);
+  EXPECT_EQ(r.dist[3], 2u);
+  EXPECT_EQ(r.via[3], 1);
+  EXPECT_EQ(r.via[2], 0);
+}
+
+TEST(DistAndPrune, RootMembershipIgnored) {
+  Graph g = MakePath(3, 1);
+  std::vector<uint8_t> in_p(3, 0);
+  in_p[0] = 1;  // root itself tracked: must not mark anything
+  auto r = DistAndPrune(g, 0, in_p);
+  EXPECT_EQ(r.via[1], 0);
+  EXPECT_EQ(r.via[2], 0);
+}
+
+TEST(DistAndPrune, NoTrackedVerticesNothingFlagged) {
+  Graph g = MakeGrid(4, 4);
+  std::vector<uint8_t> in_p(16, 0);
+  auto r = DistAndPrune(g, 5, in_p);
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(r.via[v], 0);
+}
+
+TEST(DistAndPrune, MatchesBruteForceSemantics) {
+  // via[v] == 1 iff exists u in P, u != root, u != v with
+  // d(root,u) + d(u,v) == d(root,v).
+  Graph g = GenerateRandomGeometricGraph(35, 3, 99);
+  auto truth = FloydWarshall(g);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vertex root = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    std::vector<uint8_t> in_p(g.NumVertices(), 0);
+    for (int j = 0; j < 4; ++j) in_p[rng.Below(g.NumVertices())] = 1;
+    auto r = DistAndPrune(g, root, in_p);
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(r.dist[v], truth[root][v]);
+      bool expect_via = false;
+      for (Vertex u = 0; u < g.NumVertices(); ++u) {
+        if (!in_p[u] || u == root || u == v) continue;
+        if (truth[root][u] != kInfDist && truth[u][v] != kInfDist &&
+            truth[root][u] + truth[u][v] == truth[root][v]) {
+          expect_via = true;
+        }
+      }
+      ASSERT_EQ(r.via[v] != 0, expect_via)
+          << "root=" << root << " v=" << v << " trial=" << trial;
+    }
+  }
+}
+
+TEST(BfsHops, GridHopCounts) {
+  Graph g = MakeGrid(3, 3, 100);  // weights ignored by BFS
+  auto hops = BfsHops(g, 0);
+  EXPECT_EQ(hops[8], 4u);
+  EXPECT_EQ(hops[4], 2u);
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,237 @@
+#include "core/directed_hc2l.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/road_network_generator.h"
+#include "search/directed_dijkstra.h"
+
+namespace hc2l {
+namespace {
+
+/// All-pairs directed distances by repeated Dijkstra (ground truth).
+std::vector<std::vector<Dist>> AllPairs(const Digraph& g) {
+  std::vector<std::vector<Dist>> d;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    d.push_back(DirectedDistancesFrom(g, v, SearchDirection::kForward));
+  }
+  return d;
+}
+
+void ExpectAllPairsCorrect(const Digraph& g, const DirectedHc2lIndex& index) {
+  const auto truth = AllPairs(g);
+  for (Vertex s = 0; s < g.NumVertices(); ++s) {
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(index.Query(s, t), truth[s][t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(Digraph, BuilderStoresBothCsrSides) {
+  DigraphBuilder b(3);
+  b.AddArc(0, 1, 5);
+  b.AddArc(1, 2, 7);
+  b.AddArc(2, 0, 9);
+  Digraph g = std::move(b).Build();
+  EXPECT_EQ(g.NumArcs(), 3u);
+  ASSERT_EQ(g.OutArcs(0).size(), 1u);
+  EXPECT_EQ(g.OutArcs(0)[0].to, 1u);
+  ASSERT_EQ(g.InArcs(0).size(), 1u);
+  EXPECT_EQ(g.InArcs(0)[0].to, 2u);  // source of the incoming arc
+  EXPECT_EQ(g.InArcs(0)[0].weight, 9u);
+}
+
+TEST(Digraph, ParallelArcsCollapseToMinimum) {
+  DigraphBuilder b(2);
+  b.AddArc(0, 1, 9);
+  b.AddArc(0, 1, 3);
+  Digraph g = std::move(b).Build();
+  EXPECT_EQ(g.NumArcs(), 1u);
+  EXPECT_EQ(g.OutArcs(0)[0].weight, 3u);
+}
+
+TEST(Digraph, UndirectedProjectionMergesDirections) {
+  DigraphBuilder b(3);
+  b.AddArc(0, 1, 5);
+  b.AddArc(1, 0, 2);
+  b.AddArc(1, 2, 4);
+  Digraph g = std::move(b).Build();
+  Graph projection = g.UndirectedProjection();
+  EXPECT_EQ(projection.NumEdges(), 2u);
+  EXPECT_EQ(projection.Neighbors(0)[0].weight, 2u);  // min of 5 and 2
+}
+
+TEST(Digraph, InducedSubdigraphWithShortcutArcs) {
+  DigraphBuilder b(4);
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 2, 1);
+  b.AddArc(2, 3, 1);
+  Digraph g = std::move(b).Build();
+  const std::vector<Vertex> keep = {0, 2, 3};
+  const std::vector<DirectedArc> extra = {{0, 2, 2}};
+  Subdigraph sub = InducedSubdigraph(g, keep, extra);
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumArcs(), 2u);  // 2->3 survives, 0->2 shortcut
+}
+
+TEST(DirectedDijkstra, ForwardAndBackwardAgree) {
+  DigraphBuilder b(4);
+  b.AddArc(0, 1, 2);
+  b.AddArc(1, 2, 3);
+  b.AddArc(2, 3, 4);
+  b.AddArc(3, 0, 5);
+  Digraph g = std::move(b).Build();
+  const auto fwd = DirectedDistancesFrom(g, 0, SearchDirection::kForward);
+  EXPECT_EQ(fwd[3], 9u);
+  const auto bwd = DirectedDistancesFrom(g, 3, SearchDirection::kBackward);
+  EXPECT_EQ(bwd[0], 9u);  // d(0 -> 3) seen from the target side
+  EXPECT_EQ(bwd[1], 7u);
+}
+
+TEST(DirectedDijkstra, OneWayUnreachability) {
+  DigraphBuilder b(3);
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 2, 1);
+  Digraph g = std::move(b).Build();
+  EXPECT_EQ(DirectedShortestPathDistance(g, 0, 2), 2u);
+  EXPECT_EQ(DirectedShortestPathDistance(g, 2, 0), kInfDist);
+}
+
+TEST(DirectedDistAndPrune, DirectionalFlags) {
+  // 0 -> 1 -> 2, P = {1}: forward from 0 flags 2; backward from 2 flags 0.
+  DigraphBuilder b(3);
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 2, 1);
+  Digraph g = std::move(b).Build();
+  std::vector<uint8_t> in_p = {0, 1, 0};
+  const auto fwd = DirectedDistAndPrune(g, 0, SearchDirection::kForward, in_p);
+  EXPECT_EQ(fwd.via[2], 1);
+  EXPECT_EQ(fwd.via[1], 0);
+  const auto bwd =
+      DirectedDistAndPrune(g, 2, SearchDirection::kBackward, in_p);
+  EXPECT_EQ(bwd.via[0], 1);
+  EXPECT_EQ(bwd.dist[0], 2u);
+}
+
+TEST(DirectedHc2l, DirectedCycle) {
+  DigraphBuilder b(6);
+  for (Vertex v = 0; v < 6; ++v) b.AddArc(v, (v + 1) % 6, v + 1);
+  Digraph g = std::move(b).Build();
+  ExpectAllPairsCorrect(g, DirectedHc2lIndex::Build(g));
+}
+
+TEST(DirectedHc2l, OneWayPair) {
+  DigraphBuilder b(2);
+  b.AddArc(0, 1, 7);
+  Digraph g = std::move(b).Build();
+  DirectedHc2lIndex index = DirectedHc2lIndex::Build(g);
+  EXPECT_EQ(index.Query(0, 1), 7u);
+  EXPECT_EQ(index.Query(1, 0), kInfDist);
+}
+
+TEST(DirectedHc2l, AsymmetricGridWithShortcuts) {
+  // Bidirectional grid plus a fast one-way diagonal chain.
+  DigraphBuilder b(25);
+  auto id = [](Vertex r, Vertex c) { return r * 5 + c; };
+  for (Vertex r = 0; r < 5; ++r) {
+    for (Vertex c = 0; c < 5; ++c) {
+      if (c + 1 < 5) b.AddBidirectional(id(r, c), id(r, c + 1), 10);
+      if (r + 1 < 5) b.AddBidirectional(id(r, c), id(r + 1, c), 10);
+    }
+  }
+  for (Vertex i = 0; i + 1 < 5; ++i) b.AddArc(id(i, i), id(i + 1, i + 1), 3);
+  Digraph g = std::move(b).Build();
+  ExpectAllPairsCorrect(g, DirectedHc2lIndex::Build(g));
+}
+
+TEST(DirectedHc2l, WeaklyDisconnected) {
+  DigraphBuilder b(5);
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 0, 2);
+  b.AddArc(2, 3, 3);
+  Digraph g = std::move(b).Build();
+  DirectedHc2lIndex index = DirectedHc2lIndex::Build(g);
+  EXPECT_EQ(index.Query(0, 1), 1u);
+  EXPECT_EQ(index.Query(1, 0), 2u);
+  EXPECT_EQ(index.Query(0, 3), kInfDist);
+  EXPECT_EQ(index.Query(3, 2), kInfDist);
+  EXPECT_EQ(index.Query(4, 4), 0u);
+}
+
+class DirectedHc2lPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(DirectedHc2lPropertyTest, MatchesDijkstraOnOneWayRoadNetworks) {
+  const auto [seed, tail_pruning] = GetParam();
+  RoadNetworkOptions opt;
+  opt.rows = 10;
+  opt.cols = 12;
+  opt.seed = seed;
+  opt.weight_mode =
+      seed % 2 == 0 ? WeightMode::kDistance : WeightMode::kTravelTime;
+  Digraph g = GenerateDirectedRoadNetwork(opt, /*one_way_frac=*/0.25);
+  DirectedHc2lOptions options;
+  options.tail_pruning = tail_pruning;
+  DirectedHc2lIndex index = DirectedHc2lIndex::Build(g, options);
+  Rng rng(seed * 11 + 3);
+  for (int i = 0; i < 25; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const auto truth = DirectedDistancesFrom(g, s, SearchDirection::kForward);
+    for (int j = 0; j < 6; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(index.Query(s, t), truth[t])
+          << "seed=" << seed << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPruning, DirectedHc2lPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Bool()));
+
+TEST(DirectedHc2l, TailPruningShrinksLabels) {
+  RoadNetworkOptions opt;
+  opt.rows = 14;
+  opt.cols = 14;
+  opt.seed = 8;
+  Digraph g = GenerateDirectedRoadNetwork(opt, 0.2);
+  DirectedHc2lOptions pruned;
+  pruned.tail_pruning = true;
+  DirectedHc2lOptions naive;
+  naive.tail_pruning = false;
+  EXPECT_LT(DirectedHc2lIndex::Build(g, pruned).NumEntries(),
+            DirectedHc2lIndex::Build(g, naive).NumEntries());
+}
+
+TEST(DirectedHc2l, SymmetricDigraphMatchesUndirectedSemantics) {
+  // A fully bidirectional digraph must behave like the undirected graph.
+  RoadNetworkOptions opt;
+  opt.rows = 9;
+  opt.cols = 9;
+  opt.seed = 5;
+  Digraph g = GenerateDirectedRoadNetwork(opt, /*one_way_frac=*/0.0);
+  DirectedHc2lIndex index = DirectedHc2lIndex::Build(g);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    ASSERT_EQ(index.Query(s, t), index.Query(t, s));
+  }
+}
+
+TEST(GenerateDirectedRoadNetwork, OneWayFractionRoughlyRespected) {
+  RoadNetworkOptions opt;
+  opt.rows = 20;
+  opt.cols = 20;
+  opt.seed = 3;
+  Digraph g = GenerateDirectedRoadNetwork(opt, 0.3);
+  const Graph base = GenerateRoadNetwork(opt);
+  // arcs = 2 * (1 - frac) * E + frac * E approximately.
+  const double expected =
+      base.NumEdges() * (2.0 * 0.7 + 0.3);
+  EXPECT_NEAR(static_cast<double>(g.NumArcs()), expected, expected * 0.1);
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hc2l.h"
+#include "graph/road_network_generator.h"
+#include "search/dijkstra.h"
+#include "test_util.h"
+
+namespace hc2l {
+namespace {
+
+using ::hc2l::testing::MakeGrid;
+
+/// Returns a copy of g with `changes` random edges re-weighted (same
+/// topology) — simulating road closures easing / congestion (Section 5.4).
+Graph PerturbWeights(const Graph& g, size_t changes, uint64_t seed) {
+  std::vector<Edge> edges = g.UndirectedEdges();
+  Rng rng(seed);
+  for (size_t i = 0; i < changes; ++i) {
+    Edge& e = edges[rng.Below(edges.size())];
+    e.weight = static_cast<Weight>(1 + rng.Below(500));
+  }
+  GraphBuilder builder(g.NumVertices());
+  builder.AddEdges(edges);
+  return std::move(builder).Build();
+}
+
+TEST(RebuildLabels, ExactAfterWeightChange) {
+  RoadNetworkOptions opt;
+  opt.rows = 14;
+  opt.cols = 16;
+  opt.seed = 9;
+  Graph original = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(original);
+
+  Graph updated = PerturbWeights(original, 60, 4);
+  index.RebuildLabels(updated);
+
+  Dijkstra dijkstra(updated);
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(updated.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 5; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(updated.NumVertices()));
+      ASSERT_EQ(index.Query(s, t), dijkstra.DistanceTo(t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(RebuildLabels, NoOpRebuildPreservesAnswers) {
+  Graph g = MakeGrid(10, 10, 7);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  const Dist before = index.Query(0, 99);
+  index.RebuildLabels(g);
+  EXPECT_EQ(index.Query(0, 99), before);
+  EXPECT_EQ(index.Query(5, 87), ShortestPathDistance(g, 5, 87));
+}
+
+TEST(RebuildLabels, RepeatedUpdatesStayExact) {
+  RoadNetworkOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  opt.seed = 20;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  Rng rng(5);
+  for (int round = 0; round < 4; ++round) {
+    g = PerturbWeights(g, 25, 100 + round);
+    index.RebuildLabels(g);
+    Dijkstra dijkstra(g);
+    for (int i = 0; i < 10; ++i) {
+      const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      dijkstra.Run(s);
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(index.Query(s, t), dijkstra.DistanceTo(t))
+          << "round=" << round;
+    }
+  }
+}
+
+TEST(RebuildLabels, WorksWithoutContraction) {
+  RoadNetworkOptions opt;
+  opt.rows = 9;
+  opt.cols = 9;
+  opt.seed = 13;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lOptions options;
+  options.contract_degree_one = false;
+  Hc2lIndex index = Hc2lIndex::Build(g, options);
+  Graph updated = PerturbWeights(g, 30, 2);
+  index.RebuildLabels(updated);
+  Dijkstra dijkstra(updated);
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    ASSERT_EQ(index.Query(s, t), dijkstra.DistanceTo(t));
+  }
+}
+
+TEST(RebuildLabels, WithoutTailPruningAlsoExact) {
+  Graph g = MakeGrid(8, 12, 5);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  Graph updated = PerturbWeights(g, 20, 8);
+  index.RebuildLabels(updated, /*tail_pruning=*/false);
+  Dijkstra dijkstra(updated);
+  for (Vertex s = 0; s < g.NumVertices(); s += 7) {
+    dijkstra.Run(s);
+    for (Vertex t = 0; t < g.NumVertices(); t += 11) {
+      ASSERT_EQ(index.Query(s, t), dijkstra.DistanceTo(t));
+    }
+  }
+}
+
+TEST(RebuildLabels, SeparatorRepairUnderHeavyCongestion) {
+  // Regression test: multiplicative congestion can change which shortcuts
+  // Algorithm 3 emits, and a new shortcut may cross a stored descendant cut;
+  // RebuildLabels must repair the separator (move an endpoint into the cut)
+  // or answers overestimate. Travel-time weights + 4x congestion triggered
+  // this reliably before the repair existed.
+  for (uint64_t seed = 7; seed < 12; ++seed) {
+    RoadNetworkOptions opt;
+    opt.rows = 12;
+    opt.cols = 12;
+    opt.seed = seed;
+    opt.weight_mode = WeightMode::kTravelTime;
+    Graph g = GenerateRoadNetwork(opt);
+    Hc2lIndex index = Hc2lIndex::Build(g);
+
+    std::vector<Edge> edges = g.UndirectedEdges();
+    Rng rng(seed + 1);
+    for (Edge& e : edges) {
+      if (rng.Chance(0.1)) {
+        e.weight =
+            static_cast<Weight>(e.weight * (1.0 + 3.0 * rng.NextDouble()));
+      }
+    }
+    GraphBuilder builder(g.NumVertices());
+    builder.AddEdges(edges);
+    Graph congested = std::move(builder).Build();
+    index.RebuildLabels(congested);
+    EXPECT_TRUE(index.Hierarchy().Validate(
+        index.Stats().num_core_vertices));
+
+    Dijkstra dijkstra(congested);
+    Rng qr(seed * 5);
+    for (int i = 0; i < 30; ++i) {
+      const Vertex s = static_cast<Vertex>(qr.Below(g.NumVertices()));
+      dijkstra.Run(s);
+      for (int j = 0; j < 6; ++j) {
+        const Vertex t = static_cast<Vertex>(qr.Below(g.NumVertices()));
+        ASSERT_EQ(index.Query(s, t), dijkstra.DistanceTo(t))
+            << "seed=" << seed << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(RebuildLabels, FasterThanFullBuild) {
+  RoadNetworkOptions opt;
+  opt.rows = 35;
+  opt.cols = 35;
+  opt.seed = 3;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  const double full_build = index.Stats().build_seconds;
+  Graph updated = PerturbWeights(g, 100, 6);
+  index.RebuildLabels(updated);
+  const double rebuild = index.Stats().build_seconds;
+  // No partitioning / max-flow work: the rebuild must be clearly cheaper.
+  EXPECT_LT(rebuild, full_build);
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,235 @@
+#include "graph/road_network_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/dimacs_io.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+namespace {
+
+TEST(RoadNetworkGenerator, ProducesConnectedGraph) {
+  RoadNetworkOptions opt;
+  opt.rows = 20;
+  opt.cols = 25;
+  opt.seed = 3;
+  opt.pendant_frac = 0.0;
+  Graph g = GenerateRoadNetwork(opt);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(RoadNetworkGenerator, PendantChainsAddDeadEnds) {
+  RoadNetworkOptions opt;
+  opt.rows = 20;
+  opt.cols = 20;
+  opt.seed = 3;
+  opt.pendant_frac = 0.3;
+  Graph g = GenerateRoadNetwork(opt);
+  EXPECT_EQ(g.NumVertices(), 520u);  // 400 lattice + 120 pendants
+  EXPECT_TRUE(IsConnected(g));
+  // Pendant vertices make iterated degree-one contraction worthwhile, as on
+  // the DIMACS graphs (~30% in the paper).
+  size_t degree_one = 0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) == 1) ++degree_one;
+  }
+  EXPECT_GT(degree_one, 40u);
+}
+
+TEST(RoadNetworkGenerator, DeterministicInSeed) {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  opt.seed = 42;
+  Graph a = GenerateRoadNetwork(opt);
+  Graph b = GenerateRoadNetwork(opt);
+  EXPECT_EQ(a.UndirectedEdges(), b.UndirectedEdges());
+}
+
+TEST(RoadNetworkGenerator, DifferentSeedsDiffer) {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  opt.seed = 1;
+  Graph a = GenerateRoadNetwork(opt);
+  opt.seed = 2;
+  Graph b = GenerateRoadNetwork(opt);
+  EXPECT_NE(a.UndirectedEdges(), b.UndirectedEdges());
+}
+
+TEST(RoadNetworkGenerator, LowAverageDegreeLikeRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 40;
+  opt.cols = 40;
+  opt.seed = 9;
+  Graph g = GenerateRoadNetwork(opt);
+  const double avg_degree = 2.0 * g.NumEdges() / g.NumVertices();
+  EXPECT_GT(avg_degree, 2.0);
+  EXPECT_LT(avg_degree, 4.0);  // DIMACS road networks sit around 2.4-2.8
+}
+
+TEST(RoadNetworkGenerator, EdgeDeletionReducesEdgeCount) {
+  RoadNetworkOptions dense;
+  dense.rows = 30;
+  dense.cols = 30;
+  dense.seed = 5;
+  dense.edge_delete_prob = 0.0;
+  RoadNetworkOptions sparse = dense;
+  sparse.edge_delete_prob = 0.3;
+  EXPECT_GT(GenerateRoadNetwork(dense).NumEdges(),
+            GenerateRoadNetwork(sparse).NumEdges());
+}
+
+TEST(RoadNetworkGenerator, TravelTimeFavoursHighways) {
+  // With travel-time weights, the shortest path across the network should be
+  // faster (in weight units scaled by speed) along highway rows. We check
+  // that the two modes produce genuinely different metrics.
+  RoadNetworkOptions opt;
+  opt.rows = 33;
+  opt.cols = 33;
+  opt.seed = 17;
+  opt.weight_mode = WeightMode::kDistance;
+  Graph dist_graph = GenerateRoadNetwork(opt);
+  opt.weight_mode = WeightMode::kTravelTime;
+  Graph time_graph = GenerateRoadNetwork(opt);
+  ASSERT_EQ(dist_graph.NumVertices(), time_graph.NumVertices());
+  // Same topology, different weights.
+  EXPECT_EQ(dist_graph.NumEdges(), time_graph.NumEdges());
+  uint64_t dist_total = 0;
+  uint64_t time_total = 0;
+  for (const Edge& e : dist_graph.UndirectedEdges()) dist_total += e.weight;
+  for (const Edge& e : time_graph.UndirectedEdges()) time_total += e.weight;
+  EXPECT_NE(dist_total, time_total);
+}
+
+TEST(RoadNetworkGenerator, HighDiameterLikeRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 30;
+  opt.cols = 30;
+  opt.seed = 21;
+  Graph g = GenerateRoadNetwork(opt);
+  // Two sweeps of Dijkstra give a diameter lower bound; lattices have hop
+  // diameter ~ rows + cols, far beyond log(n).
+  Dijkstra d(g);
+  d.Run(0);
+  const Vertex far = d.FurthestVertex();
+  d.Run(far);
+  auto hops = BfsHops(g, far);
+  uint32_t max_hops = 0;
+  for (uint32_t h : hops) {
+    if (h != UINT32_MAX) max_hops = std::max(max_hops, h);
+  }
+  EXPECT_GT(max_hops, 30u);
+}
+
+TEST(PaperDatasets, ReturnsTenNamedMiniatures) {
+  auto specs = PaperDatasets(BenchScale::kTiny, WeightMode::kDistance);
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs.front().name, "NY");
+  EXPECT_EQ(specs.back().name, "EUR");
+  // Relative ordering of sizes matches Table 1 (USA largest, NY smallest).
+  auto size_of = [](const DatasetSpec& s) {
+    return static_cast<uint64_t>(s.options.rows) * s.options.cols;
+  };
+  EXPECT_LT(size_of(specs[0]), size_of(specs[3]));  // NY < FLA
+  EXPECT_LT(size_of(specs[3]), size_of(specs[8]));  // FLA < USA
+  EXPECT_LT(size_of(specs[9]), size_of(specs[8]));  // EUR < USA
+}
+
+TEST(PaperDatasets, ScalesGrowMonotonically) {
+  auto tiny = PaperDatasets(BenchScale::kTiny, WeightMode::kDistance);
+  auto small = PaperDatasets(BenchScale::kSmall, WeightMode::kDistance);
+  auto medium = PaperDatasets(BenchScale::kMedium, WeightMode::kDistance);
+  for (size_t i = 0; i < tiny.size(); ++i) {
+    const auto size = [](const DatasetSpec& s) {
+      return static_cast<uint64_t>(s.options.rows) * s.options.cols;
+    };
+    EXPECT_LT(size(tiny[i]), size(small[i]));
+    EXPECT_LT(size(small[i]), size(medium[i]));
+  }
+}
+
+TEST(ParseBenchScale, RecognisesAllValuesCaseInsensitive) {
+  EXPECT_EQ(ParseBenchScale("tiny", BenchScale::kLarge), BenchScale::kTiny);
+  EXPECT_EQ(ParseBenchScale("SMALL", BenchScale::kLarge), BenchScale::kSmall);
+  EXPECT_EQ(ParseBenchScale("Medium", BenchScale::kTiny), BenchScale::kMedium);
+  EXPECT_EQ(ParseBenchScale("large", BenchScale::kTiny), BenchScale::kLarge);
+  EXPECT_EQ(ParseBenchScale(nullptr, BenchScale::kSmall), BenchScale::kSmall);
+  EXPECT_EQ(ParseBenchScale("bogus", BenchScale::kMedium),
+            BenchScale::kMedium);
+}
+
+TEST(RandomGeometricGraph, ConnectedAndSized) {
+  Graph g = GenerateRandomGeometricGraph(100, 3, 5);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DimacsIo, RoundTripsGeneratedNetwork) {
+  RoadNetworkOptions opt;
+  opt.rows = 8;
+  opt.cols = 9;
+  opt.seed = 13;
+  Graph g = GenerateRoadNetwork(opt);
+  const std::string path = ::testing::TempDir() + "/hc2l_roundtrip.gr";
+  std::string error;
+  ASSERT_TRUE(WriteDimacsGraph(g, path, &error)) << error;
+  auto loaded = ReadDimacsGraph(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->UndirectedEdges(), g.UndirectedEdges());
+  std::remove(path.c_str());
+}
+
+TEST(DimacsIo, RejectsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(ReadDimacsGraph("/nonexistent/никто.gr", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(DimacsIo, RejectsMalformedInput) {
+  const std::string dir = ::testing::TempDir();
+  std::string error;
+  struct Case {
+    const char* name;
+    const char* content;
+  };
+  const Case cases[] = {
+      {"no_problem_line", "c hello\na 1 2 3\n"},
+      {"bad_arc", "p sp 2 1\na 1 zzz 3\n"},
+      {"out_of_range_vertex", "p sp 2 1\na 1 5 3\n"},
+      {"zero_weight", "p sp 2 1\na 1 2 0\n"},
+      {"arc_count_mismatch", "p sp 2 3\na 1 2 5\n"},
+      {"duplicate_problem_line", "p sp 2 1\np sp 2 1\na 1 2 5\n"},
+      {"unknown_line_type", "p sp 2 1\nx nonsense\na 1 2 5\n"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = dir + "/hc2l_bad_" + c.name + ".gr";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(c.content, f);
+    std::fclose(f);
+    EXPECT_FALSE(ReadDimacsGraph(path, &error).has_value()) << c.name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DimacsIo, AcceptsCommentsAndBlankLines) {
+  const std::string path = ::testing::TempDir() + "/hc2l_ok.gr";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("c comment\n\np sp 3 4\nc more\na 1 2 7\na 2 1 7\na 2 3 9\na 3 2 9\n",
+             f);
+  std::fclose(f);
+  std::string error;
+  auto g = ReadDimacsGraph(path, &error);
+  ASSERT_TRUE(g.has_value()) << error;
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hc2l

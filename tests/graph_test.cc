@@ -1,0 +1,161 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace hc2l {
+namespace {
+
+using ::hc2l::testing::MakeGrid;
+using ::hc2l::testing::MakePath;
+using ::hc2l::testing::MakeStar;
+
+TEST(GraphBuilder, EmptyGraph) {
+  Graph g = GraphBuilder(0).Build();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilder, SingleVertexNoEdges) {
+  Graph g = GraphBuilder(1).Build();
+  EXPECT_EQ(g.NumVertices(), 1u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+TEST(GraphBuilder, StoresBothArcDirections) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 5);
+  b.AddEdge(1, 2, 7);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.NumArcs(), 4u);
+  ASSERT_EQ(g.Neighbors(1).size(), 2u);
+  EXPECT_EQ(g.Neighbors(0)[0].to, 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].weight, 5u);
+  EXPECT_EQ(g.Neighbors(2)[0].to, 1u);
+  EXPECT_EQ(g.Neighbors(2)[0].weight, 7u);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 3);
+  b.AddEdge(0, 1, 4);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphBuilder, CollapsesParallelEdgesToMinimumWeight) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 9);
+  b.AddEdge(1, 0, 4);
+  b.AddEdge(0, 1, 6);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].weight, 4u);
+}
+
+TEST(GraphBuilder, AdjacencySortedByTarget) {
+  GraphBuilder b(5);
+  b.AddEdge(2, 4, 1);
+  b.AddEdge(2, 1, 1);
+  b.AddEdge(2, 3, 1);
+  b.AddEdge(2, 0, 1);
+  Graph g = std::move(b).Build();
+  auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end(),
+                             [](const Arc& a, const Arc& b) {
+                               return a.to < b.to;
+                             }));
+}
+
+TEST(Graph, UndirectedEdgesRoundTrip) {
+  Graph g = MakeGrid(3, 4);
+  std::vector<Edge> edges = g.UndirectedEdges();
+  EXPECT_EQ(edges.size(), g.NumEdges());
+  GraphBuilder rebuild(g.NumVertices());
+  rebuild.AddEdges(edges);
+  Graph g2 = std::move(rebuild).Build();
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(g.Degree(v), g2.Degree(v));
+  }
+}
+
+TEST(Graph, DegreeMatchesNeighborSize) {
+  Graph g = MakeStar(6);
+  EXPECT_EQ(g.Degree(0), 5u);
+  for (Vertex v = 1; v < 6; ++v) EXPECT_EQ(g.Degree(v), 1u);
+}
+
+TEST(Graph, MemoryBytesIsPositive) {
+  Graph g = MakePath(10);
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(InducedSubgraph, ExtractsInternalEdgesOnly) {
+  // Path 0-1-2-3-4; take {1,2,3}: edges 1-2, 2-3.
+  Graph g = MakePath(5, 10);
+  const std::vector<Vertex> vertices = {1, 2, 3};
+  Subgraph sub = InducedSubgraph(g, vertices);
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+  EXPECT_EQ(sub.to_parent[0], 1u);
+  EXPECT_EQ(sub.to_parent[2], 3u);
+}
+
+TEST(InducedSubgraph, RenumbersInGivenOrder) {
+  Graph g = MakePath(4);
+  const std::vector<Vertex> vertices = {3, 1, 2};
+  Subgraph sub = InducedSubgraph(g, vertices);
+  EXPECT_EQ(sub.to_parent[0], 3u);
+  EXPECT_EQ(sub.to_parent[1], 1u);
+  EXPECT_EQ(sub.to_parent[2], 2u);
+  // Edges 1-2 and 2-3 survive: new ids (1,2) and (2,0).
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+}
+
+TEST(InducedSubgraph, AppliesExtraEdges) {
+  Graph g = MakePath(5, 2);
+  const std::vector<Vertex> vertices = {0, 2, 4};
+  const std::vector<Edge> shortcuts = {{0, 2, 4}, {2, 4, 4}};
+  Subgraph sub = InducedSubgraph(g, vertices, shortcuts);
+  // No induced edges (0-2, 2-4 are not adjacent in the path), 2 shortcuts.
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+  EXPECT_EQ(sub.graph.Neighbors(0)[0].weight, 4u);
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  Graph g = MakeGrid(4, 4);
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.sizes[0], 16u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectedComponents, CountsIsolatedVertices) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(2, 3, 1);
+  Graph g = std::move(b).Build();
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 3u);
+  EXPECT_FALSE(IsConnected(g));
+  // Component of 4 is a singleton.
+  EXPECT_EQ(info.sizes[info.component_of[4]], 1u);
+  EXPECT_EQ(info.component_of[0], info.component_of[1]);
+  EXPECT_NE(info.component_of[1], info.component_of[2]);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  Graph g = GraphBuilder(0).Build();
+  EXPECT_EQ(ConnectedComponents(g).num_components, 0u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,189 @@
+#include "hierarchy/tree_code.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "graph/road_network_generator.h"
+#include "hierarchy/contraction.h"
+#include "hierarchy/hierarchy.h"
+#include "search/dijkstra.h"
+#include "test_util.h"
+
+namespace hc2l {
+namespace {
+
+using ::hc2l::testing::FloydWarshall;
+using ::hc2l::testing::MakeCycle;
+using ::hc2l::testing::MakeGrid;
+using ::hc2l::testing::MakePath;
+using ::hc2l::testing::MakeStar;
+
+TEST(TreeCode, RootHasDepthZero) {
+  EXPECT_EQ(TreeCodeDepth(kRootCode), 0u);
+}
+
+TEST(TreeCode, ChildDepthIncrements) {
+  TreeCode c = kRootCode;
+  for (uint32_t d = 1; d <= kMaxTreeDepth; ++d) {
+    c = TreeCodeChild(c, d % 2);
+    EXPECT_EQ(TreeCodeDepth(c), d);
+  }
+}
+
+TEST(TreeCode, SiblingsDivergeAtParentLevel) {
+  const TreeCode left = TreeCodeChild(kRootCode, 0);
+  const TreeCode right = TreeCodeChild(kRootCode, 1);
+  EXPECT_EQ(TreeCodeLcaLevel(left, right), 0u);
+  EXPECT_EQ(TreeCodeLcaLevel(left, left), 1u);
+}
+
+TEST(TreeCode, AncestorLcaIsAncestorDepth) {
+  TreeCode deep = kRootCode;
+  deep = TreeCodeChild(deep, 1);
+  deep = TreeCodeChild(deep, 0);
+  deep = TreeCodeChild(deep, 1);
+  TreeCode shallow = TreeCodeChild(kRootCode, 1);
+  EXPECT_EQ(TreeCodeLcaLevel(deep, shallow), 1u);
+  EXPECT_EQ(TreeCodeLcaLevel(deep, kRootCode), 0u);
+}
+
+TEST(TreeCode, LcaMatchesNaiveTreeWalkOnRandomTrees) {
+  // Build a random binary tree of codes, then compare the XOR LCA against a
+  // parent-pointer walk.
+  Rng rng(99);
+  struct Node {
+    TreeCode code;
+    int parent;
+  };
+  std::vector<Node> nodes{{kRootCode, -1}};
+  std::vector<std::array<int, 2>> children{{-1, -1}};
+  for (int i = 0; i < 300; ++i) {
+    const int p = static_cast<int>(rng.Below(nodes.size()));
+    if (TreeCodeDepth(nodes[p].code) >= kMaxTreeDepth) continue;
+    const uint32_t bit = static_cast<uint32_t>(rng.Below(2));
+    if (children[p][bit] != -1) continue;  // slot taken: codes must be unique
+    children[p][bit] = static_cast<int>(nodes.size());
+    nodes.push_back({TreeCodeChild(nodes[p].code, bit), p});
+    children.push_back({-1, -1});
+  }
+  auto naive_lca_depth = [&](int a, int b) {
+    auto depth = [&](int x) { return TreeCodeDepth(nodes[x].code); };
+    while (depth(a) > depth(b)) a = nodes[a].parent;
+    while (depth(b) > depth(a)) b = nodes[b].parent;
+    while (a != b) {
+      a = nodes[a].parent;
+      b = nodes[b].parent;
+    }
+    return depth(a);
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const int a = static_cast<int>(rng.Below(nodes.size()));
+    const int b = static_cast<int>(rng.Below(nodes.size()));
+    ASSERT_EQ(TreeCodeLcaLevel(nodes[a].code, nodes[b].code),
+              naive_lca_depth(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(DegreeOneContraction, PathContractsToOneVertex) {
+  Graph g = MakePath(10, 2);
+  DegreeOneContraction c(g);
+  EXPECT_EQ(c.CoreGraph().NumVertices(), 1u);
+  EXPECT_EQ(c.NumContracted(), 9u);
+}
+
+TEST(DegreeOneContraction, CycleKeepsEverything) {
+  Graph g = MakeCycle(10);
+  DegreeOneContraction c(g);
+  EXPECT_EQ(c.CoreGraph().NumVertices(), 10u);
+  EXPECT_EQ(c.NumContracted(), 0u);
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_TRUE(c.InCore(v));
+    EXPECT_EQ(c.DistToRoot(v), 0u);
+  }
+}
+
+TEST(DegreeOneContraction, StarContractsLeaves) {
+  Graph g = MakeStar(8, 3);
+  DegreeOneContraction c(g);
+  EXPECT_EQ(c.CoreGraph().NumVertices(), 1u);
+  EXPECT_EQ(c.NumContracted(), 7u);
+  // Whichever vertex survives as the core, all others share its root and
+  // tree distances match ground truth.
+  const auto truth = FloydWarshall(g);
+  for (Vertex v = 0; v < 8; ++v) {
+    EXPECT_EQ(c.RootCoreId(v), c.RootCoreId(0));
+    for (Vertex w = 0; w < 8; ++w) {
+      ASSERT_EQ(c.SameTreeDistance(v, w), truth[v][w]);
+    }
+  }
+}
+
+TEST(DegreeOneContraction, SameTreeDistanceViaLca) {
+  // Star with weighted spokes: distance between leaves = sum of spokes.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(0, 2, 3);
+  b.AddEdge(1, 3, 4);
+  b.AddEdge(1, 4, 5);
+  Graph g = std::move(b).Build();  // a tree
+  DegreeOneContraction c(g);
+  ASSERT_EQ(c.CoreGraph().NumVertices(), 1u);
+  const auto truth = FloydWarshall(g);
+  for (Vertex v = 0; v < 5; ++v) {
+    for (Vertex w = 0; w < 5; ++w) {
+      ASSERT_EQ(c.SameTreeDistance(v, w), truth[v][w]);
+    }
+  }
+}
+
+TEST(DegreeOneContraction, PendantTreesOnGridCore) {
+  // Grid with a pendant path glued to corner 0.
+  Graph grid = MakeGrid(4, 4);
+  GraphBuilder b(20);
+  for (const Edge& e : grid.UndirectedEdges()) b.AddEdge(e.u, e.v, e.weight);
+  b.AddEdge(0, 16, 5);
+  b.AddEdge(16, 17, 1);
+  b.AddEdge(17, 18, 2);
+  b.AddEdge(17, 19, 7);
+  Graph g = std::move(b).Build();
+  DegreeOneContraction c(g);
+  EXPECT_EQ(c.CoreGraph().NumVertices(), 16u);
+  EXPECT_EQ(c.NumContracted(), 4u);
+  EXPECT_FALSE(c.InCore(18));
+  EXPECT_EQ(c.RootCoreId(18), c.CoreId(0));
+  EXPECT_EQ(c.DistToRoot(18), 8u);
+  EXPECT_EQ(c.SameTreeDistance(18, 19), 9u);
+  EXPECT_EQ(c.SameTreeDistance(16, 18), 3u);
+  EXPECT_EQ(c.SameTreeDistance(18, 18), 0u);
+}
+
+TEST(DegreeOneContraction, RoadNetworkContractionRate) {
+  RoadNetworkOptions opt;
+  opt.rows = 30;
+  opt.cols = 30;
+  opt.seed = 12;
+  Graph g = GenerateRoadNetwork(opt);
+  DegreeOneContraction c(g);
+  // The paper reports ~30% contraction on DIMACS graphs; the generator's
+  // dead-end streets reproduce that ballpark.
+  EXPECT_GT(c.NumContracted(), g.NumVertices() / 5);
+  EXPECT_EQ(c.CoreGraph().NumVertices() + c.NumContracted(), g.NumVertices());
+  EXPECT_GT(c.MemoryBytes(), 0u);
+}
+
+TEST(DegreeOneContraction, CoreEdgesPreserved) {
+  Graph g = MakeGrid(3, 3);
+  DegreeOneContraction c(g);
+  EXPECT_EQ(c.CoreGraph().NumVertices(), 9u);
+  EXPECT_EQ(c.CoreGraph().NumEdges(), g.NumEdges());
+  // Ids round-trip.
+  for (Vertex v = 0; v < 9; ++v) {
+    EXPECT_EQ(c.OriginalId(c.CoreId(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace hc2l

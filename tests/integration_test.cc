@@ -1,0 +1,145 @@
+// End-to-end integration tests exercising the full pipeline the way a
+// downstream user would: file I/O -> index construction -> persistence ->
+// querying, plus cross-method agreement on a moderately sized network.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/contraction_hierarchies.h"
+#include "baselines/h2h.h"
+#include "baselines/hub_labelling.h"
+#include "baselines/pruned_highway_labelling.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/hc2l.h"
+#include "graph/dimacs_io.h"
+#include "graph/road_network_generator.h"
+#include "search/dijkstra.h"
+
+namespace hc2l {
+namespace {
+
+TEST(Integration, DimacsFileToIndexToQueries) {
+  // Generate -> write .gr -> read back -> build -> save -> load -> query.
+  RoadNetworkOptions opt;
+  opt.rows = 20;
+  opt.cols = 24;
+  opt.seed = 31;
+  Graph original = GenerateRoadNetwork(opt);
+
+  const std::string gr_path = ::testing::TempDir() + "/hc2l_e2e.gr";
+  const std::string idx_path = ::testing::TempDir() + "/hc2l_e2e.idx";
+  std::string error;
+  ASSERT_TRUE(WriteDimacsGraph(original, gr_path, &error)) << error;
+  auto loaded_graph = ReadDimacsGraph(gr_path, &error);
+  ASSERT_TRUE(loaded_graph.has_value()) << error;
+
+  Hc2lIndex built = Hc2lIndex::Build(*loaded_graph);
+  ASSERT_TRUE(built.Save(idx_path, &error)) << error;
+  auto index = Hc2lIndex::Load(idx_path, &error);
+  ASSERT_TRUE(index.has_value()) << error;
+
+  Dijkstra dijkstra(original);
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(original.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 5; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(original.NumVertices()));
+      ASSERT_EQ(index->Query(s, t), dijkstra.DistanceTo(t));
+    }
+  }
+  std::remove(gr_path.c_str());
+  std::remove(idx_path.c_str());
+}
+
+class LeafSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LeafSizeSweep, AnyLeafSizeIsExact) {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  opt.seed = 44;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lOptions options;
+  options.leaf_size = GetParam();
+  Hc2lIndex index = Hc2lIndex::Build(g, options);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 5; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(index.Query(s, t), dijkstra.DistanceTo(t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafSizes, LeafSizeSweep,
+                         ::testing::Values(1, 2, 4, 16, 64, 1024));
+
+TEST(Integration, LargerLeafShrinksTreeButGrowsCuts) {
+  RoadNetworkOptions opt;
+  opt.rows = 20;
+  opt.cols = 20;
+  opt.seed = 12;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lOptions small_leaf;
+  small_leaf.leaf_size = 2;
+  Hc2lOptions big_leaf;
+  big_leaf.leaf_size = 128;
+  const Hc2lIndex a = Hc2lIndex::Build(g, small_leaf);
+  const Hc2lIndex b = Hc2lIndex::Build(g, big_leaf);
+  EXPECT_GT(a.Stats().num_tree_nodes, b.Stats().num_tree_nodes);
+  EXPECT_LE(a.Stats().max_cut_size, b.Stats().max_cut_size);
+}
+
+TEST(Integration, AllMethodsAgreeOnGeometricGraph) {
+  // Structural variety beyond lattices: k-nearest-neighbour geometric graph.
+  Graph g = GenerateRandomGeometricGraph(400, 4, 71);
+  Hc2lIndex hc2l = Hc2lIndex::Build(g);
+  H2hIndex h2h(g);
+  PrunedHighwayLabelling phl(g);
+  ContractionHierarchies ch(g);
+  HubLabelling hl(g, ch.ImportanceOrder());
+  BidirectionalDijkstra bidi(g);
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Dist expected = bidi.Query(s, t);
+    ASSERT_EQ(hc2l.Query(s, t), expected);
+    ASSERT_EQ(h2h.Query(s, t), expected);
+    ASSERT_EQ(phl.Query(s, t), expected);
+    ASSERT_EQ(ch.Query(s, t), expected);
+    ASSERT_EQ(hl.Query(s, t), expected);
+  }
+}
+
+TEST(Integration, QueryThroughputSanity) {
+  // The core promise: HC2L queries are orders of magnitude faster than
+  // search. Guard against pathological regressions with a loose bound.
+  RoadNetworkOptions opt;
+  opt.rows = 40;
+  opt.cols = 40;
+  opt.seed = 5;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  Rng rng(1);
+  Timer timer;
+  uint64_t checksum = 0;
+  const int kQueries = 200000;
+  for (int i = 0; i < kQueries; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    const Dist d = index.Query(s, t);
+    checksum += d == kInfDist ? 1 : d;
+  }
+  const double per_query_us = timer.Micros() / kQueries;
+  EXPECT_LT(per_query_us, 50.0) << "checksum " << checksum;
+}
+
+}  // namespace
+}  // namespace hc2l

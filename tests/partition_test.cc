@@ -1,0 +1,253 @@
+#include "partition/balanced_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/road_network_generator.h"
+#include "partition/balanced_cut.h"
+#include "partition/shortcuts.h"
+#include "search/dijkstra.h"
+#include "test_util.h"
+
+namespace hc2l {
+namespace {
+
+using ::hc2l::testing::MakeBarbell;
+using ::hc2l::testing::MakeComplete;
+using ::hc2l::testing::MakeGrid;
+using ::hc2l::testing::MakePath;
+
+void ExpectDisjointCover(const BalancedPartitionResult& r, size_t n) {
+  std::vector<int> seen(n, 0);
+  for (Vertex v : r.part_a) ++seen[v];
+  for (Vertex v : r.cut_region) ++seen[v];
+  for (Vertex v : r.part_b) ++seen[v];
+  for (size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(seen[v], 1) << "vertex " << v;
+  }
+}
+
+TEST(BalancedPartition, EmptyAndSingleton) {
+  Graph empty = GraphBuilder(0).Build();
+  auto r0 = BalancedPartition(empty, 0.2);
+  EXPECT_TRUE(r0.part_a.empty());
+  Graph one = GraphBuilder(1).Build();
+  auto r1 = BalancedPartition(one, 0.2);
+  ExpectDisjointCover(r1, 1);
+}
+
+TEST(BalancedPartition, PathSplitsAroundMiddle) {
+  Graph g = MakePath(100);
+  auto r = BalancedPartition(g, 0.3);
+  ExpectDisjointCover(r, 100);
+  EXPECT_GE(r.part_a.size(), 30u);
+  EXPECT_GE(r.part_b.size(), 30u);
+  // On a path, partition weights are all distinct, so partitions are the two
+  // prefix/suffix segments and the cut region sits between them.
+  for (Vertex v : r.part_a) {
+    for (Vertex w : r.part_b) EXPECT_GT((v > w ? v - w : w - v), 1u);
+  }
+}
+
+TEST(BalancedPartition, GridPartitionsAreBalanced) {
+  Graph g = MakeGrid(12, 12);
+  auto r = BalancedPartition(g, 0.25);
+  ExpectDisjointCover(r, 144);
+  EXPECT_GE(r.part_a.size(), 144 * 0.25 - 1);
+  EXPECT_GE(r.part_b.size(), 144 * 0.25 - 1);
+}
+
+TEST(BalancedPartition, BarbellBottleneckGoesToCutRegion) {
+  // Two 10-cliques joined by one middle vertex: pw collapses on the bridge,
+  // triggering the bottleneck path (lines 18-22).
+  Graph g = MakeBarbell(10, 1, 1);
+  auto r = BalancedPartition(g, 0.3);
+  ExpectDisjointCover(r, 21);
+  // Neither clique may be split across partitions together with the other.
+  EXPECT_LE(r.part_a.size(), 14u);
+  EXPECT_LE(r.part_b.size(), 14u);
+}
+
+TEST(BalancedPartition, CompleteGraphTerminates) {
+  Graph g = MakeComplete(12);
+  auto r = BalancedPartition(g, 0.2);
+  ExpectDisjointCover(r, 12);
+}
+
+TEST(BalancedPartition, DisconnectedDominantComponent) {
+  // 30-vertex grid plus 3 isolated vertices: dominant component is
+  // partitioned, isolated ones join the cut region.
+  GraphBuilder b(33);
+  for (const Edge& e : MakeGrid(5, 6).UndirectedEdges()) {
+    b.AddEdge(e.u, e.v, e.weight);
+  }
+  Graph g = std::move(b).Build();
+  auto r = BalancedPartition(g, 0.2);
+  ExpectDisjointCover(r, 33);
+  std::vector<Vertex> isolated = {30, 31, 32};
+  for (Vertex v : isolated) {
+    EXPECT_TRUE(std::count(r.cut_region.begin(), r.cut_region.end(), v) == 1);
+  }
+}
+
+TEST(BalancedPartition, DisconnectedBalancedComponents) {
+  // Two similar components: they become the partitions with an empty-ish cut.
+  GraphBuilder b(20);
+  for (Vertex v = 0; v + 1 < 10; ++v) {
+    b.AddEdge(v, v + 1, 1);
+    b.AddEdge(static_cast<Vertex>(10 + v), static_cast<Vertex>(11 + v), 1);
+  }
+  Graph g = std::move(b).Build();
+  auto r = BalancedPartition(g, 0.2);
+  ExpectDisjointCover(r, 20);
+  EXPECT_EQ(r.part_a.size(), 10u);
+  EXPECT_EQ(r.part_b.size(), 10u);
+  EXPECT_TRUE(r.cut_region.empty());
+}
+
+class BalancedCutParam
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(BalancedCutParam, SeparatesAndBalances) {
+  const auto [seed, beta] = GetParam();
+  RoadNetworkOptions opt;
+  opt.rows = 15;
+  opt.cols = 18;
+  opt.seed = seed;
+  Graph g = GenerateRoadNetwork(opt);
+  auto r = BalancedCut(g, beta);
+  EXPECT_TRUE(IsValidSeparator(g, r));
+  const size_t n = g.NumVertices();
+  EXPECT_EQ(r.part_a.size() + r.part_b.size() + r.cut.size(), n);
+  // Road-network cuts should be small and both sides substantial.
+  EXPECT_LT(r.cut.size(), n / 4);
+  EXPECT_LE(r.part_a.size(), (1.0 - beta) * n + 1);
+  EXPECT_LE(r.part_b.size(), (1.0 - beta) * n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBetas, BalancedCutParam,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0.15, 0.2, 0.3)));
+
+TEST(BalancedCut, GridCutIsColumnSized) {
+  Graph g = MakeGrid(10, 20);
+  auto r = BalancedCut(g, 0.2);
+  EXPECT_TRUE(IsValidSeparator(g, r));
+  // A 10x20 grid has 10-vertex column separators; the minimum cut must not
+  // exceed that by much.
+  EXPECT_LE(r.cut.size(), 12u);
+  EXPECT_GE(r.cut.size(), 1u);
+}
+
+TEST(BalancedCut, PathGraph) {
+  Graph g = MakePath(50);
+  auto r = BalancedCut(g, 0.2);
+  EXPECT_TRUE(IsValidSeparator(g, r));
+  EXPECT_EQ(r.cut.size(), 1u);
+  EXPECT_GE(std::min(r.part_a.size(), r.part_b.size()), 9u);
+}
+
+TEST(BalancedCut, TinyGraphs) {
+  for (size_t n = 1; n <= 4; ++n) {
+    Graph g = MakePath(n);
+    auto r = BalancedCut(g, 0.2);
+    EXPECT_TRUE(IsValidSeparator(g, r));
+    EXPECT_EQ(r.part_a.size() + r.part_b.size() + r.cut.size(), n);
+  }
+}
+
+TEST(BalancedCut, DisconnectedGraphEmptyCut) {
+  GraphBuilder b(16);
+  for (Vertex v = 0; v + 1 < 8; ++v) {
+    b.AddEdge(v, v + 1, 1);
+    b.AddEdge(static_cast<Vertex>(8 + v), static_cast<Vertex>(9 + v), 1);
+  }
+  Graph g = std::move(b).Build();
+  auto r = BalancedCut(g, 0.2);
+  EXPECT_TRUE(IsValidSeparator(g, r));
+  EXPECT_TRUE(r.cut.empty());
+  EXPECT_EQ(r.part_a.size(), 8u);
+  EXPECT_EQ(r.part_b.size(), 8u);
+}
+
+TEST(ComputeShortcuts, PreservesDistancesOnGrid) {
+  Graph g = MakeGrid(8, 8, 3);
+  auto r = BalancedCut(g, 0.2);
+  ASSERT_TRUE(IsValidSeparator(g, r));
+  // Distances from each cut vertex.
+  std::vector<std::vector<Dist>> dist_from_cut;
+  for (Vertex c : r.cut) dist_from_cut.push_back(AllDistancesFrom(g, c));
+  for (const std::vector<Vertex>* part : {&r.part_a, &r.part_b}) {
+    if (part->empty()) continue;
+    auto sc = ComputeShortcuts(g, r.cut, *part, dist_from_cut);
+    std::vector<Edge> extra = sc.shortcuts;
+    Subgraph enhanced = InducedSubgraph(g, *part, extra);
+    EXPECT_TRUE(
+        IsDistancePreserving(g, enhanced.graph, enhanced.to_parent));
+  }
+}
+
+TEST(ComputeShortcuts, ShortcutsAreNonRedundant) {
+  // Every added shortcut must be strictly shorter than the within-partition
+  // distance and not decomposable through another border vertex: removing
+  // any one shortcut must break distance preservation.
+  Graph g = MakeGrid(6, 6, 2);
+  auto r = BalancedCut(g, 0.2);
+  std::vector<std::vector<Dist>> dist_from_cut;
+  for (Vertex c : r.cut) dist_from_cut.push_back(AllDistancesFrom(g, c));
+  for (const std::vector<Vertex>* part : {&r.part_a, &r.part_b}) {
+    if (part->empty()) continue;
+    auto sc = ComputeShortcuts(g, r.cut, *part, dist_from_cut);
+    for (size_t skip = 0; skip < sc.shortcuts.size(); ++skip) {
+      std::vector<Edge> reduced;
+      for (size_t i = 0; i < sc.shortcuts.size(); ++i) {
+        if (i != skip) reduced.push_back(sc.shortcuts[i]);
+      }
+      Subgraph enhanced = InducedSubgraph(g, *part, reduced);
+      EXPECT_FALSE(
+          IsDistancePreserving(g, enhanced.graph, enhanced.to_parent))
+          << "shortcut " << skip << " was redundant";
+    }
+  }
+}
+
+TEST(ComputeShortcuts, NoShortcutsWhenAlreadyPreserving) {
+  // Path graph: cutting one vertex leaves prefix/suffix segments that are
+  // already distance-preserving.
+  Graph g = MakePath(30, 4);
+  auto r = BalancedCut(g, 0.2);
+  std::vector<std::vector<Dist>> dist_from_cut;
+  for (Vertex c : r.cut) dist_from_cut.push_back(AllDistancesFrom(g, c));
+  for (const std::vector<Vertex>* part : {&r.part_a, &r.part_b}) {
+    auto sc = ComputeShortcuts(g, r.cut, *part, dist_from_cut);
+    EXPECT_TRUE(sc.shortcuts.empty());
+  }
+}
+
+class ShortcutPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShortcutPropertyTest, DistancePreservationOnRoadNetworks) {
+  RoadNetworkOptions opt;
+  opt.rows = 9;
+  opt.cols = 11;
+  opt.seed = GetParam();
+  Graph g = GenerateRoadNetwork(opt);
+  auto r = BalancedCut(g, 0.25);
+  ASSERT_TRUE(IsValidSeparator(g, r));
+  std::vector<std::vector<Dist>> dist_from_cut;
+  for (Vertex c : r.cut) dist_from_cut.push_back(AllDistancesFrom(g, c));
+  for (const std::vector<Vertex>* part : {&r.part_a, &r.part_b}) {
+    if (part->empty()) continue;
+    auto sc = ComputeShortcuts(g, r.cut, *part, dist_from_cut);
+    Subgraph enhanced = InducedSubgraph(g, *part, sc.shortcuts);
+    EXPECT_TRUE(IsDistancePreserving(g, enhanced.graph, enhanced.to_parent));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortcutPropertyTest,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace hc2l

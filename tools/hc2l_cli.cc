@@ -1,0 +1,215 @@
+// hc2l — command-line front end for the library.
+//
+// Subcommands:
+//   hc2l generate --rows R --cols C [--seed S] [--travel-time]
+//                 [--pendant-frac F] --out network.gr
+//       Emit a synthetic road network in DIMACS .gr format.
+//
+//   hc2l build --graph network.gr --out index.hc2l
+//              [--beta B] [--leaf-size L] [--threads T]
+//              [--no-tail-pruning] [--no-contraction]
+//       Build an HC2L index from a DIMACS graph and serialize it.
+//
+//   hc2l query --index index.hc2l [--pairs pairs.txt]
+//       Answer distance queries. Pairs come from --pairs (two 1-based vertex
+//       ids per line) or stdin; "s t" -> prints d(s, t) or "inf".
+//
+//   hc2l stats --index index.hc2l
+//       Print construction and size statistics of a saved index.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/timer.h"
+#include "core/hc2l.h"
+#include "graph/dimacs_io.h"
+#include "graph/road_network_generator.h"
+
+namespace hc2l {
+namespace {
+
+/// Minimal flag parser: --name value or boolean --name.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  const char* Get(const char* name) const {
+    for (int i = 2; i + 1 < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) return argv_[i + 1];
+    }
+    return nullptr;
+  }
+
+  bool Has(const char* name) const {
+    for (int i = 2; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) return true;
+    }
+    return false;
+  }
+
+  double GetDouble(const char* name, double fallback) const {
+    const char* v = Get(name);
+    return v == nullptr ? fallback : std::atof(v);
+  }
+
+  long GetLong(const char* name, long fallback) const {
+    const char* v = Get(name);
+    return v == nullptr ? fallback : std::atol(v);
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hc2l <generate|build|query|stats> [options]\n"
+               "  generate --rows R --cols C --out FILE [--seed S] "
+               "[--travel-time] [--pendant-frac F]\n"
+               "  build    --graph FILE --out FILE [--beta B] [--leaf-size L]"
+               " [--threads T] [--no-tail-pruning] [--no-contraction]\n"
+               "  query    --index FILE [--pairs FILE]\n"
+               "  stats    --index FILE\n");
+  return 2;
+}
+
+int RunGenerate(const Args& args) {
+  const char* out = args.Get("--out");
+  if (out == nullptr) return Usage();
+  RoadNetworkOptions options;
+  options.rows = static_cast<uint32_t>(args.GetLong("--rows", 64));
+  options.cols = static_cast<uint32_t>(args.GetLong("--cols", 64));
+  options.seed = static_cast<uint64_t>(args.GetLong("--seed", 1));
+  options.pendant_frac = args.GetDouble("--pendant-frac", 0.3);
+  options.weight_mode = args.Has("--travel-time") ? WeightMode::kTravelTime
+                                                  : WeightMode::kDistance;
+  const Graph g = GenerateRoadNetwork(options);
+  std::string error;
+  if (!WriteDimacsGraph(g, out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu vertices, %zu edges\n", out, g.NumVertices(),
+              g.NumEdges());
+  return 0;
+}
+
+int RunBuild(const Args& args) {
+  const char* graph_path = args.Get("--graph");
+  const char* out = args.Get("--out");
+  if (graph_path == nullptr || out == nullptr) return Usage();
+  std::string error;
+  const auto graph = ReadDimacsGraph(graph_path, &error);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  Hc2lOptions options;
+  options.beta = args.GetDouble("--beta", 0.2);
+  options.leaf_size = static_cast<uint32_t>(args.GetLong("--leaf-size", 8));
+  options.num_threads = static_cast<uint32_t>(args.GetLong("--threads", 1));
+  options.tail_pruning = !args.Has("--no-tail-pruning");
+  options.contract_degree_one = !args.Has("--no-contraction");
+
+  Timer timer;
+  const Hc2lIndex index = Hc2lIndex::Build(*graph, options);
+  std::printf("built in %.2fs: height=%u max_cut=%llu labels=%s\n",
+              timer.Seconds(), index.Stats().tree_height,
+              static_cast<unsigned long long>(index.Stats().max_cut_size),
+              std::to_string(index.LabelSizeBytes()).c_str());
+  if (!index.Save(out, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("saved %s\n", out);
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  const char* index_path = args.Get("--index");
+  if (index_path == nullptr) return Usage();
+  std::string error;
+  const auto index = Hc2lIndex::Load(index_path, &error);
+  if (!index.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::FILE* in = stdin;
+  const char* pairs_path = args.Get("--pairs");
+  if (pairs_path != nullptr) {
+    in = std::fopen(pairs_path, "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", pairs_path);
+      return 1;
+    }
+  }
+  unsigned long long s = 0;
+  unsigned long long t = 0;
+  const unsigned long long n = index->NumVertices();
+  while (std::fscanf(in, "%llu %llu", &s, &t) == 2) {
+    if (s < 1 || t < 1 || s > n || t > n) {
+      std::printf("out-of-range\n");
+      continue;
+    }
+    const Dist d = index->Query(static_cast<Vertex>(s - 1),
+                                static_cast<Vertex>(t - 1));
+    if (d == kInfDist) {
+      std::printf("inf\n");
+    } else {
+      std::printf("%llu\n", static_cast<unsigned long long>(d));
+    }
+  }
+  if (in != stdin) std::fclose(in);
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  const char* index_path = args.Get("--index");
+  if (index_path == nullptr) return Usage();
+  std::string error;
+  const auto index = Hc2lIndex::Load(index_path, &error);
+  if (!index.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const Hc2lStats& s = index->Stats();
+  std::printf("vertices:        %llu\n",
+              static_cast<unsigned long long>(s.num_vertices));
+  std::printf("core vertices:   %llu (%llu contracted)\n",
+              static_cast<unsigned long long>(s.num_core_vertices),
+              static_cast<unsigned long long>(s.num_contracted));
+  std::printf("tree height:     %u\n", s.tree_height);
+  std::printf("tree nodes:      %llu\n",
+              static_cast<unsigned long long>(s.num_tree_nodes));
+  std::printf("max cut size:    %llu\n",
+              static_cast<unsigned long long>(s.max_cut_size));
+  std::printf("avg cut size:    %.2f\n", s.avg_cut_size);
+  std::printf("shortcuts:       %llu\n",
+              static_cast<unsigned long long>(s.num_shortcuts));
+  std::printf("label entries:   %llu\n",
+              static_cast<unsigned long long>(s.label_entries));
+  std::printf("label bytes:     %llu\n",
+              static_cast<unsigned long long>(s.label_bytes));
+  std::printf("lca bytes:       %llu\n",
+              static_cast<unsigned long long>(s.lca_bytes));
+  std::printf("build seconds:   %.3f\n", s.build_seconds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hc2l
+
+int main(int argc, char** argv) {
+  if (argc < 2) return hc2l::Usage();
+  const std::string command = argv[1];
+  const hc2l::Args args(argc, argv);
+  if (command == "generate") return hc2l::RunGenerate(args);
+  if (command == "build") return hc2l::RunBuild(args);
+  if (command == "query") return hc2l::RunQuery(args);
+  if (command == "stats") return hc2l::RunStats(args);
+  return hc2l::Usage();
+}
