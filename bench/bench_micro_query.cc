@@ -1,14 +1,26 @@
 // Google-benchmark micro measurements: per-query latency of every method on
-// one mid-size dataset, plus the O(1) LCA-level primitive. Complements the
-// table benches with statistically robust per-op numbers.
+// one mid-size dataset, the O(1) LCA-level primitive, and the SIMD vs scalar
+// min-plus kernel. Complements the table benches with statistically robust
+// per-op numbers.
+//
+// After the google-benchmark run, a machine-readable snapshot is written to
+// BENCH_query.json (override with HC2L_BENCH_JSON=<path>) so the perf
+// trajectory — ns/query, hubs scanned, label bytes — is tracked PR over PR.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "baselines/contraction_hierarchies.h"
 #include "baselines/h2h.h"
 #include "baselines/hub_labelling.h"
 #include "baselines/pruned_highway_labelling.h"
 #include "benchsupport/workload.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/timer.h"
 #include "core/hc2l.h"
 #include "graph/road_network_generator.h"
 #include "hierarchy/tree_code.h"
@@ -46,12 +58,75 @@ void RunQueries(benchmark::State& state, const Index& index) {
   }
 }
 
-void BM_Hc2lQuery(benchmark::State& state) {
+const Hc2lIndex& BenchIndex() {
   static const auto* index =
       new Hc2lIndex(Hc2lIndex::Build(BenchGraph(), Hc2lOptions{}));
-  RunQueries(state, *index);
+  return *index;
+}
+
+void BM_Hc2lQuery(benchmark::State& state) {
+  RunQueries(state, BenchIndex());
 }
 BENCHMARK(BM_Hc2lQuery);
+
+void BM_Hc2lBatchQuery(benchmark::State& state) {
+  // One-to-many fast path: per-target cost with the source side hoisted and
+  // targets grouped by LCA level.
+  const auto& pairs = BenchPairs();
+  std::vector<Vertex> targets;
+  targets.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) targets.push_back(t);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BenchIndex().BatchQuery(pairs[i].first, targets));
+    i = (i + 1) & (pairs.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(targets.size()));
+}
+BENCHMARK(BM_Hc2lBatchQuery);
+
+/// Random label arrays for the kernel-only benches: finite values with
+/// sentinels sprinkled in, padded per the arena invariant.
+std::vector<uint32_t> KernelArray(size_t len, uint64_t seed) {
+  std::vector<uint32_t> v(simd::PaddedLength(len), UINT32_MAX);
+  Rng rng(seed);
+  for (size_t i = 0; i < len; ++i) {
+    v[i] = rng.Below(16) == 0 ? UINT32_MAX
+                              : static_cast<uint32_t>(rng.Below(1 << 24));
+  }
+  return v;
+}
+
+void BM_MinPlusKernel(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const auto a = KernelArray(len, 1);
+  const auto b = KernelArray(len, 2);
+  for (auto _ : state) {
+    // Launder the loop-invariant operands so the pure, inlined kernel call
+    // cannot be hoisted out of the timing loop.
+    const uint32_t* pa = a.data();
+    const uint32_t* pb = b.data();
+    benchmark::DoNotOptimize(pa);
+    benchmark::DoNotOptimize(pb);
+    benchmark::DoNotOptimize(simd::MinPlusPadded(pa, pb, len));
+  }
+}
+BENCHMARK(BM_MinPlusKernel)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MinPlusScalarRef(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const auto a = KernelArray(len, 1);
+  const auto b = KernelArray(len, 2);
+  for (auto _ : state) {
+    const uint32_t* pa = a.data();
+    const uint32_t* pb = b.data();
+    benchmark::DoNotOptimize(pa);
+    benchmark::DoNotOptimize(pb);
+    benchmark::DoNotOptimize(simd::MinPlusScalar(pa, pb, len));
+  }
+}
+BENCHMARK(BM_MinPlusScalarRef)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_H2hQuery(benchmark::State& state) {
   static const auto* index = new H2hIndex(BenchGraph());
@@ -108,7 +183,118 @@ void BM_LcaLevelPrimitive(benchmark::State& state) {
 }
 BENCHMARK(BM_LcaLevelPrimitive);
 
+/// Times fn() (which must consume `ops` operations) and returns ns/op.
+template <typename Fn>
+double NsPerOp(size_t ops, const Fn& fn) {
+  Timer timer;
+  fn();
+  return timer.Seconds() * 1e9 / static_cast<double>(ops);
+}
+
+/// Writes the machine-readable perf snapshot. Self-measured (not derived
+/// from the google-benchmark run) so the numbers carry the exact workload
+/// definition with them: uniform random pairs on the shared fixture graph.
+void WriteBenchQueryJson(const char* path) {
+  const Graph& g = BenchGraph();
+  const Hc2lIndex& index = BenchIndex();
+  const auto& pairs = BenchPairs();
+
+  constexpr size_t kRounds = 200;  // 200 * 4096 pairs ≈ 0.8M queries
+  const size_t num_queries = kRounds * pairs.size();
+  const double ns_query = NsPerOp(num_queries, [&]() {
+    Dist sink = 0;
+    for (size_t r = 0; r < kRounds; ++r) {
+      for (const auto& [s, t] : pairs) sink ^= index.Query(s, t);
+    }
+    benchmark::DoNotOptimize(sink);
+  });
+
+  std::vector<Vertex> targets;
+  targets.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) targets.push_back(t);
+  const double ns_batch_target = NsPerOp(num_queries, [&]() {
+    for (size_t r = 0; r < kRounds; ++r) {
+      benchmark::DoNotOptimize(
+          index.BatchQuery(pairs[r % pairs.size()].first, targets));
+    }
+  });
+
+  uint64_t hubs = 0;
+  Dist sink = 0;
+  for (const auto& [s, t] : pairs) sink ^= index.QueryCountingHubs(s, t, &hubs);
+  benchmark::DoNotOptimize(sink);
+  const double avg_hubs =
+      static_cast<double>(hubs) / static_cast<double>(pairs.size());
+
+  constexpr size_t kKernelLen = 128;
+  constexpr size_t kKernelReps = 2'000'000;
+  const auto ka = KernelArray(kKernelLen, 1);
+  const auto kb = KernelArray(kKernelLen, 2);
+  // The operand pointers are laundered through DoNotOptimize and memory is
+  // clobbered each rep, so the loop-invariant kernel call cannot be hoisted.
+  const auto time_kernel = [&](auto kernel) {
+    return NsPerOp(kKernelReps, [&]() {
+      uint32_t acc = 0;
+      for (size_t r = 0; r < kKernelReps; ++r) {
+        const uint32_t* pa = ka.data();
+        const uint32_t* pb = kb.data();
+        benchmark::DoNotOptimize(pa);
+        benchmark::DoNotOptimize(pb);
+        acc ^= kernel(pa, pb, kKernelLen);
+        benchmark::ClobberMemory();
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  };
+  const double ns_kernel = time_kernel(
+      [](const uint32_t* a, const uint32_t* b, size_t len) {
+        return simd::MinPlusPadded(a, b, len);
+      });
+  const double ns_kernel_scalar = time_kernel(
+      [](const uint32_t* a, const uint32_t* b, size_t len) {
+        return simd::MinPlusScalar(a, b, len);
+      });
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"micro_query\",\n"
+               "  \"kernel\": \"%s\",\n"
+               "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n"
+               "  \"queries\": %zu,\n"
+               "  \"ns_per_query\": %.2f,\n"
+               "  \"ns_per_batch_target\": %.2f,\n"
+               "  \"avg_hubs_scanned\": %.2f,\n"
+               "  \"kernel_len%zu_ns\": {\"simd\": %.2f, \"scalar\": %.2f},\n"
+               "  \"label_bytes_logical\": %llu,\n"
+               "  \"label_bytes_resident\": %zu,\n"
+               "  \"label_entries\": %llu\n"
+               "}\n",
+               simd::kKernelName, static_cast<size_t>(g.NumVertices()),
+               static_cast<size_t>(g.NumEdges()), num_queries, ns_query,
+               ns_batch_target, avg_hubs, kKernelLen, ns_kernel,
+               ns_kernel_scalar,
+               static_cast<unsigned long long>(index.Stats().label_bytes),
+               index.LabelSizeBytes(),
+               static_cast<unsigned long long>(index.Stats().label_entries));
+  std::fclose(f);
+  std::printf("wrote %s (%.2f ns/query, kernel %s)\n", path, ns_query,
+              simd::kKernelName);
+}
+
 }  // namespace
 }  // namespace hc2l
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  const char* json = std::getenv("HC2L_BENCH_JSON");
+  hc2l::WriteBenchQueryJson(json != nullptr ? json : "BENCH_query.json");
+  return 0;
+}

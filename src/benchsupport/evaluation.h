@@ -31,12 +31,18 @@ double MeasureAvgQueryMicros(
     const std::function<Dist(Vertex, Vertex)>& query,
     const std::vector<QueryPair>& pairs);
 
+/// Mean per-target latency in microseconds of the one-to-many fast path:
+/// every pair's source queried against all pair targets at once.
+double MeasureAvgBatchTargetMicros(const Hc2lIndex& index,
+                                   const std::vector<QueryPair>& pairs);
+
 /// One built method with everything the paper's tables report about it.
 struct MethodEvaluation {
   std::string name;
   double build_seconds = 0.0;
   uint64_t index_bytes = 0;
   double avg_query_micros = 0.0;
+  double avg_batch_target_micros = 0.0;  // HC2L only; 0 if n/a
   double avg_hub_size = 0.0;   // AHS (Table 3)
   uint64_t lca_bytes = 0;      // LCA storage (Table 3); 0 if n/a
   std::function<Dist(Vertex, Vertex)> query;

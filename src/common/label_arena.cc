@@ -1,0 +1,86 @@
+#include "common/label_arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/simd.h"
+
+namespace hc2l {
+
+static_assert(LabelArena::kAlignEntries >= simd::kPadLanes,
+              "arena padding must cover the widest vector the kernel reads");
+
+LabelArena::~LabelArena() { std::free(data_); }
+
+LabelArena& LabelArena::operator=(LabelArena&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void LabelArena::Reset(size_t entries) {
+  std::free(data_);
+  data_ = nullptr;
+  size_ = PaddedCapacity(entries);
+  if (size_ == 0) return;
+  data_ = static_cast<uint32_t*>(
+      std::aligned_alloc(kAlignBytes, size_ * sizeof(uint32_t)));
+  HC2L_CHECK(data_ != nullptr);
+  std::memset(data_, 0xFF, size_ * sizeof(uint32_t));  // sentinel fill
+}
+
+void LabelStore::BuildFrom(std::vector<std::vector<uint32_t>>* data,
+                           std::vector<std::vector<uint32_t>>* lens) {
+  const size_t n = data->size();
+  HC2L_CHECK_EQ(n, lens->size());
+
+  size_t num_arrays = 0;
+  size_t padded_total = 0;
+  for (size_t v = 0; v < n; ++v) {
+    num_arrays += (*lens)[v].size();
+    for (const uint32_t len : (*lens)[v]) {
+      padded_total += LabelArena::PaddedCapacity(len);
+    }
+  }
+  // Offsets are 32-bit; padding inflates storage by at most kAlignEntries-1
+  // entries per array, so this only trips far beyond the paper's scales.
+  HC2L_CHECK_LE(padded_total, std::numeric_limits<uint32_t>::max());
+
+  base.assign(n + 1, 0);
+  level_start.clear();
+  level_len.clear();
+  level_start.reserve(num_arrays);
+  level_len.reserve(num_arrays);
+  arena.Reset(padded_total);
+
+  size_t pos = 0;
+  for (size_t v = 0; v < n; ++v) {
+    base[v] = static_cast<uint32_t>(level_start.size());
+    size_t off = 0;
+    for (const uint32_t len : (*lens)[v]) {
+      level_start.push_back(static_cast<uint32_t>(pos));
+      level_len.push_back(len);
+      if (len > 0) {
+        std::memcpy(arena.data() + pos, (*data)[v].data() + off,
+                    len * sizeof(uint32_t));
+      }
+      off += len;
+      pos += LabelArena::PaddedCapacity(len);
+    }
+    HC2L_CHECK_EQ(off, (*data)[v].size());
+    // Free the accumulators eagerly to halve peak memory.
+    (*data)[v] = {};
+    (*lens)[v] = {};
+  }
+  base[n] = static_cast<uint32_t>(level_start.size());
+  HC2L_CHECK_EQ(pos, padded_total);
+}
+
+}  // namespace hc2l

@@ -1,0 +1,86 @@
+#ifndef HC2L_COMMON_LABEL_ARENA_H_
+#define HC2L_COMMON_LABEL_ARENA_H_
+
+/// Cache-aligned storage for HC2L distance labels.
+///
+/// LabelArena owns a 64-byte-aligned uint32 buffer pre-filled with the
+/// kUnreachableLabel sentinel (0xFFFFFFFF). LabelStore lays per-vertex,
+/// per-level distance arrays into the arena so that every array starts on a
+/// cache-line boundary and the gap up to the next boundary keeps its sentinel
+/// fill. Together these give the query kernel two invariants:
+///
+///  1. alignment — the first vector load of every level array is cache-line
+///     aligned and never splits a line;
+///  2. sentinel padding — reads past an array's true length (up to the next
+///     64-byte boundary) see UINT32_MAX, so simd::MinPlusPadded can run
+///     whole vectors with no scalar tail: padded lanes saturate and never
+///     win the min-reduction.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hc2l {
+
+/// 64-byte-aligned, sentinel-filled uint32 buffer. Move-only.
+class LabelArena {
+ public:
+  static constexpr size_t kAlignBytes = 64;
+  static constexpr size_t kAlignEntries = kAlignBytes / sizeof(uint32_t);
+
+  /// Capacity an array of `len` entries occupies: its length rounded up to
+  /// the next cache-line boundary.
+  static constexpr size_t PaddedCapacity(size_t len) {
+    return (len + kAlignEntries - 1) & ~(kAlignEntries - 1);
+  }
+
+  LabelArena() = default;
+  ~LabelArena();
+  LabelArena(LabelArena&& other) noexcept { *this = std::move(other); }
+  LabelArena& operator=(LabelArena&& other) noexcept;
+  LabelArena(const LabelArena&) = delete;
+  LabelArena& operator=(const LabelArena&) = delete;
+
+  /// Allocates (at least) `entries` sentinel-filled entries, rounded up to a
+  /// whole number of cache lines. Discards previous contents.
+  void Reset(size_t entries);
+
+  uint32_t* data() { return data_; }
+  const uint32_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t SizeBytes() const { return size_ * sizeof(uint32_t); }
+
+ private:
+  uint32_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Flattened label storage shared by the undirected and directed indexes:
+/// array i of vertex v (i counted from base[v]) spans
+///   arena[level_start[base[v] + i] .. +level_len[base[v] + i]).
+struct LabelStore {
+  LabelArena arena;
+  std::vector<uint32_t> level_start;  // aligned arena offset of each array
+  std::vector<uint32_t> level_len;    // true (unpadded) length of each array
+  std::vector<uint32_t> base;         // size n+1; arrays of v: [base[v], base[v+1])
+
+  /// Lays the per-vertex accumulators out into the arena (consuming them
+  /// vertex by vertex to bound peak memory): data[v] holds vertex v's level
+  /// arrays concatenated, lens[v] their lengths.
+  void BuildFrom(std::vector<std::vector<uint32_t>>* data,
+                 std::vector<std::vector<uint32_t>>* lens);
+
+  /// Offset-table bytes (level_start + level_len + base).
+  size_t MetadataBytes() const {
+    return (level_start.size() + level_len.size() + base.size()) *
+           sizeof(uint32_t);
+  }
+
+  /// Actual resident bytes: padded arena plus offset tables.
+  size_t ResidentBytes() const { return arena.SizeBytes() + MetadataBytes(); }
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_COMMON_LABEL_ARENA_H_

@@ -1,0 +1,107 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+namespace hc2l {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  const uint32_t workers = num_threads == 0 ? 0 : num_threads - 1;
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool::TaskHandle ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<TaskState>();
+  task->fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(task);
+  }
+  work_cv_.notify_one();
+  return task;
+}
+
+void ThreadPool::Finish(const TaskHandle& task) {
+  task->fn();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task->done = true;
+  }
+  done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    TaskHandle task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Finish(task);
+  }
+}
+
+void ThreadPool::Wait(const TaskHandle& task) {
+  // Help-first, but targeted: if the awaited task is still queued, dequeue
+  // and run it on this thread — exactly the frames sequential recursion
+  // would have used, so helper stack depth stays bounded by the task tree's
+  // height. Running *arbitrary* queued tasks here instead could nest
+  // unrelated subtrees on one stack without bound. If the task is already
+  // claimed, its runner is making progress; just sleep until it finishes.
+  bool run_here = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (task->done) return;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == task) {
+        queue_.erase(it);
+        run_here = true;
+        break;
+      }
+    }
+    if (!run_here) {
+      done_cv_.wait(lock, [&]() { return task->done; });
+      return;
+    }
+  }
+  Finish(task);
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  const size_t helpers =
+      std::min<size_t>(workers_.size(), count > 0 ? count - 1 : 0);
+  if (helpers == 0) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto drain = [next, count, &fn]() {
+    for (size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<TaskHandle> handles;
+  handles.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) handles.push_back(Submit(drain));
+  drain();
+  for (const TaskHandle& h : handles) Wait(h);
+}
+
+}  // namespace hc2l

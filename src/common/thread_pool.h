@@ -1,0 +1,75 @@
+#ifndef HC2L_COMMON_THREAD_POOL_H_
+#define HC2L_COMMON_THREAD_POOL_H_
+
+/// Reusable worker pool for index construction. Replaces the former
+/// spawn-a-thread-per-call helper in the HC2L builder: workers are started
+/// once and reused across every ParallelFor and recursive subtree task, so a
+/// build issues O(1) thread creations instead of O(tree nodes).
+///
+/// The pool is help-first: a thread that waits on a still-queued task
+/// dequeues and runs that task itself (the frames sequential recursion would
+/// have used), and only sleeps when the task is already running elsewhere.
+/// This makes nested use (a pooled subtree task that itself submits children
+/// or calls ParallelFor) deadlock-free with bounded helper stack depth: the
+/// wait chain always bottoms out at a thread that is actually executing.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hc2l {
+
+class ThreadPool {
+ public:
+  /// Completion state of a submitted task.
+  struct TaskState {
+    std::function<void()> fn;
+    bool done = false;  // guarded by the pool mutex
+  };
+  using TaskHandle = std::shared_ptr<TaskState>;
+
+  /// A pool in which up to `num_threads` threads participate: the caller
+  /// plus num_threads - 1 spawned workers (0 means 1, i.e. fully inline).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total participating threads (callers + workers), >= 1.
+  uint32_t NumThreads() const {
+    return static_cast<uint32_t>(workers_.size()) + 1;
+  }
+
+  /// Enqueues fn for execution by a worker (or by a helping waiter).
+  TaskHandle Submit(std::function<void()> fn);
+
+  /// Blocks until `task` completes; if it is still queued, this thread
+  /// dequeues and executes it directly.
+  void Wait(const TaskHandle& task);
+
+  /// Runs fn(i) for every i in [0, count), the caller participating and idle
+  /// workers helping. Iterations may run in any order and concurrently; fn
+  /// must be safe to call from multiple threads.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void Finish(const TaskHandle& task);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: queue non-empty/stop
+  std::condition_variable done_cv_;  // signals waiters: some task completed
+  std::deque<TaskHandle> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_COMMON_THREAD_POOL_H_

@@ -1,8 +1,11 @@
 #include "core/directed_hc2l.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/check.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
 #include "partition/balanced_cut.h"
 #include "search/directed_dijkstra.h"
 
@@ -23,7 +26,7 @@ uint32_t EncodeLabelDistance(Dist d) {
 class DirectedHc2lBuilder {
  public:
   DirectedHc2lBuilder(const Digraph& g, const DirectedHc2lOptions& options)
-      : options_(options) {
+      : options_(options), pool_(options.num_threads) {
     const size_t n = g.NumVertices();
     hierarchy_.node_of_vertex_.assign(n, UINT32_MAX);
     hierarchy_.vertex_code_.assign(n, kRootCode);
@@ -40,37 +43,11 @@ class DirectedHc2lBuilder {
 
   void Finish(DirectedHc2lIndex* index) {
     index->hierarchy_ = std::move(hierarchy_);
-    Flatten(out_label_, out_lens_, &index->out_data_,
-            &index->out_level_start_, &index->out_base_);
-    Flatten(in_label_, in_lens_, &index->in_data_, &index->in_level_start_,
-            &index->in_base_);
+    index->out_labels_.BuildFrom(&out_label_, &out_lens_);
+    index->in_labels_.BuildFrom(&in_label_, &in_lens_);
   }
 
  private:
-  static void Flatten(std::vector<std::vector<uint32_t>>& data,
-                      std::vector<std::vector<uint32_t>>& lens,
-                      std::vector<uint32_t>* out_data,
-                      std::vector<uint32_t>* out_level_start,
-                      std::vector<uint32_t>* out_base) {
-    const size_t n = data.size();
-    out_base->assign(n + 1, 0);
-    for (size_t v = 0; v < n; ++v) {
-      (*out_base)[v] = static_cast<uint32_t>(out_level_start->size());
-      size_t pos = 0;
-      for (const uint32_t len : lens[v]) {
-        out_level_start->push_back(static_cast<uint32_t>(out_data->size()));
-        out_data->insert(out_data->end(), data[v].begin() + pos,
-                         data[v].begin() + pos + len);
-        pos += len;
-      }
-      HC2L_CHECK_EQ(pos, data[v].size());
-      out_level_start->push_back(static_cast<uint32_t>(out_data->size()));
-      data[v] = {};
-      lens[v] = {};
-    }
-    (*out_base)[n] = static_cast<uint32_t>(out_level_start->size());
-  }
-
   void BuildNode(Digraph sub, std::vector<Vertex> to_global, int32_t node_idx,
                  TreeCode code) {
     const size_t n = sub.NumVertices();
@@ -138,13 +115,13 @@ class DirectedHc2lBuilder {
       std::vector<uint8_t> in_cut(n, 0);
       for (Vertex v : *cut) in_cut[v] = 1;
       std::vector<uint64_t> score(m, 0);
-      for (size_t i = 0; i < m; ++i) {
+      pool_.ParallelFor(m, [&](size_t i) {
         const auto f = DirectedDistAndPrune(sub, (*cut)[i],
                                             SearchDirection::kForward, in_cut);
         const auto b = DirectedDistAndPrune(
             sub, (*cut)[i], SearchDirection::kBackward, in_cut);
         for (Vertex v = 0; v < n; ++v) score[i] += f.via[v] + b.via[v];
-      }
+      });
       std::vector<size_t> order(m);
       for (size_t i = 0; i < m; ++i) order[i] = i;
       std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -160,15 +137,40 @@ class DirectedHc2lBuilder {
       });
     }
 
-    std::vector<uint8_t> mask(n, 0);
-    const std::vector<uint8_t> empty_mask(n, 0);
-    for (size_t i = 0; i < m; ++i) {
-      const auto& tracked = options_.tail_pruning ? mask : empty_mask;
-      (*fwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
-                                       SearchDirection::kForward, tracked);
-      (*bwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
-                                       SearchDirection::kBackward, tracked);
-      mask[(*cut)[i]] = 1;
+    // Prefix-tracking Dijkstras; the tracked set of v_i is {v_0 .. v_{i-1}}.
+    // With a parallel pool the masks are materialized up front so every
+    // (i, direction) pair runs independently; the O(m*n) copy is skipped on
+    // the serial path, which updates one mask in place.
+    if (options_.tail_pruning && pool_.NumThreads() > 1) {
+      std::vector<std::vector<uint8_t>> prefix_masks(m);
+      std::vector<uint8_t> mask(n, 0);
+      for (size_t i = 0; i < m; ++i) {
+        prefix_masks[i] = mask;
+        mask[(*cut)[i]] = 1;
+      }
+      pool_.ParallelFor(m, [&](size_t i) {
+        (*fwd)[i] = DirectedDistAndPrune(
+            sub, (*cut)[i], SearchDirection::kForward, prefix_masks[i]);
+        (*bwd)[i] = DirectedDistAndPrune(
+            sub, (*cut)[i], SearchDirection::kBackward, prefix_masks[i]);
+      });
+    } else if (options_.tail_pruning) {
+      std::vector<uint8_t> mask(n, 0);
+      for (size_t i = 0; i < m; ++i) {
+        (*fwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
+                                         SearchDirection::kForward, mask);
+        (*bwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
+                                         SearchDirection::kBackward, mask);
+        mask[(*cut)[i]] = 1;
+      }
+    } else {
+      const std::vector<uint8_t> empty_mask(n, 0);
+      pool_.ParallelFor(m, [&](size_t i) {
+        (*fwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
+                                         SearchDirection::kForward, empty_mask);
+        (*bwd)[i] = DirectedDistAndPrune(
+            sub, (*cut)[i], SearchDirection::kBackward, empty_mask);
+      });
     }
 
     for (Vertex v = 0; v < n; ++v) {
@@ -272,6 +274,7 @@ class DirectedHc2lBuilder {
   }
 
   const DirectedHc2lOptions options_;
+  ThreadPool pool_;
   BalancedTreeHierarchy hierarchy_;
   std::vector<std::vector<uint32_t>> out_label_, in_label_;
   std::vector<std::vector<uint32_t>> out_lens_, in_lens_;
@@ -292,25 +295,28 @@ Dist DirectedHc2lIndex::Query(Vertex s, Vertex t) const {
   HC2L_CHECK_LT(t, NumVertices());
   if (s == t) return 0;
   const uint32_t level = hierarchy_.LcaLevel(s, t);
-  const uint32_t s_idx = out_base_[s] + level;
-  const uint32_t t_idx = in_base_[t] + level;
-  const uint32_t* a = out_data_.data() + out_level_start_[s_idx];
-  const uint32_t* b = in_data_.data() + in_level_start_[t_idx];
-  const uint32_t len =
-      std::min(out_level_start_[s_idx + 1] - out_level_start_[s_idx],
-               in_level_start_[t_idx + 1] - in_level_start_[t_idx]);
-  uint64_t best = UINT64_MAX;
-  for (uint32_t i = 0; i < len; ++i) {
-    const uint64_t sum = static_cast<uint64_t>(a[i]) + b[i];
-    if (sum < best) best = sum;
-  }
+  const uint32_t s_idx = out_labels_.base[s] + level;
+  const uint32_t t_idx = in_labels_.base[t] + level;
+  const uint32_t* a = out_labels_.arena.data() + out_labels_.level_start[s_idx];
+  const uint32_t* b = in_labels_.arena.data() + in_labels_.level_start[t_idx];
+  const uint32_t len = std::min(out_labels_.level_len[s_idx],
+                                in_labels_.level_len[t_idx]);
+  simd::PrefetchArray(a, len * sizeof(uint32_t));
+  simd::PrefetchArray(b, len * sizeof(uint32_t));
+  const uint32_t best = simd::MinPlusPadded(a, b, len);
   return best >= kUnreachableLabel ? kInfDist : best;
 }
 
+size_t DirectedHc2lIndex::NumEntries() const {
+  const auto sum = [](const LabelStore& labels) {
+    return std::accumulate(labels.level_len.begin(), labels.level_len.end(),
+                           uint64_t{0});
+  };
+  return static_cast<size_t>(sum(out_labels_) + sum(in_labels_));
+}
+
 size_t DirectedHc2lIndex::LabelSizeBytes() const {
-  return (out_data_.size() + in_data_.size() + out_level_start_.size() +
-          in_level_start_.size() + out_base_.size() + in_base_.size()) *
-         sizeof(uint32_t);
+  return out_labels_.ResidentBytes() + in_labels_.ResidentBytes();
 }
 
 }  // namespace hc2l

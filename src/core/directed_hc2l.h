@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/label_arena.h"
 #include "graph/digraph.h"
 #include "hierarchy/hierarchy.h"
 
@@ -14,6 +15,8 @@ struct DirectedHc2lOptions {
   double beta = 0.2;
   uint32_t leaf_size = 8;
   bool tail_pruning = true;
+  /// Construction threads (shared pool); queries stay single-threaded.
+  uint32_t num_threads = 1;
 };
 
 /// Directed-graph HC2L (the Section 5.3 extension).
@@ -40,13 +43,13 @@ class DirectedHc2lIndex {
   /// Exact directed distance d(s -> t); kInfDist if t is unreachable from s.
   Dist Query(Vertex s, Vertex t) const;
 
-  size_t NumVertices() const { return out_base_.size() - 1; }
+  size_t NumVertices() const { return out_labels_.base.size() - 1; }
   const BalancedTreeHierarchy& Hierarchy() const { return hierarchy_; }
 
-  /// Total stored distance entries (both directions).
-  size_t NumEntries() const { return out_data_.size() + in_data_.size(); }
+  /// Total stored distance entries (both directions, padding excluded).
+  size_t NumEntries() const;
 
-  /// Label storage in bytes.
+  /// Resident label storage in bytes (aligned arenas + offset tables).
   size_t LabelSizeBytes() const;
 
  private:
@@ -54,11 +57,10 @@ class DirectedHc2lIndex {
   friend class DirectedHc2lBuilder;
 
   BalancedTreeHierarchy hierarchy_;
-  // Flattened per-direction labels, same layout as the undirected index:
-  // the level-k array of v spans
-  //   data[level_start[base[v] + k] .. level_start[base[v] + k + 1]).
-  std::vector<uint32_t> out_data_, out_level_start_, out_base_;
-  std::vector<uint32_t> in_data_, in_level_start_, in_base_;
+  // Per-direction cache-aligned labels, same layout as the undirected index
+  // (see LabelStore): out = d(v -> hub), in = d(hub -> v).
+  LabelStore out_labels_;
+  LabelStore in_labels_;
 };
 
 }  // namespace hc2l

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <mutex>
-#include <thread>
 
 #include "common/check.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "partition/balanced_cut.h"
 #include "partition/shortcuts.h"
@@ -25,34 +28,6 @@ uint32_t EncodeLabelDistance(Dist d) {
   return static_cast<uint32_t>(d);
 }
 
-/// Pool of worker threads shared by one build. Grants are coarse: a caller
-/// asks for extra threads and must release them after joining.
-class ThreadBudget {
- public:
-  explicit ThreadBudget(uint32_t total)
-      : available_(total == 0 ? 0 : total - 1) {}
-
-  /// Tries to reserve up to `want` extra threads; returns the number granted.
-  uint32_t Acquire(uint32_t want) {
-    uint32_t granted = 0;
-    uint32_t current = available_.load(std::memory_order_relaxed);
-    while (granted < want && current > 0) {
-      if (available_.compare_exchange_weak(current, current - 1,
-                                           std::memory_order_relaxed)) {
-        ++granted;
-      }
-    }
-    return granted;
-  }
-
-  void Release(uint32_t count) {
-    available_.fetch_add(count, std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<uint32_t> available_;
-};
-
 }  // namespace
 
 /// Recursive construction of the balanced tree hierarchy and the tail-pruned
@@ -60,7 +35,7 @@ class ThreadBudget {
 class Hc2lBuilder {
  public:
   Hc2lBuilder(const Graph& core, const Hc2lOptions& options)
-      : options_(options), budget_(options.num_threads) {
+      : options_(options), pool_(options.num_threads) {
     const size_t n = core.NumVertices();
     hierarchy_.node_of_vertex_.assign(n, UINT32_MAX);
     hierarchy_.vertex_code_.assign(n, kRootCode);
@@ -77,33 +52,10 @@ class Hc2lBuilder {
   /// Moves results into the index.
   void Finish(Hc2lIndex* index) {
     const size_t n = label_data_.size();
-    index->hierarchy_ = std::move(hierarchy_);
-    index->base_.assign(n + 1, 0);
-    size_t total_arrays = 0;
     size_t total_entries = 0;
-    for (size_t v = 0; v < n; ++v) {
-      total_arrays += label_lens_[v].size();
-      total_entries += label_data_[v].size();
-    }
-    index->level_start_.reserve(total_arrays + n);
-    index->data_.reserve(total_entries);
-    for (size_t v = 0; v < n; ++v) {
-      index->base_[v] = static_cast<uint32_t>(index->level_start_.size());
-      size_t pos = 0;
-      for (const uint32_t len : label_lens_[v]) {
-        index->level_start_.push_back(
-            static_cast<uint32_t>(index->data_.size()));
-        index->data_.insert(index->data_.end(), label_data_[v].begin() + pos,
-                            label_data_[v].begin() + pos + len);
-        pos += len;
-      }
-      HC2L_CHECK_EQ(pos, label_data_[v].size());
-      index->level_start_.push_back(static_cast<uint32_t>(index->data_.size()));
-      // Free the accumulator eagerly to halve peak memory.
-      label_data_[v] = {};
-      label_lens_[v] = {};
-    }
-    index->base_[n] = static_cast<uint32_t>(index->level_start_.size());
+    for (size_t v = 0; v < n; ++v) total_entries += label_data_[v].size();
+    index->hierarchy_ = std::move(hierarchy_);
+    index->labels_.BuildFrom(&label_data_, &label_lens_);
 
     index->stats_.num_tree_nodes = index->hierarchy_.NumNodes();
     index->stats_.tree_height = index->hierarchy_.Height();
@@ -112,9 +64,7 @@ class Hc2lBuilder {
     index->stats_.num_shortcuts = shortcut_count_.load();
     index->stats_.label_entries = total_entries;
     index->stats_.label_bytes =
-        index->data_.size() * sizeof(uint32_t) +
-        index->level_start_.size() * sizeof(uint32_t) +
-        index->base_.size() * sizeof(uint32_t);
+        total_entries * sizeof(uint32_t) + index->labels_.MetadataBytes();
     index->stats_.lca_bytes = index->hierarchy_.LcaStorageBytes();
   }
 
@@ -125,30 +75,9 @@ class Hc2lBuilder {
     return static_cast<int32_t>(hierarchy_.nodes_.size() - 1);
   }
 
-  /// Runs fn(i) for i in [0, count), using up to the granted extra threads.
-  template <typename Fn>
-  void ParallelFor(size_t count, const Fn& fn) {
-    if (count == 0) return;
-    uint32_t extra = count > 1
-                         ? budget_.Acquire(static_cast<uint32_t>(
-                               std::min<size_t>(count - 1, 64)))
-                         : 0;
-    if (extra == 0) {
-      for (size_t i = 0; i < count; ++i) fn(i);
-      return;
-    }
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(extra);
-    for (uint32_t t = 0; t < extra; ++t) threads.emplace_back(worker);
-    worker();
-    for (auto& t : threads) t.join();
-    budget_.Release(extra);
+  /// Runs fn(i) for i in [0, count) on the shared pool.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+    pool_.ParallelFor(count, fn);
   }
 
   /// Ranks `cut` (ascending Eq. 6 score, ties by global id), runs the
@@ -202,24 +131,32 @@ class Hc2lBuilder {
     }
 
     // Prefix-tracking Dijkstras (Algorithm 5 lines 6-7). The tracked set of
-    // v_i is {v_0 .. v_{i-1}}.
+    // v_i is {v_0 .. v_{i-1}}. The O(m*n) mask materialization is only paid
+    // when the pool can actually run the Dijkstras concurrently; the serial
+    // path updates a single mask in place.
     std::vector<DistAndPruneResult> results(m);
-    std::vector<std::vector<uint8_t>> prefix_masks;
-    if (options_.tail_pruning) {
-      prefix_masks.resize(m);
+    if (options_.tail_pruning && pool_.NumThreads() > 1) {
+      std::vector<std::vector<uint8_t>> prefix_masks(m);
       std::vector<uint8_t> mask(n, 0);
       for (size_t i = 0; i < m; ++i) {
         prefix_masks[i] = mask;
         mask[(*cut)[i]] = 1;
       }
+      ParallelFor(m, [&](size_t i) {
+        results[i] = DistAndPrune(sub, (*cut)[i], prefix_masks[i]);
+      });
+    } else if (options_.tail_pruning) {
+      std::vector<uint8_t> mask(n, 0);
+      for (size_t i = 0; i < m; ++i) {
+        results[i] = DistAndPrune(sub, (*cut)[i], mask);
+        mask[(*cut)[i]] = 1;
+      }
+    } else {
+      const std::vector<uint8_t> empty_mask(n, 0);
+      ParallelFor(m, [&](size_t i) {
+        results[i] = DistAndPrune(sub, (*cut)[i], empty_mask);
+      });
     }
-    const std::vector<uint8_t> empty_mask(n, 0);
-    ParallelFor(m, [&](size_t i) {
-      results[i] = DistAndPrune(
-          sub, (*cut)[i],
-          options_.tail_pruning ? prefix_masks[i] : empty_mask);
-    });
-    prefix_masks.clear();
 
     // Labels with tail pruning (Algorithm 5 lines 8-10).
     for (Vertex v = 0; v < n; ++v) {
@@ -320,16 +257,17 @@ class Hc2lBuilder {
     to_global.clear();
     to_global.shrink_to_fit();
 
-    if (children.size() == 2 && budget_.Acquire(1) == 1) {
-      Child left = std::move(children[0]);
-      std::thread worker([this, &left]() {
-        BuildNode(std::move(left.graph), std::move(left.to_global), left.node,
-                  left.code);
+    if (children.size() == 2 && pool_.NumThreads() > 1) {
+      // Hand the left subtree to the pool and recurse into the right one
+      // here; Wait() helps run queued subtree tasks, so no thread idles.
+      auto left = std::make_shared<Child>(std::move(children[0]));
+      const ThreadPool::TaskHandle task = pool_.Submit([this, left]() {
+        BuildNode(std::move(left->graph), std::move(left->to_global),
+                  left->node, left->code);
       });
       BuildNode(std::move(children[1].graph), std::move(children[1].to_global),
                 children[1].node, children[1].code);
-      worker.join();
-      budget_.Release(1);
+      pool_.Wait(task);
     } else {
       for (Child& child : children) {
         BuildNode(std::move(child.graph), std::move(child.to_global),
@@ -339,7 +277,7 @@ class Hc2lBuilder {
   }
 
   const Hc2lOptions options_;
-  ThreadBudget budget_;
+  ThreadPool pool_;
   std::mutex nodes_mutex_;
   std::atomic<uint64_t> shortcut_count_{0};
   BalancedTreeHierarchy hierarchy_;
@@ -372,19 +310,18 @@ Hc2lIndex Hc2lIndex::Build(const Graph& g, const Hc2lOptions& options) {
 Dist Hc2lIndex::CoreQuery(Vertex s, Vertex t, uint64_t* hubs_scanned) const {
   if (s == t) return 0;
   const uint32_t level = hierarchy_.LcaLevel(s, t);
-  const uint32_t s_idx = base_[s] + level;
-  const uint32_t t_idx = base_[t] + level;
-  const uint32_t* a = data_.data() + level_start_[s_idx];
-  const uint32_t* b = data_.data() + level_start_[t_idx];
-  const uint32_t len_a = level_start_[s_idx + 1] - level_start_[s_idx];
-  const uint32_t len_b = level_start_[t_idx + 1] - level_start_[t_idx];
-  const uint32_t len = std::min(len_a, len_b);
+  const uint32_t s_idx = labels_.base[s] + level;
+  const uint32_t t_idx = labels_.base[t] + level;
+  const uint32_t* a = labels_.arena.data() + labels_.level_start[s_idx];
+  const uint32_t* b = labels_.arena.data() + labels_.level_start[t_idx];
+  const uint32_t len = std::min(labels_.level_len[s_idx],
+                                labels_.level_len[t_idx]);
+  // Both operand arrays are cache-line aligned; hint their first lines while
+  // the remaining scalar setup retires.
+  simd::PrefetchArray(a, len * sizeof(uint32_t));
+  simd::PrefetchArray(b, len * sizeof(uint32_t));
   if (hubs_scanned != nullptr) *hubs_scanned += len;
-  uint64_t best = UINT64_MAX;
-  for (uint32_t i = 0; i < len; ++i) {
-    const uint64_t sum = static_cast<uint64_t>(a[i]) + b[i];
-    if (sum < best) best = sum;
-  }
+  const uint32_t best = simd::MinPlusPadded(a, b, len);
   return best >= kUnreachableLabel ? kInfDist : best;
 }
 
@@ -576,33 +513,15 @@ void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
     }
   }
 
-  // Re-flatten.
-  data_.clear();
-  level_start_.clear();
-  base_.assign(n + 1, 0);
+  // Re-flatten into a fresh aligned arena.
   uint64_t total_entries = 0;
-  for (size_t v = 0; v < n; ++v) {
-    base_[v] = static_cast<uint32_t>(level_start_.size());
-    size_t pos = 0;
-    for (const uint32_t len : label_lens[v]) {
-      level_start_.push_back(static_cast<uint32_t>(data_.size()));
-      data_.insert(data_.end(), label_data[v].begin() + pos,
-                   label_data[v].begin() + pos + len);
-      pos += len;
-    }
-    HC2L_CHECK_EQ(pos, label_data[v].size());
-    total_entries += label_data[v].size();
-    level_start_.push_back(static_cast<uint32_t>(data_.size()));
-    label_data[v] = {};
-    label_lens[v] = {};
-  }
-  base_[n] = static_cast<uint32_t>(level_start_.size());
+  for (size_t v = 0; v < n; ++v) total_entries += label_data[v].size();
+  labels_.BuildFrom(&label_data, &label_lens);
 
   stats_.num_shortcuts = shortcut_count;
   stats_.label_entries = total_entries;
-  stats_.label_bytes = data_.size() * sizeof(uint32_t) +
-                       level_start_.size() * sizeof(uint32_t) +
-                       base_.size() * sizeof(uint32_t);
+  stats_.label_bytes =
+      total_entries * sizeof(uint32_t) + labels_.MetadataBytes();
   // Cut repairs may have moved vertices between nodes.
   stats_.tree_height = hierarchy_.Height();
   stats_.max_cut_size = hierarchy_.MaxCutSize();
@@ -610,17 +529,103 @@ void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
   stats_.build_seconds = timer.Seconds();
 }
 
-size_t Hc2lIndex::LabelSizeBytes() const {
-  return data_.size() * sizeof(uint32_t) +
-         level_start_.size() * sizeof(uint32_t) +
-         base_.size() * sizeof(uint32_t);
-}
+size_t Hc2lIndex::LabelSizeBytes() const { return labels_.ResidentBytes(); }
 
 std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
                                         std::span<const Vertex> targets) const {
-  std::vector<Dist> out;
-  out.reserve(targets.size());
-  for (const Vertex t : targets) out.push_back(Query(source, t));
+  std::vector<Dist> out(targets.size(), kInfDist);
+  if (targets.empty()) return out;
+  HC2L_CHECK_LT(source, stats_.num_vertices);
+
+  // Hoist every source-side lookup out of the per-target loop: contraction
+  // root/offset, tree code and label-array base are fixed for the batch.
+  Vertex root_s = source;
+  Dist source_offset = 0;
+  if (contraction_ != nullptr) {
+    root_s = contraction_->RootCoreId(source);
+    source_offset = contraction_->DistToRoot(source);
+  }
+  const TreeCode s_code = hierarchy_.CodeOf(root_s);
+  const uint32_t s_base = labels_.base[root_s];
+
+  // Pass 1: resolve targets; answer the trivial cases inline and bucket the
+  // rest by LCA level so each level reuses one source array.
+  struct Pending {
+    uint32_t out_index;
+    Vertex core;
+    Dist offset;  // contraction detour (source side + target side)
+  };
+  // The stored stat, not hierarchy_.Height() — that one rescans every tree
+  // node, which would dwarf small batches.
+  const uint32_t height = stats_.tree_height;
+  std::vector<uint32_t> level_count(height + 1, 0);
+  std::vector<Pending> pending;
+  std::vector<uint32_t> level_of;
+  pending.reserve(targets.size());
+  level_of.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const Vertex t = targets[i];
+    HC2L_CHECK_LT(t, stats_.num_vertices);
+    if (t == source) {
+      out[i] = 0;
+      continue;
+    }
+    Vertex root_t = t;
+    Dist offset = source_offset;
+    if (contraction_ != nullptr) {
+      root_t = contraction_->RootCoreId(t);
+      if (root_t == root_s) {
+        out[i] = contraction_->SameTreeDistance(source, t);
+        continue;
+      }
+      offset += contraction_->DistToRoot(t);
+    }
+    const uint32_t level = TreeCodeLcaLevel(s_code, hierarchy_.CodeOf(root_t));
+    pending.push_back({static_cast<uint32_t>(i), root_t, offset});
+    level_of.push_back(level);
+    ++level_count[level];
+  }
+
+  // Counting sort of pending targets by level.
+  std::vector<uint32_t> bucket_pos(height + 2, 0);
+  for (uint32_t l = 0; l <= height; ++l) {
+    bucket_pos[l + 1] = bucket_pos[l] + level_count[l];
+  }
+  std::vector<uint32_t> order(pending.size());
+  {
+    std::vector<uint32_t> cursor(bucket_pos.begin(), bucket_pos.end() - 1);
+    for (size_t p = 0; p < pending.size(); ++p) {
+      order[cursor[level_of[p]]++] = static_cast<uint32_t>(p);
+    }
+  }
+
+  // Pass 2: per level, resolve the source array once and sweep the bucket,
+  // prefetching the next target's array while reducing the current one.
+  const uint32_t* arena = labels_.arena.data();
+  for (uint32_t level = 0; level <= height; ++level) {
+    const uint32_t begin = bucket_pos[level];
+    const uint32_t end = bucket_pos[level + 1];
+    if (begin == end) continue;
+    const uint32_t s_idx = s_base + level;
+    const uint32_t* a = arena + labels_.level_start[s_idx];
+    const uint32_t len_a = labels_.level_len[s_idx];
+    simd::PrefetchArray(a, len_a * sizeof(uint32_t));
+    for (uint32_t p = begin; p < end; ++p) {
+      if (p + 1 < end) {
+        const Pending& next = pending[order[p + 1]];
+        const uint32_t n_idx = labels_.base[next.core] + level;
+        simd::PrefetchArray(arena + labels_.level_start[n_idx],
+                            labels_.level_len[n_idx] * sizeof(uint32_t));
+      }
+      const Pending& cur = pending[order[p]];
+      const uint32_t t_idx = labels_.base[cur.core] + level;
+      const uint32_t* b = arena + labels_.level_start[t_idx];
+      const uint32_t len = std::min(len_a, labels_.level_len[t_idx]);
+      const uint32_t best = simd::MinPlusPadded(a, b, len);
+      out[cur.out_index] =
+          best >= kUnreachableLabel ? kInfDist : cur.offset + best;
+    }
+  }
   return out;
 }
 
@@ -634,11 +639,11 @@ std::vector<std::vector<Dist>> Hc2lIndex::DistanceMatrix(
 
 std::vector<std::pair<Dist, Vertex>> Hc2lIndex::KNearest(
     Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  const std::vector<Dist> dists = BatchQuery(source, candidates);
   std::vector<std::pair<Dist, Vertex>> ranked;
   ranked.reserve(candidates.size());
-  for (const Vertex c : candidates) {
-    const Dist d = Query(source, c);
-    if (d != kInfDist) ranked.emplace_back(d, c);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (dists[i] != kInfDist) ranked.emplace_back(dists[i], candidates[i]);
   }
   const size_t keep = std::min(k, ranked.size());
   std::partial_sort(
@@ -659,7 +664,9 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-constexpr uint64_t kMagic = 0x4843324c30303031ULL;  // "HC2L0001"
+// Format 2: labels stored as the cache-aligned arena (sentinel padding
+// included) plus explicit per-array start/length tables.
+constexpr uint64_t kMagic = 0x4843324c30303032ULL;  // "HC2L0002"
 
 bool WritePod(std::FILE* f, const void* p, size_t bytes) {
   return std::fwrite(p, 1, bytes, f) == bytes;
@@ -695,6 +702,23 @@ bool ReadVector(std::FILE* f, std::vector<T>* v) {
   return size == 0 || ReadPod(f, v->data(), size * sizeof(T));
 }
 
+/// The arena round-trips verbatim (padding included): its size is already a
+/// whole number of cache lines, so Load reproduces the exact aligned layout.
+bool WriteArena(std::FILE* f, const LabelArena& arena) {
+  const uint64_t size = arena.size();
+  return WriteValue(f, size) &&
+         (size == 0 || WritePod(f, arena.data(), size * sizeof(uint32_t)));
+}
+
+bool ReadArena(std::FILE* f, LabelArena* arena) {
+  uint64_t size = 0;
+  if (!ReadValue(f, &size)) return false;
+  if (size > (uint64_t{1} << 40) / sizeof(uint32_t)) return false;
+  if (size != LabelArena::PaddedCapacity(size)) return false;  // not aligned
+  arena->Reset(size);
+  return size == 0 || ReadPod(f, arena->data(), size * sizeof(uint32_t));
+}
+
 }  // namespace
 
 bool Hc2lIndex::Save(const std::string& path, std::string* error) const {
@@ -728,8 +752,10 @@ bool Hc2lIndex::Save(const std::string& path, std::string* error) const {
   }
   ok = ok && WriteVector(f.get(), hierarchy_.node_of_vertex_) &&
        WriteVector(f.get(), hierarchy_.vertex_code_) &&
-       WriteVector(f.get(), base_) && WriteVector(f.get(), level_start_) &&
-       WriteVector(f.get(), data_);
+       WriteVector(f.get(), labels_.base) &&
+       WriteVector(f.get(), labels_.level_start) &&
+       WriteVector(f.get(), labels_.level_len) &&
+       WriteArena(f.get(), labels_.arena);
   if (!ok) {
     *error = "write error on " + path;
     return false;
@@ -783,9 +809,10 @@ std::optional<Hc2lIndex> Hc2lIndex::Load(const std::string& path,
   }
   ok = ok && ReadVector(f.get(), &index.hierarchy_.node_of_vertex_) &&
        ReadVector(f.get(), &index.hierarchy_.vertex_code_) &&
-       ReadVector(f.get(), &index.base_) &&
-       ReadVector(f.get(), &index.level_start_) &&
-       ReadVector(f.get(), &index.data_);
+       ReadVector(f.get(), &index.labels_.base) &&
+       ReadVector(f.get(), &index.labels_.level_start) &&
+       ReadVector(f.get(), &index.labels_.level_len) &&
+       ReadArena(f.get(), &index.labels_.arena);
   if (!ok) {
     *error = "truncated or corrupt HC2L index file: " + path;
     return std::nullopt;

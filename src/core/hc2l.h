@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/label_arena.h"
 #include "graph/graph.h"
 #include "hierarchy/contraction.h"
 #include "hierarchy/hierarchy.h"
@@ -107,7 +108,9 @@ class Hc2lIndex {
   /// The balanced tree hierarchy (over the core graph).
   const BalancedTreeHierarchy& Hierarchy() const { return hierarchy_; }
 
-  /// Label storage in bytes (distance arrays + offsets; excludes LCA codes).
+  /// Resident label storage in bytes: the cache-aligned arena (including its
+  /// sentinel padding) plus offset tables; excludes LCA codes. The logical
+  /// (unpadded) size is Stats().label_bytes.
   size_t LabelSizeBytes() const;
 
   /// Bytes needed for O(1) LCA lookups (Table 3's "LCA Storage").
@@ -142,11 +145,10 @@ class Hc2lIndex {
   /// (then core ids == original ids).
   std::unique_ptr<DegreeOneContraction> contraction_;
   BalancedTreeHierarchy hierarchy_;
-  /// Flattened labels: vertex v's level-k distance array occupies
-  /// data_[level_start_[base_[v] + k] .. level_start_[base_[v] + k + 1]).
-  std::vector<uint32_t> data_;
-  std::vector<uint32_t> level_start_;
-  std::vector<uint32_t> base_;  // size num_core_vertices + 1
+  /// Cache-aligned flattened labels: vertex v's level-k distance array starts
+  /// at labels_.arena[labels_.level_start[labels_.base[v] + k]] and holds
+  /// labels_.level_len[labels_.base[v] + k] entries.
+  LabelStore labels_;
 };
 
 }  // namespace hc2l

@@ -138,6 +138,9 @@ TEST(EvaluationDriverTest, BuildsAllMethodsAndMeasures) {
     EXPECT_GT(m.avg_query_micros, 0.0) << m.name;
     EXPECT_GT(m.avg_hub_size, 0.0) << m.name;
   }
+  // The one-to-many fast path is measured for HC2L only.
+  EXPECT_GT(e.methods[0].avg_batch_target_micros, 0.0);
+  EXPECT_EQ(e.methods[1].avg_batch_target_micros, 0.0);
   EXPECT_GT(e.hc2lp_build_seconds, 0.0);
   // All four methods agree on a spot check.
   for (int i = 0; i < 50; ++i) {

@@ -187,11 +187,13 @@ TEST(PaperProperties, LabelsStoreOnlyDistances) {
   options.contract_degree_one = false;
   Hc2lIndex index = Hc2lIndex::Build(g, options);
   const Hc2lStats& s = index.Stats();
-  // bytes = 4 * entries + offset overhead (one start per level per vertex).
+  // bytes = 4 * entries + offset overhead (one start and one length per
+  // level per vertex, plus the per-vertex base table).
   EXPECT_GE(s.label_bytes, 4 * s.label_entries);
   EXPECT_LE(s.label_bytes, 4 * s.label_entries +
-                               4 * (s.num_core_vertices *
-                                    (s.tree_height + 2) + 2));
+                               4 * (2 * s.num_core_vertices *
+                                        (s.tree_height + 1) +
+                                    s.num_core_vertices + 1));
 }
 
 }  // namespace

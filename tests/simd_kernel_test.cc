@@ -1,0 +1,144 @@
+// Differential tests: the compiled-in vector min-plus kernel against the
+// scalar reference, over randomized and adversarial label arrays. The two
+// must be bit-identical for every input, including sentinel entries,
+// near-overflow sums, tiny lengths and non-multiple-of-8 tails.
+
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/label_arena.h"
+#include "common/rng.h"
+
+namespace hc2l {
+namespace {
+
+constexpr uint32_t kSentinel = UINT32_MAX;
+
+/// Draws a label value from a distribution that stresses every regime:
+/// small finite, maximal finite (just below 2^31), out-of-contract values in
+/// [2^31, 2^32) (the kernel must still match the scalar reference on them),
+/// and the sentinel.
+uint32_t AdversarialValue(Rng& rng) {
+  switch (rng.Below(8)) {
+    case 0:
+      return kSentinel;
+    case 1:
+      return (uint32_t{1} << 31) - 1 - static_cast<uint32_t>(rng.Below(4));
+    case 2:
+      return (uint32_t{1} << 31) + static_cast<uint32_t>(rng.Below(1000));
+    case 3:
+      return kSentinel - 1 - static_cast<uint32_t>(rng.Below(4));
+    default:
+      return static_cast<uint32_t>(rng.Below(1 << 20));
+  }
+}
+
+TEST(SatAdd32, SaturatesInsteadOfWrapping) {
+  EXPECT_EQ(simd::SatAdd32(0, 0), 0u);
+  EXPECT_EQ(simd::SatAdd32(3, 4), 7u);
+  EXPECT_EQ(simd::SatAdd32(kSentinel, 0), kSentinel);
+  EXPECT_EQ(simd::SatAdd32(kSentinel, 1), kSentinel);
+  EXPECT_EQ(simd::SatAdd32(kSentinel, kSentinel), kSentinel);
+  EXPECT_EQ(simd::SatAdd32((uint32_t{1} << 31) - 1, (uint32_t{1} << 31) - 1),
+            kSentinel - 1);  // largest finite+finite sum, exact
+  EXPECT_EQ(simd::SatAdd32(kSentinel - 1, 1), kSentinel);
+}
+
+TEST(MinPlus, EmptyArraysReturnSentinel) {
+  EXPECT_EQ(simd::MinPlus(nullptr, nullptr, 0), kSentinel);
+  EXPECT_EQ(simd::MinPlusPadded(nullptr, nullptr, 0), kSentinel);
+  EXPECT_EQ(simd::MinPlusScalar(nullptr, nullptr, 0), kSentinel);
+}
+
+TEST(MinPlus, TinyLengths) {
+  // Lengths 1..3 never fill one vector; the tail path must handle them.
+  const uint32_t a[3] = {5, kSentinel, 7};
+  const uint32_t b[3] = {9, 2, kSentinel};
+  EXPECT_EQ(simd::MinPlus(a, b, 1), 14u);
+  EXPECT_EQ(simd::MinPlus(a, b, 2), 14u);
+  EXPECT_EQ(simd::MinPlus(a, b, 3), 14u);
+  const uint32_t c[2] = {kSentinel, kSentinel};
+  EXPECT_EQ(simd::MinPlus(c, c, 2), kSentinel);
+}
+
+TEST(MinPlus, MatchesScalarOnRandomArrays) {
+  Rng rng(20260729);
+  // Every length in [0, 67] catches all vector/tail splits for 4- and
+  // 8-lane kernels.
+  for (size_t len = 0; len <= 67; ++len) {
+    for (int rep = 0; rep < 50; ++rep) {
+      std::vector<uint32_t> a(len), b(len);
+      for (size_t i = 0; i < len; ++i) {
+        a[i] = AdversarialValue(rng);
+        b[i] = AdversarialValue(rng);
+      }
+      ASSERT_EQ(simd::MinPlus(a.data(), b.data(), len),
+                simd::MinPlusScalar(a.data(), b.data(), len))
+          << "len=" << len << " rep=" << rep;
+    }
+  }
+}
+
+TEST(MinPlusPadded, MatchesScalarOnSentinelPaddedArrays) {
+  Rng rng(42);
+  for (size_t len = 0; len <= 67; ++len) {
+    const size_t padded = simd::PaddedLength(len);
+    for (int rep = 0; rep < 50; ++rep) {
+      // Arena invariant: capacity sentinel-filled beyond the true length.
+      std::vector<uint32_t> a(padded, kSentinel), b(padded, kSentinel);
+      for (size_t i = 0; i < len; ++i) {
+        a[i] = AdversarialValue(rng);
+        b[i] = AdversarialValue(rng);
+      }
+      ASSERT_EQ(simd::MinPlusPadded(a.data(), b.data(), len),
+                simd::MinPlusScalar(a.data(), b.data(), len))
+          << "len=" << len << " rep=" << rep;
+    }
+  }
+}
+
+TEST(MinPlusPadded, MismatchedTrueLengthsUseSentinelPadding) {
+  // The query reduces over min(len_a, len_b); entries of the longer array
+  // beyond that meet sentinel padding of the shorter one and must saturate
+  // away. Simulate two arena arrays of different true lengths.
+  const size_t len_a = 21, len_b = 5;
+  const size_t cap = LabelArena::PaddedCapacity(len_a);
+  std::vector<uint32_t> a(cap, kSentinel), b(cap, kSentinel);
+  for (size_t i = 0; i < len_a; ++i) a[i] = 1000 + static_cast<uint32_t>(i);
+  for (size_t i = 0; i < len_b; ++i) b[i] = 7 * static_cast<uint32_t>(i);
+  const size_t len = std::min(len_a, len_b);
+  EXPECT_EQ(simd::MinPlusPadded(a.data(), b.data(), len),
+            simd::MinPlusScalar(a.data(), b.data(), len));
+  EXPECT_EQ(simd::MinPlusPadded(a.data(), b.data(), len), 1000u);
+}
+
+TEST(MinPlus, NearOverflowSumsDoNotWrapPastSentinel) {
+  // Pairs whose 32-bit sum would wrap must clamp to the sentinel, never to a
+  // small "reachable" value that would win the min.
+  std::vector<uint32_t> a = {kSentinel, kSentinel - 2, 0x80000000u, 3};
+  std::vector<uint32_t> b = {5, 7, 0x80000001u, kSentinel};
+  for (size_t len = 1; len <= a.size(); ++len) {
+    const uint32_t got = simd::MinPlus(a.data(), b.data(), len);
+    ASSERT_EQ(got, simd::MinPlusScalar(a.data(), b.data(), len));
+    ASSERT_EQ(got, kSentinel);  // every pair here saturates
+  }
+}
+
+TEST(PaddedLength, RoundsToVectorMultiple) {
+  EXPECT_EQ(simd::PaddedLength(0), 0u);
+  EXPECT_EQ(simd::PaddedLength(1), simd::kPadLanes);
+  EXPECT_EQ(simd::PaddedLength(simd::kPadLanes), simd::kPadLanes);
+  EXPECT_EQ(simd::PaddedLength(simd::kPadLanes + 1), 2 * simd::kPadLanes);
+  // The arena pads at least as far as the kernel reads.
+  for (size_t len = 0; len < 100; ++len) {
+    EXPECT_GE(LabelArena::PaddedCapacity(len), simd::PaddedLength(len));
+  }
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -1,0 +1,75 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hc2l {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsEverythingInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+  // Submit + Wait must also work with zero workers: the waiter executes the
+  // queued task itself.
+  bool ran = false;
+  const auto task = pool.Submit([&]() { ran = true; });
+  pool.Wait(task);
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumThreads(), 4u);
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<uint32_t>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "i=" << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, NestedSubmitAndParallelForDoNotDeadlock) {
+  // Mirrors the builder's recursion: a pooled task submits a sibling task
+  // and runs ParallelFor while its parent waits on it.
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  // 3 levels of binary recursion -> 8 leaves.
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      pool.ParallelFor(4, [&](size_t) { leaves.fetch_add(1); });
+      return;
+    }
+    const auto left = pool.Submit([&recurse, depth]() { recurse(depth - 1); });
+    recurse(depth - 1);
+    pool.Wait(left);
+  };
+  recurse(3);
+  EXPECT_EQ(leaves.load(), 8 * 4);
+}
+
+TEST(ThreadPool, ManyTasksDrainAcrossWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<ThreadPool::TaskHandle> handles;
+  handles.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(pool.Submit([&]() { done.fetch_add(1); }));
+  }
+  for (const auto& h : handles) pool.Wait(h);
+  EXPECT_EQ(done.load(), 200);
+}
+
+}  // namespace
+}  // namespace hc2l
