@@ -9,8 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "baselines/contraction_hierarchies.h"
@@ -79,7 +83,9 @@ void BM_Hc2lBatchQuery(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(BenchIndex().BatchQuery(pairs[i].first, targets));
-    i = (i + 1) & (pairs.size() - 1);
+    // Plain modulo: one per 4096-target batch, and unlike a pow2 mask it
+    // stays a full cycle if the pair count ever changes.
+    i = (i + 1) % pairs.size();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(targets.size()));
@@ -183,6 +189,43 @@ void BM_LcaLevelPrimitive(benchmark::State& state) {
 }
 BENCHMARK(BM_LcaLevelPrimitive);
 
+/// Host name fingerprint; paired with the CPU model in the snapshot because
+/// virtualized CPUs often report a generic model string ("Intel(R) Xeon(R)
+/// Processor @ 2.10GHz") on very different physical hosts.
+std::string HostName() {
+  char name[256] = {0};
+  if (gethostname(name, sizeof(name) - 1) != 0) return "unknown";
+  return name[0] != '\0' ? name : "unknown";
+}
+
+/// CPU model fingerprint (from /proc/cpuinfo; "unknown" elsewhere). Stored
+/// in the snapshot so tools/check_bench.py only compares absolute timings
+/// measured on the same CPU model.
+std::string CpuModel() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[256];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        const char* value = colon + 1;
+        while (*value == ' ' || *value == '\t') ++value;
+        model = value;
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == ' ')) {
+          model.pop_back();
+        }
+        if (model.empty()) model = "unknown";
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
 /// Times fn() (which must consume `ops` operations) and returns ns/op.
 template <typename Fn>
 double NsPerOp(size_t ops, const Fn& fn) {
@@ -264,6 +307,8 @@ void WriteBenchQueryJson(const char* path) {
                "{\n"
                "  \"bench\": \"micro_query\",\n"
                "  \"kernel\": \"%s\",\n"
+               "  \"cpu\": \"%s\",\n"
+               "  \"host\": \"%s\",\n"
                "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n"
                "  \"queries\": %zu,\n"
                "  \"ns_per_query\": %.2f,\n"
@@ -274,7 +319,8 @@ void WriteBenchQueryJson(const char* path) {
                "  \"label_bytes_resident\": %zu,\n"
                "  \"label_entries\": %llu\n"
                "}\n",
-               simd::kKernelName, static_cast<size_t>(g.NumVertices()),
+               simd::kKernelName, CpuModel().c_str(), HostName().c_str(),
+               static_cast<size_t>(g.NumVertices()),
                static_cast<size_t>(g.NumEdges()), num_queries, ns_query,
                ns_batch_target, avg_hubs, kKernelLen, ns_kernel,
                ns_kernel_scalar,

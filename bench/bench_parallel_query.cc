@@ -1,0 +1,225 @@
+// Parallel query-engine scaling bench: DistanceMatrix / BatchQuery /
+// PointQueries throughput at 1/2/4/8 engine threads over the shared 48x48
+// fixture graph (the bench_micro_query dataset), plus the single-threaded
+// engine-vs-index overhead check.
+//
+// The scaling curve is merged into BENCH_query.json (override the path with
+// HC2L_BENCH_JSON) as a "parallel" section so the perf trajectory carries
+// both the single-query latency and the bulk-throughput story. The JSON is
+// our own fixed format: any existing "parallel" section is replaced.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchsupport/workload.h"
+#include "common/simd.h"
+#include "common/timer.h"
+#include "core/hc2l.h"
+#include "graph/road_network_generator.h"
+#include "server/query_engine.h"
+
+namespace hc2l {
+namespace {
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct MatrixResult {
+  double ns_per_pair = 0.0;
+  uint64_t checksum = 0;  // all runs must agree (determinism)
+};
+
+/// Repeats engine.DistanceMatrix until ~min_seconds elapsed; ns per (s, t)
+/// pair.
+MatrixResult TimeMatrix(const QueryEngine& engine,
+                        const std::vector<Vertex>& sources,
+                        const std::vector<Vertex>& targets,
+                        double min_seconds) {
+  MatrixResult result;
+  const size_t pairs_per_round = sources.size() * targets.size();
+  size_t rounds = 0;
+  Timer timer;
+  do {
+    const auto matrix = engine.DistanceMatrix(sources, targets);
+    uint64_t sum = 0;
+    for (const auto& row : matrix) {
+      for (const Dist d : row) sum += d == kInfDist ? 1 : d;
+    }
+    if (rounds == 0) {
+      result.checksum = sum;
+    } else if (result.checksum != sum) {
+      std::fprintf(stderr, "FATAL: non-deterministic matrix checksum\n");
+      std::exit(1);
+    }
+    ++rounds;
+  } while (timer.Seconds() < min_seconds);
+  result.ns_per_pair =
+      timer.Seconds() * 1e9 / static_cast<double>(rounds * pairs_per_round);
+  return result;
+}
+
+double TimeBatch(const QueryEngine& engine, const std::vector<Vertex>& sources,
+                 const std::vector<Vertex>& targets, double min_seconds) {
+  size_t rounds = 0;
+  size_t i = 0;
+  Timer timer;
+  do {
+    const auto out = engine.BatchQuery(sources[i % sources.size()], targets);
+    if (out.empty()) std::exit(1);
+    ++i;
+    ++rounds;
+  } while (timer.Seconds() < min_seconds);
+  return timer.Seconds() * 1e9 / static_cast<double>(rounds * targets.size());
+}
+
+double TimePoints(const QueryEngine& engine,
+                  const std::vector<QueryPair>& pairs, double min_seconds) {
+  size_t rounds = 0;
+  Timer timer;
+  do {
+    const auto out = engine.PointQueries(pairs);
+    if (out.empty()) std::exit(1);
+    ++rounds;
+  } while (timer.Seconds() < min_seconds);
+  return timer.Seconds() * 1e9 / static_cast<double>(rounds * pairs.size());
+}
+
+/// Splices `section` into an existing BENCH_query.json (replacing any prior
+/// "parallel" section) or starts a fresh file.
+void MergeIntoBenchJson(const std::string& path, const std::string& section) {
+  std::string existing;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb"); f != nullptr) {
+    char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      existing.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  // Drop a previously merged parallel section (it is always the last key).
+  const size_t marker = existing.find(",\n  \"parallel\":");
+  if (marker != std::string::npos) {
+    existing.resize(marker);
+    existing += "\n}\n";
+  }
+  std::string out;
+  const size_t close = existing.rfind('}');
+  if (close == std::string::npos) {
+    out = "{\n  \"bench\": \"parallel_query\"" + section + "\n}\n";
+  } else {
+    // Re-close the object with the parallel section appended.
+    out = existing.substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+    out += section + "\n}\n";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+int Run() {
+  RoadNetworkOptions opt;
+  opt.rows = 48;
+  opt.cols = 48;
+  opt.seed = 2026;
+  const Graph g = GenerateRoadNetwork(opt);
+  const Hc2lIndex index = Hc2lIndex::Build(g, Hc2lOptions{});
+
+  // Workloads: a 48x48 distance matrix (the acceptance fixture), a 4096-way
+  // batch and 4096 random point pairs.
+  const auto pairs = UniformRandomPairs(g.NumVertices(), 4096, 9);
+  std::vector<Vertex> matrix_sources;
+  std::vector<Vertex> matrix_targets;
+  for (size_t i = 0; i < 48; ++i) {
+    matrix_sources.push_back(pairs[i].first);
+    matrix_targets.push_back(pairs[i].second);
+  }
+  std::vector<Vertex> batch_targets;
+  batch_targets.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) batch_targets.push_back(t);
+  std::vector<Vertex> batch_sources;
+  for (size_t i = 0; i < 64; ++i) batch_sources.push_back(pairs[i].first);
+
+  const double min_seconds =
+      std::getenv("HC2L_BENCH_FAST") != nullptr ? 0.05 : 0.4;
+
+  std::printf("parallel query engine on %zu vertices, kernel %s, %u hardware "
+              "threads\n\n",
+              g.NumVertices(), simd::kKernelName,
+              std::thread::hardware_concurrency());
+  std::printf("%8s %18s %18s %18s\n", "threads", "matrix 48x48", "batch 4096",
+              "points 4096");
+  std::printf("%8s %18s %18s %18s\n", "", "[ns/pair]", "[ns/target]",
+              "[ns/query]");
+
+  std::string curve;
+  double matrix_1t = 0.0;
+  double matrix_best = 0.0;
+  uint64_t checksum = 0;
+  for (const uint32_t threads : kThreadCounts) {
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    // The fixture workloads are small; let every thread take a share.
+    options.min_shard_queries = 64;
+    const QueryEngine engine(index, options);
+
+    const MatrixResult m =
+        TimeMatrix(engine, matrix_sources, matrix_targets, min_seconds);
+    const double b = TimeBatch(engine, batch_sources, batch_targets,
+                               min_seconds);
+    const double p = TimePoints(engine, pairs, min_seconds);
+    if (threads == 1) {
+      matrix_1t = m.ns_per_pair;
+      checksum = m.checksum;
+    } else if (checksum != m.checksum) {
+      std::fprintf(stderr, "FATAL: thread-count-dependent matrix result\n");
+      return 1;
+    }
+    matrix_best = matrix_best == 0.0 ? m.ns_per_pair
+                                     : std::min(matrix_best, m.ns_per_pair);
+    std::printf("%8u %18.2f %18.2f %18.2f\n", threads, m.ns_per_pair, b, p);
+
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\n    {\"threads\": %u, \"matrix_ns_per_pair\": %.2f, "
+                  "\"batch_ns_per_target\": %.2f, \"point_ns_per_query\": "
+                  "%.2f}",
+                  curve.empty() ? "" : ",", threads, m.ns_per_pair, b, p);
+    curve += entry;
+  }
+
+  const double speedup = matrix_best > 0.0 ? matrix_1t / matrix_best : 0.0;
+  std::printf("\nbest matrix speedup vs 1 thread: %.2fx "
+              "(on %u hardware threads)\n",
+              speedup, std::thread::hardware_concurrency());
+
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                ",\n  \"parallel\": {\n"
+                "    \"hardware_threads\": %u,\n"
+                "    \"matrix_speedup_best\": %.2f,\n"
+                "    \"curve\": [",
+                std::thread::hardware_concurrency(), speedup);
+  const std::string section = std::string(head) + curve + "]\n  }";
+
+  const char* json = std::getenv("HC2L_BENCH_JSON");
+  const std::string path = json != nullptr ? json : "BENCH_query.json";
+  MergeIntoBenchJson(path, section);
+  std::printf("merged parallel section into %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hc2l
+
+int main() { return hc2l::Run(); }

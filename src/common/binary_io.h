@@ -1,0 +1,119 @@
+#ifndef HC2L_COMMON_BINARY_IO_H_
+#define HC2L_COMMON_BINARY_IO_H_
+
+/// Minimal binary serialization helpers shared by the index Save/Load paths
+/// (no exceptions; plain fwrite/fread). Readers bound every vector size so a
+/// corrupt or truncated file fails cleanly instead of attempting a huge
+/// allocation.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/label_arena.h"
+
+namespace hc2l::io {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+inline bool WritePod(std::FILE* f, const void* p, size_t bytes) {
+  return std::fwrite(p, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool WriteValue(std::FILE* f, const T& value) {
+  return WritePod(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool WriteVector(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t size = v.size();
+  return WriteValue(f, size) &&
+         (size == 0 || WritePod(f, v.data(), size * sizeof(T)));
+}
+
+inline bool ReadPod(std::FILE* f, void* p, size_t bytes) {
+  return std::fread(p, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool ReadValue(std::FILE* f, T* value) {
+  return ReadPod(f, value, sizeof(T));
+}
+
+template <typename T>
+bool ReadVector(std::FILE* f, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!ReadValue(f, &size)) return false;
+  if (size > (uint64_t{1} << 40) / sizeof(T)) return false;  // sanity bound
+  v->resize(size);
+  return size == 0 || ReadPod(f, v->data(), size * sizeof(T));
+}
+
+/// The arena round-trips verbatim (padding included): its size is already a
+/// whole number of cache lines, so reading reproduces the exact aligned
+/// layout.
+inline bool WriteArena(std::FILE* f, const LabelArena& arena) {
+  const uint64_t size = arena.size();
+  return WriteValue(f, size) &&
+         (size == 0 || WritePod(f, arena.data(), size * sizeof(uint32_t)));
+}
+
+inline bool ReadArena(std::FILE* f, LabelArena* arena) {
+  uint64_t size = 0;
+  if (!ReadValue(f, &size)) return false;
+  if (size > (uint64_t{1} << 40) / sizeof(uint32_t)) return false;
+  if (size != LabelArena::PaddedCapacity(size)) return false;  // not aligned
+  arena->Reset(size);
+  return size == 0 || ReadPod(f, arena->data(), size * sizeof(uint32_t));
+}
+
+/// Label stores serialize as offset tables followed by the aligned arena —
+/// the field order of index format HC2L0002.
+inline bool WriteLabelStore(std::FILE* f, const LabelStore& labels) {
+  return WriteVector(f, labels.base) && WriteVector(f, labels.level_start) &&
+         WriteVector(f, labels.level_len) && WriteArena(f, labels.arena);
+}
+
+/// Structural invariants the query paths index by without bounds checks:
+/// base is a non-decreasing 0-led partition of the array list, and every
+/// (start, len) array lies inside the arena. Rejecting violations at load
+/// time turns a corrupt offset table into a clean load failure instead of
+/// out-of-bounds reads at query time.
+inline bool ValidateLabelStore(const LabelStore& labels) {
+  if (labels.base.empty() || labels.base.front() != 0) return false;
+  if (labels.level_start.size() != labels.level_len.size()) return false;
+  for (size_t v = 0; v + 1 < labels.base.size(); ++v) {
+    if (labels.base[v] > labels.base[v + 1]) return false;
+  }
+  if (labels.base.back() != labels.level_start.size()) return false;
+  const size_t arena_size = labels.arena.size();
+  for (size_t i = 0; i < labels.level_start.size(); ++i) {
+    const size_t start = labels.level_start[i];
+    // BuildFrom's layout: every array starts on a cache-line boundary and
+    // owns its padded capacity, which is also what the vector kernel may
+    // read past the true length.
+    if (start % LabelArena::kAlignEntries != 0) return false;
+    if (start > arena_size ||
+        LabelArena::PaddedCapacity(labels.level_len[i]) > arena_size - start) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool ReadLabelStore(std::FILE* f, LabelStore* labels) {
+  return ReadVector(f, &labels->base) && ReadVector(f, &labels->level_start) &&
+         ReadVector(f, &labels->level_len) && ReadArena(f, &labels->arena) &&
+         ValidateLabelStore(*labels);
+}
+
+}  // namespace hc2l::io
+
+#endif  // HC2L_COMMON_BINARY_IO_H_

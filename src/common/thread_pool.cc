@@ -85,8 +85,7 @@ void ThreadPool::Wait(const TaskHandle& task) {
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  const size_t helpers =
-      std::min<size_t>(workers_.size(), count > 0 ? count - 1 : 0);
+  const size_t helpers = std::min<size_t>(workers_.size(), count - 1);
   if (helpers == 0) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;

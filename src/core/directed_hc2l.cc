@@ -1,11 +1,14 @@
 #include "core/directed_hc2l.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
+#include "core/query_common.h"
 #include "partition/balanced_cut.h"
 #include "search/directed_dijkstra.h"
 
@@ -43,6 +46,7 @@ class DirectedHc2lBuilder {
 
   void Finish(DirectedHc2lIndex* index) {
     index->hierarchy_ = std::move(hierarchy_);
+    index->height_ = index->hierarchy_.Height();
     index->out_labels_.BuildFrom(&out_label_, &out_lens_);
     index->in_labels_.BuildFrom(&in_label_, &in_lens_);
   }
@@ -305,6 +309,154 @@ Dist DirectedHc2lIndex::Query(Vertex s, Vertex t) const {
   simd::PrefetchArray(b, len * sizeof(uint32_t));
   const uint32_t best = simd::MinPlusPadded(a, b, len);
   return best >= kUnreachableLabel ? kInfDist : best;
+}
+
+DirectedHc2lIndex::ResolvedTargets DirectedHc2lIndex::ResolveTargets(
+    std::span<const Vertex> targets) const {
+  ResolvedTargets rt;
+  rt.original.assign(targets.begin(), targets.end());
+  rt.code.resize(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    HC2L_CHECK_LT(targets[i], NumVertices());
+    rt.code[i] = hierarchy_.CodeOf(targets[i]);
+  }
+  return rt;
+}
+
+void DirectedHc2lIndex::BatchQueryResolved(Vertex source,
+                                           const ResolvedTargets& rt,
+                                           size_t begin, size_t end,
+                                           Dist* out) const {
+  HC2L_CHECK_LT(source, NumVertices());
+  HC2L_CHECK_LE(begin, end);
+  HC2L_CHECK_LE(end, rt.size());
+  if (begin == end) return;
+
+  // Source side hoisted for the batch: tree code and out-array base. Pass 1
+  // answers s == t inline and collects the rest; the shared level sweep
+  // min-reduces the source's out-arrays against the targets' in-arrays.
+  const TreeCode s_code = hierarchy_.CodeOf(source);
+  const uint32_t s_base = out_labels_.base[source];
+  std::vector<PendingTarget> pending;
+  std::vector<uint32_t> level_of;
+  pending.reserve(end - begin);
+  level_of.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const Vertex t = rt.original[i];
+    if (t == source) {
+      out[i] = 0;
+      continue;
+    }
+    pending.push_back({static_cast<uint32_t>(i), t, /*offset=*/0});
+    level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
+  }
+  SweepPendingByLevel(out_labels_, in_labels_, s_base, height_, pending,
+                      level_of, out);
+}
+
+std::vector<Dist> DirectedHc2lIndex::BatchQuery(
+    Vertex source, std::span<const Vertex> targets) const {
+  std::vector<Dist> out(targets.size(), kInfDist);
+  if (targets.empty()) return out;
+  // Unlike the undirected index there is no fused single-call variant:
+  // directed resolution is only a code copy (no contraction roots or
+  // detours), so delegating through ResolveTargets costs next to nothing.
+  const ResolvedTargets rt = ResolveTargets(targets);
+  BatchQueryResolved(source, rt, 0, rt.size(), out.data());
+  return out;
+}
+
+std::vector<std::vector<Dist>> DirectedHc2lIndex::DistanceMatrix(
+    std::span<const Vertex> sources, std::span<const Vertex> targets) const {
+  // Same tiling rationale as the undirected index: one resolution per
+  // matrix, tiles of target in-arrays kept hot across sources.
+  std::vector<std::vector<Dist>> matrix(
+      sources.size(), std::vector<Dist>(targets.size(), kInfDist));
+  if (sources.empty() || targets.empty()) return matrix;
+  TiledDistanceMatrix(*this, ResolveTargets(targets), sources, &matrix);
+  return matrix;
+}
+
+std::vector<std::pair<Dist, Vertex>> DirectedHc2lIndex::KNearest(
+    Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  const std::vector<Dist> dists = BatchQuery(source, candidates);
+  return SelectKNearest(dists, candidates, k);
+}
+
+namespace {
+
+// Directed format 1: hierarchy followed by the out- and in-label stores.
+constexpr uint64_t kDirectedMagic = 0x4843324430303031ULL;  // "HC2D0001"
+
+}  // namespace
+
+bool DirectedHc2lIndex::Save(const std::string& path,
+                             std::string* error) const {
+  io::FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const uint64_t num_vertices = NumVertices();
+  const bool ok = io::WriteValue(f.get(), kDirectedMagic) &&
+                  io::WriteValue(f.get(), num_vertices) &&
+                  io::WriteValue(f.get(), height_) &&
+                  hierarchy_.WriteTo(f.get()) &&
+                  io::WriteLabelStore(f.get(), out_labels_) &&
+                  io::WriteLabelStore(f.get(), in_labels_);
+  if (!ok) {
+    *error = "write error on " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<DirectedHc2lIndex> DirectedHc2lIndex::Load(
+    const std::string& path, std::string* error) {
+  io::FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  uint64_t magic = 0;
+  if (!io::ReadValue(f.get(), &magic) || magic != kDirectedMagic) {
+    *error = "not a directed HC2L index file: " + path;
+    return std::nullopt;
+  }
+  DirectedHc2lIndex index;
+  uint64_t num_vertices = 0;
+  uint32_t stored_height = 0;
+  bool ok = io::ReadValue(f.get(), &num_vertices) &&
+            io::ReadValue(f.get(), &stored_height) &&
+            index.hierarchy_.ReadFrom(f.get()) &&
+            io::ReadLabelStore(f.get(), &index.out_labels_) &&
+            io::ReadLabelStore(f.get(), &index.in_labels_);
+  ok = ok && index.NumVertices() == num_vertices;
+  // Same query-path hardening as the undirected Load (see hc2l.cc): code
+  // tables must cover every vertex and both directions must hold at least
+  // depth+1 arrays per vertex; the stores' own structure was validated in
+  // ReadLabelStore. Files from adversarial sources remain unsupported.
+  if (ok) {
+    const size_t n = index.out_labels_.base.size() - 1;
+    ok = index.in_labels_.base.size() == n + 1 &&
+         index.hierarchy_.vertex_code_.size() == n &&
+         index.hierarchy_.node_of_vertex_.size() == n;
+    for (size_t v = 0; ok && v < n; ++v) {
+      const uint32_t depth = TreeCodeDepth(index.hierarchy_.vertex_code_[v]);
+      ok = index.out_labels_.base[v + 1] - index.out_labels_.base[v] >=
+               depth + 1 &&
+           index.in_labels_.base[v + 1] - index.in_labels_.base[v] >=
+               depth + 1;
+    }
+  }
+  if (!ok) {
+    *error = "truncated or corrupt directed HC2L index file: " + path;
+    return std::nullopt;
+  }
+  // The stored height is informational; the level bucketing's bound is
+  // recomputed so it always agrees with the validated codes.
+  index.height_ = index.hierarchy_.LevelBound();
+  return index;
 }
 
 size_t DirectedHc2lIndex::NumEntries() const {

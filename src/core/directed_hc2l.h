@@ -2,6 +2,10 @@
 #define HC2L_CORE_DIRECTED_HC2L_H_
 
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/label_arena.h"
@@ -43,6 +47,44 @@ class DirectedHc2lIndex {
   /// Exact directed distance d(s -> t); kInfDist if t is unreachable from s.
   Dist Query(Vertex s, Vertex t) const;
 
+  /// One-to-many: d(source -> targets[i]) for every target, in order. Mirrors
+  /// the undirected fast path: the source's out-array side is hoisted and
+  /// targets are swept grouped by LCA level.
+  std::vector<Dist> BatchQuery(Vertex source,
+                               std::span<const Vertex> targets) const;
+
+  /// Many-to-many: result[i][j] = d(sources[i] -> targets[j]), with
+  /// target-side resolution hoisted once per matrix and targets tiled so
+  /// their in-label arrays stay L2-resident across sources.
+  std::vector<std::vector<Dist>> DistanceMatrix(
+      std::span<const Vertex> sources, std::span<const Vertex> targets) const;
+
+  /// The k candidates nearest *from* `source` by directed distance (ties
+  /// broken deterministically by candidate order), sorted ascending;
+  /// unreachable candidates excluded.
+  std::vector<std::pair<Dist, Vertex>> KNearest(
+      Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+  /// Target-side state shared across sources (same shape as
+  /// Hc2lIndex::ResolvedTargets so the query engine can template over both
+  /// indexes; the directed variant has no degree-one contraction, so core ids
+  /// equal the originals and detours are zero).
+  struct ResolvedTargets {
+    std::vector<Vertex> original;
+    std::vector<TreeCode> code;
+
+    size_t size() const { return original.size(); }
+  };
+
+  /// Resolves a target list for repeated use against many sources.
+  ResolvedTargets ResolveTargets(std::span<const Vertex> targets) const;
+
+  /// Computes out[i] = d(source -> targets.original[i]) for i in
+  /// [begin, end); `out` points at the full row. Disjoint ranges may be
+  /// filled concurrently from different threads.
+  void BatchQueryResolved(Vertex source, const ResolvedTargets& targets,
+                          size_t begin, size_t end, Dist* out) const;
+
   size_t NumVertices() const { return out_labels_.base.size() - 1; }
   const BalancedTreeHierarchy& Hierarchy() const { return hierarchy_; }
 
@@ -52,11 +94,21 @@ class DirectedHc2lIndex {
   /// Resident label storage in bytes (aligned arenas + offset tables).
   size_t LabelSizeBytes() const;
 
+  /// Serializes the index (hierarchy + both label stores) to a file.
+  bool Save(const std::string& path, std::string* error) const;
+
+  /// Loads an index previously written by Save().
+  static std::optional<DirectedHc2lIndex> Load(const std::string& path,
+                                               std::string* error);
+
  private:
   DirectedHc2lIndex() = default;
   friend class DirectedHc2lBuilder;
 
   BalancedTreeHierarchy hierarchy_;
+  // Cached hierarchy height: BatchQueryResolved's level bucketing must not
+  // rescan every tree node per call.
+  uint32_t height_ = 0;
   // Per-direction cache-aligned labels, same layout as the undirected index
   // (see LabelStore): out = d(v -> hub), in = d(hub -> v).
   LabelStore out_labels_;

@@ -7,10 +7,12 @@
 #include <memory>
 #include <mutex>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/query_common.h"
 #include "partition/balanced_cut.h"
 #include "partition/shortcuts.h"
 #include "search/dijkstra.h"
@@ -531,14 +533,37 @@ void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
 
 size_t Hc2lIndex::LabelSizeBytes() const { return labels_.ResidentBytes(); }
 
-std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
-                                        std::span<const Vertex> targets) const {
-  std::vector<Dist> out(targets.size(), kInfDist);
-  if (targets.empty()) return out;
-  HC2L_CHECK_LT(source, stats_.num_vertices);
+Hc2lIndex::ResolvedTargets Hc2lIndex::ResolveTargets(
+    std::span<const Vertex> targets) const {
+  ResolvedTargets rt;
+  const size_t n = targets.size();
+  rt.original.assign(targets.begin(), targets.end());
+  rt.core.resize(n);
+  rt.detour.resize(n);
+  rt.code.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vertex t = targets[i];
+    HC2L_CHECK_LT(t, stats_.num_vertices);
+    Vertex root = t;
+    Dist detour = 0;
+    if (contraction_ != nullptr) {
+      root = contraction_->RootCoreId(t);
+      detour = contraction_->DistToRoot(t);
+    }
+    rt.core[i] = root;
+    rt.detour[i] = detour;
+    rt.code[i] = hierarchy_.CodeOf(root);
+  }
+  return rt;
+}
 
-  // Hoist every source-side lookup out of the per-target loop: contraction
-  // root/offset, tree code and label-array base are fixed for the batch.
+void Hc2lIndex::BatchQueryResolved(Vertex source, const ResolvedTargets& rt,
+                                   size_t begin, size_t end, Dist* out) const {
+  HC2L_CHECK_LT(source, stats_.num_vertices);
+  HC2L_CHECK_LE(begin, end);
+  HC2L_CHECK_LE(end, rt.size());
+  if (begin == end) return;
+
   Vertex root_s = source;
   Dist source_offset = 0;
   if (contraction_ != nullptr) {
@@ -548,18 +573,54 @@ std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
   const TreeCode s_code = hierarchy_.CodeOf(root_s);
   const uint32_t s_base = labels_.base[root_s];
 
-  // Pass 1: resolve targets; answer the trivial cases inline and bucket the
-  // rest by LCA level so each level reuses one source array.
-  struct Pending {
-    uint32_t out_index;
-    Vertex core;
-    Dist offset;  // contraction detour (source side + target side)
-  };
-  // The stored stat, not hierarchy_.Height() — that one rescans every tree
-  // node, which would dwarf small batches.
-  const uint32_t height = stats_.tree_height;
-  std::vector<uint32_t> level_count(height + 1, 0);
-  std::vector<Pending> pending;
+  // Pass 1 over pre-resolved targets: answer the trivial cases inline,
+  // collect the rest for the level sweep.
+  std::vector<PendingTarget> pending;
+  std::vector<uint32_t> level_of;
+  pending.reserve(end - begin);
+  level_of.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const Vertex t = rt.original[i];
+    if (t == source) {
+      out[i] = 0;
+      continue;
+    }
+    Dist offset = source_offset;
+    if (contraction_ != nullptr) {
+      if (rt.core[i] == root_s) {
+        out[i] = contraction_->SameTreeDistance(source, t);
+        continue;
+      }
+      offset += rt.detour[i];
+    }
+    pending.push_back({static_cast<uint32_t>(i), rt.core[i], offset});
+    level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
+  }
+  // stats_.tree_height, not hierarchy_.Height() — that one rescans every
+  // tree node, which would dwarf small batches.
+  SweepPendingByLevel(labels_, labels_, s_base, stats_.tree_height, pending,
+                      level_of, out);
+}
+
+std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
+                                        std::span<const Vertex> targets) const {
+  std::vector<Dist> out(targets.size(), kInfDist);
+  if (targets.empty()) return out;
+  HC2L_CHECK_LT(source, stats_.num_vertices);
+
+  // Single-call fast path: resolution fused into pass 1 (no ResolvedTargets
+  // materialization — that indirection only pays off when many sources share
+  // one target set, i.e. DistanceMatrix and the query engine).
+  Vertex root_s = source;
+  Dist source_offset = 0;
+  if (contraction_ != nullptr) {
+    root_s = contraction_->RootCoreId(source);
+    source_offset = contraction_->DistToRoot(source);
+  }
+  const TreeCode s_code = hierarchy_.CodeOf(root_s);
+  const uint32_t s_base = labels_.base[root_s];
+
+  std::vector<PendingTarget> pending;
   std::vector<uint32_t> level_of;
   pending.reserve(targets.size());
   level_of.reserve(targets.size());
@@ -580,182 +641,64 @@ std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
       }
       offset += contraction_->DistToRoot(t);
     }
-    const uint32_t level = TreeCodeLcaLevel(s_code, hierarchy_.CodeOf(root_t));
     pending.push_back({static_cast<uint32_t>(i), root_t, offset});
-    level_of.push_back(level);
-    ++level_count[level];
+    level_of.push_back(TreeCodeLcaLevel(s_code, hierarchy_.CodeOf(root_t)));
   }
-
-  // Counting sort of pending targets by level.
-  std::vector<uint32_t> bucket_pos(height + 2, 0);
-  for (uint32_t l = 0; l <= height; ++l) {
-    bucket_pos[l + 1] = bucket_pos[l] + level_count[l];
-  }
-  std::vector<uint32_t> order(pending.size());
-  {
-    std::vector<uint32_t> cursor(bucket_pos.begin(), bucket_pos.end() - 1);
-    for (size_t p = 0; p < pending.size(); ++p) {
-      order[cursor[level_of[p]]++] = static_cast<uint32_t>(p);
-    }
-  }
-
-  // Pass 2: per level, resolve the source array once and sweep the bucket,
-  // prefetching the next target's array while reducing the current one.
-  const uint32_t* arena = labels_.arena.data();
-  for (uint32_t level = 0; level <= height; ++level) {
-    const uint32_t begin = bucket_pos[level];
-    const uint32_t end = bucket_pos[level + 1];
-    if (begin == end) continue;
-    const uint32_t s_idx = s_base + level;
-    const uint32_t* a = arena + labels_.level_start[s_idx];
-    const uint32_t len_a = labels_.level_len[s_idx];
-    simd::PrefetchArray(a, len_a * sizeof(uint32_t));
-    for (uint32_t p = begin; p < end; ++p) {
-      if (p + 1 < end) {
-        const Pending& next = pending[order[p + 1]];
-        const uint32_t n_idx = labels_.base[next.core] + level;
-        simd::PrefetchArray(arena + labels_.level_start[n_idx],
-                            labels_.level_len[n_idx] * sizeof(uint32_t));
-      }
-      const Pending& cur = pending[order[p]];
-      const uint32_t t_idx = labels_.base[cur.core] + level;
-      const uint32_t* b = arena + labels_.level_start[t_idx];
-      const uint32_t len = std::min(len_a, labels_.level_len[t_idx]);
-      const uint32_t best = simd::MinPlusPadded(a, b, len);
-      out[cur.out_index] =
-          best >= kUnreachableLabel ? kInfDist : cur.offset + best;
-    }
-  }
+  SweepPendingByLevel(labels_, labels_, s_base, stats_.tree_height, pending,
+                      level_of, out.data());
   return out;
 }
 
 std::vector<std::vector<Dist>> Hc2lIndex::DistanceMatrix(
     std::span<const Vertex> sources, std::span<const Vertex> targets) const {
-  std::vector<std::vector<Dist>> matrix;
-  matrix.reserve(sources.size());
-  for (const Vertex s : sources) matrix.push_back(BatchQuery(s, targets));
+  std::vector<std::vector<Dist>> matrix(
+      sources.size(), std::vector<Dist>(targets.size(), kInfDist));
+  if (sources.empty() || targets.empty()) return matrix;
+  // Target-side resolution (contraction root, detour, tree code) is computed
+  // once for the whole matrix instead of once per source; the shared tiled
+  // sweep keeps each target tile's label arrays L2-resident across sources.
+  TiledDistanceMatrix(*this, ResolveTargets(targets), sources, &matrix);
   return matrix;
 }
 
 std::vector<std::pair<Dist, Vertex>> Hc2lIndex::KNearest(
     Vertex source, std::span<const Vertex> candidates, size_t k) const {
   const std::vector<Dist> dists = BatchQuery(source, candidates);
-  std::vector<std::pair<Dist, Vertex>> ranked;
-  ranked.reserve(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (dists[i] != kInfDist) ranked.emplace_back(dists[i], candidates[i]);
-  }
-  const size_t keep = std::min(k, ranked.size());
-  std::partial_sort(
-      ranked.begin(), ranked.begin() + keep, ranked.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  ranked.resize(keep);
-  return ranked;
+  return SelectKNearest(dists, candidates, k);
 }
 
 namespace {
 
-// --- Minimal binary serialization helpers (no exceptions; fwrite/fread). ---
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
 // Format 2: labels stored as the cache-aligned arena (sentinel padding
-// included) plus explicit per-array start/length tables.
+// included) plus explicit per-array start/length tables. The helpers live in
+// common/binary_io.h, shared with the directed index.
 constexpr uint64_t kMagic = 0x4843324c30303032ULL;  // "HC2L0002"
-
-bool WritePod(std::FILE* f, const void* p, size_t bytes) {
-  return std::fwrite(p, 1, bytes, f) == bytes;
-}
-
-template <typename T>
-bool WriteValue(std::FILE* f, const T& value) {
-  return WritePod(f, &value, sizeof(T));
-}
-
-template <typename T>
-bool WriteVector(std::FILE* f, const std::vector<T>& v) {
-  const uint64_t size = v.size();
-  return WriteValue(f, size) &&
-         (size == 0 || WritePod(f, v.data(), size * sizeof(T)));
-}
-
-bool ReadPod(std::FILE* f, void* p, size_t bytes) {
-  return std::fread(p, 1, bytes, f) == bytes;
-}
-
-template <typename T>
-bool ReadValue(std::FILE* f, T* value) {
-  return ReadPod(f, value, sizeof(T));
-}
-
-template <typename T>
-bool ReadVector(std::FILE* f, std::vector<T>* v) {
-  uint64_t size = 0;
-  if (!ReadValue(f, &size)) return false;
-  if (size > (uint64_t{1} << 40) / sizeof(T)) return false;  // sanity bound
-  v->resize(size);
-  return size == 0 || ReadPod(f, v->data(), size * sizeof(T));
-}
-
-/// The arena round-trips verbatim (padding included): its size is already a
-/// whole number of cache lines, so Load reproduces the exact aligned layout.
-bool WriteArena(std::FILE* f, const LabelArena& arena) {
-  const uint64_t size = arena.size();
-  return WriteValue(f, size) &&
-         (size == 0 || WritePod(f, arena.data(), size * sizeof(uint32_t)));
-}
-
-bool ReadArena(std::FILE* f, LabelArena* arena) {
-  uint64_t size = 0;
-  if (!ReadValue(f, &size)) return false;
-  if (size > (uint64_t{1} << 40) / sizeof(uint32_t)) return false;
-  if (size != LabelArena::PaddedCapacity(size)) return false;  // not aligned
-  arena->Reset(size);
-  return size == 0 || ReadPod(f, arena->data(), size * sizeof(uint32_t));
-}
 
 }  // namespace
 
 bool Hc2lIndex::Save(const std::string& path, std::string* error) const {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
+  io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     *error = "cannot open " + path + " for writing";
     return false;
   }
-  bool ok = WriteValue(f.get(), kMagic) && WriteValue(f.get(), stats_);
+  bool ok = io::WriteValue(f.get(), kMagic) && io::WriteValue(f.get(), stats_);
   const uint8_t has_contraction = contraction_ != nullptr ? 1 : 0;
-  ok = ok && WriteValue(f.get(), has_contraction);
+  ok = ok && io::WriteValue(f.get(), has_contraction);
   if (ok && has_contraction) {
     const DegreeOneContraction& c = *contraction_;
-    ok = WriteVector(f.get(), c.core_id_) &&
-         WriteVector(f.get(), c.to_original_) &&
-         WriteVector(f.get(), c.root_core_id_) &&
-         WriteVector(f.get(), c.dist_to_root_) &&
-         WriteVector(f.get(), c.parent_) &&
-         WriteVector(f.get(), c.parent_weight_) &&
-         WriteVector(f.get(), c.depth_);
+    ok = io::WriteVector(f.get(), c.core_id_) &&
+         io::WriteVector(f.get(), c.to_original_) &&
+         io::WriteVector(f.get(), c.root_core_id_) &&
+         io::WriteVector(f.get(), c.dist_to_root_) &&
+         io::WriteVector(f.get(), c.parent_) &&
+         io::WriteVector(f.get(), c.parent_weight_) &&
+         io::WriteVector(f.get(), c.depth_);
     const uint64_t contracted = c.num_contracted_;
-    ok = ok && WriteValue(f.get(), contracted);
+    ok = ok && io::WriteValue(f.get(), contracted);
   }
-  // Hierarchy.
-  const uint64_t num_nodes = hierarchy_.nodes_.size();
-  ok = ok && WriteValue(f.get(), num_nodes);
-  for (const HierarchyNode& node : hierarchy_.nodes_) {
-    ok = ok && WriteValue(f.get(), node.code) &&
-         WriteValue(f.get(), node.parent) && WriteValue(f.get(), node.left) &&
-         WriteValue(f.get(), node.right) && WriteVector(f.get(), node.cut);
-  }
-  ok = ok && WriteVector(f.get(), hierarchy_.node_of_vertex_) &&
-       WriteVector(f.get(), hierarchy_.vertex_code_) &&
-       WriteVector(f.get(), labels_.base) &&
-       WriteVector(f.get(), labels_.level_start) &&
-       WriteVector(f.get(), labels_.level_len) &&
-       WriteArena(f.get(), labels_.arena);
+  ok = ok && hierarchy_.WriteTo(f.get()) &&
+       io::WriteLabelStore(f.get(), labels_);
   if (!ok) {
     *error = "write error on " + path;
     return false;
@@ -765,58 +708,59 @@ bool Hc2lIndex::Save(const std::string& path, std::string* error) const {
 
 std::optional<Hc2lIndex> Hc2lIndex::Load(const std::string& path,
                                          std::string* error) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
+  io::FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     *error = "cannot open " + path;
     return std::nullopt;
   }
   uint64_t magic = 0;
-  if (!ReadValue(f.get(), &magic) || magic != kMagic) {
+  if (!io::ReadValue(f.get(), &magic) || magic != kMagic) {
     *error = "not an HC2L index file: " + path;
     return std::nullopt;
   }
   Hc2lIndex index;
-  bool ok = ReadValue(f.get(), &index.stats_);
+  bool ok = io::ReadValue(f.get(), &index.stats_);
   uint8_t has_contraction = 0;
-  ok = ok && ReadValue(f.get(), &has_contraction);
+  ok = ok && io::ReadValue(f.get(), &has_contraction);
   if (ok && has_contraction) {
     index.contraction_ =
         std::unique_ptr<DegreeOneContraction>(new DegreeOneContraction());
     DegreeOneContraction& c = *index.contraction_;
-    ok = ReadVector(f.get(), &c.core_id_) &&
-         ReadVector(f.get(), &c.to_original_) &&
-         ReadVector(f.get(), &c.root_core_id_) &&
-         ReadVector(f.get(), &c.dist_to_root_) &&
-         ReadVector(f.get(), &c.parent_) &&
-         ReadVector(f.get(), &c.parent_weight_) &&
-         ReadVector(f.get(), &c.depth_);
+    ok = io::ReadVector(f.get(), &c.core_id_) &&
+         io::ReadVector(f.get(), &c.to_original_) &&
+         io::ReadVector(f.get(), &c.root_core_id_) &&
+         io::ReadVector(f.get(), &c.dist_to_root_) &&
+         io::ReadVector(f.get(), &c.parent_) &&
+         io::ReadVector(f.get(), &c.parent_weight_) &&
+         io::ReadVector(f.get(), &c.depth_);
     uint64_t contracted = 0;
-    ok = ok && ReadValue(f.get(), &contracted);
+    ok = ok && io::ReadValue(f.get(), &contracted);
     c.num_contracted_ = contracted;
   }
-  uint64_t num_nodes = 0;
-  ok = ok && ReadValue(f.get(), &num_nodes);
-  if (ok && num_nodes > (uint64_t{1} << 32)) ok = false;
+  // Query-path hardening against corrupt offset tables (the label store's
+  // own structure is validated inside ReadLabelStore): the per-vertex code
+  // tables must cover every labelled vertex, and each vertex must own at
+  // least depth+1 label arrays so any LCA level indexes inside its range.
+  // The contraction side and graph-level semantics remain trusted — index
+  // files are not designed to be loaded from adversarial sources.
+  ok = ok && index.hierarchy_.ReadFrom(f.get()) &&
+       io::ReadLabelStore(f.get(), &index.labels_);
   if (ok) {
-    index.hierarchy_.nodes_.resize(num_nodes);
-    for (HierarchyNode& node : index.hierarchy_.nodes_) {
-      ok = ok && ReadValue(f.get(), &node.code) &&
-           ReadValue(f.get(), &node.parent) &&
-           ReadValue(f.get(), &node.left) &&
-           ReadValue(f.get(), &node.right) && ReadVector(f.get(), &node.cut);
-      if (!ok) break;
+    const size_t core = index.labels_.base.size() - 1;
+    ok = index.hierarchy_.vertex_code_.size() == core &&
+         index.hierarchy_.node_of_vertex_.size() == core;
+    for (size_t v = 0; ok && v < core; ++v) {
+      const uint32_t arrays = index.labels_.base[v + 1] - index.labels_.base[v];
+      ok = arrays >= TreeCodeDepth(index.hierarchy_.vertex_code_[v]) + 1;
     }
   }
-  ok = ok && ReadVector(f.get(), &index.hierarchy_.node_of_vertex_) &&
-       ReadVector(f.get(), &index.hierarchy_.vertex_code_) &&
-       ReadVector(f.get(), &index.labels_.base) &&
-       ReadVector(f.get(), &index.labels_.level_start) &&
-       ReadVector(f.get(), &index.labels_.level_len) &&
-       ReadArena(f.get(), &index.labels_.arena);
   if (!ok) {
     *error = "truncated or corrupt HC2L index file: " + path;
     return std::nullopt;
   }
+  // The file-loaded height is likewise not trusted for the level bucketing's
+  // bucket sizing; recompute it (equal for well-formed files).
+  index.stats_.tree_height = index.hierarchy_.LevelBound();
   return index;
 }
 

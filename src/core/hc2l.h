@@ -90,14 +90,43 @@ class Hc2lIndex {
                                std::span<const Vertex> targets) const;
 
   /// Many-to-many distance matrix: result[i][j] = d(sources[i], targets[j]).
+  /// Target-side resolution is hoisted once for the whole matrix and targets
+  /// are processed in tiles so their label arrays stay L2-resident across
+  /// sources.
   std::vector<std::vector<Dist>> DistanceMatrix(
       std::span<const Vertex> sources, std::span<const Vertex> targets) const;
 
-  /// The k candidates nearest to `source` (ties broken by candidate order),
-  /// as (distance, candidate) pairs sorted ascending; unreachable candidates
-  /// are excluded, so fewer than k entries may return.
+  /// The k candidates nearest to `source` (ties broken deterministically by
+  /// candidate order), as (distance, candidate) pairs sorted ascending;
+  /// unreachable candidates are excluded, so fewer than k entries may return.
   std::vector<std::pair<Dist, Vertex>> KNearest(
       Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+  /// Target-side state hoisted out of the per-source loop: contraction root,
+  /// pendant-tree detour and packed tree code, resolved once and reused by
+  /// every source. Produced by ResolveTargets(); consumed by
+  /// BatchQueryResolved(). Read-only after construction, so any number of
+  /// threads may share one instance.
+  struct ResolvedTargets {
+    std::vector<Vertex> original;  // the targets exactly as passed
+    std::vector<Vertex> core;      // contraction root (== original without
+                                   // degree-one contraction)
+    std::vector<Dist> detour;      // d(target, root); 0 for core vertices
+    std::vector<TreeCode> code;    // packed tree code of the root
+
+    size_t size() const { return original.size(); }
+  };
+
+  /// Resolves a target list for repeated use against many sources.
+  ResolvedTargets ResolveTargets(std::span<const Vertex> targets) const;
+
+  /// Computes out[i] = d(source, targets.original[i]) for i in [begin, end).
+  /// `out` points at the full row (indexed by target position, not
+  /// shard-relative), so disjoint ranges of one row may be filled from
+  /// different threads. The building block DistanceMatrix and the parallel
+  /// query engine tile their work with.
+  void BatchQueryResolved(Vertex source, const ResolvedTargets& targets,
+                          size_t begin, size_t end, Dist* out) const;
 
   /// Number of vertices of the indexed graph.
   size_t NumVertices() const { return stats_.num_vertices; }

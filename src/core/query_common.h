@@ -1,0 +1,130 @@
+#ifndef HC2L_CORE_QUERY_COMMON_H_
+#define HC2L_CORE_QUERY_COMMON_H_
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/label_arena.h"
+#include "common/simd.h"
+#include "common/types.h"
+
+namespace hc2l {
+
+/// Targets per DistanceMatrix tile, shared by both indexes and the query
+/// engine's default. ~2k label arrays (averaging well under 256 B each on
+/// road networks) keep a tile's working set inside a typical 512 KB-1 MB L2
+/// while every source min-reduces against it.
+inline constexpr size_t kMatrixTargetTile = 2048;
+
+/// A non-trivial batch target awaiting its min-plus reduction.
+struct PendingTarget {
+  uint32_t out_index;
+  Vertex core;
+  Dist offset;  // contraction detour (source side + target side); 0 directed
+};
+
+/// Pass 2 of the batch fast path, shared by the undirected index (both label
+/// stores are the same object) and the directed one (source side reads
+/// out-labels, target side in-labels): counting-sorts `pending` by LCA level
+/// (level_of, parallel to pending, values <= height) and sweeps each level
+/// bucket against the source's level array at source_labels.base + ... =
+/// s_idx, prefetching the next target's array while reducing the current
+/// one. Writes out[pending[p].out_index] for every pending entry.
+inline void SweepPendingByLevel(const LabelStore& source_labels,
+                                const LabelStore& target_labels,
+                                uint32_t s_base, uint32_t height,
+                                const std::vector<PendingTarget>& pending,
+                                const std::vector<uint32_t>& level_of,
+                                Dist* out) {
+  constexpr uint32_t kUnreachableLabel = UINT32_MAX;
+  std::vector<uint32_t> bucket_pos(height + 2, 0);
+  for (const uint32_t level : level_of) ++bucket_pos[level + 1];
+  for (uint32_t l = 0; l <= height; ++l) bucket_pos[l + 1] += bucket_pos[l];
+  std::vector<uint32_t> order(pending.size());
+  {
+    std::vector<uint32_t> cursor(bucket_pos.begin(), bucket_pos.end() - 1);
+    for (size_t p = 0; p < pending.size(); ++p) {
+      order[cursor[level_of[p]]++] = static_cast<uint32_t>(p);
+    }
+  }
+
+  // Per level, resolve the source array once and sweep the bucket.
+  const uint32_t* arena = target_labels.arena.data();
+  for (uint32_t level = 0; level <= height; ++level) {
+    const uint32_t bucket_begin = bucket_pos[level];
+    const uint32_t bucket_end = bucket_pos[level + 1];
+    if (bucket_begin == bucket_end) continue;
+    const uint32_t s_idx = s_base + level;
+    const uint32_t* a =
+        source_labels.arena.data() + source_labels.level_start[s_idx];
+    const uint32_t len_a = source_labels.level_len[s_idx];
+    simd::PrefetchArray(a, len_a * sizeof(uint32_t));
+    for (uint32_t p = bucket_begin; p < bucket_end; ++p) {
+      if (p + 1 < bucket_end) {
+        const PendingTarget& next = pending[order[p + 1]];
+        const uint32_t n_idx = target_labels.base[next.core] + level;
+        simd::PrefetchArray(arena + target_labels.level_start[n_idx],
+                            target_labels.level_len[n_idx] * sizeof(uint32_t));
+      }
+      const PendingTarget& cur = pending[order[p]];
+      const uint32_t t_idx = target_labels.base[cur.core] + level;
+      const uint32_t* b = arena + target_labels.level_start[t_idx];
+      const uint32_t len = std::min(len_a, target_labels.level_len[t_idx]);
+      const uint32_t best = simd::MinPlusPadded(a, b, len);
+      out[cur.out_index] =
+          best >= kUnreachableLabel ? kInfDist : cur.offset + best;
+    }
+  }
+}
+
+/// The sequential many-to-many sweep shared by both indexes'
+/// DistanceMatrix: targets resolved once (by the caller), swept in tiles so
+/// one tile's label arrays stay L2-resident while every source min-reduces
+/// against it. `matrix` must be pre-sized to sources.size() rows of
+/// rt.size() entries.
+template <typename Index>
+void TiledDistanceMatrix(const Index& index,
+                         const typename Index::ResolvedTargets& rt,
+                         std::span<const Vertex> sources,
+                         std::vector<std::vector<Dist>>* matrix) {
+  for (size_t tile = 0; tile < rt.size(); tile += kMatrixTargetTile) {
+    const size_t tile_end = std::min(rt.size(), tile + kMatrixTargetTile);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      index.BatchQueryResolved(sources[i], rt, tile, tile_end,
+                               (*matrix)[i].data());
+    }
+  }
+}
+
+/// Deterministic k-nearest selection shared by both indexes and the parallel
+/// query engine: candidates are ranked by (distance, candidate position), so
+/// ties break by input order — the same result regardless of sort internals
+/// or how many threads produced `dists`. Unreachable candidates are excluded,
+/// so fewer than k entries may return.
+inline std::vector<std::pair<Dist, Vertex>> SelectKNearest(
+    std::span<const Dist> dists, std::span<const Vertex> candidates,
+    size_t k) {
+  std::vector<uint32_t> idx;
+  idx.reserve(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    if (dists[i] != kInfDist) idx.push_back(i);
+  }
+  const size_t keep = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + keep, idx.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (dists[a] != dists[b]) return dists[a] < dists[b];
+                      return a < b;
+                    });
+  std::vector<std::pair<Dist, Vertex>> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    out.emplace_back(dists[idx[i]], candidates[idx[i]]);
+  }
+  return out;
+}
+
+}  // namespace hc2l
+
+#endif  // HC2L_CORE_QUERY_COMMON_H_

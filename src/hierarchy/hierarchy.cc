@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/binary_io.h"
+
 namespace hc2l {
 
 uint32_t BalancedTreeHierarchy::Height() const {
@@ -10,6 +12,14 @@ uint32_t BalancedTreeHierarchy::Height() const {
     height = std::max(height, TreeCodeDepth(node.code));
   }
   return height;
+}
+
+uint32_t BalancedTreeHierarchy::LevelBound() const {
+  uint32_t bound = Height();
+  for (const TreeCode code : vertex_code_) {
+    bound = std::max(bound, TreeCodeDepth(code));
+  }
+  return bound;
 }
 
 size_t BalancedTreeHierarchy::MaxCutSize() const {
@@ -62,6 +72,35 @@ bool BalancedTreeHierarchy::Validate(size_t num_vertices) const {
   // ℓ is total and maps each vertex to exactly one node.
   return std::all_of(seen.begin(), seen.end(),
                      [](uint32_t c) { return c == 1; });
+}
+
+bool BalancedTreeHierarchy::WriteTo(std::FILE* f) const {
+  const uint64_t num_nodes = nodes_.size();
+  bool ok = io::WriteValue(f, num_nodes);
+  for (const HierarchyNode& node : nodes_) {
+    ok = ok && io::WriteValue(f, node.code) && io::WriteValue(f, node.parent) &&
+         io::WriteValue(f, node.left) && io::WriteValue(f, node.right) &&
+         io::WriteVector(f, node.cut);
+  }
+  return ok && io::WriteVector(f, node_of_vertex_) &&
+         io::WriteVector(f, vertex_code_);
+}
+
+bool BalancedTreeHierarchy::ReadFrom(std::FILE* f) {
+  uint64_t num_nodes = 0;
+  if (!io::ReadValue(f, &num_nodes) || num_nodes > (uint64_t{1} << 32)) {
+    return false;
+  }
+  nodes_.resize(num_nodes);
+  for (HierarchyNode& node : nodes_) {
+    if (!io::ReadValue(f, &node.code) || !io::ReadValue(f, &node.parent) ||
+        !io::ReadValue(f, &node.left) || !io::ReadValue(f, &node.right) ||
+        !io::ReadVector(f, &node.cut)) {
+      return false;
+    }
+  }
+  return io::ReadVector(f, &node_of_vertex_) &&
+         io::ReadVector(f, &vertex_code_);
 }
 
 }  // namespace hc2l

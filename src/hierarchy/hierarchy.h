@@ -2,6 +2,7 @@
 #define HC2L_HIERARCHY_HIERARCHY_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 #include "common/types.h"
@@ -45,6 +46,12 @@ class BalancedTreeHierarchy {
   /// Height of the tree (max node depth; 0 for a single root).
   uint32_t Height() const;
 
+  /// Upper bound on any LcaLevel() result: the max depth over nodes *and*
+  /// stored per-vertex codes. On a well-formed hierarchy this equals
+  /// Height(); computing the bound from both sources keeps query-time level
+  /// bucketing in bounds even for a corrupt or crafted serialized file.
+  uint32_t LevelBound() const;
+
   /// Size of the largest cut (Table 5's "Max Cut Size").
   size_t MaxCutSize() const;
 
@@ -59,10 +66,20 @@ class BalancedTreeHierarchy {
   /// agreement). Test helper.
   bool Validate(size_t num_vertices) const;
 
+  /// Serializes the hierarchy to an open stream (node list with cuts, the
+  /// vertex-to-node mapping and the packed codes — the layout embedded in
+  /// index format HC2L0002).
+  bool WriteTo(std::FILE* f) const;
+
+  /// Reads a hierarchy written by WriteTo. On failure the hierarchy is left
+  /// in an unspecified state and false is returned.
+  bool ReadFrom(std::FILE* f);
+
  private:
   friend class Hc2lBuilder;
   friend class DirectedHc2lBuilder;
-  friend class Hc2lIndex;  // serialization
+  friend class Hc2lIndex;          // serialization + load validation
+  friend class DirectedHc2lIndex;  // serialization + load validation
 
   std::vector<HierarchyNode> nodes_;
   std::vector<uint32_t> node_of_vertex_;

@@ -1,0 +1,151 @@
+#include "server/query_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/query_common.h"
+
+namespace hc2l {
+
+namespace {
+
+uint32_t ResolveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+}
+
+/// [begin, end) of shard s when `count` items split into `shards` contiguous
+/// chunks (last chunk may be short).
+struct ShardRange {
+  size_t begin;
+  size_t end;
+};
+ShardRange ShardOf(size_t count, size_t shards, size_t s) {
+  const size_t chunk = (count + shards - 1) / shards;
+  const size_t begin = s * chunk;
+  return {std::min(begin, count), std::min(begin + chunk, count)};
+}
+
+}  // namespace
+
+template <typename Index>
+BasicQueryEngine<Index>::BasicQueryEngine(const Index& index,
+                                          const QueryEngineOptions& options)
+    : index_(&index),
+      options_(options),
+      pool_(ResolveThreads(options.num_threads)) {
+  if (options_.min_shard_queries == 0) options_.min_shard_queries = 1;
+  if (options_.target_tile == 0) options_.target_tile = 1;
+}
+
+template <typename Index>
+size_t BasicQueryEngine<Index>::NumShards(size_t queries) const {
+  if (pool_.NumThreads() <= 1) return 1;
+  const size_t by_grain =
+      (queries + options_.min_shard_queries - 1) / options_.min_shard_queries;
+  const size_t by_threads = static_cast<size_t>(pool_.NumThreads()) * 4;
+  return std::max<size_t>(1, std::min(by_grain, by_threads));
+}
+
+template <typename Index>
+std::vector<Dist> BasicQueryEngine<Index>::PointQueries(
+    std::span<const std::pair<Vertex, Vertex>> pairs) const {
+  std::vector<Dist> out(pairs.size(), kInfDist);
+  const size_t shards = NumShards(pairs.size());
+  const auto run = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = index_->Query(pairs[i].first, pairs[i].second);
+    }
+  };
+  if (shards <= 1) {
+    run(0, pairs.size());
+    return out;
+  }
+  pool_.ParallelFor(shards, [&](size_t s) {
+    const ShardRange r = ShardOf(pairs.size(), shards, s);
+    run(r.begin, r.end);
+  });
+  return out;
+}
+
+template <typename Index>
+std::vector<Dist> BasicQueryEngine<Index>::BatchQuery(
+    Vertex source, std::span<const Vertex> targets) const {
+  const size_t shards = NumShards(targets.size());
+  // Sub-threshold workloads take the index's fused single-call fast path —
+  // no ResolvedTargets materialization, identical cost to a direct call.
+  if (shards <= 1) return index_->BatchQuery(source, targets);
+  std::vector<Dist> out(targets.size(), kInfDist);
+  // Each shard resolves and answers its own contiguous slice of the target
+  // list — fully independent, writing disjoint ranges of `out`.
+  pool_.ParallelFor(shards, [&](size_t s) {
+    const ShardRange r = ShardOf(targets.size(), shards, s);
+    if (r.begin == r.end) return;
+    const auto rt =
+        index_->ResolveTargets(targets.subspan(r.begin, r.end - r.begin));
+    index_->BatchQueryResolved(source, rt, 0, rt.size(),
+                               out.data() + r.begin);
+  });
+  return out;
+}
+
+template <typename Index>
+std::vector<std::vector<Dist>> BasicQueryEngine<Index>::DistanceMatrix(
+    std::span<const Vertex> sources, std::span<const Vertex> targets) const {
+  std::vector<std::vector<Dist>> matrix(
+      sources.size(), std::vector<Dist>(targets.size(), kInfDist));
+  if (sources.empty() || targets.empty()) return matrix;
+  // Targets resolved once for the whole matrix, shared read-only by all
+  // shards.
+  const auto rt = index_->ResolveTargets(targets);
+  const size_t tile = options_.target_tile;
+  const size_t want_shards = NumShards(sources.size() * targets.size());
+  const auto run_rows = [&](size_t row_begin, size_t row_end) {
+    for (size_t t0 = 0; t0 < rt.size(); t0 += tile) {
+      const size_t t1 = std::min(rt.size(), t0 + tile);
+      for (size_t i = row_begin; i < row_end; ++i) {
+        index_->BatchQueryResolved(sources[i], rt, t0, t1, matrix[i].data());
+      }
+    }
+  };
+  if (want_shards <= 1) {
+    run_rows(0, sources.size());
+    return matrix;
+  }
+  if (sources.size() >= want_shards) {
+    // Enough rows to feed every shard: shard by sources; each worker sweeps
+    // its rows tile by tile so a tile's target label arrays stay hot in its
+    // core's L2.
+    pool_.ParallelFor(want_shards, [&](size_t s) {
+      const ShardRange r = ShardOf(sources.size(), want_shards, s);
+      run_rows(r.begin, r.end);
+    });
+    return matrix;
+  }
+  // Few sources, many targets: row sharding alone would idle most threads,
+  // so shard over (row, target tile) units. Consecutive units share a row's
+  // source-side state or a tile's target arrays, so locality degrades
+  // gracefully; every unit still writes a disjoint matrix range.
+  const size_t num_tiles = (rt.size() + tile - 1) / tile;
+  pool_.ParallelFor(sources.size() * num_tiles, [&](size_t unit) {
+    const size_t i = unit / num_tiles;
+    const size_t t0 = (unit % num_tiles) * tile;
+    const size_t t1 = std::min(rt.size(), t0 + tile);
+    index_->BatchQueryResolved(sources[i], rt, t0, t1, matrix[i].data());
+  });
+  return matrix;
+}
+
+template <typename Index>
+std::vector<std::pair<Dist, Vertex>> BasicQueryEngine<Index>::KNearest(
+    Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  const std::vector<Dist> dists = BatchQuery(source, candidates);
+  // Same deterministic selection the index uses, so engine == index exactly.
+  return SelectKNearest(dists, candidates, k);
+}
+
+template class BasicQueryEngine<Hc2lIndex>;
+template class BasicQueryEngine<DirectedHc2lIndex>;
+
+}  // namespace hc2l

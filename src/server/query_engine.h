@@ -1,0 +1,115 @@
+#ifndef HC2L_SERVER_QUERY_ENGINE_H_
+#define HC2L_SERVER_QUERY_ENGINE_H_
+
+/// Shard-per-core parallel query front end over a shared immutable HC2L
+/// index.
+///
+/// The index is read-only after construction, so query scaling is purely a
+/// matter of partitioning work: the engine splits PointQueries / BatchQuery /
+/// DistanceMatrix / KNearest workloads into contiguous shards over a
+/// reusable thread pool, each shard writing its own disjoint slice of the
+/// preallocated result. Because every output slot is a pure function of
+/// (index, inputs) and is written exactly once, results are **bit-identical
+/// to the sequential index methods and independent of thread count or
+/// scheduling order** — the property the differential test suite pins down.
+///
+/// DistanceMatrix additionally applies the target-hoisting + tiling scheme:
+/// target-side resolution (contraction root, detour, tree code) is computed
+/// once per matrix and shared read-only by all shards, and each worker sweeps
+/// its rows tile by tile so one tile's target label arrays stay resident in
+/// its core's L2.
+///
+/// Thread-safety: all query methods are const and may be called concurrently
+/// from multiple caller threads; the internal pool serializes its own
+/// bookkeeping. Do not call engine methods from inside tasks running on the
+/// same engine's pool.
+///
+/// When to prefer the engine vs. direct index calls: see
+/// docs/query_engine.md. Rule of thumb — single point queries and small
+/// batches (< ~1k queries) are faster on the index directly (a query is tens
+/// of nanoseconds; handing it to another core costs more than answering it);
+/// the engine pays off for bulk workloads.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "core/directed_hc2l.h"
+#include "core/hc2l.h"
+#include "core/query_common.h"
+
+namespace hc2l {
+
+struct QueryEngineOptions {
+  /// Worker threads participating in each call (callers + pool workers);
+  /// 0 means std::thread::hardware_concurrency().
+  uint32_t num_threads = 0;
+  /// Minimum queries per shard. Shards smaller than this are not worth the
+  /// submit/wake round trip; the engine falls back to inline execution when
+  /// the whole workload is below it.
+  uint32_t min_shard_queries = 1024;
+  /// Targets per DistanceMatrix tile (L2 residency; the index's internal
+  /// tiling constant).
+  uint32_t target_tile = kMatrixTargetTile;
+};
+
+/// The engine, templated over the index flavour. Results of every method are
+/// exactly what the corresponding sequential index method returns, in input
+/// order.
+template <typename Index>
+class BasicQueryEngine {
+ public:
+  /// The engine borrows `index`; it must outlive the engine.
+  explicit BasicQueryEngine(const Index& index,
+                            const QueryEngineOptions& options = {});
+
+  BasicQueryEngine(const BasicQueryEngine&) = delete;
+  BasicQueryEngine& operator=(const BasicQueryEngine&) = delete;
+
+  /// Total participating threads (>= 1).
+  uint32_t NumThreads() const { return pool_.NumThreads(); }
+
+  const Index& index() const { return *index_; }
+
+  /// out[i] = d(pairs[i].first, pairs[i].second); independent point queries
+  /// sharded across the pool.
+  std::vector<Dist> PointQueries(
+      std::span<const std::pair<Vertex, Vertex>> pairs) const;
+
+  /// One-to-many, targets sharded across the pool.
+  std::vector<Dist> BatchQuery(Vertex source,
+                               std::span<const Vertex> targets) const;
+
+  /// Many-to-many, sources sharded across the pool with target-side
+  /// resolution hoisted once per matrix and tiled per shard.
+  std::vector<std::vector<Dist>> DistanceMatrix(
+      std::span<const Vertex> sources, std::span<const Vertex> targets) const;
+
+  /// K nearest candidates from `source` (distances computed in parallel, the
+  /// final deterministic selection is sequential).
+  std::vector<std::pair<Dist, Vertex>> KNearest(
+      Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+ private:
+  /// Number of contiguous shards for `queries` total independent queries:
+  /// bounded below by min_shard_queries per shard and above by 4 shards per
+  /// thread (load-balance tail vs. scheduling overhead). Returns <= 1 when
+  /// sharding isn't worth it.
+  size_t NumShards(size_t queries) const;
+
+  const Index* index_;
+  QueryEngineOptions options_;
+  /// Started once, reused by every call. Mutable state lives inside the
+  /// pool's own synchronization; queries are logically const.
+  mutable ThreadPool pool_;
+};
+
+using QueryEngine = BasicQueryEngine<Hc2lIndex>;
+using DirectedQueryEngine = BasicQueryEngine<DirectedHc2lIndex>;
+
+}  // namespace hc2l
+
+#endif  // HC2L_SERVER_QUERY_ENGINE_H_

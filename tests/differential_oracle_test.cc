@@ -1,0 +1,323 @@
+// Randomized differential-oracle suite: HC2L (undirected and directed) must
+// agree with Dijkstra on every query mode — point, batch, matrix, k-nearest —
+// over hundreds of seeded random connected weighted graphs, including after a
+// serialize/deserialize round-trip. Every assertion is wrapped in a
+// SCOPED_TRACE carrying the seed, so a mismatch prints the exact failing
+// configuration for offline reproduction.
+//
+// Weight palette deliberately spans the encoding range: unit weights, small
+// ranges, and large values near 2^24 — with <= 64 vertices the longest
+// shortest path stays below the 2^31 label-encoding bound while per-side
+// sums stress the saturating kernel arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/directed_hc2l.h"
+#include "core/hc2l.h"
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "search/dijkstra.h"
+#include "search/directed_dijkstra.h"
+
+namespace hc2l {
+namespace {
+
+Weight RandomWeight(Rng& rng) {
+  switch (rng.Below(4)) {
+    case 0:
+      return 1;  // unit weights
+    case 1:
+      return static_cast<Weight>(rng.Range(1, 16));
+    case 2:
+      return static_cast<Weight>(rng.Range(1, 10'000));
+    default:
+      // Large weights near the top of the per-edge range the 32-bit label
+      // encoding supports for paths of <= 63 hops.
+      return static_cast<Weight>(rng.Range((1u << 23), (1u << 24)));
+  }
+}
+
+/// Random connected graph: a random spanning tree plus extra random edges.
+/// Every 7th seed leaves out the tree edge of one vertex, producing a
+/// disconnected graph so kInfDist propagation is exercised end-to-end too.
+Graph RandomGraph(uint64_t seed, size_t* out_n) {
+  Rng rng(seed);
+  const size_t n = 2 + rng.Below(56);
+  *out_n = n;
+  GraphBuilder b(n);
+  const bool disconnect = seed % 7 == 0 && n >= 4;
+  const Vertex isolated = disconnect ? static_cast<Vertex>(1 + rng.Below(n - 1))
+                                     : kInvalidVertex;
+  for (Vertex v = 1; v < n; ++v) {
+    if (v == isolated) continue;
+    Vertex parent = static_cast<Vertex>(rng.Below(v));
+    if (parent == isolated) parent = 0;
+    b.AddEdge(v, parent, RandomWeight(rng));
+  }
+  const size_t extra = rng.Below(2 * n + 1);
+  for (size_t e = 0; e < extra; ++e) {
+    const Vertex u = static_cast<Vertex>(rng.Below(n));
+    const Vertex v = static_cast<Vertex>(rng.Below(n));
+    if (u == v || u == isolated || v == isolated) continue;
+    b.AddEdge(u, v, RandomWeight(rng));
+  }
+  return std::move(b).Build();
+}
+
+/// Random digraph whose underlying undirected graph is connected: a randomly
+/// oriented spanning tree (sometimes with the reverse arc too) plus random
+/// extra arcs. Partial reachability is intended — it exercises unreachable
+/// directed pairs.
+Digraph RandomDigraph(uint64_t seed, size_t* out_n) {
+  Rng rng(seed ^ 0xD16A0000);
+  const size_t n = 2 + rng.Below(38);
+  *out_n = n;
+  DigraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) {
+    const Vertex parent = static_cast<Vertex>(rng.Below(v));
+    const Weight w = RandomWeight(rng);
+    if (rng.Below(2) == 0) {
+      b.AddArc(parent, v, w);
+    } else {
+      b.AddArc(v, parent, w);
+    }
+    if (rng.Below(3) == 0) {
+      // Occasionally add the reverse direction with its own weight.
+      if (rng.Below(2) == 0) {
+        b.AddArc(v, parent, RandomWeight(rng));
+      } else {
+        b.AddArc(parent, v, RandomWeight(rng));
+      }
+    }
+  }
+  const size_t extra = rng.Below(2 * n + 1);
+  for (size_t e = 0; e < extra; ++e) {
+    const Vertex u = static_cast<Vertex>(rng.Below(n));
+    const Vertex v = static_cast<Vertex>(rng.Below(n));
+    if (u != v) b.AddArc(u, v, RandomWeight(rng));
+  }
+  return std::move(b).Build();
+}
+
+/// A target list with the interesting shapes: a shuffled subset, duplicates,
+/// and the source itself.
+std::vector<Vertex> MakeTargets(Rng& rng, size_t n, Vertex source) {
+  std::vector<Vertex> targets;
+  const size_t count = 1 + rng.Below(n + 4);
+  targets.reserve(count + 2);
+  for (size_t i = 0; i < count; ++i) {
+    targets.push_back(static_cast<Vertex>(rng.Below(n)));
+  }
+  targets.push_back(source);
+  targets.push_back(targets[rng.Below(targets.size())]);  // duplicate
+  return targets;
+}
+
+/// Oracle-side k-nearest: independent of SelectKNearest — stable sort of
+/// candidate positions by oracle distance, unreachable excluded.
+std::vector<std::pair<Dist, Vertex>> OracleKNearest(
+    const std::vector<Dist>& oracle_dist, const std::vector<Vertex>& candidates,
+    size_t k) {
+  std::vector<size_t> idx(candidates.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return oracle_dist[candidates[a]] < oracle_dist[candidates[b]];
+  });
+  std::vector<std::pair<Dist, Vertex>> out;
+  for (const size_t i : idx) {
+    if (out.size() == k) break;
+    if (oracle_dist[candidates[i]] == kInfDist) break;  // inf sorts last
+    out.emplace_back(oracle_dist[candidates[i]], candidates[i]);
+  }
+  return out;
+}
+
+std::string RoundTripPath(const char* prefix, uint64_t seed) {
+  return ::testing::TempDir() + "/" + prefix + "_" + std::to_string(seed) +
+         ".hc2l";
+}
+
+/// Runs the full differential check for one undirected seed.
+void CheckUndirectedSeed(uint64_t seed) {
+  SCOPED_TRACE("undirected oracle seed=" + std::to_string(seed));
+  size_t n = 0;
+  const Graph g = RandomGraph(seed, &n);
+
+  Hc2lOptions options;
+  options.contract_degree_one = seed % 2 == 0;
+  options.tail_pruning = seed % 3 != 0;
+  options.num_threads = 1 + seed % 3;
+  options.leaf_size = 2 + seed % 7;
+  const Hc2lIndex index = Hc2lIndex::Build(g, options);
+
+  // Oracle: one Dijkstra sweep per source.
+  Dijkstra dijkstra(g);
+  std::vector<std::vector<Dist>> oracle(n);
+  for (Vertex s = 0; s < n; ++s) {
+    dijkstra.Run(s);
+    oracle[s].resize(n);
+    for (Vertex t = 0; t < n; ++t) oracle[s][t] = dijkstra.DistanceTo(t);
+  }
+
+  // Point queries: all pairs.
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      ASSERT_EQ(index.Query(s, t), oracle[s][t])
+          << "point s=" << s << " t=" << t;
+    }
+  }
+
+  Rng rng(seed * 7919 + 1);
+  const Vertex batch_source = static_cast<Vertex>(rng.Below(n));
+  const std::vector<Vertex> targets = MakeTargets(rng, n, batch_source);
+
+  // Batch.
+  const std::vector<Dist> batch = index.BatchQuery(batch_source, targets);
+  ASSERT_EQ(batch.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ASSERT_EQ(batch[i], oracle[batch_source][targets[i]])
+        << "batch target index " << i;
+  }
+
+  // Matrix.
+  std::vector<Vertex> sources;
+  const size_t num_sources = 1 + rng.Below(5);
+  for (size_t i = 0; i < num_sources; ++i) {
+    sources.push_back(static_cast<Vertex>(rng.Below(n)));
+  }
+  const auto matrix = index.DistanceMatrix(sources, targets);
+  ASSERT_EQ(matrix.size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ASSERT_EQ(matrix[i].size(), targets.size());
+    for (size_t j = 0; j < targets.size(); ++j) {
+      ASSERT_EQ(matrix[i][j], oracle[sources[i]][targets[j]])
+          << "matrix i=" << i << " j=" << j;
+    }
+  }
+
+  // K-nearest for several k, including 0 and beyond the candidate count.
+  for (const size_t k : {size_t{0}, size_t{1}, size_t{3}, targets.size() + 5}) {
+    const auto nearest = index.KNearest(batch_source, targets, k);
+    const auto expected = OracleKNearest(oracle[batch_source], targets, k);
+    ASSERT_EQ(nearest, expected) << "k=" << k;
+  }
+
+  // Serialize / deserialize round-trip must preserve every mode.
+  const std::string path = RoundTripPath("oracle_und", seed);
+  std::string error;
+  ASSERT_TRUE(index.Save(path, &error)) << error;
+  const auto loaded = Hc2lIndex::Load(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value()) << error;
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      ASSERT_EQ(loaded->Query(s, t), oracle[s][t])
+          << "round-trip point s=" << s << " t=" << t;
+    }
+  }
+  ASSERT_EQ(loaded->BatchQuery(batch_source, targets), batch);
+  ASSERT_EQ(loaded->DistanceMatrix(sources, targets), matrix);
+  ASSERT_EQ(loaded->KNearest(batch_source, targets, 3),
+            index.KNearest(batch_source, targets, 3));
+}
+
+/// Runs the full differential check for one directed seed.
+void CheckDirectedSeed(uint64_t seed) {
+  SCOPED_TRACE("directed oracle seed=" + std::to_string(seed));
+  size_t n = 0;
+  const Digraph g = RandomDigraph(seed, &n);
+
+  DirectedHc2lOptions options;
+  options.tail_pruning = seed % 3 != 0;
+  options.num_threads = 1 + seed % 2;
+  options.leaf_size = 2 + seed % 7;
+  const DirectedHc2lIndex index = DirectedHc2lIndex::Build(g, options);
+
+  std::vector<std::vector<Dist>> oracle(n);
+  for (Vertex s = 0; s < n; ++s) {
+    oracle[s] = DirectedDistancesFrom(g, s, SearchDirection::kForward);
+  }
+
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      ASSERT_EQ(index.Query(s, t), oracle[s][t])
+          << "point s=" << s << " t=" << t;
+    }
+  }
+
+  Rng rng(seed * 6007 + 3);
+  const Vertex batch_source = static_cast<Vertex>(rng.Below(n));
+  const std::vector<Vertex> targets = MakeTargets(rng, n, batch_source);
+
+  const std::vector<Dist> batch = index.BatchQuery(batch_source, targets);
+  ASSERT_EQ(batch.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ASSERT_EQ(batch[i], oracle[batch_source][targets[i]])
+        << "batch target index " << i;
+  }
+
+  std::vector<Vertex> sources;
+  const size_t num_sources = 1 + rng.Below(5);
+  for (size_t i = 0; i < num_sources; ++i) {
+    sources.push_back(static_cast<Vertex>(rng.Below(n)));
+  }
+  const auto matrix = index.DistanceMatrix(sources, targets);
+  ASSERT_EQ(matrix.size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      ASSERT_EQ(matrix[i][j], oracle[sources[i]][targets[j]])
+          << "matrix i=" << i << " j=" << j;
+    }
+  }
+
+  for (const size_t k : {size_t{0}, size_t{2}, targets.size() + 5}) {
+    const auto nearest = index.KNearest(batch_source, targets, k);
+    const auto expected = OracleKNearest(oracle[batch_source], targets, k);
+    ASSERT_EQ(nearest, expected) << "k=" << k;
+  }
+
+  const std::string path = RoundTripPath("oracle_dir", seed);
+  std::string error;
+  ASSERT_TRUE(index.Save(path, &error)) << error;
+  const auto loaded = DirectedHc2lIndex::Load(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->NumVertices(), n);
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      ASSERT_EQ(loaded->Query(s, t), oracle[s][t])
+          << "round-trip point s=" << s << " t=" << t;
+    }
+  }
+  ASSERT_EQ(loaded->BatchQuery(batch_source, targets), batch);
+  ASSERT_EQ(loaded->DistanceMatrix(sources, targets), matrix);
+}
+
+// 140 undirected + 80 directed seeds = 220 random graphs, sharded so ctest
+// can run them in parallel and a timeout pins the failing range.
+
+TEST(DifferentialOracle, UndirectedSeeds1To70) {
+  for (uint64_t seed = 1; seed <= 70; ++seed) CheckUndirectedSeed(seed);
+}
+
+TEST(DifferentialOracle, UndirectedSeeds71To140) {
+  for (uint64_t seed = 71; seed <= 140; ++seed) CheckUndirectedSeed(seed);
+}
+
+TEST(DifferentialOracle, DirectedSeeds1To40) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) CheckDirectedSeed(seed);
+}
+
+TEST(DifferentialOracle, DirectedSeeds41To80) {
+  for (uint64_t seed = 41; seed <= 80; ++seed) CheckDirectedSeed(seed);
+}
+
+}  // namespace
+}  // namespace hc2l

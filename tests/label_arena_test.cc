@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.h"
+
 namespace hc2l {
 namespace {
 
@@ -66,6 +68,38 @@ TEST(LabelStore, EveryArrayStartsCacheLineAligned) {
   // Accumulators were consumed.
   EXPECT_TRUE(data[0].empty());
   EXPECT_TRUE(lens[2].empty());
+}
+
+TEST(LabelStore, ValidateAcceptsBuiltStoresAndRejectsCorruptTables) {
+  const auto make_store = [] {
+    std::vector<std::vector<uint32_t>> data = {{1, 2, 3, 4, 5}, {}, {7, 8}};
+    std::vector<std::vector<uint32_t>> lens = {{3, 2}, {0}, {2}};
+    LabelStore store;
+    store.BuildFrom(&data, &lens);
+    return store;
+  };
+  EXPECT_TRUE(io::ValidateLabelStore(make_store()));
+
+  {
+    LabelStore s = make_store();  // array pushed past the arena
+    s.level_len.back() = static_cast<uint32_t>(s.arena.size());
+    EXPECT_FALSE(io::ValidateLabelStore(s));
+  }
+  {
+    LabelStore s = make_store();  // unaligned start
+    s.level_start[1] += 1;
+    EXPECT_FALSE(io::ValidateLabelStore(s));
+  }
+  {
+    LabelStore s = make_store();  // base not a partition of the array list
+    s.base.back() += 3;
+    EXPECT_FALSE(io::ValidateLabelStore(s));
+  }
+  {
+    LabelStore s = make_store();  // decreasing base
+    s.base[1] = s.base[2] + 1;
+    EXPECT_FALSE(io::ValidateLabelStore(s));
+  }
 }
 
 TEST(LabelStore, ResidentBytesCountArenaAndTables) {

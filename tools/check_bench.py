@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_query.json.
+
+Compares a freshly emitted snapshot against the committed one and fails on
+regressions beyond a threshold (default 25%). Two tiers:
+
+- The dimensionless simd-vs-scalar kernel speedup ratio gates on every
+  runner whose SIMD kernel matches the committed snapshot's.
+- Absolute nanosecond numbers (point/batch/kernel) additionally gate when
+  the (CPU model, host name) pair also matches — they are not comparable
+  across machines, and virtualized CPU strings alone don't identify one.
+
+Everything is skipped — with an explanation, exit 0 — when the two snapshots
+were produced by different SIMD kernels (e.g. a non-AVX2 CI runner measuring
+against an AVX2-recorded baseline).
+
+Usage:
+  tools/check_bench.py --fresh build/BENCH_query.json \
+      --committed BENCH_query.json [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+# (human name, path into the JSON object) of every gated metric; lower is
+# better for all of them.
+GATED_METRICS = [
+    ("point query ns", ("ns_per_query",)),
+    ("batch target ns", ("ns_per_batch_target",)),
+    ("kernel simd ns", ("kernel_len128_ns", "simd")),
+    ("kernel scalar ns", ("kernel_len128_ns", "scalar")),
+]
+
+
+def lookup(obj, path):
+    for key in path:
+        if not isinstance(obj, dict) or key not in obj:
+            return None
+        obj = obj[key]
+    return obj if isinstance(obj, (int, float)) else None
+
+
+def kernel_speedup(snapshot):
+    """Scalar-over-simd kernel time ratio; None if either is missing."""
+    simd = lookup(snapshot, ("kernel_len128_ns", "simd"))
+    scalar = lookup(snapshot, ("kernel_len128_ns", "scalar"))
+    if simd is None or scalar is None or simd <= 0:
+        return None
+    return scalar / simd
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="snapshot emitted by this run")
+    parser.add_argument("--committed", required=True,
+                        help="snapshot committed in the repo")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        with open(args.committed) as f:
+            committed = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot load snapshots ({e}); failing")
+        return 1
+
+    fresh_kernel = fresh.get("kernel")
+    committed_kernel = committed.get("kernel")
+    if fresh_kernel != committed_kernel:
+        print(f"check_bench: SKIP — kernel mismatch (fresh={fresh_kernel!r}, "
+              f"committed={committed_kernel!r}); numbers not comparable on "
+              f"this runner")
+        return 0
+    failures = []
+
+    # CPU-independent gate, always active: the simd-vs-scalar kernel speedup
+    # is dimensionless, so it survives runner changes. A kernel regression
+    # (or a scalar "improvement" that really means the simd path stopped
+    # engaging) collapses this ratio.
+    fresh_speedup = kernel_speedup(fresh)
+    committed_speedup = kernel_speedup(committed)
+    if fresh_speedup is not None and committed_speedup is not None:
+        ratio = fresh_speedup / committed_speedup
+        verdict = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
+        print(f"check_bench: kernel simd speedup: "
+              f"committed={committed_speedup:.2f}x fresh={fresh_speedup:.2f}x "
+              f"ratio={ratio:.2f} {verdict}")
+        if verdict != "OK":
+            failures.append("kernel simd speedup")
+    else:
+        print("check_bench: kernel simd speedup: missing in a snapshot, "
+              "skipped")
+
+    # Absolute nanosecond timings are only comparable on the machine that
+    # recorded the snapshot. CPU model alone is a weak proxy (hypervisors
+    # report generic strings like "Intel(R) Xeon(R) Processor @ 2.10GHz" on
+    # very different hosts), so the host name must match too.
+    fresh_machine = (fresh.get("cpu"), fresh.get("host"))
+    committed_machine = (committed.get("cpu"), committed.get("host"))
+    if fresh_machine != committed_machine or None in fresh_machine:
+        print(f"check_bench: absolute timings SKIPPED — machine mismatch "
+              f"(fresh={fresh_machine!r}, committed={committed_machine!r}); "
+              f"only the speedup-ratio gate applies on this runner")
+        if failures:
+            print("check_bench: FAILED — " + ", ".join(failures))
+            return 1
+        return 0
+
+    for name, path in GATED_METRICS:
+        fresh_v = lookup(fresh, path)
+        committed_v = lookup(committed, path)
+        if fresh_v is None or committed_v is None or committed_v <= 0:
+            print(f"check_bench: {name}: missing in a snapshot, skipped")
+            continue
+        ratio = fresh_v / committed_v
+        verdict = "OK" if ratio <= 1.0 + args.threshold else "REGRESSION"
+        print(f"check_bench: {name}: committed={committed_v:.2f} "
+              f"fresh={fresh_v:.2f} ratio={ratio:.2f} {verdict}")
+        if verdict != "OK":
+            failures.append(name)
+
+    if failures:
+        print(f"check_bench: FAILED — >{args.threshold:.0%} regression in: "
+              + ", ".join(failures))
+        return 1
+    print("check_bench: all gated metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

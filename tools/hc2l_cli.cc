@@ -10,23 +10,32 @@
 //              [--no-tail-pruning] [--no-contraction]
 //       Build an HC2L index from a DIMACS graph and serialize it.
 //
-//   hc2l query --index index.hc2l [--pairs pairs.txt]
+//   hc2l query --index index.hc2l [--pairs pairs.txt] [--threads T]
 //       Answer distance queries. Pairs come from --pairs (two 1-based vertex
 //       ids per line) or stdin; "s t" -> prints d(s, t) or "inf".
+//       With --threads T (or T = 0 for all cores) the pairs are answered by
+//       the parallel query engine: all pairs are read up front, sharded
+//       across T threads over the shared immutable index, and printed in
+//       input order. Without it queries stream one at a time.
 //
 //   hc2l stats --index index.hc2l
 //       Print construction and size statistics of a saved index.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/timer.h"
 #include "core/hc2l.h"
 #include "graph/dimacs_io.h"
 #include "graph/road_network_generator.h"
+#include "server/query_engine.h"
 
 namespace hc2l {
 namespace {
@@ -65,6 +74,20 @@ class Args {
   char** argv_;
 };
 
+/// Validated --threads value: 0 = auto (all cores), else [1, 256]. Returns
+/// false (with a message) for negative or absurd values instead of letting a
+/// wrapped cast ask for ~4 billion threads.
+bool GetThreads(const Args& args, uint32_t* threads) {
+  const long value = args.GetLong("--threads", 0);
+  if (value < 0 || value > 256) {
+    std::fprintf(stderr, "error: --threads must be in [0, 256], got %ld\n",
+                 value);
+    return false;
+  }
+  *threads = static_cast<uint32_t>(value);
+  return true;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: hc2l <generate|build|query|stats> [options]\n"
@@ -72,7 +95,7 @@ int Usage() {
                "[--travel-time] [--pendant-frac F]\n"
                "  build    --graph FILE --out FILE [--beta B] [--leaf-size L]"
                " [--threads T] [--no-tail-pruning] [--no-contraction]\n"
-               "  query    --index FILE [--pairs FILE]\n"
+               "  query    --index FILE [--pairs FILE] [--threads T]\n"
                "  stats    --index FILE\n");
   return 2;
 }
@@ -111,7 +134,12 @@ int RunBuild(const Args& args) {
   Hc2lOptions options;
   options.beta = args.GetDouble("--beta", 0.2);
   options.leaf_size = static_cast<uint32_t>(args.GetLong("--leaf-size", 8));
-  options.num_threads = static_cast<uint32_t>(args.GetLong("--threads", 1));
+  uint32_t threads = 1;
+  if (args.Has("--threads") && !GetThreads(args, &threads)) return 2;
+  // Same contract as query: 0 = all cores. Default stays 1 thread.
+  options.num_threads =
+      threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                   : threads;
   options.tail_pruning = !args.Has("--no-tail-pruning");
   options.contract_degree_one = !args.Has("--no-contraction");
 
@@ -147,23 +175,57 @@ int RunQuery(const Args& args) {
       return 1;
     }
   }
-  unsigned long long s = 0;
-  unsigned long long t = 0;
   const unsigned long long n = index->NumVertices();
-  while (std::fscanf(in, "%llu %llu", &s, &t) == 2) {
-    if (s < 1 || t < 1 || s > n || t > n) {
-      std::printf("out-of-range\n");
-      continue;
-    }
-    const Dist d = index->Query(static_cast<Vertex>(s - 1),
-                                static_cast<Vertex>(t - 1));
+  const auto print_dist = [](Dist d) {
     if (d == kInfDist) {
       std::printf("inf\n");
     } else {
       std::printf("%llu\n", static_cast<unsigned long long>(d));
     }
+  };
+
+  unsigned long long s = 0;
+  unsigned long long t = 0;
+  if (!args.Has("--threads")) {
+    // Streaming mode: answer each pair as it arrives (stdin-friendly).
+    while (std::fscanf(in, "%llu %llu", &s, &t) == 2) {
+      if (s < 1 || t < 1 || s > n || t > n) {
+        std::printf("out-of-range\n");
+        continue;
+      }
+      print_dist(index->Query(static_cast<Vertex>(s - 1),
+                              static_cast<Vertex>(t - 1)));
+    }
+    if (in != stdin) std::fclose(in);
+    return 0;
+  }
+
+  // Engine mode: read every pair, shard them across the pool, print in
+  // input order. Out-of-range pairs keep their line position.
+  QueryEngineOptions engine_options;
+  if (!GetThreads(args, &engine_options.num_threads)) {
+    if (in != stdin) std::fclose(in);
+    return 2;
+  }
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  std::vector<uint8_t> in_range;
+  while (std::fscanf(in, "%llu %llu", &s, &t) == 2) {
+    const bool ok = s >= 1 && t >= 1 && s <= n && t <= n;
+    in_range.push_back(ok ? 1 : 0);
+    pairs.emplace_back(ok ? static_cast<Vertex>(s - 1) : 0,
+                       ok ? static_cast<Vertex>(t - 1) : 0);
   }
   if (in != stdin) std::fclose(in);
+
+  const QueryEngine engine(*index, engine_options);
+  const std::vector<Dist> dists = engine.PointQueries(pairs);
+  for (size_t i = 0; i < dists.size(); ++i) {
+    if (in_range[i] == 0) {
+      std::printf("out-of-range\n");
+    } else {
+      print_dist(dists[i]);
+    }
+  }
   return 0;
 }
 
