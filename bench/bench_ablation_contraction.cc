@@ -2,13 +2,13 @@
 // iterated contraction removes ~30% of vertices on DIMACS graphs (vs ~20%
 // for PHL's single-pass variant); synthetic lattices have fewer pendants,
 // so the rate is lower here, but the size/time trade-off shape holds.
+// Runs through the public facade (hc2l::Router).
 
 #include <cstdio>
 
 #include "benchsupport/evaluation.h"
 #include "benchsupport/table_printer.h"
-#include "benchsupport/workload.h"
-#include "core/hc2l.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -17,27 +17,30 @@ int main() {
                       "build on[s]", "build off[s]", "Q on[us]", "Q off[us]"});
   for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kDistance)) {
     const Graph g = GenerateRoadNetwork(spec.options);
-    Hc2lOptions with;
+    BuildOptions with;
     with.contract_degree_one = true;
-    Hc2lOptions without;
+    BuildOptions without;
     without.contract_degree_one = false;
-    const Hc2lIndex on = Hc2lIndex::Build(g, with);
-    const Hc2lIndex off = Hc2lIndex::Build(g, without);
+    const Result<Router> on = Router::Build(g, with);
+    const Result<Router> off = Router::Build(g, without);
+    if (!on.ok() || !off.ok()) return 1;
     const auto pairs =
         UniformRandomPairs(g.NumVertices(), BenchQueryCount() / 2, 33);
     const double q_on = MeasureAvgQueryMicros(
-        [&](Vertex s, Vertex t) { return on.Query(s, t); }, pairs);
+        [&](Vertex s, Vertex t) { return on->DistanceUnchecked(s, t); }, pairs);
     const double q_off = MeasureAvgQueryMicros(
-        [&](Vertex s, Vertex t) { return off.Query(s, t); }, pairs);
-    const double rate = 100.0 *
-                        static_cast<double>(on.Stats().num_contracted) /
+        [&](Vertex s, Vertex t) { return off->DistanceUnchecked(s, t); },
+        pairs);
+    const IndexInfo on_info = on->Info();
+    const IndexInfo off_info = off->Info();
+    const double rate = 100.0 * static_cast<double>(on_info.num_contracted) /
                         static_cast<double>(g.NumVertices());
-    table.AddRow({spec.name, std::to_string(on.Stats().num_contracted),
+    table.AddRow({spec.name, std::to_string(on_info.num_contracted),
                   FormatDouble(rate, 1) + "%",
-                  FormatBytes(on.LabelSizeBytes()),
-                  FormatBytes(off.LabelSizeBytes()),
-                  FormatSeconds(on.Stats().build_seconds),
-                  FormatSeconds(off.Stats().build_seconds),
+                  FormatBytes(on_info.label_resident_bytes),
+                  FormatBytes(off_info.label_resident_bytes),
+                  FormatSeconds(on_info.build_seconds),
+                  FormatSeconds(off_info.build_seconds),
                   FormatMicros(q_on), FormatMicros(q_off)});
     std::fflush(stdout);
   }

@@ -2,14 +2,13 @@
 // 10-15%, but construction time is reduced by around 20%". Disabling tail
 // pruning yields the naive upper-bound labelling of Section 4.2.1 (full
 // per-level distance arrays). Query results stay identical; only size,
-// construction time and scan width change.
+// construction time and scan width change. Runs through the public facade.
 
 #include <cstdio>
 
 #include "benchsupport/evaluation.h"
 #include "benchsupport/table_printer.h"
-#include "benchsupport/workload.h"
-#include "core/hc2l.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -18,27 +17,31 @@ int main() {
                       "build on[s]", "build off[s]", "Q on[us]", "Q off[us]"});
   for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kDistance)) {
     const Graph g = GenerateRoadNetwork(spec.options);
-    Hc2lOptions pruned;
+    BuildOptions pruned;
     pruned.tail_pruning = true;
-    Hc2lOptions naive;
+    BuildOptions naive;
     naive.tail_pruning = false;
-    const Hc2lIndex on = Hc2lIndex::Build(g, pruned);
-    const Hc2lIndex off = Hc2lIndex::Build(g, naive);
+    const Result<Router> on = Router::Build(g, pruned);
+    const Result<Router> off = Router::Build(g, naive);
+    if (!on.ok() || !off.ok()) return 1;
     const auto pairs =
         UniformRandomPairs(g.NumVertices(), BenchQueryCount() / 2, 21);
     const double q_on = MeasureAvgQueryMicros(
-        [&](Vertex s, Vertex t) { return on.Query(s, t); }, pairs);
+        [&](Vertex s, Vertex t) { return on->DistanceUnchecked(s, t); }, pairs);
     const double q_off = MeasureAvgQueryMicros(
-        [&](Vertex s, Vertex t) { return off.Query(s, t); }, pairs);
+        [&](Vertex s, Vertex t) { return off->DistanceUnchecked(s, t); },
+        pairs);
+    const IndexInfo on_info = on->Info();
+    const IndexInfo off_info = off->Info();
     const double growth =
-        100.0 * (static_cast<double>(off.Stats().label_entries) /
-                     static_cast<double>(on.Stats().label_entries) -
+        100.0 * (static_cast<double>(off_info.label_entries) /
+                     static_cast<double>(on_info.label_entries) -
                  1.0);
-    table.AddRow({spec.name, std::to_string(on.Stats().label_entries),
-                  std::to_string(off.Stats().label_entries),
+    table.AddRow({spec.name, std::to_string(on_info.label_entries),
+                  std::to_string(off_info.label_entries),
                   FormatDouble(growth, 1) + "%",
-                  FormatSeconds(on.Stats().build_seconds),
-                  FormatSeconds(off.Stats().build_seconds),
+                  FormatSeconds(on_info.build_seconds),
+                  FormatSeconds(off_info.build_seconds),
                   FormatMicros(q_on), FormatMicros(q_off)});
     std::fflush(stdout);
   }

@@ -1,16 +1,15 @@
 // Extension bench (Section 5.4 remark): dynamic weight updates. The balanced
 // tree hierarchy is weight-independent, so after traffic-style weight changes
 // only the distance values (contraction offsets, shortcuts, label arrays)
-// need recomputation. This bench measures RebuildLabels() against a full
-// Build() and verifies both yield identical index sizes.
+// need recomputation. This bench measures Router::RebuildLabels() against a
+// full Build() and verifies both yield identical answers. Runs through the
+// public facade.
 
 #include <cstdio>
 
 #include "benchsupport/evaluation.h"
 #include "benchsupport/table_printer.h"
-#include "common/rng.h"
-#include "common/timer.h"
-#include "core/hc2l.h"
+#include "hc2l/hc2l.h"
 
 namespace {
 
@@ -41,22 +40,31 @@ int main() {
                       "queries exact"});
   for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kTravelTime)) {
     const Graph g = GenerateRoadNetwork(spec.options);
-    Hc2lIndex index = Hc2lIndex::Build(g);
-    const double full_build = index.Stats().build_seconds;
+    Result<Router> index = Router::Build(g);
+    if (!index.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    const double full_build = index->Info().build_seconds;
 
     const Graph congested = PerturbWeights(g, 0.1, spec.options.seed + 1);
     Timer timer;
-    index.RebuildLabels(congested);
+    if (Status s = index->RebuildLabels(congested); !s.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", s.ToString().c_str());
+      return 1;
+    }
     const double rebuild = timer.Seconds();
 
     // Spot-verify exactness on the updated weights.
-    Hc2lIndex reference = Hc2lIndex::Build(congested);
+    const Result<Router> reference = Router::Build(congested);
+    if (!reference.ok()) return 1;
     Rng rng(3);
     bool exact = true;
     for (int i = 0; i < 2000 && exact; ++i) {
       const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
       const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
-      exact = index.Query(s, t) == reference.Query(s, t);
+      exact = index->DistanceUnchecked(s, t) ==
+              reference->DistanceUnchecked(s, t);
     }
     table.AddRow({spec.name, FormatSeconds(full_build),
                   FormatSeconds(rebuild),

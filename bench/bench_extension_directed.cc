@@ -1,17 +1,15 @@
 // Extension bench (Section 5.3): directed graphs. One-way streets are added
 // to the synthetic networks; the directed index stores two distance arrays
 // per label level (out/in). The paper predicts roughly doubled labels on
-// almost-undirected networks and unchanged query behaviour.
+// almost-undirected networks and unchanged query behaviour. Both flavours
+// are built through the same hc2l::Router facade — the overload picks the
+// index from the graph type.
 
 #include <cstdio>
 
 #include "benchsupport/evaluation.h"
 #include "benchsupport/table_printer.h"
-#include "common/rng.h"
-#include "common/timer.h"
-#include "core/directed_hc2l.h"
-#include "core/hc2l.h"
-#include "graph/digraph.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -22,19 +20,24 @@ int main() {
                       "S undirected", "Q directed[us]", "asym pairs"});
   for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kTravelTime)) {
     const Digraph g = GenerateDirectedRoadNetwork(spec.options, 0.2);
-    Timer timer;
-    const DirectedHc2lIndex index = DirectedHc2lIndex::Build(g);
-    const double build = timer.Seconds();
+    const Result<Router> index = Router::Build(g);
+    if (!index.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    const double build = index->Info().build_seconds;
 
     const Graph undirected = GenerateRoadNetwork(spec.options);
-    Hc2lOptions uopt;
+    BuildOptions uopt;
     uopt.contract_degree_one = false;  // match the directed variant
-    const Hc2lIndex undirected_index = Hc2lIndex::Build(undirected, uopt);
+    const Result<Router> undirected_index = Router::Build(undirected, uopt);
+    if (!undirected_index.ok()) return 1;
 
     const auto pairs =
         UniformRandomPairs(g.NumVertices(), BenchQueryCount() / 5, 3);
     const double q = MeasureAvgQueryMicros(
-        [&](Vertex s, Vertex t) { return index.Query(s, t); }, pairs);
+        [&](Vertex s, Vertex t) { return index->DistanceUnchecked(s, t); },
+        pairs);
     // How directional is the metric? Count pairs with d(s,t) != d(t,s).
     Rng rng(17);
     int asym = 0;
@@ -42,11 +45,14 @@ int main() {
     for (int i = 0; i < probes; ++i) {
       const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
       const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
-      if (index.Query(s, t) != index.Query(t, s)) ++asym;
+      if (index->DistanceUnchecked(s, t) != index->DistanceUnchecked(t, s)) {
+        ++asym;
+      }
     }
     table.AddRow({spec.name, std::to_string(g.NumArcs()),
-                  FormatSeconds(build), FormatBytes(index.LabelSizeBytes()),
-                  FormatBytes(undirected_index.LabelSizeBytes()),
+                  FormatSeconds(build),
+                  FormatBytes(index->Info().label_resident_bytes),
+                  FormatBytes(undirected_index->Info().label_resident_bytes),
                   FormatMicros(q),
                   FormatDouble(100.0 * asym / probes, 1) + "%"});
     std::fflush(stdout);

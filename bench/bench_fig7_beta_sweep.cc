@@ -1,14 +1,13 @@
 // Reproduces Figure 7: average query time and average cut size under varying
 // balance thresholds beta in {0.15, 0.20, 0.25, 0.30, 0.35}, distance
 // weights. The paper finds beta = 0.20 near-optimal: query time tracks cut
-// size, both mildly U-shaped around 0.2.
+// size, both mildly U-shaped around 0.2. Runs through the public facade.
 
 #include <cstdio>
 
 #include "benchsupport/evaluation.h"
 #include "benchsupport/table_printer.h"
-#include "benchsupport/workload.h"
-#include "core/hc2l.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -27,12 +26,14 @@ int main() {
     std::vector<std::string> time_row{spec.name};
     std::vector<std::string> cut_row{spec.name};
     for (const double beta : kBetas) {
-      Hc2lOptions options;
+      BuildOptions options;
       options.beta = beta;
-      const Hc2lIndex index = Hc2lIndex::Build(g, options);
+      const Result<Router> index = Router::Build(g, options);
+      if (!index.ok()) return 1;
       time_row.push_back(FormatMicros(MeasureAvgQueryMicros(
-          [&](Vertex s, Vertex t) { return index.Query(s, t); }, pairs)));
-      cut_row.push_back(FormatDouble(index.Stats().avg_cut_size, 1));
+          [&](Vertex s, Vertex t) { return index->DistanceUnchecked(s, t); },
+          pairs)));
+      cut_row.push_back(FormatDouble(index->Info().avg_cut_size, 1));
     }
     time_table.AddRow(std::move(time_row));
     cut_table.AddRow(std::move(cut_row));

@@ -1,12 +1,15 @@
-// Parallel query-engine scaling bench: DistanceMatrix / BatchQuery /
-// PointQueries throughput at 1/2/4/8 engine threads over the shared 48x48
-// fixture graph (the bench_micro_query dataset), plus the single-threaded
-// engine-vs-index overhead check.
+// Parallel query scaling bench: DistanceMatrix / BatchQuery / PointQueries
+// throughput at 1/2/4/8 engine threads over the shared 48x48 fixture graph
+// (the bench_micro_query dataset), plus the single-threaded
+// engine-vs-facade overhead check. Runs through the public facade
+// (hc2l::Router::WithThreads), the same surface a serving front end uses.
 //
 // The scaling curve is merged into BENCH_query.json (override the path with
 // HC2L_BENCH_JSON) as a "parallel" section so the perf trajectory carries
 // both the single-query latency and the bulk-throughput story. The JSON is
-// our own fixed format: any existing "parallel" section is replaced.
+// our own fixed format: any existing "parallel" section is replaced. The
+// section carries an "api" tag ("router") so tools/check_bench.py can tell
+// facade-produced numbers from pre-facade ("core") snapshots.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,10 +21,7 @@
 
 #include "benchsupport/workload.h"
 #include "common/simd.h"
-#include "common/timer.h"
-#include "core/hc2l.h"
-#include "graph/road_network_generator.h"
-#include "server/query_engine.h"
+#include "hc2l/hc2l.h"
 
 namespace hc2l {
 namespace {
@@ -35,7 +35,7 @@ struct MatrixResult {
 
 /// Repeats engine.DistanceMatrix until ~min_seconds elapsed; ns per (s, t)
 /// pair.
-MatrixResult TimeMatrix(const QueryEngine& engine,
+MatrixResult TimeMatrix(const ThreadedRouter& engine,
                         const std::vector<Vertex>& sources,
                         const std::vector<Vertex>& targets,
                         double min_seconds) {
@@ -45,8 +45,12 @@ MatrixResult TimeMatrix(const QueryEngine& engine,
   Timer timer;
   do {
     const auto matrix = engine.DistanceMatrix(sources, targets);
+    if (!matrix.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", matrix.status().ToString().c_str());
+      std::exit(1);
+    }
     uint64_t sum = 0;
-    for (const auto& row : matrix) {
+    for (const auto& row : *matrix) {
       for (const Dist d : row) sum += d == kInfDist ? 1 : d;
     }
     if (rounds == 0) {
@@ -62,27 +66,28 @@ MatrixResult TimeMatrix(const QueryEngine& engine,
   return result;
 }
 
-double TimeBatch(const QueryEngine& engine, const std::vector<Vertex>& sources,
+double TimeBatch(const ThreadedRouter& engine,
+                 const std::vector<Vertex>& sources,
                  const std::vector<Vertex>& targets, double min_seconds) {
   size_t rounds = 0;
   size_t i = 0;
   Timer timer;
   do {
     const auto out = engine.BatchQuery(sources[i % sources.size()], targets);
-    if (out.empty()) std::exit(1);
+    if (!out.ok() || out->empty()) std::exit(1);
     ++i;
     ++rounds;
   } while (timer.Seconds() < min_seconds);
   return timer.Seconds() * 1e9 / static_cast<double>(rounds * targets.size());
 }
 
-double TimePoints(const QueryEngine& engine,
+double TimePoints(const ThreadedRouter& engine,
                   const std::vector<QueryPair>& pairs, double min_seconds) {
   size_t rounds = 0;
   Timer timer;
   do {
     const auto out = engine.PointQueries(pairs);
-    if (out.empty()) std::exit(1);
+    if (!out.ok() || out->empty()) std::exit(1);
     ++rounds;
   } while (timer.Seconds() < min_seconds);
   return timer.Seconds() * 1e9 / static_cast<double>(rounds * pairs.size());
@@ -133,7 +138,11 @@ int Run() {
   opt.cols = 48;
   opt.seed = 2026;
   const Graph g = GenerateRoadNetwork(opt);
-  const Hc2lIndex index = Hc2lIndex::Build(g, Hc2lOptions{});
+  const Result<Router> router = Router::Build(g, BuildOptions{});
+  if (!router.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", router.status().ToString().c_str());
+    return 1;
+  }
 
   // Workloads: a 48x48 distance matrix (the acceptance fixture), a 4096-way
   // batch and 4096 random point pairs.
@@ -153,8 +162,8 @@ int Run() {
   const double min_seconds =
       std::getenv("HC2L_BENCH_FAST") != nullptr ? 0.05 : 0.4;
 
-  std::printf("parallel query engine on %zu vertices, kernel %s, %u hardware "
-              "threads\n\n",
+  std::printf("parallel queries (hc2l::Router facade) on %zu vertices, "
+              "kernel %s, %u hardware threads\n\n",
               g.NumVertices(), simd::kKernelName,
               std::thread::hardware_concurrency());
   std::printf("%8s %18s %18s %18s\n", "threads", "matrix 48x48", "batch 4096",
@@ -167,17 +176,21 @@ int Run() {
   double matrix_best = 0.0;
   uint64_t checksum = 0;
   for (const uint32_t threads : kThreadCounts) {
-    QueryEngineOptions options;
+    ParallelOptions options;
     options.num_threads = threads;
     // The fixture workloads are small; let every thread take a share.
     options.min_shard_queries = 64;
-    const QueryEngine engine(index, options);
+    const Result<ThreadedRouter> engine = router->WithThreads(options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
 
     const MatrixResult m =
-        TimeMatrix(engine, matrix_sources, matrix_targets, min_seconds);
-    const double b = TimeBatch(engine, batch_sources, batch_targets,
+        TimeMatrix(*engine, matrix_sources, matrix_targets, min_seconds);
+    const double b = TimeBatch(*engine, batch_sources, batch_targets,
                                min_seconds);
-    const double p = TimePoints(engine, pairs, min_seconds);
+    const double p = TimePoints(*engine, pairs, min_seconds);
     if (threads == 1) {
       matrix_1t = m.ns_per_pair;
       checksum = m.checksum;
@@ -203,9 +216,10 @@ int Run() {
               "(on %u hardware threads)\n",
               speedup, std::thread::hardware_concurrency());
 
-  char head[160];
+  char head[192];
   std::snprintf(head, sizeof(head),
                 ",\n  \"parallel\": {\n"
+                "    \"api\": \"router\",\n"
                 "    \"hardware_threads\": %u,\n"
                 "    \"matrix_speedup_best\": %.2f,\n"
                 "    \"curve\": [",

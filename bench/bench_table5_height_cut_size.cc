@@ -1,14 +1,14 @@
 // Reproduces Table 5: tree height and maximum cut size / width, HC2L's
 // balanced tree hierarchy vs H2H's minimum-degree-elimination tree
-// decomposition (beta = 0.2, distance weights).
+// decomposition (beta = 0.2, distance weights). HC2L runs through the
+// public facade; H2H stays a baseline-internal class.
 
 #include <cstdio>
 
 #include "baselines/h2h.h"
 #include "benchsupport/evaluation.h"
 #include "benchsupport/table_printer.h"
-#include "common/timer.h"
-#include "core/hc2l.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -17,12 +17,14 @@ int main() {
                       "Width H2H"});
   for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kDistance)) {
     const Graph g = GenerateRoadNetwork(spec.options);
-    Hc2lOptions options;  // beta = 0.2 as in the paper
-    const Hc2lIndex index = Hc2lIndex::Build(g, options);
+    // beta = 0.2 as in the paper (the BuildOptions default).
+    const Result<Router> index = Router::Build(g, BuildOptions{});
+    if (!index.ok()) return 1;
     const H2hIndex h2h(g);
-    table.AddRow({spec.name, std::to_string(index.Stats().tree_height),
+    const IndexInfo info = index->Info();
+    table.AddRow({spec.name, std::to_string(info.tree_height),
                   std::to_string(h2h.TreeHeight()),
-                  std::to_string(index.Stats().max_cut_size),
+                  std::to_string(info.max_cut_size),
                   std::to_string(h2h.TreeWidth())});
     std::fflush(stdout);
   }

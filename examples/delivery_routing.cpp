@@ -1,20 +1,17 @@
 // Delivery route optimisation: plan a multi-stop delivery tour (another
 // motivating application from Section 1 — "optimizing delivery routes with
-// multiple pick up and drop off points"). The HC2L index supplies the full
-// stop-to-stop distance matrix; a nearest-neighbour + 2-opt heuristic builds
-// the tour.
+// multiple pick up and drop off points"). The hc2l::Router facade supplies
+// the full stop-to-stop distance matrix in one call; a nearest-neighbour +
+// 2-opt heuristic builds the tour.
 //
-//   $ ./build/examples/example_delivery_routing
+//   $ ./build/example_delivery_routing
 
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
-#include "common/rng.h"
-#include "common/timer.h"
-#include "core/hc2l.h"
-#include "graph/road_network_generator.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -24,7 +21,13 @@ int main() {
   opt.cols = 50;
   opt.seed = 17;
   const Graph city = GenerateRoadNetwork(opt);
-  const Hc2lIndex index = Hc2lIndex::Build(city);
+  Result<Router> built = Router::Build(city);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Router& index = *built;
 
   // A depot and 30 delivery stops.
   Rng rng(4);
@@ -35,14 +38,17 @@ int main() {
   }
   const size_t k = stops.size();
 
-  // Full distance matrix from the index — k^2 exact queries.
+  // Full distance matrix from the index — k^2 exact distances, target
+  // resolution hoisted once by the facade's DistanceMatrix.
   Timer timer;
-  std::vector<std::vector<Dist>> matrix(k, std::vector<Dist>(k));
-  for (size_t i = 0; i < k; ++i) {
-    for (size_t j = 0; j < k; ++j) {
-      matrix[i][j] = index.Query(stops[i], stops[j]);
-    }
+  Result<std::vector<std::vector<Dist>>> matrix_result =
+      index.DistanceMatrix(stops, stops);
+  if (!matrix_result.ok()) {
+    std::fprintf(stderr, "matrix failed: %s\n",
+                 matrix_result.status().ToString().c_str());
+    return 1;
   }
+  const std::vector<std::vector<Dist>>& matrix = *matrix_result;
   std::printf("Distance matrix (%zux%zu) in %.3f ms\n", k, k,
               timer.Millis());
 

@@ -1,20 +1,18 @@
 // k-nearest POI recommendation (Section 1: "providing recommendation on
 // k-nearest POIs to their customers"): given a set of points of interest,
-// answer "nearest k restaurants to this user" with exact road distances.
-// Also demonstrates saving and reloading the index, the workflow a serving
-// system uses to skip reconstruction at startup.
+// answer "nearest k restaurants to this user" with exact road distances
+// through Router::KNearest. Also demonstrates persistence through the
+// facade: Save writes the flavour's format, Router::Open sniffs the magic
+// and reloads the right index — the workflow a serving system uses to skip
+// reconstruction at startup.
 //
-//   $ ./build/examples/example_poi_recommendation
+//   $ ./build/example_poi_recommendation
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "common/rng.h"
-#include "common/timer.h"
-#include "core/hc2l.h"
-#include "graph/road_network_generator.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -24,23 +22,30 @@ int main() {
   opt.cols = 55;
   opt.seed = 23;
   const Graph city = GenerateRoadNetwork(opt);
-  Hc2lIndex built = Hc2lIndex::Build(city);
+  Result<Router> built = Router::Build(city);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
 
-  // Persist and reload — a serving process would mmap/load at startup.
+  // Persist and reload — a serving process would load at startup. Open
+  // sniffs the format magic, so the caller never states the flavour.
   const std::string path = "/tmp/hc2l_poi_index.bin";
-  std::string error;
-  if (!built.Save(path, &error)) {
-    std::fprintf(stderr, "save failed: %s\n", error.c_str());
+  if (Status s = built->Save(path); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
     return 1;
   }
   Timer load_timer;
-  auto loaded = Hc2lIndex::Load(path, &error);
-  if (!loaded.has_value()) {
-    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+  Result<Router> loaded = Router::Open(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
-  const Hc2lIndex& index = *loaded;
-  std::printf("Index persisted to %s and reloaded in %.1f ms\n", path.c_str(),
+  const Router& index = *loaded;
+  std::printf("Index persisted to %s and reloaded (%s) in %.1f ms\n",
+              path.c_str(), index.directed() ? "directed" : "undirected",
               load_timer.Millis());
 
   // 200 POIs ("restaurants"), 5 query users.
@@ -48,20 +53,19 @@ int main() {
   std::vector<Vertex> pois(200);
   for (Vertex& p : pois) p = static_cast<Vertex>(rng.Below(city.NumVertices()));
 
-  constexpr int kNearest = 5;
+  constexpr size_t kNearest = 5;
   for (int user = 0; user < 5; ++user) {
     const Vertex location = static_cast<Vertex>(rng.Below(city.NumVertices()));
-    std::vector<std::pair<Dist, Vertex>> ranked;
-    ranked.reserve(pois.size());
-    for (const Vertex poi : pois) {
-      const Dist d = index.Query(location, poi);
-      if (d != kInfDist) ranked.emplace_back(d, poi);
+    const Result<std::vector<std::pair<Dist, Vertex>>> ranked =
+        index.KNearest(location, pois, kNearest);
+    if (!ranked.ok()) {
+      std::fprintf(stderr, "k-nearest failed: %s\n",
+                   ranked.status().ToString().c_str());
+      return 1;
     }
-    std::partial_sort(ranked.begin(), ranked.begin() + kNearest, ranked.end());
     std::printf("user at %u -> nearest POIs:", location);
-    for (int i = 0; i < kNearest; ++i) {
-      std::printf(" %u (%llum)", ranked[i].second,
-                  static_cast<unsigned long long>(ranked[i].first));
+    for (const auto& [dist, poi] : *ranked) {
+      std::printf(" %u (%llum)", poi, static_cast<unsigned long long>(dist));
     }
     std::printf("\n");
   }

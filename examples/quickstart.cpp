@@ -1,12 +1,12 @@
-// Quickstart: build a tiny road network, construct an HC2L index, and answer
-// distance queries.
+// Quickstart: build a tiny road network, construct an HC2L index through the
+// public facade (hc2l::Router), and answer distance queries — including the
+// directed variant and the Status-based error model.
 //
-//   $ ./build/examples/example_quickstart
+//   $ ./build/example_quickstart
 
 #include <cstdio>
 
-#include "core/hc2l.h"
-#include "graph/graph.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -31,24 +31,66 @@ int main() {
   builder.AddEdge(8, 9, 100);
   Graph g = std::move(builder).Build();
 
-  // Build the index. Options mirror the paper: beta = 0.2 balance threshold,
-  // tail pruning and degree-one contraction on; num_threads > 1 gives the
-  // parallel HC2L_p construction.
-  Hc2lOptions options;
-  options.beta = 0.2;
-  Hc2lIndex index = Hc2lIndex::Build(g, options);
+  // Build through the facade. Options mirror the paper: beta = 0.2 balance
+  // threshold, tail pruning and degree-one contraction on; num_threads > 1
+  // gives the parallel HC2L_p construction. Bad options come back as a
+  // Status instead of aborting:
+  BuildOptions bad;
+  bad.beta = 0.9;
+  std::printf("Build with beta=0.9 -> %s\n",
+              Router::Build(g, bad).status().ToString().c_str());
 
-  std::printf("Built HC2L over %zu vertices: height=%u, max cut=%llu, "
-              "labels=%zu bytes\n",
-              index.NumVertices(), index.Stats().tree_height,
-              static_cast<unsigned long long>(index.Stats().max_cut_size),
-              index.LabelSizeBytes());
+  Result<Router> built = Router::Build(g, BuildOptions{});
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Router& router = *built;
+
+  const IndexInfo info = router.Info();
+  std::printf("Built HC2L over %llu vertices: height=%u, max cut=%llu, "
+              "labels=%llu bytes\n",
+              static_cast<unsigned long long>(info.num_vertices),
+              info.tree_height,
+              static_cast<unsigned long long>(info.max_cut_size),
+              static_cast<unsigned long long>(info.label_resident_bytes));
 
   const std::pair<Vertex, Vertex> queries[] = {{0, 9}, {2, 6}, {3, 7}, {4, 4}};
   for (const auto& [s, t] : queries) {
-    const Dist d = index.Query(s, t);
+    const Result<Dist> d = router.Distance(s, t);
     std::printf("d(%u, %u) = %llu\n", s, t,
-                static_cast<unsigned long long>(d));
+                static_cast<unsigned long long>(*d));
   }
+  // Out-of-range ids are a recoverable error, not a crash:
+  std::printf("d(0, 42) -> %s\n",
+              router.Distance(0, 42).status().ToString().c_str());
+
+  // The same surface serves directed graphs: make the bridge one-way
+  // (5 -> 8 only) and every other street bidirectional.
+  DigraphBuilder dbuilder(10);
+  dbuilder.AddBidirectional(0, 1, 100);
+  dbuilder.AddBidirectional(1, 2, 100);
+  dbuilder.AddBidirectional(0, 3, 120);
+  dbuilder.AddBidirectional(1, 4, 120);
+  dbuilder.AddBidirectional(2, 5, 120);
+  dbuilder.AddBidirectional(3, 4, 100);
+  dbuilder.AddBidirectional(4, 5, 100);
+  dbuilder.AddArc(5, 8, 400);  // one-way bridge
+  dbuilder.AddBidirectional(6, 7, 100);
+  dbuilder.AddBidirectional(6, 8, 120);
+  dbuilder.AddBidirectional(7, 9, 120);
+  dbuilder.AddBidirectional(8, 9, 100);
+  Result<Router> directed = Router::Build(std::move(dbuilder).Build());
+  if (!directed.ok()) {
+    std::fprintf(stderr, "directed build failed: %s\n",
+                 directed.status().ToString().c_str());
+    return 1;
+  }
+  const Dist out = *directed->Distance(0, 9);
+  const Dist back = *directed->Distance(9, 0);
+  std::printf("directed: d(0 -> 9) = %llu, d(9 -> 0) = %s\n",
+              static_cast<unsigned long long>(out),
+              back == kInfDist ? "inf (bridge is one-way)" : "reachable?!");
   return 0;
 }

@@ -1,20 +1,19 @@
 // Ride hailing: the paper's motivating workload (Section 1) — match each
 // customer to their nearest cars, requiring millions of shortest-path
 // distances per second. This example places cars and customers on a
-// synthetic city, answers every car-customer distance with HC2L, and
-// contrasts the throughput with bidirectional Dijkstra.
+// synthetic city, answers every car-customer distance through the facade's
+// DistanceMatrix, and contrasts the sequential throughput with the parallel
+// query handle (Router::WithThreads), which shards the same matrix across
+// all cores with bit-identical results.
 //
-//   $ ./build/examples/example_ride_hailing
+//   $ ./build/example_ride_hailing
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
-#include "common/rng.h"
-#include "common/timer.h"
-#include "core/hc2l.h"
-#include "graph/road_network_generator.h"
-#include "search/dijkstra.h"
+#include "hc2l/hc2l.h"
 
 int main() {
   using namespace hc2l;
@@ -29,9 +28,16 @@ int main() {
               city.NumVertices(), city.NumEdges());
 
   Timer build_timer;
-  const Hc2lIndex index = Hc2lIndex::Build(city);
-  std::printf("HC2L built in %.2fs (%zu label bytes)\n", build_timer.Seconds(),
-              index.LabelSizeBytes());
+  Result<Router> built = Router::Build(city);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Router& index = *built;
+  std::printf("HC2L built in %.2fs (%llu label bytes)\n", build_timer.Seconds(),
+              static_cast<unsigned long long>(
+                  index.Info().label_resident_bytes));
 
   // 100 idle cars, 500 waiting customers.
   Rng rng(99);
@@ -41,46 +47,65 @@ int main() {
   for (Vertex& v : customers) {
     v = static_cast<Vertex>(rng.Below(city.NumVertices()));
   }
-
-  // Nearest 3 cars per customer via the index.
-  constexpr int kNearest = 3;
-  Timer match_timer;
-  uint64_t total_assignments = 0;
-  std::vector<std::pair<Dist, Vertex>> ranked;
-  for (const Vertex customer : customers) {
-    ranked.clear();
-    for (const Vertex car : cars) {
-      ranked.emplace_back(index.Query(car, customer), car);
-    }
-    std::partial_sort(ranked.begin(), ranked.begin() + kNearest, ranked.end());
-    total_assignments += kNearest;
-  }
-  const double hc2l_seconds = match_timer.Seconds();
   const uint64_t num_queries =
       static_cast<uint64_t>(cars.size()) * customers.size();
-  std::printf(
-      "HC2L matching: %llu distance queries in %.3fs (%.2f M queries/s)\n",
-      static_cast<unsigned long long>(num_queries), hc2l_seconds,
-      num_queries / hc2l_seconds / 1e6);
 
-  // The same workload with bidirectional Dijkstra (sampled to keep runtime
-  // sane, then extrapolated).
-  BidirectionalDijkstra bidi(city);
-  const size_t sample = 2000;
-  Timer dijkstra_timer;
-  uint64_t checksum = 0;
-  for (size_t i = 0; i < sample; ++i) {
-    const Vertex car = cars[i % cars.size()];
-    const Vertex customer = customers[i % customers.size()];
-    const Dist d = bidi.Query(car, customer);
-    checksum += d == kInfDist ? 0 : d;
+  // Nearest 3 cars per customer from the car-customer distance matrix.
+  constexpr size_t kNearest = 3;
+  const auto match = [&](const std::vector<std::vector<Dist>>& car_to_customer) {
+    uint64_t assignments = 0;
+    std::vector<std::pair<Dist, Vertex>> ranked;
+    for (size_t c = 0; c < customers.size(); ++c) {
+      ranked.clear();
+      for (size_t car = 0; car < cars.size(); ++car) {
+        ranked.emplace_back(car_to_customer[car][c], cars[car]);
+      }
+      std::partial_sort(ranked.begin(), ranked.begin() + kNearest,
+                        ranked.end());
+      assignments += kNearest;
+    }
+    return assignments;
+  };
+
+  Timer seq_timer;
+  Result<std::vector<std::vector<Dist>>> matrix =
+      index.DistanceMatrix(cars, customers);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "matrix failed: %s\n",
+                 matrix.status().ToString().c_str());
+    return 1;
   }
-  const double per_query = dijkstra_timer.Seconds() / sample;
+  match(*matrix);
+  const double seq_seconds = seq_timer.Seconds();
   std::printf(
-      "Bidirectional Dijkstra: %.1f us/query -> full matching would take "
-      "%.1fs (%.0fx slower)  [checksum %llu]\n",
-      per_query * 1e6, per_query * num_queries,
-      per_query * num_queries / hc2l_seconds,
-      static_cast<unsigned long long>(checksum));
-  return 0;
+      "Sequential matching: %llu distance queries in %.3fs (%.2f M "
+      "queries/s)\n",
+      static_cast<unsigned long long>(num_queries), seq_seconds,
+      num_queries / seq_seconds / 1e6);
+
+  // The same workload through the parallel handle: every core shards the
+  // matrix; results are bit-identical to the sequential call.
+  Result<ThreadedRouter> engine = index.WithThreads(0);  // all cores
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  Timer par_timer;
+  Result<std::vector<std::vector<Dist>>> par_matrix =
+      engine->DistanceMatrix(cars, customers);
+  if (!par_matrix.ok()) {
+    std::fprintf(stderr, "parallel matrix failed: %s\n",
+                 par_matrix.status().ToString().c_str());
+    return 1;
+  }
+  match(*par_matrix);
+  const double par_seconds = par_timer.Seconds();
+  const bool identical = *par_matrix == *matrix;
+  std::printf(
+      "Parallel matching (%u threads): %.3fs (%.2f M queries/s, %.2fx) — "
+      "results %s\n",
+      engine->NumThreads(), par_seconds, num_queries / par_seconds / 1e6,
+      seq_seconds / par_seconds, identical ? "bit-identical" : "DIFFER!");
+  return identical ? 0 : 1;
 }

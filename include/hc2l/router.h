@@ -1,0 +1,230 @@
+#ifndef HC2L_PUBLIC_ROUTER_H_
+#define HC2L_PUBLIC_ROUTER_H_
+
+/// hc2l::Router — the single public query API over both HC2L index flavours.
+///
+/// The paper (Farhan, Koehler, Ohrimenko, Wang, PACMMOD'23) describes one
+/// query model: hierarchical cut 2-hop labels answering exact shortest-path
+/// distances. The repo implements it twice — an undirected index with
+/// degree-one contraction (format HC2L0002) and the Section 5.3 directed
+/// extension (format HC2D0001). Router type-erases over the two so that
+/// every consumer (CLI, examples, benches, a future RPC front end) programs
+/// against one surface:
+///
+///   hc2l::Result<hc2l::Router> r = hc2l::Router::Build(graph, {});
+///   if (!r.ok()) { ... r.status() ... }
+///   hc2l::Result<hc2l::Dist> d = r->Distance(s, t);            // validated
+///   hc2l::Dist fast = r->DistanceUnchecked(s, t);              // hot loops
+///
+///   hc2l::Result<hc2l::Router> o = hc2l::Router::Open("x.idx"); // sniffs
+///   // o->directed() tells which format the file held.
+///
+/// Error model: every fallible entry point returns Status / Result<T>
+/// (hc2l/status.h); bad input — missing or corrupt files, out-of-range
+/// vertex ids, invalid options — never aborts the process.
+///
+/// Ownership: Router owns its index. Router is movable, not copyable.
+/// Thread-safety: all query methods are const and safe to call concurrently;
+/// the index is immutable after Build/Open. RebuildLabels is the one mutator
+/// and must not race queries. A ThreadedRouter (WithThreads) *borrows* its
+/// Router, which must stay alive and unmoved for the handle's lifetime.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "hc2l/status.h"
+
+namespace hc2l {
+
+class Graph;
+class Digraph;
+
+/// Construction options, unified for both directions (Hc2lOptions and
+/// DirectedHc2lOptions internally). Validated by Router::Build: beta must be
+/// in (0, 0.5], leaf_size >= 1.
+struct BuildOptions {
+  /// Balance threshold beta in (0, 0.5]; the paper selects 0.2 (Section 5).
+  double beta = 0.2;
+  /// Recursion stops at subgraphs of at most this many vertices.
+  uint32_t leaf_size = 8;
+  /// Tail pruning (Definition 4.18): ~10-15% smaller labels, ~20% slower
+  /// construction when on.
+  bool tail_pruning = true;
+  /// Degree-one contraction (Section 4.2.2). Undirected only — the directed
+  /// variant never contracts (pendant trees are not distance-transparent
+  /// under asymmetric arcs), so the flag is ignored for digraphs.
+  bool contract_degree_one = true;
+  /// Construction threads; 0 = all hardware threads, >1 is the paper's
+  /// HC2L_p variant (bit-identical index).
+  uint32_t num_threads = 1;
+};
+
+/// Options for the parallel query handle (Router::WithThreads).
+struct ParallelOptions {
+  /// Threads participating in each call; 0 = all hardware threads.
+  uint32_t num_threads = 0;
+  /// Workloads below this many queries run inline on the caller (a query is
+  /// tens of nanoseconds; shipping it to another core costs more).
+  uint32_t min_shard_queries = 1024;
+};
+
+/// Size and construction statistics, unified across both index flavours.
+/// Fields that only exist for one flavour are documented as such.
+struct IndexInfo {
+  bool directed = false;
+  uint64_t num_vertices = 0;
+  /// After degree-one contraction; == num_vertices for directed indexes.
+  uint64_t num_core_vertices = 0;
+  uint64_t num_contracted = 0;
+  uint32_t tree_height = 0;
+  uint64_t num_tree_nodes = 0;
+  uint64_t max_cut_size = 0;
+  double avg_cut_size = 0.0;
+  /// Undirected only (the directed builder does not count its shortcuts).
+  uint64_t num_shortcuts = 0;
+  /// Stored distance values (both directions for directed indexes).
+  uint64_t label_entries = 0;
+  /// Logical label size: distance data + per-level offset tables — the
+  /// paper-comparable quantity.
+  uint64_t label_logical_bytes = 0;
+  /// Resident label storage: cache-aligned, sentinel-padded arena(s) +
+  /// offset tables (what the process actually holds in memory).
+  uint64_t label_resident_bytes = 0;
+  /// Bytes for O(1) LCA lookups (packed per-vertex tree codes).
+  uint64_t lca_bytes = 0;
+  /// Wall-clock seconds of the Build/RebuildLabels that produced this
+  /// index. Undirected indexes persist their construction stats, so an
+  /// opened HC2L0002 file reports the original build's time; directed
+  /// indexes do not persist it and report 0 after Open.
+  double build_seconds = 0.0;
+};
+
+class ThreadedRouter;
+
+/// The facade. One non-null underlying index (undirected or directed),
+/// selected at Build time by the graph type or at Open time by the file's
+/// format magic.
+class Router {
+ public:
+  /// Opens a serialized index, sniffing the format magic: HC2L0002 loads the
+  /// undirected index, HC2D0001 the directed one. Errors: kNotFound (cannot
+  /// open), kInvalidArgument (not an HC2L index file), kDataLoss (truncated
+  /// or corrupt).
+  static Result<Router> Open(const std::string& path);
+
+  /// Builds an undirected index. Errors: kInvalidArgument (bad options).
+  static Result<Router> Build(const Graph& graph,
+                              const BuildOptions& options = {});
+
+  /// Builds a directed index (contract_degree_one ignored; see BuildOptions).
+  static Result<Router> Build(const Digraph& graph,
+                              const BuildOptions& options = {});
+
+  Router(Router&&) noexcept;
+  Router& operator=(Router&&) noexcept;
+  ~Router();
+
+  /// True when the underlying index answers directed distances d(s -> t).
+  bool directed() const;
+
+  /// Number of vertices of the indexed graph.
+  uint64_t NumVertices() const;
+
+  /// Unified construction/size statistics.
+  IndexInfo Info() const;
+
+  /// Serializes the index in its flavour's format (HC2L0002 / HC2D0001).
+  Status Save(const std::string& path) const;
+
+  /// Exact distance d(s, t) — d(s -> t) for directed indexes; kInfDist when
+  /// t is unreachable (reachability is an answer, not an error). Errors:
+  /// kInvalidArgument for out-of-range vertex ids.
+  Result<Dist> Distance(Vertex s, Vertex t) const;
+
+  /// Distance() without the range check, for hot loops that validated their
+  /// inputs up front. Out-of-range ids abort (internal invariant).
+  Dist DistanceUnchecked(Vertex s, Vertex t) const;
+
+  /// One-to-many: d(source, targets[i]) for every target, in order.
+  Result<std::vector<Dist>> BatchQuery(Vertex source,
+                                       std::span<const Vertex> targets) const;
+
+  /// Many-to-many: result[i][j] = d(sources[i], targets[j]), with
+  /// target-side resolution hoisted once per matrix and L2-resident tiling.
+  Result<std::vector<std::vector<Dist>>> DistanceMatrix(
+      std::span<const Vertex> sources, std::span<const Vertex> targets) const;
+
+  /// The k candidates nearest to (from, for directed) `source`, as
+  /// (distance, candidate) pairs sorted ascending, ties broken
+  /// deterministically by candidate order; unreachable candidates excluded.
+  Result<std::vector<std::pair<Dist, Vertex>>> KNearest(
+      Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+  /// Dynamic weight updates (Section 5.4, undirected only): refreshes every
+  /// distance value for a graph with the SAME topology but changed weights,
+  /// reusing the stored hierarchy — much faster than Build. num_threads
+  /// parallelizes the per-level label recomputation (0 = all hardware
+  /// threads). Errors: kFailedPrecondition (directed index),
+  /// kInvalidArgument (vertex count or pendant-tree structure differs) —
+  /// detected before any state changes, so the index stays valid on
+  /// failure.
+  Status RebuildLabels(const Graph& updated, bool tail_pruning = true,
+                       uint32_t num_threads = 1);
+
+  /// A parallel bulk-query handle routing through the shard-per-core query
+  /// engine (docs/query_engine.md). The handle borrows this Router; results
+  /// are bit-identical to the sequential methods for every thread count.
+  Result<ThreadedRouter> WithThreads(uint32_t num_threads) const;
+  Result<ThreadedRouter> WithThreads(const ParallelOptions& options) const;
+
+ private:
+  friend class ThreadedRouter;
+  struct Impl;
+  explicit Router(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Parallel bulk queries over a borrowed Router (see Router::WithThreads).
+/// All methods are const and safe to call concurrently from several caller
+/// threads. Do not outlive (or move) the Router it was created from.
+class ThreadedRouter {
+ public:
+  ThreadedRouter(ThreadedRouter&&) noexcept;
+  ThreadedRouter& operator=(ThreadedRouter&&) noexcept;
+  ~ThreadedRouter();
+
+  /// Total participating threads (>= 1).
+  uint32_t NumThreads() const;
+
+  /// out[i] = d(pairs[i].first, pairs[i].second), sharded across the pool.
+  Result<std::vector<Dist>> PointQueries(
+      std::span<const std::pair<Vertex, Vertex>> pairs) const;
+
+  /// One-to-many, targets sharded across the pool.
+  Result<std::vector<Dist>> BatchQuery(Vertex source,
+                                       std::span<const Vertex> targets) const;
+
+  /// Many-to-many, sources sharded, target resolution hoisted and tiled.
+  Result<std::vector<std::vector<Dist>>> DistanceMatrix(
+      std::span<const Vertex> sources, std::span<const Vertex> targets) const;
+
+  /// K nearest with parallel distance computation and deterministic
+  /// sequential selection.
+  Result<std::vector<std::pair<Dist, Vertex>>> KNearest(
+      Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+ private:
+  friend class Router;
+  struct Impl;
+  explicit ThreadedRouter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_PUBLIC_ROUTER_H_

@@ -1,0 +1,155 @@
+#ifndef HC2L_PUBLIC_STATUS_H_
+#define HC2L_PUBLIC_STATUS_H_
+
+/// Recoverable error model of the public HC2L API.
+///
+/// The library does not use exceptions. Every fallible entry point of the
+/// public facade (hc2l/router.h) — and of the internal index classes it wraps
+/// — reports failure through `Status` (no payload) or `Result<T>` (a value or
+/// a Status), replacing the former bool-plus-out-string plumbing. Bad *input*
+/// (a missing file, a corrupt index, an out-of-range vertex id, invalid build
+/// options) must never abort the process; aborts are reserved for violated
+/// internal invariants, i.e. library bugs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hc2l {
+
+/// Canonical error space, deliberately small. Codes describe *who must act*:
+/// the caller (kInvalidArgument, kFailedPrecondition), the environment
+/// (kNotFound, kUnavailable), the data (kDataLoss), or the library authors
+/// (kInternal, kUnimplemented).
+enum class StatusCode : int {
+  kOk = 0,
+  /// The caller passed a bad value: vertex id out of range, beta outside
+  /// (0, 0.5], a file that is not an HC2L index.
+  kInvalidArgument = 1,
+  /// A named resource (file) does not exist or cannot be opened for reading.
+  kNotFound = 2,
+  /// A resource exists but its contents are truncated or corrupt.
+  kDataLoss = 3,
+  /// The operation is valid in general but not in the object's current
+  /// state (e.g. RebuildLabels on a directed index).
+  kFailedPrecondition = 4,
+  /// The environment refused an operation that may succeed later (e.g. a
+  /// file could not be opened or fully written).
+  kUnavailable = 5,
+  /// Recognized but not (yet) supported.
+  kUnimplemented = 6,
+  /// An invariant the library promised to uphold did not hold.
+  kInternal = 7,
+};
+
+/// Human-readable name of a code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error of one operation: a code plus a descriptive message.
+/// Cheap to move; the OK status carries no allocation.
+class Status {
+ public:
+  /// Default is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>", for logs and error output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type T or the Status explaining why there is none. T may be
+/// move-only (the index types are). Accessing value() on an error Result is
+/// a programming bug and aborts with the status printed — errors must be
+/// checked with ok() first; they never abort on their own.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}
+  /// Failure. A would-be-OK status is converted to kInternal: an error
+  /// Result must carry an error.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "hc2l::Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_PUBLIC_STATUS_H_

@@ -1,0 +1,347 @@
+#include "hc2l/router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "common/binary_io.h"
+#include "common/timer.h"
+#include "core/directed_hc2l.h"
+#include "core/hc2l.h"
+#include "core/index_format.h"
+#include "graph/digraph.h"
+#include "graph/graph.h"
+#include "server/query_engine.h"
+
+namespace hc2l {
+
+namespace {
+
+Status ValidateBuildOptions(const BuildOptions& options) {
+  if (!(options.beta > 0.0) || options.beta > 0.5) {
+    return Status::InvalidArgument("beta must be in (0, 0.5], got " +
+                                   std::to_string(options.beta));
+  }
+  if (options.leaf_size == 0) {
+    return Status::InvalidArgument("leaf_size must be >= 1");
+  }
+  return Status::Ok();
+}
+
+uint32_t ResolveThreads(uint32_t num_threads) {
+  return num_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                          : num_threads;
+}
+
+Status CheckVertex(const char* what, Vertex v, uint64_t num_vertices) {
+  if (v >= num_vertices) {
+    return Status::InvalidArgument(
+        std::string(what) + " vertex id " + std::to_string(v) +
+        " out of range [0, " + std::to_string(num_vertices) + ")");
+  }
+  return Status::Ok();
+}
+
+Status CheckVertices(const char* what, std::span<const Vertex> vs,
+                     uint64_t num_vertices) {
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (vs[i] >= num_vertices) {
+      return Status::InvalidArgument(
+          std::string(what) + "[" + std::to_string(i) + "] = " +
+          std::to_string(vs[i]) + " out of range [0, " +
+          std::to_string(num_vertices) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+struct Router::Impl {
+  // Exactly one is non-null.
+  std::unique_ptr<Hc2lIndex> undirected;
+  std::unique_ptr<DirectedHc2lIndex> directed;
+  // The directed index does not record its own build time (and does not
+  // persist one), so the facade times Build itself; 0 after Open. The
+  // undirected flavour carries its own persisted Hc2lStats instead.
+  double directed_build_seconds = 0.0;
+
+  /// Calls fn on whichever concrete index is present. Both instantiations
+  /// must return the same type (the query surfaces are shape-identical).
+  template <typename Fn>
+  decltype(auto) Visit(Fn&& fn) const {
+    return undirected != nullptr ? fn(*undirected) : fn(*directed);
+  }
+};
+
+Router::Router(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Router::Router(Router&&) noexcept = default;
+Router& Router::operator=(Router&&) noexcept = default;
+Router::~Router() = default;
+
+Result<Router> Router::Open(const std::string& path) {
+  uint64_t magic = 0;
+  {
+    io::FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (f == nullptr) {
+      return Status::NotFound("cannot open " + path);
+    }
+    if (!io::ReadValue(f.get(), &magic)) {
+      return Status::DataLoss(path + " is too short to hold an index header");
+    }
+  }
+  auto impl = std::make_unique<Impl>();
+  if (magic == kHc2lIndexMagic) {
+    Result<Hc2lIndex> index = Hc2lIndex::Load(path);
+    if (!index.ok()) return index.status();
+    impl->undirected =
+        std::make_unique<Hc2lIndex>(std::move(index).value());
+  } else if (magic == kDirectedIndexMagic) {
+    Result<DirectedHc2lIndex> index = DirectedHc2lIndex::Load(path);
+    if (!index.ok()) return index.status();
+    impl->directed =
+        std::make_unique<DirectedHc2lIndex>(std::move(index).value());
+  } else {
+    return Status::InvalidArgument(
+        path + " is not an HC2L index (unrecognized format magic; expected "
+               "HC2L0002 or HC2D0001)");
+  }
+  return Router(std::move(impl));
+}
+
+Result<Router> Router::Build(const Graph& graph, const BuildOptions& options) {
+  if (Status s = ValidateBuildOptions(options); !s.ok()) return s;
+  Hc2lOptions concrete;
+  concrete.beta = options.beta;
+  concrete.leaf_size = options.leaf_size;
+  concrete.tail_pruning = options.tail_pruning;
+  concrete.contract_degree_one = options.contract_degree_one;
+  concrete.num_threads = ResolveThreads(options.num_threads);
+  auto impl = std::make_unique<Impl>();
+  impl->undirected =
+      std::make_unique<Hc2lIndex>(Hc2lIndex::Build(graph, concrete));
+  return Router(std::move(impl));
+}
+
+Result<Router> Router::Build(const Digraph& graph,
+                             const BuildOptions& options) {
+  if (Status s = ValidateBuildOptions(options); !s.ok()) return s;
+  DirectedHc2lOptions concrete;
+  concrete.beta = options.beta;
+  concrete.leaf_size = options.leaf_size;
+  concrete.tail_pruning = options.tail_pruning;
+  concrete.num_threads = ResolveThreads(options.num_threads);
+  auto impl = std::make_unique<Impl>();
+  Timer timer;
+  impl->directed = std::make_unique<DirectedHc2lIndex>(
+      DirectedHc2lIndex::Build(graph, concrete));
+  impl->directed_build_seconds = timer.Seconds();
+  return Router(std::move(impl));
+}
+
+bool Router::directed() const { return impl_->directed != nullptr; }
+
+uint64_t Router::NumVertices() const {
+  return impl_->Visit(
+      [](const auto& index) -> uint64_t { return index.NumVertices(); });
+}
+
+IndexInfo Router::Info() const {
+  IndexInfo info;
+  if (impl_->undirected != nullptr) {
+    const Hc2lStats& s = impl_->undirected->Stats();
+    info.directed = false;
+    info.num_vertices = s.num_vertices;
+    info.num_core_vertices = s.num_core_vertices;
+    info.num_contracted = s.num_contracted;
+    info.tree_height = s.tree_height;
+    info.num_tree_nodes = s.num_tree_nodes;
+    info.max_cut_size = s.max_cut_size;
+    info.avg_cut_size = s.avg_cut_size;
+    info.num_shortcuts = s.num_shortcuts;
+    info.label_entries = s.label_entries;
+    info.label_logical_bytes = s.label_bytes;
+    info.label_resident_bytes = impl_->undirected->LabelSizeBytes();
+    info.lca_bytes = s.lca_bytes;
+    info.build_seconds = s.build_seconds;
+  } else {
+    const DirectedHc2lIndex& index = *impl_->directed;
+    const BalancedTreeHierarchy& h = index.Hierarchy();
+    info.directed = true;
+    info.num_vertices = index.NumVertices();
+    info.num_core_vertices = index.NumVertices();
+    info.num_contracted = 0;
+    info.tree_height = h.Height();
+    info.num_tree_nodes = h.NumNodes();
+    info.max_cut_size = h.MaxCutSize();
+    info.avg_cut_size = h.AvgCutSize();
+    info.num_shortcuts = 0;
+    info.label_entries = index.NumEntries();
+    info.label_logical_bytes = index.LabelLogicalBytes();
+    info.label_resident_bytes = index.LabelSizeBytes();
+    info.lca_bytes = h.LcaStorageBytes();
+    info.build_seconds = impl_->directed_build_seconds;
+  }
+  return info;
+}
+
+Status Router::Save(const std::string& path) const {
+  return impl_->Visit([&](const auto& index) { return index.Save(path); });
+}
+
+Result<Dist> Router::Distance(Vertex s, Vertex t) const {
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertex("source", s, n); !st.ok()) return st;
+  if (Status st = CheckVertex("target", t, n); !st.ok()) return st;
+  return DistanceUnchecked(s, t);
+}
+
+Dist Router::DistanceUnchecked(Vertex s, Vertex t) const {
+  return impl_->Visit([&](const auto& index) { return index.Query(s, t); });
+}
+
+Result<std::vector<Dist>> Router::BatchQuery(
+    Vertex source, std::span<const Vertex> targets) const {
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return impl_->Visit(
+      [&](const auto& index) { return index.BatchQuery(source, targets); });
+}
+
+Result<std::vector<std::vector<Dist>>> Router::DistanceMatrix(
+    std::span<const Vertex> sources, std::span<const Vertex> targets) const {
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return impl_->Visit([&](const auto& index) {
+    return index.DistanceMatrix(sources, targets);
+  });
+}
+
+Result<std::vector<std::pair<Dist, Vertex>>> Router::KNearest(
+    Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
+  if (Status st = CheckVertices("candidates", candidates, n); !st.ok()) {
+    return st;
+  }
+  return impl_->Visit(
+      [&](const auto& index) { return index.KNearest(source, candidates, k); });
+}
+
+Status Router::RebuildLabels(const Graph& updated, bool tail_pruning,
+                             uint32_t num_threads) {
+  if (impl_->directed != nullptr) {
+    return Status::FailedPrecondition(
+        "RebuildLabels is only supported by undirected indexes (the directed "
+        "extension rebuilds from scratch)");
+  }
+  // The concrete index validates what it can cheaply detect (vertex count,
+  // pendant structure) before mutating anything.
+  return impl_->undirected->RebuildLabels(updated, tail_pruning,
+                                          ResolveThreads(num_threads));
+}
+
+// ------------------------------------------------------------- threaded ---
+
+struct ThreadedRouter::Impl {
+  // Exactly one is non-null, matching the Router's flavour.
+  std::unique_ptr<QueryEngine> undirected;
+  std::unique_ptr<DirectedQueryEngine> directed;
+  uint64_t num_vertices = 0;
+
+  template <typename Fn>
+  decltype(auto) Visit(Fn&& fn) const {
+    return undirected != nullptr ? fn(*undirected) : fn(*directed);
+  }
+};
+
+ThreadedRouter::ThreadedRouter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+ThreadedRouter::ThreadedRouter(ThreadedRouter&&) noexcept = default;
+ThreadedRouter& ThreadedRouter::operator=(ThreadedRouter&&) noexcept = default;
+ThreadedRouter::~ThreadedRouter() = default;
+
+Result<ThreadedRouter> Router::WithThreads(uint32_t num_threads) const {
+  ParallelOptions options;
+  options.num_threads = num_threads;
+  return WithThreads(options);
+}
+
+Result<ThreadedRouter> Router::WithThreads(
+    const ParallelOptions& options) const {
+  // 4096 threads is far beyond any machine this serves; treat it as a unit
+  // mix-up rather than oversubscribing the process with thousands of
+  // workers.
+  if (options.num_threads > 4096) {
+    return Status::InvalidArgument("num_threads must be in [0, 4096], got " +
+                                   std::to_string(options.num_threads));
+  }
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = options.num_threads;
+  engine_options.min_shard_queries = std::max(1u, options.min_shard_queries);
+  auto impl = std::make_unique<ThreadedRouter::Impl>();
+  impl->num_vertices = NumVertices();
+  if (impl_->undirected != nullptr) {
+    impl->undirected =
+        std::make_unique<QueryEngine>(*impl_->undirected, engine_options);
+  } else {
+    impl->directed = std::make_unique<DirectedQueryEngine>(*impl_->directed,
+                                                           engine_options);
+  }
+  return ThreadedRouter(std::move(impl));
+}
+
+uint32_t ThreadedRouter::NumThreads() const {
+  return impl_->Visit([](const auto& engine) { return engine.NumThreads(); });
+}
+
+Result<std::vector<Dist>> ThreadedRouter::PointQueries(
+    std::span<const std::pair<Vertex, Vertex>> pairs) const {
+  const uint64_t n = impl_->num_vertices;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].first >= n || pairs[i].second >= n) {
+      return Status::InvalidArgument(
+          "pairs[" + std::to_string(i) + "] = (" +
+          std::to_string(pairs[i].first) + ", " +
+          std::to_string(pairs[i].second) + ") out of range [0, " +
+          std::to_string(n) + ")");
+    }
+  }
+  return impl_->Visit(
+      [&](const auto& engine) { return engine.PointQueries(pairs); });
+}
+
+Result<std::vector<Dist>> ThreadedRouter::BatchQuery(
+    Vertex source, std::span<const Vertex> targets) const {
+  const uint64_t n = impl_->num_vertices;
+  if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return impl_->Visit(
+      [&](const auto& engine) { return engine.BatchQuery(source, targets); });
+}
+
+Result<std::vector<std::vector<Dist>>> ThreadedRouter::DistanceMatrix(
+    std::span<const Vertex> sources, std::span<const Vertex> targets) const {
+  const uint64_t n = impl_->num_vertices;
+  if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return impl_->Visit([&](const auto& engine) {
+    return engine.DistanceMatrix(sources, targets);
+  });
+}
+
+Result<std::vector<std::pair<Dist, Vertex>>> ThreadedRouter::KNearest(
+    Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  const uint64_t n = impl_->num_vertices;
+  if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
+  if (Status st = CheckVertices("candidates", candidates, n); !st.ok()) {
+    return st;
+  }
+  return impl_->Visit([&](const auto& engine) {
+    return engine.KNearest(source, candidates, k);
+  });
+}
+
+}  // namespace hc2l

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
+#include "core/index_format.h"
 #include "core/query_common.h"
 #include "partition/balanced_cut.h"
 #include "search/directed_dijkstra.h"
@@ -126,56 +127,25 @@ class DirectedHc2lBuilder {
             sub, (*cut)[i], SearchDirection::kBackward, in_cut);
         for (Vertex v = 0; v < n; ++v) score[i] += f.via[v] + b.via[v];
       });
-      std::vector<size_t> order(m);
-      for (size_t i = 0; i < m; ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        if (score[a] != score[b]) return score[a] < score[b];
-        return to_global[(*cut)[a]] < to_global[(*cut)[b]];
-      });
-      std::vector<Vertex> ranked(m);
-      for (size_t i = 0; i < m; ++i) ranked[i] = (*cut)[order[i]];
-      *cut = std::move(ranked);
+      ApplyCoverabilityOrder(cut, score, to_global);
     } else {
       std::sort(cut->begin(), cut->end(), [&](Vertex a, Vertex b) {
         return to_global[a] < to_global[b];
       });
     }
 
-    // Prefix-tracking Dijkstras; the tracked set of v_i is {v_0 .. v_{i-1}}.
-    // With a parallel pool the masks are materialized up front so every
-    // (i, direction) pair runs independently; the O(m*n) copy is skipped on
-    // the serial path, which updates one mask in place.
-    if (options_.tail_pruning && pool_.NumThreads() > 1) {
-      std::vector<std::vector<uint8_t>> prefix_masks(m);
-      std::vector<uint8_t> mask(n, 0);
-      for (size_t i = 0; i < m; ++i) {
-        prefix_masks[i] = mask;
-        mask[(*cut)[i]] = 1;
-      }
-      pool_.ParallelFor(m, [&](size_t i) {
-        (*fwd)[i] = DirectedDistAndPrune(
-            sub, (*cut)[i], SearchDirection::kForward, prefix_masks[i]);
-        (*bwd)[i] = DirectedDistAndPrune(
-            sub, (*cut)[i], SearchDirection::kBackward, prefix_masks[i]);
-      });
-    } else if (options_.tail_pruning) {
-      std::vector<uint8_t> mask(n, 0);
-      for (size_t i = 0; i < m; ++i) {
-        (*fwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
-                                         SearchDirection::kForward, mask);
-        (*bwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
-                                         SearchDirection::kBackward, mask);
-        mask[(*cut)[i]] = 1;
-      }
-    } else {
-      const std::vector<uint8_t> empty_mask(n, 0);
-      pool_.ParallelFor(m, [&](size_t i) {
-        (*fwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
-                                         SearchDirection::kForward, empty_mask);
-        (*bwd)[i] = DirectedDistAndPrune(
-            sub, (*cut)[i], SearchDirection::kBackward, empty_mask);
-      });
-    }
+    // Prefix-tracking Dijkstras; the tracked set of v_i is {v_0 .. v_{i-1}}
+    // and both directions of one cut vertex share its prefix mask. The
+    // serial/parallel mask dispatch is the shared RunPrefixMaskedSearches
+    // helper.
+    RunPrefixMaskedSearches(
+        pool_, options_.tail_pruning, *cut, n,
+        [&](size_t i, const std::vector<uint8_t>& mask) {
+          (*fwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
+                                           SearchDirection::kForward, mask);
+          (*bwd)[i] = DirectedDistAndPrune(sub, (*cut)[i],
+                                           SearchDirection::kBackward, mask);
+        });
 
     for (Vertex v = 0; v < n; ++v) {
       size_t k_in = 0;
@@ -383,45 +353,34 @@ std::vector<std::pair<Dist, Vertex>> DirectedHc2lIndex::KNearest(
   return SelectKNearest(dists, candidates, k);
 }
 
-namespace {
-
-// Directed format 1: hierarchy followed by the out- and in-label stores.
-constexpr uint64_t kDirectedMagic = 0x4843324430303031ULL;  // "HC2D0001"
-
-}  // namespace
-
-bool DirectedHc2lIndex::Save(const std::string& path,
-                             std::string* error) const {
+// Directed format 1 (kDirectedIndexMagic, src/core/index_format.h):
+// hierarchy followed by the out- and in-label stores.
+Status DirectedHc2lIndex::Save(const std::string& path) const {
   io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
-    *error = "cannot open " + path + " for writing";
-    return false;
+    return Status::Unavailable("cannot open " + path + " for writing");
   }
   const uint64_t num_vertices = NumVertices();
-  const bool ok = io::WriteValue(f.get(), kDirectedMagic) &&
+  const bool ok = io::WriteValue(f.get(), kDirectedIndexMagic) &&
                   io::WriteValue(f.get(), num_vertices) &&
                   io::WriteValue(f.get(), height_) &&
                   hierarchy_.WriteTo(f.get()) &&
                   io::WriteLabelStore(f.get(), out_labels_) &&
                   io::WriteLabelStore(f.get(), in_labels_);
   if (!ok) {
-    *error = "write error on " + path;
-    return false;
+    return Status::Unavailable("write error on " + path);
   }
-  return true;
+  return Status::Ok();
 }
 
-std::optional<DirectedHc2lIndex> DirectedHc2lIndex::Load(
-    const std::string& path, std::string* error) {
+Result<DirectedHc2lIndex> DirectedHc2lIndex::Load(const std::string& path) {
   io::FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
-    *error = "cannot open " + path;
-    return std::nullopt;
+    return Status::NotFound("cannot open " + path);
   }
   uint64_t magic = 0;
-  if (!io::ReadValue(f.get(), &magic) || magic != kDirectedMagic) {
-    *error = "not a directed HC2L index file: " + path;
-    return std::nullopt;
+  if (!io::ReadValue(f.get(), &magic) || magic != kDirectedIndexMagic) {
+    return Status::InvalidArgument("not a directed HC2L index file: " + path);
   }
   DirectedHc2lIndex index;
   uint64_t num_vertices = 0;
@@ -450,8 +409,8 @@ std::optional<DirectedHc2lIndex> DirectedHc2lIndex::Load(
     }
   }
   if (!ok) {
-    *error = "truncated or corrupt directed HC2L index file: " + path;
-    return std::nullopt;
+    return Status::DataLoss("truncated or corrupt directed HC2L index file: " +
+                            path);
   }
   // The stored height is informational; the level bucketing's bound is
   // recomputed so it always agrees with the validated codes.
@@ -465,6 +424,11 @@ size_t DirectedHc2lIndex::NumEntries() const {
                            uint64_t{0});
   };
   return static_cast<size_t>(sum(out_labels_) + sum(in_labels_));
+}
+
+size_t DirectedHc2lIndex::LabelLogicalBytes() const {
+  return NumEntries() * sizeof(uint32_t) + out_labels_.MetadataBytes() +
+         in_labels_.MetadataBytes();
 }
 
 size_t DirectedHc2lIndex::LabelSizeBytes() const {

@@ -2,7 +2,6 @@
 #define HC2L_CORE_DIRECTED_HC2L_H_
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -10,6 +9,7 @@
 
 #include "common/label_arena.h"
 #include "graph/digraph.h"
+#include "hc2l/status.h"
 #include "hierarchy/hierarchy.h"
 
 namespace hc2l {
@@ -91,15 +91,20 @@ class DirectedHc2lIndex {
   /// Total stored distance entries (both directions, padding excluded).
   size_t NumEntries() const;
 
+  /// Logical label size in bytes (distance data + per-level offsets, both
+  /// directions) — same definition as the undirected Hc2lStats::label_bytes.
+  size_t LabelLogicalBytes() const;
+
   /// Resident label storage in bytes (aligned arenas + offset tables).
   size_t LabelSizeBytes() const;
 
   /// Serializes the index (hierarchy + both label stores) to a file.
-  bool Save(const std::string& path, std::string* error) const;
+  Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save().
-  static std::optional<DirectedHc2lIndex> Load(const std::string& path,
-                                               std::string* error);
+  /// Loads an index previously written by Save(). Errors: kNotFound (cannot
+  /// open), kInvalidArgument (not an HC2D0001 file), kDataLoss (truncated or
+  /// corrupt).
+  static Result<DirectedHc2lIndex> Load(const std::string& path);
 
  private:
   DirectedHc2lIndex() = default;

@@ -6,12 +6,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "common/binary_io.h"
 #include "common/check.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/index_format.h"
 #include "core/query_common.h"
 #include "partition/balanced_cut.h"
 #include "partition/shortcuts.h"
@@ -116,15 +118,7 @@ class Hc2lBuilder {
         for (Vertex v = 0; v < n; ++v) covered += r.via[v];
         score[i] = covered;
       });
-      std::vector<size_t> order(m);
-      for (size_t i = 0; i < m; ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        if (score[a] != score[b]) return score[a] < score[b];
-        return to_global[(*cut)[a]] < to_global[(*cut)[b]];
-      });
-      std::vector<Vertex> ranked(m);
-      for (size_t i = 0; i < m; ++i) ranked[i] = (*cut)[order[i]];
-      *cut = std::move(ranked);
+      ApplyCoverabilityOrder(cut, score, to_global);
     } else {
       // Deterministic order without ranking.
       std::sort(cut->begin(), cut->end(), [&](Vertex a, Vertex b) {
@@ -132,33 +126,15 @@ class Hc2lBuilder {
       });
     }
 
-    // Prefix-tracking Dijkstras (Algorithm 5 lines 6-7). The tracked set of
-    // v_i is {v_0 .. v_{i-1}}. The O(m*n) mask materialization is only paid
-    // when the pool can actually run the Dijkstras concurrently; the serial
-    // path updates a single mask in place.
+    // Prefix-tracking Dijkstras (Algorithm 5 lines 6-7); the tracked set of
+    // v_i is {v_0 .. v_{i-1}}. The serial/parallel mask dispatch is the
+    // shared RunPrefixMaskedSearches helper.
     std::vector<DistAndPruneResult> results(m);
-    if (options_.tail_pruning && pool_.NumThreads() > 1) {
-      std::vector<std::vector<uint8_t>> prefix_masks(m);
-      std::vector<uint8_t> mask(n, 0);
-      for (size_t i = 0; i < m; ++i) {
-        prefix_masks[i] = mask;
-        mask[(*cut)[i]] = 1;
-      }
-      ParallelFor(m, [&](size_t i) {
-        results[i] = DistAndPrune(sub, (*cut)[i], prefix_masks[i]);
-      });
-    } else if (options_.tail_pruning) {
-      std::vector<uint8_t> mask(n, 0);
-      for (size_t i = 0; i < m; ++i) {
-        results[i] = DistAndPrune(sub, (*cut)[i], mask);
-        mask[(*cut)[i]] = 1;
-      }
-    } else {
-      const std::vector<uint8_t> empty_mask(n, 0);
-      ParallelFor(m, [&](size_t i) {
-        results[i] = DistAndPrune(sub, (*cut)[i], empty_mask);
-      });
-    }
+    RunPrefixMaskedSearches(
+        pool_, options_.tail_pruning, *cut, n,
+        [&](size_t i, const std::vector<uint8_t>& mask) {
+          results[i] = DistAndPrune(sub, (*cut)[i], mask);
+        });
 
     // Labels with tail pruning (Algorithm 5 lines 8-10).
     for (Vertex v = 0; v < n; ++v) {
@@ -346,17 +322,36 @@ Dist Hc2lIndex::QueryCountingHubs(Vertex s, Vertex t,
   return contraction_->DistToRoot(s) + core + contraction_->DistToRoot(t);
 }
 
-void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
-  HC2L_CHECK_EQ(g.NumVertices(), stats_.num_vertices);
+Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
+                                uint32_t num_threads) {
+  if (g.NumVertices() != stats_.num_vertices) {
+    return Status::InvalidArgument(
+        "updated graph has " + std::to_string(g.NumVertices()) +
+        " vertices but the index was built over " +
+        std::to_string(stats_.num_vertices) +
+        " (RebuildLabels requires identical topology)");
+  }
   Timer timer;
+  ThreadPool pool(num_threads == 0
+                      ? std::max(1u, std::thread::hardware_concurrency())
+                      : num_threads);
 
   // Refresh the contraction distances (the removal order is deterministic in
-  // topology, so the core vertex set — and its numbering — is unchanged).
+  // topology, so on an identical-topology graph the core vertex set — and
+  // its numbering — is unchanged). A differing core size means the caller
+  // passed a graph with different pendant structure: reject it *before* the
+  // stored contraction is replaced, so the index stays queryable.
   const Graph* core = &g;
   if (contraction_ != nullptr) {
     auto refreshed = std::make_unique<DegreeOneContraction>(g);
-    HC2L_CHECK_EQ(refreshed->CoreGraph().NumVertices(),
-                  stats_.num_core_vertices);
+    if (refreshed->CoreGraph().NumVertices() != stats_.num_core_vertices) {
+      return Status::InvalidArgument(
+          "updated graph's pendant-tree structure differs from the indexed "
+          "graph (" +
+          std::to_string(refreshed->CoreGraph().NumVertices()) + " vs " +
+          std::to_string(stats_.num_core_vertices) +
+          " core vertices); RebuildLabels requires identical topology");
+    }
     contraction_ = std::move(refreshed);
     core = &contraction_->CoreGraph();
   }
@@ -378,21 +373,29 @@ void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
   // crossing the stored cut and move one endpoint of each such edge into
   // the cut (the same repair Algorithm 2 applies to direct S-T edges),
   // updating the vertex's hierarchy assignment accordingly.
+  //
+  // The walk proceeds level by level so the per-node recomputation can run
+  // on the pool: same-level nodes own disjoint vertex sets, so their label
+  // writes, hierarchy repairs (confined to the node's own subtree) and
+  // global_to_child slots never alias, and per-vertex label arrays are still
+  // appended in root-to-leaf (level) order — the rebuilt index is
+  // bit-identical to the serial walk's.
   struct Frame {
     Graph sub;
     std::vector<Vertex> to_global;
     int32_t node;
   };
-  std::vector<Frame> stack;
+  std::vector<Frame> level;
   {
     std::vector<Vertex> identity(n);
     for (Vertex v = 0; v < n; ++v) identity[v] = v;
-    stack.push_back({*core, std::move(identity), 0});
+    level.push_back({*core, std::move(identity), 0});
   }
   std::vector<Vertex> global_to_child(n, kInvalidVertex);
-  while (!stack.empty()) {
-    Frame frame = std::move(stack.back());
-    stack.pop_back();
+  std::vector<std::vector<Frame>> level_children;
+  std::vector<uint64_t> level_shortcuts;
+  const auto process_node = [&](Frame frame, std::vector<Frame>* children,
+                                uint64_t* shortcuts) {
     const int32_t node_idx = frame.node;
     const size_t sub_n = frame.sub.NumVertices();
 
@@ -503,15 +506,31 @@ void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
       if (part.empty()) continue;
       ShortcutResult sc =
           ComputeShortcuts(frame.sub, cut_child, part, dist_from_cut);
-      shortcut_count += sc.shortcuts.size();
+      *shortcuts += sc.shortcuts.size();
       Subgraph child_sub = InducedSubgraph(frame.sub, part, sc.shortcuts);
       std::vector<Vertex> child_to_global;
       child_to_global.reserve(part.size());
       for (Vertex v : child_sub.to_parent) {
         child_to_global.push_back(frame.to_global[v]);
       }
-      stack.push_back(
+      children->push_back(
           {std::move(child_sub.graph), std::move(child_to_global), child});
+    }
+  };
+  while (!level.empty()) {
+    const size_t count = level.size();
+    level_children.assign(count, {});
+    level_shortcuts.assign(count, 0);
+    pool.ParallelFor(count, [&](size_t fi) {
+      process_node(std::move(level[fi]), &level_children[fi],
+                   &level_shortcuts[fi]);
+    });
+    level.clear();
+    for (size_t fi = 0; fi < count; ++fi) {
+      shortcut_count += level_shortcuts[fi];
+      for (Frame& child : level_children[fi]) {
+        level.push_back(std::move(child));
+      }
     }
   }
 
@@ -529,6 +548,7 @@ void Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning) {
   stats_.max_cut_size = hierarchy_.MaxCutSize();
   stats_.avg_cut_size = hierarchy_.AvgCutSize();
   stats_.build_seconds = timer.Seconds();
+  return Status::Ok();
 }
 
 size_t Hc2lIndex::LabelSizeBytes() const { return labels_.ResidentBytes(); }
@@ -667,22 +687,17 @@ std::vector<std::pair<Dist, Vertex>> Hc2lIndex::KNearest(
   return SelectKNearest(dists, candidates, k);
 }
 
-namespace {
-
-// Format 2: labels stored as the cache-aligned arena (sentinel padding
-// included) plus explicit per-array start/length tables. The helpers live in
-// common/binary_io.h, shared with the directed index.
-constexpr uint64_t kMagic = 0x4843324c30303032ULL;  // "HC2L0002"
-
-}  // namespace
-
-bool Hc2lIndex::Save(const std::string& path, std::string* error) const {
+// Format 2 (kHc2lIndexMagic, src/core/index_format.h): labels stored as the
+// cache-aligned arena (sentinel padding included) plus explicit per-array
+// start/length tables. The helpers live in common/binary_io.h, shared with
+// the directed index.
+Status Hc2lIndex::Save(const std::string& path) const {
   io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
-    *error = "cannot open " + path + " for writing";
-    return false;
+    return Status::Unavailable("cannot open " + path + " for writing");
   }
-  bool ok = io::WriteValue(f.get(), kMagic) && io::WriteValue(f.get(), stats_);
+  bool ok = io::WriteValue(f.get(), kHc2lIndexMagic) &&
+            io::WriteValue(f.get(), stats_);
   const uint8_t has_contraction = contraction_ != nullptr ? 1 : 0;
   ok = ok && io::WriteValue(f.get(), has_contraction);
   if (ok && has_contraction) {
@@ -700,23 +715,19 @@ bool Hc2lIndex::Save(const std::string& path, std::string* error) const {
   ok = ok && hierarchy_.WriteTo(f.get()) &&
        io::WriteLabelStore(f.get(), labels_);
   if (!ok) {
-    *error = "write error on " + path;
-    return false;
+    return Status::Unavailable("write error on " + path);
   }
-  return true;
+  return Status::Ok();
 }
 
-std::optional<Hc2lIndex> Hc2lIndex::Load(const std::string& path,
-                                         std::string* error) {
+Result<Hc2lIndex> Hc2lIndex::Load(const std::string& path) {
   io::FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
-    *error = "cannot open " + path;
-    return std::nullopt;
+    return Status::NotFound("cannot open " + path);
   }
   uint64_t magic = 0;
-  if (!io::ReadValue(f.get(), &magic) || magic != kMagic) {
-    *error = "not an HC2L index file: " + path;
-    return std::nullopt;
+  if (!io::ReadValue(f.get(), &magic) || magic != kHc2lIndexMagic) {
+    return Status::InvalidArgument("not an HC2L index file: " + path);
   }
   Hc2lIndex index;
   bool ok = io::ReadValue(f.get(), &index.stats_);
@@ -755,8 +766,7 @@ std::optional<Hc2lIndex> Hc2lIndex::Load(const std::string& path,
     }
   }
   if (!ok) {
-    *error = "truncated or corrupt HC2L index file: " + path;
-    return std::nullopt;
+    return Status::DataLoss("truncated or corrupt HC2L index file: " + path);
   }
   // The file-loaded height is likewise not trusted for the level bucketing's
   // bucket sizing; recompute it (equal for well-formed files).

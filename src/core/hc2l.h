@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -11,6 +10,7 @@
 
 #include "common/label_arena.h"
 #include "graph/graph.h"
+#include "hc2l/status.h"
 #include "hierarchy/contraction.h"
 #include "hierarchy/hierarchy.h"
 
@@ -152,15 +152,23 @@ class Hc2lIndex {
   /// except for shortcuts"). This skips all partitioning and minimum-cut
   /// work, so it is substantially faster than Build(); the cut *ordering* is
   /// kept, which stays correct (tail pruning is sound for any fixed order)
-  /// though cut quality may drift if weights change drastically.
-  void RebuildLabels(const Graph& g, bool tail_pruning = true);
+  /// though cut quality may drift if weights change drastically. With
+  /// num_threads > 1 (0 = all hardware threads) the per-node label
+  /// recomputation is parallelized across each hierarchy level over the
+  /// shared pool; the rebuilt index is bit-identical to the serial one.
+  /// Errors (kInvalidArgument: vertex count or pendant-tree structure
+  /// differs from the indexed graph) are detected before any state is
+  /// mutated, so the index stays valid on failure.
+  Status RebuildLabels(const Graph& g, bool tail_pruning = true,
+                       uint32_t num_threads = 1);
 
   /// Serializes the index (labels, hierarchy, contraction) to a file.
-  bool Save(const std::string& path, std::string* error) const;
+  Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save().
-  static std::optional<Hc2lIndex> Load(const std::string& path,
-                                       std::string* error);
+  /// Loads an index previously written by Save(). Errors: kNotFound (cannot
+  /// open), kInvalidArgument (not an HC2L0002 file), kDataLoss (truncated or
+  /// corrupt).
+  static Result<Hc2lIndex> Load(const std::string& path);
 
  private:
   friend class Hc2lBuilder;

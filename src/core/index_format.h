@@ -1,0 +1,25 @@
+#ifndef HC2L_CORE_INDEX_FORMAT_H_
+#define HC2L_CORE_INDEX_FORMAT_H_
+
+#include <cstdint>
+
+namespace hc2l {
+
+/// On-disk format magics, the first 8 bytes of every serialized index.
+/// Router::Open sniffs these to pick the right loader; each index's Load
+/// rejects the other's files with kInvalidArgument.
+
+/// Undirected index, format 2: stats, optional contraction, hierarchy,
+/// cache-aligned label store. The constant packs the ASCII bytes of
+/// "HC2L0002" big-endian ('H' = 0x48 in the most-significant byte), so an
+/// on-disk file written on a little-endian machine begins with the bytes
+/// "2000L2CH".
+inline constexpr uint64_t kHc2lIndexMagic = 0x4843324c30303032ULL;
+
+/// Directed index, format 1: vertex count, height, hierarchy, out- and
+/// in-label stores ("HC2D0001", packed the same way).
+inline constexpr uint64_t kDirectedIndexMagic = 0x4843324430303031ULL;
+
+}  // namespace hc2l
+
+#endif  // HC2L_CORE_INDEX_FORMAT_H_

@@ -1,10 +1,11 @@
 #ifndef HC2L_GRAPH_DIMACS_IO_H_
 #define HC2L_GRAPH_DIMACS_IO_H_
 
-#include <optional>
 #include <string>
 
+#include "graph/digraph.h"
 #include "graph/graph.h"
+#include "hc2l/status.h"
 
 namespace hc2l {
 
@@ -16,15 +17,21 @@ namespace hc2l {
 ///   a <u> <v> <weight>        (1-based vertex ids)
 ///
 /// Arcs are interpreted as undirected edges (DIMACS road files list both
-/// directions; duplicates collapse to minimum weight). Returns std::nullopt
-/// and fills *error on malformed input.
-std::optional<Graph> ReadDimacsGraph(const std::string& path,
-                                     std::string* error);
+/// directions; duplicates collapse to minimum weight). Errors: kNotFound
+/// (cannot open), kInvalidArgument (malformed content, with the line
+/// number).
+Result<Graph> ReadDimacsGraph(const std::string& path);
+
+/// Reads a `.gr` file keeping each `a` line as a directed arc (parallel arcs
+/// collapse to minimum weight, self-loops are dropped) — the input of the
+/// Section 5.3 directed index. Same error contract as ReadDimacsGraph.
+Result<Digraph> ReadDimacsDigraph(const std::string& path);
 
 /// Writes g in DIMACS `.gr` format (both arc directions, 1-based ids).
-/// Returns false and fills *error on I/O failure.
-bool WriteDimacsGraph(const Graph& g, const std::string& path,
-                      std::string* error);
+Status WriteDimacsGraph(const Graph& g, const std::string& path);
+
+/// Writes g in DIMACS `.gr` format, one `a` line per directed arc.
+Status WriteDimacsDigraph(const Digraph& g, const std::string& path);
 
 }  // namespace hc2l
 

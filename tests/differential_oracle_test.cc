@@ -211,11 +211,11 @@ void CheckUndirectedSeed(uint64_t seed) {
 
   // Serialize / deserialize round-trip must preserve every mode.
   const std::string path = RoundTripPath("oracle_und", seed);
-  std::string error;
-  ASSERT_TRUE(index.Save(path, &error)) << error;
-  const auto loaded = Hc2lIndex::Load(path, &error);
+  const Status saved = index.Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  const auto loaded = Hc2lIndex::Load(path);
   std::remove(path.c_str());
-  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   for (Vertex s = 0; s < n; ++s) {
     for (Vertex t = 0; t < n; ++t) {
       ASSERT_EQ(loaded->Query(s, t), oracle[s][t])
@@ -284,11 +284,11 @@ void CheckDirectedSeed(uint64_t seed) {
   }
 
   const std::string path = RoundTripPath("oracle_dir", seed);
-  std::string error;
-  ASSERT_TRUE(index.Save(path, &error)) << error;
-  const auto loaded = DirectedHc2lIndex::Load(path, &error);
+  const Status saved = index.Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  const auto loaded = DirectedHc2lIndex::Load(path);
   std::remove(path.c_str());
-  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ASSERT_EQ(loaded->NumVertices(), n);
   for (Vertex s = 0; s < n; ++s) {
     for (Vertex t = 0; t < n; ++t) {

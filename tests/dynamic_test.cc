@@ -34,7 +34,7 @@ TEST(RebuildLabels, ExactAfterWeightChange) {
   Hc2lIndex index = Hc2lIndex::Build(original);
 
   Graph updated = PerturbWeights(original, 60, 4);
-  index.RebuildLabels(updated);
+  ASSERT_TRUE(index.RebuildLabels(updated).ok());
 
   Dijkstra dijkstra(updated);
   Rng rng(77);
@@ -53,7 +53,7 @@ TEST(RebuildLabels, NoOpRebuildPreservesAnswers) {
   Graph g = MakeGrid(10, 10, 7);
   Hc2lIndex index = Hc2lIndex::Build(g);
   const Dist before = index.Query(0, 99);
-  index.RebuildLabels(g);
+  ASSERT_TRUE(index.RebuildLabels(g).ok());
   EXPECT_EQ(index.Query(0, 99), before);
   EXPECT_EQ(index.Query(5, 87), ShortestPathDistance(g, 5, 87));
 }
@@ -68,7 +68,7 @@ TEST(RebuildLabels, RepeatedUpdatesStayExact) {
   Rng rng(5);
   for (int round = 0; round < 4; ++round) {
     g = PerturbWeights(g, 25, 100 + round);
-    index.RebuildLabels(g);
+    ASSERT_TRUE(index.RebuildLabels(g).ok());
     Dijkstra dijkstra(g);
     for (int i = 0; i < 10; ++i) {
       const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
@@ -90,7 +90,7 @@ TEST(RebuildLabels, WorksWithoutContraction) {
   options.contract_degree_one = false;
   Hc2lIndex index = Hc2lIndex::Build(g, options);
   Graph updated = PerturbWeights(g, 30, 2);
-  index.RebuildLabels(updated);
+  ASSERT_TRUE(index.RebuildLabels(updated).ok());
   Dijkstra dijkstra(updated);
   Rng rng(31);
   for (int i = 0; i < 20; ++i) {
@@ -105,7 +105,7 @@ TEST(RebuildLabels, WithoutTailPruningAlsoExact) {
   Graph g = MakeGrid(8, 12, 5);
   Hc2lIndex index = Hc2lIndex::Build(g);
   Graph updated = PerturbWeights(g, 20, 8);
-  index.RebuildLabels(updated, /*tail_pruning=*/false);
+  ASSERT_TRUE(index.RebuildLabels(updated, /*tail_pruning=*/false).ok());
   Dijkstra dijkstra(updated);
   for (Vertex s = 0; s < g.NumVertices(); s += 7) {
     dijkstra.Run(s);
@@ -141,7 +141,7 @@ TEST(RebuildLabels, SeparatorRepairUnderHeavyCongestion) {
     GraphBuilder builder(g.NumVertices());
     builder.AddEdges(edges);
     Graph congested = std::move(builder).Build();
-    index.RebuildLabels(congested);
+    ASSERT_TRUE(index.RebuildLabels(congested).ok());
     EXPECT_TRUE(index.Hierarchy().Validate(
         index.Stats().num_core_vertices));
 
@@ -159,6 +159,68 @@ TEST(RebuildLabels, SeparatorRepairUnderHeavyCongestion) {
   }
 }
 
+TEST(RebuildLabels, ParallelRebuildMatchesSerial) {
+  // The level-wave parallelization must be bit-identical to the serial walk:
+  // same label entry count and same answers for every thread count,
+  // including the separator-repair-heavy congestion workload.
+  RoadNetworkOptions opt;
+  opt.rows = 13;
+  opt.cols = 15;
+  opt.seed = 41;
+  opt.weight_mode = WeightMode::kTravelTime;
+  Graph g = GenerateRoadNetwork(opt);
+  Graph congested = PerturbWeights(g, 120, 6);
+
+  Hc2lIndex serial = Hc2lIndex::Build(g);
+  ASSERT_TRUE(serial
+                  .RebuildLabels(congested, /*tail_pruning=*/true,
+                                 /*num_threads=*/1)
+                  .ok());
+
+  for (const uint32_t threads : {2u, 4u}) {
+    Hc2lIndex parallel = Hc2lIndex::Build(g);
+    ASSERT_TRUE(
+        parallel.RebuildLabels(congested, /*tail_pruning=*/true, threads)
+            .ok());
+    EXPECT_EQ(parallel.Stats().label_entries, serial.Stats().label_entries)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.Stats().num_shortcuts, serial.Stats().num_shortcuts)
+        << "threads=" << threads;
+    for (Vertex s = 0; s < g.NumVertices(); s += 13) {
+      for (Vertex t = 0; t < g.NumVertices(); t += 7) {
+        ASSERT_EQ(parallel.Query(s, t), serial.Query(s, t))
+            << "threads=" << threads << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(RebuildLabels, ParallelRebuildStaysExact) {
+  // And the parallel rebuild agrees with Dijkstra on the updated weights.
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 14;
+  opt.seed = 19;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  Graph updated = PerturbWeights(g, 80, 3);
+  ASSERT_TRUE(index
+                  .RebuildLabels(updated, /*tail_pruning=*/true,
+                                 /*num_threads=*/4)
+                  .ok());
+  Dijkstra dijkstra(updated);
+  Rng rng(23);
+  for (int i = 0; i < 30; ++i) {
+    const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+    dijkstra.Run(s);
+    for (int j = 0; j < 5; ++j) {
+      const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      ASSERT_EQ(index.Query(s, t), dijkstra.DistanceTo(t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
 TEST(RebuildLabels, FasterThanFullBuild) {
   RoadNetworkOptions opt;
   opt.rows = 35;
@@ -168,7 +230,7 @@ TEST(RebuildLabels, FasterThanFullBuild) {
   Hc2lIndex index = Hc2lIndex::Build(g);
   const double full_build = index.Stats().build_seconds;
   Graph updated = PerturbWeights(g, 100, 6);
-  index.RebuildLabels(updated);
+  ASSERT_TRUE(index.RebuildLabels(updated).ok());
   const double rebuild = index.Stats().build_seconds;
   // No partitioning / max-flow work: the rebuild must be clearly cheaper.
   EXPECT_LT(rebuild, full_build);

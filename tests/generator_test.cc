@@ -175,23 +175,23 @@ TEST(DimacsIo, RoundTripsGeneratedNetwork) {
   opt.seed = 13;
   Graph g = GenerateRoadNetwork(opt);
   const std::string path = ::testing::TempDir() + "/hc2l_roundtrip.gr";
-  std::string error;
-  ASSERT_TRUE(WriteDimacsGraph(g, path, &error)) << error;
-  auto loaded = ReadDimacsGraph(path, &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
+  const Status wrote = WriteDimacsGraph(g, path);
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  auto loaded = ReadDimacsGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->UndirectedEdges(), g.UndirectedEdges());
   std::remove(path.c_str());
 }
 
 TEST(DimacsIo, RejectsMissingFile) {
-  std::string error;
-  EXPECT_FALSE(ReadDimacsGraph("/nonexistent/никто.gr", &error).has_value());
-  EXPECT_FALSE(error.empty());
+  const auto loaded = ReadDimacsGraph("/nonexistent/никто.gr");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(loaded.status().message().empty());
 }
 
 TEST(DimacsIo, RejectsMalformedInput) {
   const std::string dir = ::testing::TempDir();
-  std::string error;
   struct Case {
     const char* name;
     const char* content;
@@ -211,9 +211,30 @@ TEST(DimacsIo, RejectsMalformedInput) {
     ASSERT_NE(f, nullptr);
     std::fputs(c.content, f);
     std::fclose(f);
-    EXPECT_FALSE(ReadDimacsGraph(path, &error).has_value()) << c.name;
+    const auto loaded = ReadDimacsGraph(path);
+    EXPECT_FALSE(loaded.ok()) << c.name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << c.name;
     std::remove(path.c_str());
   }
+}
+
+TEST(DimacsIo, DirectedRoundTripKeepsArcs) {
+  // A digraph written arc-by-arc reads back with one-way streets preserved
+  // (the undirected reader would collapse them into edges).
+  DigraphBuilder builder(3);
+  builder.AddArc(0, 1, 5);
+  builder.AddArc(1, 2, 7);
+  builder.AddArc(2, 0, 9);  // a one-way cycle
+  const Digraph g = std::move(builder).Build();
+  const std::string path = ::testing::TempDir() + "/hc2l_directed.gr";
+  const Status wrote = WriteDimacsDigraph(g, path);
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  auto loaded = ReadDimacsDigraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumArcs(), 3u);
+  EXPECT_EQ(loaded->AllArcs(), g.AllArcs());
+  std::remove(path.c_str());
 }
 
 TEST(DimacsIo, AcceptsCommentsAndBlankLines) {
@@ -223,9 +244,8 @@ TEST(DimacsIo, AcceptsCommentsAndBlankLines) {
   std::fputs("c comment\n\np sp 3 4\nc more\na 1 2 7\na 2 1 7\na 2 3 9\na 3 2 9\n",
              f);
   std::fclose(f);
-  std::string error;
-  auto g = ReadDimacsGraph(path, &error);
-  ASSERT_TRUE(g.has_value()) << error;
+  auto g = ReadDimacsGraph(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
   EXPECT_EQ(g->NumVertices(), 3u);
   EXPECT_EQ(g->NumEdges(), 2u);
   std::remove(path.c_str());

@@ -247,10 +247,10 @@ TEST(Hc2lIndex, SerializationRoundTrip) {
   Graph g = GenerateRoadNetwork(opt);
   Hc2lIndex index = Hc2lIndex::Build(g);
   const std::string path = ::testing::TempDir() + "/hc2l_index.bin";
-  std::string error;
-  ASSERT_TRUE(index.Save(path, &error)) << error;
-  auto loaded = Hc2lIndex::Load(path, &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
+  const Status saved = index.Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto loaded = Hc2lIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->Stats().label_entries, index.Stats().label_entries);
   Rng rng(3);
   for (int i = 0; i < 100; ++i) {
@@ -267,9 +267,10 @@ TEST(Hc2lIndex, LoadRejectsGarbageFile) {
   ASSERT_NE(f, nullptr);
   std::fputs("this is not an index", f);
   std::fclose(f);
-  std::string error;
-  EXPECT_FALSE(Hc2lIndex::Load(path, &error).has_value());
-  EXPECT_FALSE(error.empty());
+  const auto loaded = Hc2lIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(loaded.status().message().empty());
   std::remove(path.c_str());
 }
 
@@ -281,8 +282,8 @@ TEST(Hc2lIndex, LoadRejectsTruncatedFile) {
   Graph g = GenerateRoadNetwork(opt);
   Hc2lIndex index = Hc2lIndex::Build(g);
   const std::string path = ::testing::TempDir() + "/hc2l_trunc.bin";
-  std::string error;
-  ASSERT_TRUE(index.Save(path, &error)) << error;
+  const Status saved = index.Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
   // Truncate to half.
   std::FILE* f = std::fopen(path.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
@@ -290,7 +291,9 @@ TEST(Hc2lIndex, LoadRejectsTruncatedFile) {
   const long size = std::ftell(f);
   std::fclose(f);
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
-  EXPECT_FALSE(Hc2lIndex::Load(path, &error).has_value());
+  const auto loaded = Hc2lIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

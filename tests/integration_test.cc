@@ -30,15 +30,16 @@ TEST(Integration, DimacsFileToIndexToQueries) {
 
   const std::string gr_path = ::testing::TempDir() + "/hc2l_e2e.gr";
   const std::string idx_path = ::testing::TempDir() + "/hc2l_e2e.idx";
-  std::string error;
-  ASSERT_TRUE(WriteDimacsGraph(original, gr_path, &error)) << error;
-  auto loaded_graph = ReadDimacsGraph(gr_path, &error);
-  ASSERT_TRUE(loaded_graph.has_value()) << error;
+  const Status wrote = WriteDimacsGraph(original, gr_path);
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  auto loaded_graph = ReadDimacsGraph(gr_path);
+  ASSERT_TRUE(loaded_graph.ok()) << loaded_graph.status().ToString();
 
   Hc2lIndex built = Hc2lIndex::Build(*loaded_graph);
-  ASSERT_TRUE(built.Save(idx_path, &error)) << error;
-  auto index = Hc2lIndex::Load(idx_path, &error);
-  ASSERT_TRUE(index.has_value()) << error;
+  const Status saved = built.Save(idx_path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto index = Hc2lIndex::Load(idx_path);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
 
   Dijkstra dijkstra(original);
   Rng rng(8);

@@ -1,0 +1,319 @@
+// Facade tests: hc2l::Router over both index flavours. The error-path
+// contract matters most — bad input (missing, truncated, wrong-magic files;
+// out-of-range ids; invalid options) must come back as a descriptive Status,
+// never abort the process — plus save/load round trips through the
+// format-sniffing Open and parity between the facade and the parallel
+// handle.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hc2l/hc2l.h"
+
+namespace hc2l {
+namespace {
+
+Graph TestGraph(uint32_t rows, uint32_t cols, uint64_t seed) {
+  RoadNetworkOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.seed = seed;
+  return GenerateRoadNetwork(opt);
+}
+
+Digraph TestDigraph(uint32_t rows, uint32_t cols, uint64_t seed) {
+  RoadNetworkOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.seed = seed;
+  return GenerateDirectedRoadNetwork(opt, /*oneway_frac=*/0.2);
+}
+
+TEST(RouterOpen, MissingFileIsNotFound) {
+  const Result<Router> r = Router::Open("/nonexistent/hc2l_no_such.idx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("/nonexistent/hc2l_no_such.idx"),
+            std::string::npos);
+}
+
+TEST(RouterOpen, WrongMagicIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "/hc2l_router_garbage.idx";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("GARBAGE! definitely not an index", f);
+  std::fclose(f);
+  const Result<Router> r = Router::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(r.status().message().empty());
+  std::remove(path.c_str());
+}
+
+TEST(RouterOpen, HeaderlessFileIsDataLoss) {
+  const std::string path = ::testing::TempDir() + "/hc2l_router_tiny.idx";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("HC2", f);  // shorter than the 8-byte magic
+  std::fclose(f);
+  const Result<Router> r = Router::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+class RouterTruncation : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RouterTruncation, TruncatedFileIsDataLoss) {
+  // Both formats: a valid header followed by a cut-off body must fail with
+  // kDataLoss, not crash or return a half-loaded index.
+  const bool directed = GetParam();
+  const std::string path = ::testing::TempDir() + "/hc2l_router_trunc_" +
+                           (directed ? "dir" : "und") + ".idx";
+  Result<Router> built =
+      directed ? Router::Build(TestDigraph(8, 8, 5))
+               : Router::Build(TestGraph(8, 8, 5));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Status saved = built->Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+  const Result<Router> r = Router::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFlavours, RouterTruncation, ::testing::Bool());
+
+TEST(RouterOpen, SniffsUndirectedFormat) {
+  const Graph g = TestGraph(10, 12, 7);
+  Result<Router> built = Router::Build(g);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_FALSE(built->directed());
+
+  const std::string path = ::testing::TempDir() + "/hc2l_router_und.idx";
+  ASSERT_TRUE(built->Save(path).ok());
+  Result<Router> opened = Router::Open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_FALSE(opened->directed());
+  EXPECT_EQ(opened->NumVertices(), built->NumVertices());
+
+  // Round trip preserves every query mode.
+  Rng rng(3);
+  std::vector<Vertex> targets;
+  for (int i = 0; i < 40; ++i) {
+    targets.push_back(static_cast<Vertex>(rng.Below(g.NumVertices())));
+  }
+  const Vertex source = targets[0];
+  for (const Vertex t : targets) {
+    ASSERT_EQ(*opened->Distance(source, t), *built->Distance(source, t));
+  }
+  ASSERT_EQ(*opened->BatchQuery(source, targets),
+            *built->BatchQuery(source, targets));
+  ASSERT_EQ(*opened->KNearest(source, targets, 5),
+            *built->KNearest(source, targets, 5));
+}
+
+TEST(RouterOpen, SniffsDirectedFormat) {
+  const Digraph g = TestDigraph(10, 12, 7);
+  Result<Router> built = Router::Build(g);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_TRUE(built->directed());
+
+  const std::string path = ::testing::TempDir() + "/hc2l_router_dir.idx";
+  ASSERT_TRUE(built->Save(path).ok());
+  Result<Router> opened = Router::Open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->directed());
+  EXPECT_EQ(opened->NumVertices(), built->NumVertices());
+
+  Rng rng(9);
+  std::vector<Vertex> targets;
+  for (int i = 0; i < 40; ++i) {
+    targets.push_back(static_cast<Vertex>(rng.Below(g.NumVertices())));
+  }
+  const Vertex source = targets[1];
+  for (const Vertex t : targets) {
+    ASSERT_EQ(*opened->Distance(source, t), *built->Distance(source, t));
+  }
+  ASSERT_EQ(*opened->BatchQuery(source, targets),
+            *built->BatchQuery(source, targets));
+  ASSERT_EQ(*opened->DistanceMatrix(targets, targets),
+            *built->DistanceMatrix(targets, targets));
+}
+
+TEST(RouterBuild, RejectsBadOptions) {
+  const Graph g = TestGraph(6, 6, 1);
+  BuildOptions bad_beta;
+  bad_beta.beta = 0.7;
+  EXPECT_EQ(Router::Build(g, bad_beta).status().code(),
+            StatusCode::kInvalidArgument);
+  BuildOptions zero_beta;
+  zero_beta.beta = 0.0;
+  EXPECT_EQ(Router::Build(g, zero_beta).status().code(),
+            StatusCode::kInvalidArgument);
+  BuildOptions zero_leaf;
+  zero_leaf.leaf_size = 0;
+  EXPECT_EQ(Router::Build(g, zero_leaf).status().code(),
+            StatusCode::kInvalidArgument);
+  // The same validation guards the directed overload.
+  EXPECT_EQ(Router::Build(TestDigraph(6, 6, 1), bad_beta).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RouterQueries, OutOfRangeIdsAreInvalidArgument) {
+  Result<Router> router = Router::Build(TestGraph(6, 6, 2));
+  ASSERT_TRUE(router.ok());
+  const Vertex n = static_cast<Vertex>(router->NumVertices());
+
+  EXPECT_EQ(router->Distance(0, n).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router->Distance(n, 0).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const std::vector<Vertex> bad_targets = {0, 1, n};
+  EXPECT_EQ(router->BatchQuery(0, bad_targets).status().code(),
+            StatusCode::kInvalidArgument);
+  // The message pinpoints the offending position.
+  EXPECT_NE(router->BatchQuery(0, bad_targets).status().message().find(
+                "targets[2]"),
+            std::string::npos);
+
+  const std::vector<Vertex> ok_targets = {0, 1, 2};
+  EXPECT_EQ(router->DistanceMatrix(bad_targets, ok_targets).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router->KNearest(0, bad_targets, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RouterRebuild, DirectedIsFailedPrecondition) {
+  Result<Router> router = Router::Build(TestDigraph(6, 6, 3));
+  ASSERT_TRUE(router.ok());
+  const Status s = router->RebuildLabels(TestGraph(6, 6, 3));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RouterRebuild, TopologyMismatchIsInvalidArgument) {
+  Result<Router> router = Router::Build(TestGraph(6, 6, 3));
+  ASSERT_TRUE(router.ok());
+  const Status s = router->RebuildLabels(TestGraph(8, 8, 3));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RouterRebuild, PendantStructureMismatchIsInvalidArgument) {
+  // Same vertex count, different topology: a path (every interior vertex
+  // contracts) vs a cycle (nothing contracts). Must come back as a Status —
+  // detected before any index state is mutated, so the router still answers
+  // the original queries afterwards.
+  constexpr Vertex kN = 16;
+  GraphBuilder path(kN);
+  for (Vertex v = 0; v + 1 < kN; ++v) path.AddEdge(v, v + 1, 10);
+  Result<Router> router = Router::Build(std::move(path).Build());
+  ASSERT_TRUE(router.ok());
+  const Dist before = *router->Distance(0, kN - 1);
+
+  GraphBuilder cycle(kN);
+  for (Vertex v = 0; v < kN; ++v) cycle.AddEdge(v, (v + 1) % kN, 10);
+  const Status s = router->RebuildLabels(std::move(cycle).Build());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(*router->Distance(0, kN - 1), before);  // index untouched
+}
+
+TEST(RouterRebuild, UpdatesAnswers) {
+  const Graph g = TestGraph(10, 10, 11);
+  Result<Router> router = Router::Build(g);
+  ASSERT_TRUE(router.ok());
+
+  // Same topology, all weights doubled: every distance doubles too.
+  std::vector<Edge> edges = g.UndirectedEdges();
+  for (Edge& e : edges) e.weight *= 2;
+  GraphBuilder builder(g.NumVertices());
+  builder.AddEdges(edges);
+  const Graph doubled = std::move(builder).Build();
+
+  const Dist before = *router->Distance(0, 99);
+  ASSERT_TRUE(router->RebuildLabels(doubled, /*tail_pruning=*/true,
+                                    /*num_threads=*/2)
+                  .ok());
+  EXPECT_EQ(*router->Distance(0, 99), 2 * before);
+}
+
+TEST(RouterThreaded, MatchesSequentialFacade) {
+  const Graph g = TestGraph(12, 12, 13);
+  Result<Router> router = Router::Build(g);
+  ASSERT_TRUE(router.ok());
+
+  Rng rng(7);
+  std::vector<Vertex> targets;
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (int i = 0; i < 300; ++i) {
+    targets.push_back(static_cast<Vertex>(rng.Below(g.NumVertices())));
+    pairs.emplace_back(static_cast<Vertex>(rng.Below(g.NumVertices())),
+                       static_cast<Vertex>(rng.Below(g.NumVertices())));
+  }
+
+  ParallelOptions options;
+  options.num_threads = 3;
+  options.min_shard_queries = 16;  // force real sharding on this small set
+  Result<ThreadedRouter> engine = router->WithThreads(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_GE(engine->NumThreads(), 1u);
+
+  const auto point = engine->PointQueries(pairs);
+  ASSERT_TRUE(point.ok());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ((*point)[i], *router->Distance(pairs[i].first, pairs[i].second));
+  }
+  ASSERT_EQ(*engine->BatchQuery(targets[0], targets),
+            *router->BatchQuery(targets[0], targets));
+  ASSERT_EQ(*engine->KNearest(targets[0], targets, 7),
+            *router->KNearest(targets[0], targets, 7));
+
+  // Validation applies to the handle too.
+  const Vertex n = static_cast<Vertex>(router->NumVertices());
+  const std::vector<std::pair<Vertex, Vertex>> bad = {{0, 1}, {n, 0}};
+  EXPECT_EQ(engine->PointQueries(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router->WithThreads(100000).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RouterInfo, PopulatedForBothFlavours) {
+  Result<Router> und = Router::Build(TestGraph(10, 10, 17));
+  ASSERT_TRUE(und.ok());
+  const IndexInfo ui = und->Info();
+  EXPECT_FALSE(ui.directed);
+  EXPECT_EQ(ui.num_vertices, und->NumVertices());
+  EXPECT_GT(ui.tree_height, 0u);
+  EXPECT_GT(ui.label_entries, 0u);
+  EXPECT_GT(ui.label_resident_bytes, 0u);
+  EXPECT_GT(ui.build_seconds, 0.0);
+
+  Result<Router> dir = Router::Build(TestDigraph(10, 10, 17));
+  ASSERT_TRUE(dir.ok());
+  const IndexInfo di = dir->Info();
+  EXPECT_TRUE(di.directed);
+  EXPECT_EQ(di.num_vertices, dir->NumVertices());
+  EXPECT_EQ(di.num_core_vertices, di.num_vertices);  // no contraction
+  EXPECT_GT(di.tree_height, 0u);
+  EXPECT_GT(di.label_entries, 0u);
+  EXPECT_GT(di.label_resident_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace hc2l

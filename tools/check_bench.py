@@ -50,6 +50,22 @@ def kernel_speedup(snapshot):
     return scalar / simd
 
 
+def api_tag(snapshot):
+    """Which API produced the snapshot's end-to-end numbers.
+
+    Benches migrated to the hc2l::Router facade tag their sections with
+    "api": "router"; pre-facade snapshots carry no tag and count as "core".
+    Absolute nanosecond numbers measured through different API layers are
+    not comparable (the facade adds dispatch/validation around the hot
+    calls), so a tag mismatch skips them — same policy as a machine
+    mismatch. The JSON keys themselves are unchanged by the migration.
+    """
+    tag = snapshot.get("api")
+    if tag is None and isinstance(snapshot.get("parallel"), dict):
+        tag = snapshot["parallel"].get("api")
+    return tag if tag is not None else "core"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fresh", required=True,
@@ -99,12 +115,19 @@ def main():
     # Absolute nanosecond timings are only comparable on the machine that
     # recorded the snapshot. CPU model alone is a weak proxy (hypervisors
     # report generic strings like "Intel(R) Xeon(R) Processor @ 2.10GHz" on
-    # very different hosts), so the host name must match too.
+    # very different hosts), so the host name must match too. They must
+    # also have been measured through the same API layer (see api_tag).
     fresh_machine = (fresh.get("cpu"), fresh.get("host"))
     committed_machine = (committed.get("cpu"), committed.get("host"))
+    skip_reason = None
     if fresh_machine != committed_machine or None in fresh_machine:
-        print(f"check_bench: absolute timings SKIPPED — machine mismatch "
-              f"(fresh={fresh_machine!r}, committed={committed_machine!r}); "
+        skip_reason = (f"machine mismatch (fresh={fresh_machine!r}, "
+                       f"committed={committed_machine!r})")
+    elif api_tag(fresh) != api_tag(committed):
+        skip_reason = (f"API mismatch (fresh={api_tag(fresh)!r}, "
+                       f"committed={api_tag(committed)!r})")
+    if skip_reason is not None:
+        print(f"check_bench: absolute timings SKIPPED — {skip_reason}; "
               f"only the speedup-ratio gate applies on this runner")
         if failures:
             print("check_bench: FAILED — " + ", ".join(failures))

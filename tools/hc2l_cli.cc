@@ -1,41 +1,42 @@
-// hc2l — command-line front end for the library.
+// hc2l — command-line front end for the library, programmed entirely
+// against the public facade (hc2l/hc2l.h).
 //
 // Subcommands:
 //   hc2l generate --rows R --cols C [--seed S] [--travel-time]
-//                 [--pendant-frac F] --out network.gr
-//       Emit a synthetic road network in DIMACS .gr format.
+//                 [--pendant-frac F] [--oneway-frac F] --out network.gr
+//       Emit a synthetic road network in DIMACS .gr format. With
+//       --oneway-frac F > 0 the network is directed (F of the streets are
+//       one-way) and every arc is written individually.
 //
-//   hc2l build --graph network.gr --out index.hc2l
+//   hc2l build --graph network.gr --out index.hc2l [--directed]
 //              [--beta B] [--leaf-size L] [--threads T]
 //              [--no-tail-pruning] [--no-contraction]
-//       Build an HC2L index from a DIMACS graph and serialize it.
+//       Build an HC2L index from a DIMACS graph and serialize it. With
+//       --directed the arcs are kept one-way and the Section 5.3 directed
+//       index (format HC2D0001) is built; otherwise arcs collapse to
+//       undirected edges (format HC2L0002).
 //
 //   hc2l query --index index.hc2l [--pairs pairs.txt] [--threads T]
-//       Answer distance queries. Pairs come from --pairs (two 1-based vertex
-//       ids per line) or stdin; "s t" -> prints d(s, t) or "inf".
-//       With --threads T (or T = 0 for all cores) the pairs are answered by
-//       the parallel query engine: all pairs are read up front, sharded
-//       across T threads over the shared immutable index, and printed in
-//       input order. Without it queries stream one at a time.
+//       Answer distance queries. The index format is sniffed by
+//       Router::Open, so the same subcommand serves undirected and directed
+//       indexes. Pairs come from --pairs (two 1-based vertex ids per line)
+//       or stdin; "s t" -> prints d(s, t) or "inf". With --threads T (or
+//       T = 0 for all cores) the pairs are answered by the parallel query
+//       engine in input order; without it queries stream one at a time.
 //
 //   hc2l stats --index index.hc2l
-//       Print construction and size statistics of a saved index.
+//       Print construction and size statistics of a saved index (either
+//       format).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <optional>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
-#include "common/timer.h"
-#include "core/hc2l.h"
-#include "graph/dimacs_io.h"
-#include "graph/road_network_generator.h"
-#include "server/query_engine.h"
+#include "hc2l/hc2l.h"
 
 namespace hc2l {
 namespace {
@@ -88,13 +89,19 @@ bool GetThreads(const Args& args, uint32_t* threads) {
   return true;
 }
 
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: hc2l <generate|build|query|stats> [options]\n"
                "  generate --rows R --cols C --out FILE [--seed S] "
-               "[--travel-time] [--pendant-frac F]\n"
-               "  build    --graph FILE --out FILE [--beta B] [--leaf-size L]"
-               " [--threads T] [--no-tail-pruning] [--no-contraction]\n"
+               "[--travel-time] [--pendant-frac F] [--oneway-frac F]\n"
+               "  build    --graph FILE --out FILE [--directed] [--beta B] "
+               "[--leaf-size L] [--threads T] [--no-tail-pruning] "
+               "[--no-contraction]\n"
                "  query    --index FILE [--pairs FILE] [--threads T]\n"
                "  stats    --index FILE\n");
   return 2;
@@ -110,12 +117,20 @@ int RunGenerate(const Args& args) {
   options.pendant_frac = args.GetDouble("--pendant-frac", 0.3);
   options.weight_mode = args.Has("--travel-time") ? WeightMode::kTravelTime
                                                   : WeightMode::kDistance;
-  const Graph g = GenerateRoadNetwork(options);
-  std::string error;
-  if (!WriteDimacsGraph(g, out, &error)) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+  const double oneway_frac = args.GetDouble("--oneway-frac", 0.0);
+  if (oneway_frac < 0.0 || oneway_frac > 1.0) {
+    std::fprintf(stderr, "error: --oneway-frac must be in [0, 1]\n");
+    return 2;
   }
+  if (oneway_frac > 0.0) {
+    const Digraph g = GenerateDirectedRoadNetwork(options, oneway_frac);
+    if (Status s = WriteDimacsDigraph(g, out); !s.ok()) return Fail(s);
+    std::printf("wrote %s: %zu vertices, %zu arcs (directed)\n", out,
+                g.NumVertices(), g.NumArcs());
+    return 0;
+  }
+  const Graph g = GenerateRoadNetwork(options);
+  if (Status s = WriteDimacsGraph(g, out); !s.ok()) return Fail(s);
   std::printf("wrote %s: %zu vertices, %zu edges\n", out, g.NumVertices(),
               g.NumEdges());
   return 0;
@@ -125,34 +140,37 @@ int RunBuild(const Args& args) {
   const char* graph_path = args.Get("--graph");
   const char* out = args.Get("--out");
   if (graph_path == nullptr || out == nullptr) return Usage();
-  std::string error;
-  const auto graph = ReadDimacsGraph(graph_path, &error);
-  if (!graph.has_value()) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
-  Hc2lOptions options;
+  BuildOptions options;
   options.beta = args.GetDouble("--beta", 0.2);
   options.leaf_size = static_cast<uint32_t>(args.GetLong("--leaf-size", 8));
+  // Same contract as query: 0 = all cores (the facade resolves it). The
+  // default stays 1 thread.
   uint32_t threads = 1;
   if (args.Has("--threads") && !GetThreads(args, &threads)) return 2;
-  // Same contract as query: 0 = all cores. Default stays 1 thread.
-  options.num_threads =
-      threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                   : threads;
+  options.num_threads = threads;
   options.tail_pruning = !args.Has("--no-tail-pruning");
   options.contract_degree_one = !args.Has("--no-contraction");
 
   Timer timer;
-  const Hc2lIndex index = Hc2lIndex::Build(*graph, options);
-  std::printf("built in %.2fs: height=%u max_cut=%llu labels=%s\n",
-              timer.Seconds(), index.Stats().tree_height,
-              static_cast<unsigned long long>(index.Stats().max_cut_size),
-              std::to_string(index.LabelSizeBytes()).c_str());
-  if (!index.Save(out, &error)) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
+  Result<Router> router = [&]() -> Result<Router> {
+    if (args.Has("--directed")) {
+      Result<Digraph> graph = ReadDimacsDigraph(graph_path);
+      if (!graph.ok()) return graph.status();
+      return Router::Build(*graph, options);
+    }
+    Result<Graph> graph = ReadDimacsGraph(graph_path);
+    if (!graph.ok()) return graph.status();
+    return Router::Build(*graph, options);
+  }();
+  if (!router.ok()) return Fail(router.status());
+
+  const IndexInfo info = router->Info();
+  std::printf("built %s index in %.2fs: height=%u max_cut=%llu labels=%s\n",
+              info.directed ? "directed" : "undirected", timer.Seconds(),
+              info.tree_height,
+              static_cast<unsigned long long>(info.max_cut_size),
+              std::to_string(info.label_resident_bytes).c_str());
+  if (Status s = router->Save(out); !s.ok()) return Fail(s);
   std::printf("saved %s\n", out);
   return 0;
 }
@@ -160,12 +178,8 @@ int RunBuild(const Args& args) {
 int RunQuery(const Args& args) {
   const char* index_path = args.Get("--index");
   if (index_path == nullptr) return Usage();
-  std::string error;
-  const auto index = Hc2lIndex::Load(index_path, &error);
-  if (!index.has_value()) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
+  Result<Router> router = Router::Open(index_path);
+  if (!router.ok()) return Fail(router.status());
   std::FILE* in = stdin;
   const char* pairs_path = args.Get("--pairs");
   if (pairs_path != nullptr) {
@@ -175,7 +189,7 @@ int RunQuery(const Args& args) {
       return 1;
     }
   }
-  const unsigned long long n = index->NumVertices();
+  const unsigned long long n = router->NumVertices();
   const auto print_dist = [](Dist d) {
     if (d == kInfDist) {
       std::printf("inf\n");
@@ -193,8 +207,8 @@ int RunQuery(const Args& args) {
         std::printf("out-of-range\n");
         continue;
       }
-      print_dist(index->Query(static_cast<Vertex>(s - 1),
-                              static_cast<Vertex>(t - 1)));
+      print_dist(router->DistanceUnchecked(static_cast<Vertex>(s - 1),
+                                           static_cast<Vertex>(t - 1)));
     }
     if (in != stdin) std::fclose(in);
     return 0;
@@ -202,8 +216,8 @@ int RunQuery(const Args& args) {
 
   // Engine mode: read every pair, shard them across the pool, print in
   // input order. Out-of-range pairs keep their line position.
-  QueryEngineOptions engine_options;
-  if (!GetThreads(args, &engine_options.num_threads)) {
+  ParallelOptions parallel_options;
+  if (!GetThreads(args, &parallel_options.num_threads)) {
     if (in != stdin) std::fclose(in);
     return 2;
   }
@@ -217,13 +231,15 @@ int RunQuery(const Args& args) {
   }
   if (in != stdin) std::fclose(in);
 
-  const QueryEngine engine(*index, engine_options);
-  const std::vector<Dist> dists = engine.PointQueries(pairs);
-  for (size_t i = 0; i < dists.size(); ++i) {
+  Result<ThreadedRouter> engine = router->WithThreads(parallel_options);
+  if (!engine.ok()) return Fail(engine.status());
+  Result<std::vector<Dist>> dists = engine->PointQueries(pairs);
+  if (!dists.ok()) return Fail(dists.status());
+  for (size_t i = 0; i < dists->size(); ++i) {
     if (in_range[i] == 0) {
       std::printf("out-of-range\n");
     } else {
-      print_dist(dists[i]);
+      print_dist((*dists)[i]);
     }
   }
   return 0;
@@ -232,13 +248,10 @@ int RunQuery(const Args& args) {
 int RunStats(const Args& args) {
   const char* index_path = args.Get("--index");
   if (index_path == nullptr) return Usage();
-  std::string error;
-  const auto index = Hc2lIndex::Load(index_path, &error);
-  if (!index.has_value()) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
-  const Hc2lStats& s = index->Stats();
+  Result<Router> router = Router::Open(index_path);
+  if (!router.ok()) return Fail(router.status());
+  const IndexInfo s = router->Info();
+  std::printf("flavour:         %s\n", s.directed ? "directed" : "undirected");
   std::printf("vertices:        %llu\n",
               static_cast<unsigned long long>(s.num_vertices));
   std::printf("core vertices:   %llu (%llu contracted)\n",
@@ -254,8 +267,12 @@ int RunStats(const Args& args) {
               static_cast<unsigned long long>(s.num_shortcuts));
   std::printf("label entries:   %llu\n",
               static_cast<unsigned long long>(s.label_entries));
+  // "label bytes" keeps its historical meaning (the paper-comparable
+  // logical size); the padded in-memory footprint gets its own line.
   std::printf("label bytes:     %llu\n",
-              static_cast<unsigned long long>(s.label_bytes));
+              static_cast<unsigned long long>(s.label_logical_bytes));
+  std::printf("resident bytes:  %llu\n",
+              static_cast<unsigned long long>(s.label_resident_bytes));
   std::printf("lca bytes:       %llu\n",
               static_cast<unsigned long long>(s.lca_bytes));
   std::printf("build seconds:   %.3f\n", s.build_seconds);
