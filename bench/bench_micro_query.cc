@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -33,15 +34,34 @@
 namespace hc2l {
 namespace {
 
-// One shared fixture graph (built lazily, reused by every benchmark).
+// The snapshot tracks a multi-dataset trajectory: the mid-size grid every
+// google-benchmark below runs on, plus a larger grid whose taller hierarchy
+// and longer cut arrays show where the wide-kernel win appears end-to-end.
+// Keep entries append-only — tools/check_bench.py gates each dataset section
+// it finds in both snapshots and tolerates ones missing from either side.
+struct DatasetSpec {
+  const char* name;
+  uint32_t rows;
+  uint32_t cols;
+  uint64_t seed;
+};
+constexpr DatasetSpec kDatasets[] = {
+    {"grid48", 48, 48, 2026},
+    {"grid96", 96, 96, 2096},
+};
+
+Graph MakeDatasetGraph(const DatasetSpec& spec) {
+  RoadNetworkOptions opt;
+  opt.rows = spec.rows;
+  opt.cols = spec.cols;
+  opt.seed = spec.seed;
+  return GenerateRoadNetwork(opt);
+}
+
+// One shared fixture graph (built lazily, reused by every benchmark):
+// kDatasets[0], the historical 48x48 fixture.
 const Graph& BenchGraph() {
-  static const Graph* graph = [] {
-    RoadNetworkOptions opt;
-    opt.rows = 48;
-    opt.cols = 48;
-    opt.seed = 2026;
-    return new Graph(GenerateRoadNetwork(opt));
-  }();
+  static const Graph* graph = new Graph(MakeDatasetGraph(kDatasets[0]));
   return *graph;
 }
 
@@ -234,17 +254,30 @@ double NsPerOp(size_t ops, const Fn& fn) {
   return timer.Seconds() * 1e9 / static_cast<double>(ops);
 }
 
-/// Writes the machine-readable perf snapshot. Self-measured (not derived
-/// from the google-benchmark run) so the numbers carry the exact workload
-/// definition with them: uniform random pairs on the shared fixture graph.
-void WriteBenchQueryJson(const char* path) {
-  const Graph& g = BenchGraph();
-  const Hc2lIndex& index = BenchIndex();
-  const auto& pairs = BenchPairs();
+/// Self-measured per-dataset numbers (uniform random pairs, the exact
+/// workload definition the snapshot's consumers rely on).
+struct DatasetNumbers {
+  size_t vertices = 0;
+  size_t edges = 0;
+  size_t queries = 0;
+  double ns_query = 0;
+  double ns_batch_target = 0;
+  double avg_hubs = 0;
+  uint64_t label_bytes = 0;
+  size_t label_resident = 0;
+  uint64_t label_entries = 0;
+};
+
+DatasetNumbers MeasureDataset(const Graph& g, const Hc2lIndex& index) {
+  DatasetNumbers out;
+  out.vertices = g.NumVertices();
+  out.edges = g.NumEdges();
+  const std::vector<QueryPair> pairs =
+      UniformRandomPairs(g.NumVertices(), 4096, 9);
 
   constexpr size_t kRounds = 200;  // 200 * 4096 pairs ≈ 0.8M queries
-  const size_t num_queries = kRounds * pairs.size();
-  const double ns_query = NsPerOp(num_queries, [&]() {
+  out.queries = kRounds * pairs.size();
+  out.ns_query = NsPerOp(out.queries, [&]() {
     Dist sink = 0;
     for (size_t r = 0; r < kRounds; ++r) {
       for (const auto& [s, t] : pairs) sink ^= index.Query(s, t);
@@ -255,7 +288,7 @@ void WriteBenchQueryJson(const char* path) {
   std::vector<Vertex> targets;
   targets.reserve(pairs.size());
   for (const auto& [s, t] : pairs) targets.push_back(t);
-  const double ns_batch_target = NsPerOp(num_queries, [&]() {
+  out.ns_batch_target = NsPerOp(out.queries, [&]() {
     for (size_t r = 0; r < kRounds; ++r) {
       benchmark::DoNotOptimize(
           index.BatchQuery(pairs[r % pairs.size()].first, targets));
@@ -266,8 +299,50 @@ void WriteBenchQueryJson(const char* path) {
   Dist sink = 0;
   for (const auto& [s, t] : pairs) sink ^= index.QueryCountingHubs(s, t, &hubs);
   benchmark::DoNotOptimize(sink);
-  const double avg_hubs =
+  out.avg_hubs =
       static_cast<double>(hubs) / static_cast<double>(pairs.size());
+  out.label_bytes = index.Stats().label_bytes;
+  out.label_resident = index.LabelSizeBytes();
+  out.label_entries = index.Stats().label_entries;
+  return out;
+}
+
+/// Writes the machine-readable perf snapshot. Self-measured (not derived
+/// from the google-benchmark run) so the numbers carry the exact workload
+/// definition with them: uniform random pairs per fixture graph. The
+/// historical top-level fields stay the primary (48x48) dataset; the
+/// "datasets" object carries the whole trajectory.
+void WriteBenchQueryJson(const char* path) {
+  const DatasetNumbers primary = MeasureDataset(BenchGraph(), BenchIndex());
+  const size_t num_queries = primary.queries;
+  const double ns_query = primary.ns_query;
+  const double ns_batch_target = primary.ns_batch_target;
+  const double avg_hubs = primary.avg_hubs;
+
+  std::string datasets_json;
+  for (size_t d = 0; d < std::size(kDatasets); ++d) {
+    const DatasetSpec& spec = kDatasets[d];
+    DatasetNumbers numbers;
+    if (d == 0) {
+      numbers = primary;  // same graph/index — don't rebuild or re-measure
+    } else {
+      const Graph g = MakeDatasetGraph(spec);
+      const Hc2lIndex index = Hc2lIndex::Build(g, Hc2lOptions{});
+      numbers = MeasureDataset(g, index);
+    }
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    \"%s\": {\"vertices\": %zu, \"edges\": %zu, "
+        "\"ns_per_query\": %.2f, \"ns_per_batch_target\": %.2f, "
+        "\"avg_hubs_scanned\": %.2f, \"label_bytes_logical\": %llu, "
+        "\"label_entries\": %llu}",
+        d == 0 ? "" : ",\n", spec.name, numbers.vertices, numbers.edges,
+        numbers.ns_query, numbers.ns_batch_target, numbers.avg_hubs,
+        static_cast<unsigned long long>(numbers.label_bytes),
+        static_cast<unsigned long long>(numbers.label_entries));
+    datasets_json += buf;
+  }
 
   constexpr size_t kKernelLen = 128;
   constexpr size_t kKernelReps = 2'000'000;
@@ -317,19 +392,20 @@ void WriteBenchQueryJson(const char* path) {
                "  \"kernel_len%zu_ns\": {\"simd\": %.2f, \"scalar\": %.2f},\n"
                "  \"label_bytes_logical\": %llu,\n"
                "  \"label_bytes_resident\": %zu,\n"
-               "  \"label_entries\": %llu\n"
+               "  \"label_entries\": %llu,\n"
+               "  \"datasets\": {\n%s\n  }\n"
                "}\n",
                simd::kKernelName, CpuModel().c_str(), HostName().c_str(),
-               static_cast<size_t>(g.NumVertices()),
-               static_cast<size_t>(g.NumEdges()), num_queries, ns_query,
+               primary.vertices, primary.edges, num_queries, ns_query,
                ns_batch_target, avg_hubs, kKernelLen, ns_kernel,
                ns_kernel_scalar,
-               static_cast<unsigned long long>(index.Stats().label_bytes),
-               index.LabelSizeBytes(),
-               static_cast<unsigned long long>(index.Stats().label_entries));
+               static_cast<unsigned long long>(primary.label_bytes),
+               primary.label_resident,
+               static_cast<unsigned long long>(primary.label_entries),
+               datasets_json.c_str());
   std::fclose(f);
-  std::printf("wrote %s (%.2f ns/query, kernel %s)\n", path, ns_query,
-              simd::kKernelName);
+  std::printf("wrote %s (%.2f ns/query primary, %zu datasets, kernel %s)\n",
+              path, ns_query, std::size(kDatasets), simd::kKernelName);
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+// Span vs vector on the facade's bulk-query paths, plus the PR's hard
+// promise: the span-output hot path (BatchQueryInto / DistanceMatrixInto /
+// Execute for batch and matrix requests) performs ZERO heap allocations in
+// steady state. This binary both measures the two paths and enforces the
+// allocation claim with a global operator-new hook — it exits non-zero if a
+// warm span-path call allocates, so CI can run it as a gate.
+//
+// Plain main() driver (no google-benchmark dependency), same fixture family
+// as bench_micro_query: a synthetic road-network grid.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "hc2l/hc2l.h"
+
+// ------------------------------------------------------ allocation hook ---
+// Replacing these in any TU hooks every new/delete in the binary, including
+// the statically linked library. Counting is toggled around the measured
+// regions only.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_counting{false};
+
+inline void CountAlloc() {
+  if (g_alloc_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  CountAlloc();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  CountAlloc();
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded);
+  if (p == nullptr) std::abort();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace hc2l {
+namespace {
+
+constexpr size_t kBatchTargets = 4096;
+constexpr size_t kMatrixSources = 64;
+constexpr size_t kMatrixTargets = 512;
+
+/// Runs fn() `reps` times; returns (ns per op, allocations per call) where
+/// the op count is reps * ops_per_call.
+struct Measured {
+  double ns_per_op;
+  double allocs_per_call;
+};
+template <typename Fn>
+Measured Measure(size_t reps, size_t ops_per_call, const Fn& fn) {
+  fn();  // warm every scratch buffer / vector capacity before counting
+  fn();
+  g_alloc_count.store(0);
+  g_alloc_counting.store(true);
+  Timer timer;
+  for (size_t r = 0; r < reps; ++r) fn();
+  const double seconds = timer.Seconds();
+  g_alloc_counting.store(false);
+  const double total_ops =
+      static_cast<double>(reps) * static_cast<double>(ops_per_call);
+  return {seconds * 1e9 / total_ops,
+          static_cast<double>(g_alloc_count.load()) /
+              static_cast<double>(reps)};
+}
+
+int Run() {
+  RoadNetworkOptions opt;
+  opt.rows = 48;
+  opt.cols = 48;
+  opt.seed = 2026;
+  const Graph g = GenerateRoadNetwork(opt);
+  Result<Router> router = Router::Build(g);
+  if (!router.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 router.status().ToString().c_str());
+    return 1;
+  }
+  const Vertex n = static_cast<Vertex>(router->NumVertices());
+  Rng rng(7);
+  std::vector<Vertex> targets(kBatchTargets);
+  for (Vertex& t : targets) t = static_cast<Vertex>(rng.Below(n));
+  std::vector<Vertex> msources(kMatrixSources);
+  for (Vertex& s : msources) s = static_cast<Vertex>(rng.Below(n));
+  std::vector<Vertex> mtargets(kMatrixTargets);
+  for (Vertex& t : mtargets) t = static_cast<Vertex>(rng.Below(n));
+  const Vertex source = targets[0];
+
+  std::printf("bench_request_api: %zu-vertex grid, batch %zu targets, "
+              "matrix %zux%zu\n",
+              static_cast<size_t>(n), kBatchTargets, kMatrixSources,
+              kMatrixTargets);
+
+  volatile Dist sink = 0;
+
+  // --- one-to-many batch: vector vs span vs request ---
+  constexpr size_t kBatchReps = 400;
+  const Measured batch_vec = Measure(kBatchReps, kBatchTargets, [&] {
+    const Result<std::vector<Dist>> out = router->BatchQuery(source, targets);
+    sink = sink + (*out)[0];
+  });
+  std::vector<Dist> batch_out(kBatchTargets);
+  const Measured batch_span = Measure(kBatchReps, kBatchTargets, [&] {
+    if (!router->BatchQueryInto(source, targets, batch_out).ok()) std::abort();
+    sink = sink + batch_out[0];
+  });
+  QueryRequest batch_req;
+  batch_req.kind = QueryKind::kPointBatch;
+  batch_req.sources = std::span<const Vertex>(&source, 1);
+  batch_req.targets = targets;
+  const Measured batch_exec = Measure(kBatchReps, kBatchTargets, [&] {
+    const Result<QueryResponse> r =
+        router->Execute(batch_req, QueryOutput{batch_out, {}});
+    if (!r.ok()) std::abort();
+    sink = sink + batch_out[0];
+  });
+
+  // --- many-to-many matrix: vector vs span vs request ---
+  constexpr size_t kMatrixReps = 60;
+  constexpr size_t kMatrixOps = kMatrixSources * kMatrixTargets;
+  const Measured matrix_vec = Measure(kMatrixReps, kMatrixOps, [&] {
+    const auto out = router->DistanceMatrix(msources, mtargets);
+    sink = sink + (*out)[0][0];
+  });
+  std::vector<Dist> matrix_out(kMatrixOps);
+  const Measured matrix_span = Measure(kMatrixReps, kMatrixOps, [&] {
+    if (!router->DistanceMatrixInto(msources, mtargets, matrix_out).ok()) {
+      std::abort();
+    }
+    sink = sink + matrix_out[0];
+  });
+  QueryRequest matrix_req;
+  matrix_req.kind = QueryKind::kMatrix;
+  matrix_req.sources = msources;
+  matrix_req.targets = mtargets;
+  const Measured matrix_exec = Measure(kMatrixReps, kMatrixOps, [&] {
+    const Result<QueryResponse> r =
+        router->Execute(matrix_req, QueryOutput{matrix_out, {}});
+    if (!r.ok()) std::abort();
+    sink = sink + matrix_out[0];
+  });
+
+  // --- k-nearest through the span path (reported, not gated) ---
+  constexpr size_t kKnnReps = 400;
+  std::vector<Dist> knn_d(16);
+  std::vector<Vertex> knn_v(16);
+  const Measured knn_span = Measure(kKnnReps, kBatchTargets, [&] {
+    const Result<size_t> w =
+        router->KNearestInto(source, targets, 16, knn_d, knn_v);
+    if (!w.ok()) std::abort();
+    sink = sink + knn_d[0];
+  });
+
+  std::printf(
+      "batch   vector: %7.2f ns/target  %6.1f allocs/call\n"
+      "batch   span:   %7.2f ns/target  %6.1f allocs/call\n"
+      "batch   request:%7.2f ns/target  %6.1f allocs/call\n"
+      "matrix  vector: %7.2f ns/pair    %6.1f allocs/call\n"
+      "matrix  span:   %7.2f ns/pair    %6.1f allocs/call\n"
+      "matrix  request:%7.2f ns/pair    %6.1f allocs/call\n"
+      "knn     span:   %7.2f ns/cand    %6.1f allocs/call\n",
+      batch_vec.ns_per_op, batch_vec.allocs_per_call, batch_span.ns_per_op,
+      batch_span.allocs_per_call, batch_exec.ns_per_op,
+      batch_exec.allocs_per_call, matrix_vec.ns_per_op,
+      matrix_vec.allocs_per_call, matrix_span.ns_per_op,
+      matrix_span.allocs_per_call, matrix_exec.ns_per_op,
+      matrix_exec.allocs_per_call, knn_span.ns_per_op,
+      knn_span.allocs_per_call);
+
+  // --- the gate: warm span/request batch and matrix paths allocate ZERO ---
+  const double gated = batch_span.allocs_per_call +
+                       batch_exec.allocs_per_call +
+                       matrix_span.allocs_per_call +
+                       matrix_exec.allocs_per_call;
+  if (gated > 0.0) {
+    std::printf("zero-allocation gate: FAIL (%.1f allocations per span-path "
+                "call; expected 0)\n",
+                gated);
+    return 1;
+  }
+  std::printf("zero-allocation gate: PASS (0 allocations across %zu warm "
+              "span-path calls)\n",
+              2 * (kBatchReps + kMatrixReps));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hc2l
+
+int main() { return hc2l::Run(); }

@@ -5,6 +5,11 @@
 /// downstream applications) include this one header and program against:
 ///
 ///   - hc2l::Router / hc2l::ThreadedRouter  — build, open, save, query
+///   - hc2l::QueryRequest / hc2l::Execute   — the zero-copy request/response
+///                                            bulk-query model (hc2l/query.h)
+///   - hc2l::QueryServer (hc2l/server.h)    — the hc2ld TCP serving front
+///                                            end (not pulled in here; it is
+///                                            opt-in for socket-free builds)
 ///   - hc2l::Status / hc2l::Result<T>       — the recoverable error model
 ///   - hc2l::Graph / hc2l::Digraph          — graph assembly (GraphBuilder,
 ///                                            DigraphBuilder)

@@ -1,0 +1,131 @@
+#ifndef HC2L_PUBLIC_QUERY_H_
+#define HC2L_PUBLIC_QUERY_H_
+
+/// The request/response bulk-query model of the public HC2L API.
+///
+/// An RPC front end (hc2ld, or any long-lived server) does not want the
+/// facade's convenience methods: those return freshly allocated
+/// std::vector results on every call, while a server wants to parse a
+/// request into borrowed id spans, execute it into connection-owned output
+/// buffers, and serialize from there — zero copies, zero per-request heap
+/// traffic. This header is that contract:
+///
+///   - QueryRequest   — what to compute: a kind (point batch | matrix |
+///                      k-nearest), source/target id spans, per-request
+///                      QueryOptions (deadline, thread cap, missing-vertex
+///                      policy).
+///   - QueryOutput    — where to write it: caller-owned spans.
+///   - QueryResponse  — what happened: slots written, result shape.
+///
+/// Router::Execute runs a request sequentially; ThreadedRouter::Execute
+/// shards it over the query engine. Both produce bit-identical distances to
+/// the vector-returning facade methods; the vector methods are in fact thin
+/// wrappers over the same span paths.
+///
+/// Shape contract (violations are kInvalidArgument, never an abort):
+///
+///   kPointBatch  sources.size() == 1: one-to-many, distances[i] =
+///                d(sources[0], targets[i]). Otherwise sources.size() must
+///                equal targets.size(): pairwise, distances[i] =
+///                d(sources[i], targets[i]). Either way
+///                output.distances.size() must equal targets.size() exactly.
+///   kMatrix      row-major many-to-many: distances[i * targets.size() + j]
+///                = d(sources[i], targets[j]); output.distances.size() must
+///                equal sources.size() * targets.size() exactly.
+///   kKNearest    sources.size() == 1; targets are the candidates. Requires
+///                output.distances.size() == output.vertices.size() >=
+///                min(k, targets.size()); QueryResponse::written reports how
+///                many (distance, vertex) slots actually hold results —
+///                unreachable candidates are excluded, so it may be fewer.
+///
+/// Deadline semantics: QueryOptions::deadline is a wall-clock budget
+/// measured from Execute entry; zero means unlimited. Expiry is detected at
+/// chunk boundaries (roughly every thousand queries) and fails the request
+/// with kDeadlineExceeded; output spans may then hold partial results and
+/// their contents are unspecified. A request whose budget is already spent
+/// fails before computing anything.
+///
+/// Buffer ownership: the request and output spans are BORROWED for the
+/// duration of the Execute call only — the library never stores them. The
+/// caller may (and a server should) reuse the same buffers across requests.
+/// Output spans must not alias each other or the input spans.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace hc2l {
+
+/// What a QueryRequest computes. See the shape contract above.
+enum class QueryKind : uint8_t {
+  kPointBatch = 0,
+  kMatrix = 1,
+  kKNearest = 2,
+};
+
+/// What to do with an out-of-range vertex id in a request. A serving front
+/// end sees ids chosen by remote callers; whether a stale id should fail the
+/// whole request or degrade to "unreachable" is the caller's call, not the
+/// library's.
+enum class MissingVertexPolicy : uint8_t {
+  /// Any out-of-range id fails the request with kInvalidArgument (the
+  /// default, matching the facade's vector-returning methods).
+  kError = 0,
+  /// Out-of-range ids behave like unreachable vertices: kInfDist distances,
+  /// excluded from k-nearest results. The request succeeds.
+  kUnreachable = 1,
+};
+
+/// Per-request execution options.
+struct QueryOptions {
+  /// Wall-clock budget measured from Execute entry; zero = unlimited. On
+  /// expiry the request fails with kDeadlineExceeded (output unspecified).
+  std::chrono::nanoseconds deadline{0};
+  /// Parallelism cap: 0 = the executor's default (Router: sequential;
+  /// ThreadedRouter: its full pool), 1 = force inline sequential execution
+  /// even on a ThreadedRouter, n > 1 = cap the shards in flight at n.
+  uint32_t num_threads = 0;
+  /// Out-of-range id handling; see MissingVertexPolicy.
+  MissingVertexPolicy missing_vertices = MissingVertexPolicy::kError;
+};
+
+/// One bulk query: a kind, borrowed id spans, options. Cheap to construct
+/// per request; the spans must stay valid for the Execute call.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kPointBatch;
+  /// kPointBatch: the single source (size 1) or per-pair sources;
+  /// kMatrix: matrix rows; kKNearest: the single source (size 1).
+  std::span<const Vertex> sources;
+  /// kPointBatch: batch targets or per-pair targets; kMatrix: matrix
+  /// columns; kKNearest: the candidate set.
+  std::span<const Vertex> targets;
+  /// kKNearest only: how many nearest candidates to select.
+  size_t k = 0;
+  QueryOptions options;
+};
+
+/// Caller-owned output buffers. `vertices` is only read for kKNearest
+/// (candidate ids parallel to `distances`); other kinds ignore it.
+struct QueryOutput {
+  std::span<Dist> distances;
+  std::span<Vertex> vertices;
+};
+
+/// Execution summary of a successful request.
+struct QueryResponse {
+  /// Distance slots written. kPointBatch: targets.size(); kMatrix:
+  /// sources.size() * targets.size(); kKNearest: the number of selected
+  /// neighbors (<= min(k, candidates)).
+  size_t written = 0;
+  /// Result shape: kMatrix reports (sources.size(), targets.size());
+  /// kPointBatch and kKNearest report (1, written).
+  size_t rows = 0;
+  size_t cols = 0;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_PUBLIC_QUERY_H_

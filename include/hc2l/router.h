@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "hc2l/query.h"
 #include "hc2l/status.h"
 
 namespace hc2l {
@@ -150,20 +151,61 @@ class Router {
   /// inputs up front. Out-of-range ids abort (internal invariant).
   Dist DistanceUnchecked(Vertex s, Vertex t) const;
 
-  /// One-to-many: d(source, targets[i]) for every target, in order.
+  /// One-to-many: d(source, targets[i]) for every target, in order. A thin
+  /// allocating wrapper over BatchQueryInto.
   Result<std::vector<Dist>> BatchQuery(Vertex source,
                                        std::span<const Vertex> targets) const;
 
   /// Many-to-many: result[i][j] = d(sources[i], targets[j]), with
   /// target-side resolution hoisted once per matrix and L2-resident tiling.
+  /// A thin allocating wrapper over the same path as DistanceMatrixInto.
   Result<std::vector<std::vector<Dist>>> DistanceMatrix(
       std::span<const Vertex> sources, std::span<const Vertex> targets) const;
 
   /// The k candidates nearest to (from, for directed) `source`, as
   /// (distance, candidate) pairs sorted ascending, ties broken
   /// deterministically by candidate order; unreachable candidates excluded.
+  /// k == 0 or an empty candidate set is an empty result, not an error. A
+  /// thin allocating wrapper over KNearestInto.
   Result<std::vector<std::pair<Dist, Vertex>>> KNearest(
       Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+  // --- Zero-copy request/response surface (hc2l/query.h) ---
+  // Span-writing forms of the bulk queries: results land in caller-owned
+  // memory and the hot path performs no per-call heap allocation once its
+  // per-thread scratch is warm. Bit-identical distances to the vector
+  // methods above (which wrap these).
+
+  /// Executes `request` sequentially on the calling thread (Router ignores
+  /// QueryOptions::num_threads — it is a cap, and sequential execution
+  /// satisfies every cap; use ThreadedRouter::Execute to parallelize).
+  /// Shape contract and deadline semantics: hc2l/query.h. Errors:
+  /// kInvalidArgument (shape mismatch, out-of-range id under the kError
+  /// policy), kDeadlineExceeded.
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                const QueryOutput& out) const;
+
+  /// Writes d(source, targets[i]) into out[i] for every i. out.size() must
+  /// equal targets.size() exactly.
+  Status BatchQueryInto(Vertex source, std::span<const Vertex> targets,
+                        std::span<Dist> out) const;
+
+  /// Writes the row-major matrix out[i * targets.size() + j] =
+  /// d(sources[i], targets[j]). out.size() must equal
+  /// sources.size() * targets.size() exactly.
+  Status DistanceMatrixInto(std::span<const Vertex> sources,
+                            std::span<const Vertex> targets,
+                            std::span<Dist> out) const;
+
+  /// K-nearest into parallel caller-owned spans (out_dists[i],
+  /// out_vertices[i] is the i-th neighbor). Both spans must have equal size
+  /// >= min(k, candidates.size()); returns how many slots were written
+  /// (fewer when candidates are unreachable; 0 for k == 0 or no
+  /// candidates — an empty result, not an error).
+  Result<size_t> KNearestInto(Vertex source,
+                              std::span<const Vertex> candidates, size_t k,
+                              std::span<Dist> out_dists,
+                              std::span<Vertex> out_vertices) const;
 
   /// Dynamic weight updates (Section 5.4, undirected only): refreshes every
   /// distance value for a graph with the SAME topology but changed weights,
@@ -214,9 +256,39 @@ class ThreadedRouter {
       std::span<const Vertex> sources, std::span<const Vertex> targets) const;
 
   /// K nearest with parallel distance computation and deterministic
-  /// sequential selection.
+  /// sequential selection. k == 0 or an empty candidate set is an empty
+  /// result, not an error.
   Result<std::vector<std::pair<Dist, Vertex>>> KNearest(
       Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+  // --- Zero-copy request/response surface (hc2l/query.h) ---
+  // Same contracts as the Router forms; execution shards over the borrowed
+  // Router's query engine. QueryOptions::num_threads caps the shards in
+  // flight per request (1 = inline on the caller); results are bit-identical
+  // to the sequential forms for every cap.
+
+  /// Executes `request` over the query engine. Errors: kInvalidArgument,
+  /// kDeadlineExceeded (see hc2l/query.h).
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                const QueryOutput& out) const;
+
+  /// Writes d(source, targets[i]) into out[i]; out.size() must equal
+  /// targets.size() exactly.
+  Status BatchQueryInto(Vertex source, std::span<const Vertex> targets,
+                        std::span<Dist> out) const;
+
+  /// Row-major many-to-many; out.size() must equal
+  /// sources.size() * targets.size() exactly.
+  Status DistanceMatrixInto(std::span<const Vertex> sources,
+                            std::span<const Vertex> targets,
+                            std::span<Dist> out) const;
+
+  /// K-nearest into parallel spans of equal size >=
+  /// min(k, candidates.size()); returns the number of slots written.
+  Result<size_t> KNearestInto(Vertex source,
+                              std::span<const Vertex> candidates, size_t k,
+                              std::span<Dist> out_dists,
+                              std::span<Vertex> out_vertices) const;
 
  private:
   friend class Router;

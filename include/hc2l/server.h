@@ -1,0 +1,89 @@
+#ifndef HC2L_PUBLIC_SERVER_H_
+#define HC2L_PUBLIC_SERVER_H_
+
+/// hc2ld — the HC2L serving front end: line-delimited JSON over TCP.
+///
+/// QueryServer wraps a borrowed, immutable Router in a listening socket:
+/// one accept loop, one lightweight thread per connection, one reusable
+/// buffer set per connection (requests parse into and execute out of the
+/// same memory line after line — the zero-copy request/response facade API
+/// end to end). All queries run through one shared ThreadedRouter, so
+/// concurrent connections share the engine's worker pool instead of
+/// spawning their own.
+///
+///   hc2l::Result<hc2l::Router> router = hc2l::Router::Open("city.idx");
+///   hc2l::Result<hc2l::QueryServer> server =
+///       hc2l::QueryServer::Start(*router, {.port = 8040});
+///   std::printf("serving on %u\n", server->port());
+///   server->Wait();   // until Stop() from another thread / signal handler
+///
+/// Wire protocol (requests, responses, the nc-friendly examples):
+/// docs/server.md. The daemon binary is tools/hc2ld.cc; `hc2l serve` and
+/// `hc2l client` wrap the same pieces for smoke tests.
+///
+/// Ownership: the Router must stay alive and unmoved until the server is
+/// stopped AND destroyed. QueryServer is movable, not copyable; Stop() is
+/// idempotent and joins every connection thread before returning.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hc2l/router.h"
+#include "hc2l/status.h"
+
+namespace hc2l {
+
+struct ServerOptions {
+  /// Listen address. The default only accepts local connections; bind
+  /// 0.0.0.0 deliberately to expose the daemon.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Query-engine threads shared by all connections; 0 = all hardware
+  /// threads.
+  uint32_t num_threads = 0;
+  /// Engine sharding grain (ParallelOptions::min_shard_queries).
+  uint32_t min_shard_queries = 1024;
+  /// Per-connection input cap: a line longer than this fails the connection
+  /// (one response line explaining why, then close).
+  size_t max_line_bytes = 1 << 20;
+};
+
+/// The TCP front end. Construction binds, listens and spawns the accept
+/// loop; queries are served until Stop().
+class QueryServer {
+ public:
+  /// Binds host:port and starts serving `router`. Errors: kUnavailable
+  /// (socket/bind/listen failure, port already in use), kInvalidArgument
+  /// (unparseable host).
+  static Result<QueryServer> Start(const Router& router,
+                                   const ServerOptions& options = {});
+
+  QueryServer(QueryServer&&) noexcept;
+  QueryServer& operator=(QueryServer&&) noexcept;
+  ~QueryServer();  // implies Stop()
+
+  /// The bound port (the actual one when options.port was 0).
+  uint16_t port() const;
+
+  /// Connections served so far (accepted, including already-closed ones).
+  uint64_t connections_accepted() const;
+
+  /// Stops accepting, disconnects every client, joins all threads.
+  /// Idempotent; safe to call from any thread except a connection handler.
+  void Stop();
+
+  /// Blocks until Stop() is called (from another thread or a signal-driven
+  /// self-pipe — see tools/hc2ld.cc).
+  void Wait();
+
+ private:
+  struct Impl;
+  explicit QueryServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_PUBLIC_SERVER_H_

@@ -42,6 +42,10 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   /// An invariant the library promised to uphold did not hold.
   kInternal = 7,
+  /// The request's deadline (QueryOptions::deadline) expired before the
+  /// operation completed. Caller-owned output buffers may hold partial
+  /// results; their contents are unspecified.
+  kDeadlineExceeded = 8,
 };
 
 /// Human-readable name of a code ("InvalidArgument", ...).
@@ -77,6 +81,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "hc2l/router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
@@ -9,6 +10,7 @@
 #include "core/directed_hc2l.h"
 #include "core/hc2l.h"
 #include "core/index_format.h"
+#include "core/query_common.h"
 #include "graph/digraph.h"
 #include "graph/graph.h"
 #include "server/query_engine.h"
@@ -55,6 +57,360 @@ Status CheckVertices(const char* what, std::span<const Vertex> vs,
   return Status::Ok();
 }
 
+// ------------------------------------------------- request execution ---
+//
+// Execute and the *Into span forms funnel into three primitives — Pairs,
+// Batch, Matrix — provided by a Runner: SeqRunner answers them inline on
+// the calling thread (Router), PoolRunner shards them over the query engine
+// (ThreadedRouter). Policy handling (missing-vertex filtering) and shape
+// validation live above the runners, so both executors share them; the
+// primitives only ever see in-range ids.
+
+/// A request's absolute deadline, resolved once at Execute entry.
+struct Deadline {
+  bool enabled = false;
+  std::chrono::steady_clock::time_point at{};
+
+  static Deadline From(std::chrono::nanoseconds budget) {
+    Deadline d;
+    // Zero means unlimited; a negative budget (a caller's remaining time
+    // that already ran out) is an expired deadline, not an absent one.
+    if (budget.count() != 0) {
+      d.enabled = true;
+      d.at = std::chrono::steady_clock::now() + budget;
+    }
+    return d;
+  }
+
+  bool Expired() const {
+    return enabled && std::chrono::steady_clock::now() >= at;
+  }
+};
+
+Status DeadlineError() {
+  return Status::DeadlineExceeded(
+      "request deadline expired before completion; output contents are "
+      "unspecified");
+}
+
+/// Queries answered between sequential deadline polls (same rationale as the
+/// engine's chunking: a poll is ~20 ns, a query tens, so ~1k amortizes the
+/// poll away while bounding overshoot).
+constexpr size_t kSeqDeadlineCheckQueries = 1024;
+
+template <typename Index>
+Status SeqPairs(const Index& index, std::span<const Vertex> sources,
+                std::span<const Vertex> targets, Dist* out,
+                const Deadline& dl) {
+  const size_t n = std::min(sources.size(), targets.size());
+  for (size_t chunk = 0; chunk < n; chunk += kSeqDeadlineCheckQueries) {
+    if (dl.Expired()) return DeadlineError();
+    const size_t stop = std::min(n, chunk + kSeqDeadlineCheckQueries);
+    for (size_t i = chunk; i < stop; ++i) {
+      out[i] = index.Query(sources[i], targets[i]);
+    }
+  }
+  return Status::Ok();
+}
+
+template <typename Index>
+Status SeqBatch(const Index& index, Vertex source,
+                std::span<const Vertex> targets, Dist* out,
+                const Deadline& dl) {
+  if (!dl.enabled) {
+    index.BatchQueryInto(source, targets, out);
+    return Status::Ok();
+  }
+  for (size_t chunk = 0; chunk < targets.size();
+       chunk += kSeqDeadlineCheckQueries) {
+    if (dl.Expired()) return DeadlineError();
+    const size_t stop =
+        std::min(targets.size(), chunk + kSeqDeadlineCheckQueries);
+    index.BatchQueryInto(source, targets.subspan(chunk, stop - chunk),
+                         out + chunk);
+  }
+  return Status::Ok();
+}
+
+template <typename Index>
+Status SeqMatrix(const Index& index, std::span<const Vertex> sources,
+                 std::span<const Vertex> targets, const MatrixRows& rows,
+                 const Deadline& dl) {
+  if (sources.empty() || targets.empty()) return Status::Ok();
+  // Target-side resolution hoisted once per matrix; thread-local so repeated
+  // requests reuse the capacity (the zero-allocation steady state).
+  static thread_local typename Index::ResolvedTargets rt;
+  index.ResolveTargetsInto(targets, &rt);
+  for (size_t t0 = 0; t0 < rt.size(); t0 += kMatrixTargetTile) {
+    const size_t t1 = std::min(rt.size(), t0 + kMatrixTargetTile);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      // One (row, tile) step is at most kMatrixTargetTile queries.
+      if (dl.Expired()) return DeadlineError();
+      index.BatchQueryResolved(sources[i], rt, t0, t1, rows.Row(i));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Per-thread staging buffers of the facade layer: missing-vertex
+/// filtering, k-nearest distance staging, row-pointer tables for the
+/// vector<vector> wrappers. Kept separate from the core QueryScratch (which
+/// the index primitives use underneath on the same thread).
+struct FacadeScratch {
+  std::vector<Vertex> ids_a;  // filtered sources (pairwise / matrix)
+  std::vector<Vertex> ids_b;  // filtered targets
+  std::vector<uint32_t> pos_a;
+  std::vector<uint32_t> pos_b;
+  std::vector<Dist> stage;
+  std::vector<Dist> knn;
+  std::vector<Dist*> rows;
+};
+
+FacadeScratch& TlsFacadeScratch() {
+  static thread_local FacadeScratch scratch;
+  return scratch;
+}
+
+bool AllInRange(std::span<const Vertex> vs, uint64_t n) {
+  for (const Vertex v : vs) {
+    if (v >= n) return false;
+  }
+  return true;
+}
+
+/// One-to-many under the request's missing-vertex policy; ids may be out of
+/// range. Writes every slot of out[0 .. targets.size()).
+template <typename Runner>
+Status BatchWithPolicy(const Runner& runner, uint64_t n, Vertex source,
+                       std::span<const Vertex> targets, Dist* out,
+                       bool lenient, const Deadline& dl, FacadeScratch& fs) {
+  if (!lenient) {
+    if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
+    if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+    return runner.Batch(source, targets, out, dl);
+  }
+  if (source >= n) {
+    std::fill(out, out + targets.size(), kInfDist);
+    return Status::Ok();
+  }
+  if (AllInRange(targets, n)) {
+    return runner.Batch(source, targets, out, dl);
+  }
+  // Degenerate lenient path: answer the in-range targets through the normal
+  // primitive, scatter back, leave the rest unreachable.
+  fs.ids_b.clear();
+  fs.pos_b.clear();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] < n) {
+      fs.ids_b.push_back(targets[i]);
+      fs.pos_b.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::fill(out, out + targets.size(), kInfDist);
+  fs.stage.resize(fs.ids_b.size());
+  if (Status st = runner.Batch(source, fs.ids_b, fs.stage.data(), dl);
+      !st.ok()) {
+    return st;
+  }
+  for (size_t j = 0; j < fs.ids_b.size(); ++j) {
+    out[fs.pos_b[j]] = fs.stage[j];
+  }
+  return Status::Ok();
+}
+
+/// Pairwise point queries under the missing-vertex policy.
+template <typename Runner>
+Status PairsWithPolicy(const Runner& runner, uint64_t n,
+                       std::span<const Vertex> sources,
+                       std::span<const Vertex> targets, Dist* out,
+                       bool lenient, const Deadline& dl, FacadeScratch& fs) {
+  if (!lenient) {
+    if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
+    if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+    return runner.Pairs(sources, targets, out, dl);
+  }
+  if (AllInRange(sources, n) && AllInRange(targets, n)) {
+    return runner.Pairs(sources, targets, out, dl);
+  }
+  fs.ids_a.clear();
+  fs.ids_b.clear();
+  fs.pos_a.clear();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (sources[i] < n && targets[i] < n) {
+      fs.ids_a.push_back(sources[i]);
+      fs.ids_b.push_back(targets[i]);
+      fs.pos_a.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::fill(out, out + targets.size(), kInfDist);
+  fs.stage.resize(fs.ids_a.size());
+  if (Status st = runner.Pairs(fs.ids_a, fs.ids_b, fs.stage.data(), dl);
+      !st.ok()) {
+    return st;
+  }
+  for (size_t j = 0; j < fs.ids_a.size(); ++j) {
+    out[fs.pos_a[j]] = fs.stage[j];
+  }
+  return Status::Ok();
+}
+
+/// Row-major many-to-many under the missing-vertex policy.
+template <typename Runner>
+Status MatrixWithPolicy(const Runner& runner, uint64_t n,
+                        std::span<const Vertex> sources,
+                        std::span<const Vertex> targets, Dist* out,
+                        bool lenient, const Deadline& dl, FacadeScratch& fs) {
+  const size_t cols = targets.size();
+  if (!lenient) {
+    if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
+    if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+    return runner.Matrix(sources, targets,
+                         MatrixRows{.flat = out, .stride = cols}, dl);
+  }
+  if (AllInRange(sources, n) && AllInRange(targets, n)) {
+    return runner.Matrix(sources, targets,
+                         MatrixRows{.flat = out, .stride = cols}, dl);
+  }
+  // Compute the in-range submatrix into staging, scatter it into the output
+  // frame of kInfDist rows/columns.
+  fs.ids_a.clear();
+  fs.pos_a.clear();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i] < n) {
+      fs.ids_a.push_back(sources[i]);
+      fs.pos_a.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  fs.ids_b.clear();
+  fs.pos_b.clear();
+  for (size_t j = 0; j < targets.size(); ++j) {
+    if (targets[j] < n) {
+      fs.ids_b.push_back(targets[j]);
+      fs.pos_b.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  std::fill(out, out + sources.size() * cols, kInfDist);
+  if (fs.ids_a.empty() || fs.ids_b.empty()) return Status::Ok();
+  fs.stage.resize(fs.ids_a.size() * fs.ids_b.size());
+  if (Status st = runner.Matrix(
+          fs.ids_a, fs.ids_b,
+          MatrixRows{.flat = fs.stage.data(), .stride = fs.ids_b.size()}, dl);
+      !st.ok()) {
+    return st;
+  }
+  for (size_t i = 0; i < fs.ids_a.size(); ++i) {
+    const Dist* stage_row = fs.stage.data() + i * fs.ids_b.size();
+    Dist* out_row = out + static_cast<size_t>(fs.pos_a[i]) * cols;
+    for (size_t j = 0; j < fs.ids_b.size(); ++j) {
+      out_row[fs.pos_b[j]] = stage_row[j];
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ShapeError(const char* what, size_t got, size_t need) {
+  return std::string("output distance span holds ") + std::to_string(got) +
+         " slots; " + what + " needs exactly " + std::to_string(need);
+}
+
+/// The shared Execute implementation: shape validation, policy dispatch,
+/// response assembly. `runner` supplies the three compute primitives.
+template <typename Runner>
+Result<QueryResponse> ExecuteRequest(const QueryRequest& req,
+                                     const QueryOutput& out, uint64_t n,
+                                     const Runner& runner) {
+  const bool lenient =
+      req.options.missing_vertices == MissingVertexPolicy::kUnreachable;
+  const Deadline dl = Deadline::From(req.options.deadline);
+  FacadeScratch& fs = TlsFacadeScratch();
+  switch (req.kind) {
+    case QueryKind::kPointBatch: {
+      if (out.distances.size() != req.targets.size()) {
+        return Status::InvalidArgument(ShapeError(
+            "a point batch", out.distances.size(), req.targets.size()));
+      }
+      if (req.sources.size() == 1) {
+        if (Status st =
+                BatchWithPolicy(runner, n, req.sources[0], req.targets,
+                                out.distances.data(), lenient, dl, fs);
+            !st.ok()) {
+          return st;
+        }
+      } else if (req.sources.size() == req.targets.size()) {
+        if (Status st =
+                PairsWithPolicy(runner, n, req.sources, req.targets,
+                                out.distances.data(), lenient, dl, fs);
+            !st.ok()) {
+          return st;
+        }
+      } else {
+        return Status::InvalidArgument(
+            "a point batch needs one source (one-to-many) or exactly as many "
+            "sources as targets (pairwise); got " +
+            std::to_string(req.sources.size()) + " sources for " +
+            std::to_string(req.targets.size()) + " targets");
+      }
+      return QueryResponse{req.targets.size(), 1, req.targets.size()};
+    }
+    case QueryKind::kMatrix: {
+      const size_t need = req.sources.size() * req.targets.size();
+      if (out.distances.size() != need) {
+        return Status::InvalidArgument(
+            ShapeError("a distance matrix", out.distances.size(), need));
+      }
+      if (Status st =
+              MatrixWithPolicy(runner, n, req.sources, req.targets,
+                               out.distances.data(), lenient, dl, fs);
+          !st.ok()) {
+        return st;
+      }
+      return QueryResponse{need, req.sources.size(), req.targets.size()};
+    }
+    case QueryKind::kKNearest: {
+      if (req.sources.size() != 1) {
+        return Status::InvalidArgument(
+            "k-nearest needs exactly one source, got " +
+            std::to_string(req.sources.size()));
+      }
+      if (out.distances.size() != out.vertices.size()) {
+        return Status::InvalidArgument(
+            "k-nearest needs distance and vertex output spans of equal size "
+            "(got " +
+            std::to_string(out.distances.size()) + " and " +
+            std::to_string(out.vertices.size()) + ")");
+      }
+      const size_t need = std::min(req.k, req.targets.size());
+      if (out.distances.size() < need) {
+        return Status::InvalidArgument(
+            "output spans hold " + std::to_string(out.distances.size()) +
+            " slots; k-nearest may write up to " + std::to_string(need));
+      }
+      if (!lenient) {
+        if (Status st = CheckVertex("source", req.sources[0], n); !st.ok()) {
+          return st;
+        }
+        if (Status st = CheckVertices("candidates", req.targets, n);
+            !st.ok()) {
+          return st;
+        }
+      }
+      // k == 0 or no candidates: an empty result, not an error.
+      if (need == 0) return QueryResponse{0, 1, 0};
+      fs.knn.resize(req.targets.size());
+      if (Status st = BatchWithPolicy(runner, n, req.sources[0], req.targets,
+                                      fs.knn.data(), lenient, dl, fs);
+          !st.ok()) {
+        return st;
+      }
+      const size_t written = SelectKNearestInto(
+          fs.knn, req.targets, req.k, out.distances.data(),
+          out.vertices.data(), &TlsQueryScratch());
+      return QueryResponse{written, 1, written};
+    }
+  }
+  return Status::InvalidArgument("unknown QueryKind");
+}
+
 }  // namespace
 
 struct Router::Impl {
@@ -73,6 +429,35 @@ struct Router::Impl {
     return undirected != nullptr ? fn(*undirected) : fn(*directed);
   }
 };
+
+namespace {
+
+/// Sequential executor over the Router's concrete index. Templated over the
+/// impl type (Router::Impl — private, so namespace-scope code cannot name
+/// it; aggregate deduction at the call sites supplies it).
+template <typename RouterImpl>
+struct SeqRunner {
+  const RouterImpl* impl;
+
+  Status Pairs(std::span<const Vertex> s, std::span<const Vertex> t,
+               Dist* out, const Deadline& dl) const {
+    return impl->Visit(
+        [&](const auto& index) { return SeqPairs(index, s, t, out, dl); });
+  }
+  Status Batch(Vertex source, std::span<const Vertex> targets, Dist* out,
+               const Deadline& dl) const {
+    return impl->Visit([&](const auto& index) {
+      return SeqBatch(index, source, targets, out, dl);
+    });
+  }
+  Status Matrix(std::span<const Vertex> s, std::span<const Vertex> t,
+                const MatrixRows& rows, const Deadline& dl) const {
+    return impl->Visit(
+        [&](const auto& index) { return SeqMatrix(index, s, t, rows, dl); });
+  }
+};
+
+}  // namespace
 
 Router::Router(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 Router::Router(Router&&) noexcept = default;
@@ -202,11 +587,9 @@ Dist Router::DistanceUnchecked(Vertex s, Vertex t) const {
 
 Result<std::vector<Dist>> Router::BatchQuery(
     Vertex source, std::span<const Vertex> targets) const {
-  const uint64_t n = NumVertices();
-  if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
-  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
-  return impl_->Visit(
-      [&](const auto& index) { return index.BatchQuery(source, targets); });
+  std::vector<Dist> out(targets.size(), kInfDist);
+  if (Status st = BatchQueryInto(source, targets, out); !st.ok()) return st;
+  return out;
 }
 
 Result<std::vector<std::vector<Dist>>> Router::DistanceMatrix(
@@ -214,20 +597,80 @@ Result<std::vector<std::vector<Dist>>> Router::DistanceMatrix(
   const uint64_t n = NumVertices();
   if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
   if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
-  return impl_->Visit([&](const auto& index) {
-    return index.DistanceMatrix(sources, targets);
-  });
+  std::vector<std::vector<Dist>> matrix(
+      sources.size(), std::vector<Dist>(targets.size(), kInfDist));
+  if (sources.empty() || targets.empty()) return matrix;
+  FacadeScratch& fs = TlsFacadeScratch();
+  fs.rows.resize(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) fs.rows[i] = matrix[i].data();
+  if (Status st = SeqRunner{impl_.get()}.Matrix(
+          sources, targets, MatrixRows{.rows = fs.rows.data()}, Deadline{});
+      !st.ok()) {
+    return st;
+  }
+  return matrix;
 }
 
 Result<std::vector<std::pair<Dist, Vertex>>> Router::KNearest(
     Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  const size_t need = std::min(k, candidates.size());
+  std::vector<Dist> dists(need);
+  std::vector<Vertex> vertices(need);
+  Result<size_t> written = KNearestInto(source, candidates, k, dists, vertices);
+  if (!written.ok()) return written.status();
+  std::vector<std::pair<Dist, Vertex>> out;
+  out.reserve(*written);
+  for (size_t i = 0; i < *written; ++i) {
+    out.emplace_back(dists[i], vertices[i]);
+  }
+  return out;
+}
+
+Result<QueryResponse> Router::Execute(const QueryRequest& request,
+                                      const QueryOutput& out) const {
+  return ExecuteRequest(request, out, NumVertices(), SeqRunner{impl_.get()});
+}
+
+Status Router::BatchQueryInto(Vertex source, std::span<const Vertex> targets,
+                              std::span<Dist> out) const {
+  if (out.size() != targets.size()) {
+    return Status::InvalidArgument(
+        ShapeError("a point batch", out.size(), targets.size()));
+  }
   const uint64_t n = NumVertices();
   if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
-  if (Status st = CheckVertices("candidates", candidates, n); !st.ok()) {
-    return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return SeqRunner{impl_.get()}.Batch(source, targets, out.data(), Deadline{});
+}
+
+Status Router::DistanceMatrixInto(std::span<const Vertex> sources,
+                                  std::span<const Vertex> targets,
+                                  std::span<Dist> out) const {
+  if (out.size() != sources.size() * targets.size()) {
+    return Status::InvalidArgument(ShapeError(
+        "a distance matrix", out.size(), sources.size() * targets.size()));
   }
-  return impl_->Visit(
-      [&](const auto& index) { return index.KNearest(source, candidates, k); });
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return SeqRunner{impl_.get()}.Matrix(
+      sources, targets, MatrixRows{.flat = out.data(), .stride = targets.size()},
+      Deadline{});
+}
+
+Result<size_t> Router::KNearestInto(Vertex source,
+                                    std::span<const Vertex> candidates,
+                                    size_t k, std::span<Dist> out_dists,
+                                    std::span<Vertex> out_vertices) const {
+  QueryRequest request;
+  request.kind = QueryKind::kKNearest;
+  request.sources = std::span<const Vertex>(&source, 1);
+  request.targets = candidates;
+  request.k = k;
+  Result<QueryResponse> response =
+      Execute(request, QueryOutput{out_dists, out_vertices});
+  if (!response.ok()) return response.status();
+  return response->written;
 }
 
 Status Router::RebuildLabels(const Graph& updated, bool tail_pruning,
@@ -256,6 +699,50 @@ struct ThreadedRouter::Impl {
     return undirected != nullptr ? fn(*undirected) : fn(*directed);
   }
 };
+
+namespace {
+
+/// Parallel executor over the ThreadedRouter's query engine. `max_threads`
+/// is the per-request cap (QueryOptions::num_threads); 1 makes the engine
+/// run inline on the caller, so this runner also covers forced-sequential
+/// requests. Templated over the (private) impl type like SeqRunner.
+template <typename ThreadedImpl>
+struct PoolRunner {
+  const ThreadedImpl* impl;
+  uint32_t max_threads = 0;
+
+  EngineCallOptions Call(const Deadline& dl) const {
+    EngineCallOptions call;
+    call.has_deadline = dl.enabled;
+    call.deadline = dl.at;
+    call.max_threads = max_threads;
+    return call;
+  }
+
+  Status Pairs(std::span<const Vertex> s, std::span<const Vertex> t,
+               Dist* out, const Deadline& dl) const {
+    const bool done = impl->Visit([&](const auto& engine) {
+      return engine.PointPairsInto(s, t, out, Call(dl));
+    });
+    return done ? Status::Ok() : DeadlineError();
+  }
+  Status Batch(Vertex source, std::span<const Vertex> targets, Dist* out,
+               const Deadline& dl) const {
+    const bool done = impl->Visit([&](const auto& engine) {
+      return engine.BatchQueryInto(source, targets, out, Call(dl));
+    });
+    return done ? Status::Ok() : DeadlineError();
+  }
+  Status Matrix(std::span<const Vertex> s, std::span<const Vertex> t,
+                const MatrixRows& rows, const Deadline& dl) const {
+    const bool done = impl->Visit([&](const auto& engine) {
+      return engine.DistanceMatrixInto(s, t, rows, Call(dl));
+    });
+    return done ? Status::Ok() : DeadlineError();
+  }
+};
+
+}  // namespace
 
 ThreadedRouter::ThreadedRouter(std::unique_ptr<Impl> impl)
     : impl_(std::move(impl)) {}
@@ -315,11 +802,9 @@ Result<std::vector<Dist>> ThreadedRouter::PointQueries(
 
 Result<std::vector<Dist>> ThreadedRouter::BatchQuery(
     Vertex source, std::span<const Vertex> targets) const {
-  const uint64_t n = impl_->num_vertices;
-  if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
-  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
-  return impl_->Visit(
-      [&](const auto& engine) { return engine.BatchQuery(source, targets); });
+  std::vector<Dist> out(targets.size(), kInfDist);
+  if (Status st = BatchQueryInto(source, targets, out); !st.ok()) return st;
+  return out;
 }
 
 Result<std::vector<std::vector<Dist>>> ThreadedRouter::DistanceMatrix(
@@ -327,21 +812,82 @@ Result<std::vector<std::vector<Dist>>> ThreadedRouter::DistanceMatrix(
   const uint64_t n = impl_->num_vertices;
   if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
   if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
-  return impl_->Visit([&](const auto& engine) {
-    return engine.DistanceMatrix(sources, targets);
-  });
+  std::vector<std::vector<Dist>> matrix(
+      sources.size(), std::vector<Dist>(targets.size(), kInfDist));
+  if (sources.empty() || targets.empty()) return matrix;
+  FacadeScratch& fs = TlsFacadeScratch();
+  fs.rows.resize(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) fs.rows[i] = matrix[i].data();
+  if (Status st = PoolRunner{impl_.get()}.Matrix(
+          sources, targets, MatrixRows{.rows = fs.rows.data()}, Deadline{});
+      !st.ok()) {
+    return st;
+  }
+  return matrix;
 }
 
 Result<std::vector<std::pair<Dist, Vertex>>> ThreadedRouter::KNearest(
     Vertex source, std::span<const Vertex> candidates, size_t k) const {
+  const size_t need = std::min(k, candidates.size());
+  std::vector<Dist> dists(need);
+  std::vector<Vertex> vertices(need);
+  Result<size_t> written = KNearestInto(source, candidates, k, dists, vertices);
+  if (!written.ok()) return written.status();
+  std::vector<std::pair<Dist, Vertex>> out;
+  out.reserve(*written);
+  for (size_t i = 0; i < *written; ++i) {
+    out.emplace_back(dists[i], vertices[i]);
+  }
+  return out;
+}
+
+Result<QueryResponse> ThreadedRouter::Execute(const QueryRequest& request,
+                                              const QueryOutput& out) const {
+  return ExecuteRequest(request, out, impl_->num_vertices,
+                        PoolRunner{impl_.get(), request.options.num_threads});
+}
+
+Status ThreadedRouter::BatchQueryInto(Vertex source,
+                                      std::span<const Vertex> targets,
+                                      std::span<Dist> out) const {
+  if (out.size() != targets.size()) {
+    return Status::InvalidArgument(
+        ShapeError("a point batch", out.size(), targets.size()));
+  }
   const uint64_t n = impl_->num_vertices;
   if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
-  if (Status st = CheckVertices("candidates", candidates, n); !st.ok()) {
-    return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return PoolRunner{impl_.get()}.Batch(source, targets, out.data(),
+                                       Deadline{});
+}
+
+Status ThreadedRouter::DistanceMatrixInto(std::span<const Vertex> sources,
+                                          std::span<const Vertex> targets,
+                                          std::span<Dist> out) const {
+  if (out.size() != sources.size() * targets.size()) {
+    return Status::InvalidArgument(ShapeError(
+        "a distance matrix", out.size(), sources.size() * targets.size()));
   }
-  return impl_->Visit([&](const auto& engine) {
-    return engine.KNearest(source, candidates, k);
-  });
+  const uint64_t n = impl_->num_vertices;
+  if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
+  if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  return PoolRunner{impl_.get()}.Matrix(
+      sources, targets,
+      MatrixRows{.flat = out.data(), .stride = targets.size()}, Deadline{});
+}
+
+Result<size_t> ThreadedRouter::KNearestInto(
+    Vertex source, std::span<const Vertex> candidates, size_t k,
+    std::span<Dist> out_dists, std::span<Vertex> out_vertices) const {
+  QueryRequest request;
+  request.kind = QueryKind::kKNearest;
+  request.sources = std::span<const Vertex>(&source, 1);
+  request.targets = candidates;
+  request.k = k;
+  Result<QueryResponse> response =
+      Execute(request, QueryOutput{out_dists, out_vertices});
+  if (!response.ok()) return response.status();
+  return response->written;
 }
 
 }  // namespace hc2l

@@ -284,13 +284,18 @@ Dist DirectedHc2lIndex::Query(Vertex s, Vertex t) const {
 DirectedHc2lIndex::ResolvedTargets DirectedHc2lIndex::ResolveTargets(
     std::span<const Vertex> targets) const {
   ResolvedTargets rt;
-  rt.original.assign(targets.begin(), targets.end());
-  rt.code.resize(targets.size());
+  ResolveTargetsInto(targets, &rt);
+  return rt;
+}
+
+void DirectedHc2lIndex::ResolveTargetsInto(std::span<const Vertex> targets,
+                                           ResolvedTargets* rt) const {
+  rt->original.assign(targets.begin(), targets.end());
+  rt->code.resize(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
     HC2L_CHECK_LT(targets[i], NumVertices());
-    rt.code[i] = hierarchy_.CodeOf(targets[i]);
+    rt->code[i] = hierarchy_.CodeOf(targets[i]);
   }
-  return rt;
 }
 
 void DirectedHc2lIndex::BatchQueryResolved(Vertex source,
@@ -305,35 +310,42 @@ void DirectedHc2lIndex::BatchQueryResolved(Vertex source,
   // Source side hoisted for the batch: tree code and out-array base. Pass 1
   // answers s == t inline and collects the rest; the shared level sweep
   // min-reduces the source's out-arrays against the targets' in-arrays.
+  // Working memory is the calling thread's reusable scratch.
   const TreeCode s_code = hierarchy_.CodeOf(source);
   const uint32_t s_base = out_labels_.base[source];
-  std::vector<PendingTarget> pending;
-  std::vector<uint32_t> level_of;
-  pending.reserve(end - begin);
-  level_of.reserve(end - begin);
+  QueryScratch& scratch = TlsQueryScratch();
+  scratch.pending.clear();
+  scratch.level_of.clear();
   for (size_t i = begin; i < end; ++i) {
     const Vertex t = rt.original[i];
     if (t == source) {
       out[i] = 0;
       continue;
     }
-    pending.push_back({static_cast<uint32_t>(i), t, /*offset=*/0});
-    level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
+    scratch.pending.push_back({static_cast<uint32_t>(i), t, /*offset=*/0});
+    scratch.level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
   }
-  SweepPendingByLevel(out_labels_, in_labels_, s_base, height_, pending,
-                      level_of, out);
+  SweepPendingByLevel(out_labels_, in_labels_, s_base, height_, &scratch, out);
 }
 
 std::vector<Dist> DirectedHc2lIndex::BatchQuery(
     Vertex source, std::span<const Vertex> targets) const {
   std::vector<Dist> out(targets.size(), kInfDist);
-  if (targets.empty()) return out;
+  BatchQueryInto(source, targets, out.data());
+  return out;
+}
+
+void DirectedHc2lIndex::BatchQueryInto(Vertex source,
+                                       std::span<const Vertex> targets,
+                                       Dist* out) const {
+  if (targets.empty()) return;
   // Unlike the undirected index there is no fused single-call variant:
   // directed resolution is only a code copy (no contraction roots or
-  // detours), so delegating through ResolveTargets costs next to nothing.
-  const ResolvedTargets rt = ResolveTargets(targets);
-  BatchQueryResolved(source, rt, 0, rt.size(), out.data());
-  return out;
+  // detours), so delegating through a thread-local ResolvedTargets costs
+  // next to nothing and keeps the path allocation-free once warm.
+  static thread_local ResolvedTargets rt;
+  ResolveTargetsInto(targets, &rt);
+  BatchQueryResolved(source, rt, 0, rt.size(), out);
 }
 
 std::vector<std::vector<Dist>> DirectedHc2lIndex::DistanceMatrix(

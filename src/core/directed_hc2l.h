@@ -53,6 +53,12 @@ class DirectedHc2lIndex {
   std::vector<Dist> BatchQuery(Vertex source,
                                std::span<const Vertex> targets) const;
 
+  /// Span-writing BatchQuery: writes out[i] = d(source -> targets[i]) for
+  /// every i (every slot is written). Working memory reuses the calling
+  /// thread's QueryScratch, so steady-state calls do not allocate.
+  void BatchQueryInto(Vertex source, std::span<const Vertex> targets,
+                      Dist* out) const;
+
   /// Many-to-many: result[i][j] = d(sources[i] -> targets[j]), with
   /// target-side resolution hoisted once per matrix and targets tiled so
   /// their in-label arrays stay L2-resident across sources.
@@ -78,6 +84,11 @@ class DirectedHc2lIndex {
 
   /// Resolves a target list for repeated use against many sources.
   ResolvedTargets ResolveTargets(std::span<const Vertex> targets) const;
+
+  /// ResolveTargets into a caller-owned (typically reused) instance: vectors
+  /// are resized in place, so a warm `rt` resolves without allocating.
+  void ResolveTargetsInto(std::span<const Vertex> targets,
+                          ResolvedTargets* rt) const;
 
   /// Computes out[i] = d(source -> targets.original[i]) for i in
   /// [begin, end); `out` points at the full row. Disjoint ranges may be

@@ -556,11 +556,17 @@ size_t Hc2lIndex::LabelSizeBytes() const { return labels_.ResidentBytes(); }
 Hc2lIndex::ResolvedTargets Hc2lIndex::ResolveTargets(
     std::span<const Vertex> targets) const {
   ResolvedTargets rt;
+  ResolveTargetsInto(targets, &rt);
+  return rt;
+}
+
+void Hc2lIndex::ResolveTargetsInto(std::span<const Vertex> targets,
+                                   ResolvedTargets* rt) const {
   const size_t n = targets.size();
-  rt.original.assign(targets.begin(), targets.end());
-  rt.core.resize(n);
-  rt.detour.resize(n);
-  rt.code.resize(n);
+  rt->original.assign(targets.begin(), targets.end());
+  rt->core.resize(n);
+  rt->detour.resize(n);
+  rt->code.resize(n);
   for (size_t i = 0; i < n; ++i) {
     const Vertex t = targets[i];
     HC2L_CHECK_LT(t, stats_.num_vertices);
@@ -570,11 +576,10 @@ Hc2lIndex::ResolvedTargets Hc2lIndex::ResolveTargets(
       root = contraction_->RootCoreId(t);
       detour = contraction_->DistToRoot(t);
     }
-    rt.core[i] = root;
-    rt.detour[i] = detour;
-    rt.code[i] = hierarchy_.CodeOf(root);
+    rt->core[i] = root;
+    rt->detour[i] = detour;
+    rt->code[i] = hierarchy_.CodeOf(root);
   }
-  return rt;
 }
 
 void Hc2lIndex::BatchQueryResolved(Vertex source, const ResolvedTargets& rt,
@@ -594,11 +599,11 @@ void Hc2lIndex::BatchQueryResolved(Vertex source, const ResolvedTargets& rt,
   const uint32_t s_base = labels_.base[root_s];
 
   // Pass 1 over pre-resolved targets: answer the trivial cases inline,
-  // collect the rest for the level sweep.
-  std::vector<PendingTarget> pending;
-  std::vector<uint32_t> level_of;
-  pending.reserve(end - begin);
-  level_of.reserve(end - begin);
+  // collect the rest for the level sweep. Working memory is the calling
+  // thread's reusable scratch (zero allocations once warm).
+  QueryScratch& scratch = TlsQueryScratch();
+  scratch.pending.clear();
+  scratch.level_of.clear();
   for (size_t i = begin; i < end; ++i) {
     const Vertex t = rt.original[i];
     if (t == source) {
@@ -613,19 +618,25 @@ void Hc2lIndex::BatchQueryResolved(Vertex source, const ResolvedTargets& rt,
       }
       offset += rt.detour[i];
     }
-    pending.push_back({static_cast<uint32_t>(i), rt.core[i], offset});
-    level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
+    scratch.pending.push_back({static_cast<uint32_t>(i), rt.core[i], offset});
+    scratch.level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
   }
   // stats_.tree_height, not hierarchy_.Height() — that one rescans every
   // tree node, which would dwarf small batches.
-  SweepPendingByLevel(labels_, labels_, s_base, stats_.tree_height, pending,
-                      level_of, out);
+  SweepPendingByLevel(labels_, labels_, s_base, stats_.tree_height, &scratch,
+                      out);
 }
 
 std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
                                         std::span<const Vertex> targets) const {
   std::vector<Dist> out(targets.size(), kInfDist);
-  if (targets.empty()) return out;
+  BatchQueryInto(source, targets, out.data());
+  return out;
+}
+
+void Hc2lIndex::BatchQueryInto(Vertex source, std::span<const Vertex> targets,
+                               Dist* out) const {
+  if (targets.empty()) return;
   HC2L_CHECK_LT(source, stats_.num_vertices);
 
   // Single-call fast path: resolution fused into pass 1 (no ResolvedTargets
@@ -640,10 +651,9 @@ std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
   const TreeCode s_code = hierarchy_.CodeOf(root_s);
   const uint32_t s_base = labels_.base[root_s];
 
-  std::vector<PendingTarget> pending;
-  std::vector<uint32_t> level_of;
-  pending.reserve(targets.size());
-  level_of.reserve(targets.size());
+  QueryScratch& scratch = TlsQueryScratch();
+  scratch.pending.clear();
+  scratch.level_of.clear();
   for (size_t i = 0; i < targets.size(); ++i) {
     const Vertex t = targets[i];
     HC2L_CHECK_LT(t, stats_.num_vertices);
@@ -661,12 +671,12 @@ std::vector<Dist> Hc2lIndex::BatchQuery(Vertex source,
       }
       offset += contraction_->DistToRoot(t);
     }
-    pending.push_back({static_cast<uint32_t>(i), root_t, offset});
-    level_of.push_back(TreeCodeLcaLevel(s_code, hierarchy_.CodeOf(root_t)));
+    scratch.pending.push_back({static_cast<uint32_t>(i), root_t, offset});
+    scratch.level_of.push_back(
+        TreeCodeLcaLevel(s_code, hierarchy_.CodeOf(root_t)));
   }
-  SweepPendingByLevel(labels_, labels_, s_base, stats_.tree_height, pending,
-                      level_of, out.data());
-  return out;
+  SweepPendingByLevel(labels_, labels_, s_base, stats_.tree_height, &scratch,
+                      out);
 }
 
 std::vector<std::vector<Dist>> Hc2lIndex::DistanceMatrix(

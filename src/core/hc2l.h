@@ -89,6 +89,13 @@ class Hc2lIndex {
   std::vector<Dist> BatchQuery(Vertex source,
                                std::span<const Vertex> targets) const;
 
+  /// Span-writing BatchQuery: writes out[i] = d(source, targets[i]) for every
+  /// i (every slot is written; no pre-fill needed). Working memory comes from
+  /// the calling thread's QueryScratch, so steady-state calls do not allocate
+  /// — the primitive under the facade's zero-copy request path.
+  void BatchQueryInto(Vertex source, std::span<const Vertex> targets,
+                      Dist* out) const;
+
   /// Many-to-many distance matrix: result[i][j] = d(sources[i], targets[j]).
   /// Target-side resolution is hoisted once for the whole matrix and targets
   /// are processed in tiles so their label arrays stay L2-resident across
@@ -119,6 +126,11 @@ class Hc2lIndex {
 
   /// Resolves a target list for repeated use against many sources.
   ResolvedTargets ResolveTargets(std::span<const Vertex> targets) const;
+
+  /// ResolveTargets into a caller-owned (typically reused) instance: vectors
+  /// are resized in place, so a warm `rt` resolves without allocating.
+  void ResolveTargetsInto(std::span<const Vertex> targets,
+                          ResolvedTargets* rt) const;
 
   /// Computes out[i] = d(source, targets.original[i]) for i in [begin, end).
   /// `out` points at the full row (indexed by target position, not

@@ -79,26 +79,55 @@ struct PendingTarget {
   Dist offset;  // contraction detour (source side + target side); 0 directed
 };
 
+/// Reusable per-thread working memory of the batch fast path. The
+/// request/response API promises a zero-allocation hot path for span-output
+/// batch and matrix queries, so every intermediate the old code allocated
+/// per call — the pending list, its LCA levels, the counting-sort buffers —
+/// lives here instead and keeps its capacity across calls. One instance per
+/// thread (TlsQueryScratch) is enough: the batch entry points never nest.
+struct QueryScratch {
+  std::vector<PendingTarget> pending;
+  std::vector<uint32_t> level_of;
+  // SweepPendingByLevel's counting sort.
+  std::vector<uint32_t> bucket_pos;
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> cursor;
+  // SelectKNearestInto's candidate ranking.
+  std::vector<uint32_t> knn_idx;
+};
+
+/// The calling thread's QueryScratch. Function-local so the first query on a
+/// thread constructs it (empty vectors — no allocation until first use).
+inline QueryScratch& TlsQueryScratch() {
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
 /// Pass 2 of the batch fast path, shared by the undirected index (both label
 /// stores are the same object) and the directed one (source side reads
-/// out-labels, target side in-labels): counting-sorts `pending` by LCA level
-/// (level_of, parallel to pending, values <= height) and sweeps each level
-/// bucket against the source's level array at source_labels.base + ... =
-/// s_idx, prefetching the next target's array while reducing the current
-/// one. Writes out[pending[p].out_index] for every pending entry.
+/// out-labels, target side in-labels): counting-sorts `scratch->pending` by
+/// LCA level (scratch->level_of, parallel to pending, values <= height) and
+/// sweeps each level bucket against the source's level array at
+/// source_labels.base + ... = s_idx, prefetching the next target's array
+/// while reducing the current one. Writes out[pending[p].out_index] for
+/// every pending entry. The counting-sort buffers reuse `scratch` capacity,
+/// so steady-state calls do not allocate.
 inline void SweepPendingByLevel(const LabelStore& source_labels,
                                 const LabelStore& target_labels,
                                 uint32_t s_base, uint32_t height,
-                                const std::vector<PendingTarget>& pending,
-                                const std::vector<uint32_t>& level_of,
-                                Dist* out) {
+                                QueryScratch* scratch, Dist* out) {
   constexpr uint32_t kUnreachableLabel = UINT32_MAX;
-  std::vector<uint32_t> bucket_pos(height + 2, 0);
+  const std::vector<PendingTarget>& pending = scratch->pending;
+  const std::vector<uint32_t>& level_of = scratch->level_of;
+  std::vector<uint32_t>& bucket_pos = scratch->bucket_pos;
+  bucket_pos.assign(height + 2, 0);
   for (const uint32_t level : level_of) ++bucket_pos[level + 1];
   for (uint32_t l = 0; l <= height; ++l) bucket_pos[l + 1] += bucket_pos[l];
-  std::vector<uint32_t> order(pending.size());
+  std::vector<uint32_t>& order = scratch->order;
+  order.resize(pending.size());
   {
-    std::vector<uint32_t> cursor(bucket_pos.begin(), bucket_pos.end() - 1);
+    std::vector<uint32_t>& cursor = scratch->cursor;
+    cursor.assign(bucket_pos.begin(), bucket_pos.end() - 1);
     for (size_t p = 0; p < pending.size(); ++p) {
       order[cursor[level_of[p]]++] = static_cast<uint32_t>(p);
     }
@@ -177,6 +206,33 @@ inline std::vector<std::pair<Dist, Vertex>> SelectKNearest(
     out.emplace_back(dists[idx[i]], candidates[idx[i]]);
   }
   return out;
+}
+
+/// Span-writing SelectKNearest for the request/response API: identical
+/// selection (ranked by (distance, candidate position), unreachable
+/// excluded) written into caller-owned arrays. `out_dists`/`out_vertices`
+/// must hold at least min(k, candidates.size()) slots. The ranking buffer
+/// reuses `scratch->knn_idx` capacity. Returns the number of slots written.
+inline size_t SelectKNearestInto(std::span<const Dist> dists,
+                                 std::span<const Vertex> candidates, size_t k,
+                                 Dist* out_dists, Vertex* out_vertices,
+                                 QueryScratch* scratch) {
+  std::vector<uint32_t>& idx = scratch->knn_idx;
+  idx.clear();
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    if (dists[i] != kInfDist) idx.push_back(i);
+  }
+  const size_t keep = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + keep, idx.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (dists[a] != dists[b]) return dists[a] < dists[b];
+                      return a < b;
+                    });
+  for (size_t i = 0; i < keep; ++i) {
+    out_dists[i] = dists[idx[i]];
+    out_vertices[i] = candidates[idx[i]];
+  }
+  return keep;
 }
 
 }  // namespace hc2l

@@ -1,6 +1,7 @@
 #include "server/query_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "core/query_common.h"
@@ -27,6 +28,38 @@ ShardRange ShardOf(size_t count, size_t shards, size_t s) {
   return {std::min(begin, count), std::min(begin + chunk, count)};
 }
 
+/// Queries answered between deadline polls. A query is tens of nanoseconds
+/// and a steady_clock read is ~20, so polling every ~1k queries keeps the
+/// overhead invisible while bounding overshoot to a few tens of
+/// microseconds.
+constexpr size_t kDeadlineCheckQueries = 1024;
+
+/// Shared expiry latch of one span-output call: workers poll it at chunk
+/// boundaries; the first to observe the deadline passing trips it for
+/// everyone. Without a deadline Expired() is a single branch.
+class DeadlineGate {
+ public:
+  explicit DeadlineGate(const EngineCallOptions& call)
+      : enabled_(call.has_deadline), at_(call.deadline) {}
+
+  bool Expired() {
+    if (!enabled_) return false;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= at_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool expired() const { return expired_.load(std::memory_order_relaxed); }
+
+ private:
+  const bool enabled_;
+  const std::chrono::steady_clock::time_point at_;
+  std::atomic<bool> expired_{false};
+};
+
 }  // namespace
 
 template <typename Index>
@@ -40,11 +73,18 @@ BasicQueryEngine<Index>::BasicQueryEngine(const Index& index,
 }
 
 template <typename Index>
-size_t BasicQueryEngine<Index>::NumShards(size_t queries) const {
-  if (pool_.NumThreads() <= 1) return 1;
+size_t BasicQueryEngine<Index>::NumShards(size_t queries,
+                                          uint32_t max_threads) const {
+  if (pool_.NumThreads() <= 1 || max_threads == 1) return 1;
   const size_t by_grain =
       (queries + options_.min_shard_queries - 1) / options_.min_shard_queries;
-  const size_t by_threads = static_cast<size_t>(pool_.NumThreads()) * 4;
+  size_t by_threads = static_cast<size_t>(pool_.NumThreads()) * 4;
+  if (max_threads != 0) {
+    // A per-request thread cap: concurrency never exceeds the shard count,
+    // so capping shards at the requested thread count honors it (trading
+    // away the 4x load-balance slack).
+    by_threads = std::min(by_threads, static_cast<size_t>(max_threads));
+  }
   return std::max<size_t>(1, std::min(by_grain, by_threads));
 }
 
@@ -70,24 +110,78 @@ std::vector<Dist> BasicQueryEngine<Index>::PointQueries(
 }
 
 template <typename Index>
+bool BasicQueryEngine<Index>::PointPairsInto(
+    std::span<const Vertex> sources, std::span<const Vertex> targets,
+    Dist* out, const EngineCallOptions& call) const {
+  const size_t n = std::min(sources.size(), targets.size());
+  DeadlineGate gate(call);
+  const auto run = [&](size_t begin, size_t end) {
+    for (size_t chunk = begin; chunk < end;
+         chunk += kDeadlineCheckQueries) {
+      if (gate.Expired()) return;
+      const size_t stop = std::min(end, chunk + kDeadlineCheckQueries);
+      for (size_t i = chunk; i < stop; ++i) {
+        out[i] = index_->Query(sources[i], targets[i]);
+      }
+    }
+  };
+  const size_t shards = NumShards(n, call.max_threads);
+  if (shards <= 1) {
+    run(0, n);
+  } else {
+    pool_.ParallelFor(shards, [&](size_t s) {
+      const ShardRange r = ShardOf(n, shards, s);
+      run(r.begin, r.end);
+    });
+  }
+  return !gate.expired();
+}
+
+template <typename Index>
 std::vector<Dist> BasicQueryEngine<Index>::BatchQuery(
     Vertex source, std::span<const Vertex> targets) const {
-  const size_t shards = NumShards(targets.size());
-  // Sub-threshold workloads take the index's fused single-call fast path —
-  // no ResolvedTargets materialization, identical cost to a direct call.
-  if (shards <= 1) return index_->BatchQuery(source, targets);
   std::vector<Dist> out(targets.size(), kInfDist);
-  // Each shard resolves and answers its own contiguous slice of the target
-  // list — fully independent, writing disjoint ranges of `out`.
-  pool_.ParallelFor(shards, [&](size_t s) {
-    const ShardRange r = ShardOf(targets.size(), shards, s);
-    if (r.begin == r.end) return;
-    const auto rt =
-        index_->ResolveTargets(targets.subspan(r.begin, r.end - r.begin));
-    index_->BatchQueryResolved(source, rt, 0, rt.size(),
-                               out.data() + r.begin);
-  });
+  BatchQueryInto(source, targets, out.data());
   return out;
+}
+
+template <typename Index>
+bool BasicQueryEngine<Index>::BatchQueryInto(
+    Vertex source, std::span<const Vertex> targets, Dist* out,
+    const EngineCallOptions& call) const {
+  if (targets.empty()) return true;
+  DeadlineGate gate(call);
+  const size_t shards = NumShards(targets.size(), call.max_threads);
+  // Each shard resolves and answers contiguous slices of the target list —
+  // fully independent, writing disjoint ranges of `out`. Without a deadline
+  // a shard is one slice; with one, the slice is cut into poll-sized chunks.
+  const auto run = [&](size_t begin, size_t end) {
+    const size_t step =
+        call.has_deadline ? kDeadlineCheckQueries : end - begin;
+    for (size_t chunk = begin; chunk < end; chunk += step) {
+      if (gate.Expired()) return;
+      const size_t stop = std::min(end, chunk + step);
+      if (shards <= 1) {
+        // The index's fused single-call fast path — no ResolvedTargets
+        // materialization, identical cost to a direct call.
+        index_->BatchQueryInto(source, targets.subspan(chunk, stop - chunk),
+                               out + chunk);
+      } else {
+        static thread_local typename Index::ResolvedTargets rt;
+        index_->ResolveTargetsInto(targets.subspan(chunk, stop - chunk), &rt);
+        index_->BatchQueryResolved(source, rt, 0, rt.size(), out + chunk);
+      }
+    }
+  };
+  if (shards <= 1) {
+    run(0, targets.size());
+  } else {
+    pool_.ParallelFor(shards, [&](size_t s) {
+      const ShardRange r = ShardOf(targets.size(), shards, s);
+      run(r.begin, r.end);
+    });
+  }
+  return !gate.expired();
 }
 
 template <typename Index>
@@ -96,22 +190,44 @@ std::vector<std::vector<Dist>> BasicQueryEngine<Index>::DistanceMatrix(
   std::vector<std::vector<Dist>> matrix(
       sources.size(), std::vector<Dist>(targets.size(), kInfDist));
   if (sources.empty() || targets.empty()) return matrix;
-  // Targets resolved once for the whole matrix, shared read-only by all
-  // shards.
-  const auto rt = index_->ResolveTargets(targets);
+  std::vector<Dist*> row_ptrs(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) row_ptrs[i] = matrix[i].data();
+  DistanceMatrixInto(sources, targets, MatrixRows{.rows = row_ptrs.data()});
+  return matrix;
+}
+
+template <typename Index>
+bool BasicQueryEngine<Index>::DistanceMatrixInto(
+    std::span<const Vertex> sources, std::span<const Vertex> targets,
+    const MatrixRows& rows, const EngineCallOptions& call) const {
+  if (sources.empty() || targets.empty()) return true;
+  DeadlineGate gate(call);
+  // Targets resolved once for the whole matrix on the calling thread, shared
+  // read-only by all shards. Thread-local storage so repeated requests reuse
+  // the capacity (concurrent callers each get their own instance) — but the
+  // worker lambdas below must go through the captured reference `rt`, never
+  // name the thread_local directly: thread_locals are not captured, so a
+  // direct mention would resolve to the *worker's* (empty) instance.
+  static thread_local typename Index::ResolvedTargets rt_storage;
+  index_->ResolveTargetsInto(targets, &rt_storage);
+  const typename Index::ResolvedTargets& rt = rt_storage;
   const size_t tile = options_.target_tile;
-  const size_t want_shards = NumShards(sources.size() * targets.size());
+  const size_t want_shards =
+      NumShards(sources.size() * targets.size(), call.max_threads);
   const auto run_rows = [&](size_t row_begin, size_t row_end) {
     for (size_t t0 = 0; t0 < rt.size(); t0 += tile) {
       const size_t t1 = std::min(rt.size(), t0 + tile);
       for (size_t i = row_begin; i < row_end; ++i) {
-        index_->BatchQueryResolved(sources[i], rt, t0, t1, matrix[i].data());
+        // One (row, tile) step is at most target_tile queries, so polling
+        // here bounds deadline overshoot without a separate chunk loop.
+        if (gate.Expired()) return;
+        index_->BatchQueryResolved(sources[i], rt, t0, t1, rows.Row(i));
       }
     }
   };
   if (want_shards <= 1) {
     run_rows(0, sources.size());
-    return matrix;
+    return !gate.expired();
   }
   if (sources.size() >= want_shards) {
     // Enough rows to feed every shard: shard by sources; each worker sweeps
@@ -121,7 +237,7 @@ std::vector<std::vector<Dist>> BasicQueryEngine<Index>::DistanceMatrix(
       const ShardRange r = ShardOf(sources.size(), want_shards, s);
       run_rows(r.begin, r.end);
     });
-    return matrix;
+    return !gate.expired();
   }
   // Few sources, many targets: row sharding alone would idle most threads,
   // so shard over (row, target tile) units. Consecutive units share a row's
@@ -129,12 +245,13 @@ std::vector<std::vector<Dist>> BasicQueryEngine<Index>::DistanceMatrix(
   // gracefully; every unit still writes a disjoint matrix range.
   const size_t num_tiles = (rt.size() + tile - 1) / tile;
   pool_.ParallelFor(sources.size() * num_tiles, [&](size_t unit) {
+    if (gate.Expired()) return;
     const size_t i = unit / num_tiles;
     const size_t t0 = (unit % num_tiles) * tile;
     const size_t t1 = std::min(rt.size(), t0 + tile);
-    index_->BatchQueryResolved(sources[i], rt, t0, t1, matrix[i].data());
+    index_->BatchQueryResolved(sources[i], rt, t0, t1, rows.Row(i));
   });
-  return matrix;
+  return !gate.expired();
 }
 
 template <typename Index>

@@ -30,6 +30,7 @@
 /// of nanoseconds; handing it to another core costs more than answering it);
 /// the engine pays off for bulk workloads.
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -42,6 +43,31 @@
 #include "core/query_common.h"
 
 namespace hc2l {
+
+/// Row-output view of the matrix span paths: either a flat row-major buffer
+/// (`flat` + `stride`) or an array of per-row pointers (`rows`, which wins
+/// when non-null). Lets the zero-copy request path (one flat caller span)
+/// and the vector<vector> wrappers share one implementation.
+struct MatrixRows {
+  Dist* flat = nullptr;
+  size_t stride = 0;
+  Dist* const* rows = nullptr;
+
+  Dist* Row(size_t i) const {
+    return rows != nullptr ? rows[i] : flat + i * stride;
+  }
+};
+
+/// Per-call controls of the span-output engine entry points.
+struct EngineCallOptions {
+  /// When true, workers poll `deadline` at chunk boundaries (roughly every
+  /// thousand queries) and abandon remaining work once it passes.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Caps shards in flight (and thus worker concurrency) for this call;
+  /// 0 = no cap beyond the pool size, 1 = fully inline on the caller.
+  uint32_t max_threads = 0;
+};
 
 struct QueryEngineOptions {
   /// Worker threads participating in each call (callers + pool workers);
@@ -93,12 +119,34 @@ class BasicQueryEngine {
   std::vector<std::pair<Dist, Vertex>> KNearest(
       Vertex source, std::span<const Vertex> candidates, size_t k) const;
 
+  // Span-output entry points (the request/response hot path): identical
+  // results to the vector methods, written into caller-owned memory with no
+  // per-call result allocation. Each returns false iff the call's deadline
+  // expired before completion — output contents are then unspecified.
+
+  /// out[i] = d(sources[i], targets[i]); spans must be the same length.
+  bool PointPairsInto(std::span<const Vertex> sources,
+                      std::span<const Vertex> targets, Dist* out,
+                      const EngineCallOptions& call = {}) const;
+
+  /// One-to-many into out[0 .. targets.size()).
+  bool BatchQueryInto(Vertex source, std::span<const Vertex> targets,
+                      Dist* out, const EngineCallOptions& call = {}) const;
+
+  /// Many-to-many; row i of `rows` receives d(sources[i], targets[j]) for
+  /// every j. Target resolution hoisted once, tiles kept L2-resident.
+  bool DistanceMatrixInto(std::span<const Vertex> sources,
+                          std::span<const Vertex> targets,
+                          const MatrixRows& rows,
+                          const EngineCallOptions& call = {}) const;
+
  private:
   /// Number of contiguous shards for `queries` total independent queries:
   /// bounded below by min_shard_queries per shard and above by 4 shards per
-  /// thread (load-balance tail vs. scheduling overhead). Returns <= 1 when
-  /// sharding isn't worth it.
-  size_t NumShards(size_t queries) const;
+  /// thread (load-balance tail vs. scheduling overhead), additionally capped
+  /// by `max_threads` when non-zero. Returns <= 1 when sharding isn't worth
+  /// it.
+  size_t NumShards(size_t queries, uint32_t max_threads = 0) const;
 
   const Index* index_;
   QueryEngineOptions options_;

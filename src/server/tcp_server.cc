@@ -1,0 +1,265 @@
+#include "hc2l/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace hc2l {
+
+namespace {
+
+/// close() wrapper that survives EINTR.
+void CloseFd(int fd) {
+  if (fd >= 0) {
+    while (::close(fd) != 0 && errno == EINTR) {
+    }
+  }
+}
+
+/// Writes the whole buffer, retrying short writes; false on a dead peer.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct QueryServer::Impl {
+  const Router* router = nullptr;
+  ServerOptions options;
+  // One engine shared by all connections; per-request "threads" caps it.
+  std::unique_ptr<ThreadedRouter> threaded;
+
+  int listen_fd = -1;
+  uint16_t bound_port = 0;
+  std::thread accept_thread;
+
+  std::mutex mu;
+  std::condition_variable stopped_cv;
+  bool stopping = false;  // guarded by mu
+  // Serializes StopAndJoin callers (Stop() from any thread, the
+  // destructor): the joins and fd teardown below must run exactly once at
+  // a time; the joinable()/fd guards then make the second caller a no-op.
+  std::mutex stop_mu;
+  std::atomic<uint64_t> accepted{0};
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::vector<std::unique_ptr<Connection>> connections;  // guarded by mu
+
+  ~Impl() { StopAndJoin(); }
+
+  void ServeConnection(Connection* conn) {
+    RequestHandler handler(*router, *threaded);
+    std::string inbuf;
+    std::string outbuf;
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      inbuf.append(buf, static_cast<size_t>(n));
+      // Handle every complete line, then drop the consumed prefix once.
+      size_t consumed = 0;
+      for (;;) {
+        const size_t nl = inbuf.find('\n', consumed);
+        if (nl == std::string::npos) break;
+        handler.HandleLine(
+            std::string_view(inbuf).substr(consumed, nl - consumed), &outbuf);
+        consumed = nl + 1;
+      }
+      if (consumed > 0) inbuf.erase(0, consumed);
+      if (inbuf.size() > options.max_line_bytes) {
+        outbuf.append(
+            "{\"ok\":false,\"code\":\"InvalidArgument\",\"message\":\"request "
+            "line exceeds the per-line byte cap\"}\n");
+        SendAll(conn->fd, outbuf.data(), outbuf.size());
+        break;
+      }
+      if (!outbuf.empty()) {
+        if (!SendAll(conn->fd, outbuf.data(), outbuf.size())) break;
+        outbuf.clear();
+      }
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    // The fd stays open until the accept loop (or Stop) joins this thread —
+    // closing it here could race a concurrent Stop() shutdown() against a
+    // reused descriptor number.
+    conn->done.store(true, std::memory_order_release);
+  }
+
+  /// Joins and closes connections whose handler has finished, bounding open
+  /// descriptors to live connections (plus any finished since the last
+  /// accept). Called between accepts; Stop() sweeps whatever remains.
+  void ReapFinished() {
+    std::vector<std::unique_ptr<Connection>> done;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t i = 0; i < connections.size();) {
+        if (connections[i]->done.load(std::memory_order_acquire)) {
+          done.push_back(std::move(connections[i]));
+          connections[i] = std::move(connections.back());
+          connections.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (auto& conn : done) {
+      if (conn->thread.joinable()) conn->thread.join();
+      CloseFd(conn->fd);
+    }
+  }
+
+  void AcceptLoop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        // Stop() shut the listen socket down (or the socket died): exit.
+        return;
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      ReapFinished();
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      Connection* raw = conn.get();
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopping) {
+        CloseFd(fd);
+        return;
+      }
+      conn->thread = std::thread([this, raw] { ServeConnection(raw); });
+      connections.push_back(std::move(conn));
+    }
+  }
+
+  void StopAndJoin() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
+    }
+    if (listen_fd >= 0) {
+      // Unblocks accept() on Linux; the loop then exits on the error.
+      ::shutdown(listen_fd, SHUT_RDWR);
+    }
+    if (accept_thread.joinable()) accept_thread.join();
+    CloseFd(listen_fd);
+    listen_fd = -1;
+    std::vector<std::unique_ptr<Connection>> to_join;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      to_join.swap(connections);
+    }
+    for (auto& conn : to_join) {
+      // Kicks a handler blocked in recv(); it exits on the 0/-1 return.
+      ::shutdown(conn->fd, SHUT_RDWR);
+      if (conn->thread.joinable()) conn->thread.join();
+      CloseFd(conn->fd);
+    }
+    stopped_cv.notify_all();
+  }
+};
+
+QueryServer::QueryServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+QueryServer::QueryServer(QueryServer&&) noexcept = default;
+QueryServer& QueryServer::operator=(QueryServer&&) noexcept = default;
+QueryServer::~QueryServer() {
+  if (impl_ != nullptr) impl_->StopAndJoin();
+}
+
+Result<QueryServer> QueryServer::Start(const Router& router,
+                                       const ServerOptions& options) {
+  auto impl = std::make_unique<Impl>();
+  impl->router = &router;
+  impl->options = options;
+  if (impl->options.max_line_bytes == 0) impl->options.max_line_bytes = 1;
+
+  ParallelOptions parallel;
+  parallel.num_threads = options.num_threads;
+  parallel.min_shard_queries = options.min_shard_queries;
+  Result<ThreadedRouter> threaded = router.WithThreads(parallel);
+  if (!threaded.ok()) return threaded.status();
+  impl->threaded =
+      std::make_unique<ThreadedRouter>(std::move(threaded).value());
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen address \"" +
+                                   options.host + "\" (expected IPv4)");
+  }
+
+  impl->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl->listen_fd < 0) {
+    return Status::Unavailable(std::string("socket(): ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(impl->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Status::Unavailable(
+        "bind(" + options.host + ":" + std::to_string(options.port) +
+        "): " + std::strerror(errno));
+    CloseFd(impl->listen_fd);
+    impl->listen_fd = -1;
+    return status;
+  }
+  if (::listen(impl->listen_fd, 64) != 0) {
+    const Status status =
+        Status::Unavailable(std::string("listen(): ") + std::strerror(errno));
+    CloseFd(impl->listen_fd);
+    impl->listen_fd = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(impl->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    impl->bound_port = ntohs(bound.sin_port);
+  }
+  Impl* raw = impl.get();
+  impl->accept_thread = std::thread([raw] { raw->AcceptLoop(); });
+  return QueryServer(std::move(impl));
+}
+
+uint16_t QueryServer::port() const { return impl_->bound_port; }
+
+uint64_t QueryServer::connections_accepted() const {
+  return impl_->accepted.load(std::memory_order_relaxed);
+}
+
+void QueryServer::Stop() { impl_->StopAndJoin(); }
+
+void QueryServer::Wait() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->stopped_cv.wait(lock, [this] { return impl_->stopping; });
+}
+
+}  // namespace hc2l

@@ -1,0 +1,494 @@
+#include "server/wire.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "hc2l/query.h"
+
+namespace hc2l {
+
+namespace {
+
+/// Upper bound on "deadline_ms" (one day). Bounds the chrono arithmetic and
+/// turns a nonsense budget into a merely very long one.
+constexpr uint64_t kMaxDeadlineMs = 86'400'000;
+
+/// Nesting depth SkipValue tolerates in ignored values before declaring the
+/// line hostile ("[[[[[..." is not a request).
+constexpr int kMaxSkipDepth = 32;
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, end);
+}
+
+void AppendDist(std::string* out, Dist d) {
+  if (d == kInfDist) {
+    out->append("null");
+  } else {
+    AppendUint(out, d);
+  }
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// Hand-rolled parser for the protocol's JSON subset: objects with string
+/// keys; values that are strings, non-negative integers, arrays of
+/// non-negative integers, or (in skipped unknown keys) anything. No
+/// recursion on attacker-chosen depth beyond kMaxSkipDepth, no exceptions,
+/// position-carrying error messages.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r' ||
+            s_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("bad request JSON at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  Status ParseString(std::string* out) {
+    out->clear();
+    if (Status st = Expect('"'); !st.ok()) return st;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          // Basic-multilingual-plane escapes only; the protocol's own
+          // strings are ASCII enums, so this exists for error quality.
+          if (pos_ + 4 > s_.size()) return Error("truncated \\u escape");
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            return Error("surrogate \\u escapes are not supported");
+          }
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unsupported string escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  /// Non-negative integer; saturates at UINT64_MAX instead of wrapping.
+  Status ParseUint(uint64_t* out) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+      return Error("expected a non-negative integer");
+    }
+    uint64_t v = 0;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      const uint64_t d = static_cast<uint64_t>(s_[pos_] - '0');
+      v = v > (UINT64_MAX - d) / 10 ? UINT64_MAX : v * 10 + d;
+      ++pos_;
+    }
+    if (pos_ < s_.size() &&
+        (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      return Error("expected an integer, got a fractional number");
+    }
+    *out = v;
+    return Status::Ok();
+  }
+
+  /// Array of vertex ids. Values beyond the 32-bit vertex space parse as
+  /// kInvalidVertex — out of range for every graph, so the request's
+  /// missing-vertex policy decides what happens to them.
+  Status ParseVertexArray(std::vector<Vertex>* out) {
+    out->clear();
+    if (Status st = Expect('['); !st.ok()) return st;
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      uint64_t v = 0;
+      if (Status st = ParseUint(&v); !st.ok()) return st;
+      out->push_back(v >= kInvalidVertex ? kInvalidVertex
+                                         : static_cast<Vertex>(v));
+      if (Consume(']')) return Status::Ok();
+      if (Status st = Expect(','); !st.ok()) return st;
+    }
+  }
+
+  /// Skips any JSON value (for unknown keys).
+  Status SkipValue(int depth = 0) {
+    if (depth > kMaxSkipDepth) return Error("value nested too deeply");
+    SkipWs();
+    if (pos_ >= s_.size()) return Error("expected a value");
+    const char c = s_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{') {
+      ++pos_;
+      if (Consume('}')) return Status::Ok();
+      for (;;) {
+        std::string key;
+        if (Status st = ParseString(&key); !st.ok()) return st;
+        if (Status st = Expect(':'); !st.ok()) return st;
+        if (Status st = SkipValue(depth + 1); !st.ok()) return st;
+        if (Consume('}')) return Status::Ok();
+        if (Status st = Expect(','); !st.ok()) return st;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      if (Consume(']')) return Status::Ok();
+      for (;;) {
+        if (Status st = SkipValue(depth + 1); !st.ok()) return st;
+        if (Consume(']')) return Status::Ok();
+        if (Status st = Expect(','); !st.ok()) return st;
+      }
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      const std::string_view word = c == 't'   ? "true"
+                                    : c == 'f' ? "false"
+                                               : "null";
+      if (s_.substr(pos_, word.size()) != word) return Error("bad literal");
+      pos_ += word.size();
+      return Status::Ok();
+    }
+    // Number (any JSON number shape — it is being ignored).
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    return Status::Ok();
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseRequestLine(std::string_view line, WireRequest* req) {
+  req->Clear();
+  JsonCursor c(line);
+  if (Status st = c.Expect('{'); !st.ok()) return st;
+  if (!c.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (Status st = c.ParseString(&key); !st.ok()) return st;
+      if (Status st = c.Expect(':'); !st.ok()) return st;
+      Status field = Status::Ok();
+      if (key == "op") {
+        field = c.ParseString(&req->op);
+      } else if (key == "source") {
+        uint64_t v = 0;
+        field = c.ParseUint(&v);
+        req->sources.push_back(v >= kInvalidVertex ? kInvalidVertex
+                                                   : static_cast<Vertex>(v));
+      } else if (key == "sources") {
+        field = c.ParseVertexArray(&req->sources);
+      } else if (key == "target") {
+        uint64_t v = 0;
+        field = c.ParseUint(&v);
+        req->targets.push_back(v >= kInvalidVertex ? kInvalidVertex
+                                                   : static_cast<Vertex>(v));
+      } else if (key == "targets" || key == "candidates") {
+        field = c.ParseVertexArray(&req->targets);
+      } else if (key == "k") {
+        field = c.ParseUint(&req->k);
+      } else if (key == "deadline_ms") {
+        uint64_t ms = 0;
+        field = c.ParseUint(&ms);
+        if (ms > kMaxDeadlineMs) ms = kMaxDeadlineMs;
+        req->options.deadline = std::chrono::milliseconds(ms);
+      } else if (key == "threads") {
+        uint64_t t = 0;
+        field = c.ParseUint(&t);
+        // Same sanity cap as Router::WithThreads.
+        req->options.num_threads =
+            t > 4096 ? 4096u : static_cast<uint32_t>(t);
+      } else if (key == "missing") {
+        std::string policy;
+        field = c.ParseString(&policy);
+        if (field.ok()) {
+          if (policy == "error") {
+            req->options.missing_vertices = MissingVertexPolicy::kError;
+          } else if (policy == "unreachable") {
+            req->options.missing_vertices = MissingVertexPolicy::kUnreachable;
+          } else {
+            field = Status::InvalidArgument(
+                "\"missing\" must be \"error\" or \"unreachable\", got \"" +
+                policy + "\"");
+          }
+        }
+      } else {
+        field = c.SkipValue();
+      }
+      if (!field.ok()) return field;
+      if (c.Consume('}')) break;
+      if (Status st = c.Expect(','); !st.ok()) return st;
+    }
+  }
+  if (!c.AtEnd()) {
+    return c.Error("trailing bytes after the request object");
+  }
+  return Status::Ok();
+}
+
+void RequestHandler::AppendErrorResponse(const Status& status,
+                                         std::string* out) const {
+  out->append("{\"ok\":false,\"code\":\"");
+  out->append(StatusCodeName(status.code()));
+  out->append("\",\"message\":\"");
+  AppendJsonEscaped(out, status.message());
+  out->append("\"}\n");
+}
+
+void RequestHandler::HandleLine(std::string_view line, std::string* out) {
+  while (!line.empty() && (line.back() == '\r')) line.remove_suffix(1);
+  if (line.find_first_not_of(" \t") == std::string_view::npos) return;
+
+  if (Status st = ParseRequestLine(line, &req_); !st.ok()) {
+    AppendErrorResponse(st, out);
+    return;
+  }
+
+  if (req_.op == "ping") {
+    out->append("{\"ok\":true,\"op\":\"ping\"}\n");
+    return;
+  }
+  if (req_.op == "info") {
+    const IndexInfo info = router_->Info();
+    out->append("{\"ok\":true,\"op\":\"info\",\"directed\":");
+    out->append(info.directed ? "true" : "false");
+    out->append(",\"vertices\":");
+    AppendUint(out, info.num_vertices);
+    out->append(",\"tree_height\":");
+    AppendUint(out, info.tree_height);
+    out->append(",\"label_entries\":");
+    AppendUint(out, info.label_entries);
+    out->append(",\"engine_threads\":");
+    AppendUint(out, threaded_->NumThreads());
+    out->append("}\n");
+    return;
+  }
+
+  QueryRequest request;
+  request.sources = req_.sources;
+  request.targets = req_.targets;
+  request.k = req_.k;
+  request.options = req_.options;
+  if (req_.op == "batch") {
+    request.kind = QueryKind::kPointBatch;
+    if (req_.sources.size() != 1) {
+      AppendErrorResponse(
+          Status::InvalidArgument("\"batch\" needs a single \"source\" (use "
+                                  "\"point\" for pairwise queries)"),
+          out);
+      return;
+    }
+  } else if (req_.op == "point") {
+    request.kind = QueryKind::kPointBatch;
+    // Enforce the pairwise shape here: Execute would reinterpret a single
+    // source as one-to-many, silently answering a client that dropped an
+    // id with plausible-looking wrong data.
+    if (req_.sources.size() != req_.targets.size()) {
+      AppendErrorResponse(
+          Status::InvalidArgument(
+              "\"point\" is pairwise: needs exactly as many sources as "
+              "targets (got " +
+              std::to_string(req_.sources.size()) + " and " +
+              std::to_string(req_.targets.size()) + ")"),
+          out);
+      return;
+    }
+  } else if (req_.op == "matrix") {
+    request.kind = QueryKind::kMatrix;
+  } else if (req_.op == "knearest") {
+    request.kind = QueryKind::kKNearest;
+  } else {
+    AppendErrorResponse(
+        Status::InvalidArgument(
+            req_.op.empty()
+                ? "request has no \"op\""
+                : "unknown op \"" + req_.op +
+                      "\" (expected batch, point, matrix, knearest, info or "
+                      "ping)"),
+        out);
+    return;
+  }
+
+  const uint64_t result_entries =
+      request.kind == QueryKind::kMatrix
+          ? static_cast<uint64_t>(req_.sources.size()) * req_.targets.size()
+          : req_.targets.size();
+  if (result_entries > kMaxResultEntries) {
+    AppendErrorResponse(
+        Status::InvalidArgument(
+            "request would produce " + std::to_string(result_entries) +
+            " result entries; this server caps one request at " +
+            std::to_string(kMaxResultEntries)),
+        out);
+    return;
+  }
+
+  // Execute into the connection's reusable buffers.
+  QueryOutput output;
+  if (request.kind == QueryKind::kKNearest) {
+    const size_t need = std::min<uint64_t>(req_.k, req_.targets.size());
+    dists_.resize(need);
+    verts_.resize(need);
+    output.vertices = verts_;
+  } else {
+    dists_.resize(result_entries);
+  }
+  output.distances = dists_;
+  const Result<QueryResponse> response = threaded_->Execute(request, output);
+  if (!response.ok()) {
+    AppendErrorResponse(response.status(), out);
+    return;
+  }
+
+  out->append("{\"ok\":true,\"op\":\"");
+  out->append(req_.op);
+  out->append("\"");
+  if (request.kind == QueryKind::kKNearest) {
+    out->append(",\"count\":");
+    AppendUint(out, response->written);
+    out->append(",\"neighbors\":[");
+    for (size_t i = 0; i < response->written; ++i) {
+      if (i != 0) out->push_back(',');
+      out->push_back('[');
+      AppendDist(out, dists_[i]);
+      out->push_back(',');
+      AppendUint(out, verts_[i]);
+      out->push_back(']');
+    }
+    out->append("]}\n");
+    return;
+  }
+  if (request.kind == QueryKind::kMatrix) {
+    out->append(",\"rows\":");
+    AppendUint(out, response->rows);
+    out->append(",\"cols\":");
+    AppendUint(out, response->cols);
+  }
+  out->append(",\"distances\":[");
+  for (size_t i = 0; i < response->written; ++i) {
+    if (i != 0) out->push_back(',');
+    AppendDist(out, dists_[i]);
+  }
+  out->append("]}\n");
+}
+
+}  // namespace hc2l

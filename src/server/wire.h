@@ -1,0 +1,106 @@
+#ifndef HC2L_SERVER_WIRE_H_
+#define HC2L_SERVER_WIRE_H_
+
+/// The hc2ld wire protocol: line-delimited JSON over a byte stream.
+///
+/// One request per line, one response line per request, in order. Vertex
+/// ids are 0-based (the facade's id space; the CLI's DIMACS-facing `query`
+/// subcommand is the only 1-based surface). Full protocol reference with
+/// examples: docs/server.md.
+///
+/// Requests (unknown keys are ignored; `//` shows the defaults):
+///
+///   {"op":"batch",   "source":S, "targets":[...]}        one-to-many
+///   {"op":"point",   "sources":[...], "targets":[...]}   pairwise
+///   {"op":"matrix",  "sources":[...], "targets":[...]}   many-to-many
+///   {"op":"knearest","source":S, "candidates":[...], "k":K}
+///   {"op":"info"}    {"op":"ping"}
+///
+///   optional per-request options, mapped onto hc2l::QueryOptions:
+///     "deadline_ms": B   // 0 = unlimited
+///     "threads": T       // 0 = server default, 1 = inline
+///     "missing": "error" | "unreachable"
+///
+/// Responses:
+///
+///   {"ok":true,"op":"batch","distances":[7,null,3]}      null = unreachable
+///   {"ok":true,"op":"matrix","rows":R,"cols":C,"distances":[...]}  row-major
+///   {"ok":true,"op":"knearest","count":N,"neighbors":[[dist,vertex],...]}
+///   {"ok":true,"op":"info","directed":false,"vertices":N,...}
+///   {"ok":false,"code":"InvalidArgument","message":"..."}
+///
+/// This header is the testable, socket-free core: parsing into reusable
+/// buffers and executing into reusable buffers — the per-connection
+/// zero-allocation steady state the request/response facade API exists for.
+/// The TCP layer (hc2l/server.h) is a thin loop around RequestHandler.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "hc2l/query.h"
+#include "hc2l/router.h"
+#include "hc2l/status.h"
+
+namespace hc2l {
+
+/// One parsed request, held in reusable buffers (Clear() keeps capacity).
+struct WireRequest {
+  std::string op;
+  std::vector<Vertex> sources;
+  std::vector<Vertex> targets;  // also the k-nearest candidates
+  uint64_t k = 0;
+  QueryOptions options;
+
+  void Clear() {
+    op.clear();
+    sources.clear();
+    targets.clear();
+    k = 0;
+    options = QueryOptions{};
+  }
+};
+
+/// Parses one request line into `req` (which is Clear()ed first). JSON ids
+/// larger than the 32-bit vertex space parse as kInvalidVertex, i.e. an
+/// out-of-range id handled by the request's missing-vertex policy. Errors:
+/// kInvalidArgument with a position-carrying message; `req` contents are
+/// then unspecified.
+Status ParseRequestLine(std::string_view line, WireRequest* req);
+
+/// Parses one request line, executes it against the routers, and appends
+/// exactly one '\n'-terminated JSON response line to *out — unless the line
+/// is empty or all-whitespace, which appends nothing (keepalive-friendly).
+/// Bad input of any shape becomes an {"ok":false,...} response line, never
+/// an abort. One handler per connection; its buffers are reused across
+/// lines.
+class RequestHandler {
+ public:
+  /// Result entries a single request may produce (batch targets, matrix
+  /// cells). Protects the per-connection output buffers from one request
+  /// asking for gigabytes; generous for real workloads (4M distances).
+  static constexpr uint64_t kMaxResultEntries = uint64_t{1} << 22;
+
+  /// Borrows both routers; they must outlive the handler. `threaded` routes
+  /// through the server's shared query engine (per-request "threads" caps
+  /// it).
+  RequestHandler(const Router& router, const ThreadedRouter& threaded)
+      : router_(&router), threaded_(&threaded) {}
+
+  void HandleLine(std::string_view line, std::string* out);
+
+ private:
+  void AppendErrorResponse(const Status& status, std::string* out) const;
+
+  const Router* router_;
+  const ThreadedRouter* threaded_;
+  WireRequest req_;
+  std::vector<Dist> dists_;
+  std::vector<Vertex> verts_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_SERVER_WIRE_H_

@@ -23,6 +23,8 @@
 #include "core/hc2l.h"
 #include "graph/digraph.h"
 #include "graph/graph.h"
+#include "hc2l/query.h"
+#include "hc2l/router.h"
 #include "search/dijkstra.h"
 #include "search/directed_dijkstra.h"
 
@@ -144,6 +146,44 @@ std::string RoundTripPath(const char* prefix, uint64_t seed) {
          ".hc2l";
 }
 
+/// Runs the batch and matrix oracles through the facade's request/response
+/// path (Router::Execute with caller-owned span outputs): the zero-copy API
+/// must agree with the oracle bit for bit, like the vector methods do.
+void CheckExecuteAgainstOracle(const Router& router,
+                               const std::vector<std::vector<Dist>>& oracle,
+                               Vertex batch_source,
+                               const std::vector<Vertex>& targets,
+                               const std::vector<Vertex>& sources) {
+  QueryRequest request;
+  request.kind = QueryKind::kPointBatch;
+  request.sources = std::span<const Vertex>(&batch_source, 1);
+  request.targets = targets;
+  std::vector<Dist> batch_out(targets.size(), Dist{0xDEAD});
+  const Result<QueryResponse> batch_resp =
+      router.Execute(request, QueryOutput{batch_out, {}});
+  ASSERT_TRUE(batch_resp.ok()) << batch_resp.status().ToString();
+  ASSERT_EQ(batch_resp->written, targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ASSERT_EQ(batch_out[i], oracle[batch_source][targets[i]])
+        << "Execute batch target index " << i;
+  }
+
+  request.kind = QueryKind::kMatrix;
+  request.sources = sources;
+  std::vector<Dist> flat(sources.size() * targets.size(), Dist{0xDEAD});
+  const Result<QueryResponse> matrix_resp =
+      router.Execute(request, QueryOutput{flat, {}});
+  ASSERT_TRUE(matrix_resp.ok()) << matrix_resp.status().ToString();
+  ASSERT_EQ(matrix_resp->rows, sources.size());
+  ASSERT_EQ(matrix_resp->cols, targets.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      ASSERT_EQ(flat[i * targets.size() + j], oracle[sources[i]][targets[j]])
+          << "Execute matrix i=" << i << " j=" << j;
+    }
+  }
+}
+
 /// Runs the full differential check for one undirected seed.
 void CheckUndirectedSeed(uint64_t seed) {
   SCOPED_TRACE("undirected oracle seed=" + std::to_string(seed));
@@ -208,6 +248,17 @@ void CheckUndirectedSeed(uint64_t seed) {
     const auto expected = OracleKNearest(oracle[batch_source], targets, k);
     ASSERT_EQ(nearest, expected) << "k=" << k;
   }
+
+  // The same batch and matrix, through the facade's span-output request
+  // path.
+  BuildOptions facade_options;
+  facade_options.contract_degree_one = options.contract_degree_one;
+  facade_options.tail_pruning = options.tail_pruning;
+  facade_options.num_threads = options.num_threads;
+  facade_options.leaf_size = options.leaf_size;
+  const Result<Router> router = Router::Build(g, facade_options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  CheckExecuteAgainstOracle(*router, oracle, batch_source, targets, sources);
 
   // Serialize / deserialize round-trip must preserve every mode.
   const std::string path = RoundTripPath("oracle_und", seed);
@@ -282,6 +333,15 @@ void CheckDirectedSeed(uint64_t seed) {
     const auto expected = OracleKNearest(oracle[batch_source], targets, k);
     ASSERT_EQ(nearest, expected) << "k=" << k;
   }
+
+  // The directed facade request path against the same oracle.
+  BuildOptions facade_options;
+  facade_options.tail_pruning = options.tail_pruning;
+  facade_options.num_threads = options.num_threads;
+  facade_options.leaf_size = options.leaf_size;
+  const Result<Router> router = Router::Build(g, facade_options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  CheckExecuteAgainstOracle(*router, oracle, batch_source, targets, sources);
 
   const std::string path = RoundTripPath("oracle_dir", seed);
   const Status saved = index.Save(path);

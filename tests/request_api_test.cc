@@ -1,0 +1,542 @@
+// Request/response API tests: hc2l::Router::Execute / ThreadedRouter::Execute
+// and the span-writing *Into forms. The contract under test:
+//
+//  - span outputs are bit-identical to the vector-returning methods,
+//  - every shape violation (under/oversized spans, mismatched pairwise
+//    spans) is a Status, never an abort,
+//  - out-of-range ids obey the request's MissingVertexPolicy,
+//  - an expired deadline is kDeadlineExceeded on every kind and executor,
+//  - k == 0 and empty candidate sets are empty results, not errors, on
+//    Router, ThreadedRouter and the request path alike.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "hc2l/hc2l.h"
+
+namespace hc2l {
+namespace {
+
+Graph TestGraph() {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  opt.seed = 71;
+  return GenerateRoadNetwork(opt);
+}
+
+Digraph TestDigraph() {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  opt.seed = 72;
+  return GenerateDirectedRoadNetwork(opt, /*oneway_frac=*/0.25);
+}
+
+/// Both flavours behind one fixture; parameterized over directedness.
+class RequestApiTest : public ::testing::TestWithParam<bool> {
+ protected:
+  RequestApiTest() {
+    Result<Router> built = GetParam() ? Router::Build(TestDigraph())
+                                      : Router::Build(TestGraph());
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    router_ = std::make_unique<Router>(std::move(built).value());
+    // min_shard_queries = 1 so even these small workloads actually shard.
+    ParallelOptions popts;
+    popts.num_threads = 3;
+    popts.min_shard_queries = 1;
+    Result<ThreadedRouter> threaded = router_->WithThreads(popts);
+    EXPECT_TRUE(threaded.ok()) << threaded.status().ToString();
+    threaded_ =
+        std::make_unique<ThreadedRouter>(std::move(threaded).value());
+    n_ = static_cast<Vertex>(router_->NumVertices());
+    for (Vertex v = 0; v < n_; v += 3) targets_.push_back(v);
+    for (Vertex v = 1; v < n_; v += 7) sources_.push_back(v);
+  }
+
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<ThreadedRouter> threaded_;
+  Vertex n_ = 0;
+  std::vector<Vertex> targets_;
+  std::vector<Vertex> sources_;
+};
+
+INSTANTIATE_TEST_SUITE_P(BothFlavours, RequestApiTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "directed" : "undirected";
+                         });
+
+TEST_P(RequestApiTest, ExecuteBatchMatchesVectorMethods) {
+  const Vertex source = 5;
+  const Result<std::vector<Dist>> expected =
+      router_->BatchQuery(source, targets_);
+  ASSERT_TRUE(expected.ok());
+
+  QueryRequest req;
+  req.kind = QueryKind::kPointBatch;
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = targets_;
+  std::vector<Dist> out(targets_.size(), 12345);
+
+  const Result<QueryResponse> seq =
+      router_->Execute(req, QueryOutput{out, {}});
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(seq->written, targets_.size());
+  EXPECT_EQ(seq->rows, 1u);
+  EXPECT_EQ(out, *expected);
+
+  std::fill(out.begin(), out.end(), 12345);
+  const Result<QueryResponse> par =
+      threaded_->Execute(req, QueryOutput{out, {}});
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_EQ(out, *expected);
+}
+
+TEST_P(RequestApiTest, ExecutePairwiseMatchesDistance) {
+  // sources.size() == targets.size() > 1 selects the pairwise shape.
+  std::vector<Vertex> s;
+  std::vector<Vertex> t;
+  for (Vertex v = 0; v + 1 < n_; v += 5) {
+    s.push_back(v);
+    t.push_back(v + 1);
+  }
+  QueryRequest req;
+  req.kind = QueryKind::kPointBatch;
+  req.sources = s;
+  req.targets = t;
+  std::vector<Dist> out(t.size());
+  const Result<QueryResponse> seq =
+      router_->Execute(req, QueryOutput{out, {}});
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(out[i], *router_->Distance(s[i], t[i])) << "pair " << i;
+  }
+  std::vector<Dist> par_out(t.size());
+  const Result<QueryResponse> par =
+      threaded_->Execute(req, QueryOutput{par_out, {}});
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_EQ(par_out, out);
+}
+
+TEST_P(RequestApiTest, ExecuteMatrixMatchesVectorMethods) {
+  const Result<std::vector<std::vector<Dist>>> expected =
+      router_->DistanceMatrix(sources_, targets_);
+  ASSERT_TRUE(expected.ok());
+
+  QueryRequest req;
+  req.kind = QueryKind::kMatrix;
+  req.sources = sources_;
+  req.targets = targets_;
+  std::vector<Dist> flat(sources_.size() * targets_.size(), 12345);
+  const Result<QueryResponse> seq =
+      router_->Execute(req, QueryOutput{flat, {}});
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(seq->rows, sources_.size());
+  EXPECT_EQ(seq->cols, targets_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    for (size_t j = 0; j < targets_.size(); ++j) {
+      ASSERT_EQ(flat[i * targets_.size() + j], (*expected)[i][j])
+          << "cell " << i << "," << j;
+    }
+  }
+
+  std::fill(flat.begin(), flat.end(), 12345);
+  const Result<QueryResponse> par =
+      threaded_->Execute(req, QueryOutput{flat, {}});
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    for (size_t j = 0; j < targets_.size(); ++j) {
+      ASSERT_EQ(flat[i * targets_.size() + j], (*expected)[i][j]);
+    }
+  }
+}
+
+TEST_P(RequestApiTest, ExecuteKNearestMatchesVectorMethods) {
+  const Vertex source = 2;
+  const size_t k = 5;
+  const auto expected = router_->KNearest(source, targets_, k);
+  ASSERT_TRUE(expected.ok());
+
+  QueryRequest req;
+  req.kind = QueryKind::kKNearest;
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = targets_;
+  req.k = k;
+  std::vector<Dist> dists(k);
+  std::vector<Vertex> verts(k);
+  const Result<QueryResponse> seq =
+      router_->Execute(req, QueryOutput{dists, verts});
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_EQ(seq->written, expected->size());
+  for (size_t i = 0; i < seq->written; ++i) {
+    EXPECT_EQ(dists[i], (*expected)[i].first) << i;
+    EXPECT_EQ(verts[i], (*expected)[i].second) << i;
+  }
+
+  const Result<QueryResponse> par =
+      threaded_->Execute(req, QueryOutput{dists, verts});
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  ASSERT_EQ(par->written, expected->size());
+  for (size_t i = 0; i < par->written; ++i) {
+    EXPECT_EQ(dists[i], (*expected)[i].first) << i;
+    EXPECT_EQ(verts[i], (*expected)[i].second) << i;
+  }
+}
+
+TEST_P(RequestApiTest, IntoFormsMatchVectorForms) {
+  const Vertex source = 7;
+  const auto batch = router_->BatchQuery(source, targets_);
+  ASSERT_TRUE(batch.ok());
+  std::vector<Dist> out(targets_.size());
+  ASSERT_TRUE(router_->BatchQueryInto(source, targets_, out).ok());
+  EXPECT_EQ(out, *batch);
+  ASSERT_TRUE(threaded_->BatchQueryInto(source, targets_, out).ok());
+  EXPECT_EQ(out, *batch);
+
+  const auto matrix = router_->DistanceMatrix(sources_, targets_);
+  ASSERT_TRUE(matrix.ok());
+  std::vector<Dist> flat(sources_.size() * targets_.size());
+  ASSERT_TRUE(router_->DistanceMatrixInto(sources_, targets_, flat).ok());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    for (size_t j = 0; j < targets_.size(); ++j) {
+      ASSERT_EQ(flat[i * targets_.size() + j], (*matrix)[i][j]);
+    }
+  }
+  std::fill(flat.begin(), flat.end(), 0);
+  ASSERT_TRUE(threaded_->DistanceMatrixInto(sources_, targets_, flat).ok());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    for (size_t j = 0; j < targets_.size(); ++j) {
+      ASSERT_EQ(flat[i * targets_.size() + j], (*matrix)[i][j]);
+    }
+  }
+
+  const auto nearest = router_->KNearest(source, targets_, 4);
+  ASSERT_TRUE(nearest.ok());
+  std::vector<Dist> kd(4);
+  std::vector<Vertex> kv(4);
+  const Result<size_t> written =
+      router_->KNearestInto(source, targets_, 4, kd, kv);
+  ASSERT_TRUE(written.ok());
+  ASSERT_EQ(*written, nearest->size());
+  for (size_t i = 0; i < *written; ++i) {
+    EXPECT_EQ(kd[i], (*nearest)[i].first);
+    EXPECT_EQ(kv[i], (*nearest)[i].second);
+  }
+}
+
+TEST_P(RequestApiTest, ShapeMismatchesAreInvalidArgument) {
+  const Vertex source = 0;
+  std::vector<Dist> small(targets_.size() - 1);
+  std::vector<Dist> big(targets_.size() + 1);
+
+  EXPECT_EQ(router_->BatchQueryInto(source, targets_, small).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router_->BatchQueryInto(source, targets_, big).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(threaded_->BatchQueryInto(source, targets_, small).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<Dist> matrix_small(sources_.size() * targets_.size() - 1);
+  EXPECT_EQ(
+      router_->DistanceMatrixInto(sources_, targets_, matrix_small).code(),
+      StatusCode::kInvalidArgument);
+  std::vector<Dist> matrix_big(sources_.size() * targets_.size() + 7);
+  EXPECT_EQ(
+      threaded_->DistanceMatrixInto(sources_, targets_, matrix_big).code(),
+      StatusCode::kInvalidArgument);
+
+  // K-nearest: unequal spans, and spans smaller than min(k, candidates).
+  std::vector<Dist> kd(4);
+  std::vector<Vertex> kv(3);
+  EXPECT_EQ(router_->KNearestInto(source, targets_, 4, kd, kv).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<Vertex> kv4(4);
+  EXPECT_EQ(
+      router_->KNearestInto(source, targets_, 8, kd, kv4).status().code(),
+      StatusCode::kInvalidArgument);
+
+  // Pairwise with mismatched span lengths (neither broadcast nor pairwise).
+  QueryRequest req;
+  req.kind = QueryKind::kPointBatch;
+  std::vector<Vertex> two = {0, 1};
+  std::vector<Vertex> three = {0, 1, 2};
+  req.sources = two;
+  req.targets = three;
+  std::vector<Dist> out(three.size());
+  const Result<QueryResponse> r = router_->Execute(req, QueryOutput{out, {}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown kind.
+  QueryRequest bogus;
+  bogus.kind = static_cast<QueryKind>(99);
+  const Result<QueryResponse> b =
+      router_->Execute(bogus, QueryOutput{{}, {}});
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(RequestApiTest, MissingVertexPolicyError) {
+  const Vertex bad = n_ + 100;
+  std::vector<Vertex> with_bad = targets_;
+  with_bad.push_back(bad);
+  std::vector<Dist> out(with_bad.size());
+
+  QueryRequest req;
+  req.kind = QueryKind::kPointBatch;
+  const Vertex source = 1;
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = with_bad;
+  const Result<QueryResponse> r = router_->Execute(req, QueryOutput{out, {}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Matrix with a bad source id.
+  std::vector<Vertex> bad_sources = {0, bad};
+  QueryRequest mreq;
+  mreq.kind = QueryKind::kMatrix;
+  mreq.sources = bad_sources;
+  mreq.targets = targets_;
+  std::vector<Dist> flat(bad_sources.size() * targets_.size());
+  const Result<QueryResponse> m =
+      threaded_->Execute(mreq, QueryOutput{flat, {}});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(RequestApiTest, MissingVertexPolicyUnreachable) {
+  const Vertex bad = n_ + 9;
+  const Vertex source = 1;
+
+  // Batch: the bad target comes back unreachable, the rest exact.
+  std::vector<Vertex> with_bad = targets_;
+  with_bad.insert(with_bad.begin() + 1, bad);
+  std::vector<Dist> out(with_bad.size());
+  QueryRequest req;
+  req.kind = QueryKind::kPointBatch;
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = with_bad;
+  req.options.missing_vertices = MissingVertexPolicy::kUnreachable;
+  for (const bool parallel : {false, true}) {
+    const Result<QueryResponse> r =
+        parallel ? threaded_->Execute(req, QueryOutput{out, {}})
+                 : router_->Execute(req, QueryOutput{out, {}});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(out[1], kInfDist);
+    for (size_t i = 0; i < with_bad.size(); ++i) {
+      if (i == 1) continue;
+      EXPECT_EQ(out[i], *router_->Distance(source, with_bad[i])) << i;
+    }
+  }
+
+  // Broadcast from a bad source: everything unreachable.
+  QueryRequest bad_src = req;
+  bad_src.sources = std::span<const Vertex>(&bad, 1);
+  const Result<QueryResponse> r2 =
+      router_->Execute(bad_src, QueryOutput{out, {}});
+  ASSERT_TRUE(r2.ok());
+  for (const Dist d : out) EXPECT_EQ(d, kInfDist);
+
+  // Matrix: the bad source row and bad target column are unreachable, the
+  // valid submatrix is exact.
+  std::vector<Vertex> msources = {0, bad, 4};
+  std::vector<Vertex> mtargets = {2, bad, 6};
+  QueryRequest mreq;
+  mreq.kind = QueryKind::kMatrix;
+  mreq.sources = msources;
+  mreq.targets = mtargets;
+  mreq.options.missing_vertices = MissingVertexPolicy::kUnreachable;
+  std::vector<Dist> flat(9);
+  for (const bool parallel : {false, true}) {
+    const Result<QueryResponse> m =
+        parallel ? threaded_->Execute(mreq, QueryOutput{flat, {}})
+                 : router_->Execute(mreq, QueryOutput{flat, {}});
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t j = 0; j < 3; ++j) {
+        const Dist got = flat[i * 3 + j];
+        if (i == 1 || j == 1) {
+          EXPECT_EQ(got, kInfDist) << i << "," << j;
+        } else {
+          EXPECT_EQ(got, *router_->Distance(msources[i], mtargets[j]))
+              << i << "," << j;
+        }
+      }
+    }
+  }
+
+  // Pairwise: only the pair containing the bad id is unreachable.
+  std::vector<Vertex> ps = {0, bad, 3};
+  std::vector<Vertex> pt = {1, 2, bad};
+  QueryRequest preq;
+  preq.kind = QueryKind::kPointBatch;
+  preq.sources = ps;
+  preq.targets = pt;
+  preq.options.missing_vertices = MissingVertexPolicy::kUnreachable;
+  std::vector<Dist> pout(3);
+  const Result<QueryResponse> p = router_->Execute(preq, QueryOutput{pout, {}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(pout[0], *router_->Distance(0, 1));
+  EXPECT_EQ(pout[1], kInfDist);
+  EXPECT_EQ(pout[2], kInfDist);
+
+  // K-nearest: bad candidates are excluded like unreachable ones; a bad
+  // source yields an empty result.
+  std::vector<Vertex> cands = {2, bad, 5, bad, 8};
+  QueryRequest kreq;
+  kreq.kind = QueryKind::kKNearest;
+  kreq.sources = std::span<const Vertex>(&source, 1);
+  kreq.targets = cands;
+  kreq.k = 5;
+  kreq.options.missing_vertices = MissingVertexPolicy::kUnreachable;
+  std::vector<Dist> kd(5);
+  std::vector<Vertex> kv(5);
+  const Result<QueryResponse> kn = router_->Execute(kreq, QueryOutput{kd, kv});
+  ASSERT_TRUE(kn.ok());
+  const std::vector<Vertex> good = {2, 5, 8};
+  const auto expected = router_->KNearest(source, good, 5);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(kn->written, expected->size());
+  for (size_t i = 0; i < kn->written; ++i) {
+    EXPECT_EQ(kd[i], (*expected)[i].first);
+    EXPECT_EQ(kv[i], (*expected)[i].second);
+  }
+
+  QueryRequest kbad = kreq;
+  kbad.sources = std::span<const Vertex>(&bad, 1);
+  const Result<QueryResponse> kb = router_->Execute(kbad, QueryOutput{kd, kv});
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ(kb->written, 0u);
+}
+
+TEST_P(RequestApiTest, DeadlineExceededOnEveryKind) {
+  // A 1 ns budget is spent before the first chunk boundary, so every kind
+  // fails deterministically with kDeadlineExceeded on both executors.
+  const Vertex source = 0;
+  QueryRequest batch;
+  batch.kind = QueryKind::kPointBatch;
+  batch.sources = std::span<const Vertex>(&source, 1);
+  batch.targets = targets_;
+  batch.options.deadline = std::chrono::nanoseconds(1);
+  std::vector<Dist> out(targets_.size());
+
+  QueryRequest matrix;
+  matrix.kind = QueryKind::kMatrix;
+  matrix.sources = sources_;
+  matrix.targets = targets_;
+  matrix.options.deadline = std::chrono::nanoseconds(1);
+  std::vector<Dist> flat(sources_.size() * targets_.size());
+
+  QueryRequest pairs;
+  pairs.kind = QueryKind::kPointBatch;
+  pairs.sources = targets_;
+  pairs.targets = targets_;
+  pairs.options.deadline = std::chrono::nanoseconds(1);
+
+  QueryRequest knearest;
+  knearest.kind = QueryKind::kKNearest;
+  knearest.sources = std::span<const Vertex>(&source, 1);
+  knearest.targets = targets_;
+  knearest.k = 3;
+  knearest.options.deadline = std::chrono::nanoseconds(1);
+  std::vector<Dist> kd(3);
+  std::vector<Vertex> kv(3);
+
+  for (const bool parallel : {false, true}) {
+    const auto exec = [&](const QueryRequest& req, const QueryOutput& o) {
+      return parallel ? threaded_->Execute(req, o) : router_->Execute(req, o);
+    };
+    EXPECT_EQ(exec(batch, QueryOutput{out, {}}).status().code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(exec(matrix, QueryOutput{flat, {}}).status().code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(exec(pairs, QueryOutput{out, {}}).status().code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(exec(knearest, QueryOutput{kd, kv}).status().code(),
+              StatusCode::kDeadlineExceeded);
+  }
+
+  // A negative budget (a caller's remaining time that already ran out) is
+  // an expired deadline, not an absent one.
+  batch.options.deadline = std::chrono::milliseconds(-5);
+  EXPECT_EQ(router_->Execute(batch, QueryOutput{out, {}}).status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(threaded_->Execute(batch, QueryOutput{out, {}}).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  // A generous budget succeeds.
+  batch.options.deadline = std::chrono::seconds(30);
+  EXPECT_TRUE(router_->Execute(batch, QueryOutput{out, {}}).ok());
+}
+
+TEST_P(RequestApiTest, KNearestEmptyEdgesAreNotErrors) {
+  const Vertex source = 3;
+  const std::vector<Vertex> empty;
+
+  // k == 0 with candidates; k > 0 with no candidates — empty results
+  // everywhere, never errors, on all three surfaces.
+  const auto vk0 = router_->KNearest(source, targets_, 0);
+  ASSERT_TRUE(vk0.ok());
+  EXPECT_TRUE(vk0->empty());
+  const auto vempty = router_->KNearest(source, empty, 4);
+  ASSERT_TRUE(vempty.ok());
+  EXPECT_TRUE(vempty->empty());
+
+  const auto tk0 = threaded_->KNearest(source, targets_, 0);
+  ASSERT_TRUE(tk0.ok());
+  EXPECT_TRUE(tk0->empty());
+  const auto tempty = threaded_->KNearest(source, empty, 4);
+  ASSERT_TRUE(tempty.ok());
+  EXPECT_TRUE(tempty->empty());
+
+  QueryRequest req;
+  req.kind = QueryKind::kKNearest;
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = targets_;
+  req.k = 0;
+  const Result<QueryResponse> e0 = router_->Execute(req, QueryOutput{{}, {}});
+  ASSERT_TRUE(e0.ok()) << e0.status().ToString();
+  EXPECT_EQ(e0->written, 0u);
+
+  req.targets = empty;
+  req.k = 4;
+  const Result<QueryResponse> ee =
+      threaded_->Execute(req, QueryOutput{{}, {}});
+  ASSERT_TRUE(ee.ok()) << ee.status().ToString();
+  EXPECT_EQ(ee->written, 0u);
+
+  // An out-of-range source is still the caller's bug under the default
+  // policy, even with an empty result shape...
+  const Vertex bad = n_ + 1;
+  req.sources = std::span<const Vertex>(&bad, 1);
+  const Result<QueryResponse> eb = router_->Execute(req, QueryOutput{{}, {}});
+  ASSERT_FALSE(eb.ok());
+  EXPECT_EQ(eb.status().code(), StatusCode::kInvalidArgument);
+  // ...and an empty success under the lenient policy.
+  req.options.missing_vertices = MissingVertexPolicy::kUnreachable;
+  const Result<QueryResponse> el = router_->Execute(req, QueryOutput{{}, {}});
+  ASSERT_TRUE(el.ok());
+  EXPECT_EQ(el->written, 0u);
+}
+
+TEST_P(RequestApiTest, PerRequestThreadCapMatchesSequential) {
+  const Vertex source = 4;
+  QueryRequest req;
+  req.kind = QueryKind::kPointBatch;
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = targets_;
+  std::vector<Dist> expected(targets_.size());
+  ASSERT_TRUE(router_->Execute(req, QueryOutput{expected, {}}).ok());
+  for (const uint32_t cap : {1u, 2u, 0u}) {
+    req.options.num_threads = cap;
+    std::vector<Dist> out(targets_.size(), 1);
+    ASSERT_TRUE(threaded_->Execute(req, QueryOutput{out, {}}).ok());
+    EXPECT_EQ(out, expected) << "cap " << cap;
+  }
+}
+
+}  // namespace
+}  // namespace hc2l

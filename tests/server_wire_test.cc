@@ -1,0 +1,354 @@
+// hc2ld wire-protocol and TCP-server tests. The protocol core
+// (src/server/wire.h) is exercised socket-free: parsing into reusable
+// buffers, execution, response formatting, and — most importantly — the
+// guarantee that a malformed request line of any shape becomes an
+// {"ok":false,...} response line, never an abort. A second group runs a
+// real QueryServer on an ephemeral port and round-trips pipelined and
+// split-across-writes requests through a raw client socket.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hc2l/hc2l.h"
+#include "hc2l/server.h"
+#include "server/wire.h"
+
+namespace hc2l {
+namespace {
+
+Graph WireTestGraph() {
+  RoadNetworkOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  opt.seed = 99;
+  return GenerateRoadNetwork(opt);
+}
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest() {
+    Result<Router> built = Router::Build(WireTestGraph());
+    EXPECT_TRUE(built.ok());
+    router_ = std::make_unique<Router>(std::move(built).value());
+    Result<ThreadedRouter> threaded = router_->WithThreads(2);
+    EXPECT_TRUE(threaded.ok());
+    threaded_ =
+        std::make_unique<ThreadedRouter>(std::move(threaded).value());
+    handler_ = std::make_unique<RequestHandler>(*router_, *threaded_);
+  }
+
+  /// Handles one line, expects exactly one response line, returns it
+  /// without the trailing newline.
+  std::string Handle(std::string_view line) {
+    std::string out;
+    handler_->HandleLine(line, &out);
+    EXPECT_FALSE(out.empty()) << "no response to: " << line;
+    EXPECT_EQ(out.back(), '\n');
+    out.pop_back();
+    EXPECT_EQ(out.find('\n'), std::string::npos)
+        << "more than one response line to: " << line;
+    return out;
+  }
+
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<ThreadedRouter> threaded_;
+  std::unique_ptr<RequestHandler> handler_;
+};
+
+TEST_F(WireTest, ParseRequestLineRoundTrip) {
+  WireRequest req;
+  const Status st = ParseRequestLine(
+      R"({"op":"matrix","sources":[1, 2,3],"targets":[4],"k":9,)"
+      R"("deadline_ms":250,"threads":2,"missing":"unreachable",)"
+      R"("future_key":{"nested":[1,{"x":"y"}],"f":1.5e9}})",
+      &req);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(req.op, "matrix");
+  EXPECT_EQ(req.sources, (std::vector<Vertex>{1, 2, 3}));
+  EXPECT_EQ(req.targets, (std::vector<Vertex>{4}));
+  EXPECT_EQ(req.k, 9u);
+  EXPECT_EQ(req.options.deadline, std::chrono::milliseconds(250));
+  EXPECT_EQ(req.options.num_threads, 2u);
+  EXPECT_EQ(req.options.missing_vertices, MissingVertexPolicy::kUnreachable);
+
+  // "source" scalar and "candidates" alias.
+  ASSERT_TRUE(
+      ParseRequestLine(R"({"op":"knearest","source":7,"candidates":[8,9]})",
+                       &req)
+          .ok());
+  EXPECT_EQ(req.sources, (std::vector<Vertex>{7}));
+  EXPECT_EQ(req.targets, (std::vector<Vertex>{8, 9}));
+
+  // Ids beyond the 32-bit vertex space degrade to kInvalidVertex (policy
+  // decides downstream), they do not wrap around to a valid id.
+  ASSERT_TRUE(ParseRequestLine(
+                  R"({"op":"batch","source":18446744073709551615,)"
+                  R"("targets":[4294967296]})",
+                  &req)
+                  .ok());
+  EXPECT_EQ(req.sources[0], kInvalidVertex);
+  EXPECT_EQ(req.targets[0], kInvalidVertex);
+}
+
+TEST_F(WireTest, MalformedLinesAreErrorsNotAborts) {
+  const char* kBad[] = {
+      "not json at all",
+      "{",
+      "{}garbage",
+      R"({"op")",
+      R"({"op":})",
+      R"({"op":"batch",})",
+      R"({"op":"batch" "source":1})",
+      R"({"op":"batch","source":-1,"targets":[1]})",
+      R"({"op":"batch","source":1.5,"targets":[1]})",
+      R"({"op":"batch","source":1,"targets":[1,]})",
+      R"({"op":"batch","source":1,"targets":1})",
+      R"({"op":"batch","source":"one","targets":[1]})",
+      R"({"op":"batch","source":1,"targets":[1],"missing":"maybe"})",
+      R"({"op":"\uD800","source":1})",
+      R"({"op":"unterminated)",
+      R"({"op":"batch","junk":[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[1]})",
+      "\x01\x02\x03",
+      R"([1,2,3])",
+      R"("just a string")",
+  };
+  for (const char* line : kBad) {
+    const std::string response = Handle(line);
+    EXPECT_EQ(response.find("{\"ok\":false"), 0u) << line << " -> "
+                                                  << response;
+  }
+  // Structurally valid JSON with a bad/missing op is also a clean error.
+  EXPECT_EQ(Handle(R"({"op":"fly","source":1})").find("{\"ok\":false"), 0u);
+  EXPECT_EQ(Handle(R"({"source":1})").find("{\"ok\":false"), 0u);
+  EXPECT_EQ(Handle(R"({"op":"batch","sources":[1,2],"targets":[3]})")
+                .find("{\"ok\":false"),
+            0u);
+  // "point" is strictly pairwise on the wire: one source with two targets
+  // must NOT silently degrade to a broadcast batch.
+  EXPECT_EQ(Handle(R"({"op":"point","sources":[3],"targets":[7,8]})")
+                .find("{\"ok\":false,\"code\":\"InvalidArgument\""),
+            0u);
+}
+
+TEST_F(WireTest, EmptyLinesProduceNoResponse) {
+  std::string out;
+  handler_->HandleLine("", &out);
+  handler_->HandleLine("   ", &out);
+  handler_->HandleLine("\r", &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(WireTest, ResponsesMatchRouterDistances) {
+  const std::string batch =
+      Handle(R"({"op":"batch","source":0,"targets":[1,5,9]})");
+  std::string expected = "{\"ok\":true,\"op\":\"batch\",\"distances\":[";
+  expected += std::to_string(*router_->Distance(0, 1)) + "," +
+              std::to_string(*router_->Distance(0, 5)) + "," +
+              std::to_string(*router_->Distance(0, 9)) + "]}";
+  EXPECT_EQ(batch, expected);
+
+  const std::string matrix =
+      Handle(R"({"op":"matrix","sources":[0,2],"targets":[3,4]})");
+  std::string mexpected = "{\"ok\":true,\"op\":\"matrix\",\"rows\":2,"
+                          "\"cols\":2,\"distances\":[";
+  mexpected += std::to_string(*router_->Distance(0, 3)) + "," +
+               std::to_string(*router_->Distance(0, 4)) + "," +
+               std::to_string(*router_->Distance(2, 3)) + "," +
+               std::to_string(*router_->Distance(2, 4)) + "]}";
+  EXPECT_EQ(matrix, mexpected);
+
+  const std::string pairwise =
+      Handle(R"({"op":"point","sources":[1,2],"targets":[3,4]})");
+  std::string pexpected = "{\"ok\":true,\"op\":\"point\",\"distances\":[";
+  pexpected += std::to_string(*router_->Distance(1, 3)) + "," +
+               std::to_string(*router_->Distance(2, 4)) + "]}";
+  EXPECT_EQ(pairwise, pexpected);
+
+  // Unreachable (here: an out-of-range id under the lenient policy)
+  // serializes as null.
+  const std::string lenient = Handle(
+      R"({"op":"batch","source":0,"targets":[999999],"missing":"unreachable"})");
+  EXPECT_EQ(lenient, "{\"ok\":true,\"op\":\"batch\",\"distances\":[null]}");
+
+  // K-nearest mirrors Router::KNearest exactly.
+  const auto nearest =
+      router_->KNearest(0, std::vector<Vertex>{7, 8, 9, 10}, 2);
+  ASSERT_TRUE(nearest.ok());
+  std::string kexpected = "{\"ok\":true,\"op\":\"knearest\",\"count\":" +
+                          std::to_string(nearest->size()) + ",\"neighbors\":[";
+  for (size_t i = 0; i < nearest->size(); ++i) {
+    if (i != 0) kexpected += ",";
+    kexpected += "[";
+    kexpected += std::to_string((*nearest)[i].first);
+    kexpected += ",";
+    kexpected += std::to_string((*nearest)[i].second);
+    kexpected += "]";
+  }
+  kexpected += "]}";
+  EXPECT_EQ(Handle(R"({"op":"knearest","source":0,"candidates":[7,8,9,10],)"
+                   R"("k":2})"),
+            kexpected);
+
+  // k == 0: empty result, not an error — the facade edge case, end to end.
+  EXPECT_EQ(
+      Handle(R"({"op":"knearest","source":0,"candidates":[1,2],"k":0})"),
+      "{\"ok\":true,\"op\":\"knearest\",\"count\":0,\"neighbors\":[]}");
+  EXPECT_EQ(Handle(R"({"op":"knearest","source":0,"candidates":[],"k":3})"),
+            "{\"ok\":true,\"op\":\"knearest\",\"count\":0,\"neighbors\":[]}");
+
+  // Out-of-range ids under the default policy are request errors.
+  const std::string oor = Handle(R"({"op":"batch","source":0,)"
+                                 R"("targets":[999999]})");
+  EXPECT_EQ(oor.find("{\"ok\":false,\"code\":\"InvalidArgument\""), 0u);
+
+  // An expired deadline surfaces its own code.
+  const std::string late = Handle(
+      R"({"op":"matrix","sources":[0,1,2],"targets":[3,4,5],"deadline_ms":0})");
+  EXPECT_EQ(late.find("{\"ok\":true"), 0u)
+      << "deadline_ms:0 means unlimited, not instant";
+  EXPECT_EQ(Handle(R"({"op":"ping"})"), "{\"ok\":true,\"op\":\"ping\"}");
+  const std::string info = Handle(R"({"op":"info"})");
+  EXPECT_EQ(info.find("{\"ok\":true,\"op\":\"info\",\"directed\":false,"
+                      "\"vertices\":"),
+            0u);
+}
+
+TEST_F(WireTest, OversizedRequestIsRejected) {
+  // A matrix whose result would exceed the per-request cap fails cleanly.
+  std::string line = R"({"op":"matrix","sources":[)";
+  const size_t side = 2049;  // 2049 * 2048 > 2^22
+  for (size_t i = 0; i < side; ++i) {
+    if (i != 0) line += ",";
+    line += std::to_string(i % 100);
+  }
+  line += R"(],"targets":[)";
+  for (size_t i = 0; i < side - 1; ++i) {
+    if (i != 0) line += ",";
+    line += std::to_string(i % 100);
+  }
+  line += "]}";
+  const std::string response = Handle(line);
+  EXPECT_EQ(response.find("{\"ok\":false,\"code\":\"InvalidArgument\""), 0u);
+  EXPECT_NE(response.find("caps one request"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ TCP ---
+
+/// Minimal blocking client for the ephemeral-port round trip.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  std::string ReadLine() {
+    size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "<connection closed>";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+TEST_F(WireTest, TcpServerRoundTrip) {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.num_threads = 2;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_NE(server->port(), 0);
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  // Two pipelined requests in one write...
+  client.Send("{\"op\":\"ping\"}\n{\"op\":\"batch\",\"source\":0,"
+              "\"targets\":[1]}\n");
+  EXPECT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                std::to_string(*router_->Distance(0, 1)) + "]}");
+
+  // ...a request split across writes...
+  client.Send("{\"op\":\"batch\",\"source\":0,");
+  client.Send("\"targets\":[2]}\n");
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                std::to_string(*router_->Distance(0, 2)) + "]}");
+
+  // ...and a malformed line keeps the connection alive with an error.
+  client.Send("definitely not json\n{\"op\":\"ping\"}\n");
+  EXPECT_EQ(client.ReadLine().find("{\"ok\":false"), 0u);
+  EXPECT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+
+  // A second concurrent connection works (shared engine).
+  TestClient second(server->port());
+  ASSERT_TRUE(second.connected());
+  second.Send("{\"op\":\"info\"}\n");
+  EXPECT_EQ(second.ReadLine().find("{\"ok\":true,\"op\":\"info\""), 0u);
+
+  EXPECT_GE(server->connections_accepted(), 2u);
+  server->Stop();  // joins every connection thread; idempotent
+  server->Stop();
+}
+
+TEST_F(WireTest, TcpServerLineCapClosesPolitely) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.max_line_bytes = 64;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  client.Send(std::string(1000, 'x'));  // no newline, over the cap
+  const std::string response = client.ReadLine();
+  EXPECT_EQ(response.find("{\"ok\":false"), 0u);
+  EXPECT_NE(response.find("byte cap"), std::string::npos);
+  EXPECT_EQ(client.ReadLine(), "<connection closed>");
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace hc2l

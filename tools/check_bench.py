@@ -147,6 +147,34 @@ def main():
         if verdict != "OK":
             failures.append(name)
 
+    # Per-dataset sections of the multi-dataset trajectory. Datasets are
+    # append-only: one present on only one side (an old snapshot predating a
+    # new fixture, or a retired fixture) is noted and skipped, never failed.
+    fresh_ds = fresh.get("datasets")
+    committed_ds = committed.get("datasets")
+    fresh_ds = fresh_ds if isinstance(fresh_ds, dict) else {}
+    committed_ds = committed_ds if isinstance(committed_ds, dict) else {}
+    for name in sorted(set(fresh_ds) | set(committed_ds)):
+        if name not in fresh_ds or name not in committed_ds:
+            missing_in = "fresh" if name not in fresh_ds else "committed"
+            print(f"check_bench: dataset {name!r}: not in the {missing_in} "
+                  f"snapshot, skipped")
+            continue
+        for metric in ("ns_per_query", "ns_per_batch_target"):
+            fresh_v = lookup(fresh_ds[name], (metric,))
+            committed_v = lookup(committed_ds[name], (metric,))
+            if fresh_v is None or committed_v is None or committed_v <= 0:
+                print(f"check_bench: dataset {name!r} {metric}: missing in a "
+                      f"snapshot, skipped")
+                continue
+            ratio = fresh_v / committed_v
+            verdict = "OK" if ratio <= 1.0 + args.threshold else "REGRESSION"
+            print(f"check_bench: dataset {name!r} {metric}: "
+                  f"committed={committed_v:.2f} fresh={fresh_v:.2f} "
+                  f"ratio={ratio:.2f} {verdict}")
+            if verdict != "OK":
+                failures.append(f"{name}.{metric}")
+
     if failures:
         print(f"check_bench: FAILED — >{args.threshold:.0%} regression in: "
               + ", ".join(failures))

@@ -27,8 +27,25 @@
 //   hc2l stats --index index.hc2l
 //       Print construction and size statistics of a saved index (either
 //       format).
+//
+//   hc2l serve --index index.hc2l [--port P] [--host H] [--threads T]
+//       Serve the index over the hc2ld line-delimited-JSON TCP protocol
+//       (docs/server.md). A smoke-test wrapper around the same QueryServer
+//       the hc2ld daemon runs; prints the bound port and blocks.
+//
+//   hc2l client [--port P] [--host H] [--retry N]
+//       Connect to a running hc2ld/serve instance, send each stdin line as
+//       one request, print the matching response line. --retry N (default
+//       50) retries the connect every 100 ms — handy right after starting
+//       the server in the background.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +54,7 @@
 #include <vector>
 
 #include "hc2l/hc2l.h"
+#include "hc2l/server.h"
 
 namespace hc2l {
 namespace {
@@ -96,14 +114,17 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hc2l <generate|build|query|stats> [options]\n"
+               "usage: hc2l <generate|build|query|stats|serve|client> "
+               "[options]\n"
                "  generate --rows R --cols C --out FILE [--seed S] "
                "[--travel-time] [--pendant-frac F] [--oneway-frac F]\n"
                "  build    --graph FILE --out FILE [--directed] [--beta B] "
                "[--leaf-size L] [--threads T] [--no-tail-pruning] "
                "[--no-contraction]\n"
                "  query    --index FILE [--pairs FILE] [--threads T]\n"
-               "  stats    --index FILE\n");
+               "  stats    --index FILE\n"
+               "  serve    --index FILE [--port P] [--host H] [--threads T]\n"
+               "  client   [--port P] [--host H] [--retry N]\n");
   return 2;
 }
 
@@ -279,6 +300,118 @@ int RunStats(const Args& args) {
   return 0;
 }
 
+int RunServe(const Args& args) {
+  const char* index_path = args.Get("--index");
+  if (index_path == nullptr) return Usage();
+  ServerOptions options;
+  if (const char* host = args.Get("--host"); host != nullptr) {
+    options.host = host;
+  }
+  const long port = args.GetLong("--port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+  uint32_t threads = 0;
+  if (args.Has("--threads") && !GetThreads(args, &threads)) return 2;
+  options.num_threads = threads;
+
+  Result<Router> router = Router::Open(index_path);
+  if (!router.ok()) return Fail(router.status());
+  Result<QueryServer> server = QueryServer::Start(*router, options);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("hc2l serve: listening on %s:%u (%s)\n", options.host.c_str(),
+              server->port(), router->directed() ? "directed" : "undirected");
+  std::fflush(stdout);
+  server->Wait();  // until the process is killed
+  return 0;
+}
+
+int RunClient(const Args& args) {
+  const char* host = args.Get("--host");
+  if (host == nullptr) host = "127.0.0.1";
+  const long port = args.GetLong("--port", 0);
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "error: client needs --port in [1, 65535]\n");
+    return 2;
+  }
+  const long retries = std::max(1L, args.GetLong("--retry", 50));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host, &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "error: cannot parse host \"%s\" (expected IPv4)\n",
+                 host);
+    return 2;
+  }
+  int fd = -1;
+  for (long attempt = 0; attempt < retries; ++attempt) {
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    close(fd);
+    fd = -1;
+    usleep(100'000);  // the server may still be starting up
+  }
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s:%ld\n", host, port);
+    return 1;
+  }
+
+  // One request line in, one response line out, in order.
+  std::string response_buf;
+  char line[1 << 16];
+  int status = 0;
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    size_t len = std::strlen(line);
+    // Skip lines the server will not answer (it ignores all-whitespace
+    // lines, incl. CRLF blanks) — sending one would leave us waiting for a
+    // response that never comes.
+    if (std::strspn(line, " \t\r\n") == len) continue;
+    if (line[len - 1] != '\n') {
+      line[len] = '\n';  // fgets guarantees room: len < sizeof(line)
+      ++len;
+    }
+    size_t sent = 0;
+    while (sent < len) {
+      const ssize_t n = send(fd, line + sent, len - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        std::fprintf(stderr, "error: connection closed while sending\n");
+        close(fd);
+        return 1;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    // Read until the matching '\n'.
+    size_t nl;
+    while ((nl = response_buf.find('\n')) == std::string::npos) {
+      char buf[8192];
+      const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        std::fprintf(stderr, "error: connection closed before a response\n");
+        close(fd);
+        return 1;
+      }
+      response_buf.append(buf, static_cast<size_t>(n));
+    }
+    std::printf("%.*s\n", static_cast<int>(nl), response_buf.data());
+    std::fflush(stdout);
+    // Non-zero exit when any response reports failure, so scripts can
+    // assert a whole session succeeded.
+    if (response_buf.compare(0, 11, "{\"ok\":false") == 0) status = 1;
+    response_buf.erase(0, nl + 1);
+  }
+  close(fd);
+  return status;
+}
+
 }  // namespace
 }  // namespace hc2l
 
@@ -290,5 +423,7 @@ int main(int argc, char** argv) {
   if (command == "build") return hc2l::RunBuild(args);
   if (command == "query") return hc2l::RunQuery(args);
   if (command == "stats") return hc2l::RunStats(args);
+  if (command == "serve") return hc2l::RunServe(args);
+  if (command == "client") return hc2l::RunClient(args);
   return hc2l::Usage();
 }

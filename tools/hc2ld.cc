@@ -1,0 +1,121 @@
+// hc2ld — the HC2L serving daemon: opens a serialized index (either format,
+// sniffed by Router::Open) and serves line-delimited-JSON distance queries
+// over TCP until SIGINT/SIGTERM.
+//
+//   hc2ld --index city.idx --port 8040 [--host 127.0.0.1] [--threads 0]
+//
+// Prints one "hc2ld listening on HOST:PORT ..." line once ready (stdout,
+// flushed — scripts can wait for it), then blocks. --port 0 binds an
+// ephemeral port and prints the actual one. Wire protocol: docs/server.md;
+// smoke-test counterpart: `hc2l client`.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "hc2l/hc2l.h"
+#include "hc2l/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler only writes a byte; the main thread blocks
+// on the read end and performs the actual (not async-signal-safe) Stop().
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  // Best effort; a full pipe means a shutdown is already pending.
+  [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hc2ld --index FILE [--port P] [--host H] "
+               "[--threads T]\n"
+               "  --port 0 (default) binds an ephemeral port; the chosen "
+               "port is printed.\n"
+               "  --threads 0 (default) uses all hardware threads for the "
+               "shared query engine.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* index_path = FlagValue(argc, argv, "--index");
+  if (index_path == nullptr) return Usage();
+
+  hc2l::ServerOptions options;
+  if (const char* host = FlagValue(argc, argv, "--host"); host != nullptr) {
+    options.host = host;
+  }
+  if (const char* port = FlagValue(argc, argv, "--port"); port != nullptr) {
+    const long value = std::atol(port);
+    if (value < 0 || value > 65535) {
+      std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+      return 2;
+    }
+    options.port = static_cast<uint16_t>(value);
+  }
+  if (const char* threads = FlagValue(argc, argv, "--threads");
+      threads != nullptr) {
+    const long value = std::atol(threads);
+    if (value < 0 || value > 4096) {
+      std::fprintf(stderr, "error: --threads must be in [0, 4096]\n");
+      return 2;
+    }
+    options.num_threads = static_cast<uint32_t>(value);
+  }
+
+  hc2l::Result<hc2l::Router> router = hc2l::Router::Open(index_path);
+  if (!router.ok()) {
+    std::fprintf(stderr, "error: %s\n", router.status().ToString().c_str());
+    return 1;
+  }
+
+  hc2l::Result<hc2l::QueryServer> server =
+      hc2l::QueryServer::Start(*router, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "error: cannot create signal pipe\n");
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const hc2l::IndexInfo info = router->Info();
+  const std::string engine = options.num_threads == 0
+                                 ? std::string("all-cores")
+                                 : std::to_string(options.num_threads);
+  std::printf("hc2ld listening on %s:%u (%s, %llu vertices, engine %s)\n",
+              options.host.c_str(), server->port(),
+              info.directed ? "directed" : "undirected",
+              static_cast<unsigned long long>(info.num_vertices),
+              engine.c_str());
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("hc2ld shutting down (%llu connections served)\n",
+              static_cast<unsigned long long>(server->connections_accepted()));
+  server->Stop();
+  return 0;
+}
