@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/simd.h"
 #include "common/timer.h"
+#include "core/directed_hc2l.h"
 #include "core/hc2l.h"
 #include "graph/road_network_generator.h"
 #include "hierarchy/tree_code.h"
@@ -307,6 +308,36 @@ DatasetNumbers MeasureDataset(const Graph& g, const Hc2lIndex& index) {
   return out;
 }
 
+/// One directed-index configuration of the snapshot's "directed" section.
+struct DirectedNumbers {
+  double build_s = 0;
+  double ns_query = 0;
+  uint64_t label_entries = 0;
+  size_t core_vertices = 0;
+};
+
+DirectedNumbers MeasureDirected(const Digraph& g, bool contract) {
+  DirectedNumbers out;
+  DirectedHc2lOptions options;
+  options.contract_degree_one = contract;
+  Timer build_timer;
+  const DirectedHc2lIndex index = DirectedHc2lIndex::Build(g, options);
+  out.build_s = build_timer.Seconds();
+  out.label_entries = index.NumEntries();
+  out.core_vertices = index.NumCoreVertices();
+  const std::vector<QueryPair> pairs =
+      UniformRandomPairs(g.NumVertices(), 4096, 11);
+  constexpr size_t kRounds = 100;
+  out.ns_query = NsPerOp(kRounds * pairs.size(), [&]() {
+    Dist sink = 0;
+    for (size_t r = 0; r < kRounds; ++r) {
+      for (const auto& [s, t] : pairs) sink ^= index.Query(s, t);
+    }
+    benchmark::DoNotOptimize(sink);
+  });
+  return out;
+}
+
 /// Writes the machine-readable perf snapshot. Self-measured (not derived
 /// from the google-benchmark run) so the numbers carry the exact workload
 /// definition with them: uniform random pairs per fixture graph. The
@@ -343,6 +374,34 @@ void WriteBenchQueryJson(const char* path) {
         static_cast<unsigned long long>(numbers.label_entries));
     datasets_json += buf;
   }
+
+  // Directed trajectory: the grid48 topology with 20% one-way streets,
+  // built with degree-one contraction on and off. The label-entry ratio is
+  // CPU-independent (deterministic builds), so check_bench.py gates it on
+  // every runner; the ns numbers gate machine-matched like the datasets.
+  RoadNetworkOptions directed_opt;
+  directed_opt.rows = kDatasets[0].rows;
+  directed_opt.cols = kDatasets[0].cols;
+  directed_opt.seed = kDatasets[0].seed;
+  const Digraph directed_graph =
+      GenerateDirectedRoadNetwork(directed_opt, /*one_way_frac=*/0.2);
+  const DirectedNumbers dir_on = MeasureDirected(directed_graph, true);
+  const DirectedNumbers dir_off = MeasureDirected(directed_graph, false);
+  char directed_json[512];
+  std::snprintf(
+      directed_json, sizeof(directed_json),
+      "{\n"
+      "    \"vertices\": %zu, \"arcs\": %zu, \"core_vertices\": %zu,\n"
+      "    \"contracted\": {\"ns_per_query\": %.2f, \"label_entries\": %llu, "
+      "\"build_s\": %.3f},\n"
+      "    \"uncontracted\": {\"ns_per_query\": %.2f, \"label_entries\": "
+      "%llu, \"build_s\": %.3f}\n"
+      "  }",
+      directed_graph.NumVertices(), directed_graph.NumArcs(),
+      dir_on.core_vertices, dir_on.ns_query,
+      static_cast<unsigned long long>(dir_on.label_entries), dir_on.build_s,
+      dir_off.ns_query,
+      static_cast<unsigned long long>(dir_off.label_entries), dir_off.build_s);
 
   constexpr size_t kKernelLen = 128;
   constexpr size_t kKernelReps = 2'000'000;
@@ -393,7 +452,8 @@ void WriteBenchQueryJson(const char* path) {
                "  \"label_bytes_logical\": %llu,\n"
                "  \"label_bytes_resident\": %zu,\n"
                "  \"label_entries\": %llu,\n"
-               "  \"datasets\": {\n%s\n  }\n"
+               "  \"datasets\": {\n%s\n  },\n"
+               "  \"directed\": %s\n"
                "}\n",
                simd::kKernelName, CpuModel().c_str(), HostName().c_str(),
                primary.vertices, primary.edges, num_queries, ns_query,
@@ -402,7 +462,7 @@ void WriteBenchQueryJson(const char* path) {
                static_cast<unsigned long long>(primary.label_bytes),
                primary.label_resident,
                static_cast<unsigned long long>(primary.label_entries),
-               datasets_json.c_str());
+               datasets_json.c_str(), directed_json);
   std::fclose(f);
   std::printf("wrote %s (%.2f ns/query primary, %zu datasets, kernel %s)\n",
               path, ns_query, std::size(kDatasets), simd::kKernelName);

@@ -7,7 +7,8 @@
 /// query model: hierarchical cut 2-hop labels answering exact shortest-path
 /// distances. The repo implements it twice — an undirected index with
 /// degree-one contraction (format HC2L0002) and the Section 5.3 directed
-/// extension (format HC2D0001). Router type-erases over the two so that
+/// extension (formats HC2D0001/HC2D0002, the latter carrying the ported
+/// contraction). Router type-erases over the two so that
 /// every consumer (CLI, examples, benches, a future RPC front end) programs
 /// against one surface:
 ///
@@ -56,9 +57,10 @@ struct BuildOptions {
   /// Tail pruning (Definition 4.18): ~10-15% smaller labels, ~20% slower
   /// construction when on.
   bool tail_pruning = true;
-  /// Degree-one contraction (Section 4.2.2). Undirected only — the directed
-  /// variant never contracts (pendant trees are not distance-transparent
-  /// under asymmetric arcs), so the flag is ignored for digraphs.
+  /// Degree-one contraction (Section 4.2.2), honoured by both flavours. For
+  /// digraphs the contractible set is decided on the underlying undirected
+  /// projection; one-way pendant edges resolve as offset-to-root in the
+  /// existing direction and unreachable in the other (docs/directed.md).
   bool contract_degree_one = true;
   /// Construction threads; 0 = all hardware threads, >1 is the paper's
   /// HC2L_p variant (bit-identical index).
@@ -79,7 +81,8 @@ struct ParallelOptions {
 struct IndexInfo {
   bool directed = false;
   uint64_t num_vertices = 0;
-  /// After degree-one contraction; == num_vertices for directed indexes.
+  /// After degree-one contraction (both flavours); == num_vertices when the
+  /// index was built with contract_degree_one = false.
   uint64_t num_core_vertices = 0;
   uint64_t num_contracted = 0;
   uint32_t tree_height = 0;
@@ -113,9 +116,9 @@ class ThreadedRouter;
 class Router {
  public:
   /// Opens a serialized index, sniffing the format magic: HC2L0002 loads the
-  /// undirected index, HC2D0001 the directed one. Errors: kNotFound (cannot
-  /// open), kInvalidArgument (not an HC2L index file), kDataLoss (truncated
-  /// or corrupt).
+  /// undirected index, HC2D0001/HC2D0002 the directed one. Errors: kNotFound
+  /// (cannot open), kInvalidArgument (not an HC2L index file), kDataLoss
+  /// (truncated or corrupt).
   static Result<Router> Open(const std::string& path);
 
   /// Builds an undirected index. Errors: kInvalidArgument (bad options).
@@ -139,7 +142,9 @@ class Router {
   /// Unified construction/size statistics.
   IndexInfo Info() const;
 
-  /// Serializes the index in its flavour's format (HC2L0002 / HC2D0001).
+  /// Serializes the index in its flavour's format (HC2L0002 for undirected;
+  /// HC2D0002 for contracted directed indexes, HC2D0001 for uncontracted
+  /// ones — the latter stays readable by pre-contraction builds).
   Status Save(const std::string& path) const;
 
   /// Exact distance d(s, t) — d(s -> t) for directed indexes; kInfDist when

@@ -481,7 +481,7 @@ Result<Router> Router::Open(const std::string& path) {
     if (!index.ok()) return index.status();
     impl->undirected =
         std::make_unique<Hc2lIndex>(std::move(index).value());
-  } else if (magic == kDirectedIndexMagic) {
+  } else if (magic == kDirectedIndexMagic || magic == kDirectedIndexMagicV2) {
     Result<DirectedHc2lIndex> index = DirectedHc2lIndex::Load(path);
     if (!index.ok()) return index.status();
     impl->directed =
@@ -489,7 +489,7 @@ Result<Router> Router::Open(const std::string& path) {
   } else {
     return Status::InvalidArgument(
         path + " is not an HC2L index (unrecognized format magic; expected "
-               "HC2L0002 or HC2D0001)");
+               "HC2L0002, HC2D0001 or HC2D0002)");
   }
   return Router(std::move(impl));
 }
@@ -515,6 +515,7 @@ Result<Router> Router::Build(const Digraph& graph,
   concrete.beta = options.beta;
   concrete.leaf_size = options.leaf_size;
   concrete.tail_pruning = options.tail_pruning;
+  concrete.contract_degree_one = options.contract_degree_one;
   concrete.num_threads = ResolveThreads(options.num_threads);
   auto impl = std::make_unique<Impl>();
   Timer timer;
@@ -554,8 +555,8 @@ IndexInfo Router::Info() const {
     const BalancedTreeHierarchy& h = index.Hierarchy();
     info.directed = true;
     info.num_vertices = index.NumVertices();
-    info.num_core_vertices = index.NumVertices();
-    info.num_contracted = 0;
+    info.num_core_vertices = index.NumCoreVertices();
+    info.num_contracted = index.NumContracted();
     info.tree_height = h.Height();
     info.num_tree_nodes = h.NumNodes();
     info.max_cut_size = h.MaxCutSize();

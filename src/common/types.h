@@ -24,6 +24,15 @@ inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
 /// Sentinel for "unreachable" distances.
 inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
 
+/// Inf-propagating sum of two distances: unreachable plus anything is
+/// unreachable. Finite operands are path sums of 32-bit weights, far below
+/// the 64-bit overflow point. Used by the pendant contractions (chain
+/// prefix sums, LCA climbs) and the batch query paths (source + target
+/// detour offsets), which must agree on the arithmetic.
+inline constexpr Dist AddDist(Dist a, Dist b) {
+  return (a == kInfDist || b == kInfDist) ? kInfDist : a + b;
+}
+
 }  // namespace hc2l
 
 #endif  // HC2L_COMMON_TYPES_H_

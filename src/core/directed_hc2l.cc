@@ -259,7 +259,13 @@ DirectedHc2lIndex DirectedHc2lIndex::Build(const Digraph& g,
   HC2L_CHECK_GT(options.beta, 0.0);
   HC2L_CHECK_LE(options.beta, 0.5);
   DirectedHc2lIndex index;
-  DirectedHc2lBuilder builder(g, options);
+  index.num_vertices_ = g.NumVertices();
+  const Digraph* core = &g;
+  if (options.contract_degree_one) {
+    index.contraction_ = std::make_unique<DirectedDegreeOneContraction>(g);
+    core = &index.contraction_->CoreGraph();
+  }
+  DirectedHc2lBuilder builder(*core, options);
   builder.Finish(&index);
   return index;
 }
@@ -267,6 +273,23 @@ DirectedHc2lIndex DirectedHc2lIndex::Build(const Digraph& g,
 Dist DirectedHc2lIndex::Query(Vertex s, Vertex t) const {
   HC2L_CHECK_LT(s, NumVertices());
   HC2L_CHECK_LT(t, NumVertices());
+  if (s == t) return 0;
+  if (contraction_ == nullptr) return CoreQuery(s, t);
+
+  const Vertex root_s = contraction_->RootCoreId(s);
+  const Vertex root_t = contraction_->RootCoreId(t);
+  if (root_s == root_t) return contraction_->SameTreeDistance(s, t);
+  // Cross-tree: every s -> t path climbs s's chain to its root, crosses the
+  // core, and descends t's chain — a one-way pendant broken in the needed
+  // direction makes the whole answer unreachable.
+  const Dist up = contraction_->DistToRoot(s);
+  const Dist down = contraction_->DistFromRoot(t);
+  if (up == kInfDist || down == kInfDist) return kInfDist;
+  const Dist core = CoreQuery(root_s, root_t);
+  return core == kInfDist ? kInfDist : up + core + down;
+}
+
+Dist DirectedHc2lIndex::CoreQuery(Vertex s, Vertex t) const {
   if (s == t) return 0;
   const uint32_t level = hierarchy_.LcaLevel(s, t);
   const uint32_t s_idx = out_labels_.base[s] + level;
@@ -290,11 +313,23 @@ DirectedHc2lIndex::ResolvedTargets DirectedHc2lIndex::ResolveTargets(
 
 void DirectedHc2lIndex::ResolveTargetsInto(std::span<const Vertex> targets,
                                            ResolvedTargets* rt) const {
+  const size_t n = targets.size();
   rt->original.assign(targets.begin(), targets.end());
-  rt->code.resize(targets.size());
-  for (size_t i = 0; i < targets.size(); ++i) {
-    HC2L_CHECK_LT(targets[i], NumVertices());
-    rt->code[i] = hierarchy_.CodeOf(targets[i]);
+  rt->core.resize(n);
+  rt->detour.resize(n);
+  rt->code.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vertex t = targets[i];
+    HC2L_CHECK_LT(t, NumVertices());
+    Vertex root = t;
+    Dist detour = 0;
+    if (contraction_ != nullptr) {
+      root = contraction_->RootCoreId(t);
+      detour = contraction_->DistFromRoot(t);
+    }
+    rt->core[i] = root;
+    rt->detour[i] = detour;
+    rt->code[i] = hierarchy_.CodeOf(root);
   }
 }
 
@@ -307,24 +342,25 @@ void DirectedHc2lIndex::BatchQueryResolved(Vertex source,
   HC2L_CHECK_LE(end, rt.size());
   if (begin == end) return;
 
-  // Source side hoisted for the batch: tree code and out-array base. Pass 1
-  // answers s == t inline and collects the rest; the shared level sweep
-  // min-reduces the source's out-arrays against the targets' in-arrays.
-  // Working memory is the calling thread's reusable scratch.
-  const TreeCode s_code = hierarchy_.CodeOf(source);
-  const uint32_t s_base = out_labels_.base[source];
-  QueryScratch& scratch = TlsQueryScratch();
-  scratch.pending.clear();
-  scratch.level_of.clear();
-  for (size_t i = begin; i < end; ++i) {
-    const Vertex t = rt.original[i];
-    if (t == source) {
-      out[i] = 0;
-      continue;
-    }
-    scratch.pending.push_back({static_cast<uint32_t>(i), t, /*offset=*/0});
-    scratch.level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
+  // Source side hoisted for the batch: contraction root, upward detour,
+  // tree code and out-array base. The shared pass 1 answers the trivial
+  // cases inline and collects the rest; the shared level sweep min-reduces
+  // the source's out-arrays against the targets' in-arrays. Working memory
+  // is the calling thread's reusable scratch.
+  Vertex root_s = source;
+  Dist source_offset = 0;
+  if (contraction_ != nullptr) {
+    root_s = contraction_->RootCoreId(source);
+    source_offset = contraction_->DistToRoot(source);
   }
+  const TreeCode s_code = hierarchy_.CodeOf(root_s);
+  const uint32_t s_base = out_labels_.base[root_s];
+  QueryScratch& scratch = TlsQueryScratch();
+  CollectPendingTargets(
+      rt, begin, end, source, root_s, source_offset, s_code,
+      contraction_ != nullptr,
+      [&](Vertex t) { return contraction_->SameTreeDistance(source, t); },
+      &scratch, out);
   SweepPendingByLevel(out_labels_, in_labels_, s_base, height_, &scratch, out);
 }
 
@@ -340,9 +376,9 @@ void DirectedHc2lIndex::BatchQueryInto(Vertex source,
                                        Dist* out) const {
   if (targets.empty()) return;
   // Unlike the undirected index there is no fused single-call variant:
-  // directed resolution is only a code copy (no contraction roots or
-  // detours), so delegating through a thread-local ResolvedTargets costs
-  // next to nothing and keeps the path allocation-free once warm.
+  // directed resolution is a handful of array reads per target, so
+  // delegating through a thread-local ResolvedTargets costs next to nothing
+  // and keeps the path allocation-free once warm.
   static thread_local ResolvedTargets rt;
   ResolveTargetsInto(targets, &rt);
   BatchQueryResolved(source, rt, 0, rt.size(), out);
@@ -365,20 +401,45 @@ std::vector<std::pair<Dist, Vertex>> DirectedHc2lIndex::KNearest(
   return SelectKNearest(dists, candidates, k);
 }
 
-// Directed format 1 (kDirectedIndexMagic, src/core/index_format.h):
-// hierarchy followed by the out- and in-label stores.
+// Directed format 1 ("HC2D0001", src/core/index_format.h): vertex count,
+// height, hierarchy, out- and in-label stores. Format 2 ("HC2D0002")
+// prepends the degree-one contraction mapping (sizes first, then the
+// per-vertex arrays) before the hierarchy. Uncontracted indexes keep
+// writing format 1 so pre-contraction readers still load them; Load accepts
+// both.
 Status DirectedHc2lIndex::Save(const std::string& path) const {
   io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     return Status::Unavailable("cannot open " + path + " for writing");
   }
-  const uint64_t num_vertices = NumVertices();
-  const bool ok = io::WriteValue(f.get(), kDirectedIndexMagic) &&
-                  io::WriteValue(f.get(), num_vertices) &&
-                  io::WriteValue(f.get(), height_) &&
-                  hierarchy_.WriteTo(f.get()) &&
-                  io::WriteLabelStore(f.get(), out_labels_) &&
-                  io::WriteLabelStore(f.get(), in_labels_);
+  bool ok;
+  if (contraction_ == nullptr) {
+    const uint64_t num_vertices = NumVertices();
+    ok = io::WriteValue(f.get(), kDirectedIndexMagic) &&
+         io::WriteValue(f.get(), num_vertices) &&
+         io::WriteValue(f.get(), height_);
+  } else {
+    const DirectedDegreeOneContraction& c = *contraction_;
+    const uint64_t num_vertices = num_vertices_;
+    const uint64_t num_contracted = c.num_contracted_;
+    // core_id_ / to_original_ are derivable (a vertex is in the core iff
+    // its depth is 0, and its core id is then its root id), so the format
+    // does not carry them; Load reconstructs both.
+    ok = io::WriteValue(f.get(), kDirectedIndexMagicV2) &&
+         io::WriteValue(f.get(), num_vertices) &&
+         io::WriteValue(f.get(), num_contracted) &&
+         io::WriteValue(f.get(), height_) &&
+         io::WriteVector(f.get(), c.root_core_id_) &&
+         io::WriteVector(f.get(), c.parent_) &&
+         io::WriteVector(f.get(), c.depth_) &&
+         io::WriteVector(f.get(), c.up_weight_) &&
+         io::WriteVector(f.get(), c.down_weight_) &&
+         io::WriteVector(f.get(), c.up_dist_) &&
+         io::WriteVector(f.get(), c.down_dist_);
+  }
+  ok = ok && hierarchy_.WriteTo(f.get()) &&
+       io::WriteLabelStore(f.get(), out_labels_) &&
+       io::WriteLabelStore(f.get(), in_labels_);
   if (!ok) {
     return Status::Unavailable("write error on " + path);
   }
@@ -391,39 +452,90 @@ Result<DirectedHc2lIndex> DirectedHc2lIndex::Load(const std::string& path) {
     return Status::NotFound("cannot open " + path);
   }
   uint64_t magic = 0;
-  if (!io::ReadValue(f.get(), &magic) || magic != kDirectedIndexMagic) {
+  if (!io::ReadValue(f.get(), &magic) ||
+      (magic != kDirectedIndexMagic && magic != kDirectedIndexMagicV2)) {
     return Status::InvalidArgument("not a directed HC2L index file: " + path);
   }
   DirectedHc2lIndex index;
   uint64_t num_vertices = 0;
+  uint64_t num_contracted = 0;
   uint32_t stored_height = 0;
-  bool ok = io::ReadValue(f.get(), &num_vertices) &&
-            io::ReadValue(f.get(), &stored_height) &&
-            index.hierarchy_.ReadFrom(f.get()) &&
-            io::ReadLabelStore(f.get(), &index.out_labels_) &&
-            io::ReadLabelStore(f.get(), &index.in_labels_);
-  ok = ok && index.NumVertices() == num_vertices;
+  bool ok = io::ReadValue(f.get(), &num_vertices);
+  if (ok && magic == kDirectedIndexMagicV2) {
+    index.contraction_ = std::unique_ptr<DirectedDegreeOneContraction>(
+        new DirectedDegreeOneContraction());
+    DirectedDegreeOneContraction& c = *index.contraction_;
+    ok = io::ReadValue(f.get(), &num_contracted) &&
+         io::ReadValue(f.get(), &stored_height) &&
+         io::ReadVector(f.get(), &c.root_core_id_) &&
+         io::ReadVector(f.get(), &c.parent_) &&
+         io::ReadVector(f.get(), &c.depth_) &&
+         io::ReadVector(f.get(), &c.up_weight_) &&
+         io::ReadVector(f.get(), &c.down_weight_) &&
+         io::ReadVector(f.get(), &c.up_dist_) &&
+         io::ReadVector(f.get(), &c.down_dist_);
+    c.num_contracted_ = num_contracted;
+  } else {
+    ok = ok && io::ReadValue(f.get(), &stored_height);
+  }
+  ok = ok && index.hierarchy_.ReadFrom(f.get()) &&
+       io::ReadLabelStore(f.get(), &index.out_labels_) &&
+       io::ReadLabelStore(f.get(), &index.in_labels_);
   // Same query-path hardening as the undirected Load (see hc2l.cc): code
-  // tables must cover every vertex and both directions must hold at least
-  // depth+1 arrays per vertex; the stores' own structure was validated in
-  // ReadLabelStore. Files from adversarial sources remain unsupported.
+  // tables must cover every core vertex and both directions must hold at
+  // least depth+1 arrays per vertex; the stores' own structure was validated
+  // in ReadLabelStore. With a contraction the per-vertex mapping arrays must
+  // cover every original vertex and point inside the core, so the query
+  // paths never index out of bounds. Files from adversarial sources remain
+  // unsupported.
   if (ok) {
-    const size_t n = index.out_labels_.base.size() - 1;
-    ok = index.in_labels_.base.size() == n + 1 &&
-         index.hierarchy_.vertex_code_.size() == n &&
-         index.hierarchy_.node_of_vertex_.size() == n;
-    for (size_t v = 0; ok && v < n; ++v) {
+    const size_t core = index.out_labels_.base.size() - 1;
+    ok = index.in_labels_.base.size() == core + 1 &&
+         index.hierarchy_.vertex_code_.size() == core &&
+         index.hierarchy_.node_of_vertex_.size() == core;
+    for (size_t v = 0; ok && v < core; ++v) {
       const uint32_t depth = TreeCodeDepth(index.hierarchy_.vertex_code_[v]);
       ok = index.out_labels_.base[v + 1] - index.out_labels_.base[v] >=
                depth + 1 &&
            index.in_labels_.base[v + 1] - index.in_labels_.base[v] >=
                depth + 1;
     }
+    if (ok && index.contraction_ != nullptr) {
+      DirectedDegreeOneContraction& c = *index.contraction_;
+      const size_t n = num_vertices;
+      ok = core + num_contracted == n && c.root_core_id_.size() == n &&
+           c.parent_.size() == n && c.depth_.size() == n &&
+           c.up_weight_.size() == n && c.down_weight_.size() == n &&
+           c.up_dist_.size() == n && c.down_dist_.size() == n;
+      for (size_t v = 0; ok && v < n; ++v) {
+        ok = c.root_core_id_[v] < core && c.parent_[v] < n;
+      }
+      // Reconstruct the derived mappings; doing so doubles as the
+      // consistency check that the depth-0 set maps one-to-one onto the
+      // core.
+      if (ok) {
+        c.core_id_.assign(n, kInvalidVertex);
+        c.to_original_.assign(core, kInvalidVertex);
+        for (size_t v = 0; ok && v < n; ++v) {
+          if (c.depth_[v] != 0) continue;
+          const Vertex id = c.root_core_id_[v];
+          ok = c.to_original_[id] == kInvalidVertex;
+          c.to_original_[id] = static_cast<Vertex>(v);
+          c.core_id_[v] = id;
+        }
+        for (size_t i = 0; ok && i < core; ++i) {
+          ok = c.to_original_[i] != kInvalidVertex;
+        }
+      }
+    } else if (ok) {
+      ok = core == num_vertices;
+    }
   }
   if (!ok) {
     return Status::DataLoss("truncated or corrupt directed HC2L index file: " +
                             path);
   }
+  index.num_vertices_ = num_vertices;
   // The stored height is informational; the level bucketing's bound is
   // recomputed so it always agrees with the validated codes.
   index.height_ = index.hierarchy_.LevelBound();

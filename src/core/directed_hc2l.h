@@ -2,14 +2,17 @@
 #define HC2L_CORE_DIRECTED_HC2L_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/label_arena.h"
+#include "core/query_common.h"
 #include "graph/digraph.h"
 #include "hc2l/status.h"
+#include "hierarchy/contraction.h"
 #include "hierarchy/hierarchy.h"
 
 namespace hc2l {
@@ -19,6 +22,12 @@ struct DirectedHc2lOptions {
   double beta = 0.2;
   uint32_t leaf_size = 8;
   bool tail_pruning = true;
+  /// Degree-one contraction over the underlying undirected projection
+  /// (Section 4.2.2 ported to digraphs): pendant chains — including one-way
+  /// pendant streets — are stripped before the hierarchy is built and
+  /// answered through the contraction mapping. Disabling indexes the full
+  /// digraph (ablation).
+  bool contract_degree_one = true;
   /// Construction threads (shared pool); queries stay single-threaded.
   uint32_t num_threads = 1;
 };
@@ -32,10 +41,13 @@ struct DirectedHc2lOptions {
 /// out-array against the target's in-array at the LCA level:
 ///   d(s -> t) = min_r d(s -> r) + d(r -> t),  r in cut(LCA(s, t)).
 ///
-/// Degree-one contraction is not applied in the directed variant (pendant
-/// trees are not distance-transparent under asymmetric arcs); the paper notes
-/// road networks are "almost undirected", so the undirected index remains the
-/// default for symmetric inputs.
+/// Degree-one contraction (on by default, as in the undirected index)
+/// strips pendant trees of the underlying projection and builds the
+/// hierarchy over the directed core only. Distances through a pendant chain
+/// resolve as per-direction offsets to its root — for one-way pendant edges
+/// that means offset-to-root in the existing direction and unreachable in
+/// the other — and same-tree queries climb to the in-tree LCA
+/// (DirectedDegreeOneContraction, src/hierarchy/contraction.h).
 class DirectedHc2lIndex {
  public:
   static constexpr uint32_t kUnreachableLabel = UINT32_MAX;
@@ -71,16 +83,13 @@ class DirectedHc2lIndex {
   std::vector<std::pair<Dist, Vertex>> KNearest(
       Vertex source, std::span<const Vertex> candidates, size_t k) const;
 
-  /// Target-side state shared across sources (same shape as
-  /// Hc2lIndex::ResolvedTargets so the query engine can template over both
-  /// indexes; the directed variant has no degree-one contraction, so core ids
-  /// equal the originals and detours are zero).
-  struct ResolvedTargets {
-    std::vector<Vertex> original;
-    std::vector<TreeCode> code;
-
-    size_t size() const { return original.size(); }
-  };
+  /// Target-side state shared across sources — the same ResolvedTargetSet
+  /// shape as Hc2lIndex::ResolvedTargets, so the query engine and facade
+  /// template over both indexes. With contraction, core holds the pendant
+  /// root and detour holds d(root -> target) (kInfDist for one-way pendants
+  /// unreachable from the core); without it core ids equal the originals
+  /// and detours are zero.
+  using ResolvedTargets = ResolvedTargetSet;
 
   /// Resolves a target list for repeated use against many sources.
   ResolvedTargets ResolveTargets(std::span<const Vertex> targets) const;
@@ -96,7 +105,18 @@ class DirectedHc2lIndex {
   void BatchQueryResolved(Vertex source, const ResolvedTargets& targets,
                           size_t begin, size_t end, Dist* out) const;
 
-  size_t NumVertices() const { return out_labels_.base.size() - 1; }
+  /// Number of vertices of the indexed digraph (before contraction).
+  size_t NumVertices() const { return num_vertices_; }
+
+  /// Vertices surviving into the labelled core (== NumVertices() without
+  /// contraction).
+  size_t NumCoreVertices() const { return out_labels_.base.size() - 1; }
+
+  /// Vertices removed by degree-one contraction (0 when disabled).
+  size_t NumContracted() const {
+    return contraction_ == nullptr ? 0 : contraction_->NumContracted();
+  }
+
   const BalancedTreeHierarchy& Hierarchy() const { return hierarchy_; }
 
   /// Total stored distance entries (both directions, padding excluded).
@@ -109,24 +129,36 @@ class DirectedHc2lIndex {
   /// Resident label storage in bytes (aligned arenas + offset tables).
   size_t LabelSizeBytes() const;
 
-  /// Serializes the index (hierarchy + both label stores) to a file.
+  /// Serializes the index (hierarchy + both label stores). Indexes without
+  /// contraction write the original HC2D0001 layout (readable by
+  /// pre-contraction builds); contracted indexes write HC2D0002, which
+  /// prepends the contraction mapping.
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save(). Errors: kNotFound (cannot
-  /// open), kInvalidArgument (not an HC2D0001 file), kDataLoss (truncated or
-  /// corrupt).
+  /// Loads an index previously written by Save() — either HC2D0001 or
+  /// HC2D0002. Errors: kNotFound (cannot open), kInvalidArgument (not a
+  /// directed HC2L file), kDataLoss (truncated or corrupt).
   static Result<DirectedHc2lIndex> Load(const std::string& path);
 
  private:
   DirectedHc2lIndex() = default;
   friend class DirectedHc2lBuilder;
 
+  /// Query over core ids (labels + hierarchy only).
+  Dist CoreQuery(Vertex s, Vertex t) const;
+
+  /// Original vertex count (the core count plus contracted pendants).
+  uint64_t num_vertices_ = 0;
+  /// Pendant contraction; null when options.contract_degree_one == false
+  /// (then core ids == original ids).
+  std::unique_ptr<DirectedDegreeOneContraction> contraction_;
   BalancedTreeHierarchy hierarchy_;
   // Cached hierarchy height: BatchQueryResolved's level bucketing must not
   // rescan every tree node per call.
   uint32_t height_ = 0;
   // Per-direction cache-aligned labels, same layout as the undirected index
-  // (see LabelStore): out = d(v -> hub), in = d(hub -> v).
+  // (see LabelStore): out = d(v -> hub), in = d(hub -> v). Indexed by core
+  // ids.
   LabelStore out_labels_;
   LabelStore in_labels_;
 };

@@ -598,29 +598,16 @@ void Hc2lIndex::BatchQueryResolved(Vertex source, const ResolvedTargets& rt,
   const TreeCode s_code = hierarchy_.CodeOf(root_s);
   const uint32_t s_base = labels_.base[root_s];
 
-  // Pass 1 over pre-resolved targets: answer the trivial cases inline,
-  // collect the rest for the level sweep. Working memory is the calling
-  // thread's reusable scratch (zero allocations once warm).
+  // Pass 1 over pre-resolved targets (the shared CollectPendingTargets):
+  // trivial cases answered inline, the rest collected for the level sweep.
+  // Working memory is the calling thread's reusable scratch (zero
+  // allocations once warm).
   QueryScratch& scratch = TlsQueryScratch();
-  scratch.pending.clear();
-  scratch.level_of.clear();
-  for (size_t i = begin; i < end; ++i) {
-    const Vertex t = rt.original[i];
-    if (t == source) {
-      out[i] = 0;
-      continue;
-    }
-    Dist offset = source_offset;
-    if (contraction_ != nullptr) {
-      if (rt.core[i] == root_s) {
-        out[i] = contraction_->SameTreeDistance(source, t);
-        continue;
-      }
-      offset += rt.detour[i];
-    }
-    scratch.pending.push_back({static_cast<uint32_t>(i), rt.core[i], offset});
-    scratch.level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
-  }
+  CollectPendingTargets(
+      rt, begin, end, source, root_s, source_offset, s_code,
+      contraction_ != nullptr,
+      [&](Vertex t) { return contraction_->SameTreeDistance(source, t); },
+      &scratch, out);
   // stats_.tree_height, not hierarchy_.Height() — that one rescans every
   // tree node, which would dwarf small batches.
   SweepPendingByLevel(labels_, labels_, s_base, stats_.tree_height, &scratch,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/label_arena.h"
+#include "core/query_common.h"
 #include "graph/graph.h"
 #include "hc2l/status.h"
 #include "hierarchy/contraction.h"
@@ -112,17 +113,10 @@ class Hc2lIndex {
   /// Target-side state hoisted out of the per-source loop: contraction root,
   /// pendant-tree detour and packed tree code, resolved once and reused by
   /// every source. Produced by ResolveTargets(); consumed by
-  /// BatchQueryResolved(). Read-only after construction, so any number of
-  /// threads may share one instance.
-  struct ResolvedTargets {
-    std::vector<Vertex> original;  // the targets exactly as passed
-    std::vector<Vertex> core;      // contraction root (== original without
-                                   // degree-one contraction)
-    std::vector<Dist> detour;      // d(target, root); 0 for core vertices
-    std::vector<TreeCode> code;    // packed tree code of the root
-
-    size_t size() const { return original.size(); }
-  };
+  /// BatchQueryResolved(). The struct itself (ResolvedTargetSet,
+  /// src/core/query_common.h) is shared with the directed index so the query
+  /// engine and facade template over one shape.
+  using ResolvedTargets = ResolvedTargetSet;
 
   /// Resolves a target list for repeated use against many sources.
   ResolvedTargets ResolveTargets(std::span<const Vertex> targets) const;

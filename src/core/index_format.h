@@ -17,8 +17,16 @@ namespace hc2l {
 inline constexpr uint64_t kHc2lIndexMagic = 0x4843324c30303032ULL;
 
 /// Directed index, format 1: vertex count, height, hierarchy, out- and
-/// in-label stores ("HC2D0001", packed the same way).
+/// in-label stores ("HC2D0001", packed the same way). Still written for
+/// indexes built without degree-one contraction and still loadable.
 inline constexpr uint64_t kDirectedIndexMagic = 0x4843324430303031ULL;
+
+/// Directed index, format 2 ("HC2D0002"): format 1 plus the degree-one
+/// contraction mapping (counts, then the per-vertex root/parent/depth
+/// arrays and the per-direction pendant weights and root distances; the
+/// core-id mappings are derivable and reconstructed at load) between the
+/// header and the hierarchy. Written for contracted indexes.
+inline constexpr uint64_t kDirectedIndexMagicV2 = 0x4843324430303032ULL;
 
 }  // namespace hc2l
 

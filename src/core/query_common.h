@@ -11,6 +11,7 @@
 #include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
+#include "hierarchy/tree_code.h"
 
 namespace hc2l {
 
@@ -76,7 +77,24 @@ inline constexpr size_t kMatrixTargetTile = 2048;
 struct PendingTarget {
   uint32_t out_index;
   Vertex core;
-  Dist offset;  // contraction detour (source side + target side); 0 directed
+  Dist offset;  // contraction detour (source side + target side)
+};
+
+/// Target-side state hoisted out of the per-source loop, shared by both
+/// index flavours (the query engine and facade template over
+/// `Index::ResolvedTargets`, which both classes alias to this): contraction
+/// root, pendant-tree detour into the core and packed tree code, resolved
+/// once and reused by every source. Read-only after construction, so any
+/// number of threads may share one instance. Without contraction core ids
+/// equal the originals and detours are zero. A kInfDist detour marks a
+/// one-way pendant target unreachable from the core (directed only).
+struct ResolvedTargetSet {
+  std::vector<Vertex> original;  // the targets exactly as passed
+  std::vector<Vertex> core;      // contraction root (core ids)
+  std::vector<Dist> detour;      // d into the core; 0 for core vertices
+  std::vector<TreeCode> code;    // packed tree code of the root
+
+  size_t size() const { return original.size(); }
 };
 
 /// Reusable per-thread working memory of the batch fast path. The
@@ -101,6 +119,43 @@ struct QueryScratch {
 inline QueryScratch& TlsQueryScratch() {
   static thread_local QueryScratch scratch;
   return scratch;
+}
+
+/// Pass 1 of the batch fast path over pre-resolved targets, shared by both
+/// index flavours: answers the trivial cases inline (s == t, two vertices of
+/// one pendant tree via `same_tree`, a detour already unreachable) and
+/// collects the rest into `scratch->pending` / `scratch->level_of` for the
+/// level sweep. `root_s`/`source_offset` are the source's contraction root
+/// (core id) and its detour into the core; `contracted` gates the same-tree
+/// branch (without contraction rt.core[i] == root_s can only mean t ==
+/// source, which is answered before it). `same_tree(t)` must return the
+/// exact in-tree distance d(source, t) (directed: d(source -> t)).
+template <typename SameTreeFn>
+void CollectPendingTargets(const ResolvedTargetSet& rt, size_t begin,
+                           size_t end, Vertex source, Vertex root_s,
+                           Dist source_offset, TreeCode s_code,
+                           bool contracted, const SameTreeFn& same_tree,
+                           QueryScratch* scratch, Dist* out) {
+  scratch->pending.clear();
+  scratch->level_of.clear();
+  for (size_t i = begin; i < end; ++i) {
+    const Vertex t = rt.original[i];
+    if (t == source) {
+      out[i] = 0;
+      continue;
+    }
+    if (contracted && rt.core[i] == root_s) {
+      out[i] = same_tree(t);
+      continue;
+    }
+    const Dist offset = AddDist(source_offset, rt.detour[i]);
+    if (offset == kInfDist) {
+      out[i] = kInfDist;
+      continue;
+    }
+    scratch->pending.push_back({static_cast<uint32_t>(i), rt.core[i], offset});
+    scratch->level_of.push_back(TreeCodeLcaLevel(s_code, rt.code[i]));
+  }
 }
 
 /// Pass 2 of the batch fast path, shared by the undirected index (both label

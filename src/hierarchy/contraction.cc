@@ -6,21 +6,20 @@
 
 namespace hc2l {
 
-DegreeOneContraction::DegreeOneContraction(const Graph& g) {
+PendantSkeleton StripPendants(const Graph& g) {
+  PendantSkeleton s;
   const size_t n = g.NumVertices();
   std::vector<uint32_t> degree(n);
   for (Vertex v = 0; v < n; ++v) degree[v] = g.Degree(v);
 
-  parent_.resize(n);
-  parent_weight_.assign(n, 0);
+  s.parent.resize(n);
   std::vector<uint8_t> removed(n, 0);
-  std::vector<Vertex> removal_order;
-  removal_order.reserve(n);
+  s.removal_order.reserve(n);
 
   // Iteratively strip degree-1 vertices.
   std::vector<Vertex> queue;
   for (Vertex v = 0; v < n; ++v) {
-    parent_[v] = v;
+    s.parent[v] = v;
     if (degree[v] == 1) queue.push_back(v);
   }
   while (!queue.empty()) {
@@ -29,56 +28,85 @@ DegreeOneContraction::DegreeOneContraction(const Graph& g) {
     if (removed[v] || degree[v] != 1) continue;
     // Unique surviving neighbour.
     Vertex u = kInvalidVertex;
-    Weight w = 0;
     for (const Arc& a : g.Neighbors(v)) {
       if (!removed[a.to]) {
         u = a.to;
-        w = a.weight;
         break;
       }
     }
     HC2L_CHECK_NE(u, kInvalidVertex);
     removed[v] = 1;
-    parent_[v] = u;
-    parent_weight_[v] = w;
-    removal_order.push_back(v);
+    s.parent[v] = u;
+    s.removal_order.push_back(v);
     if (--degree[u] == 1) queue.push_back(u);
   }
-  num_contracted_ = removal_order.size();
+  s.num_contracted = s.removal_order.size();
 
-  // Core graph over surviving vertices.
-  core_id_.assign(n, kInvalidVertex);
+  // Core numbering over surviving vertices, in original-id order.
+  s.core_id.assign(n, kInvalidVertex);
   for (Vertex v = 0; v < n; ++v) {
     if (!removed[v]) {
-      core_id_[v] = static_cast<Vertex>(to_original_.size());
-      to_original_.push_back(v);
+      s.core_id[v] = static_cast<Vertex>(s.to_original.size());
+      s.to_original.push_back(v);
     }
   }
+
+  // Root / depth per vertex. Vertices removed later are closer to the core,
+  // so a reverse scan sees every parent before its children.
+  s.root_core_id.assign(n, kInvalidVertex);
+  s.depth.assign(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!removed[v]) s.root_core_id[v] = s.core_id[v];
+  }
+  for (auto it = s.removal_order.rbegin(); it != s.removal_order.rend(); ++it) {
+    const Vertex v = *it;
+    const Vertex u = s.parent[v];
+    HC2L_CHECK_NE(s.root_core_id[u], kInvalidVertex);
+    s.root_core_id[v] = s.root_core_id[u];
+    s.depth[v] = s.depth[u] + 1;
+  }
+  return s;
+}
+
+DegreeOneContraction::DegreeOneContraction(const Graph& g) {
+  PendantSkeleton s = StripPendants(g);
+  num_contracted_ = s.num_contracted;
+  core_id_ = std::move(s.core_id);
+  to_original_ = std::move(s.to_original);
+  root_core_id_ = std::move(s.root_core_id);
+  parent_ = std::move(s.parent);
+  depth_ = std::move(s.depth);
+  const size_t n = g.NumVertices();
+
+  // Parent edge weights: the graph holds at most one edge per vertex pair
+  // (GraphBuilder collapses parallel edges), so the (v, parent) lookup is
+  // exact.
+  parent_weight_.assign(n, 0);
+  for (const Vertex v : s.removal_order) {
+    for (const Arc& a : g.Neighbors(v)) {
+      if (a.to == parent_[v]) {
+        parent_weight_[v] = a.weight;
+        break;
+      }
+    }
+  }
+
+  // Core graph over surviving vertices.
   GraphBuilder builder(to_original_.size());
   for (Vertex v : to_original_) {
     for (const Arc& a : g.Neighbors(v)) {
-      if (!removed[a.to] && v < a.to) {
+      if (core_id_[a.to] != kInvalidVertex && v < a.to) {
         builder.AddEdge(core_id_[v], core_id_[a.to], a.weight);
       }
     }
   }
   core_ = std::move(builder).Build();
 
-  // Root / distance / depth per vertex. Vertices removed later are closer to
-  // the core, so a reverse scan sees every parent before its children.
-  root_core_id_.assign(n, kInvalidVertex);
+  // Distance to root, parents before children.
   dist_to_root_.assign(n, 0);
-  depth_.assign(n, 0);
-  for (Vertex v = 0; v < n; ++v) {
-    if (!removed[v]) root_core_id_[v] = core_id_[v];
-  }
-  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+  for (auto it = s.removal_order.rbegin(); it != s.removal_order.rend(); ++it) {
     const Vertex v = *it;
-    const Vertex u = parent_[v];
-    HC2L_CHECK_NE(root_core_id_[u], kInvalidVertex);
-    root_core_id_[v] = root_core_id_[u];
-    dist_to_root_[v] = dist_to_root_[u] + parent_weight_[v];
-    depth_[v] = depth_[u] + 1;
+    dist_to_root_[v] = dist_to_root_[parent_[v]] + parent_weight_[v];
   }
 }
 
@@ -103,6 +131,103 @@ size_t DegreeOneContraction::MemoryBytes() const {
          dist_to_root_.size() * sizeof(Dist) + parent_.size() * sizeof(Vertex) +
          parent_weight_.size() * sizeof(Weight) +
          depth_.size() * sizeof(uint32_t) + core_.MemoryBytes();
+}
+
+DirectedDegreeOneContraction::DirectedDegreeOneContraction(const Digraph& g) {
+  // Contractibility is an undirected property: projection degree one means
+  // the whole in/out neighbourhood is the single core attachment.
+  PendantSkeleton s = StripPendants(g.UndirectedProjection());
+  num_contracted_ = s.num_contracted;
+  core_id_ = std::move(s.core_id);
+  to_original_ = std::move(s.to_original);
+  root_core_id_ = std::move(s.root_core_id);
+  parent_ = std::move(s.parent);
+  depth_ = std::move(s.depth);
+  const size_t n = g.NumVertices();
+
+  // Per-direction parent arc weights. The digraph holds at most one arc per
+  // (from, to) pair, so the scans are exact; a missing direction is the
+  // one-way pendant case and stays kInfDist.
+  up_weight_.assign(n, 0);
+  down_weight_.assign(n, 0);
+  for (const Vertex v : s.removal_order) {
+    const Vertex u = parent_[v];
+    Dist up = kInfDist;
+    for (const Arc& a : g.OutArcs(v)) {
+      if (a.to == u) {
+        up = a.weight;
+        break;
+      }
+    }
+    Dist down = kInfDist;
+    for (const Arc& a : g.InArcs(v)) {  // a.to is the arc's source here
+      if (a.to == u) {
+        down = a.weight;
+        break;
+      }
+    }
+    up_weight_[v] = up;
+    down_weight_[v] = down;
+  }
+
+  // Core digraph over surviving vertices, arc directions preserved.
+  DigraphBuilder builder(to_original_.size());
+  for (Vertex v : to_original_) {
+    for (const Arc& a : g.OutArcs(v)) {
+      if (core_id_[a.to] != kInvalidVertex) {
+        builder.AddArc(core_id_[v], core_id_[a.to], a.weight);
+      }
+    }
+  }
+  core_ = std::move(builder).Build();
+
+  // Directed distances to/from the root, parents before children,
+  // propagating unreachability down broken chains.
+  up_dist_.assign(n, 0);
+  down_dist_.assign(n, 0);
+  for (auto it = s.removal_order.rbegin(); it != s.removal_order.rend(); ++it) {
+    const Vertex v = *it;
+    up_dist_[v] = AddDist(up_weight_[v], up_dist_[parent_[v]]);
+    down_dist_[v] = AddDist(down_dist_[parent_[v]], down_weight_[v]);
+  }
+}
+
+Dist DirectedDegreeOneContraction::SameTreeDistance(Vertex v, Vertex w) const {
+  HC2L_CHECK_EQ(root_core_id_[v], root_core_id_[w]);
+  // Every v -> w path traverses the tree chain v .. lca upward and
+  // lca .. w downward (leaving the tree means passing the root, which lies
+  // on or above the LCA, and coming back through it — never shorter), so
+  // the climb is exact even with one-way links.
+  Dist up = 0;
+  Dist down = 0;
+  Vertex a = v;
+  Vertex b = w;
+  while (depth_[a] > depth_[b]) {
+    up = AddDist(up, up_weight_[a]);
+    a = parent_[a];
+  }
+  while (depth_[b] > depth_[a]) {
+    down = AddDist(down, down_weight_[b]);
+    b = parent_[b];
+  }
+  while (a != b) {
+    up = AddDist(up, up_weight_[a]);
+    a = parent_[a];
+    down = AddDist(down, down_weight_[b]);
+    b = parent_[b];
+  }
+  return AddDist(up, down);
+}
+
+size_t DirectedDegreeOneContraction::MemoryBytes() const {
+  return (core_id_.size() + to_original_.size() + root_core_id_.size() +
+          parent_.size()) *
+             sizeof(Vertex) +
+         depth_.size() * sizeof(uint32_t) +
+         (up_weight_.size() + down_weight_.size() + up_dist_.size() +
+          down_dist_.size()) *
+             sizeof(Dist) +
+         core_.MemoryBytes();
 }
 
 }  // namespace hc2l

@@ -76,13 +76,25 @@ Graph RandomGraph(uint64_t seed, size_t* out_n) {
 /// Random digraph whose underlying undirected graph is connected: a randomly
 /// oriented spanning tree (sometimes with the reverse arc too) plus random
 /// extra arcs. Partial reachability is intended — it exercises unreachable
-/// directed pairs.
+/// directed pairs. Every third seed additionally grows explicit pendant
+/// chains off the base digraph — each link bidirectional (independent
+/// weights), up-only or down-only — so the directed degree-one contraction's
+/// one-way-pendant semantics face the oracle on purpose, not only by the
+/// accident of spanning-tree leaves.
 Digraph RandomDigraph(uint64_t seed, size_t* out_n) {
   Rng rng(seed ^ 0xD16A0000);
-  const size_t n = 2 + rng.Below(38);
+  const size_t base = 2 + rng.Below(38);
+  const bool pendant_mode = seed % 3 == 0;
+  const size_t num_chains = pendant_mode ? 1 + rng.Below(5) : 0;
+  std::vector<uint32_t> chain_len(num_chains);
+  size_t n = base;
+  for (size_t c = 0; c < num_chains; ++c) {
+    chain_len[c] = 1 + static_cast<uint32_t>(rng.Below(3));
+    n += chain_len[c];
+  }
   *out_n = n;
   DigraphBuilder b(n);
-  for (Vertex v = 1; v < n; ++v) {
+  for (Vertex v = 1; v < base; ++v) {
     const Vertex parent = static_cast<Vertex>(rng.Below(v));
     const Weight w = RandomWeight(rng);
     if (rng.Below(2) == 0) {
@@ -99,11 +111,31 @@ Digraph RandomDigraph(uint64_t seed, size_t* out_n) {
       }
     }
   }
-  const size_t extra = rng.Below(2 * n + 1);
+  const size_t extra = rng.Below(2 * base + 1);
   for (size_t e = 0; e < extra; ++e) {
-    const Vertex u = static_cast<Vertex>(rng.Below(n));
-    const Vertex v = static_cast<Vertex>(rng.Below(n));
+    const Vertex u = static_cast<Vertex>(rng.Below(base));
+    const Vertex v = static_cast<Vertex>(rng.Below(base));
     if (u != v) b.AddArc(u, v, RandomWeight(rng));
+  }
+  Vertex next = static_cast<Vertex>(base);
+  for (size_t c = 0; c < num_chains; ++c) {
+    Vertex attach = static_cast<Vertex>(rng.Below(base));
+    for (uint32_t hop = 0; hop < chain_len[c]; ++hop) {
+      const Vertex v = next++;
+      switch (rng.Below(3)) {
+        case 0:  // bidirectional link, independent weights per direction
+          b.AddArc(v, attach, RandomWeight(rng));
+          b.AddArc(attach, v, RandomWeight(rng));
+          break;
+        case 1:  // up-only: the chain can exit but not be entered
+          b.AddArc(v, attach, RandomWeight(rng));
+          break;
+        default:  // down-only: an enter-only dead end
+          b.AddArc(attach, v, RandomWeight(rng));
+          break;
+      }
+      attach = v;
+    }
   }
   return std::move(b).Build();
 }
@@ -286,6 +318,7 @@ void CheckDirectedSeed(uint64_t seed) {
   const Digraph g = RandomDigraph(seed, &n);
 
   DirectedHc2lOptions options;
+  options.contract_degree_one = seed % 2 == 0;
   options.tail_pruning = seed % 3 != 0;
   options.num_threads = 1 + seed % 2;
   options.leaf_size = 2 + seed % 7;
@@ -336,6 +369,7 @@ void CheckDirectedSeed(uint64_t seed) {
 
   // The directed facade request path against the same oracle.
   BuildOptions facade_options;
+  facade_options.contract_degree_one = options.contract_degree_one;
   facade_options.tail_pruning = options.tail_pruning;
   facade_options.num_threads = options.num_threads;
   facade_options.leaf_size = options.leaf_size;

@@ -309,10 +309,35 @@ TEST(RouterInfo, PopulatedForBothFlavours) {
   const IndexInfo di = dir->Info();
   EXPECT_TRUE(di.directed);
   EXPECT_EQ(di.num_vertices, dir->NumVertices());
-  EXPECT_EQ(di.num_core_vertices, di.num_vertices);  // no contraction
+  // The generator attaches pendant chains (pendant_frac), so directed
+  // degree-one contraction must strip a non-empty set and the stats must
+  // add up.
+  EXPECT_LT(di.num_core_vertices, di.num_vertices);
+  EXPECT_GT(di.num_contracted, 0u);
+  EXPECT_EQ(di.num_core_vertices + di.num_contracted, di.num_vertices);
   EXPECT_GT(di.tree_height, 0u);
   EXPECT_GT(di.label_entries, 0u);
   EXPECT_GT(di.label_resident_bytes, 0u);
+
+  // With contraction disabled the core is the whole digraph.
+  BuildOptions no_contraction;
+  no_contraction.contract_degree_one = false;
+  Result<Router> full = Router::Build(TestDigraph(10, 10, 17), no_contraction);
+  ASSERT_TRUE(full.ok());
+  const IndexInfo fi = full->Info();
+  EXPECT_EQ(fi.num_core_vertices, fi.num_vertices);
+  EXPECT_EQ(fi.num_contracted, 0u);
+
+  // An opened (HC2D0002) index reports the same core-vertex stats.
+  const std::string path = ::testing::TempDir() + "/hc2l_router_info_dir.idx";
+  ASSERT_TRUE(dir->Save(path).ok());
+  Result<Router> opened = Router::Open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const IndexInfo oi = opened->Info();
+  EXPECT_EQ(oi.num_vertices, di.num_vertices);
+  EXPECT_EQ(oi.num_core_vertices, di.num_core_vertices);
+  EXPECT_EQ(oi.num_contracted, di.num_contracted);
 }
 
 }  // namespace

@@ -50,6 +50,24 @@ def kernel_speedup(snapshot):
     return scalar / simd
 
 
+def directed_entry_ratio(snapshot):
+    """Contracted-over-uncontracted directed label-entry ratio.
+
+    Builds are deterministic, so the ratio is CPU-independent (like the
+    kernel speedup) and gates on every runner: a regression means the
+    degree-one contraction stopped stripping pendant chains (or the
+    uncontracted baseline shrank without the contracted path following).
+    Returns None when the "directed" section is missing on either side —
+    sections are append-only, mirroring the per-dataset policy.
+    """
+    contracted = lookup(snapshot, ("directed", "contracted", "label_entries"))
+    uncontracted = lookup(
+        snapshot, ("directed", "uncontracted", "label_entries"))
+    if contracted is None or uncontracted is None or uncontracted <= 0:
+        return None
+    return contracted / uncontracted
+
+
 def api_tag(snapshot):
     """Which API produced the snapshot's end-to-end numbers.
 
@@ -111,6 +129,24 @@ def main():
     else:
         print("check_bench: kernel simd speedup: missing in a snapshot, "
               "skipped")
+
+    # Second CPU-independent gate: the directed index's contraction must
+    # keep delivering its label-count reduction. Lower is better; a fresh
+    # ratio beyond the committed one by more than the threshold fails.
+    fresh_ratio = directed_entry_ratio(fresh)
+    committed_ratio = directed_entry_ratio(committed)
+    if fresh_ratio is not None and committed_ratio is not None \
+            and committed_ratio > 0:
+        rel = fresh_ratio / committed_ratio
+        verdict = "OK" if rel <= 1.0 + args.threshold else "REGRESSION"
+        print(f"check_bench: directed contraction entry ratio: "
+              f"committed={committed_ratio:.3f} fresh={fresh_ratio:.3f} "
+              f"rel={rel:.2f} {verdict}")
+        if verdict != "OK":
+            failures.append("directed contraction entry ratio")
+    else:
+        print("check_bench: directed contraction entry ratio: missing in a "
+              "snapshot, skipped")
 
     # Absolute nanosecond timings are only comparable on the machine that
     # recorded the snapshot. CPU model alone is a weak proxy (hypervisors
@@ -174,6 +210,32 @@ def main():
                   f"ratio={ratio:.2f} {verdict}")
             if verdict != "OK":
                 failures.append(f"{name}.{metric}")
+
+    # The directed section's absolute timings, gated exactly like a dataset
+    # section: machine-matched, skipped (never failed) when the section is
+    # missing on either side.
+    fresh_dir = fresh.get("directed")
+    committed_dir = committed.get("directed")
+    if isinstance(fresh_dir, dict) and isinstance(committed_dir, dict):
+        for config in ("contracted", "uncontracted"):
+            fresh_v = lookup(fresh_dir, (config, "ns_per_query"))
+            committed_v = lookup(committed_dir, (config, "ns_per_query"))
+            if fresh_v is None or committed_v is None or committed_v <= 0:
+                print(f"check_bench: directed {config} ns_per_query: missing "
+                      f"in a snapshot, skipped")
+                continue
+            ratio = fresh_v / committed_v
+            verdict = "OK" if ratio <= 1.0 + args.threshold else "REGRESSION"
+            print(f"check_bench: directed {config} ns_per_query: "
+                  f"committed={committed_v:.2f} fresh={fresh_v:.2f} "
+                  f"ratio={ratio:.2f} {verdict}")
+            if verdict != "OK":
+                failures.append(f"directed.{config}.ns_per_query")
+    else:
+        missing_in = "fresh" if not isinstance(fresh_dir, dict) \
+            else "committed"
+        print(f"check_bench: directed section: not in the {missing_in} "
+              f"snapshot, skipped")
 
     if failures:
         print(f"check_bench: FAILED — >{args.threshold:.0%} regression in: "

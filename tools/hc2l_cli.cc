@@ -13,8 +13,9 @@
 //              [--no-tail-pruning] [--no-contraction]
 //       Build an HC2L index from a DIMACS graph and serialize it. With
 //       --directed the arcs are kept one-way and the Section 5.3 directed
-//       index (format HC2D0001) is built; otherwise arcs collapse to
-//       undirected edges (format HC2L0002).
+//       index is built (format HC2D0002; HC2D0001 with --no-contraction);
+//       otherwise arcs collapse to undirected edges (format HC2L0002).
+//       --no-contraction disables degree-one contraction in both flavours.
 //
 //   hc2l query --index index.hc2l [--pairs pairs.txt] [--threads T]
 //       Answer distance queries. The index format is sniffed by
@@ -186,11 +187,14 @@ int RunBuild(const Args& args) {
   if (!router.ok()) return Fail(router.status());
 
   const IndexInfo info = router->Info();
-  std::printf("built %s index in %.2fs: height=%u max_cut=%llu labels=%s\n",
-              info.directed ? "directed" : "undirected", timer.Seconds(),
-              info.tree_height,
-              static_cast<unsigned long long>(info.max_cut_size),
-              std::to_string(info.label_resident_bytes).c_str());
+  std::printf(
+      "built %s index in %.2fs: core=%llu/%llu height=%u max_cut=%llu "
+      "labels=%s\n",
+      info.directed ? "directed" : "undirected", timer.Seconds(),
+      static_cast<unsigned long long>(info.num_core_vertices),
+      static_cast<unsigned long long>(info.num_vertices), info.tree_height,
+      static_cast<unsigned long long>(info.max_cut_size),
+      std::to_string(info.label_resident_bytes).c_str());
   if (Status s = router->Save(out); !s.ok()) return Fail(s);
   std::printf("saved %s\n", out);
   return 0;
