@@ -46,6 +46,11 @@ enum class StatusCode : int {
   /// operation completed. Caller-owned output buffers may hold partial
   /// results; their contents are unspecified.
   kDeadlineExceeded = 8,
+  /// The server shed this work to protect itself (admission control:
+  /// connection or in-flight-request limits reached). The operation was NOT
+  /// attempted; retrying after a backoff is expected to succeed. On the
+  /// hc2ld wire this code carries a "retry_after_ms" hint (docs/server.md).
+  kOverloaded = 9,
 };
 
 /// Human-readable name of a code ("InvalidArgument", ...).
@@ -84,6 +89,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -471,7 +471,8 @@ Result<Router> Router::Open(const std::string& path) {
     if (f == nullptr) {
       return Status::NotFound("cannot open " + path);
     }
-    if (!io::ReadValue(f.get(), &magic)) {
+    io::Reader r(f.get());
+    if (!io::ReadValue(&r, &magic)) {
       return Status::DataLoss(path + " is too short to hold an index header");
     }
   }

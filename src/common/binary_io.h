@@ -2,15 +2,21 @@
 #define HC2L_COMMON_BINARY_IO_H_
 
 /// Minimal binary serialization helpers shared by the index Save/Load paths
-/// (no exceptions; plain fwrite/fread). Readers bound every vector size so a
-/// corrupt or truncated file fails cleanly instead of attempting a huge
-/// allocation.
+/// (no exceptions; plain fwrite/fread). The read side goes through a
+/// bounded Reader that knows how many bytes the file still holds: every
+/// size field is validated against that bound BEFORE any allocation, so a
+/// bit-flipped or truncated size field becomes a clean load failure instead
+/// of a multi-gigabyte resize (which would throw bad_alloc — an abort under
+/// this library's no-exceptions policy) or an out-of-memory kill. Pinned by
+/// tests/load_fuzz_test.cc over systematic truncations and seeded bit
+/// flips of every format.
 
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/label_arena.h"
 
 namespace hc2l::io {
@@ -38,22 +44,60 @@ bool WriteVector(std::FILE* f, const std::vector<T>& v) {
          (size == 0 || WritePod(f, v.data(), size * sizeof(T)));
 }
 
-inline bool ReadPod(std::FILE* f, void* p, size_t bytes) {
-  return std::fread(p, 1, bytes, f) == bytes;
+/// Bounded read cursor over an open file. Construction measures how many
+/// bytes remain between the current position and EOF (via fseek/ftell);
+/// every Read decrements the bound and fails before touching the file once
+/// the bound is exhausted — so a size field can never make a loader
+/// allocate more than the file could possibly back. The "index.load.read"
+/// fault point fails individual reads under HC2L_FAULT_INJECTION, driving
+/// the mid-load-failure chaos cases.
+class Reader {
+ public:
+  /// `f` must be a regular (seekable) file; on a non-seekable stream every
+  /// read fails, which the loaders report as data loss.
+  explicit Reader(std::FILE* f) : f_(f) {
+    const long pos = std::ftell(f);
+    if (pos >= 0 && std::fseek(f, 0, SEEK_END) == 0) {
+      const long end = std::ftell(f);
+      if (end >= pos) remaining_ = static_cast<uint64_t>(end - pos);
+      if (std::fseek(f, pos, SEEK_SET) != 0) remaining_ = 0;
+    }
+  }
+
+  bool Read(void* p, size_t bytes) {
+    if (HC2L_FAULT_SHOULD_FAIL("index.load.read")) return false;
+    if (bytes > remaining_) return false;
+    if (std::fread(p, 1, bytes, f_) != bytes) return false;
+    remaining_ -= bytes;
+    return true;
+  }
+
+  /// Bytes left in the file — the hard upper bound for any claimed size.
+  uint64_t remaining() const { return remaining_; }
+
+  /// True when `count` elements of `elem_bytes` each could still be backed
+  /// by the file. Overflow-safe: implies count * elem_bytes <= remaining().
+  bool CanHold(uint64_t count, size_t elem_bytes) const {
+    return count <= remaining_ / elem_bytes;
+  }
+
+ private:
+  std::FILE* f_;
+  uint64_t remaining_ = 0;
+};
+
+template <typename T>
+bool ReadValue(Reader* r, T* value) {
+  return r->Read(value, sizeof(T));
 }
 
 template <typename T>
-bool ReadValue(std::FILE* f, T* value) {
-  return ReadPod(f, value, sizeof(T));
-}
-
-template <typename T>
-bool ReadVector(std::FILE* f, std::vector<T>* v) {
+bool ReadVector(Reader* r, std::vector<T>* v) {
   uint64_t size = 0;
-  if (!ReadValue(f, &size)) return false;
-  if (size > (uint64_t{1} << 40) / sizeof(T)) return false;  // sanity bound
+  if (!ReadValue(r, &size)) return false;
+  if (!r->CanHold(size, sizeof(T))) return false;  // cannot be backed: corrupt
   v->resize(size);
-  return size == 0 || ReadPod(f, v->data(), size * sizeof(T));
+  return size == 0 || r->Read(v->data(), size * sizeof(T));
 }
 
 /// The arena round-trips verbatim (padding included): its size is already a
@@ -65,13 +109,13 @@ inline bool WriteArena(std::FILE* f, const LabelArena& arena) {
          (size == 0 || WritePod(f, arena.data(), size * sizeof(uint32_t)));
 }
 
-inline bool ReadArena(std::FILE* f, LabelArena* arena) {
+inline bool ReadArena(Reader* r, LabelArena* arena) {
   uint64_t size = 0;
-  if (!ReadValue(f, &size)) return false;
-  if (size > (uint64_t{1} << 40) / sizeof(uint32_t)) return false;
+  if (!ReadValue(r, &size)) return false;
+  if (!r->CanHold(size, sizeof(uint32_t))) return false;
   if (size != LabelArena::PaddedCapacity(size)) return false;  // not aligned
   arena->Reset(size);
-  return size == 0 || ReadPod(f, arena->data(), size * sizeof(uint32_t));
+  return size == 0 || r->Read(arena->data(), size * sizeof(uint32_t));
 }
 
 /// Label stores serialize as offset tables followed by the aligned arena —
@@ -108,9 +152,9 @@ inline bool ValidateLabelStore(const LabelStore& labels) {
   return true;
 }
 
-inline bool ReadLabelStore(std::FILE* f, LabelStore* labels) {
-  return ReadVector(f, &labels->base) && ReadVector(f, &labels->level_start) &&
-         ReadVector(f, &labels->level_len) && ReadArena(f, &labels->arena) &&
+inline bool ReadLabelStore(Reader* r, LabelStore* labels) {
+  return ReadVector(r, &labels->base) && ReadVector(r, &labels->level_start) &&
+         ReadVector(r, &labels->level_len) && ReadArena(r, &labels->arena) &&
          ValidateLabelStore(*labels);
 }
 

@@ -1,0 +1,69 @@
+#include "common/fault_injection.h"
+
+namespace hc2l::testing {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(std::string_view point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[std::string(point)];
+  state.armed = true;
+  state.spec = spec;
+  state.hits = 0;
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+uint64_t FaultInjector::Hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjector::Fire(PointState* state) {
+  const uint64_t hit = state->hits++;
+  if (!state->armed) return false;
+  return hit >= state->spec.fire_after &&
+         hit - state->spec.fire_after < state->spec.fire_count;
+}
+
+bool FaultInjector::ShouldFail(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Fire(&points_[point]);
+}
+
+FaultInjector::IoAction FaultInjector::OnIo(const char* point,
+                                            size_t requested) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  IoAction action{false, 0, false, requested};
+  if (!Fire(&state)) return action;
+  const FaultSpec& spec = state.spec;
+  if (spec.inject_errno != 0) {
+    action.fail = true;
+    action.err = spec.inject_errno;
+  } else if (spec.inject_eof) {
+    action.fail = true;
+    action.eof = true;
+  } else if (spec.clamp_bytes < requested) {
+    action.bytes = spec.clamp_bytes;
+  } else {
+    // No errno, no EOF, no effective clamp: a plain failure point.
+    action.fail = true;
+  }
+  return action;
+}
+
+}  // namespace hc2l::testing

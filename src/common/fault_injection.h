@@ -1,0 +1,121 @@
+#ifndef HC2L_COMMON_FAULT_INJECTION_H_
+#define HC2L_COMMON_FAULT_INJECTION_H_
+
+/// Deterministic fault injection for the chaos suite (tests/
+/// server_fault_test.cc). Production code declares *named fault points* at
+/// the places that talk to the outside world — socket reads and writes, the
+/// index loaders' file reads, the wire parser — and the test arms them with
+/// a FaultSpec describing what to inject and when: an errno (EINTR,
+/// ECONNRESET, ...), a short-count clamp (partial read/write), a simulated
+/// EOF, or a plain failure.
+///
+/// The hooks compile to nothing unless the build defines
+/// HC2L_FAULT_INJECTION (CMake -DHC2L_FAULT_INJECTION=ON): a release binary
+/// carries zero fault-point overhead. The registry class itself is always
+/// compiled so tests can link and skip cleanly; FaultInjector::kEnabled
+/// tells them whether the points are live.
+///
+/// Firing is deterministic, not probabilistic: a spec skips its first
+/// `fire_after` hits, fires for the next `fire_count`, and passes through
+/// afterwards — so a test can say "the 3rd recv returns EINTR, the 4th is
+/// short" and assert exact behaviour. Hit counters are kept per point
+/// whether or not a spec is armed, so tests can also assert a point was
+/// actually reached.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hc2l::testing {
+
+/// What one armed fault point injects. Default-constructed: fire on every
+/// hit, as a plain failure (fail=true is implied when no errno/clamp/eof is
+/// set).
+struct FaultSpec {
+  /// Hits to pass through before the first injected one.
+  uint64_t fire_after = 0;
+  /// Injected hits before the point reverts to passing through.
+  uint64_t fire_count = std::numeric_limits<uint64_t>::max();
+  /// For I/O points: fail the call with this errno (0 = no errno injection).
+  int inject_errno = 0;
+  /// For I/O points: clamp the byte count to at most this (short read /
+  /// short write). SIZE_MAX = no clamp.
+  size_t clamp_bytes = std::numeric_limits<size_t>::max();
+  /// For socket-read points: simulate EOF (peer closed mid-request).
+  bool inject_eof = false;
+};
+
+/// Process-global, thread-safe registry of named fault points.
+class FaultInjector {
+ public:
+  /// True when the build compiled the fault points in
+  /// (-DHC2L_FAULT_INJECTION=ON); tests skip injection cases otherwise.
+#ifdef HC2L_FAULT_INJECTION
+  static constexpr bool kEnabled = true;
+#else
+  static constexpr bool kEnabled = false;
+#endif
+
+  static FaultInjector& Instance();
+
+  /// Arms (or re-arms, resetting the hit counter) one fault point.
+  void Arm(std::string_view point, const FaultSpec& spec);
+
+  /// Disarms one point (its hit counter survives for assertions).
+  void Disarm(std::string_view point);
+
+  /// Disarms every point and zeroes every hit counter.
+  void Reset();
+
+  /// Times the point was consulted since the last Reset (armed or not).
+  uint64_t Hits(std::string_view point) const;
+
+  /// --- called by the fault points themselves ---
+
+  /// Generic failure point (wire parser, loader): true = fail this hit.
+  bool ShouldFail(const char* point);
+
+  /// I/O point outcome for one hit, `requested` bytes asked for.
+  struct IoAction {
+    bool fail = false;  // fail the call: errno = err, or EOF when eof
+    int err = 0;
+    bool eof = false;
+    size_t bytes;  // pass-through byte count (possibly clamped)
+  };
+  IoAction OnIo(const char* point, size_t requested);
+
+ private:
+  struct PointState {
+    bool armed = false;
+    FaultSpec spec;
+    uint64_t hits = 0;
+  };
+
+  /// Returns whether this hit fires, bumping the counter.
+  bool Fire(PointState* state);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState, std::less<>> points_;
+};
+
+}  // namespace hc2l::testing
+
+/// Fault-point macros used by production code. With HC2L_FAULT_INJECTION
+/// off they expand to constant no-ops the optimizer removes entirely.
+#ifdef HC2L_FAULT_INJECTION
+#define HC2L_FAULT_SHOULD_FAIL(point) \
+  (::hc2l::testing::FaultInjector::Instance().ShouldFail(point))
+#define HC2L_FAULT_ON_IO(point, requested) \
+  (::hc2l::testing::FaultInjector::Instance().OnIo(point, requested))
+#else
+#define HC2L_FAULT_SHOULD_FAIL(point) (false)
+#define HC2L_FAULT_ON_IO(point, requested)                      \
+  (::hc2l::testing::FaultInjector::IoAction{false, 0, false,    \
+                                            (requested)})
+#endif
+
+#endif  // HC2L_COMMON_FAULT_INJECTION_H_

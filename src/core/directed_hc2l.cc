@@ -451,8 +451,10 @@ Result<DirectedHc2lIndex> DirectedHc2lIndex::Load(const std::string& path) {
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path);
   }
+  io::Reader reader(f.get());
+  io::Reader* r = &reader;
   uint64_t magic = 0;
-  if (!io::ReadValue(f.get(), &magic) ||
+  if (!io::ReadValue(r, &magic) ||
       (magic != kDirectedIndexMagic && magic != kDirectedIndexMagicV2)) {
     return Status::InvalidArgument("not a directed HC2L index file: " + path);
   }
@@ -460,27 +462,27 @@ Result<DirectedHc2lIndex> DirectedHc2lIndex::Load(const std::string& path) {
   uint64_t num_vertices = 0;
   uint64_t num_contracted = 0;
   uint32_t stored_height = 0;
-  bool ok = io::ReadValue(f.get(), &num_vertices);
+  bool ok = io::ReadValue(r, &num_vertices);
   if (ok && magic == kDirectedIndexMagicV2) {
     index.contraction_ = std::unique_ptr<DirectedDegreeOneContraction>(
         new DirectedDegreeOneContraction());
     DirectedDegreeOneContraction& c = *index.contraction_;
-    ok = io::ReadValue(f.get(), &num_contracted) &&
-         io::ReadValue(f.get(), &stored_height) &&
-         io::ReadVector(f.get(), &c.root_core_id_) &&
-         io::ReadVector(f.get(), &c.parent_) &&
-         io::ReadVector(f.get(), &c.depth_) &&
-         io::ReadVector(f.get(), &c.up_weight_) &&
-         io::ReadVector(f.get(), &c.down_weight_) &&
-         io::ReadVector(f.get(), &c.up_dist_) &&
-         io::ReadVector(f.get(), &c.down_dist_);
+    ok = io::ReadValue(r, &num_contracted) &&
+         io::ReadValue(r, &stored_height) &&
+         io::ReadVector(r, &c.root_core_id_) &&
+         io::ReadVector(r, &c.parent_) &&
+         io::ReadVector(r, &c.depth_) &&
+         io::ReadVector(r, &c.up_weight_) &&
+         io::ReadVector(r, &c.down_weight_) &&
+         io::ReadVector(r, &c.up_dist_) &&
+         io::ReadVector(r, &c.down_dist_);
     c.num_contracted_ = num_contracted;
   } else {
-    ok = ok && io::ReadValue(f.get(), &stored_height);
+    ok = ok && io::ReadValue(r, &stored_height);
   }
-  ok = ok && index.hierarchy_.ReadFrom(f.get()) &&
-       io::ReadLabelStore(f.get(), &index.out_labels_) &&
-       io::ReadLabelStore(f.get(), &index.in_labels_);
+  ok = ok && index.hierarchy_.ReadFrom(r) &&
+       io::ReadLabelStore(r, &index.out_labels_) &&
+       io::ReadLabelStore(r, &index.in_labels_);
   // Same query-path hardening as the undirected Load (see hc2l.cc): code
   // tables must cover every core vertex and both directions must hold at
   // least depth+1 arrays per vertex; the stores' own structure was validated

@@ -722,41 +722,71 @@ Result<Hc2lIndex> Hc2lIndex::Load(const std::string& path) {
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path);
   }
+  io::Reader reader(f.get());
+  io::Reader* r = &reader;
   uint64_t magic = 0;
-  if (!io::ReadValue(f.get(), &magic) || magic != kHc2lIndexMagic) {
+  if (!io::ReadValue(r, &magic) || magic != kHc2lIndexMagic) {
     return Status::InvalidArgument("not an HC2L index file: " + path);
   }
   Hc2lIndex index;
-  bool ok = io::ReadValue(f.get(), &index.stats_);
+  bool ok = io::ReadValue(r, &index.stats_);
   uint8_t has_contraction = 0;
-  ok = ok && io::ReadValue(f.get(), &has_contraction);
+  ok = ok && io::ReadValue(r, &has_contraction);
   if (ok && has_contraction) {
     index.contraction_ =
         std::unique_ptr<DegreeOneContraction>(new DegreeOneContraction());
     DegreeOneContraction& c = *index.contraction_;
-    ok = io::ReadVector(f.get(), &c.core_id_) &&
-         io::ReadVector(f.get(), &c.to_original_) &&
-         io::ReadVector(f.get(), &c.root_core_id_) &&
-         io::ReadVector(f.get(), &c.dist_to_root_) &&
-         io::ReadVector(f.get(), &c.parent_) &&
-         io::ReadVector(f.get(), &c.parent_weight_) &&
-         io::ReadVector(f.get(), &c.depth_);
+    ok = io::ReadVector(r, &c.core_id_) &&
+         io::ReadVector(r, &c.to_original_) &&
+         io::ReadVector(r, &c.root_core_id_) &&
+         io::ReadVector(r, &c.dist_to_root_) &&
+         io::ReadVector(r, &c.parent_) &&
+         io::ReadVector(r, &c.parent_weight_) &&
+         io::ReadVector(r, &c.depth_);
     uint64_t contracted = 0;
-    ok = ok && io::ReadValue(f.get(), &contracted);
+    ok = ok && io::ReadValue(r, &contracted);
     c.num_contracted_ = contracted;
   }
   // Query-path hardening against corrupt offset tables (the label store's
   // own structure is validated inside ReadLabelStore): the per-vertex code
   // tables must cover every labelled vertex, and each vertex must own at
   // least depth+1 label arrays so any LCA level indexes inside its range.
-  // The contraction side and graph-level semantics remain trusted — index
-  // files are not designed to be loaded from adversarial sources.
-  ok = ok && index.hierarchy_.ReadFrom(f.get()) &&
-       io::ReadLabelStore(f.get(), &index.labels_);
+  // Graph-level semantics (weights, actual distances) remain trusted —
+  // index files are not designed to be loaded from adversarial sources.
+  ok = ok && index.hierarchy_.ReadFrom(r) &&
+       io::ReadLabelStore(r, &index.labels_);
+  if (ok && has_contraction) {
+    // The contraction mapping is indexed by the query paths without bounds
+    // checks: its arrays must agree in size and every id must stay in
+    // range, mirroring the directed loader's validation.
+    const DegreeOneContraction& c = *index.contraction_;
+    const size_t n = c.core_id_.size();
+    const size_t core = c.to_original_.size();
+    ok = c.root_core_id_.size() == n && c.dist_to_root_.size() == n &&
+         c.parent_.size() == n && c.parent_weight_.size() == n &&
+         c.depth_.size() == n && core + c.num_contracted_ == n;
+    for (size_t v = 0; ok && v < n; ++v) {
+      ok = c.root_core_id_[v] < core && c.parent_[v] < n &&
+           (c.core_id_[v] == kInvalidVertex ||
+            (c.core_id_[v] < core &&
+             c.to_original_[c.core_id_[v]] == static_cast<Vertex>(v)));
+    }
+  }
   if (ok) {
     const size_t core = index.labels_.base.size() - 1;
     ok = index.hierarchy_.vertex_code_.size() == core &&
-         index.hierarchy_.node_of_vertex_.size() == core;
+         index.hierarchy_.node_of_vertex_.size() == core &&
+         (!has_contraction || index.contraction_->to_original_.size() == core);
+    // The stored counts feed the facade's range checks (NumVertices gates
+    // every query id), so a corrupt stats block must not survive: pin them
+    // to the sizes of the structures actually loaded.
+    const uint64_t n =
+        has_contraction ? index.contraction_->core_id_.size() : core;
+    const uint64_t contracted =
+        has_contraction ? index.contraction_->num_contracted_ : 0;
+    ok = ok && index.stats_.num_vertices == n &&
+         index.stats_.num_core_vertices == core &&
+         index.stats_.num_contracted == contracted;
     for (size_t v = 0; ok && v < core; ++v) {
       const uint32_t arrays = index.labels_.base[v + 1] - index.labels_.base[v];
       ok = arrays >= TreeCodeDepth(index.hierarchy_.vertex_code_[v]) + 1;

@@ -86,21 +86,25 @@ bool BalancedTreeHierarchy::WriteTo(std::FILE* f) const {
          io::WriteVector(f, vertex_code_);
 }
 
-bool BalancedTreeHierarchy::ReadFrom(std::FILE* f) {
+bool BalancedTreeHierarchy::ReadFrom(io::Reader* r) {
   uint64_t num_nodes = 0;
-  if (!io::ReadValue(f, &num_nodes) || num_nodes > (uint64_t{1} << 32)) {
-    return false;
-  }
+  if (!io::ReadValue(r, &num_nodes)) return false;
+  // Every serialized node occupies at least its fixed fields plus the cut's
+  // length prefix; a count the remaining bytes cannot back is corruption,
+  // rejected before the resize allocates anything.
+  constexpr uint64_t kMinNodeBytes =
+      sizeof(TreeCode) + 3 * sizeof(int32_t) + sizeof(uint64_t);
+  if (!r->CanHold(num_nodes, kMinNodeBytes)) return false;
   nodes_.resize(num_nodes);
   for (HierarchyNode& node : nodes_) {
-    if (!io::ReadValue(f, &node.code) || !io::ReadValue(f, &node.parent) ||
-        !io::ReadValue(f, &node.left) || !io::ReadValue(f, &node.right) ||
-        !io::ReadVector(f, &node.cut)) {
+    if (!io::ReadValue(r, &node.code) || !io::ReadValue(r, &node.parent) ||
+        !io::ReadValue(r, &node.left) || !io::ReadValue(r, &node.right) ||
+        !io::ReadVector(r, &node.cut)) {
       return false;
     }
   }
-  return io::ReadVector(f, &node_of_vertex_) &&
-         io::ReadVector(f, &vertex_code_);
+  return io::ReadVector(r, &node_of_vertex_) &&
+         io::ReadVector(r, &vertex_code_);
 }
 
 }  // namespace hc2l

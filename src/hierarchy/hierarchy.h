@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/types.h"
 #include "hierarchy/tree_code.h"
 
@@ -71,9 +72,10 @@ class BalancedTreeHierarchy {
   /// index format HC2L0002).
   bool WriteTo(std::FILE* f) const;
 
-  /// Reads a hierarchy written by WriteTo. On failure the hierarchy is left
-  /// in an unspecified state and false is returned.
-  bool ReadFrom(std::FILE* f);
+  /// Reads a hierarchy written by WriteTo through a bounded reader (sizes
+  /// validated against remaining file bytes before allocation). On failure
+  /// the hierarchy is left in an unspecified state and false is returned.
+  bool ReadFrom(io::Reader* r);
 
  private:
   friend class Hc2lBuilder;

@@ -2,23 +2,32 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <condition_variable>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "server/wire.h"
 
 namespace hc2l {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// close() wrapper that survives EINTR.
 void CloseFd(int fd) {
@@ -28,42 +37,107 @@ void CloseFd(int fd) {
   }
 }
 
-/// Writes the whole buffer, retrying short writes; false on a dead peer.
+/// recv() with the "server.recv" fault point in front: the chaos suite can
+/// turn any read into an EINTR/ECONNRESET failure, a short read, or a
+/// premature EOF without a cooperating client.
+ssize_t RecvSome(int fd, char* buf, size_t cap, int flags) {
+  const auto act = HC2L_FAULT_ON_IO("server.recv", cap);
+  if (act.fail) {
+    errno = act.err != 0 ? act.err : ECONNRESET;
+    return -1;
+  }
+  if (act.eof) return 0;
+  return ::recv(fd, buf, std::min(act.bytes, cap), flags);
+}
+
+/// Writes the whole buffer, retrying short writes and EINTR; false on a
+/// dead peer or a write deadline (SO_SNDTIMEO turns a stuck client into
+/// EAGAIN here). Carries the "server.send" fault point.
 bool SendAll(int fd, const char* data, size_t size) {
   size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    const size_t want = size - sent;
+    const auto act = HC2L_FAULT_ON_IO("server.send", want);
+    ssize_t n;
+    if (act.fail) {
+      errno = act.err != 0 ? act.err : EPIPE;
+      n = -1;
+    } else if (act.eof) {
+      errno = EPIPE;
+      n = -1;
+    } else {
+      n = ::send(fd, data + sent, std::min(act.bytes, want), MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
     }
+    if (n == 0) return false;
     sent += static_cast<size_t>(n);
   }
   return true;
 }
 
+void AppendDeadlineResponse(const char* what, std::string* out) {
+  out->append("{\"ok\":false,\"code\":\"DeadlineExceeded\",\"message\":\"");
+  out->append(what);
+  out->append("\"}\n");
+}
+
 }  // namespace
 
 struct QueryServer::Impl {
-  const Router* router = nullptr;
   ServerOptions options;
-  // One engine shared by all connections; per-request "threads" caps it.
-  std::unique_ptr<ThreadedRouter> threaded;
+
+  /// One immutable serving snapshot: the index facade plus the shared query
+  /// engine built on it. Connections take a shared_ptr per request line;
+  /// Reload publishes a fresh snapshot and the old one dies with its last
+  /// in-flight reference (RCU). `owned` is null for the initial snapshot,
+  /// whose Router is borrowed from Start()'s caller. Declared before
+  /// `threaded` so the engine is destroyed before the router it wraps.
+  struct ServingState {
+    std::unique_ptr<Router> owned;
+    const Router* router = nullptr;
+    std::unique_ptr<ThreadedRouter> threaded;
+    uint64_t epoch = 0;
+  };
+
+  mutable std::mutex state_mu;
+  std::shared_ptr<const ServingState> state;  // guarded by state_mu
+  // Serializes Reload()s: opening an index is slow and two concurrent
+  // swaps would race their epoch bumps. Never held together with state_mu
+  // except by the publisher (state_mu inside reload_mu).
+  std::mutex reload_mu;
 
   int listen_fd = -1;
   uint16_t bound_port = 0;
   std::thread accept_thread;
 
-  std::mutex mu;
+  // Connections poll the read end; Drain() closes the write end, which
+  // wakes every poll with one readable-forever fd (POLLHUP) — a broadcast
+  // with no per-connection bookkeeping.
+  int drain_pipe[2] = {-1, -1};
+
+  mutable std::mutex mu;
   std::condition_variable stopped_cv;
-  bool stopping = false;  // guarded by mu
-  // Serializes StopAndJoin callers (Stop() from any thread, the
-  // destructor): the joins and fd teardown below must run exactly once at
-  // a time; the joinable()/fd guards then make the second caller a no-op.
+  std::condition_variable conn_done_cv;  // signalled per connection exit
+  bool stopping = false;                 // guarded by mu
+  bool draining = false;                 // guarded by mu
+  size_t live_connections = 0;           // guarded by mu
+  // Serializes StopAndJoin/DrainAndJoin callers (Stop() from any thread,
+  // the destructor): the joins and fd teardown below must run exactly once
+  // at a time; the joinable()/fd guards then make later callers no-ops.
   std::mutex stop_mu;
+
   std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> connections_shed{0};
+  std::atomic<uint64_t> requests_admitted{0};
+  std::atomic<uint64_t> requests_shed{0};
+  std::atomic<uint64_t> reloads{0};
+  std::atomic<uint32_t> in_flight{0};
+
   struct Connection {
-    int fd = -1;
+    int fd = -1;  // guarded by mu once registered; -1 after eager close
     std::thread thread;
     std::atomic<bool> done{false};
   };
@@ -71,48 +145,284 @@ struct QueryServer::Impl {
 
   ~Impl() { StopAndJoin(); }
 
+  std::shared_ptr<const ServingState> Snapshot() const {
+    std::lock_guard<std::mutex> lock(state_mu);
+    return state;
+  }
+
+  Status ReloadIndex(std::string_view path, uint64_t* epoch_out) {
+    std::lock_guard<std::mutex> reload_lock(reload_mu);
+    std::string target(path);
+    if (target.empty()) target = options.index_path;
+    if (target.empty()) {
+      return Status::InvalidArgument(
+          "reload has no index path: pass \"path\" or configure "
+          "ServerOptions::index_path");
+    }
+    // Build the whole replacement off to the side: any failure leaves the
+    // current snapshot serving untouched.
+    Result<Router> reopened = Router::Open(target);
+    if (!reopened.ok()) return reopened.status();
+    auto next = std::make_shared<ServingState>();
+    next->owned = std::make_unique<Router>(std::move(reopened).value());
+    next->router = next->owned.get();
+    ParallelOptions parallel;
+    parallel.num_threads = options.num_threads;
+    parallel.min_shard_queries = options.min_shard_queries;
+    Result<ThreadedRouter> threaded = next->router->WithThreads(parallel);
+    if (!threaded.ok()) return threaded.status();
+    next->threaded =
+        std::make_unique<ThreadedRouter>(std::move(threaded).value());
+    std::shared_ptr<const ServingState> old;
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      next->epoch = state->epoch + 1;
+      if (epoch_out != nullptr) *epoch_out = next->epoch;
+      old.swap(state);
+      state = std::move(next);
+    }
+    // `old` (and possibly its engine's worker pool) is torn down here,
+    // outside state_mu — unless a connection still holds it, in which case
+    // the last request to finish pays for the teardown.
+    reloads.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  Stats StatsSnapshot() const {
+    Stats s;
+    s.connections_accepted = accepted.load(std::memory_order_relaxed);
+    s.connections_shed = connections_shed.load(std::memory_order_relaxed);
+    s.requests_admitted = requests_admitted.load(std::memory_order_relaxed);
+    s.requests_shed = requests_shed.load(std::memory_order_relaxed);
+    s.in_flight = in_flight.load(std::memory_order_relaxed);
+    s.reloads = reloads.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      s.connections_live = live_connections;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      s.epoch = state->epoch;
+    }
+    return s;
+  }
+
+  void AppendServingInfo(std::string* json) const {
+    const Stats s = StatsSnapshot();
+    const auto field = [json](const char* key, uint64_t value) {
+      json->append(",\"");
+      json->append(key);
+      json->append("\":");
+      json->append(std::to_string(value));
+    };
+    field("epoch", s.epoch);
+    field("reloads", s.reloads);
+    field("connections_live", s.connections_live);
+    field("connections_accepted", s.connections_accepted);
+    field("connections_shed", s.connections_shed);
+    field("requests_admitted", s.requests_admitted);
+    field("requests_shed", s.requests_shed);
+    field("in_flight", s.in_flight);
+    field("max_connections", options.limits.max_connections);
+    field("max_in_flight", options.limits.max_in_flight);
+  }
+
+  ServerHooks MakeHooks() {
+    ServerHooks hooks;
+    hooks.admit = [this](uint64_t* retry_after_ms) {
+      const uint32_t cap = options.limits.max_in_flight;
+      if (cap == 0) {
+        in_flight.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        uint32_t cur = in_flight.load(std::memory_order_relaxed);
+        for (;;) {
+          if (cur >= cap) {
+            *retry_after_ms = options.limits.retry_after_ms;
+            requests_shed.fetch_add(1, std::memory_order_relaxed);
+            return false;
+          }
+          if (in_flight.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_relaxed)) {
+            break;
+          }
+        }
+      }
+      requests_admitted.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    };
+    hooks.release = [this] {
+      in_flight.fetch_sub(1, std::memory_order_relaxed);
+    };
+    hooks.reload = [this](std::string_view path, uint64_t* epoch) {
+      return ReloadIndex(path, epoch);
+    };
+    hooks.info = [this](std::string* json) { AppendServingInfo(json); };
+    return hooks;
+  }
+
   void ServeConnection(Connection* conn) {
-    RequestHandler handler(*router, *threaded);
+    const ServerLimits& limits = options.limits;
+    if (limits.write_timeout_ms != 0) {
+      timeval tv{};
+      tv.tv_sec = limits.write_timeout_ms / 1000;
+      tv.tv_usec = static_cast<long>(limits.write_timeout_ms % 1000) * 1000;
+      ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+
+    RequestHandler handler(MakeHooks());
     std::string inbuf;
     std::string outbuf;
     char buf[16384];
-    for (;;) {
-      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
-      inbuf.append(buf, static_cast<size_t>(n));
-      // Handle every complete line, then drop the consumed prefix once.
+    bool discarding = false;  // oversized line: drop bytes to its newline
+    bool evict = false;       // flush outbuf, then close
+    uint64_t served = 0;
+    Clock::time_point last_byte = Clock::now();
+    Clock::time_point line_start = last_byte;
+    bool line_open = false;
+
+    // Handles every complete line buffered in inbuf against the CURRENT
+    // serving snapshot (re-acquired per line, so a hot reload lands between
+    // requests of one connection), drops the consumed prefix, and enforces
+    // the line-byte cap by switching into discard mode: one error response,
+    // then bytes are dropped until the offending line's newline — the
+    // buffer stays bounded and the connection stays usable. Returns whether
+    // any newline was consumed (the caller re-bases the slowloris clock).
+    const auto process_buffered = [&]() -> bool {
       size_t consumed = 0;
+      const std::string_view view(inbuf);
       for (;;) {
         const size_t nl = inbuf.find('\n', consumed);
+        if (discarding) {
+          if (nl == std::string::npos) {
+            inbuf.clear();
+            return consumed > 0;
+          }
+          consumed = nl + 1;
+          discarding = false;
+          continue;
+        }
         if (nl == std::string::npos) break;
-        handler.HandleLine(
-            std::string_view(inbuf).substr(consumed, nl - consumed), &outbuf);
+        const size_t before = outbuf.size();
+        const auto snap = Snapshot();
+        handler.HandleLine(view.substr(consumed, nl - consumed),
+                           *snap->router, *snap->threaded, &outbuf);
         consumed = nl + 1;
+        if (outbuf.size() > before) {
+          ++served;
+          if (limits.max_requests_per_connection != 0 &&
+              served >= limits.max_requests_per_connection) {
+            evict = true;
+            break;
+          }
+        }
       }
       if (consumed > 0) inbuf.erase(0, consumed);
-      if (inbuf.size() > options.max_line_bytes) {
+      if (!discarding && inbuf.size() > options.max_line_bytes) {
         outbuf.append(
             "{\"ok\":false,\"code\":\"InvalidArgument\",\"message\":\"request "
             "line exceeds the per-line byte cap\"}\n");
+        inbuf.clear();
+        discarding = true;
+      }
+      line_open = !inbuf.empty() || discarding;
+      return consumed > 0;
+    };
+
+    for (;;) {
+      // The nearer of the idle and slowloris deadlines bounds the poll.
+      const char* deadline_reason = nullptr;
+      Clock::time_point deadline = Clock::time_point::max();
+      if (limits.idle_timeout_ms != 0) {
+        deadline = last_byte + std::chrono::milliseconds(limits.idle_timeout_ms);
+        deadline_reason = "connection evicted: idle timeout";
+      }
+      if (line_open && limits.read_timeout_ms != 0) {
+        const Clock::time_point read_deadline =
+            line_start + std::chrono::milliseconds(limits.read_timeout_ms);
+        if (read_deadline < deadline) {
+          deadline = read_deadline;
+          deadline_reason =
+              "connection evicted: request line not completed in time";
+        }
+      }
+      int timeout_ms = -1;
+      if (deadline != Clock::time_point::max()) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - Clock::now())
+                              .count();
+        timeout_ms = static_cast<int>(
+            std::clamp<long long>(left, 0, std::numeric_limits<int>::max()));
+      }
+
+      pollfd fds[2] = {{conn->fd, POLLIN, 0}, {drain_pipe[0], POLLIN, 0}};
+      const int rc = ::poll(fds, 2, timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (rc == 0) {
+        // Deadline hit: one polite response line, then close. A slow client
+        // cannot hold a connection slot forever.
+        AppendDeadlineResponse(deadline_reason, &outbuf);
         SendAll(conn->fd, outbuf.data(), outbuf.size());
         break;
       }
+
+      if (fds[1].revents != 0) {
+        // Drain: answer the requests already queued on the socket (a
+        // non-blocking sweep, processed chunk by chunk so the buffer stays
+        // bounded), flush, close. Anything the client sends after the
+        // drain signal is dropped with the close.
+        for (;;) {
+          const ssize_t n =
+              RecvSome(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) break;
+          inbuf.append(buf, static_cast<size_t>(n));
+          process_buffered();
+          if (evict) break;
+        }
+        if (!outbuf.empty()) SendAll(conn->fd, outbuf.data(), outbuf.size());
+        break;
+      }
+
+      const ssize_t n = RecvSome(conn->fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      last_byte = Clock::now();
+      const bool was_open = line_open;
+      inbuf.append(buf, static_cast<size_t>(n));
+      const bool consumed_any = process_buffered();
+      // The slowloris clock restarts whenever the pending partial line
+      // began with this chunk (fresh connection input, or right after a
+      // completed line).
+      if (line_open && (!was_open || consumed_any)) line_start = last_byte;
       if (!outbuf.empty()) {
         if (!SendAll(conn->fd, outbuf.data(), outbuf.size())) break;
         outbuf.clear();
       }
+      if (evict) break;
     }
-    ::shutdown(conn->fd, SHUT_RDWR);
-    // The fd stays open until the accept loop (or Stop) joins this thread —
-    // closing it here could race a concurrent Stop() shutdown() against a
-    // reused descriptor number.
+
+    // Eager fd release, under mu: the descriptor is closed the moment the
+    // handler finishes — not when the accept loop next reaps — so a burst
+    // of short-lived connections is bounded by live handlers, and Stop()'s
+    // shutdown sweep (same mu, fd >= 0 check) can never touch a reused
+    // descriptor number.
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      CloseFd(conn->fd);
+      conn->fd = -1;
+      --live_connections;
+    }
     conn->done.store(true, std::memory_order_release);
+    conn_done_cv.notify_all();
   }
 
-  /// Joins and closes connections whose handler has finished, bounding open
-  /// descriptors to live connections (plus any finished since the last
-  /// accept). Called between accepts; Stop() sweeps whatever remains.
+  /// Joins connection threads whose handler has finished (their fds are
+  /// already closed — see the handler epilogue). Called between accepts;
+  /// Stop()/Drain() sweep whatever remains.
   void ReapFinished() {
     std::vector<std::unique_ptr<Connection>> done;
     {
@@ -129,7 +439,6 @@ struct QueryServer::Impl {
     }
     for (auto& conn : done) {
       if (conn->thread.joinable()) conn->thread.join();
-      CloseFd(conn->fd);
     }
   }
 
@@ -146,21 +455,48 @@ struct QueryServer::Impl {
       auto conn = std::make_unique<Connection>();
       conn->fd = fd;
       Connection* raw = conn.get();
-      std::lock_guard<std::mutex> lock(mu);
-      if (stopping) {
-        CloseFd(fd);
-        return;
+      bool shed = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping || draining) {
+          CloseFd(fd);
+          return;
+        }
+        if (options.limits.max_connections != 0 &&
+            live_connections >= options.limits.max_connections) {
+          shed = true;
+        } else {
+          ++live_connections;
+          conn->thread = std::thread([this, raw] { ServeConnection(raw); });
+          connections.push_back(std::move(conn));
+        }
       }
-      conn->thread = std::thread([this, raw] { ServeConnection(raw); });
-      connections.push_back(std::move(conn));
+      if (shed) {
+        // Connection-level load shedding: one best-effort Overloaded line
+        // (the socket's send buffer is empty, so this will not block), then
+        // close — never a backlog of accepted-but-unserved sockets.
+        connections_shed.fetch_add(1, std::memory_order_relaxed);
+        std::string line;
+        AppendOverloadedResponse(options.limits.retry_after_ms,
+                                 "server is at its connection limit", &line);
+        ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+        CloseFd(fd);
+      }
     }
   }
 
-  void StopAndJoin() {
-    std::lock_guard<std::mutex> stop_lock(stop_mu);
+  /// Stops the acceptor and joins it; shared by Stop and Drain. Returns
+  /// false when another caller already stopped the server.
+  bool BeginShutdown(bool graceful) {
     {
       std::lock_guard<std::mutex> lock(mu);
-      stopping = true;
+      if (stopping) return false;
+      if (graceful) {
+        if (draining) return false;
+        draining = true;
+      } else {
+        stopping = true;
+      }
     }
     if (listen_fd >= 0) {
       // Unblocks accept() on Linux; the loop then exits on the error.
@@ -169,18 +505,71 @@ struct QueryServer::Impl {
     if (accept_thread.joinable()) accept_thread.join();
     CloseFd(listen_fd);
     listen_fd = -1;
+    return true;
+  }
+
+  /// Joins every connection thread and finishes teardown. Handlers close
+  /// their own fds; anything still open here belongs to a thread we are
+  /// about to join, whose epilogue closes it.
+  void FinishShutdown() {
     std::vector<std::unique_ptr<Connection>> to_join;
     {
       std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
       to_join.swap(connections);
     }
     for (auto& conn : to_join) {
-      // Kicks a handler blocked in recv(); it exits on the 0/-1 return.
-      ::shutdown(conn->fd, SHUT_RDWR);
       if (conn->thread.joinable()) conn->thread.join();
-      CloseFd(conn->fd);
     }
-    stopped_cv.notify_all();
+    CloseFd(drain_pipe[0]);
+    CloseFd(drain_pipe[1]);
+    drain_pipe[0] = drain_pipe[1] = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stopped_cv.notify_all();
+    }
+  }
+
+  void StopAndJoin() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu);
+    if (!BeginShutdown(/*graceful=*/false)) {
+      // A Drain may still be waiting out its budget on another thread; the
+      // stop_mu hand-off above means it has finished by the time we get
+      // here, so there is nothing left to do beyond the idempotent sweep.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto& conn : connections) {
+        // Kicks a handler blocked in poll/recv/send; it exits on the error.
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+    FinishShutdown();
+  }
+
+  bool DrainAndJoin(std::chrono::milliseconds budget) {
+    std::lock_guard<std::mutex> stop_lock(stop_mu);
+    if (!BeginShutdown(/*graceful=*/true)) return true;  // already stopped
+    // Broadcast the drain: every connection's poll wakes on the pipe's
+    // read end going readable (POLLHUP), answers what it has, and closes.
+    if (drain_pipe[1] >= 0) {
+      CloseFd(drain_pipe[1]);
+      drain_pipe[1] = -1;
+    }
+    bool drained;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      drained = conn_done_cv.wait_for(lock, budget,
+                                      [this] { return live_connections == 0; });
+      if (!drained) {
+        // Budget spent: disconnect the stragglers hard.
+        for (auto& conn : connections) {
+          if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+        }
+      }
+    }
+    FinishShutdown();
+    return drained;
   }
 };
 
@@ -195,17 +584,24 @@ QueryServer::~QueryServer() {
 Result<QueryServer> QueryServer::Start(const Router& router,
                                        const ServerOptions& options) {
   auto impl = std::make_unique<Impl>();
-  impl->router = &router;
   impl->options = options;
   if (impl->options.max_line_bytes == 0) impl->options.max_line_bytes = 1;
 
+  auto initial = std::make_shared<Impl::ServingState>();
+  initial->router = &router;
   ParallelOptions parallel;
   parallel.num_threads = options.num_threads;
   parallel.min_shard_queries = options.min_shard_queries;
   Result<ThreadedRouter> threaded = router.WithThreads(parallel);
   if (!threaded.ok()) return threaded.status();
-  impl->threaded =
+  initial->threaded =
       std::make_unique<ThreadedRouter>(std::move(threaded).value());
+  impl->state = std::move(initial);
+
+  if (::pipe(impl->drain_pipe) != 0) {
+    return Status::Unavailable(std::string("pipe(): ") +
+                               std::strerror(errno));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -253,6 +649,23 @@ uint16_t QueryServer::port() const { return impl_->bound_port; }
 
 uint64_t QueryServer::connections_accepted() const {
   return impl_->accepted.load(std::memory_order_relaxed);
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  return impl_->StatsSnapshot();
+}
+
+Status QueryServer::Reload(const std::string& path) {
+  return impl_->ReloadIndex(path, nullptr);
+}
+
+uint64_t QueryServer::epoch() const {
+  std::lock_guard<std::mutex> lock(impl_->state_mu);
+  return impl_->state->epoch;
+}
+
+bool QueryServer::Drain(std::chrono::milliseconds budget) {
+  return impl_->DrainAndJoin(budget);
 }
 
 void QueryServer::Stop() { impl_->StopAndJoin(); }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "common/fault_injection.h"
 #include "hc2l/query.h"
 
 namespace hc2l {
@@ -280,6 +281,9 @@ class JsonCursor {
 
 Status ParseRequestLine(std::string_view line, WireRequest* req) {
   req->Clear();
+  if (HC2L_FAULT_SHOULD_FAIL("wire.parse")) {
+    return Status::InvalidArgument("injected wire-parse fault");
+  }
   JsonCursor c(line);
   if (Status st = c.Expect('{'); !st.ok()) return st;
   if (!c.Consume('}')) {
@@ -306,6 +310,8 @@ Status ParseRequestLine(std::string_view line, WireRequest* req) {
         field = c.ParseVertexArray(&req->targets);
       } else if (key == "k") {
         field = c.ParseUint(&req->k);
+      } else if (key == "path") {
+        field = c.ParseString(&req->path);
       } else if (key == "deadline_ms") {
         uint64_t ms = 0;
         field = c.ParseUint(&ms);
@@ -345,6 +351,17 @@ Status ParseRequestLine(std::string_view line, WireRequest* req) {
   return Status::Ok();
 }
 
+void AppendOverloadedResponse(uint64_t retry_after_ms, std::string_view what,
+                              std::string* out) {
+  out->append("{\"ok\":false,\"code\":\"");
+  out->append(StatusCodeName(StatusCode::kOverloaded));
+  out->append("\",\"retry_after_ms\":");
+  AppendUint(out, retry_after_ms);
+  out->append(",\"message\":\"");
+  AppendJsonEscaped(out, what);
+  out->append("\"}\n");
+}
+
 void RequestHandler::AppendErrorResponse(const Status& status,
                                          std::string* out) const {
   out->append("{\"ok\":false,\"code\":\"");
@@ -354,7 +371,9 @@ void RequestHandler::AppendErrorResponse(const Status& status,
   out->append("\"}\n");
 }
 
-void RequestHandler::HandleLine(std::string_view line, std::string* out) {
+void RequestHandler::HandleLine(std::string_view line, const Router& router,
+                                const ThreadedRouter& threaded,
+                                std::string* out) {
   while (!line.empty() && (line.back() == '\r')) line.remove_suffix(1);
   if (line.find_first_not_of(" \t") == std::string_view::npos) return;
 
@@ -363,12 +382,31 @@ void RequestHandler::HandleLine(std::string_view line, std::string* out) {
     return;
   }
 
+  // ping/info/reload bypass admission control deliberately: liveness
+  // probes, stats scrapes and the operator's reload must keep working on a
+  // server that is shedding query load.
   if (req_.op == "ping") {
     out->append("{\"ok\":true,\"op\":\"ping\"}\n");
     return;
   }
+  if (req_.op == "reload") {
+    if (!hooks_.reload) {
+      AppendErrorResponse(
+          Status::Unimplemented("this endpoint has no reload hook"), out);
+      return;
+    }
+    uint64_t epoch = 0;
+    if (Status st = hooks_.reload(req_.path, &epoch); !st.ok()) {
+      AppendErrorResponse(st, out);
+      return;
+    }
+    out->append("{\"ok\":true,\"op\":\"reload\",\"epoch\":");
+    AppendUint(out, epoch);
+    out->append("}\n");
+    return;
+  }
   if (req_.op == "info") {
-    const IndexInfo info = router_->Info();
+    const IndexInfo info = router.Info();
     out->append("{\"ok\":true,\"op\":\"info\",\"directed\":");
     out->append(info.directed ? "true" : "false");
     out->append(",\"vertices\":");
@@ -378,7 +416,8 @@ void RequestHandler::HandleLine(std::string_view line, std::string* out) {
     out->append(",\"label_entries\":");
     AppendUint(out, info.label_entries);
     out->append(",\"engine_threads\":");
-    AppendUint(out, threaded_->NumThreads());
+    AppendUint(out, threaded.NumThreads());
+    if (hooks_.info) hooks_.info(out);
     out->append("}\n");
     return;
   }
@@ -422,8 +461,8 @@ void RequestHandler::HandleLine(std::string_view line, std::string* out) {
             req_.op.empty()
                 ? "request has no \"op\""
                 : "unknown op \"" + req_.op +
-                      "\" (expected batch, point, matrix, knearest, info or "
-                      "ping)"),
+                      "\" (expected batch, point, matrix, knearest, info, "
+                      "ping or reload)"),
         out);
     return;
   }
@@ -442,6 +481,27 @@ void RequestHandler::HandleLine(std::string_view line, std::string* out) {
     return;
   }
 
+  // Admission control: shed instead of queueing unboundedly. Shedding
+  // happens after shape validation so a shed is always a request the server
+  // WOULD have answered — the client's retry is worth making.
+  if (hooks_.admit) {
+    uint64_t retry_after_ms = 0;
+    if (!hooks_.admit(&retry_after_ms)) {
+      AppendOverloadedResponse(
+          retry_after_ms, "server is at its in-flight request limit", out);
+      return;
+    }
+  }
+  // An admitted request pairs with exactly one release() however the
+  // execution below exits; without an admit hook nothing was admitted and
+  // nothing is released.
+  struct ReleaseGuard {
+    const std::function<void()>* release;
+    ~ReleaseGuard() {
+      if (release != nullptr && *release) (*release)();
+    }
+  } release_guard{hooks_.admit ? &hooks_.release : nullptr};
+
   // Execute into the connection's reusable buffers.
   QueryOutput output;
   if (request.kind == QueryKind::kKNearest) {
@@ -453,7 +513,7 @@ void RequestHandler::HandleLine(std::string_view line, std::string* out) {
     dists_.resize(result_entries);
   }
   output.distances = dists_;
-  const Result<QueryResponse> response = threaded_->Execute(request, output);
+  const Result<QueryResponse> response = threaded.Execute(request, output);
   if (!response.ok()) {
     AppendErrorResponse(response.status(), out);
     return;

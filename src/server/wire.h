@@ -15,6 +15,7 @@
 ///   {"op":"matrix",  "sources":[...], "targets":[...]}   many-to-many
 ///   {"op":"knearest","source":S, "candidates":[...], "k":K}
 ///   {"op":"info"}    {"op":"ping"}
+///   {"op":"reload" [, "path":"/new/index"]}              admin: hot swap
 ///
 ///   optional per-request options, mapped onto hc2l::QueryOptions:
 ///     "deadline_ms": B   // 0 = unlimited
@@ -27,14 +28,20 @@
 ///   {"ok":true,"op":"matrix","rows":R,"cols":C,"distances":[...]}  row-major
 ///   {"ok":true,"op":"knearest","count":N,"neighbors":[[dist,vertex],...]}
 ///   {"ok":true,"op":"info","directed":false,"vertices":N,...}
+///   {"ok":true,"op":"reload","epoch":E}
 ///   {"ok":false,"code":"InvalidArgument","message":"..."}
+///   {"ok":false,"code":"Overloaded","retry_after_ms":M,"message":"..."}
 ///
 /// This header is the testable, socket-free core: parsing into reusable
 /// buffers and executing into reusable buffers — the per-connection
 /// zero-allocation steady state the request/response facade API exists for.
-/// The TCP layer (hc2l/server.h) is a thin loop around RequestHandler.
+/// The TCP layer (hc2l/server.h) is a thin loop around RequestHandler; it
+/// passes the current serving snapshot's routers into every HandleLine so a
+/// hot reload (the "reload" op, or SIGHUP on hc2ld) swaps the index under
+/// live connections without touching this layer.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +59,7 @@ struct WireRequest {
   std::vector<Vertex> sources;
   std::vector<Vertex> targets;  // also the k-nearest candidates
   uint64_t k = 0;
+  std::string path;  // "reload" only: index file to swap to ("" = original)
   QueryOptions options;
 
   void Clear() {
@@ -59,6 +67,7 @@ struct WireRequest {
     sources.clear();
     targets.clear();
     k = 0;
+    path.clear();
     options = QueryOptions{};
   }
 };
@@ -67,15 +76,44 @@ struct WireRequest {
 /// larger than the 32-bit vertex space parse as kInvalidVertex, i.e. an
 /// out-of-range id handled by the request's missing-vertex policy. Errors:
 /// kInvalidArgument with a position-carrying message; `req` contents are
-/// then unspecified.
+/// then unspecified. Carries the "wire.parse" fault point.
 Status ParseRequestLine(std::string_view line, WireRequest* req);
 
-/// Parses one request line, executes it against the routers, and appends
-/// exactly one '\n'-terminated JSON response line to *out — unless the line
-/// is empty or all-whitespace, which appends nothing (keepalive-friendly).
-/// Bad input of any shape becomes an {"ok":false,...} response line, never
-/// an abort. One handler per connection; its buffers are reused across
-/// lines.
+/// Appends the wire's load-shedding response line: ok:false, code
+/// "Overloaded", a retry_after_ms backoff hint, and `what` as the message.
+/// Shared by the per-request admission path (RequestHandler) and the
+/// connection-level admission path (the TCP accept loop).
+void AppendOverloadedResponse(uint64_t retry_after_ms, std::string_view what,
+                              std::string* out);
+
+/// Server-side operations the protocol core surfaces on the wire but cannot
+/// perform itself. All hooks are optional: a hook-less handler (the
+/// socket-free unit tests) executes queries unconditionally, answers
+/// "reload" with Unimplemented and emits no serving section in "info".
+struct ServerHooks {
+  /// Admission control, consulted once per query op (ping/info/reload are
+  /// exempt — they must work on an overloaded server). Return true to
+  /// execute; false sheds the request: the handler answers Overloaded
+  /// carrying *retry_after_ms and does not execute. An admitted request is
+  /// always paired with exactly one release() call after it finishes.
+  std::function<bool(uint64_t* retry_after_ms)> admit;
+  std::function<void()> release;
+  /// The "reload" op: open `path` (empty = the server's original index
+  /// path) into a fresh serving snapshot and swap it in; on success return
+  /// Ok and set *epoch to the new snapshot's epoch. Queries already
+  /// executing keep the old snapshot (RCU via shared_ptr).
+  std::function<Status(std::string_view path, uint64_t* epoch)> reload;
+  /// Appends extra "info" fields (serving stats: epoch, in-flight, shed
+  /// counts, limits) as raw `,"key":value` JSON text.
+  std::function<void(std::string* json)> info;
+};
+
+/// Parses one request line, executes it against the routers passed by the
+/// caller, and appends exactly one '\n'-terminated JSON response line to
+/// *out — unless the line is empty or all-whitespace, which appends nothing
+/// (keepalive-friendly). Bad input of any shape becomes an {"ok":false,...}
+/// response line, never an abort. One handler per connection; its buffers
+/// are reused across lines.
 class RequestHandler {
  public:
   /// Result entries a single request may produce (batch targets, matrix
@@ -83,19 +121,20 @@ class RequestHandler {
   /// asking for gigabytes; generous for real workloads (4M distances).
   static constexpr uint64_t kMaxResultEntries = uint64_t{1} << 22;
 
-  /// Borrows both routers; they must outlive the handler. `threaded` routes
-  /// through the server's shared query engine (per-request "threads" caps
-  /// it).
-  RequestHandler(const Router& router, const ThreadedRouter& threaded)
-      : router_(&router), threaded_(&threaded) {}
+  RequestHandler() = default;
+  explicit RequestHandler(ServerHooks hooks) : hooks_(std::move(hooks)) {}
 
-  void HandleLine(std::string_view line, std::string* out);
+  /// `router` and `threaded` are the serving snapshot for THIS line; the
+  /// TCP layer re-acquires them per line so a hot reload takes effect
+  /// between requests of one connection. `threaded` routes through the
+  /// server's shared query engine (per-request "threads" caps it).
+  void HandleLine(std::string_view line, const Router& router,
+                  const ThreadedRouter& threaded, std::string* out);
 
  private:
   void AppendErrorResponse(const Status& status, std::string* out) const;
 
-  const Router* router_;
-  const ThreadedRouter* threaded_;
+  ServerHooks hooks_;
   WireRequest req_;
   std::vector<Dist> dists_;
   std::vector<Vertex> verts_;

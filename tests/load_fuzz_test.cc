@@ -1,0 +1,292 @@
+// Corrupt-index fuzz hardening for the loaders, over every on-disk format
+// (HC2L0002 undirected, HC2D0001 uncontracted directed, HC2D0002 contracted
+// directed). Router::Open on a truncated, bit-flipped, size-field-smashed
+// or plain-garbage file must return a Status — never crash, never abort,
+// and never allocate beyond what the file itself could justify. The last
+// property is pinned with a global operator-new high-water mark: a flipped
+// or hostile size field must be rejected BEFORE the allocation it names
+// (the historical failure mode is a 2^60 "element count" turning into a
+// bad_alloc abort or an OOM kill).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/road_network_generator.h"
+#include "hc2l/hc2l.h"
+
+// --------------------------------------------- allocation high-water mark ---
+// Global operator new replacement: when tracking is on, records the largest
+// single allocation requested. Works under ASan (which intercepts the
+// underlying malloc) and costs two relaxed atomics when tracking is off.
+
+namespace {
+std::atomic<bool> g_track_allocs{false};
+std::atomic<size_t> g_max_alloc{0};
+
+void RecordAlloc(size_t size) {
+  if (!g_track_allocs.load(std::memory_order_relaxed)) return;
+  size_t seen = g_max_alloc.load(std::memory_order_relaxed);
+  while (size > seen && !g_max_alloc.compare_exchange_weak(
+                            seen, size, std::memory_order_relaxed)) {
+  }
+}
+
+void* AllocOrThrow(size_t size) {
+  RecordAlloc(size);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return AllocOrThrow(size); }
+void* operator new[](std::size_t size) { return AllocOrThrow(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hc2l {
+namespace {
+
+/// Runs fn with allocation tracking on; returns the largest single
+/// allocation it made.
+size_t MaxAllocDuring(const std::function<void()>& fn) {
+  g_max_alloc.store(0, std::memory_order_relaxed);
+  g_track_allocs.store(true, std::memory_order_relaxed);
+  fn();
+  g_track_allocs.store(false, std::memory_order_relaxed);
+  return g_max_alloc.load(std::memory_order_relaxed);
+}
+
+struct FormatFile {
+  std::string name;            // for SCOPED_TRACE
+  std::vector<char> pristine;  // the valid serialized index
+  uint64_t num_vertices = 0;   // the true vertex count of that index
+};
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::vector<char> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return bytes;
+  char chunk[65536];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const char* data, size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (size > 0) {
+    ASSERT_EQ(std::fwrite(data, 1, size, f), size);
+  }
+  std::fclose(f);
+}
+
+/// Builds and serializes one index per format, once for the whole suite.
+const std::vector<FormatFile>& AllFormats() {
+  static const std::vector<FormatFile>* formats = [] {
+    auto* out = new std::vector<FormatFile>();
+    RoadNetworkOptions opt;
+    opt.rows = 8;
+    opt.cols = 8;
+    opt.seed = 5;
+    const std::string path = ::testing::TempDir() + "/hc2l_fuzz_seed.idx";
+
+    Result<Router> undirected = Router::Build(GenerateRoadNetwork(opt));
+    EXPECT_TRUE(undirected.ok());
+    EXPECT_TRUE(undirected->Save(path).ok());
+    out->push_back({"HC2L0002-undirected", ReadFileBytes(path),
+                    undirected->NumVertices()});
+
+    const Digraph digraph = GenerateDirectedRoadNetwork(opt, 0.25);
+    for (const bool contract : {false, true}) {
+      BuildOptions build;
+      build.contract_degree_one = contract;
+      Result<Router> directed = Router::Build(digraph, build);
+      EXPECT_TRUE(directed.ok());
+      EXPECT_TRUE(directed->Save(path).ok());
+      out->push_back({contract ? "HC2D0002-directed-contracted"
+                               : "HC2D0001-directed-uncontracted",
+                      ReadFileBytes(path), directed->NumVertices()});
+    }
+    std::remove(path.c_str());
+    for (const FormatFile& file : *out) {
+      EXPECT_GT(file.pristine.size(), 64u) << file.name;
+    }
+    return out;
+  }();
+  return *formats;
+}
+
+/// Every corrupted Open must stay within what the file itself could
+/// justify: the loaders bound every size field by the bytes remaining in
+/// the file, so no allocation can exceed the file size plus slack for
+/// fixed-size bookkeeping (and the test's own strings).
+size_t AllocBound(const FormatFile& file) {
+  return file.pristine.size() + (4u << 20);
+}
+
+class LoadFuzzTest : public ::testing::Test {
+ protected:
+  std::string ScratchPath() const {
+    return ::testing::TempDir() + "/hc2l_fuzz_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".idx";
+  }
+
+  /// Opens a mutated file, asserting only cleanliness: a Status or a
+  /// usable router, bounded allocation, no crash.
+  void OpenExpectingNoHarm(const FormatFile& file, const std::string& path,
+                           bool* opened_ok = nullptr) {
+    const size_t peak = MaxAllocDuring([&] {
+      Result<Router> reopened = Router::Open(path);
+      if (opened_ok != nullptr) *opened_ok = reopened.ok();
+      if (reopened.ok()) {
+        // A mutation that still parses (e.g. a flipped weight bit or a
+        // purely informational stats field) must not have inflated the id
+        // space — the vertex count gates every query's range check — and
+        // must still answer queries without crashing; the answer itself is
+        // allowed to differ or be an error.
+        EXPECT_EQ(reopened->NumVertices(), file.num_vertices) << file.name;
+        (void)reopened->Distance(0, 1);
+      }
+    });
+    EXPECT_LE(peak, AllocBound(file))
+        << file.name << ": a corrupted " << file.pristine.size()
+        << "-byte file drove a " << peak << "-byte allocation";
+  }
+};
+
+TEST_F(LoadFuzzTest, TruncationsFailCleanlyAtEveryLength) {
+  const std::string path = ScratchPath();
+  for (const FormatFile& file : AllFormats()) {
+    SCOPED_TRACE(file.name);
+    const size_t size = file.pristine.size();
+    std::vector<size_t> lengths;
+    // Every early prefix (headers, magic, the first size fields), then a
+    // stride across the arrays, then the almost-complete file.
+    for (size_t len = 0; len < std::min<size_t>(size, 192); ++len) {
+      lengths.push_back(len);
+    }
+    for (size_t len = 192; len < size; len += 61) lengths.push_back(len);
+    if (size > 0) lengths.push_back(size - 1);
+    for (const size_t len : lengths) {
+      WriteFileBytes(path, file.pristine.data(), len);
+      bool opened_ok = false;
+      OpenExpectingNoHarm(file, path, &opened_ok);
+      EXPECT_FALSE(opened_ok) << "a " << len << "-byte truncation of the "
+                              << size << "-byte file loaded successfully";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(LoadFuzzTest, SeededBitFlipsNeverCrash) {
+  const std::string path = ScratchPath();
+  for (const FormatFile& file : AllFormats()) {
+    SCOPED_TRACE(file.name);
+    const size_t size = file.pristine.size();
+    std::vector<char> mutated = file.pristine;
+    uint64_t rng = 0x9e3779b97f4a7c15ull;  // fixed seed: reproducible runs
+    for (int flip = 0; flip < 250; ++flip) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const size_t pos = (rng >> 16) % size;
+      const int bit = static_cast<int>((rng >> 8) & 7);
+      mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+      WriteFileBytes(path, mutated.data(), mutated.size());
+      OpenExpectingNoHarm(file, path);
+      mutated[pos] = file.pristine[pos];  // restore for the next flip
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(LoadFuzzTest, HostileSizeFieldsAreRejectedBeforeAllocation) {
+  // Smash successive 8-byte windows after the magic with 0xFF: whichever
+  // count/size field lands there now claims ~2^64 elements. The loader
+  // must reject the claim against the bytes actually remaining in the file
+  // instead of attempting the allocation — and when the window only hits
+  // informational fields and the file still loads, the vertex count must
+  // be the true one (OpenExpectingNoHarm pins both).
+  const std::string path = ScratchPath();
+  for (const FormatFile& file : AllFormats()) {
+    SCOPED_TRACE(file.name);
+    for (size_t offset = 8; offset + 8 <= std::min<size_t>(
+                                              file.pristine.size(), 128);
+         offset += 8) {
+      SCOPED_TRACE("offset " + std::to_string(offset));
+      std::vector<char> mutated = file.pristine;
+      std::memset(mutated.data() + offset, 0xFF, 8);
+      WriteFileBytes(path, mutated.data(), mutated.size());
+      OpenExpectingNoHarm(file, path);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(LoadFuzzTest, GarbageFilesFailCleanly) {
+  const std::string path = ScratchPath();
+  const FormatFile& reference = AllFormats().front();
+
+  std::vector<std::vector<char>> garbage;
+  garbage.push_back({});                      // empty file
+  garbage.push_back({'\x7f'});                // one byte
+  garbage.emplace_back(8, '\0');              // all-zero "magic"
+  {
+    std::vector<char> magic_only(reference.pristine.begin(),
+                                 reference.pristine.begin() + 8);
+    garbage.push_back(magic_only);            // magic, then EOF
+    std::vector<char> magic_ones = magic_only;
+    magic_ones.insert(magic_ones.end(), 64, '\xff');
+    garbage.push_back(magic_ones);            // magic, then hostile fields
+  }
+  {
+    std::vector<char> noise(4096);
+    uint64_t rng = 0x243f6a8885a308d3ull;
+    for (char& byte : noise) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      byte = static_cast<char>(rng >> 33);
+    }
+    garbage.push_back(std::move(noise));
+  }
+
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    SCOPED_TRACE("garbage case " + std::to_string(i));
+    WriteFileBytes(path, garbage[i].data(), garbage[i].size());
+    bool opened_ok = false;
+    OpenExpectingNoHarm(reference, path, &opened_ok);
+    EXPECT_FALSE(opened_ok);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(LoadFuzzTest, PristineFilesStillRoundTrip) {
+  // The control arm: the exact bytes the sweeps mutate do load.
+  const std::string path = ScratchPath();
+  for (const FormatFile& file : AllFormats()) {
+    SCOPED_TRACE(file.name);
+    WriteFileBytes(path, file.pristine.data(), file.pristine.size());
+    Result<Router> reopened = Router::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_TRUE(reopened->Distance(0, 1).ok());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hc2l

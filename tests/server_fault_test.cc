@@ -1,0 +1,501 @@
+// Chaos suite for the serving path. Two layers:
+//
+//  - Always-on robustness cases: overload storms shed cleanly (every request
+//    is answered or shed, never dropped or queued unboundedly), graceful
+//    drain answers pipelined requests, hot reload swaps the index under a
+//    live connection and keeps the old index serving when the new file is
+//    bad, and a server lifecycle leaks neither fds nor threads.
+//
+//  - Fault-injection cases, live only when the build defines
+//    HC2L_FAULT_INJECTION (CMake -DHC2L_FAULT_INJECTION=ON; the dedicated CI
+//    matrix entry): short reads, EINTR storms, peer EOF mid-request, send
+//    failures, wire-parser faults and index-load read faults — each must
+//    degrade to an error response or a clean disconnect, never a crash, and
+//    the server must serve normally afterwards. They GTEST_SKIP on regular
+//    builds.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "hc2l/hc2l.h"
+#include "hc2l/server.h"
+
+namespace hc2l {
+namespace {
+
+namespace fi = ::hc2l::testing;
+
+Graph ChaosGraph(uint64_t seed = 99) {
+  RoadNetworkOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  opt.seed = seed;
+  return GenerateRoadNetwork(opt);
+}
+
+/// Open descriptors of this process — the fd-hygiene oracle.
+size_t OpenFdCount() {
+  size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count > 3 ? count - 3 : 0;  // ".", "..", the opendir fd itself
+}
+
+/// Minimal blocking client (mirrors the one in server_wire_test.cc).
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  std::string ReadLine() {
+    size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "<connection closed>";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  ChaosTest() {
+    fi::FaultInjector::Instance().Reset();
+    Result<Router> built = Router::Build(ChaosGraph());
+    EXPECT_TRUE(built.ok());
+    router_ = std::make_unique<Router>(std::move(built).value());
+  }
+  ~ChaosTest() override { fi::FaultInjector::Instance().Reset(); }
+
+  std::unique_ptr<Router> router_;
+};
+
+// ------------------------------------------------------ always-on chaos ---
+
+TEST_F(ChaosTest, OverloadStormAnswersOrShedsEveryRequest) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.limits.max_in_flight = 1;
+  options.limits.retry_after_ms = 7;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsEach = 30;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::atomic<int> bad_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server->port());
+      if (!client.connected()) {
+        bad_count += kRequestsEach;
+        return;
+      }
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const std::string line = "{\"op\":\"matrix\",\"sources\":[0,1,2,3],"
+                                 "\"targets\":[4,5,6,7]}\n";
+        if (!client.Send(line)) {
+          ++bad_count;
+          continue;
+        }
+        const std::string response = client.ReadLine();
+        if (response.find("{\"ok\":true,\"op\":\"matrix\"") == 0) {
+          ++ok_count;
+        } else if (response.find("{\"ok\":false,\"code\":\"Overloaded\","
+                                 "\"retry_after_ms\":7") == 0) {
+          ++shed_count;
+        } else {
+          ADD_FAILURE() << "client " << c << ": " << response;
+          ++bad_count;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(bad_count.load(), 0);
+  EXPECT_EQ(ok_count.load() + shed_count.load(), kClients * kRequestsEach)
+      << "every request is answered or shed, none dropped";
+  const QueryServer::Stats stats = server->stats();
+  EXPECT_EQ(stats.requests_admitted + stats.requests_shed,
+            static_cast<uint64_t>(kClients * kRequestsEach));
+  EXPECT_EQ(stats.requests_admitted, static_cast<uint64_t>(ok_count.load()));
+  EXPECT_EQ(stats.requests_shed, static_cast<uint64_t>(shed_count.load()));
+  EXPECT_EQ(stats.in_flight, 0u);
+  server->Stop();
+}
+
+TEST_F(ChaosTest, ConnectionLimitShedsWithOverloadedLine) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.limits.max_connections = 1;
+  options.limits.retry_after_ms = 11;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+
+  TestClient first(server->port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.Send("{\"op\":\"ping\"}\n"));
+  ASSERT_EQ(first.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+
+  // The slot is taken: the second connection gets one Overloaded line and
+  // an immediate close instead of silently waiting in a backlog.
+  TestClient second(server->port());
+  ASSERT_TRUE(second.connected());
+  const std::string shed = second.ReadLine();
+  EXPECT_EQ(shed.find("{\"ok\":false,\"code\":\"Overloaded\","
+                      "\"retry_after_ms\":11"),
+            0u)
+      << shed;
+  EXPECT_EQ(second.ReadLine(), "<connection closed>");
+  EXPECT_GE(server->stats().connections_shed, 1u);
+  server->Stop();
+}
+
+TEST_F(ChaosTest, DrainAnswersPipelinedRequestsThenExits) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  // Handshake before the burst: connect() succeeds once the kernel queues
+  // the connection, but one still sitting in the listen backlog at drain
+  // time is closed unserved. An answered ping pins it as accepted.
+  ASSERT_TRUE(client.Send("{\"op\":\"ping\"}\n"));
+  ASSERT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  // One burst of pipelined requests, then an immediate drain: everything
+  // already received (mostly still in the socket buffer) must be answered
+  // before the connection closes.
+  constexpr int kPipelined = 50;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    burst += "{\"op\":\"batch\",\"source\":0,\"targets\":[" +
+             std::to_string(1 + i % 9) + "]}\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+
+  EXPECT_TRUE(server->Drain(std::chrono::seconds(10)));
+  for (int i = 0; i < kPipelined; ++i) {
+    EXPECT_EQ(client.ReadLine().find("{\"ok\":true,\"op\":\"batch\""), 0u)
+        << "pipelined request " << i << " lost in the drain";
+  }
+  EXPECT_EQ(client.ReadLine(), "<connection closed>");
+  server->Stop();  // idempotent after a drain
+}
+
+TEST_F(ChaosTest, DrainWithZeroBudgetStillStopsCleanly) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient idle(server->port());
+  ASSERT_TRUE(idle.connected());
+  // Whatever the budget verdict, Drain must return (no hang), close every
+  // connection, and leave the server stopped.
+  server->Drain(std::chrono::milliseconds(0));
+  EXPECT_EQ(idle.ReadLine(), "<connection closed>");
+  server->Wait();  // must not block: the server is stopped
+}
+
+TEST_F(ChaosTest, ReloadSwapsIndexAndSurvivesCorruptFile) {
+  // A second index whose distances differ from the first observably.
+  Result<Router> other_built = Router::Build(ChaosGraph(/*seed=*/7));
+  ASSERT_TRUE(other_built.ok());
+  Router other = std::move(other_built).value();
+  Vertex probe_t = kInvalidVertex;
+  for (Vertex t = 1; t < 100; ++t) {
+    if (*router_->Distance(0, t) != *other.Distance(0, t)) {
+      probe_t = t;
+      break;
+    }
+  }
+  ASSERT_NE(probe_t, kInvalidVertex) << "seeds produced identical distances";
+  const std::string other_path =
+      ::testing::TempDir() + "/hc2l_chaos_reload.idx";
+  ASSERT_TRUE(other.Save(other_path).ok());
+
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  const std::string query = "{\"op\":\"batch\",\"source\":0,\"targets\":[" +
+                            std::to_string(probe_t) + "]}\n";
+  const std::string before = "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                             std::to_string(*router_->Distance(0, probe_t)) +
+                             "]}";
+  const std::string after = "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                            std::to_string(*other.Distance(0, probe_t)) +
+                            "]}";
+  ASSERT_TRUE(client.Send(query));
+  EXPECT_EQ(client.ReadLine(), before);
+
+  // Hot swap over the SAME connection: the next request answers from the
+  // new index.
+  ASSERT_TRUE(client.Send("{\"op\":\"reload\",\"path\":\"" + other_path +
+                          "\"}\n"));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"reload\",\"epoch\":1}");
+  EXPECT_EQ(server->epoch(), 1u);
+  ASSERT_TRUE(client.Send(query));
+  EXPECT_EQ(client.ReadLine(), after);
+
+  // Corrupt the file on disk: the reload fails, the epoch does not move,
+  // and the server keeps answering from the index it already has.
+  {
+    std::FILE* f = std::fopen(other_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("HC2L0002 but truncated garbage", f);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(client.Send("{\"op\":\"reload\",\"path\":\"" + other_path +
+                          "\"}\n"));
+  EXPECT_EQ(client.ReadLine().find("{\"ok\":false"), 0u);
+  EXPECT_EQ(server->epoch(), 1u);
+  ASSERT_TRUE(client.Send(query));
+  EXPECT_EQ(client.ReadLine(), after);
+
+  // A reload with no path and no configured index_path is a clean error.
+  ASSERT_TRUE(client.Send("{\"op\":\"reload\"}\n"));
+  EXPECT_EQ(client.ReadLine().find(
+                "{\"ok\":false,\"code\":\"InvalidArgument\""),
+            0u);
+  EXPECT_EQ(server->stats().reloads, 1u);
+  std::remove(other_path.c_str());
+  server->Stop();
+}
+
+TEST_F(ChaosTest, ServerLifecycleLeaksNoFdsOrThreads) {
+  const size_t fds_before = OpenFdCount();
+  for (int round = 0; round < 3; ++round) {
+    ServerOptions options;
+    options.port = 0;
+    options.num_threads = 1;
+    Result<QueryServer> server = QueryServer::Start(*router_, options);
+    ASSERT_TRUE(server.ok());
+    for (int i = 0; i < 10; ++i) {
+      TestClient client(server->port());
+      ASSERT_TRUE(client.connected());
+      ASSERT_TRUE(client.Send("{\"op\":\"ping\"}\n"));
+      ASSERT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+    }
+    server->Stop();
+  }
+  EXPECT_EQ(OpenFdCount(), fds_before)
+      << "server lifecycle leaked file descriptors";
+}
+
+// -------------------------------------------------- injected-fault chaos ---
+
+#define SKIP_WITHOUT_FAULT_INJECTION()                                  \
+  if (!fi::FaultInjector::kEnabled) {                                   \
+    GTEST_SKIP() << "build without -DHC2L_FAULT_INJECTION=ON: fault "   \
+                    "points are compiled out";                          \
+  }
+
+TEST_F(ChaosTest, ShortReadsAndEintrStillServeCorrectly) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  // A burst of EINTRs first, then every read clamped to 3 bytes: the
+  // request must still assemble and answer byte-identically.
+  fi::FaultSpec eintr;
+  eintr.inject_errno = EINTR;
+  eintr.fire_count = 4;
+  fi::FaultInjector::Instance().Arm("server.recv", eintr);
+  ASSERT_TRUE(client.Send("{\"op\":\"batch\",\"source\":0,\"targets\":[1]}\n"));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                std::to_string(*router_->Distance(0, 1)) + "]}");
+  EXPECT_GE(fi::FaultInjector::Instance().Hits("server.recv"), 5u);
+
+  fi::FaultSpec clamp;
+  clamp.clamp_bytes = 3;
+  fi::FaultInjector::Instance().Arm("server.recv", clamp);
+  ASSERT_TRUE(client.Send("{\"op\":\"batch\",\"source\":0,\"targets\":[2]}\n"));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                std::to_string(*router_->Distance(0, 2)) + "]}");
+  fi::FaultInjector::Instance().Reset();
+  server->Stop();
+}
+
+TEST_F(ChaosTest, InjectedPeerEofDisconnectsCleanly) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+
+  fi::FaultSpec eof;
+  eof.inject_eof = true;
+  eof.fire_count = 1;
+  fi::FaultInjector::Instance().Arm("server.recv", eof);
+  {
+    TestClient client(server->port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Send("{\"op\":\"ping\"}\n"));
+    // The server saw EOF instead of the request: clean close, no answer.
+    EXPECT_EQ(client.ReadLine(), "<connection closed>");
+  }
+  fi::FaultInjector::Instance().Reset();
+  // The server is unharmed: the next connection serves normally.
+  TestClient next(server->port());
+  ASSERT_TRUE(next.connected());
+  ASSERT_TRUE(next.Send("{\"op\":\"ping\"}\n"));
+  EXPECT_EQ(next.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  server->Stop();
+}
+
+TEST_F(ChaosTest, InjectedSendFailureDropsOnlyThatConnection) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+
+  fi::FaultSpec broken;
+  broken.inject_errno = EPIPE;
+  broken.fire_count = 1;
+  fi::FaultInjector::Instance().Arm("server.send", broken);
+  {
+    TestClient client(server->port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Send("{\"op\":\"ping\"}\n"));
+    EXPECT_EQ(client.ReadLine(), "<connection closed>");
+  }
+  fi::FaultInjector::Instance().Reset();
+  TestClient next(server->port());
+  ASSERT_TRUE(next.connected());
+  ASSERT_TRUE(next.Send("{\"op\":\"ping\"}\n"));
+  EXPECT_EQ(next.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  server->Stop();
+}
+
+TEST_F(ChaosTest, InjectedParserFaultBecomesErrorResponse) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  fi::FaultSpec parse;
+  parse.fire_count = 1;
+  fi::FaultInjector::Instance().Arm("wire.parse", parse);
+  ASSERT_TRUE(client.Send("{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n"));
+  const std::string faulted = client.ReadLine();
+  EXPECT_EQ(faulted.find("{\"ok\":false"), 0u) << faulted;
+  EXPECT_NE(faulted.find("injected wire-parse fault"), std::string::npos);
+  // The connection survives; the next pipelined request answers normally.
+  EXPECT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  fi::FaultInjector::Instance().Reset();
+  server->Stop();
+}
+
+TEST_F(ChaosTest, InjectedLoadFaultFailsReloadButKeepsServing) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  const std::string path = ::testing::TempDir() + "/hc2l_chaos_loadfault.idx";
+  ASSERT_TRUE(router_->Save(path).ok());
+
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.index_path = path;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  // Every file read fails: the reload of a perfectly good file errors out
+  // and the resident index keeps serving.
+  fi::FaultInjector::Instance().Arm("index.load.read", fi::FaultSpec{});
+  ASSERT_TRUE(client.Send("{\"op\":\"reload\"}\n"));
+  EXPECT_EQ(client.ReadLine().find("{\"ok\":false"), 0u);
+  EXPECT_EQ(server->epoch(), 0u);
+  ASSERT_TRUE(client.Send("{\"op\":\"batch\",\"source\":0,\"targets\":[1]}\n"));
+  EXPECT_EQ(client.ReadLine().find("{\"ok\":true"), 0u);
+
+  // Faults cleared, the same reload succeeds.
+  fi::FaultInjector::Instance().Reset();
+  ASSERT_TRUE(client.Send("{\"op\":\"reload\"}\n"));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"reload\",\"epoch\":1}");
+  std::remove(path.c_str());
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace hc2l

@@ -44,14 +44,14 @@ class WireTest : public ::testing::Test {
     EXPECT_TRUE(threaded.ok());
     threaded_ =
         std::make_unique<ThreadedRouter>(std::move(threaded).value());
-    handler_ = std::make_unique<RequestHandler>(*router_, *threaded_);
+    handler_ = std::make_unique<RequestHandler>();  // hook-less
   }
 
   /// Handles one line, expects exactly one response line, returns it
   /// without the trailing newline.
   std::string Handle(std::string_view line) {
     std::string out;
-    handler_->HandleLine(line, &out);
+    handler_->HandleLine(line, *router_, *threaded_, &out);
     EXPECT_FALSE(out.empty()) << "no response to: " << line;
     EXPECT_EQ(out.back(), '\n');
     out.pop_back();
@@ -142,10 +142,87 @@ TEST_F(WireTest, MalformedLinesAreErrorsNotAborts) {
 
 TEST_F(WireTest, EmptyLinesProduceNoResponse) {
   std::string out;
-  handler_->HandleLine("", &out);
-  handler_->HandleLine("   ", &out);
-  handler_->HandleLine("\r", &out);
+  handler_->HandleLine("", *router_, *threaded_, &out);
+  handler_->HandleLine("   ", *router_, *threaded_, &out);
+  handler_->HandleLine("\r", *router_, *threaded_, &out);
   EXPECT_TRUE(out.empty());
+}
+
+TEST_F(WireTest, AdmissionHookShedsWithOverloadedResponse) {
+  // A handler whose admit hook says no answers Overloaded and never
+  // executes; admitted requests pair with exactly one release.
+  int admitted = 0;
+  int released = 0;
+  bool allow = false;
+  ServerHooks hooks;
+  hooks.admit = [&](uint64_t* retry_after_ms) {
+    if (!allow) {
+      *retry_after_ms = 250;
+      return false;
+    }
+    ++admitted;
+    return true;
+  };
+  hooks.release = [&] { ++released; };
+  RequestHandler handler(std::move(hooks));
+
+  std::string out;
+  handler.HandleLine(R"({"op":"batch","source":0,"targets":[1]})", *router_,
+                     *threaded_, &out);
+  EXPECT_EQ(out.find("{\"ok\":false,\"code\":\"Overloaded\","
+                     "\"retry_after_ms\":250"),
+            0u)
+      << out;
+  EXPECT_EQ(admitted, 0);
+  EXPECT_EQ(released, 0) << "nothing admitted, nothing released";
+
+  // ping and info bypass admission: they must work on an overloaded server.
+  out.clear();
+  handler.HandleLine(R"({"op":"ping"})", *router_, *threaded_, &out);
+  EXPECT_EQ(out, "{\"ok\":true,\"op\":\"ping\"}\n");
+  out.clear();
+  handler.HandleLine(R"({"op":"info"})", *router_, *threaded_, &out);
+  EXPECT_EQ(out.find("{\"ok\":true,\"op\":\"info\""), 0u);
+
+  allow = true;
+  out.clear();
+  handler.HandleLine(R"({"op":"batch","source":0,"targets":[1]})", *router_,
+                     *threaded_, &out);
+  EXPECT_EQ(out.find("{\"ok\":true"), 0u);
+  EXPECT_EQ(admitted, 1);
+  EXPECT_EQ(released, 1);
+}
+
+TEST_F(WireTest, ReloadOpRoutesThroughHook) {
+  // Hook-less handlers (this fixture's) answer reload with Unimplemented.
+  const std::string bare = Handle(R"({"op":"reload"})");
+  EXPECT_EQ(bare.find("{\"ok\":false,\"code\":\"Unimplemented\""), 0u);
+
+  std::string seen_path = "<unset>";
+  ServerHooks hooks;
+  hooks.reload = [&](std::string_view path, uint64_t* epoch) {
+    seen_path = std::string(path);
+    *epoch = 7;
+    return Status::Ok();
+  };
+  hooks.info = [](std::string* json) { json->append(",\"epoch\":7"); };
+  RequestHandler handler(std::move(hooks));
+
+  std::string out;
+  handler.HandleLine(R"({"op":"reload"})", *router_, *threaded_, &out);
+  EXPECT_EQ(out, "{\"ok\":true,\"op\":\"reload\",\"epoch\":7}\n");
+  EXPECT_EQ(seen_path, "") << "no \"path\" key means the server default";
+
+  out.clear();
+  handler.HandleLine(R"({"op":"reload","path":"/tmp/new.idx"})", *router_,
+                     *threaded_, &out);
+  EXPECT_EQ(out, "{\"ok\":true,\"op\":\"reload\",\"epoch\":7}\n");
+  EXPECT_EQ(seen_path, "/tmp/new.idx");
+
+  // The info hook's extra fields land inside the info object.
+  out.clear();
+  handler.HandleLine(R"({"op":"info"})", *router_, *threaded_, &out);
+  EXPECT_NE(out.find(",\"epoch\":7}"), std::string::npos) << out;
 }
 
 TEST_F(WireTest, ResponsesMatchRouterDistances) {
@@ -333,7 +410,10 @@ TEST_F(WireTest, TcpServerRoundTrip) {
   server->Stop();
 }
 
-TEST_F(WireTest, TcpServerLineCapClosesPolitely) {
+TEST_F(WireTest, TcpServerLineCapKeepsConnectionUsable) {
+  // An oversized request line costs one error response and is discarded up
+  // to its newline; the connection and its buffer stay bounded and usable —
+  // a client streaming garbage cannot grow server memory past the cap.
   ServerOptions options;
   options.port = 0;
   options.num_threads = 1;
@@ -342,10 +422,52 @@ TEST_F(WireTest, TcpServerLineCapClosesPolitely) {
   ASSERT_TRUE(server.ok());
   TestClient client(server->port());
   ASSERT_TRUE(client.connected());
-  client.Send(std::string(1000, 'x'));  // no newline, over the cap
+  client.Send(std::string(100'000, 'x'));  // far over the cap, no newline
   const std::string response = client.ReadLine();
   EXPECT_EQ(response.find("{\"ok\":false"), 0u);
   EXPECT_NE(response.find("byte cap"), std::string::npos);
+  // More bytes of the same oversized line are swallowed silently...
+  client.Send(std::string(100'000, 'y'));
+  // ...and the newline ends discard mode: the next request works.
+  client.Send("\n{\"op\":\"ping\"}\n");
+  EXPECT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  server->Stop();
+}
+
+TEST_F(WireTest, TcpServerManyShortConnectionsStayFdBounded) {
+  // A burst of connect-query-disconnect clients (far more than any fd
+  // budget if descriptors leaked until the next accept's reap) must all be
+  // served: connection fds are released eagerly when the handler finishes,
+  // not when the accept loop next sweeps.
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  for (int i = 0; i < 300; ++i) {
+    TestClient client(server->port());
+    ASSERT_TRUE(client.connected()) << "connection " << i;
+    client.Send("{\"op\":\"ping\"}\n");
+    ASSERT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}")
+        << "connection " << i;
+  }
+  EXPECT_GE(server->connections_accepted(), 300u);
+  server->Stop();
+}
+
+TEST_F(WireTest, TcpServerMaxRequestsPerConnectionCycles) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.limits.max_requests_per_connection = 2;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n");
+  EXPECT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  EXPECT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"ping\"}");
+  // The per-connection budget is spent: the server closes after two.
   EXPECT_EQ(client.ReadLine(), "<connection closed>");
   server->Stop();
 }
