@@ -1,20 +1,34 @@
 // Extension bench (Section 5.4 remark): dynamic weight updates. The balanced
 // tree hierarchy is weight-independent, so after traffic-style weight changes
 // only the distance values (contraction offsets, shortcuts, label arrays)
-// need recomputation. This bench measures Router::RebuildLabels() against a
-// full Build() and verifies both yield identical answers. Runs through the
-// public facade.
+// need recomputation. This bench measures three tiers per dataset:
+//
+//  - a full Build() (partitioning + max-flow + labels, the paper's baseline),
+//  - Router::RebuildLabels() (hierarchy reused, every label recomputed),
+//  - Hc2lIndex::RepairLabels() on a small delta batch (scoped: only subtrees
+//    whose separators cover a changed edge are recomputed — the live-traffic
+//    path behind the server's update_weights verb).
+//
+// The scoped tier also reports the recomputed/total label-entry ratio, which
+// is deterministic in (graph, deltas) and therefore CPU-independent: it is
+// merged into BENCH_query.json as the "update_latency" section and gated by
+// tools/check_bench.py on every runner. The section is spliced in BEFORE any
+// "parallel" section — bench_parallel_query truncates from its own marker to
+// EOF when re-merging, so anything after it would be destroyed.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "benchsupport/evaluation.h"
 #include "benchsupport/table_printer.h"
+#include "core/hc2l.h"
 #include "hc2l/hc2l.h"
 
 namespace {
 
-hc2l::Graph PerturbWeights(const hc2l::Graph& g, double frac, uint64_t seed) {
-  using namespace hc2l;
+using namespace hc2l;
+
+Graph PerturbWeights(const Graph& g, double frac, uint64_t seed) {
   std::vector<Edge> edges = g.UndirectedEdges();
   Rng rng(seed);
   for (Edge& e : edges) {
@@ -28,16 +42,81 @@ hc2l::Graph PerturbWeights(const hc2l::Graph& g, double frac, uint64_t seed) {
   return std::move(builder).Build();
 }
 
+/// Small live-traffic batch: `count` spread-out edges congested 2x-4x.
+/// Returns the updated graph and fills `deltas` with exactly those edges.
+Graph SmallBatch(const Graph& g, size_t count, uint64_t seed,
+                 std::vector<EdgeDelta>* deltas) {
+  std::vector<Edge> edges = g.UndirectedEdges();
+  Rng rng(seed);
+  deltas->clear();
+  const size_t stride = edges.size() / count;
+  for (size_t i = 0; i < count; ++i) {
+    Edge& e = edges[i * stride + rng.Below(stride)];
+    e.weight = static_cast<Weight>(e.weight * (2.0 + 2.0 * rng.NextDouble()));
+    deltas->push_back({e.u, e.v, e.weight});
+  }
+  GraphBuilder builder(g.NumVertices());
+  builder.AddEdges(edges);
+  return std::move(builder).Build();
+}
+
+/// Splices the "update_latency" section into BENCH_query.json, replacing a
+/// prior copy and keeping it ahead of any "parallel" section (whose merge
+/// truncates from its marker to EOF).
+void MergeUpdateSection(const std::string& path, const std::string& section) {
+  std::string existing;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb"); f != nullptr) {
+    char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      existing.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  const std::string kMarker = ",\n  \"update_latency\":";
+  const std::string kParallelMarker = ",\n  \"parallel\":";
+  // Drop a previously merged copy (it ends where the parallel section — or
+  // the closing brace — begins).
+  if (const size_t m = existing.find(kMarker); m != std::string::npos) {
+    const size_t p = existing.find(kParallelMarker, m);
+    existing = existing.substr(0, m) +
+               (p != std::string::npos ? existing.substr(p) : "\n}\n");
+  }
+  std::string out;
+  const size_t close = existing.rfind('}');
+  if (close == std::string::npos) {
+    out = "{\n  \"bench\": \"dynamic_updates\"" + section + "\n}\n";
+  } else if (const size_t p = existing.find(kParallelMarker);
+             p != std::string::npos) {
+    out = existing.substr(0, p) + section + existing.substr(p);
+  } else {
+    out = existing.substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+    out += section + "\n}\n";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main() {
-  using namespace hc2l;
+  constexpr size_t kBatchEdges = 8;
   std::printf(
       "=== Extension: dynamic weight updates (Section 5.4) ===\n"
-      "10%% of road segments congested; hierarchy reused, distances "
-      "recomputed.\n\n");
-  TablePrinter table({"Dataset", "full build[s]", "rebuild[s]", "speedup",
-                      "queries exact"});
+      "Bulk: 10%% of road segments congested -> full label rebuild.\n"
+      "Live: %zu-edge batch -> scoped repair (only covering subtrees).\n\n",
+      kBatchEdges);
+  TablePrinter table({"Dataset", "full build[s]", "rebuild[s]", "repair[ms]",
+                      "vs rebuild", "repaired/total", "queries exact"});
+  std::string json_datasets;
   for (const DatasetSpec& spec : SelectedDatasets(WeightMode::kTravelTime)) {
     const Graph g = GenerateRoadNetwork(spec.options);
     Result<Router> index = Router::Build(g);
@@ -55,7 +134,34 @@ int main() {
     }
     const double rebuild = timer.Seconds();
 
-    // Spot-verify exactness on the updated weights.
+    // Live tier: a warmed core index takes a small batch through the scoped
+    // repair; an identically warmed twin takes the same graph through the
+    // full relabel walk for the apples-to-apples latency column.
+    std::vector<EdgeDelta> deltas;
+    const Graph live = SmallBatch(congested, kBatchEdges,
+                                  spec.options.seed + 2, &deltas);
+    Hc2lIndex repaired = Hc2lIndex::Build(congested);
+    Hc2lIndex rebuilt = Hc2lIndex::Build(congested);
+    if (!repaired.RebuildLabels(congested).ok() ||  // warm the repair cache
+        !rebuilt.RebuildLabels(congested).ok()) {
+      return 1;
+    }
+    Timer repair_timer;
+    if (Status s = repaired.RepairLabels(live, deltas); !s.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const double repair_s = repair_timer.Seconds();
+    Timer rebuild_timer;
+    if (!rebuilt.RebuildLabels(live).ok()) return 1;
+    const double rebuild_small = rebuild_timer.Seconds();
+    const RepairStats& rs = repaired.LastRepairStats();
+    const double total = static_cast<double>(rs.recomputed_entries +
+                                             rs.reused_entries);
+    const double ratio =
+        total > 0 ? static_cast<double>(rs.recomputed_entries) / total : 1.0;
+
+    // Spot-verify exactness of both tiers against a fresh build.
     const Result<Router> reference = Router::Build(congested);
     if (!reference.ok()) return 1;
     Rng rng(3);
@@ -64,14 +170,44 @@ int main() {
       const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
       const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
       exact = index->DistanceUnchecked(s, t) ==
-              reference->DistanceUnchecked(s, t);
+              reference->DistanceUnchecked(s, t) &&
+              repaired.Query(s, t) == rebuilt.Query(s, t);
     }
     table.AddRow({spec.name, FormatSeconds(full_build),
                   FormatSeconds(rebuild),
-                  FormatDouble(full_build / std::max(rebuild, 1e-9), 1) + "x",
+                  FormatDouble(repair_s * 1e3, 2),
+                  FormatDouble(rebuild_small /
+                               std::max(repair_s, 1e-9), 1) + "x",
+                  FormatDouble(ratio, 3),
                   exact ? "yes" : "NO"});
     std::fflush(stdout);
+
+    char entry[320];
+    std::snprintf(
+        entry, sizeof(entry),
+        "%s\n      \"%s\": {\"repair_ms\": %.3f, \"rebuild_ms\": %.3f, "
+        "\"recomputed_entries\": %llu, \"reused_entries\": %llu, "
+        "\"repair_ratio\": %.4f, \"scoped\": %s}",
+        json_datasets.empty() ? "" : ",", spec.name.c_str(), repair_s * 1e3,
+        rebuild_small * 1e3,
+        static_cast<unsigned long long>(rs.recomputed_entries),
+        static_cast<unsigned long long>(rs.reused_entries), ratio,
+        rs.full_rebuild ? "false" : "true");
+    json_datasets += entry;
   }
   table.Print();
+
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                ",\n  \"update_latency\": {\n"
+                "    \"batch_edges\": %zu,\n"
+                "    \"datasets\": {",
+                kBatchEdges);
+  const std::string section =
+      std::string(head) + json_datasets + "}\n  }";
+  const char* json = std::getenv("HC2L_BENCH_JSON");
+  const std::string path = json != nullptr ? json : "BENCH_query.json";
+  MergeUpdateSection(path, section);
+  std::printf("merged update_latency section into %s\n", path.c_str());
   return 0;
 }

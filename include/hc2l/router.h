@@ -223,6 +223,32 @@ class Router {
   Status RebuildLabels(const Graph& updated, bool tail_pruning = true,
                        uint32_t num_threads = 1);
 
+  /// Attaches (or replaces) the graph copy UpdateWeights repairs against.
+  /// Build(const Graph&) attaches automatically; an Open()ed router has no
+  /// graph until one is attached (hc2ld's --graph flag does this). The graph
+  /// must match the indexed topology — UpdateWeights validates what it can
+  /// cheaply detect and fails without touching the serving index otherwise.
+  void AttachGraph(Graph graph);
+
+  /// True when a graph is attached (Build(const Graph&) or AttachGraph).
+  bool HasGraph() const;
+
+  /// Incremental weight update (Section 5.4 under live traffic, undirected
+  /// only): applies `deltas` — existing edges taking new positive weights —
+  /// to a copy of the attached graph and repairs a CLONE of the index
+  /// (Hc2lIndex::RepairLabels: only subtrees whose separators cover a
+  /// changed edge are recomputed; bit-identical to a full rebuild). This
+  /// router keeps serving unchanged throughout; on success the returned
+  /// router carries the repaired index plus the updated graph, so chained
+  /// updates stay scoped. The copy-on-repair primitive under the server's
+  /// `update_weights` wire verb. Errors: kFailedPrecondition (directed
+  /// index, or no graph attached), kInvalidArgument (a delta names a
+  /// non-edge or a zero weight), kOutOfRange (a repaired distance exceeds
+  /// the 2^31 label encoding) — all leave this router untouched.
+  Result<Router> UpdateWeights(std::span<const EdgeDelta> deltas,
+                               bool tail_pruning = true,
+                               uint32_t num_threads = 1) const;
+
   /// A parallel bulk-query handle routing through the shard-per-core query
   /// engine (docs/query_engine.md). The handle borrows this Router; results
   /// are bit-identical to the sequential methods for every thread count.

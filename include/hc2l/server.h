@@ -107,6 +107,11 @@ struct ServerOptions {
   /// request names no explicit path. Empty: pathless reloads fail with
   /// InvalidArgument.
   std::string index_path;
+  /// DIMACS graph file re-read and attached to every reloaded snapshot so
+  /// the "update_weights" op keeps working across reloads (an Open()ed
+  /// router has no graph of its own). Empty: reloaded snapshots accept no
+  /// weight updates until the next restart with a graph-attached router.
+  std::string graph_path;
 };
 
 /// The TCP front end. Construction binds, listens and spawns the accept
@@ -122,8 +127,10 @@ class QueryServer {
     uint64_t requests_admitted = 0;
     uint64_t requests_shed = 0;      // over max_in_flight
     uint64_t in_flight = 0;          // gauge
-    uint64_t epoch = 0;              // bumps on every successful Reload
+    uint64_t epoch = 0;              // bumps on every successful Reload or
+                                     // UpdateWeights
     uint64_t reloads = 0;            // successful Reload count
+    uint64_t weight_updates = 0;     // successful UpdateWeights count
   };
 
   /// Binds host:port and starts serving `router`. Errors: kUnavailable
@@ -154,8 +161,18 @@ class QueryServer {
   /// plus everything Router::Open can return.
   Status Reload(const std::string& path = "");
 
-  /// Current serving epoch (0 until the first Reload).
+  /// Current serving epoch (0 until the first Reload/UpdateWeights).
   uint64_t epoch() const;
+
+  /// Live weight update: repairs a standby copy of the serving index for
+  /// the changed edge weights (Router::UpdateWeights — scoped label repair,
+  /// never a full rebuild in steady state) and publishes it exactly like
+  /// Reload: RCU snapshot swap, epoch bump, in-flight queries keep the old
+  /// snapshot. On any error — unknown edge, zero weight, no graph attached,
+  /// repair overflow — the old snapshot keeps serving untouched and the
+  /// epoch is unchanged. Safe from any thread; serializes with Reload().
+  /// Exposed on the wire as the "update_weights" op.
+  Status UpdateWeights(std::span<const EdgeDelta> edges);
 
   /// Graceful drain: stops accepting, lets every connection answer the
   /// requests it has already received (including pipelined ones still in

@@ -51,6 +51,11 @@ enum class StatusCode : int {
   /// attempted; retrying after a backoff is expected to succeed. On the
   /// hc2ld wire this code carries a "retry_after_ms" hint (docs/server.md).
   kOverloaded = 9,
+  /// A computed value left its representable range (e.g. an edge-weight
+  /// update pushed a shortest-path distance past the 32-bit label
+  /// encoding). The input was well-formed; a differently-scaled input
+  /// would succeed.
+  kOutOfRange = 10,
 };
 
 /// Human-readable name of a code ("InvalidArgument", ...).
@@ -92,6 +97,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -417,6 +417,10 @@ struct Router::Impl {
   // Exactly one is non-null.
   std::unique_ptr<Hc2lIndex> undirected;
   std::unique_ptr<DirectedHc2lIndex> directed;
+  // The graph UpdateWeights repairs against: kept by Build(const Graph&),
+  // attachable after Open via AttachGraph, carried forward (with the deltas
+  // applied) by the router UpdateWeights returns. Null until one is known.
+  std::unique_ptr<Graph> graph;
   // The directed index does not record its own build time (and does not
   // persist one), so the facade times Build itself; 0 after Open. The
   // undirected flavour carries its own persisted Hc2lStats instead.
@@ -506,6 +510,7 @@ Result<Router> Router::Build(const Graph& graph, const BuildOptions& options) {
   auto impl = std::make_unique<Impl>();
   impl->undirected =
       std::make_unique<Hc2lIndex>(Hc2lIndex::Build(graph, concrete));
+  impl->graph = std::make_unique<Graph>(graph);
   return Router(std::move(impl));
 }
 
@@ -686,6 +691,54 @@ Status Router::RebuildLabels(const Graph& updated, bool tail_pruning,
   // pendant structure) before mutating anything.
   return impl_->undirected->RebuildLabels(updated, tail_pruning,
                                           ResolveThreads(num_threads));
+}
+
+void Router::AttachGraph(Graph graph) {
+  impl_->graph = std::make_unique<Graph>(std::move(graph));
+}
+
+bool Router::HasGraph() const { return impl_->graph != nullptr; }
+
+Result<Router> Router::UpdateWeights(std::span<const EdgeDelta> deltas,
+                                     bool tail_pruning,
+                                     uint32_t num_threads) const {
+  if (impl_->directed != nullptr) {
+    return Status::FailedPrecondition(
+        "UpdateWeights is only supported by undirected indexes (the directed "
+        "extension rebuilds from scratch)");
+  }
+  if (impl_->graph == nullptr) {
+    return Status::FailedPrecondition(
+        "no graph attached to repair against; build this router from a Graph "
+        "or call AttachGraph first");
+  }
+  auto updated = std::make_unique<Graph>(*impl_->graph);
+  for (const EdgeDelta& d : deltas) {
+    if (d.weight == 0) {
+      return Status::InvalidArgument(
+          "edge delta {" + std::to_string(d.u) + ", " + std::to_string(d.v) +
+          "} carries weight 0; edge weights must be positive");
+    }
+    if (!updated->UpdateEdgeWeight(d.u, d.v, d.weight)) {
+      return Status::InvalidArgument(
+          "edge delta {" + std::to_string(d.u) + ", " + std::to_string(d.v) +
+          "} does not name an existing edge (weight updates never change "
+          "topology)");
+    }
+  }
+  // Copy-on-repair: the clone shares nothing mutable with the serving index
+  // (only the stateless rebuild pool), so this router keeps answering
+  // queries while the standby is repaired; any failure discards the clone.
+  Hc2lIndex repaired = impl_->undirected->Clone();
+  if (Status st = repaired.RepairLabels(*updated, deltas, tail_pruning,
+                                        ResolveThreads(num_threads));
+      !st.ok()) {
+    return st;
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->undirected = std::make_unique<Hc2lIndex>(std::move(repaired));
+  impl->graph = std::move(updated);
+  return Router(std::move(impl));
 }
 
 // ------------------------------------------------------------- threaded ---

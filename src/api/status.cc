@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
   }
   return "Unknown";
 }

@@ -24,6 +24,17 @@ inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
 /// Sentinel for "unreachable" distances.
 inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
 
+/// One edge-weight change of a dynamic update batch (Section 5.4): the edge
+/// {u, v} (which must already exist — updates never change topology) takes
+/// the new weight. Consumed by Hc2lIndex::RepairLabels and
+/// Router::UpdateWeights, and carried by the server's `update_weights` wire
+/// verb as `[u, v, weight]` triples.
+struct EdgeDelta {
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  Weight weight = 0;
+};
+
 /// Inf-propagating sum of two distances: unreachable plus anything is
 /// unreachable. Finite operands are path sums of 32-bit weights, far below
 /// the 64-bit overflow point. Used by the pendant contractions (chain

@@ -286,7 +286,7 @@ Dist DirectedHc2lIndex::Query(Vertex s, Vertex t) const {
   const Dist down = contraction_->DistFromRoot(t);
   if (up == kInfDist || down == kInfDist) return kInfDist;
   const Dist core = CoreQuery(root_s, root_t);
-  return core == kInfDist ? kInfDist : up + core + down;
+  return AddDist(AddDist(up, core), down);
 }
 
 Dist DirectedHc2lIndex::CoreQuery(Vertex s, Vertex t) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 
 #include "common/binary_io.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -30,6 +32,35 @@ uint32_t EncodeLabelDistance(Dist d) {
   if (d == kInfDist) return Hc2lIndex::kUnreachableLabel;
   HC2L_CHECK_LT(d, Dist{1} << 31);
   return static_cast<uint32_t>(d);
+}
+
+/// Non-aborting variant for the rebuild/repair walk: a server-driven weight
+/// update must surface encoding overflow as a Status, never a CHECK abort
+/// (the walk mutates a disposable standby clone, so flag-and-finish is
+/// safe). The value written for an overflowed entry is irrelevant — the
+/// whole walk result is discarded once the flag is set.
+uint32_t EncodeLabelDistanceOrFlag(Dist d, std::atomic<bool>* overflow) {
+  if (d == kInfDist) return Hc2lIndex::kUnreachableLabel;
+  if (d >= (Dist{1} << 31)) {
+    overflow->store(true, std::memory_order_relaxed);
+    return Hc2lIndex::kUnreachableLabel;
+  }
+  return static_cast<uint32_t>(d);
+}
+
+/// Byte-for-byte CSR equality — the repair walk's clean-subtree oracle.
+bool SameGraph(const Graph& a, const Graph& b) {
+  const size_t n = a.NumVertices();
+  if (n != b.NumVertices() || a.NumArcs() != b.NumArcs()) return false;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::span<const Arc> na = a.Neighbors(v);
+    const std::span<const Arc> nb = b.Neighbors(v);
+    if (na.size() != nb.size()) return false;
+    for (size_t i = 0; i < na.size(); ++i) {
+      if (!(na[i] == nb[i])) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -318,12 +349,14 @@ Dist Hc2lIndex::QueryCountingHubs(Vertex s, Vertex t,
   const Vertex root_t = contraction_->RootCoreId(t);
   if (root_s == root_t) return contraction_->SameTreeDistance(s, t);
   const Dist core = CoreQuery(root_s, root_t, hubs_scanned);
-  if (core == kInfDist) return kInfDist;
-  return contraction_->DistToRoot(s) + core + contraction_->DistToRoot(t);
+  // Inf-propagating sums like the directed twin: a plain uint64 add would
+  // wrap an unreachable core distance (or a defensively infinite detour)
+  // past infinity into a small finite answer.
+  return AddDist(AddDist(contraction_->DistToRoot(s), core),
+                 contraction_->DistToRoot(t));
 }
 
-Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
-                                uint32_t num_threads) {
+Status Hc2lIndex::PrepareRelabel(const Graph& g, const Graph** core_out) {
   if (g.NumVertices() != stats_.num_vertices) {
     return Status::InvalidArgument(
         "updated graph has " + std::to_string(g.NumVertices()) +
@@ -331,11 +364,6 @@ Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
         std::to_string(stats_.num_vertices) +
         " (RebuildLabels requires identical topology)");
   }
-  Timer timer;
-  ThreadPool pool(num_threads == 0
-                      ? std::max(1u, std::thread::hardware_concurrency())
-                      : num_threads);
-
   // Refresh the contraction distances (the removal order is deterministic in
   // topology, so on an identical-topology graph the core vertex set — and
   // its numbering — is unchanged). A differing core size means the caller
@@ -355,13 +383,84 @@ Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
     contraction_ = std::move(refreshed);
     core = &contraction_->CoreGraph();
   }
-  const size_t n = core->NumVertices();
+  *core_out = core;
+  return Status::Ok();
+}
+
+ThreadPool& Hc2lIndex::ResolvePool(uint32_t num_threads) {
+  const uint32_t resolved =
+      num_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                       : num_threads;
+  if (pool_ == nullptr || pool_->NumThreads() != resolved) {
+    pool_ = std::make_shared<ThreadPool>(resolved);
+  }
+  return *pool_;
+}
+
+Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
+                                uint32_t num_threads) {
+  const Graph* core = nullptr;
+  if (Status s = PrepareRelabel(g, &core); !s.ok()) return s;
+  return RelabelWalk(*core, /*scoped=*/false, tail_pruning,
+                     ResolvePool(num_threads));
+}
+
+Status Hc2lIndex::RepairLabels(const Graph& g,
+                               std::span<const EdgeDelta> deltas,
+                               bool tail_pruning, uint32_t num_threads) {
+  if (HC2L_FAULT_SHOULD_FAIL("index.repair")) {
+    return Status::Internal("injected index-repair fault");
+  }
+  for (const EdgeDelta& d : deltas) {
+    if (d.u >= g.NumVertices() || d.v >= g.NumVertices() || d.u == d.v) {
+      return Status::InvalidArgument(
+          "edge delta {" + std::to_string(d.u) + ", " + std::to_string(d.v) +
+          "} does not name an edge of the updated graph");
+    }
+  }
+  // Scoping requires a warm cache produced with the same tail-pruning flag:
+  // the cache (and the labels it vouches for) must come from a previous
+  // relabel walk — Build()'s own recursion order is not comparable, and
+  // Load() does not persist the cache.
+  const bool scoped = !repair_cache_.empty() &&
+                      repair_cache_.size() == hierarchy_.nodes_.size() &&
+                      repair_cache_tail_pruning_ == tail_pruning;
+  const Graph* core = nullptr;
+  if (Status s = PrepareRelabel(g, &core); !s.ok()) return s;
+
+  if (scoped && contraction_ != nullptr) {
+    // Pendant-only fast path: no delta touches a core-core edge, so the
+    // core graph — and with it every shortcut and label array — is
+    // unchanged; the contraction refresh above already absorbed the new
+    // pendant weights.
+    bool touches_core = false;
+    for (const EdgeDelta& d : deltas) {
+      if (contraction_->InCore(d.u) && contraction_->InCore(d.v)) {
+        touches_core = true;
+        break;
+      }
+    }
+    if (!touches_core) {
+      repair_stats_ = RepairStats{};
+      repair_stats_.reused_entries = stats_.label_entries;
+      return Status::Ok();
+    }
+  }
+  return RelabelWalk(*core, scoped, tail_pruning, ResolvePool(num_threads));
+}
+
+Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
+                              bool tail_pruning, ThreadPool& pool) {
+  Timer timer;
+  const size_t n = core.NumVertices();
+  auto& nodes = hierarchy_.nodes_;
+  if (!scoped) repair_cache_.assign(nodes.size(), NodeRepairCache{});
 
   // Fresh label accumulators.
   std::vector<std::vector<uint32_t>> label_data(n);
   std::vector<std::vector<uint32_t>> label_lens(n);
   uint64_t shortcut_count = 0;
-  auto& nodes = hierarchy_.nodes_;
+  std::atomic<bool> overflow{false};
 
   // Top-down walk over the stored hierarchy, recomputing distances.
   //
@@ -380,22 +479,35 @@ Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
   // global_to_child slots never alias, and per-vertex label arrays are still
   // appended in root-to-leaf (level) order — the rebuilt index is
   // bit-identical to the serial walk's.
+  // A scoped (repair) walk additionally cuts off every child whose
+  // recomputed inputs — the induced subgraph plus the local-to-global id
+  // map — equal the cached inputs of the previous walk: the walk is
+  // deterministic in exactly those inputs, so the whole subtree's label
+  // arrays (levels >= the child's depth) are provably unchanged and are
+  // spliced verbatim out of the current store. A changed edge weight
+  // anywhere inside the child's subgraph, a changed shortcut set, or a
+  // separator repair that moved a vertex all surface as an input mismatch,
+  // so the comparison needs no separate delta bookkeeping.
   struct Frame {
     Graph sub;
     std::vector<Vertex> to_global;
     int32_t node;
   };
+  struct FrameOut {
+    std::vector<Frame> children;
+    std::vector<int32_t> clean_subtrees;  // child node ids cut off as clean
+    uint64_t shortcuts = 0;
+    uint64_t recomputed = 0;  // label entries recomputed at this node
+    uint64_t reused = 0;      // label entries spliced from the old store
+  };
   std::vector<Frame> level;
   {
     std::vector<Vertex> identity(n);
     for (Vertex v = 0; v < n; ++v) identity[v] = v;
-    level.push_back({*core, std::move(identity), 0});
+    level.push_back({core, std::move(identity), 0});
   }
   std::vector<Vertex> global_to_child(n, kInvalidVertex);
-  std::vector<std::vector<Frame>> level_children;
-  std::vector<uint64_t> level_shortcuts;
-  const auto process_node = [&](Frame frame, std::vector<Frame>* children,
-                                uint64_t* shortcuts) {
+  const auto process_node = [&](Frame frame, FrameOut* out) {
     const int32_t node_idx = frame.node;
     const size_t sub_n = frame.sub.NumVertices();
 
@@ -485,10 +597,12 @@ Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
         }
         auto& data = label_data[frame.to_global[v]];
         for (size_t i = 0; i <= k; ++i) {
-          data.push_back(EncodeLabelDistance(results[i].dist[v]));
+          data.push_back(EncodeLabelDistanceOrFlag(results[i].dist[v],
+                                                   &overflow));
         }
         label_lens[frame.to_global[v]].push_back(
             static_cast<uint32_t>(k + 1));
+        out->recomputed += k + 1;
       }
     }
 
@@ -506,32 +620,94 @@ Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
       if (part.empty()) continue;
       ShortcutResult sc =
           ComputeShortcuts(frame.sub, cut_child, part, dist_from_cut);
-      *shortcuts += sc.shortcuts.size();
+      out->shortcuts += sc.shortcuts.size();
       Subgraph child_sub = InducedSubgraph(frame.sub, part, sc.shortcuts);
       std::vector<Vertex> child_to_global;
       child_to_global.reserve(part.size());
       for (Vertex v : child_sub.to_parent) {
         child_to_global.push_back(frame.to_global[v]);
       }
-      children->push_back(
+
+      NodeRepairCache& cache = repair_cache_[child];
+      if (scoped && child_to_global == cache.to_global &&
+          SameGraph(child_sub.graph, cache.sub)) {
+        // Clean subtree: identical inputs reproduce identical labels, so
+        // every descendant level array is spliced verbatim out of the
+        // current store instead of recursing. The cache entry stays valid.
+        const uint32_t child_depth = TreeCodeDepth(nodes[child].code);
+        const uint32_t* arena = labels_.arena.data();
+        for (const Vertex gv : child_to_global) {
+          const uint32_t base = labels_.base[gv];
+          const uint32_t arrays = labels_.base[gv + 1] - base;
+          auto& data = label_data[gv];
+          for (uint32_t k = child_depth; k < arrays; ++k) {
+            const uint32_t start = labels_.level_start[base + k];
+            const uint32_t len = labels_.level_len[base + k];
+            data.insert(data.end(), arena + start, arena + start + len);
+            label_lens[gv].push_back(len);
+            out->reused += len;
+          }
+        }
+        out->clean_subtrees.push_back(child);
+        continue;
+      }
+      cache.sub = child_sub.graph;
+      cache.to_global = child_to_global;
+      cache.shortcuts_into = sc.shortcuts.size();
+      out->children.push_back(
           {std::move(child_sub.graph), std::move(child_to_global), child});
     }
   };
+  std::vector<int32_t> clean_roots;
+  uint64_t dirty_nodes = 0;
+  uint64_t recomputed_entries = 0;
+  uint64_t reused_entries = 0;
   while (!level.empty()) {
     const size_t count = level.size();
-    level_children.assign(count, {});
-    level_shortcuts.assign(count, 0);
+    std::vector<FrameOut> outs(count);
     pool.ParallelFor(count, [&](size_t fi) {
-      process_node(std::move(level[fi]), &level_children[fi],
-                   &level_shortcuts[fi]);
+      process_node(std::move(level[fi]), &outs[fi]);
     });
     level.clear();
+    dirty_nodes += count;
     for (size_t fi = 0; fi < count; ++fi) {
-      shortcut_count += level_shortcuts[fi];
-      for (Frame& child : level_children[fi]) {
+      shortcut_count += outs[fi].shortcuts;
+      recomputed_entries += outs[fi].recomputed;
+      reused_entries += outs[fi].reused;
+      clean_roots.insert(clean_roots.end(), outs[fi].clean_subtrees.begin(),
+                         outs[fi].clean_subtrees.end());
+      for (Frame& child : outs[fi].children) {
         level.push_back(std::move(child));
       }
     }
+  }
+
+  // Shortcuts inside clean subtrees were not re-walked; their cached
+  // per-node counts complete the total (each cut-off child's own incoming
+  // shortcut set was recounted by its parent above, so only strict
+  // descendants are summed here).
+  for (const int32_t clean_root : clean_roots) {
+    std::vector<int32_t> stack{clean_root};
+    while (!stack.empty()) {
+      const int32_t node = stack.back();
+      stack.pop_back();
+      for (const int32_t child : {nodes[node].left, nodes[node].right}) {
+        if (child < 0) continue;
+        shortcut_count += repair_cache_[child].shortcuts_into;
+        stack.push_back(child);
+      }
+    }
+  }
+
+  if (overflow.load(std::memory_order_relaxed)) {
+    // The hierarchy may already hold this walk's separator repairs and the
+    // cache is partially overwritten: the index is in an unspecified state
+    // (the header tells callers to repair a disposable clone). Invalidate
+    // the cache so a retained index at least never scopes against it.
+    repair_cache_.clear();
+    return Status::OutOfRange(
+        "updated weights push a shortest-path distance past 2^31, beyond "
+        "the 32-bit label encoding; refusing to produce wrapped labels");
   }
 
   // Re-flatten into a fresh aligned arena.
@@ -548,7 +724,86 @@ Status Hc2lIndex::RebuildLabels(const Graph& g, bool tail_pruning,
   stats_.max_cut_size = hierarchy_.MaxCutSize();
   stats_.avg_cut_size = hierarchy_.AvgCutSize();
   stats_.build_seconds = timer.Seconds();
+
+  repair_cache_tail_pruning_ = tail_pruning;
+  repair_stats_ = RepairStats{};
+  repair_stats_.recomputed_entries = recomputed_entries;
+  repair_stats_.reused_entries = reused_entries;
+  repair_stats_.dirty_nodes = dirty_nodes;
+  repair_stats_.clean_subtrees = clean_roots.size();
+  repair_stats_.full_rebuild = !scoped;
+  repair_stats_.seconds = timer.Seconds();
   return Status::Ok();
+}
+
+Hc2lIndex Hc2lIndex::Clone() const {
+  Hc2lIndex out;
+  out.stats_ = stats_;
+  if (contraction_ != nullptr) {
+    out.contraction_ = std::make_unique<DegreeOneContraction>(*contraction_);
+  }
+  out.hierarchy_ = hierarchy_;
+  out.labels_.base = labels_.base;
+  out.labels_.level_start = labels_.level_start;
+  out.labels_.level_len = labels_.level_len;
+  out.labels_.arena.Reset(labels_.arena.size());
+  std::memcpy(out.labels_.arena.data(), labels_.arena.data(),
+              labels_.arena.SizeBytes());
+  out.repair_cache_ = repair_cache_;
+  out.repair_cache_tail_pruning_ = repair_cache_tail_pruning_;
+  out.repair_stats_ = repair_stats_;
+  out.pool_ = pool_;
+  return out;
+}
+
+bool Hc2lIndex::IdenticalTo(const Hc2lIndex& other) const {
+  const Hc2lStats& a = stats_;
+  const Hc2lStats& b = other.stats_;
+  if (a.num_vertices != b.num_vertices ||
+      a.num_core_vertices != b.num_core_vertices ||
+      a.num_contracted != b.num_contracted || a.tree_height != b.tree_height ||
+      a.num_tree_nodes != b.num_tree_nodes ||
+      a.max_cut_size != b.max_cut_size || a.avg_cut_size != b.avg_cut_size ||
+      a.num_shortcuts != b.num_shortcuts ||
+      a.label_entries != b.label_entries || a.label_bytes != b.label_bytes ||
+      a.lca_bytes != b.lca_bytes) {
+    return false;
+  }
+  if ((contraction_ == nullptr) != (other.contraction_ == nullptr)) {
+    return false;
+  }
+  if (contraction_ != nullptr) {
+    const DegreeOneContraction& c = *contraction_;
+    const DegreeOneContraction& d = *other.contraction_;
+    if (!SameGraph(c.core_, d.core_) ||
+        c.num_contracted_ != d.num_contracted_ || c.core_id_ != d.core_id_ ||
+        c.to_original_ != d.to_original_ ||
+        c.root_core_id_ != d.root_core_id_ ||
+        c.dist_to_root_ != d.dist_to_root_ || c.parent_ != d.parent_ ||
+        c.parent_weight_ != d.parent_weight_ || c.depth_ != d.depth_) {
+      return false;
+    }
+  }
+  const BalancedTreeHierarchy& h = hierarchy_;
+  const BalancedTreeHierarchy& i = other.hierarchy_;
+  if (h.node_of_vertex_ != i.node_of_vertex_ ||
+      h.vertex_code_ != i.vertex_code_ || h.nodes_.size() != i.nodes_.size()) {
+    return false;
+  }
+  for (size_t k = 0; k < h.nodes_.size(); ++k) {
+    const HierarchyNode& x = h.nodes_[k];
+    const HierarchyNode& y = i.nodes_[k];
+    if (x.code != y.code || x.parent != y.parent || x.left != y.left ||
+        x.right != y.right || x.cut != y.cut) {
+      return false;
+    }
+  }
+  return labels_.base == other.labels_.base &&
+         labels_.level_start == other.labels_.level_start &&
+         labels_.level_len == other.labels_.level_len &&
+         labels_.arena.size() == other.labels_.arena.size() &&
+         std::memcmp(labels_.arena.data(), other.labels_.arena.data(),
+                     labels_.arena.SizeBytes()) == 0;
 }
 
 size_t Hc2lIndex::LabelSizeBytes() const { return labels_.ResidentBytes(); }

@@ -17,6 +17,8 @@
 
 namespace hc2l {
 
+class ThreadPool;
+
 /// Construction options for the HC2L index.
 struct Hc2lOptions {
   /// Balance threshold beta in (0, 0.5]; the paper selects 0.2 (Section 5).
@@ -50,6 +52,21 @@ struct Hc2lStats {
   uint64_t label_bytes = 0;    // distance data + per-level offsets
   uint64_t lca_bytes = 0;      // packed per-vertex tree codes
   double build_seconds = 0.0;
+};
+
+/// Outcome metrics of the last RebuildLabels / RepairLabels call. Not
+/// serialized; reset by Load(). The recomputed/total entry ratio is the
+/// CPU-independent scoped-repair quality metric recorded in
+/// BENCH_query.json's `update_latency` section.
+struct RepairStats {
+  uint64_t recomputed_entries = 0;  // label entries recomputed by the walk
+  uint64_t reused_entries = 0;      // entries spliced verbatim from the old
+                                    // store (clean subtrees)
+  uint64_t dirty_nodes = 0;         // hierarchy nodes re-labelled
+  uint64_t clean_subtrees = 0;      // subtrees cut off at the clean frontier
+  bool full_rebuild = false;        // the walk could not be scoped (cold
+                                    // cache or tail-pruning flag change)
+  double seconds = 0.0;
 };
 
 /// Hierarchical Cut 2-Hop Labelling index (the paper's primary contribution).
@@ -164,9 +181,52 @@ class Hc2lIndex {
   /// shared pool; the rebuilt index is bit-identical to the serial one.
   /// Errors (kInvalidArgument: vertex count or pendant-tree structure
   /// differs from the indexed graph) are detected before any state is
-  /// mutated, so the index stays valid on failure.
+  /// mutated, so the index stays valid on failure — except kOutOfRange
+  /// (updated weights push some label distance past the 2^31 encoding
+  /// limit), which is detected mid-walk and leaves the index in an
+  /// unspecified state; discard it (Router::UpdateWeights repairs a
+  /// disposable clone, so the serving index is never at risk). The walk
+  /// runs on a lazily built member pool that is reused across calls (and
+  /// shared with clones), so a live update loop spawns no per-call threads.
   Status RebuildLabels(const Graph& g, bool tail_pruning = true,
                        uint32_t num_threads = 1);
+
+  /// Scoped label repair (Section 5.4 under live traffic): g is the updated
+  /// graph (same topology) and `deltas` names exactly the edges whose
+  /// weights changed. Walks the stored hierarchy top-down like
+  /// RebuildLabels, but cuts the walk off at every child subtree whose
+  /// recomputed inputs (induced subgraph + shortcuts, compared against the
+  /// cache retained from the previous walk) are unchanged: such subtrees
+  /// keep their label arrays verbatim (spliced from the current store), so
+  /// only the subtrees whose separators cover a changed edge are
+  /// recomputed. The result is bit-identical to a full RebuildLabels(g) —
+  /// pinned by the differential test in tests/dynamic_test.cc. Deltas that
+  /// touch only contracted pendant edges skip the core walk entirely (the
+  /// contraction offsets are refreshed wholesale either way).
+  ///
+  /// The repair cache is populated by the first RebuildLabels/RepairLabels
+  /// walk after Build() or Load(); until then (or after a tail_pruning flag
+  /// change) this falls back to a full rebuild — steady-state updates are
+  /// scoped. Error contract matches RebuildLabels; LastRepairStats()
+  /// reports what the call recomputed vs reused.
+  Status RepairLabels(const Graph& g, std::span<const EdgeDelta> deltas,
+                      bool tail_pruning = true, uint32_t num_threads = 1);
+
+  /// Metrics of the last RebuildLabels / RepairLabels call.
+  const RepairStats& LastRepairStats() const { return repair_stats_; }
+
+  /// Deep copy: labels, hierarchy, contraction and the repair cache are
+  /// copied; the lazily built rebuild pool is shared (it holds no state
+  /// between calls). The copy-on-repair primitive under
+  /// Router::UpdateWeights — repair the clone, keep serving the original.
+  /// Rebuild/repair calls on clones sharing one pool must not overlap.
+  Hc2lIndex Clone() const;
+
+  /// True iff every queryable structure (stats, contraction, hierarchy,
+  /// labels — everything except timings and the repair cache) is
+  /// bit-identical to other's. The differential-test oracle for
+  /// RepairLabels vs RebuildLabels.
+  bool IdenticalTo(const Hc2lIndex& other) const;
 
   /// Serializes the index (labels, hierarchy, contraction) to a file.
   Status Save(const std::string& path) const;
@@ -183,6 +243,33 @@ class Hc2lIndex {
   /// Query over core-graph ids (labels + hierarchy only).
   Dist CoreQuery(Vertex s, Vertex t, uint64_t* hubs_scanned) const;
 
+  /// Per-hierarchy-node inputs of the last relabel walk: the node's induced
+  /// subgraph (local ids), the local->core-global id map, and how many
+  /// shortcuts its creation added. A repair walk re-derives a child's
+  /// inputs at its (dirty) parent and compares them against this cache —
+  /// equality proves the whole subtree's labels are unchanged, because the
+  /// walk is deterministic in exactly these inputs.
+  struct NodeRepairCache {
+    Graph sub;
+    std::vector<Vertex> to_global;
+    uint64_t shortcuts_into = 0;
+  };
+
+  /// Shared RebuildLabels / RepairLabels validation: vertex count and
+  /// pendant-structure checks, then the wholesale contraction refresh.
+  /// On success *core_out points at the (refreshed) core graph.
+  Status PrepareRelabel(const Graph& g, const Graph** core_out);
+
+  /// The top-down level-parallel relabel walk over the stored hierarchy.
+  /// scoped=false recomputes every node (RebuildLabels); scoped=true cuts
+  /// off clean subtrees against repair_cache_. Both populate the cache.
+  Status RelabelWalk(const Graph& core, bool scoped, bool tail_pruning,
+                     ThreadPool& pool);
+
+  /// The lazily built member pool (satellite of the per-call-ThreadPool
+  /// fix): rebuilt only when the resolved thread count changes.
+  ThreadPool& ResolvePool(uint32_t num_threads);
+
   Hc2lStats stats_;
   /// Degree-one contraction; null when options.contract_degree_one == false
   /// (then core ids == original ids).
@@ -192,6 +279,15 @@ class Hc2lIndex {
   /// at labels_.arena[labels_.level_start[labels_.base[v] + k]] and holds
   /// labels_.level_len[labels_.base[v] + k] entries.
   LabelStore labels_;
+  /// Node-indexed relabel-walk inputs; empty = cold (after Build/Load), so
+  /// the next RepairLabels falls back to a full walk that populates it.
+  std::vector<NodeRepairCache> repair_cache_;
+  /// Tail-pruning flag the cache (and current labels) were produced with.
+  bool repair_cache_tail_pruning_ = true;
+  RepairStats repair_stats_;
+  /// Lazily built rebuild/repair pool, shared across Clone()s so a live
+  /// update loop reuses one set of workers instead of churning threads.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace hc2l

@@ -17,6 +17,24 @@ std::vector<Edge> Graph::UndirectedEdges() const {
   return edges;
 }
 
+bool Graph::UpdateEdgeWeight(Vertex u, Vertex v, Weight w) {
+  if (u >= NumVertices() || v >= NumVertices() || u == v) return false;
+  // Adjacency lists are sorted by target (GraphBuilder invariant).
+  const auto find_arc = [this](Vertex from, Vertex to) -> Arc* {
+    Arc* begin = arcs_.data() + offsets_[from];
+    Arc* end = arcs_.data() + offsets_[from + 1];
+    Arc* it = std::lower_bound(
+        begin, end, to, [](const Arc& a, Vertex t) { return a.to < t; });
+    return (it != end && it->to == to) ? it : nullptr;
+  };
+  Arc* uv = find_arc(u, v);
+  Arc* vu = find_arc(v, u);
+  if (uv == nullptr || vu == nullptr) return false;
+  uv->weight = w;
+  vu->weight = w;
+  return true;
+}
+
 void GraphBuilder::AddEdge(Vertex u, Vertex v, Weight w) {
   HC2L_CHECK_LT(u, num_vertices_);
   HC2L_CHECK_LT(v, num_vertices_);

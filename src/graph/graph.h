@@ -67,6 +67,13 @@ class Graph {
     return offsets_.size() * sizeof(uint64_t) + arcs_.size() * sizeof(Arc);
   }
 
+  /// Sets the weight of the existing edge {u, v} — both stored arc copies —
+  /// to w. The one mutation the CSR form admits without rebuilding: topology
+  /// (vertex set, adjacency) is untouched, which is exactly the contract of
+  /// a Section 5.4 dynamic weight update. Returns false (and changes
+  /// nothing) if u or v is out of range, u == v, or no such edge exists.
+  bool UpdateEdgeWeight(Vertex u, Vertex v, Weight w);
+
  private:
   friend class GraphBuilder;
 

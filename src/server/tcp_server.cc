@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "graph/dimacs_io.h"
+#include "graph/graph.h"
 #include "server/wire.h"
 
 namespace hc2l {
@@ -134,6 +136,7 @@ struct QueryServer::Impl {
   std::atomic<uint64_t> requests_admitted{0};
   std::atomic<uint64_t> requests_shed{0};
   std::atomic<uint64_t> reloads{0};
+  std::atomic<uint64_t> weight_updates{0};
   std::atomic<uint32_t> in_flight{0};
 
   struct Connection {
@@ -166,6 +169,14 @@ struct QueryServer::Impl {
     auto next = std::make_shared<ServingState>();
     next->owned = std::make_unique<Router>(std::move(reopened).value());
     next->router = next->owned.get();
+    // An Open()ed router carries no graph; re-attach the configured one so
+    // "update_weights" keeps working across reloads. A bad graph file fails
+    // the reload as a whole — the old snapshot keeps serving.
+    if (!options.graph_path.empty()) {
+      Result<Graph> graph = ReadDimacsGraph(options.graph_path);
+      if (!graph.ok()) return graph.status();
+      next->owned->AttachGraph(std::move(graph).value());
+    }
     ParallelOptions parallel;
     parallel.num_threads = options.num_threads;
     parallel.min_shard_queries = options.min_shard_queries;
@@ -188,6 +199,43 @@ struct QueryServer::Impl {
     return Status::Ok();
   }
 
+  Status UpdateWeightsIndex(std::span<const EdgeDelta> edges,
+                            uint64_t* epoch_out) {
+    // Serialized with reloads: both build a replacement snapshot aside and
+    // race-free epoch bumps require one publisher at a time. Queries are
+    // never blocked — they read the current snapshot under state_mu only.
+    std::lock_guard<std::mutex> reload_lock(reload_mu);
+    const std::shared_ptr<const ServingState> cur = Snapshot();
+    // Copy-on-repair: the serving index is never mutated. Any failure —
+    // unknown edge, no attached graph, label-encoding overflow, an injected
+    // "index.repair" fault — discards the standby and keeps the old
+    // snapshot (and its epoch) untouched.
+    Result<Router> repaired =
+        cur->router->UpdateWeights(edges, /*tail_pruning=*/true,
+                                   options.num_threads);
+    if (!repaired.ok()) return repaired.status();
+    auto next = std::make_shared<ServingState>();
+    next->owned = std::make_unique<Router>(std::move(repaired).value());
+    next->router = next->owned.get();
+    ParallelOptions parallel;
+    parallel.num_threads = options.num_threads;
+    parallel.min_shard_queries = options.min_shard_queries;
+    Result<ThreadedRouter> threaded = next->router->WithThreads(parallel);
+    if (!threaded.ok()) return threaded.status();
+    next->threaded =
+        std::make_unique<ThreadedRouter>(std::move(threaded).value());
+    std::shared_ptr<const ServingState> old;
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      next->epoch = state->epoch + 1;
+      if (epoch_out != nullptr) *epoch_out = next->epoch;
+      old.swap(state);
+      state = std::move(next);
+    }
+    weight_updates.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
   Stats StatsSnapshot() const {
     Stats s;
     s.connections_accepted = accepted.load(std::memory_order_relaxed);
@@ -196,6 +244,7 @@ struct QueryServer::Impl {
     s.requests_shed = requests_shed.load(std::memory_order_relaxed);
     s.in_flight = in_flight.load(std::memory_order_relaxed);
     s.reloads = reloads.load(std::memory_order_relaxed);
+    s.weight_updates = weight_updates.load(std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu);
       s.connections_live = live_connections;
@@ -217,6 +266,7 @@ struct QueryServer::Impl {
     };
     field("epoch", s.epoch);
     field("reloads", s.reloads);
+    field("weight_updates", s.weight_updates);
     field("connections_live", s.connections_live);
     field("connections_accepted", s.connections_accepted);
     field("connections_shed", s.connections_shed);
@@ -255,6 +305,10 @@ struct QueryServer::Impl {
     };
     hooks.reload = [this](std::string_view path, uint64_t* epoch) {
       return ReloadIndex(path, epoch);
+    };
+    hooks.update_weights = [this](std::span<const EdgeDelta> edges,
+                                  uint64_t* epoch) {
+      return UpdateWeightsIndex(edges, epoch);
     };
     hooks.info = [this](std::string* json) { AppendServingInfo(json); };
     return hooks;
@@ -657,6 +711,10 @@ QueryServer::Stats QueryServer::stats() const {
 
 Status QueryServer::Reload(const std::string& path) {
   return impl_->ReloadIndex(path, nullptr);
+}
+
+Status QueryServer::UpdateWeights(std::span<const EdgeDelta> edges) {
+  return impl_->UpdateWeightsIndex(edges, nullptr);
 }
 
 uint64_t QueryServer::epoch() const {

@@ -221,6 +221,44 @@ class JsonCursor {
     }
   }
 
+  /// Array of [u, v, w] edge-weight deltas for "update_weights". Ids beyond
+  /// the 32-bit vertex space parse as kInvalidVertex (rejected downstream as
+  /// naming no edge); weights must fit 32 bits and a triple must hold
+  /// exactly three integers — a truncated or overlong triple is a parse
+  /// error, never a silently reshaped update.
+  Status ParseEdgeDeltaArray(std::vector<EdgeDelta>* out) {
+    out->clear();
+    if (Status st = Expect('['); !st.ok()) return st;
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      if (out->size() >= kMaxUpdateEdges) {
+        return Error("update batch exceeds the per-request cap of " +
+                     std::to_string(kMaxUpdateEdges) + " edges");
+      }
+      if (Status st = Expect('['); !st.ok()) return st;
+      uint64_t u = 0;
+      uint64_t v = 0;
+      uint64_t w = 0;
+      if (Status st = ParseUint(&u); !st.ok()) return st;
+      if (Status st = Expect(','); !st.ok()) return st;
+      if (Status st = ParseUint(&v); !st.ok()) return st;
+      if (Status st = Expect(','); !st.ok()) return st;
+      if (Status st = ParseUint(&w); !st.ok()) return st;
+      if (Status st = Expect(']'); !st.ok()) return st;
+      if (w > UINT32_MAX) {
+        return Error("edge weight " + std::to_string(w) +
+                     " exceeds the 32-bit weight space");
+      }
+      EdgeDelta d;
+      d.u = u >= kInvalidVertex ? kInvalidVertex : static_cast<Vertex>(u);
+      d.v = v >= kInvalidVertex ? kInvalidVertex : static_cast<Vertex>(v);
+      d.weight = static_cast<Weight>(w);
+      out->push_back(d);
+      if (Consume(']')) return Status::Ok();
+      if (Status st = Expect(','); !st.ok()) return st;
+    }
+  }
+
   /// Skips any JSON value (for unknown keys).
   Status SkipValue(int depth = 0) {
     if (depth > kMaxSkipDepth) return Error("value nested too deeply");
@@ -312,6 +350,8 @@ Status ParseRequestLine(std::string_view line, WireRequest* req) {
         field = c.ParseUint(&req->k);
       } else if (key == "path") {
         field = c.ParseString(&req->path);
+      } else if (key == "edges") {
+        field = c.ParseEdgeDeltaArray(&req->edges);
       } else if (key == "deadline_ms") {
         uint64_t ms = 0;
         field = c.ParseUint(&ms);
@@ -405,6 +445,34 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
     out->append("}\n");
     return;
   }
+  if (req_.op == "update_weights") {
+    // Admission-exempt like reload: the operator's weight refresh must keep
+    // working on a server that is shedding query load (the swap itself is
+    // serialized against reloads behind the server's reload mutex).
+    if (!hooks_.update_weights) {
+      AppendErrorResponse(
+          Status::Unimplemented("this endpoint has no update_weights hook"),
+          out);
+      return;
+    }
+    if (req_.edges.empty()) {
+      AppendErrorResponse(
+          Status::InvalidArgument(
+              "\"update_weights\" needs a non-empty \"edges\" array of "
+              "[u, v, weight] triples"),
+          out);
+      return;
+    }
+    uint64_t epoch = 0;
+    if (Status st = hooks_.update_weights(req_.edges, &epoch); !st.ok()) {
+      AppendErrorResponse(st, out);
+      return;
+    }
+    out->append("{\"ok\":true,\"op\":\"update_weights\",\"epoch\":");
+    AppendUint(out, epoch);
+    out->append("}\n");
+    return;
+  }
   if (req_.op == "info") {
     const IndexInfo info = router.Info();
     out->append("{\"ok\":true,\"op\":\"info\",\"directed\":");
@@ -462,7 +530,7 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
                 ? "request has no \"op\""
                 : "unknown op \"" + req_.op +
                       "\" (expected batch, point, matrix, knearest, info, "
-                      "ping or reload)"),
+                      "ping, reload or update_weights)"),
         out);
     return;
   }

@@ -16,6 +16,7 @@
 ///   {"op":"knearest","source":S, "candidates":[...], "k":K}
 ///   {"op":"info"}    {"op":"ping"}
 ///   {"op":"reload" [, "path":"/new/index"]}              admin: hot swap
+///   {"op":"update_weights","edges":[[u,v,w],...]}        admin: live repair
 ///
 ///   optional per-request options, mapped onto hc2l::QueryOptions:
 ///     "deadline_ms": B   // 0 = unlimited
@@ -29,6 +30,7 @@
 ///   {"ok":true,"op":"knearest","count":N,"neighbors":[[dist,vertex],...]}
 ///   {"ok":true,"op":"info","directed":false,"vertices":N,...}
 ///   {"ok":true,"op":"reload","epoch":E}
+///   {"ok":true,"op":"update_weights","epoch":E}
 ///   {"ok":false,"code":"InvalidArgument","message":"..."}
 ///   {"ok":false,"code":"Overloaded","retry_after_ms":M,"message":"..."}
 ///
@@ -42,6 +44,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,6 +56,11 @@
 
 namespace hc2l {
 
+/// Edge deltas one "update_weights" request may carry. Bounds the parse
+/// buffer (and the repair work one wire line can demand) the same way
+/// kMaxResultEntries bounds query output; real update batches are tiny.
+inline constexpr uint64_t kMaxUpdateEdges = uint64_t{1} << 16;
+
 /// One parsed request, held in reusable buffers (Clear() keeps capacity).
 struct WireRequest {
   std::string op;
@@ -60,6 +68,7 @@ struct WireRequest {
   std::vector<Vertex> targets;  // also the k-nearest candidates
   uint64_t k = 0;
   std::string path;  // "reload" only: index file to swap to ("" = original)
+  std::vector<EdgeDelta> edges;  // "update_weights" only
   QueryOptions options;
 
   void Clear() {
@@ -68,6 +77,7 @@ struct WireRequest {
     targets.clear();
     k = 0;
     path.clear();
+    edges.clear();
     options = QueryOptions{};
   }
 };
@@ -103,6 +113,12 @@ struct ServerHooks {
   /// Ok and set *epoch to the new snapshot's epoch. Queries already
   /// executing keep the old snapshot (RCU via shared_ptr).
   std::function<Status(std::string_view path, uint64_t* epoch)> reload;
+  /// The "update_weights" op: repair a standby copy of the serving index
+  /// for the changed edge weights and swap it in exactly like reload (epoch
+  /// bump on success; a failed repair leaves the serving snapshot — and its
+  /// epoch — untouched).
+  std::function<Status(std::span<const EdgeDelta> edges, uint64_t* epoch)>
+      update_weights;
   /// Appends extra "info" fields (serving stats: epoch, in-flight, shed
   /// counts, limits) as raw `,"key":value` JSON text.
   std::function<void(std::string* json)> info;

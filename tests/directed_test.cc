@@ -163,6 +163,45 @@ TEST(DirectedHc2l, WeaklyDisconnected) {
   EXPECT_EQ(index.Query(4, 4), 0u);
 }
 
+TEST(DirectedHc2l, UnreachableCoreDoesNotWrapThroughPendantDetour) {
+  // Regression twin of the undirected detour bug: the cross-tree sum
+  // up + core + down must propagate an unreachable core leg as kInfDist
+  // instead of wrapping the uint64 past infinity into a finite answer.
+  // Two disconnected directed triangles, each with a bidirectional pendant:
+  // both chain legs are finite, the core leg is not.
+  DigraphBuilder b(8);
+  b.AddArc(0, 1, 2);
+  b.AddArc(1, 2, 2);
+  b.AddArc(2, 0, 2);
+  b.AddBidirectional(3, 0, 5);  // pendant on component A
+  b.AddArc(4, 5, 2);
+  b.AddArc(5, 6, 2);
+  b.AddArc(6, 4, 2);
+  b.AddBidirectional(7, 4, 5);  // pendant on component B
+  Digraph g = std::move(b).Build();
+  DirectedHc2lIndex index = DirectedHc2lIndex::Build(g);
+  ASSERT_GT(index.NumContracted(), 0u);
+  EXPECT_EQ(index.Query(3, 7), kInfDist);
+  EXPECT_EQ(index.Query(7, 3), kInfDist);
+  EXPECT_EQ(index.Query(3, 1), 7u);  // same-component chain stays exact
+}
+
+TEST(DirectedHc2l, OneWayPendantBreaksTheDetourDirectionally) {
+  // A pendant reachable only outward: queries INTO it must be unreachable
+  // while queries OUT of it stay finite — pinned by the kInfDist early-out
+  // on the chain legs.
+  DigraphBuilder b(5);
+  b.AddArc(0, 1, 2);
+  b.AddArc(1, 2, 2);
+  b.AddArc(2, 0, 2);
+  b.AddArc(3, 0, 4);              // one-way pendant: 3 -> core only
+  b.AddBidirectional(4, 1, 6);    // ordinary pendant elsewhere
+  Digraph g = std::move(b).Build();
+  DirectedHc2lIndex index = DirectedHc2lIndex::Build(g);
+  EXPECT_EQ(index.Query(3, 4), 12u);      // 3->0 (4) + 0->1 (2) + 1->4 (6)
+  EXPECT_EQ(index.Query(4, 3), kInfDist);  // nothing reaches 3
+}
+
 class DirectedHc2lPropertyTest
     : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
 

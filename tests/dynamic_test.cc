@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/hc2l.h"
 #include "graph/road_network_generator.h"
@@ -219,6 +222,237 @@ TEST(RebuildLabels, ParallelRebuildStaysExact) {
           << "s=" << s << " t=" << t;
     }
   }
+}
+
+/// Like PerturbWeights, but also reports exactly which edges changed — the
+/// delta batch RepairLabels consumes. Each changed edge appears once, with
+/// its final weight.
+Graph PerturbWithDeltas(const Graph& g, size_t changes, uint64_t seed,
+                        std::vector<EdgeDelta>* deltas) {
+  std::vector<Edge> edges = g.UndirectedEdges();
+  Rng rng(seed);
+  std::map<size_t, Weight> changed;
+  for (size_t i = 0; i < changes; ++i) {
+    const size_t pick = rng.Below(edges.size());
+    const Weight w = static_cast<Weight>(1 + rng.Below(500));
+    edges[pick].weight = w;
+    changed[pick] = w;  // last write wins, like the edge array itself
+  }
+  deltas->clear();
+  for (const auto& [idx, w] : changed) {
+    deltas->push_back({edges[idx].u, edges[idx].v, w});
+  }
+  GraphBuilder builder(g.NumVertices());
+  builder.AddEdges(edges);
+  return std::move(builder).Build();
+}
+
+TEST(RepairLabels, BitIdenticalToFullRebuildOverManyBatches) {
+  // The differential test pinning the tentpole contract: over 50+ cumulative
+  // delta batches, a scoped repair must produce an index bit-identical to a
+  // full rebuild on the same graph — labels, hierarchy, contraction, stats.
+  RoadNetworkOptions opt;
+  opt.rows = 11;
+  opt.cols = 12;
+  opt.seed = 17;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex repaired = Hc2lIndex::Build(g);
+  Hc2lIndex rebuilt = Hc2lIndex::Build(g);
+  // Warm the repair cache (the first walk after Build is always full).
+  ASSERT_TRUE(repaired.RebuildLabels(g).ok());
+  ASSERT_TRUE(rebuilt.RebuildLabels(g).ok());
+  ASSERT_TRUE(repaired.IdenticalTo(rebuilt));
+
+  Rng rng(71);
+  size_t scoped_batches = 0;
+  std::vector<EdgeDelta> deltas;
+  for (int batch = 0; batch < 55; ++batch) {
+    // Mostly tiny batches (the live-traffic shape), occasionally a burst.
+    const size_t changes = batch % 9 == 8 ? 24 : 1 + rng.Below(3);
+    g = PerturbWithDeltas(g, changes, 1000 + batch, &deltas);
+    ASSERT_TRUE(repaired.RepairLabels(g, deltas).ok()) << "batch=" << batch;
+    ASSERT_TRUE(rebuilt.RebuildLabels(g).ok()) << "batch=" << batch;
+    ASSERT_TRUE(repaired.IdenticalTo(rebuilt)) << "batch=" << batch;
+    if (!repaired.LastRepairStats().full_rebuild) ++scoped_batches;
+    if (batch % 10 == 0) {
+      Dijkstra dijkstra(g);
+      const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      dijkstra.Run(s);
+      for (int j = 0; j < 5; ++j) {
+        const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+        ASSERT_EQ(repaired.Query(s, t), dijkstra.DistanceTo(t))
+            << "batch=" << batch << " s=" << s << " t=" << t;
+      }
+    }
+  }
+  // The warmed cache must make the steady state scoped, not full rebuilds.
+  EXPECT_GT(scoped_batches, 40u);
+}
+
+TEST(RepairLabels, ScopedRepairReusesCleanSubtrees) {
+  RoadNetworkOptions opt;
+  opt.rows = 14;
+  opt.cols = 14;
+  opt.seed = 29;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  ASSERT_TRUE(index.RebuildLabels(g).ok());
+
+  std::vector<EdgeDelta> deltas;
+  Graph updated = PerturbWithDeltas(g, 1, 5, &deltas);
+  ASSERT_TRUE(index.RepairLabels(updated, deltas).ok());
+  const RepairStats& stats = index.LastRepairStats();
+  EXPECT_FALSE(stats.full_rebuild);
+  // One changed edge dirties only the root-to-covering-separator spine;
+  // the rest of the hierarchy splices its labels verbatim.
+  EXPECT_GT(stats.reused_entries, 0u);
+  EXPECT_GT(stats.clean_subtrees, 0u);
+  EXPECT_LT(stats.recomputed_entries, index.Stats().label_entries);
+}
+
+TEST(RepairLabels, ColdCacheFallsBackToFullRebuild) {
+  Graph g = MakeGrid(9, 9, 3);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  std::vector<EdgeDelta> deltas;
+  Graph updated = PerturbWithDeltas(g, 2, 9, &deltas);
+  // No relabel walk has run since Build: the cache is cold, the repair must
+  // fall back to (and report) a full rebuild — and populate the cache.
+  ASSERT_TRUE(index.RepairLabels(updated, deltas).ok());
+  EXPECT_TRUE(index.LastRepairStats().full_rebuild);
+  std::vector<EdgeDelta> deltas2;
+  Graph updated2 = PerturbWithDeltas(updated, 2, 10, &deltas2);
+  ASSERT_TRUE(index.RepairLabels(updated2, deltas2).ok());
+  EXPECT_FALSE(index.LastRepairStats().full_rebuild);
+  EXPECT_EQ(index.Query(0, 80), ShortestPathDistance(updated2, 0, 80));
+}
+
+TEST(RepairLabels, TailPruningFlagChangeForcesFullWalk) {
+  Graph g = MakeGrid(8, 8, 2);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  ASSERT_TRUE(index.RebuildLabels(g).ok());
+  std::vector<EdgeDelta> deltas;
+  Graph updated = PerturbWithDeltas(g, 1, 4, &deltas);
+  // The cache was built under tail_pruning=true; a pruning-flag flip makes
+  // cached label arrays incomparable, so the repair must go full.
+  ASSERT_TRUE(
+      index.RepairLabels(updated, deltas, /*tail_pruning=*/false).ok());
+  EXPECT_TRUE(index.LastRepairStats().full_rebuild);
+  EXPECT_EQ(index.Query(3, 60), ShortestPathDistance(updated, 3, 60));
+}
+
+TEST(RepairLabels, PendantOnlyDeltasSkipTheCoreWalk) {
+  // A grid with one pendant hanging off corner 0: a delta touching only the
+  // pendant edge refreshes the contraction offsets but never walks the
+  // hierarchy.
+  Graph grid = MakeGrid(5, 5, 4);
+  std::vector<Edge> edges = grid.UndirectedEdges();
+  edges.push_back({25, 0, 7});
+  GraphBuilder b(26);
+  b.AddEdges(edges);
+  Graph g = std::move(b).Build();
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  ASSERT_GT(index.Stats().num_contracted, 0u);
+  ASSERT_TRUE(index.RebuildLabels(g).ok());
+
+  edges.back().weight = 90;
+  GraphBuilder b2(26);
+  b2.AddEdges(edges);
+  Graph updated = std::move(b2).Build();
+  const EdgeDelta delta[] = {{25, 0, 90}};
+  ASSERT_TRUE(index.RepairLabels(updated, delta).ok());
+  const RepairStats& stats = index.LastRepairStats();
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_EQ(stats.dirty_nodes, 0u);
+  EXPECT_EQ(stats.recomputed_entries, 0u);
+  EXPECT_EQ(index.Query(25, 24), ShortestPathDistance(updated, 25, 24));
+  EXPECT_EQ(index.Query(25, 0), 90u);
+}
+
+TEST(RepairLabels, ParallelRepairMatchesSerial) {
+  RoadNetworkOptions opt;
+  opt.rows = 12;
+  opt.cols = 13;
+  opt.seed = 37;
+  opt.weight_mode = WeightMode::kTravelTime;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex serial = Hc2lIndex::Build(g);
+  Hc2lIndex parallel = Hc2lIndex::Build(g);
+  ASSERT_TRUE(serial.RebuildLabels(g).ok());
+  ASSERT_TRUE(parallel.RebuildLabels(g).ok());
+
+  Graph cur = g;
+  std::vector<EdgeDelta> deltas;
+  for (int batch = 0; batch < 6; ++batch) {
+    cur = PerturbWithDeltas(cur, 3, 300 + batch, &deltas);
+    ASSERT_TRUE(
+        serial.RepairLabels(cur, deltas, /*tail_pruning=*/true, 1).ok());
+    ASSERT_TRUE(
+        parallel.RepairLabels(cur, deltas, /*tail_pruning=*/true, 4).ok());
+    ASSERT_TRUE(parallel.IdenticalTo(serial)) << "batch=" << batch;
+    EXPECT_FALSE(parallel.LastRepairStats().full_rebuild);
+  }
+}
+
+TEST(RepairLabels, RejectsMalformedDeltas) {
+  Graph g = MakeGrid(4, 4, 1);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  ASSERT_TRUE(index.RebuildLabels(g).ok());
+  const EdgeDelta out_of_range[] = {{0, 999, 5}};
+  EXPECT_EQ(index.RepairLabels(g, out_of_range).code(),
+            StatusCode::kInvalidArgument);
+  const EdgeDelta self_loop[] = {{3, 3, 5}};
+  EXPECT_EQ(index.RepairLabels(g, self_loop).code(),
+            StatusCode::kInvalidArgument);
+  // The index stays queryable after a rejected batch.
+  EXPECT_EQ(index.Query(0, 15), ShortestPathDistance(g, 0, 15));
+}
+
+TEST(RepairLabels, DistanceOverflowReturnsOutOfRangeInsteadOfAborting) {
+  // A 6-cycle has no pendants, so every vertex is core and every repair
+  // walks the hierarchy. Updating all weights to ~2^30 pushes the longest
+  // shortest path past the 2^31 label encoding — the walk must surface
+  // kOutOfRange as a Status (the serving path repairs disposable clones),
+  // never CHECK-abort.
+  GraphBuilder b(6);
+  for (Vertex v = 0; v < 6; ++v) b.AddEdge(v, (v + 1) % 6, 1);
+  Graph g = std::move(b).Build();
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  ASSERT_TRUE(index.RebuildLabels(g).ok());
+
+  constexpr Weight kHuge = Weight{1} << 30;
+  GraphBuilder b2(6);
+  std::vector<EdgeDelta> deltas;
+  for (Vertex v = 0; v < 6; ++v) {
+    const Vertex next = (v + 1) % 6;
+    b2.AddEdge(v, next, kHuge);
+    deltas.push_back({v, next, kHuge});
+  }
+  Graph heavy = std::move(b2).Build();
+  EXPECT_EQ(index.RepairLabels(heavy, deltas).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(Query, UnreachableCoreDistanceDoesNotWrapThroughPendantDetour) {
+  // Regression (the dynamic-update detour bug): the cross-tree detour
+  // DistToRoot(s) + core + DistToRoot(t) used an unguarded uint64 add, so an
+  // unreachable core distance (kInfDist) wrapped into a small finite answer.
+  // Two disconnected triangles, each with a pendant: the pendants contract,
+  // their roots sit in different components, and the core leg is infinite.
+  GraphBuilder b(8);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(2, 0, 2);
+  b.AddEdge(3, 0, 5);  // pendant on component A
+  b.AddEdge(4, 5, 2);
+  b.AddEdge(5, 6, 2);
+  b.AddEdge(6, 4, 2);
+  b.AddEdge(7, 4, 5);  // pendant on component B
+  Graph g = std::move(b).Build();
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  ASSERT_GT(index.Stats().num_contracted, 0u);
+  EXPECT_EQ(index.Query(3, 7), kInfDist);
+  EXPECT_EQ(index.Query(7, 3), kInfDist);
+  EXPECT_EQ(index.Query(3, 1), 7u);  // same-component detour still exact
 }
 
 TEST(RebuildLabels, FasterThanFullBuild) {

@@ -293,6 +293,91 @@ TEST(RouterThreaded, MatchesSequentialFacade) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(RouterUpdateWeights, RepairsAsideAndLeavesTheOriginalServing) {
+  const Graph g = TestGraph(10, 10, 23);
+  Result<Router> router = Router::Build(g);
+  ASSERT_TRUE(router.ok());
+  ASSERT_TRUE(router->HasGraph());  // Build from a Graph retains it
+
+  // Pick a real edge and make it 10x heavier.
+  const std::vector<Edge> edges = g.UndirectedEdges();
+  const Edge target = edges[edges.size() / 2];
+  const std::vector<EdgeDelta> deltas = {
+      {target.u, target.v, static_cast<Weight>(target.weight * 10)}};
+
+  const Dist before = *router->Distance(target.u, target.v);
+  Result<Router> updated = router->UpdateWeights(deltas);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+
+  // The original keeps its answers (copy-on-repair); the repaired router
+  // sees the new weight, capped by whatever detour the graph offers.
+  EXPECT_EQ(*router->Distance(target.u, target.v), before);
+  const Dist after = *updated->Distance(target.u, target.v);
+  EXPECT_GE(after, before);
+  EXPECT_LE(after, static_cast<Dist>(target.weight) * 10);
+
+  // The repaired router carries the updated graph, so a second update
+  // chains off it — and its repair is scoped, not a full rebuild.
+  ASSERT_TRUE(updated->HasGraph());
+  const EdgeDelta revert[] = {{target.u, target.v, target.weight}};
+  Result<Router> again = updated->UpdateWeights(revert);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again->Distance(target.u, target.v), before);
+}
+
+TEST(RouterUpdateWeights, OpenedRouterNeedsAnAttachedGraph) {
+  const Graph g = TestGraph(8, 8, 29);
+  Result<Router> built = Router::Build(g);
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "/hc2l_router_upd.idx";
+  ASSERT_TRUE(built->Save(path).ok());
+  Result<Router> opened = Router::Open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(opened.ok());
+  EXPECT_FALSE(opened->HasGraph());  // serialized indexes carry no graph
+
+  const std::vector<Edge> edges = g.UndirectedEdges();
+  const std::vector<EdgeDelta> deltas = {{edges[0].u, edges[0].v, 123}};
+  EXPECT_EQ(opened->UpdateWeights(deltas).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // AttachGraph unlocks updates on the opened router.
+  opened->AttachGraph(g);
+  Result<Router> updated = opened->UpdateWeights(deltas);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated->Distance(edges[0].u, edges[0].v),
+            *updated->Distance(edges[0].v, edges[0].u));
+}
+
+TEST(RouterUpdateWeights, RejectsBadDeltas) {
+  const Graph g = TestGraph(6, 6, 31);
+  Result<Router> router = Router::Build(g);
+  ASSERT_TRUE(router.ok());
+  const Dist before = *router->Distance(0, 35);
+
+  // Zero weight, unknown edge, self loop: all InvalidArgument, and the
+  // router is untouched afterwards.
+  const std::vector<Edge> edges = g.UndirectedEdges();
+  const EdgeDelta zero_weight[] = {{edges[0].u, edges[0].v, 0}};
+  EXPECT_EQ(router->UpdateWeights(zero_weight).status().code(),
+            StatusCode::kInvalidArgument);
+  const EdgeDelta unknown_edge[] = {{0, 9999, 5}};
+  EXPECT_EQ(router->UpdateWeights(unknown_edge).status().code(),
+            StatusCode::kInvalidArgument);
+  const EdgeDelta self_loop[] = {{4, 4, 5}};
+  EXPECT_EQ(router->UpdateWeights(self_loop).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(*router->Distance(0, 35), before);
+}
+
+TEST(RouterUpdateWeights, DirectedIsFailedPrecondition) {
+  Result<Router> router = Router::Build(TestDigraph(6, 6, 3));
+  ASSERT_TRUE(router.ok());
+  const EdgeDelta deltas[] = {{0, 1, 5}};
+  EXPECT_EQ(router->UpdateWeights(deltas).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(RouterInfo, PopulatedForBothFlavours) {
   Result<Router> und = Router::Build(TestGraph(10, 10, 17));
   ASSERT_TRUE(und.ok());

@@ -327,6 +327,68 @@ TEST_F(ChaosTest, ReloadSwapsIndexAndSurvivesCorruptFile) {
   server->Stop();
 }
 
+TEST_F(ChaosTest, UpdateWeightsSwapsEpochAndFailureKeepsServing) {
+  // The always-on contract of the update_weights verb: a successful live
+  // repair swaps the snapshot with an epoch bump; any failed update — bad
+  // edge, bad weight — leaves the snapshot, the epoch and the connection
+  // exactly as they were.
+  const Graph g = ChaosGraph();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  const Edge edge = g.UndirectedEdges()[3];
+  const std::vector<EdgeDelta> deltas = {{edge.u, edge.v, 5555}};
+  Result<Router> expected = router_->UpdateWeights(deltas);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  const std::string query = "{\"op\":\"batch\",\"source\":" +
+                            std::to_string(edge.u) + ",\"targets\":[" +
+                            std::to_string(edge.v) + "]}\n";
+  const std::string after = "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                            std::to_string(*expected->Distance(edge.u,
+                                                               edge.v)) +
+                            "]}";
+
+  ASSERT_TRUE(client.Send("{\"op\":\"update_weights\",\"edges\":[[" +
+                          std::to_string(edge.u) + "," +
+                          std::to_string(edge.v) + ",5555]]}\n"));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"update_weights\",\"epoch\":1}");
+  EXPECT_EQ(server->epoch(), 1u);
+  ASSERT_TRUE(client.Send(query));
+  EXPECT_EQ(client.ReadLine(), after);
+
+  // Zero weight and a non-edge both fail without moving the epoch; the
+  // same connection keeps answering from the updated snapshot.
+  ASSERT_TRUE(client.Send("{\"op\":\"update_weights\",\"edges\":[[" +
+                          std::to_string(edge.u) + "," +
+                          std::to_string(edge.v) + ",0]]}\n"));
+  EXPECT_EQ(client.ReadLine().find(
+                "{\"ok\":false,\"code\":\"InvalidArgument\""),
+            0u);
+  ASSERT_TRUE(
+      client.Send("{\"op\":\"update_weights\",\"edges\":[[0,99,12]]}\n"));
+  EXPECT_EQ(client.ReadLine().find(
+                "{\"ok\":false,\"code\":\"InvalidArgument\""),
+            0u);
+  EXPECT_EQ(server->epoch(), 1u);
+  EXPECT_EQ(server->stats().weight_updates, 1u);
+  ASSERT_TRUE(client.Send(query));
+  EXPECT_EQ(client.ReadLine(), after);
+
+  // The programmatic surface serializes with the wire path and bumps the
+  // same epoch.
+  const std::vector<EdgeDelta> revert = {{edge.u, edge.v, edge.weight}};
+  ASSERT_TRUE(server->UpdateWeights(revert).ok());
+  EXPECT_EQ(server->epoch(), 2u);
+  EXPECT_EQ(server->stats().weight_updates, 2u);
+  server->Stop();
+}
+
 TEST_F(ChaosTest, ServerLifecycleLeaksNoFdsOrThreads) {
   const size_t fds_before = OpenFdCount();
   for (int round = 0; round < 3; ++round) {
@@ -494,6 +556,45 @@ TEST_F(ChaosTest, InjectedLoadFaultFailsReloadButKeepsServing) {
   EXPECT_EQ(client.ReadLine(),
             "{\"ok\":true,\"op\":\"reload\",\"epoch\":1}");
   std::remove(path.c_str());
+  server->Stop();
+}
+
+TEST_F(ChaosTest, InjectedRepairFaultFailsUpdateButKeepsServing) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  const Graph g = ChaosGraph();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  const Edge edge = g.UndirectedEdges()[0];
+  const std::string update = "{\"op\":\"update_weights\",\"edges\":[[" +
+                             std::to_string(edge.u) + "," +
+                             std::to_string(edge.v) + ",4444]]}\n";
+
+  // The repair itself dies mid-update: the standby clone is discarded, the
+  // serving snapshot and epoch stay put, the connection stays usable.
+  fi::FaultSpec repair;
+  repair.fire_count = 1;
+  fi::FaultInjector::Instance().Arm("index.repair", repair);
+  ASSERT_TRUE(client.Send(update));
+  const std::string faulted = client.ReadLine();
+  EXPECT_EQ(faulted.find("{\"ok\":false"), 0u) << faulted;
+  EXPECT_NE(faulted.find("injected index-repair fault"), std::string::npos);
+  EXPECT_EQ(server->epoch(), 0u);
+  EXPECT_EQ(server->stats().weight_updates, 0u);
+  ASSERT_TRUE(client.Send("{\"op\":\"batch\",\"source\":0,\"targets\":[1]}\n"));
+  EXPECT_EQ(client.ReadLine().find("{\"ok\":true"), 0u);
+
+  // Fault cleared, the very same update succeeds.
+  fi::FaultInjector::Instance().Reset();
+  ASSERT_TRUE(client.Send(update));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"update_weights\",\"epoch\":1}");
+  EXPECT_EQ(server->epoch(), 1u);
   server->Stop();
 }
 

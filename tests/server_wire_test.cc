@@ -121,6 +121,16 @@ TEST_F(WireTest, MalformedLinesAreErrorsNotAborts) {
       "\x01\x02\x03",
       R"([1,2,3])",
       R"("just a string")",
+      // Hostile update_weights payloads: every malformed shape is a parse
+      // error, never an abort.
+      R"({"op":"update_weights","edges":[[0,1,-5]]})",      // negative weight
+      R"({"op":"update_weights","edges":[[0,1,4294967296]]})",  // > 32 bits
+      R"({"op":"update_weights","edges":[[0,1]]})",         // truncated triple
+      R"({"op":"update_weights","edges":[[0,1,2,3]]})",     // overlong triple
+      R"({"op":"update_weights","edges":[[0,1,2],[3]]})",   // ragged batch
+      R"({"op":"update_weights","edges":5})",               // not an array
+      R"({"op":"update_weights","edges":[0,1,2]})",         // flat, not nested
+      R"({"op":"update_weights","edges":[[0,1,2})",         // unterminated
   };
   for (const char* line : kBad) {
     const std::string response = Handle(line);
@@ -223,6 +233,101 @@ TEST_F(WireTest, ReloadOpRoutesThroughHook) {
   out.clear();
   handler.HandleLine(R"({"op":"info"})", *router_, *threaded_, &out);
   EXPECT_NE(out.find(",\"epoch\":7}"), std::string::npos) << out;
+}
+
+TEST_F(WireTest, UpdateWeightsParsesTriplesAndEnforcesTheBatchCap) {
+  WireRequest req;
+  ASSERT_TRUE(ParseRequestLine(
+                  R"({"op":"update_weights","edges":[[0,1,7],[2,3,900]]})",
+                  &req)
+                  .ok());
+  ASSERT_EQ(req.edges.size(), 2u);
+  EXPECT_EQ(req.edges[0].u, 0u);
+  EXPECT_EQ(req.edges[0].v, 1u);
+  EXPECT_EQ(req.edges[0].weight, 7u);
+  EXPECT_EQ(req.edges[1].weight, 900u);
+
+  // Ids beyond the 32-bit vertex space degrade to kInvalidVertex at parse
+  // time (rejected downstream by the repair), they never wrap.
+  ASSERT_TRUE(ParseRequestLine(
+                  R"({"op":"update_weights","edges":[[18446744073709551615,)"
+                  R"(4294967296,3]]})",
+                  &req)
+                  .ok());
+  EXPECT_EQ(req.edges[0].u, kInvalidVertex);
+  EXPECT_EQ(req.edges[0].v, kInvalidVertex);
+
+  // One triple past the batch cap: a parse error, and the message names it.
+  std::string line = R"({"op":"update_weights","edges":[)";
+  for (uint64_t i = 0; i <= kMaxUpdateEdges; ++i) {
+    if (i != 0) line += ",";
+    line += "[0,1,2]";
+  }
+  line += "]}";
+  const Status st = ParseRequestLine(line, &req);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("cap"), std::string::npos);
+  // The socket-free fixture answers it with ok:false, never an abort.
+  EXPECT_EQ(Handle(line).find("{\"ok\":false"), 0u);
+}
+
+TEST_F(WireTest, UpdateWeightsOpRoutesThroughHook) {
+  // Hook-less handlers answer update_weights with Unimplemented — including
+  // payloads whose ids only fail downstream (out-of-range clamp).
+  const std::string bare =
+      Handle(R"({"op":"update_weights","edges":[[0,1,5]]})");
+  EXPECT_EQ(bare.find("{\"ok\":false,\"code\":\"Unimplemented\""), 0u);
+
+  std::vector<EdgeDelta> seen;
+  bool admitted_queries = true;
+  ServerHooks hooks;
+  hooks.admit = [&](uint64_t* retry_after_ms) {
+    *retry_after_ms = 100;
+    return admitted_queries;
+  };
+  hooks.update_weights = [&](std::span<const EdgeDelta> edges,
+                             uint64_t* epoch) {
+    seen.assign(edges.begin(), edges.end());
+    *epoch = 3;
+    return Status::Ok();
+  };
+  RequestHandler handler(std::move(hooks));
+
+  std::string out;
+  handler.HandleLine(R"({"op":"update_weights","edges":[[4,9,250]]})",
+                     *router_, *threaded_, &out);
+  EXPECT_EQ(out, "{\"ok\":true,\"op\":\"update_weights\",\"epoch\":3}\n");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].u, 4u);
+  EXPECT_EQ(seen[0].v, 9u);
+  EXPECT_EQ(seen[0].weight, 250u);
+
+  // An empty batch is an error before the hook runs.
+  out.clear();
+  handler.HandleLine(R"({"op":"update_weights","edges":[]})", *router_,
+                     *threaded_, &out);
+  EXPECT_EQ(out.find("{\"ok\":false,\"code\":\"InvalidArgument\""), 0u);
+
+  // Admin ops bypass admission: an overloaded server must still take
+  // weight updates (same contract as reload).
+  admitted_queries = false;
+  out.clear();
+  handler.HandleLine(R"({"op":"update_weights","edges":[[4,9,260]]})",
+                     *router_, *threaded_, &out);
+  EXPECT_EQ(out, "{\"ok\":true,\"op\":\"update_weights\",\"epoch\":3}\n");
+  EXPECT_EQ(seen[0].weight, 260u);
+
+  // A failing hook surfaces its Status; the response carries no epoch.
+  ServerHooks failing;
+  failing.update_weights = [](std::span<const EdgeDelta>, uint64_t*) {
+    return Status::InvalidArgument("no such edge");
+  };
+  RequestHandler rejecting(std::move(failing));
+  out.clear();
+  rejecting.HandleLine(R"({"op":"update_weights","edges":[[0,1,5]]})",
+                       *router_, *threaded_, &out);
+  EXPECT_EQ(out.find("{\"ok\":false,\"code\":\"InvalidArgument\""), 0u);
 }
 
 TEST_F(WireTest, ResponsesMatchRouterDistances) {
@@ -407,6 +512,58 @@ TEST_F(WireTest, TcpServerRoundTrip) {
 
   EXPECT_GE(server->connections_accepted(), 2u);
   server->Stop();  // joins every connection thread; idempotent
+  server->Stop();
+}
+
+TEST_F(WireTest, TcpServerUpdateWeightsSwapsTheServingSnapshot) {
+  // End to end over a real socket: a live weight update repairs a standby
+  // index, swaps it in with an epoch bump, and later queries answer from
+  // the repaired snapshot — while a failed update changes nothing.
+  const Graph g = WireTestGraph();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  // A non-edge is rejected and leaves the serving snapshot untouched.
+  client.Send("{\"op\":\"update_weights\",\"edges\":[[0,99,5]]}\n");
+  EXPECT_EQ(client.ReadLine().find(
+                "{\"ok\":false,\"code\":\"InvalidArgument\""),
+            0u);
+  EXPECT_EQ(server->epoch(), 0u);
+
+  // A real edge, made much heavier: the expected answers come from the
+  // facade's own copy-on-repair applied to an identical router.
+  const Edge edge = g.UndirectedEdges()[0];
+  const Dist before = *router_->Distance(edge.u, edge.v);
+  const std::vector<EdgeDelta> deltas = {{edge.u, edge.v, 7777}};
+  Result<Router> expected = router_->UpdateWeights(deltas);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  client.Send("{\"op\":\"update_weights\",\"edges\":[[" +
+              std::to_string(edge.u) + "," + std::to_string(edge.v) +
+              ",7777]]}\n");
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"update_weights\",\"epoch\":1}");
+  EXPECT_EQ(server->epoch(), 1u);
+  EXPECT_EQ(server->stats().weight_updates, 1u);
+
+  client.Send("{\"op\":\"batch\",\"source\":" + std::to_string(edge.u) +
+              ",\"targets\":[" + std::to_string(edge.v) + "]}\n");
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                std::to_string(*expected->Distance(edge.u, edge.v)) + "]}");
+  // The borrowed router the server started from is untouched.
+  EXPECT_EQ(*router_->Distance(edge.u, edge.v), before);
+
+  // The info section reports the update.
+  client.Send("{\"op\":\"info\"}\n");
+  const std::string info = client.ReadLine();
+  EXPECT_NE(info.find("\"epoch\":1"), std::string::npos) << info;
+  EXPECT_NE(info.find("\"weight_updates\":1"), std::string::npos) << info;
   server->Stop();
 }
 

@@ -68,6 +68,33 @@ def directed_entry_ratio(snapshot):
     return contracted / uncontracted
 
 
+def update_ratio_datasets(snapshot):
+    """Per-dataset recomputed/total label-entry ratio of the scoped repair.
+
+    The scoped repair walk is deterministic in (graph, delta batch), so the
+    ratio is CPU-independent and gates on every runner: a regression means
+    the repair stopped cutting the walk off at clean subtrees (drifting back
+    toward a full rebuild). Returns {} when the "update_latency" section is
+    missing — sections are append-only, mirroring the per-dataset policy.
+    """
+    section = snapshot.get("update_latency")
+    if not isinstance(section, dict):
+        return {}
+    datasets = section.get("datasets")
+    if not isinstance(datasets, dict):
+        return {}
+    out = {}
+    for name, entry in datasets.items():
+        ratio = lookup(entry, ("repair_ratio",))
+        if ratio is not None:
+            out[name] = (ratio, entry.get("scoped"))
+    return out
+
+
+def parallel_threads(snapshot):
+    return lookup(snapshot, ("parallel", "hardware_threads"))
+
+
 def api_tag(snapshot):
     """Which API produced the snapshot's end-to-end numbers.
 
@@ -147,6 +174,64 @@ def main():
     else:
         print("check_bench: directed contraction entry ratio: missing in a "
               "snapshot, skipped")
+
+    # Third CPU-independent gate: the scoped label repair must keep reusing
+    # clean subtrees. The ratio is per dataset and deterministic; a fresh
+    # ratio beyond the committed one by more than the threshold fails. A
+    # repair that silently degraded to a full rebuild fails outright.
+    fresh_upd = update_ratio_datasets(fresh)
+    committed_upd = update_ratio_datasets(committed)
+    if not fresh_upd or not committed_upd:
+        missing_in = "fresh" if not fresh_upd else "committed"
+        print(f"check_bench: update repair ratio: update_latency section "
+              f"not in the {missing_in} snapshot, skipped")
+    else:
+        for name in sorted(set(fresh_upd) & set(committed_upd)):
+            fresh_r, fresh_scoped = fresh_upd[name]
+            committed_r, _ = committed_upd[name]
+            if fresh_scoped is False:
+                print(f"check_bench: update repair ratio {name!r}: fresh "
+                      f"repair fell back to a FULL REBUILD")
+                failures.append(f"update_latency.{name}.scoped")
+                continue
+            if committed_r <= 0:
+                continue
+            rel = fresh_r / committed_r
+            verdict = "OK" if rel <= 1.0 + args.threshold else "REGRESSION"
+            print(f"check_bench: update repair ratio {name!r}: "
+                  f"committed={committed_r:.3f} fresh={fresh_r:.3f} "
+                  f"rel={rel:.2f} {verdict}")
+            if verdict != "OK":
+                failures.append(f"update_latency.{name}.repair_ratio")
+
+    # The parallel matrix speedup is dimensionless but needs actual cores to
+    # mean anything: on a single-hardware-thread runner the best speedup is
+    # ~1.0 by construction, and differing core counts aren't comparable
+    # either. Gate only when both snapshots saw the same multi-core width.
+    fresh_threads = parallel_threads(fresh)
+    committed_threads = parallel_threads(committed)
+    fresh_par = lookup(fresh, ("parallel", "matrix_speedup_best"))
+    committed_par = lookup(committed, ("parallel", "matrix_speedup_best"))
+    if fresh_par is None or committed_par is None or committed_par <= 0:
+        print("check_bench: parallel matrix speedup: missing in a snapshot, "
+              "skipped")
+    elif fresh_threads == 1 or committed_threads == 1:
+        print(f"check_bench: parallel matrix speedup: SKIP — a snapshot was "
+              f"recorded on a single-hardware-thread runner "
+              f"(fresh={fresh_threads!r}, committed={committed_threads!r}); "
+              f"no parallelism to gate")
+    elif fresh_threads != committed_threads:
+        print(f"check_bench: parallel matrix speedup: SKIP — hardware "
+              f"thread counts differ (fresh={fresh_threads!r}, "
+              f"committed={committed_threads!r}); speedups not comparable")
+    else:
+        rel = fresh_par / committed_par
+        verdict = "OK" if rel >= 1.0 - args.threshold else "REGRESSION"
+        print(f"check_bench: parallel matrix speedup: "
+              f"committed={committed_par:.2f}x fresh={fresh_par:.2f}x "
+              f"rel={rel:.2f} {verdict}")
+        if verdict != "OK":
+            failures.append("parallel matrix speedup")
 
     # Absolute nanosecond timings are only comparable on the machine that
     # recorded the snapshot. CPU model alone is a weak proxy (hypervisors

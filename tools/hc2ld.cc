@@ -3,8 +3,8 @@
 // over TCP.
 //
 //   hc2ld --index city.idx --port 8040 [--host 127.0.0.1] [--threads 0]
-//         [--max-connections N] [--max-in-flight N] [--drain-ms MS]
-//         [--idle-timeout-ms MS] [--read-timeout-ms MS]
+//         [--graph city.gr] [--max-connections N] [--max-in-flight N]
+//         [--drain-ms MS] [--idle-timeout-ms MS] [--read-timeout-ms MS]
 //         [--max-requests-per-connection N]
 //
 // Prints one "hc2ld listening on HOST:PORT ..." line once ready (stdout,
@@ -21,6 +21,12 @@
 //            swap it in; on any error the old index keeps serving and the
 //            failure is logged to stderr. Same swap as the wire's
 //            {"op":"reload"}.
+//
+// --graph names the DIMACS graph the index was built from; it enables the
+// {"op":"update_weights"} wire verb (live scoped label repair) and is
+// re-read on every reload so weight updates keep working across index
+// swaps. Without it, update_weights requests fail with FailedPrecondition
+// while everything else serves normally.
 
 #include <unistd.h>
 
@@ -32,6 +38,7 @@
 #include <cstring>
 #include <string>
 
+#include "graph/dimacs_io.h"
 #include "hc2l/hc2l.h"
 #include "hc2l/server.h"
 
@@ -82,9 +89,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: hc2ld --index FILE [--port P] [--host H] [--threads T]\n"
-      "             [--max-connections N] [--max-in-flight N]\n"
+      "             [--graph FILE] [--max-connections N] [--max-in-flight N]\n"
       "             [--idle-timeout-ms MS] [--read-timeout-ms MS]\n"
       "             [--max-requests-per-connection N] [--drain-ms MS]\n"
+      "  --graph enables the update_weights op (live weight repair) by\n"
+      "  attaching the DIMACS graph the index was built from.\n"
       "  --port 0 (default) binds an ephemeral port; the chosen port is "
       "printed.\n"
       "  --threads 0 (default) uses all hardware threads for the shared "
@@ -141,6 +150,16 @@ int main(int argc, char** argv) {
   if (!router.ok()) {
     std::fprintf(stderr, "error: %s\n", router.status().ToString().c_str());
     return 1;
+  }
+  if (const char* graph_path = FlagValue(argc, argv, "--graph");
+      graph_path != nullptr) {
+    hc2l::Result<hc2l::Graph> graph = hc2l::ReadDimacsGraph(graph_path);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    router->AttachGraph(std::move(graph).value());
+    options.graph_path = graph_path;  // re-attached on every reload
   }
 
   hc2l::Result<hc2l::QueryServer> server =
