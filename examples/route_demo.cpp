@@ -1,0 +1,98 @@
+// Route demo: unpack actual shortest paths — not just distances — through
+// the public facade (hc2l::Router), including k-alternative routes and the
+// zero-allocation RouteInto form a hot serving loop would use.
+//
+//   $ ./build/example_route_demo
+
+#include <cstdio>
+#include <vector>
+
+#include "hc2l/hc2l.h"
+
+namespace {
+
+void PrintRoute(const char* label, const hc2l::RoutePath& route) {
+  using hc2l::kInfDist;
+  if (route.weight == kInfDist) {
+    std::printf("%s: unreachable\n", label);
+    return;
+  }
+  std::printf("%s: weight %llu, path", label,
+              static_cast<unsigned long long>(route.weight));
+  for (const hc2l::Vertex v : route.vertices) std::printf(" %u", v);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace hc2l;
+
+  // A 4x4 grid with one cheap diagonal shortcut street, so the best route
+  // is visibly not the Manhattan walk and alternatives exist.
+  //
+  //    0 -  1 -  2 -  3
+  //    |    |    |    |
+  //    4 -  5 -  6 -  7        plus a 5 - 10 shortcut
+  //    |    |    |    |
+  //    8 -  9 - 10 - 11
+  //    |    |    |    |
+  //   12 - 13 - 14 - 15
+  GraphBuilder builder(16);
+  for (Vertex r = 0; r < 4; ++r) {
+    for (Vertex c = 0; c < 4; ++c) {
+      const Vertex v = r * 4 + c;
+      if (c + 1 < 4) builder.AddEdge(v, v + 1, 100);
+      if (r + 1 < 4) builder.AddEdge(v, v + 4, 100);
+    }
+  }
+  builder.AddEdge(5, 10, 90);  // the diagonal shortcut
+  Graph g = std::move(builder).Build();
+
+  Result<Router> built = Router::Build(g);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Router& router = *built;
+
+  // Route() fills a reusable RoutePath: full vertex sequence plus weight,
+  // with weight always equal to Distance(s, t).
+  RoutePath route;
+  if (const Status s = router.Route(0, 15, &route); !s.ok()) {
+    std::fprintf(stderr, "route failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  PrintRoute("best 0 -> 15", route);
+  std::printf("distance agrees: %s\n",
+              route.weight == *router.Distance(0, 15) ? "yes" : "NO");
+
+  // RouteInto() writes into a caller-owned span — no allocations once the
+  // buffer is sized, the form a server's hot loop uses.
+  std::vector<Vertex> buf(router.NumVertices());
+  Dist weight = 0;
+  const Result<size_t> written = router.RouteInto(3, 12, buf, &weight);
+  if (!written.ok()) {
+    std::fprintf(stderr, "route failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("span 3 -> 12: weight %llu, %zu vertices\n",
+              static_cast<unsigned long long>(weight), *written);
+
+  // Routes() returns up to k alternatives, best first, pairwise distinct.
+  const Result<std::vector<RoutePath>> alts = router.Routes(0, 15, 3);
+  if (!alts.ok()) {
+    std::fprintf(stderr, "alternatives failed: %s\n",
+                 alts.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu alternative(s) for 0 -> 15:\n", alts->size());
+  for (size_t i = 0; i < alts->size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "  #%zu", i + 1);
+    PrintRoute(label, (*alts)[i]);
+  }
+  return 0;
+}

@@ -11,7 +11,7 @@
 /// traffic. This header is that contract:
 ///
 ///   - QueryRequest   — what to compute: a kind (point batch | matrix |
-///                      k-nearest), source/target id spans, per-request
+///                      k-nearest | route), source/target id spans, per-request
 ///                      QueryOptions (deadline, thread cap, missing-vertex
 ///                      policy).
 ///   - QueryOutput    — where to write it: caller-owned spans.
@@ -37,6 +37,18 @@
 ///                min(k, targets.size()); QueryResponse::written reports how
 ///                many (distance, vertex) slots actually hold results —
 ///                unreachable candidates are excluded, so it may be fewer.
+///   kRoute       sources.size() == 1 and targets.size() == 1: one unpacked
+///                shortest path. output.vertices receives the full vertex
+///                sequence (source first, target last; nothing when the
+///                target is unreachable) and output.distances[0] the path
+///                weight (kInfDist when unreachable), so
+///                output.distances.size() must be >= 1. A path longer than
+///                output.vertices fails with kInvalidArgument naming the
+///                required size. `k` must be 0 or 1 (alternatives go through
+///                Router::Routes, which allocates per route).
+///                QueryResponse::written reports the vertex count; shape is
+///                (1, written). Requires route hints or an attached graph —
+///                otherwise kFailedPrecondition.
 ///
 /// Deadline semantics: QueryOptions::deadline is a wall-clock budget
 /// measured from Execute entry; zero means unlimited. Expiry is detected at
@@ -64,6 +76,7 @@ enum class QueryKind : uint8_t {
   kPointBatch = 0,
   kMatrix = 1,
   kKNearest = 2,
+  kRoute = 3,
 };
 
 /// What to do with an out-of-range vertex id in a request. A serving front
@@ -77,6 +90,13 @@ enum class MissingVertexPolicy : uint8_t {
   /// Out-of-range ids behave like unreachable vertices: kInfDist distances,
   /// excluded from k-nearest results. The request succeeds.
   kUnreachable = 1,
+  /// Trusted-caller fast path: ids are NOT validated at all. A front end
+  /// that already range-checked every id (at parse time, say) skips the
+  /// facade's second scan over the id spans — a few nanoseconds per target
+  /// that a hot batch path cares about. An out-of-range id under this
+  /// policy aborts the process (internal invariant), exactly like
+  /// Router::DistanceUnchecked.
+  kUnchecked = 2,
 };
 
 /// Per-request execution options.
@@ -97,18 +117,21 @@ struct QueryOptions {
 struct QueryRequest {
   QueryKind kind = QueryKind::kPointBatch;
   /// kPointBatch: the single source (size 1) or per-pair sources;
-  /// kMatrix: matrix rows; kKNearest: the single source (size 1).
+  /// kMatrix: matrix rows; kKNearest and kRoute: the single source (size 1).
   std::span<const Vertex> sources;
   /// kPointBatch: batch targets or per-pair targets; kMatrix: matrix
-  /// columns; kKNearest: the candidate set.
+  /// columns; kKNearest: the candidate set; kRoute: the single target
+  /// (size 1).
   std::span<const Vertex> targets;
-  /// kKNearest only: how many nearest candidates to select.
+  /// kKNearest: how many nearest candidates to select. kRoute: must be 0 or
+  /// 1 (the single shortest path).
   size_t k = 0;
   QueryOptions options;
 };
 
-/// Caller-owned output buffers. `vertices` is only read for kKNearest
-/// (candidate ids parallel to `distances`); other kinds ignore it.
+/// Caller-owned output buffers. `vertices` is only written for kKNearest
+/// (candidate ids parallel to `distances`) and kRoute (the unpacked vertex
+/// sequence); other kinds ignore it.
 struct QueryOutput {
   std::span<Dist> distances;
   std::span<Vertex> vertices;
@@ -116,12 +139,13 @@ struct QueryOutput {
 
 /// Execution summary of a successful request.
 struct QueryResponse {
-  /// Distance slots written. kPointBatch: targets.size(); kMatrix:
-  /// sources.size() * targets.size(); kKNearest: the number of selected
-  /// neighbors (<= min(k, candidates)).
+  /// Slots written. kPointBatch: targets.size() distances; kMatrix:
+  /// sources.size() * targets.size() distances; kKNearest: the number of
+  /// selected neighbors (<= min(k, candidates)); kRoute: the number of path
+  /// vertices (0 when the target is unreachable).
   size_t written = 0;
   /// Result shape: kMatrix reports (sources.size(), targets.size());
-  /// kPointBatch and kKNearest report (1, written).
+  /// kPointBatch, kKNearest and kRoute report (1, written).
   size_t rows = 0;
   size_t cols = 0;
 };

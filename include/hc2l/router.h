@@ -62,6 +62,11 @@ struct BuildOptions {
   /// projection; one-way pendant edges resolve as offset-to-root in the
   /// existing direction and unreachable in the other (docs/directed.md).
   bool contract_degree_one = true;
+  /// Record route hints next to the labels (the predecessor-toward-hub
+  /// entries that Route unpacks paths from, ~one extra Vertex per label
+  /// entry). Disabling keeps the hint-less legacy disk formats; Route then
+  /// needs an attached graph to fall back on.
+  bool route_hints = true;
   /// Construction threads; 0 = all hardware threads, >1 is the paper's
   /// HC2L_p variant (bit-identical index).
   uint32_t num_threads = 1;
@@ -115,10 +120,11 @@ class ThreadedRouter;
 /// format magic.
 class Router {
  public:
-  /// Opens a serialized index, sniffing the format magic: HC2L0002 loads the
-  /// undirected index, HC2D0001/HC2D0002 the directed one. Errors: kNotFound
-  /// (cannot open), kInvalidArgument (not an HC2L index file), kDataLoss
-  /// (truncated or corrupt).
+  /// Opens a serialized index, sniffing the format magic: HC2L0002/HC2L0003
+  /// load the undirected index, HC2D0001/HC2D0002/HC2D0003 the directed one
+  /// (the 0003 formats carry route hints). Errors: kNotFound (cannot open),
+  /// kInvalidArgument (not an HC2L index file), kDataLoss (truncated or
+  /// corrupt).
   static Result<Router> Open(const std::string& path);
 
   /// Builds an undirected index. Errors: kInvalidArgument (bad options).
@@ -142,9 +148,11 @@ class Router {
   /// Unified construction/size statistics.
   IndexInfo Info() const;
 
-  /// Serializes the index in its flavour's format (HC2L0002 for undirected;
-  /// HC2D0002 for contracted directed indexes, HC2D0001 for uncontracted
-  /// ones — the latter stays readable by pre-contraction builds).
+  /// Serializes the index in its flavour's format. Hint-carrying indexes
+  /// (the route_hints default) write HC2L0003/HC2D0003; hint-less ones keep
+  /// the legacy layouts (HC2L0002 for undirected; HC2D0002 for contracted
+  /// directed indexes, HC2D0001 for uncontracted ones — the latter stays
+  /// readable by pre-contraction builds).
   Status Save(const std::string& path) const;
 
   /// Exact distance d(s, t) — d(s -> t) for directed indexes; kInfDist when
@@ -174,6 +182,36 @@ class Router {
   /// thin allocating wrapper over KNearestInto.
   Result<std::vector<std::pair<Dist, Vertex>>> KNearest(
       Vertex source, std::span<const Vertex> candidates, size_t k) const;
+
+  // --- Route unpacking (docs/api.md "Routes") ---
+
+  /// Reconstructs one shortest path s..t (s -> t for directed indexes):
+  /// out->vertices is the full original-id sequence (s first, t last; the
+  /// single vertex for s == t; empty when unreachable) and out->weight the
+  /// path weight, always equal to Distance(s, t). Answered from the index's
+  /// route hints when it carries them; a hint-less index falls back to a
+  /// bidirectional Dijkstra over the attached graph (AttachGraph /
+  /// AttachDigraph), so old index files keep working. Errors:
+  /// kInvalidArgument (out-of-range id), kFailedPrecondition (no hints and
+  /// no attached graph).
+  Status Route(Vertex s, Vertex t, RoutePath* out) const;
+
+  /// Route() into a caller-owned span: writes the vertex sequence into
+  /// out_vertices, the path weight into *weight, and returns the vertex
+  /// count (0 when unreachable). The hot path performs no per-call heap
+  /// allocation once its per-thread scratch is warm. A path longer than
+  /// out_vertices fails with kInvalidArgument naming the required size
+  /// (out_vertices is then untouched).
+  Result<size_t> RouteInto(Vertex s, Vertex t, std::span<Vertex> out_vertices,
+                           Dist* weight) const;
+
+  /// Up to k alternative routes s..t, sorted ascending by weight; the first
+  /// is Route's shortest path. Alternatives route via the other separator
+  /// hubs of the pair's LCA level, deduped plateaux-style, so they need
+  /// route hints — a hint-less index with an attached graph degrades to the
+  /// single fallback shortest path. k == 0 or an unreachable pair is an
+  /// empty result, not an error. Error contract as Route.
+  Result<std::vector<RoutePath>> Routes(Vertex s, Vertex t, size_t k) const;
 
   // --- Zero-copy request/response surface (hc2l/query.h) ---
   // Span-writing forms of the bulk queries: results land in caller-owned
@@ -232,6 +270,15 @@ class Router {
 
   /// True when a graph is attached (Build(const Graph&) or AttachGraph).
   bool HasGraph() const;
+
+  /// Attaches (or replaces) the digraph copy that hint-less directed
+  /// indexes unpack routes against (the Route fallback). Build(const
+  /// Digraph&) does NOT attach automatically — hint-carrying indexes (the
+  /// default) never need the copy.
+  void AttachDigraph(Digraph digraph);
+
+  /// True when a digraph is attached.
+  bool HasDigraph() const;
 
   /// Incremental weight update (Section 5.4 under live traffic, undirected
   /// only): applies `deltas` — existing edges taking new positive weights —

@@ -13,6 +13,8 @@
 #include "core/query_common.h"
 #include "graph/digraph.h"
 #include "graph/graph.h"
+#include "search/dijkstra.h"
+#include "search/directed_dijkstra.h"
 #include "server/query_engine.h"
 
 namespace hc2l {
@@ -164,6 +166,7 @@ struct FacadeScratch {
   std::vector<Dist> stage;
   std::vector<Dist> knn;
   std::vector<Dist*> rows;
+  RoutePath route;  // staging for RouteInto / Execute(kRoute)
 };
 
 FacadeScratch& TlsFacadeScratch() {
@@ -183,10 +186,16 @@ bool AllInRange(std::span<const Vertex> vs, uint64_t n) {
 template <typename Runner>
 Status BatchWithPolicy(const Runner& runner, uint64_t n, Vertex source,
                        std::span<const Vertex> targets, Dist* out,
-                       bool lenient, const Deadline& dl, FacadeScratch& fs) {
-  if (!lenient) {
-    if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
-    if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+                       MissingVertexPolicy policy, const Deadline& dl,
+                       FacadeScratch& fs) {
+  if (policy != MissingVertexPolicy::kUnreachable) {
+    // kUnchecked skips the validation scan entirely (trusted caller).
+    if (policy == MissingVertexPolicy::kError) {
+      if (Status st = CheckVertex("source", source, n); !st.ok()) return st;
+      if (Status st = CheckVertices("targets", targets, n); !st.ok()) {
+        return st;
+      }
+    }
     return runner.Batch(source, targets, out, dl);
   }
   if (source >= n) {
@@ -223,10 +232,17 @@ template <typename Runner>
 Status PairsWithPolicy(const Runner& runner, uint64_t n,
                        std::span<const Vertex> sources,
                        std::span<const Vertex> targets, Dist* out,
-                       bool lenient, const Deadline& dl, FacadeScratch& fs) {
-  if (!lenient) {
-    if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
-    if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+                       MissingVertexPolicy policy, const Deadline& dl,
+                       FacadeScratch& fs) {
+  if (policy != MissingVertexPolicy::kUnreachable) {
+    if (policy == MissingVertexPolicy::kError) {
+      if (Status st = CheckVertices("sources", sources, n); !st.ok()) {
+        return st;
+      }
+      if (Status st = CheckVertices("targets", targets, n); !st.ok()) {
+        return st;
+      }
+    }
     return runner.Pairs(sources, targets, out, dl);
   }
   if (AllInRange(sources, n) && AllInRange(targets, n)) {
@@ -259,11 +275,18 @@ template <typename Runner>
 Status MatrixWithPolicy(const Runner& runner, uint64_t n,
                         std::span<const Vertex> sources,
                         std::span<const Vertex> targets, Dist* out,
-                        bool lenient, const Deadline& dl, FacadeScratch& fs) {
+                        MissingVertexPolicy policy, const Deadline& dl,
+                        FacadeScratch& fs) {
   const size_t cols = targets.size();
-  if (!lenient) {
-    if (Status st = CheckVertices("sources", sources, n); !st.ok()) return st;
-    if (Status st = CheckVertices("targets", targets, n); !st.ok()) return st;
+  if (policy != MissingVertexPolicy::kUnreachable) {
+    if (policy == MissingVertexPolicy::kError) {
+      if (Status st = CheckVertices("sources", sources, n); !st.ok()) {
+        return st;
+      }
+      if (Status st = CheckVertices("targets", targets, n); !st.ok()) {
+        return st;
+      }
+    }
     return runner.Matrix(sources, targets,
                          MatrixRows{.flat = out, .stride = cols}, dl);
   }
@@ -319,8 +342,7 @@ template <typename Runner>
 Result<QueryResponse> ExecuteRequest(const QueryRequest& req,
                                      const QueryOutput& out, uint64_t n,
                                      const Runner& runner) {
-  const bool lenient =
-      req.options.missing_vertices == MissingVertexPolicy::kUnreachable;
+  const MissingVertexPolicy policy = req.options.missing_vertices;
   const Deadline dl = Deadline::From(req.options.deadline);
   FacadeScratch& fs = TlsFacadeScratch();
   switch (req.kind) {
@@ -332,14 +354,14 @@ Result<QueryResponse> ExecuteRequest(const QueryRequest& req,
       if (req.sources.size() == 1) {
         if (Status st =
                 BatchWithPolicy(runner, n, req.sources[0], req.targets,
-                                out.distances.data(), lenient, dl, fs);
+                                out.distances.data(), policy, dl, fs);
             !st.ok()) {
           return st;
         }
       } else if (req.sources.size() == req.targets.size()) {
         if (Status st =
                 PairsWithPolicy(runner, n, req.sources, req.targets,
-                                out.distances.data(), lenient, dl, fs);
+                                out.distances.data(), policy, dl, fs);
             !st.ok()) {
           return st;
         }
@@ -360,7 +382,7 @@ Result<QueryResponse> ExecuteRequest(const QueryRequest& req,
       }
       if (Status st =
               MatrixWithPolicy(runner, n, req.sources, req.targets,
-                               out.distances.data(), lenient, dl, fs);
+                               out.distances.data(), policy, dl, fs);
           !st.ok()) {
         return st;
       }
@@ -385,7 +407,7 @@ Result<QueryResponse> ExecuteRequest(const QueryRequest& req,
             "output spans hold " + std::to_string(out.distances.size()) +
             " slots; k-nearest may write up to " + std::to_string(need));
       }
-      if (!lenient) {
+      if (policy == MissingVertexPolicy::kError) {
         if (Status st = CheckVertex("source", req.sources[0], n); !st.ok()) {
           return st;
         }
@@ -398,7 +420,7 @@ Result<QueryResponse> ExecuteRequest(const QueryRequest& req,
       if (need == 0) return QueryResponse{0, 1, 0};
       fs.knn.resize(req.targets.size());
       if (Status st = BatchWithPolicy(runner, n, req.sources[0], req.targets,
-                                      fs.knn.data(), lenient, dl, fs);
+                                      fs.knn.data(), policy, dl, fs);
           !st.ok()) {
         return st;
       }
@@ -406,6 +428,46 @@ Result<QueryResponse> ExecuteRequest(const QueryRequest& req,
           fs.knn, req.targets, req.k, out.distances.data(),
           out.vertices.data(), &TlsQueryScratch());
       return QueryResponse{written, 1, written};
+    }
+    case QueryKind::kRoute: {
+      if (req.sources.size() != 1 || req.targets.size() != 1) {
+        return Status::InvalidArgument(
+            "a route needs exactly one source and one target, got " +
+            std::to_string(req.sources.size()) + " sources and " +
+            std::to_string(req.targets.size()) + " targets");
+      }
+      if (req.k > 1) {
+        return Status::InvalidArgument(
+            "a route request unpacks the single shortest path (k must be 0 "
+            "or 1); alternatives go through Router::Routes");
+      }
+      if (out.distances.empty()) {
+        return Status::InvalidArgument(
+            "a route needs at least one output distance slot for the path "
+            "weight");
+      }
+      const Vertex s = req.sources[0];
+      const Vertex t = req.targets[0];
+      if (policy == MissingVertexPolicy::kError) {
+        if (Status st = CheckVertex("source", s, n); !st.ok()) return st;
+        if (Status st = CheckVertex("target", t, n); !st.ok()) return st;
+      } else if (policy == MissingVertexPolicy::kUnreachable &&
+                 (s >= n || t >= n)) {
+        out.distances[0] = kInfDist;
+        return QueryResponse{0, 1, 0};
+      }
+      if (Status st = runner.Route(s, t, &fs.route); !st.ok()) return st;
+      if (fs.route.vertices.size() > out.vertices.size()) {
+        return Status::InvalidArgument(
+            "output vertex span holds " + std::to_string(out.vertices.size()) +
+            " slots; this route needs " +
+            std::to_string(fs.route.vertices.size()));
+      }
+      std::copy(fs.route.vertices.begin(), fs.route.vertices.end(),
+                out.vertices.begin());
+      out.distances[0] = fs.route.weight;
+      return QueryResponse{fs.route.vertices.size(), 1,
+                           fs.route.vertices.size()};
     }
   }
   return Status::InvalidArgument("unknown QueryKind");
@@ -417,10 +479,14 @@ struct Router::Impl {
   // Exactly one is non-null.
   std::unique_ptr<Hc2lIndex> undirected;
   std::unique_ptr<DirectedHc2lIndex> directed;
-  // The graph UpdateWeights repairs against: kept by Build(const Graph&),
-  // attachable after Open via AttachGraph, carried forward (with the deltas
-  // applied) by the router UpdateWeights returns. Null until one is known.
+  // The graph UpdateWeights repairs against (and hint-less undirected
+  // indexes unpack routes against): kept by Build(const Graph&), attachable
+  // after Open via AttachGraph, carried forward (with the deltas applied)
+  // by the router UpdateWeights returns. Null until one is known.
   std::unique_ptr<Graph> graph;
+  // The digraph hint-less directed indexes unpack routes against
+  // (AttachDigraph). Null until attached.
+  std::unique_ptr<Digraph> digraph;
   // The directed index does not record its own build time (and does not
   // persist one), so the facade times Build itself; 0 after Open. The
   // undirected flavour carries its own persisted Hc2lStats instead.
@@ -435,6 +501,57 @@ struct Router::Impl {
 };
 
 namespace {
+
+/// The shared Route primitive: hint-based unpacking when the index carries
+/// route hints, the graph-backed bidirectional-Dijkstra fallback otherwise
+/// (so pre-HC2L0003/HC2D0003 files keep answering routes once a graph is
+/// attached). Templated over Router::Impl like the runners.
+template <typename RouterImpl>
+Status RouteOnImpl(const RouterImpl& impl, Vertex s, Vertex t,
+                   RoutePath* out) {
+  if (impl.undirected != nullptr) {
+    if (impl.undirected->HasRouteHints()) {
+      return impl.undirected->Route(s, t, out);
+    }
+    if (impl.graph != nullptr) {
+      out->weight =
+          BidirectionalShortestPath(*impl.graph, s, t, &out->vertices);
+      return Status::Ok();
+    }
+  } else {
+    if (impl.directed->HasRouteHints()) {
+      return impl.directed->Route(s, t, out);
+    }
+    if (impl.digraph != nullptr) {
+      out->weight = DirectedShortestPath(*impl.digraph, s, t, &out->vertices);
+      return Status::Ok();
+    }
+  }
+  return Status::FailedPrecondition(
+      "this index carries no route hints (built with route_hints = false, or "
+      "loaded from a pre-HC2L0003/HC2D0003 file) and no graph is attached to "
+      "unpack against; attach one with AttachGraph / AttachDigraph");
+}
+
+/// K-alternative routes need the hint store (alternatives enumerate the
+/// LCA's separator hubs); a hint-less index degrades to the single fallback
+/// shortest path.
+template <typename RouterImpl>
+Status RoutesOnImpl(const RouterImpl& impl, Vertex s, Vertex t, size_t k,
+                    std::vector<RoutePath>* out) {
+  out->clear();
+  if (k == 0) return Status::Ok();
+  if (impl.undirected != nullptr && impl.undirected->HasRouteHints()) {
+    return impl.undirected->Routes(s, t, k, out);
+  }
+  if (impl.directed != nullptr && impl.directed->HasRouteHints()) {
+    return impl.directed->Routes(s, t, k, out);
+  }
+  RoutePath path;
+  if (Status st = RouteOnImpl(impl, s, t, &path); !st.ok()) return st;
+  if (path.weight != kInfDist) out->push_back(std::move(path));
+  return Status::Ok();
+}
 
 /// Sequential executor over the Router's concrete index. Templated over the
 /// impl type (Router::Impl — private, so namespace-scope code cannot name
@@ -459,6 +576,9 @@ struct SeqRunner {
     return impl->Visit(
         [&](const auto& index) { return SeqMatrix(index, s, t, rows, dl); });
   }
+  Status Route(Vertex s, Vertex t, RoutePath* out) const {
+    return RouteOnImpl(*impl, s, t, out);
+  }
 };
 
 }  // namespace
@@ -481,12 +601,13 @@ Result<Router> Router::Open(const std::string& path) {
     }
   }
   auto impl = std::make_unique<Impl>();
-  if (magic == kHc2lIndexMagic) {
+  if (magic == kHc2lIndexMagic || magic == kHc2lIndexMagicV3) {
     Result<Hc2lIndex> index = Hc2lIndex::Load(path);
     if (!index.ok()) return index.status();
     impl->undirected =
         std::make_unique<Hc2lIndex>(std::move(index).value());
-  } else if (magic == kDirectedIndexMagic || magic == kDirectedIndexMagicV2) {
+  } else if (magic == kDirectedIndexMagic || magic == kDirectedIndexMagicV2 ||
+             magic == kDirectedIndexMagicV3) {
     Result<DirectedHc2lIndex> index = DirectedHc2lIndex::Load(path);
     if (!index.ok()) return index.status();
     impl->directed =
@@ -494,7 +615,7 @@ Result<Router> Router::Open(const std::string& path) {
   } else {
     return Status::InvalidArgument(
         path + " is not an HC2L index (unrecognized format magic; expected "
-               "HC2L0002, HC2D0001 or HC2D0002)");
+               "HC2L0002, HC2L0003, HC2D0001, HC2D0002 or HC2D0003)");
   }
   return Router(std::move(impl));
 }
@@ -506,6 +627,7 @@ Result<Router> Router::Build(const Graph& graph, const BuildOptions& options) {
   concrete.leaf_size = options.leaf_size;
   concrete.tail_pruning = options.tail_pruning;
   concrete.contract_degree_one = options.contract_degree_one;
+  concrete.route_hints = options.route_hints;
   concrete.num_threads = ResolveThreads(options.num_threads);
   auto impl = std::make_unique<Impl>();
   impl->undirected =
@@ -522,6 +644,7 @@ Result<Router> Router::Build(const Digraph& graph,
   concrete.leaf_size = options.leaf_size;
   concrete.tail_pruning = options.tail_pruning;
   concrete.contract_degree_one = options.contract_degree_one;
+  concrete.route_hints = options.route_hints;
   concrete.num_threads = ResolveThreads(options.num_threads);
   auto impl = std::make_unique<Impl>();
   Timer timer;
@@ -633,6 +756,42 @@ Result<std::vector<std::pair<Dist, Vertex>>> Router::KNearest(
   return out;
 }
 
+Status Router::Route(Vertex s, Vertex t, RoutePath* out) const {
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertex("source", s, n); !st.ok()) return st;
+  if (Status st = CheckVertex("target", t, n); !st.ok()) return st;
+  return RouteOnImpl(*impl_, s, t, out);
+}
+
+Result<size_t> Router::RouteInto(Vertex s, Vertex t,
+                                 std::span<Vertex> out_vertices,
+                                 Dist* weight) const {
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertex("source", s, n); !st.ok()) return st;
+  if (Status st = CheckVertex("target", t, n); !st.ok()) return st;
+  FacadeScratch& fs = TlsFacadeScratch();
+  if (Status st = RouteOnImpl(*impl_, s, t, &fs.route); !st.ok()) return st;
+  if (fs.route.vertices.size() > out_vertices.size()) {
+    return Status::InvalidArgument(
+        "output vertex span holds " + std::to_string(out_vertices.size()) +
+        " slots; this route needs " + std::to_string(fs.route.vertices.size()));
+  }
+  std::copy(fs.route.vertices.begin(), fs.route.vertices.end(),
+            out_vertices.begin());
+  *weight = fs.route.weight;
+  return fs.route.vertices.size();
+}
+
+Result<std::vector<RoutePath>> Router::Routes(Vertex s, Vertex t,
+                                              size_t k) const {
+  const uint64_t n = NumVertices();
+  if (Status st = CheckVertex("source", s, n); !st.ok()) return st;
+  if (Status st = CheckVertex("target", t, n); !st.ok()) return st;
+  std::vector<RoutePath> out;
+  if (Status st = RoutesOnImpl(*impl_, s, t, k, &out); !st.ok()) return st;
+  return out;
+}
+
 Result<QueryResponse> Router::Execute(const QueryRequest& request,
                                       const QueryOutput& out) const {
   return ExecuteRequest(request, out, NumVertices(), SeqRunner{impl_.get()});
@@ -699,6 +858,12 @@ void Router::AttachGraph(Graph graph) {
 
 bool Router::HasGraph() const { return impl_->graph != nullptr; }
 
+void Router::AttachDigraph(Digraph digraph) {
+  impl_->digraph = std::make_unique<Digraph>(std::move(digraph));
+}
+
+bool Router::HasDigraph() const { return impl_->digraph != nullptr; }
+
 Result<Router> Router::UpdateWeights(std::span<const EdgeDelta> deltas,
                                      bool tail_pruning,
                                      uint32_t num_threads) const {
@@ -747,6 +912,10 @@ struct ThreadedRouter::Impl {
   // Exactly one is non-null, matching the Router's flavour.
   std::unique_ptr<QueryEngine> undirected;
   std::unique_ptr<DirectedQueryEngine> directed;
+  // The borrowed Router's impl (the handle must not outlive it anyway):
+  // route requests are single queries, answered inline through the same
+  // hint-or-fallback primitive as Router::Route rather than sharded.
+  const Router::Impl* router = nullptr;
   uint64_t num_vertices = 0;
 
   template <typename Fn>
@@ -795,6 +964,9 @@ struct PoolRunner {
     });
     return done ? Status::Ok() : DeadlineError();
   }
+  Status Route(Vertex s, Vertex t, RoutePath* out) const {
+    return RouteOnImpl(*impl->router, s, t, out);
+  }
 };
 
 }  // namespace
@@ -824,6 +996,7 @@ Result<ThreadedRouter> Router::WithThreads(
   engine_options.num_threads = options.num_threads;
   engine_options.min_shard_queries = std::max(1u, options.min_shard_queries);
   auto impl = std::make_unique<ThreadedRouter::Impl>();
+  impl->router = impl_.get();
   impl->num_vertices = NumVertices();
   if (impl_->undirected != nullptr) {
     impl->undirected =

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace hc2l {
 
@@ -33,6 +34,17 @@ struct EdgeDelta {
   Vertex u = kInvalidVertex;
   Vertex v = kInvalidVertex;
   Weight weight = 0;
+};
+
+/// One reconstructed shortest (or alternative) route: the full vertex
+/// sequence from source to target inclusive, plus its total weight. An
+/// unreachable pair reports kInfDist with an empty sequence; s == t reports
+/// weight 0 with the single vertex. Produced by the route-unpacking paths
+/// (Hc2lIndex::Route, DirectedHc2lIndex::Route, Router::Route) and carried
+/// by the server's `route` wire verb.
+struct RoutePath {
+  std::vector<Vertex> vertices;
+  Dist weight = kInfDist;
 };
 
 /// Inf-propagating sum of two distances: unreachable plus anything is

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <unordered_set>
+#include <utility>
 
 #include "common/binary_io.h"
 #include "common/check.h"
@@ -23,6 +25,177 @@ uint32_t EncodeLabelDistance(Dist d) {
   return static_cast<uint32_t>(d);
 }
 
+// --- Directed route-hint machinery, the dual-CSR port of the undirected
+// annotation propagation (see hc2l.cc): every subgraph arc carries, per
+// direction, the provenance of the shortest core path it stands for — the
+// out-annotation is the first real core hop leaving the arc's tail, the
+// in-annotation the real core predecessor of its head. Real arcs annotate
+// themselves; shortcut arcs inherit from the witness arcs of their
+// through-the-cut path.
+
+/// Per-direction arc-offset prefix array: arc j of OutArcs(v) (or InArcs(v))
+/// is entry base[v] + j of the matching annotation vector.
+std::vector<size_t> DirectedArcBases(const Digraph& g, bool out) {
+  const size_t n = g.NumVertices();
+  std::vector<size_t> base(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    base[v + 1] = base[v] + (out ? g.OutArcs(v) : g.InArcs(v)).size();
+  }
+  return base;
+}
+
+/// Per-arc annotations of one subgraph, both directions.
+struct DirectedAnnotations {
+  std::vector<Vertex> out;  // indexed like the out-CSR
+  std::vector<Vertex> in;   // indexed like the in-CSR
+};
+
+/// Root annotations over the core digraph: every arc is real, so the
+/// out-annotation of v -> w is w and the in-annotation of w's in-arc from v
+/// is v (InArcs' Arc::to is the source, so both loops just push a.to).
+DirectedAnnotations RootAnnotations(const Digraph& core) {
+  DirectedAnnotations ann;
+  ann.out.reserve(core.NumArcs());
+  ann.in.reserve(core.NumArcs());
+  const size_t n = core.NumVertices();
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Arc& a : core.OutArcs(v)) ann.out.push_back(a.to);
+    for (const Arc& a : core.InArcs(v)) ann.in.push_back(a.to);
+  }
+  return ann;
+}
+
+/// Out-annotation of the first witness out-arc of v under the *backward*
+/// distance field db (db[x] = d(x -> root)): the first out-arc with
+/// w + db[head] == db[v] — i.e. the first hop of a shortest v -> root path.
+Vertex OutWitness(const Digraph& g, const std::vector<Vertex>& out_ann,
+                  const std::vector<size_t>& out_base, Vertex v,
+                  const std::vector<Dist>& db) {
+  const Dist dv = db[v];
+  if (dv == 0 || dv == kInfDist) return kInvalidVertex;
+  const std::span<const Arc> arcs = g.OutArcs(v);
+  for (size_t j = 0; j < arcs.size(); ++j) {
+    const Arc& a = arcs[j];
+    if (db[a.to] != kInfDist && a.weight + db[a.to] == dv) {
+      return out_ann[out_base[v] + j];
+    }
+  }
+  return kInvalidVertex;
+}
+
+/// In-annotation of the first witness in-arc of v under the *forward*
+/// distance field df (df[x] = d(root -> x)): the first in-arc with
+/// df[source] + w == df[v] — the real predecessor of v on a shortest
+/// root -> v path.
+Vertex InWitness(const Digraph& g, const std::vector<Vertex>& in_ann,
+                 const std::vector<size_t>& in_base, Vertex v,
+                 const std::vector<Dist>& df) {
+  const Dist dv = df[v];
+  if (dv == 0 || dv == kInfDist) return kInvalidVertex;
+  const std::span<const Arc> arcs = g.InArcs(v);  // a.to is the source
+  for (size_t j = 0; j < arcs.size(); ++j) {
+    const Arc& a = arcs[j];
+    if (df[a.to] != kInfDist && df[a.to] + a.weight == dv) {
+      return in_ann[in_base[v] + j];
+    }
+  }
+  return kInvalidVertex;
+}
+
+/// Derives a child sub-digraph's annotations from its parent's. A real
+/// child arc copies the parent arc's annotations; a shortcut from -> to
+/// resolves against its witness cut vertex (first in rank order realizing
+/// the shortcut weight as d(from -> cut) + d(cut -> to)): the out side from
+/// the backward field at `from`, the in side from the forward field at
+/// `to`. Shortcut weights are strictly below any in-partition path, and
+/// the builders collapse parallel arcs to minimum weight, so the directed
+/// pair lookup is unambiguous.
+DirectedAnnotations DeriveChildAnnotations(
+    const Digraph& parent, const DirectedAnnotations& parent_ann,
+    const std::vector<size_t>& out_base, const std::vector<size_t>& in_base,
+    const std::vector<DirectedArc>& shortcuts,
+    const std::vector<DistAndPruneResult>& fwd,
+    const std::vector<DistAndPruneResult>& bwd, const Digraph& child,
+    const std::vector<Vertex>& to_parent) {
+  struct ShortcutAnn {
+    uint64_t key;  // (parent from) << 32 | parent to
+    Vertex out_ann = kInvalidVertex;
+    Vertex in_ann = kInvalidVertex;
+  };
+  std::vector<ShortcutAnn> sc_ann;
+  sc_ann.reserve(shortcuts.size());
+  for (const DirectedArc& e : shortcuts) {
+    ShortcutAnn entry;
+    entry.key = (static_cast<uint64_t>(e.from) << 32) | e.to;
+    for (size_t c = 0; c < fwd.size(); ++c) {
+      if (AddDist(bwd[c].dist[e.from], fwd[c].dist[e.to]) != e.weight) {
+        continue;
+      }
+      entry.out_ann =
+          OutWitness(parent, parent_ann.out, out_base, e.from, bwd[c].dist);
+      entry.in_ann =
+          InWitness(parent, parent_ann.in, in_base, e.to, fwd[c].dist);
+      break;
+    }
+    sc_ann.push_back(entry);
+  }
+  std::sort(sc_ann.begin(), sc_ann.end(),
+            [](const ShortcutAnn& a, const ShortcutAnn& b) {
+              return a.key < b.key;
+            });
+  const auto find_shortcut = [&](Vertex pu, Vertex pv) -> const ShortcutAnn* {
+    const uint64_t key = (static_cast<uint64_t>(pu) << 32) | pv;
+    const auto it = std::lower_bound(
+        sc_ann.begin(), sc_ann.end(), key,
+        [](const ShortcutAnn& s, uint64_t k) { return s.key < k; });
+    return it != sc_ann.end() && it->key == key ? &*it : nullptr;
+  };
+
+  DirectedAnnotations ann;
+  ann.out.reserve(child.NumArcs());
+  ann.in.reserve(child.NumArcs());
+  const size_t n = child.NumVertices();
+  for (Vertex cv = 0; cv < n; ++cv) {
+    const Vertex pu = to_parent[cv];
+    for (const Arc& a : child.OutArcs(cv)) {
+      const Vertex pv = to_parent[a.to];
+      if (const ShortcutAnn* s = find_shortcut(pu, pv)) {
+        ann.out.push_back(s->out_ann);
+        continue;
+      }
+      const std::span<const Arc> parcs = parent.OutArcs(pu);
+      Vertex copied = kInvalidVertex;
+      for (size_t j = 0; j < parcs.size(); ++j) {
+        if (parcs[j].to == pv) {
+          copied = parent_ann.out[out_base[pu] + j];
+          break;
+        }
+      }
+      ann.out.push_back(copied);
+    }
+  }
+  for (Vertex cv = 0; cv < n; ++cv) {
+    const Vertex pv = to_parent[cv];
+    for (const Arc& a : child.InArcs(cv)) {
+      const Vertex pu = to_parent[a.to];  // source
+      if (const ShortcutAnn* s = find_shortcut(pu, pv)) {
+        ann.in.push_back(s->in_ann);
+        continue;
+      }
+      const std::span<const Arc> parcs = parent.InArcs(pv);
+      Vertex copied = kInvalidVertex;
+      for (size_t j = 0; j < parcs.size(); ++j) {
+        if (parcs[j].to == pu) {
+          copied = parent_ann.in[in_base[pv] + j];
+          break;
+        }
+      }
+      ann.in.push_back(copied);
+    }
+  }
+  return ann;
+}
+
 }  // namespace
 
 /// Recursive construction: balanced cuts on the undirected projection,
@@ -38,11 +211,20 @@ class DirectedHc2lBuilder {
     in_label_.resize(n);
     out_lens_.resize(n);
     in_lens_.resize(n);
+    if (options_.route_hints) {
+      out_hint_.resize(n);
+      in_hint_.resize(n);
+      out_hint_lens_.resize(n);
+      in_hint_lens_.resize(n);
+    }
     std::vector<Vertex> identity(n);
     for (Vertex v = 0; v < n; ++v) identity[v] = v;
     hierarchy_.nodes_.push_back(HierarchyNode{kRootCode, -1, -1, -1, {}});
     Digraph root = g;
-    BuildNode(std::move(root), std::move(identity), 0, kRootCode);
+    DirectedAnnotations root_ann =
+        options_.route_hints ? RootAnnotations(g) : DirectedAnnotations{};
+    BuildNode(std::move(root), std::move(identity), std::move(root_ann), 0,
+              kRootCode);
   }
 
   void Finish(DirectedHc2lIndex* index) {
@@ -50,11 +232,15 @@ class DirectedHc2lBuilder {
     index->height_ = index->hierarchy_.Height();
     index->out_labels_.BuildFrom(&out_label_, &out_lens_);
     index->in_labels_.BuildFrom(&in_label_, &in_lens_);
+    if (options_.route_hints) {
+      index->out_hints_.BuildFrom(&out_hint_, &out_hint_lens_);
+      index->in_hints_.BuildFrom(&in_hint_, &in_hint_lens_);
+    }
   }
 
  private:
-  void BuildNode(Digraph sub, std::vector<Vertex> to_global, int32_t node_idx,
-                 TreeCode code) {
+  void BuildNode(Digraph sub, std::vector<Vertex> to_global,
+                 DirectedAnnotations ann, int32_t node_idx, TreeCode code) {
     const size_t n = sub.NumVertices();
     const uint32_t depth = TreeCodeDepth(code);
 
@@ -79,9 +265,13 @@ class DirectedHc2lBuilder {
       for (Vertex v = 0; v < n; ++v) {
         out_lens_[to_global[v]].push_back(0);
         in_lens_[to_global[v]].push_back(0);
+        if (options_.route_hints) {
+          out_hint_lens_[to_global[v]].push_back(0);
+          in_hint_lens_[to_global[v]].push_back(0);
+        }
       }
     } else {
-      RankAndLabel(sub, &cut, to_global, node_idx, code, &fwd, &bwd);
+      RankAndLabel(sub, &cut, to_global, ann, node_idx, code, &fwd, &bwd);
     }
     if (is_leaf) return;
 
@@ -94,6 +284,13 @@ class DirectedHc2lBuilder {
       std::vector<Vertex> child_to_global;
       child_to_global.reserve(part.size());
       for (Vertex v : child.to_parent) child_to_global.push_back(to_global[v]);
+      DirectedAnnotations child_ann;
+      if (options_.route_hints) {
+        child_ann = DeriveChildAnnotations(
+            sub, ann, DirectedArcBases(sub, /*out=*/true),
+            DirectedArcBases(sub, /*out=*/false), shortcuts, fwd, bwd,
+            child.graph, child.to_parent);
+      }
       const TreeCode child_code = TreeCodeChild(code, side);
       hierarchy_.nodes_.push_back(
           HierarchyNode{child_code, node_idx, -1, -1, {}});
@@ -101,16 +298,19 @@ class DirectedHc2lBuilder {
           static_cast<int32_t>(hierarchy_.nodes_.size() - 1);
       (side == 0 ? hierarchy_.nodes_[node_idx].left
                  : hierarchy_.nodes_[node_idx].right) = child_idx;
-      BuildNode(std::move(child.graph), std::move(child_to_global), child_idx,
-                child_code);
+      BuildNode(std::move(child.graph), std::move(child_to_global),
+                std::move(child_ann), child_idx, child_code);
     }
   }
 
   /// Ranks the cut (sum of both directions' coverability, ascending), runs
   /// the per-direction prefix-tracking Dijkstras, and emits the two label
-  /// arrays per subgraph vertex.
+  /// arrays per subgraph vertex — plus, in hint mode, the two hint arrays
+  /// (out: first hop toward each hub, in: predecessor from each hub) in
+  /// lockstep with the label entries.
   void RankAndLabel(const Digraph& sub, std::vector<Vertex>* cut,
-                    const std::vector<Vertex>& to_global, int32_t node_idx,
+                    const std::vector<Vertex>& to_global,
+                    const DirectedAnnotations& ann, int32_t node_idx,
                     TreeCode code, std::vector<DistAndPruneResult>* fwd,
                     std::vector<DistAndPruneResult>* bwd) {
     const size_t n = sub.NumVertices();
@@ -147,6 +347,12 @@ class DirectedHc2lBuilder {
                                            SearchDirection::kBackward, mask);
         });
 
+    const std::vector<size_t> out_base =
+        options_.route_hints ? DirectedArcBases(sub, /*out=*/true)
+                             : std::vector<size_t>{};
+    const std::vector<size_t> in_base =
+        options_.route_hints ? DirectedArcBases(sub, /*out=*/false)
+                             : std::vector<size_t>{};
     for (Vertex v = 0; v < n; ++v) {
       size_t k_in = 0;
       size_t k_out = 0;
@@ -164,6 +370,21 @@ class DirectedHc2lBuilder {
         out_data.push_back(EncodeLabelDistance((*bwd)[i].dist[v]));
       }
       out_lens_[to_global[v]].push_back(static_cast<uint32_t>(k_out + 1));
+      if (options_.route_hints) {
+        auto& in_hints = in_hint_[to_global[v]];
+        for (size_t i = 0; i <= k_in; ++i) {
+          in_hints.push_back(
+              InWitness(sub, ann.in, in_base, v, (*fwd)[i].dist));
+        }
+        in_hint_lens_[to_global[v]].push_back(static_cast<uint32_t>(k_in + 1));
+        auto& out_hints = out_hint_[to_global[v]];
+        for (size_t i = 0; i <= k_out; ++i) {
+          out_hints.push_back(
+              OutWitness(sub, ann.out, out_base, v, (*bwd)[i].dist));
+        }
+        out_hint_lens_[to_global[v]].push_back(
+            static_cast<uint32_t>(k_out + 1));
+      }
     }
 
     HierarchyNode& node = hierarchy_.nodes_[node_idx];
@@ -252,6 +473,10 @@ class DirectedHc2lBuilder {
   BalancedTreeHierarchy hierarchy_;
   std::vector<std::vector<uint32_t>> out_label_, in_label_;
   std::vector<std::vector<uint32_t>> out_lens_, in_lens_;
+  // Route-hint accumulators, in lockstep with the label ones (empty unless
+  // options_.route_hints).
+  std::vector<std::vector<uint32_t>> out_hint_, in_hint_;
+  std::vector<std::vector<uint32_t>> out_hint_lens_, in_hint_lens_;
 };
 
 DirectedHc2lIndex DirectedHc2lIndex::Build(const Digraph& g,
@@ -401,21 +626,276 @@ std::vector<std::pair<Dist, Vertex>> DirectedHc2lIndex::KNearest(
   return SelectKNearest(dists, candidates, k);
 }
 
+// --- Route unpacking, the directed twin of Hc2lIndex::CoreRoute: the
+// argmin hub of the LCA level pins a shortest s -> t path through one cut
+// vertex; out-hints advance the source end forward, in-hints rewind the
+// target end backward, and every emitted hop is a real core arc in its
+// travel direction.
+
+Status DirectedHc2lIndex::CoreRoute(Vertex cs, Vertex ct,
+                                    std::vector<Vertex>* out) const {
+  out->clear();
+  const size_t core_n = out_labels_.base.size() - 1;
+  std::vector<Vertex> back;  // suffix toward ct, collected in reverse
+  Vertex s = cs;
+  Vertex t = ct;
+  out->push_back(s);
+  size_t steps = 0;
+  while (s != t) {
+    if (++steps > core_n + 1) {
+      return Status::Internal(
+          "route unpacking exceeded the path-length bound (inconsistent "
+          "hint store)");
+    }
+    const uint32_t level = hierarchy_.LcaLevel(s, t);
+    const uint32_t s_idx = out_labels_.base[s] + level;
+    const uint32_t t_idx = in_labels_.base[t] + level;
+    const uint32_t* ds =
+        out_labels_.arena.data() + out_labels_.level_start[s_idx];
+    const uint32_t* dt =
+        in_labels_.arena.data() + in_labels_.level_start[t_idx];
+    const uint32_t len = std::min(out_labels_.level_len[s_idx],
+                                  in_labels_.level_len[t_idx]);
+    uint64_t best = UINT64_MAX;
+    uint32_t best_i = UINT32_MAX;
+    for (uint32_t i = 0; i < len; ++i) {
+      if (ds[i] == kUnreachableLabel || dt[i] == kUnreachableLabel) continue;
+      const uint64_t sum = uint64_t{ds[i]} + dt[i];
+      if (sum < best) {
+        best = sum;
+        best_i = i;
+      }
+    }
+    if (best_i == UINT32_MAX) {
+      return Status::Internal(
+          "route unpacking found no common hub for a reachable pair");
+    }
+    if (ds[best_i] > 0) {
+      const Vertex hint =
+          out_hints_.arena.data()[out_hints_.level_start[s_idx] + best_i];
+      if (hint >= core_n) {
+        return Status::Internal("route hint out of range");
+      }
+      s = hint;
+      out->push_back(s);
+    } else {
+      // s *is* the hub (weights are positive); rewind the target end.
+      const Vertex hint =
+          in_hints_.arena.data()[in_hints_.level_start[t_idx] + best_i];
+      if (hint >= core_n) {
+        return Status::Internal("route hint out of range");
+      }
+      back.push_back(t);
+      t = hint;
+    }
+  }
+  out->insert(out->end(), back.rbegin(), back.rend());
+  return Status::Ok();
+}
+
+Status DirectedHc2lIndex::ExpandRoute(Vertex s, Vertex t, Dist weight,
+                                      const std::vector<Vertex>& core_path,
+                                      RoutePath* out) const {
+  out->vertices.clear();
+  out->weight = weight;
+  if (core_path.empty()) {
+    return Status::Internal("empty core path for a reachable pair");
+  }
+  if (contraction_ == nullptr) {
+    out->vertices = core_path;
+    return Status::Ok();
+  }
+  const DirectedDegreeOneContraction& c = *contraction_;
+  for (Vertex v = s; c.depth_[v] > 0; v = c.parent_[v]) {
+    out->vertices.push_back(v);
+  }
+  for (const Vertex cv : core_path) {
+    out->vertices.push_back(c.to_original_[cv]);
+  }
+  std::vector<Vertex> tail;
+  for (Vertex v = t; c.depth_[v] > 0; v = c.parent_[v]) {
+    tail.push_back(v);
+  }
+  out->vertices.insert(out->vertices.end(), tail.rbegin(), tail.rend());
+  return Status::Ok();
+}
+
+Status DirectedHc2lIndex::Route(Vertex s, Vertex t, RoutePath* out) const {
+  HC2L_CHECK_LT(s, NumVertices());
+  HC2L_CHECK_LT(t, NumVertices());
+  out->vertices.clear();
+  out->weight = kInfDist;
+  if (s == t) {
+    out->vertices.push_back(s);
+    out->weight = 0;
+    return Status::Ok();
+  }
+  if (!HasRouteHints()) {
+    return Status::FailedPrecondition(
+        "index carries no route hints (built with route_hints = false, or "
+        "loaded from a distance-only HC2D0001/HC2D0002 file); routes need a "
+        "graph-backed fallback unpacker");
+  }
+  if (contraction_ != nullptr) {
+    const Vertex root_s = contraction_->RootCoreId(s);
+    const Vertex root_t = contraction_->RootCoreId(t);
+    if (root_s == root_t) {
+      // Same pendant tree: the only simple path climbs to the in-tree LCA;
+      // a one-way chain broken in the needed direction means unreachable.
+      const DirectedDegreeOneContraction& c = *contraction_;
+      const Dist w = c.SameTreeDistance(s, t);
+      if (w == kInfDist) return Status::Ok();
+      out->weight = w;
+      std::vector<Vertex> down;
+      Vertex a = s;
+      Vertex b = t;
+      while (c.depth_[a] > c.depth_[b]) {
+        out->vertices.push_back(a);
+        a = c.parent_[a];
+      }
+      while (c.depth_[b] > c.depth_[a]) {
+        down.push_back(b);
+        b = c.parent_[b];
+      }
+      while (a != b) {
+        out->vertices.push_back(a);
+        a = c.parent_[a];
+        down.push_back(b);
+        b = c.parent_[b];
+      }
+      out->vertices.push_back(a);
+      out->vertices.insert(out->vertices.end(), down.rbegin(), down.rend());
+      return Status::Ok();
+    }
+    const Dist up = contraction_->DistToRoot(s);
+    const Dist down = contraction_->DistFromRoot(t);
+    if (up == kInfDist || down == kInfDist) return Status::Ok();
+    const Dist core_d = CoreQuery(root_s, root_t);
+    if (core_d == kInfDist) return Status::Ok();
+    const Dist total = AddDist(AddDist(up, core_d), down);
+    std::vector<Vertex> core_path;
+    if (Status st = CoreRoute(root_s, root_t, &core_path); !st.ok()) {
+      return st;
+    }
+    return ExpandRoute(s, t, total, core_path, out);
+  }
+  const Dist d = CoreQuery(s, t);
+  if (d == kInfDist) return Status::Ok();
+  std::vector<Vertex> core_path;
+  if (Status st = CoreRoute(s, t, &core_path); !st.ok()) return st;
+  return ExpandRoute(s, t, d, core_path, out);
+}
+
+Status DirectedHc2lIndex::Routes(Vertex s, Vertex t, size_t k,
+                                 std::vector<RoutePath>* out) const {
+  out->clear();
+  if (k == 0) return Status::Ok();
+  RoutePath first;
+  if (Status st = Route(s, t, &first); !st.ok()) return st;
+  if (first.vertices.empty()) return Status::Ok();  // unreachable pair
+  out->push_back(std::move(first));
+  if (out->size() >= k || s == t) return Status::Ok();
+
+  Vertex cs = s;
+  Vertex ct = t;
+  Dist offset = 0;
+  if (contraction_ != nullptr) {
+    cs = contraction_->RootCoreId(s);
+    ct = contraction_->RootCoreId(t);
+    // One pendant tree admits exactly one simple path.
+    if (cs == ct) return Status::Ok();
+    offset = AddDist(contraction_->DistToRoot(s),
+                     contraction_->DistFromRoot(t));
+  }
+
+  const uint32_t level = hierarchy_.LcaLevel(cs, ct);
+  const uint32_t s_idx = out_labels_.base[cs] + level;
+  const uint32_t t_idx = in_labels_.base[ct] + level;
+  const uint32_t* ds =
+      out_labels_.arena.data() + out_labels_.level_start[s_idx];
+  const uint32_t* dt = in_labels_.arena.data() + in_labels_.level_start[t_idx];
+  int32_t node = static_cast<int32_t>(hierarchy_.NodeOf(cs));
+  while (TreeCodeDepth(hierarchy_.Node(node).code) > level) {
+    node = hierarchy_.Node(node).parent;
+    if (node < 0) {
+      return Status::Internal("LCA climb fell off the hierarchy root");
+    }
+  }
+  const std::vector<Vertex>& cut = hierarchy_.Node(node).cut;
+  uint32_t len =
+      std::min(out_labels_.level_len[s_idx], in_labels_.level_len[t_idx]);
+  len = std::min(len, static_cast<uint32_t>(cut.size()));
+  std::vector<std::pair<uint64_t, uint32_t>> candidates;
+  for (uint32_t i = 0; i < len; ++i) {
+    if (ds[i] == kUnreachableLabel || dt[i] == kUnreachableLabel) continue;
+    candidates.emplace_back(uint64_t{ds[i]} + dt[i], i);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  std::unordered_set<Vertex> used((*out)[0].vertices.begin(),
+                                  (*out)[0].vertices.end());
+  for (const auto& [sum, i] : candidates) {
+    if (out->size() >= k) break;
+    const Vertex hub = cut[i];
+    const Vertex hub_orig =
+        contraction_ != nullptr ? contraction_->OriginalId(hub) : hub;
+    if (used.count(hub_orig) != 0) continue;
+    std::vector<Vertex> core_path;
+    std::vector<Vertex> second;
+    if (Status st = CoreRoute(cs, hub, &core_path); !st.ok()) return st;
+    if (Status st = CoreRoute(hub, ct, &second); !st.ok()) return st;
+    core_path.insert(core_path.end(), second.begin() + 1, second.end());
+    std::unordered_set<Vertex> on_path;
+    bool simple = true;
+    for (const Vertex v : core_path) {
+      if (!on_path.insert(v).second) {
+        simple = false;
+        break;
+      }
+    }
+    if (!simple) continue;
+    RoutePath alt;
+    if (Status st = ExpandRoute(s, t, AddDist(offset, sum), core_path, &alt);
+        !st.ok()) {
+      return st;
+    }
+    bool dup = false;
+    for (const RoutePath& r : *out) {
+      if (r.vertices == alt.vertices) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    for (const Vertex v : alt.vertices) used.insert(v);
+    out->push_back(std::move(alt));
+  }
+  return Status::Ok();
+}
+
 // Directed format 1 ("HC2D0001", src/core/index_format.h): vertex count,
 // height, hierarchy, out- and in-label stores. Format 2 ("HC2D0002")
 // prepends the degree-one contraction mapping (sizes first, then the
-// per-vertex arrays) before the hierarchy. Uncontracted indexes keep
-// writing format 1 so pre-contraction readers still load them; Load accepts
-// both.
+// per-vertex arrays) before the hierarchy. Format 3 ("HC2D0003") replaces
+// the magic-encoded contraction split with an explicit uint8 marker, keeps
+// the same body, and appends the out- and in-hint stores; it is written
+// only for hint-carrying indexes, so hint-less files stay readable by
+// older builds. Load accepts all three.
 Status DirectedHc2lIndex::Save(const std::string& path) const {
   io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     return Status::Unavailable("cannot open " + path + " for writing");
   }
-  bool ok;
+  bool ok = true;
+  if (HasRouteHints()) {
+    const uint8_t has_contraction = contraction_ != nullptr ? 1 : 0;
+    ok = io::WriteValue(f.get(), kDirectedIndexMagicV3) &&
+         io::WriteValue(f.get(), has_contraction);
+  }
   if (contraction_ == nullptr) {
     const uint64_t num_vertices = NumVertices();
-    ok = io::WriteValue(f.get(), kDirectedIndexMagic) &&
+    ok = ok &&
+         (HasRouteHints() || io::WriteValue(f.get(), kDirectedIndexMagic)) &&
          io::WriteValue(f.get(), num_vertices) &&
          io::WriteValue(f.get(), height_);
   } else {
@@ -425,7 +905,8 @@ Status DirectedHc2lIndex::Save(const std::string& path) const {
     // core_id_ / to_original_ are derivable (a vertex is in the core iff
     // its depth is 0, and its core id is then its root id), so the format
     // does not carry them; Load reconstructs both.
-    ok = io::WriteValue(f.get(), kDirectedIndexMagicV2) &&
+    ok = ok &&
+         (HasRouteHints() || io::WriteValue(f.get(), kDirectedIndexMagicV2)) &&
          io::WriteValue(f.get(), num_vertices) &&
          io::WriteValue(f.get(), num_contracted) &&
          io::WriteValue(f.get(), height_) &&
@@ -440,6 +921,10 @@ Status DirectedHc2lIndex::Save(const std::string& path) const {
   ok = ok && hierarchy_.WriteTo(f.get()) &&
        io::WriteLabelStore(f.get(), out_labels_) &&
        io::WriteLabelStore(f.get(), in_labels_);
+  if (HasRouteHints()) {
+    ok = ok && io::WriteLabelStore(f.get(), out_hints_) &&
+         io::WriteLabelStore(f.get(), in_hints_);
+  }
   if (!ok) {
     return Status::Unavailable("write error on " + path);
   }
@@ -455,15 +940,25 @@ Result<DirectedHc2lIndex> DirectedHc2lIndex::Load(const std::string& path) {
   io::Reader* r = &reader;
   uint64_t magic = 0;
   if (!io::ReadValue(r, &magic) ||
-      (magic != kDirectedIndexMagic && magic != kDirectedIndexMagicV2)) {
+      (magic != kDirectedIndexMagic && magic != kDirectedIndexMagicV2 &&
+       magic != kDirectedIndexMagicV3)) {
     return Status::InvalidArgument("not a directed HC2L index file: " + path);
   }
+  const bool has_hints = magic == kDirectedIndexMagicV3;
   DirectedHc2lIndex index;
   uint64_t num_vertices = 0;
   uint64_t num_contracted = 0;
   uint32_t stored_height = 0;
-  bool ok = io::ReadValue(r, &num_vertices);
-  if (ok && magic == kDirectedIndexMagicV2) {
+  bool ok = true;
+  bool contracted_body = magic == kDirectedIndexMagicV2;
+  if (has_hints) {
+    // V3 carries an explicit marker instead of splitting by magic.
+    uint8_t has_contraction = 0;
+    ok = io::ReadValue(r, &has_contraction) && has_contraction <= 1;
+    contracted_body = has_contraction != 0;
+  }
+  ok = ok && io::ReadValue(r, &num_vertices);
+  if (ok && contracted_body) {
     index.contraction_ = std::unique_ptr<DirectedDegreeOneContraction>(
         new DirectedDegreeOneContraction());
     DirectedDegreeOneContraction& c = *index.contraction_;
@@ -483,6 +978,35 @@ Result<DirectedHc2lIndex> DirectedHc2lIndex::Load(const std::string& path) {
   ok = ok && index.hierarchy_.ReadFrom(r) &&
        io::ReadLabelStore(r, &index.out_labels_) &&
        io::ReadLabelStore(r, &index.in_labels_);
+  if (ok && has_hints) {
+    // Each hint store must mirror its label store's shape exactly (Route
+    // indexes both with the same offsets), and every true-length entry
+    // must be a core vertex id or the no-hint sentinel.
+    ok = io::ReadLabelStore(r, &index.out_hints_) &&
+         io::ReadLabelStore(r, &index.in_hints_) &&
+         index.out_hints_.base == index.out_labels_.base &&
+         index.out_hints_.level_start == index.out_labels_.level_start &&
+         index.out_hints_.level_len == index.out_labels_.level_len &&
+         index.in_hints_.base == index.in_labels_.base &&
+         index.in_hints_.level_start == index.in_labels_.level_start &&
+         index.in_hints_.level_len == index.in_labels_.level_len;
+    const size_t core = ok ? index.out_hints_.base.size() - 1 : 0;
+    const auto entries_in_range = [core](const LabelStore& hints) {
+      for (size_t v = 0; v < core; ++v) {
+        for (uint32_t a = hints.base[v]; a < hints.base[v + 1]; ++a) {
+          const uint32_t start = hints.level_start[a];
+          const uint32_t len = hints.level_len[a];
+          for (uint32_t j = 0; j < len; ++j) {
+            const uint32_t e = hints.arena.data()[start + j];
+            if (e != kInvalidVertex && e >= core) return false;
+          }
+        }
+      }
+      return true;
+    };
+    ok = ok && entries_in_range(index.out_hints_) &&
+         entries_in_range(index.in_hints_);
+  }
   // Same query-path hardening as the undirected Load (see hc2l.cc): code
   // tables must cover every core vertex and both directions must hold at
   // least depth+1 arrays per vertex; the stores' own structure was validated

@@ -28,6 +28,11 @@ struct DirectedHc2lOptions {
   /// answered through the contraction mapping. Disabling indexes the full
   /// digraph (ablation).
   bool contract_degree_one = true;
+  /// Record per-direction route hints next to the labels (out: first hop of
+  /// v -> hub; in: predecessor on hub -> v), enabling label-based path
+  /// unpacking (Route). Disabling keeps the legacy HC2D0001/HC2D0002 disk
+  /// formats; routes then need a graph-backed fallback unpacker.
+  bool route_hints = true;
   /// Construction threads (shared pool); queries stay single-threaded.
   uint32_t num_threads = 1;
 };
@@ -108,6 +113,25 @@ class DirectedHc2lIndex {
   /// Number of vertices of the indexed digraph (before contraction).
   size_t NumVertices() const { return num_vertices_; }
 
+  /// True when the index carries route hints (built with route_hints, or
+  /// loaded from an HC2D0003 file) and can unpack paths without a digraph.
+  bool HasRouteHints() const { return !out_hints_.base.empty(); }
+
+  /// Reconstructs one shortest directed path s -> t: out->vertices holds the
+  /// full original-id sequence (s first, t last; the single vertex for
+  /// s == t; empty when t is unreachable from s) and out->weight the path
+  /// weight, always equal to Query(s, t). Every consecutive pair is a real
+  /// arc of the digraph, traversed in its direction. Errors:
+  /// kFailedPrecondition (no route hints), kInternal (corrupt hint store).
+  Status Route(Vertex s, Vertex t, RoutePath* out) const;
+
+  /// Up to k alternative directed routes s -> t, sorted ascending by weight;
+  /// the first is Route's shortest path. Alternatives route via the other
+  /// separator hubs of the pair's LCA level, deduped plateaux-style. Error
+  /// contract as Route.
+  Status Routes(Vertex s, Vertex t, size_t k,
+                std::vector<RoutePath>* out) const;
+
   /// Vertices surviving into the labelled core (== NumVertices() without
   /// contraction).
   size_t NumCoreVertices() const { return out_labels_.base.size() - 1; }
@@ -129,15 +153,17 @@ class DirectedHc2lIndex {
   /// Resident label storage in bytes (aligned arenas + offset tables).
   size_t LabelSizeBytes() const;
 
-  /// Serializes the index (hierarchy + both label stores). Indexes without
-  /// contraction write the original HC2D0001 layout (readable by
-  /// pre-contraction builds); contracted indexes write HC2D0002, which
-  /// prepends the contraction mapping.
+  /// Serializes the index (hierarchy + both label stores). Hint-less
+  /// indexes keep the legacy layouts — HC2D0001 without contraction
+  /// (readable by pre-contraction builds), HC2D0002 with it — while
+  /// hint-carrying indexes write HC2D0003 (an explicit has-contraction
+  /// marker, the legacy body, then the out- and in-hint stores).
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save() — either HC2D0001 or
-  /// HC2D0002. Errors: kNotFound (cannot open), kInvalidArgument (not a
-  /// directed HC2L file), kDataLoss (truncated or corrupt).
+  /// Loads an index previously written by Save() — HC2D0001, HC2D0002 or
+  /// HC2D0003 (the latter restores route hints). Errors: kNotFound (cannot
+  /// open), kInvalidArgument (not a directed HC2L file), kDataLoss
+  /// (truncated or corrupt).
   static Result<DirectedHc2lIndex> Load(const std::string& path);
 
  private:
@@ -146,6 +172,16 @@ class DirectedHc2lIndex {
 
   /// Query over core ids (labels + hierarchy only).
   Dist CoreQuery(Vertex s, Vertex t) const;
+
+  /// Hint-store walk over core ids: the full core-id shortest directed path
+  /// cs..ct (inclusive; cleared first) into *out. Requires HasRouteHints().
+  Status CoreRoute(Vertex cs, Vertex ct, std::vector<Vertex>* out) const;
+
+  /// Maps a core-id path back to original ids and splices s's upward and
+  /// t's downward pendant chains around it (`weight` is the known total).
+  Status ExpandRoute(Vertex s, Vertex t, Dist weight,
+                     const std::vector<Vertex>& core_path,
+                     RoutePath* out) const;
 
   /// Original vertex count (the core count plus contracted pendants).
   uint64_t num_vertices_ = 0;
@@ -161,6 +197,13 @@ class DirectedHc2lIndex {
   // ids.
   LabelStore out_labels_;
   LabelStore in_labels_;
+  // Per-direction route hints, shaped exactly like the matching label store
+  // (same offset tables): out entry (v, level, i) is the first core hop of
+  // a shortest v -> hub_i path, in entry the predecessor of v on a shortest
+  // hub_i -> v path (kInvalidVertex for the hub itself or an unreachable
+  // hub). Empty when the index is hint-less.
+  LabelStore out_hints_;
+  LabelStore in_hints_;
 };
 
 }  // namespace hc2l

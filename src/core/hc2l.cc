@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "common/binary_io.h"
 #include "common/check.h"
@@ -63,6 +64,132 @@ bool SameGraph(const Graph& a, const Graph& b) {
   return true;
 }
 
+// --- Route-hint machinery (OSRM-style provenance, recorded at build time
+// so query-time unpacking is pure array walking). Every arc of every
+// subgraph of the recursion carries an *annotation*: the first real
+// core-graph hop (a global core vertex id) of the shortest core path the
+// arc stands for. A real arc's annotation is its own endpoint; a shortcut
+// arc inherits the annotation of the parent-side witness arc starting its
+// through-the-cut path. The label hint of (vertex, hub) is then the
+// annotation of the first witness arc of the hub's Dijkstra — by
+// induction, the first hop of a real shortest core path toward the hub.
+
+/// Per-subgraph arc-offset prefix array: arc j of Neighbors(v) is entry
+/// arc_base[v] + j of the annotation vector (the graphs do not expose
+/// their CSR offsets).
+std::vector<size_t> ArcBases(const Graph& g) {
+  const size_t n = g.NumVertices();
+  std::vector<size_t> base(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    base[v + 1] = base[v] + g.Neighbors(v).size();
+  }
+  return base;
+}
+
+/// Root annotations over the core graph itself: every arc is a real core
+/// edge, so its first hop is its own head.
+std::vector<Vertex> RootAnnotations(const Graph& core) {
+  std::vector<Vertex> ann;
+  ann.reserve(core.NumArcs());
+  const size_t n = core.NumVertices();
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Arc& a : core.Neighbors(v)) ann.push_back(a.to);
+  }
+  return ann;
+}
+
+/// Annotation of the first witness arc out of `v` under the distance field
+/// `dist` (a shortest-path tree rooted elsewhere): the first CSR arc with
+/// w + dist[head] == dist[v]. kInvalidVertex when v is the root itself,
+/// unreachable, or (corrupt inputs) no witness exists.
+Vertex WitnessAnnotation(const Graph& g, const std::vector<Vertex>& ann,
+                         const std::vector<size_t>& arc_base, Vertex v,
+                         const std::vector<Dist>& dist) {
+  const Dist dv = dist[v];
+  if (dv == 0 || dv == kInfDist) return kInvalidVertex;
+  const std::span<const Arc> arcs = g.Neighbors(v);
+  for (size_t j = 0; j < arcs.size(); ++j) {
+    const Arc& a = arcs[j];
+    if (dist[a.to] != kInfDist && dist[a.to] + a.weight == dv) {
+      return ann[arc_base[v] + j];
+    }
+  }
+  return kInvalidVertex;
+}
+
+/// Derives a child subgraph's per-arc annotations from its parent's. A real
+/// child arc copies the parent arc's annotation; a shortcut arc resolves to
+/// the witness annotation of its through-the-cut path (first cut vertex in
+/// rank order realizing the shortcut weight — the same deterministic choice
+/// on every rebuild). Shortcut weights are strictly below any parent path
+/// for the pair and builders collapse parallel edges to minimum weight, so
+/// the pair lookup is unambiguous.
+std::vector<Vertex> DeriveChildAnnotations(
+    const Graph& parent, const std::vector<Vertex>& parent_ann,
+    const std::vector<size_t>& parent_arc_base,
+    const std::vector<Edge>& shortcuts,
+    const std::vector<std::vector<Dist>>& dist_from_cut,
+    const Graph& child_graph, const std::vector<Vertex>& to_parent) {
+  struct ShortcutAnn {
+    uint64_t key;  // (min parent id) << 32 | max parent id
+    Vertex from_lo = kInvalidVertex;
+    Vertex from_hi = kInvalidVertex;
+  };
+  std::vector<ShortcutAnn> sc_ann;
+  sc_ann.reserve(shortcuts.size());
+  for (const Edge& e : shortcuts) {
+    ShortcutAnn entry;
+    const Vertex lo = std::min(e.u, e.v);
+    const Vertex hi = std::max(e.u, e.v);
+    entry.key = (static_cast<uint64_t>(lo) << 32) | hi;
+    for (const std::vector<Dist>& dist : dist_from_cut) {
+      if (AddDist(dist[e.u], dist[e.v]) != e.weight) continue;
+      entry.from_lo =
+          WitnessAnnotation(parent, parent_ann, parent_arc_base, lo, dist);
+      entry.from_hi =
+          WitnessAnnotation(parent, parent_ann, parent_arc_base, hi, dist);
+      break;
+    }
+    sc_ann.push_back(entry);
+  }
+  std::sort(sc_ann.begin(), sc_ann.end(),
+            [](const ShortcutAnn& a, const ShortcutAnn& b) {
+              return a.key < b.key;
+            });
+
+  std::vector<Vertex> ann;
+  ann.reserve(child_graph.NumArcs());
+  const size_t n = child_graph.NumVertices();
+  for (Vertex cv = 0; cv < n; ++cv) {
+    const Vertex pu = to_parent[cv];
+    for (const Arc& a : child_graph.Neighbors(cv)) {
+      const Vertex pv = to_parent[a.to];
+      const Vertex lo = std::min(pu, pv);
+      const Vertex hi = std::max(pu, pv);
+      const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+      const auto it = std::lower_bound(
+          sc_ann.begin(), sc_ann.end(), key,
+          [](const ShortcutAnn& s, uint64_t k) { return s.key < k; });
+      if (it != sc_ann.end() && it->key == key) {
+        ann.push_back(pu == lo ? it->from_lo : it->from_hi);
+        continue;
+      }
+      // A real arc: copy the parent arc's annotation (one arc per pair —
+      // the builders collapse parallel edges).
+      const std::span<const Arc> parcs = parent.Neighbors(pu);
+      Vertex copied = kInvalidVertex;
+      for (size_t j = 0; j < parcs.size(); ++j) {
+        if (parcs[j].to == pv) {
+          copied = parent_ann[parent_arc_base[pu] + j];
+          break;
+        }
+      }
+      ann.push_back(copied);
+    }
+  }
+  return ann;
+}
+
 }  // namespace
 
 /// Recursive construction of the balanced tree hierarchy and the tail-pruned
@@ -76,12 +203,19 @@ class Hc2lBuilder {
     hierarchy_.vertex_code_.assign(n, kRootCode);
     label_data_.resize(n);
     label_lens_.resize(n);
+    if (options_.route_hints) {
+      hint_data_.resize(n);
+      hint_lens_.resize(n);
+    }
 
     std::vector<Vertex> identity(n);
     for (Vertex v = 0; v < n; ++v) identity[v] = v;
     const int32_t root = NewNode(kRootCode, -1);
     Graph root_copy = core;  // recursion consumes its subgraph
-    BuildNode(std::move(root_copy), std::move(identity), root, kRootCode);
+    std::vector<Vertex> root_ann =
+        options_.route_hints ? RootAnnotations(core) : std::vector<Vertex>{};
+    BuildNode(std::move(root_copy), std::move(identity), std::move(root_ann),
+              root, kRootCode);
   }
 
   /// Moves results into the index.
@@ -91,6 +225,9 @@ class Hc2lBuilder {
     for (size_t v = 0; v < n; ++v) total_entries += label_data_[v].size();
     index->hierarchy_ = std::move(hierarchy_);
     index->labels_.BuildFrom(&label_data_, &label_lens_);
+    if (options_.route_hints) {
+      index->hints_.BuildFrom(&hint_data_, &hint_lens_);
+    }
 
     index->stats_.num_tree_nodes = index->hierarchy_.NumNodes();
     index->stats_.tree_height = index->hierarchy_.Height();
@@ -123,6 +260,7 @@ class Hc2lBuilder {
   std::vector<std::vector<Dist>> LabelCutSet(const Graph& sub,
                                              std::vector<Vertex>* cut,
                                              const std::vector<Vertex>& to_global,
+                                             const std::vector<Vertex>& ann,
                                              int32_t node_idx, TreeCode code) {
     const size_t n = sub.NumVertices();
     const size_t m = cut->size();
@@ -132,6 +270,7 @@ class Hc2lBuilder {
       // array per subtree vertex so that label levels stay aligned.
       for (Vertex v = 0; v < n; ++v) {
         label_lens_[to_global[v]].push_back(0);
+        if (options_.route_hints) hint_lens_[to_global[v]].push_back(0);
       }
       return {};
     }
@@ -167,7 +306,11 @@ class Hc2lBuilder {
           results[i] = DistAndPrune(sub, (*cut)[i], mask);
         });
 
-    // Labels with tail pruning (Algorithm 5 lines 8-10).
+    // Labels with tail pruning (Algorithm 5 lines 8-10), plus — when the
+    // index records route hints — the annotation of the first witness arc
+    // toward each hub, stored in lockstep with the distance entries.
+    const std::vector<size_t> arc_base =
+        options_.route_hints ? ArcBases(sub) : std::vector<size_t>{};
     for (Vertex v = 0; v < n; ++v) {
       size_t k = 0;
       for (size_t i = 0; i < m; ++i) {
@@ -178,6 +321,14 @@ class Hc2lBuilder {
         data.push_back(EncodeLabelDistance(results[i].dist[v]));
       }
       label_lens_[to_global[v]].push_back(static_cast<uint32_t>(k + 1));
+      if (options_.route_hints) {
+        auto& hints = hint_data_[to_global[v]];
+        for (size_t i = 0; i <= k; ++i) {
+          hints.push_back(
+              WitnessAnnotation(sub, ann, arc_base, v, results[i].dist));
+        }
+        hint_lens_[to_global[v]].push_back(static_cast<uint32_t>(k + 1));
+      }
     }
 
     // Register cut vertices (global ids, rank order) with the node. The
@@ -203,8 +354,8 @@ class Hc2lBuilder {
     return dist_from_cut;
   }
 
-  void BuildNode(Graph sub, std::vector<Vertex> to_global, int32_t node_idx,
-                 TreeCode code) {
+  void BuildNode(Graph sub, std::vector<Vertex> to_global,
+                 std::vector<Vertex> ann, int32_t node_idx, TreeCode code) {
     const size_t n = sub.NumVertices();
     const uint32_t depth = TreeCodeDepth(code);
 
@@ -219,24 +370,28 @@ class Hc2lBuilder {
     if (is_leaf) {
       cut.resize(n);
       for (Vertex v = 0; v < n; ++v) cut[v] = v;
-      LabelCutSet(sub, &cut, to_global, node_idx, code);
+      LabelCutSet(sub, &cut, to_global, ann, node_idx, code);
       return;
     }
 
     cut = std::move(bc.cut);
     const std::vector<std::vector<Dist>> dist_from_cut =
-        LabelCutSet(sub, &cut, to_global, node_idx, code);
+        LabelCutSet(sub, &cut, to_global, ann, node_idx, code);
 
     // Prepare both child subgraphs (Algorithm 3 shortcuts keep each side
     // distance-preserving), then recurse — in parallel when the budget
-    // allows.
+    // allows. Child annotations must be derived here, while the parent
+    // subgraph and its cut distances are still alive.
     struct Child {
       Graph graph;
       std::vector<Vertex> to_global;
+      std::vector<Vertex> ann;
       int32_t node = -1;
       TreeCode code = kRootCode;
     };
     std::vector<Child> children;
+    const std::vector<size_t> arc_base =
+        options_.route_hints ? ArcBases(sub) : std::vector<size_t>{};
     const std::vector<Vertex>* parts[2] = {&bc.part_a, &bc.part_b};
     for (int side = 0; side < 2; ++side) {
       const std::vector<Vertex>& part = *parts[side];
@@ -246,6 +401,12 @@ class Hc2lBuilder {
                                 std::memory_order_relaxed);
       Subgraph child_sub = InducedSubgraph(sub, part, sc.shortcuts);
       Child child;
+      if (options_.route_hints) {
+        child.ann =
+            DeriveChildAnnotations(sub, ann, arc_base, sc.shortcuts,
+                                   dist_from_cut, child_sub.graph,
+                                   child_sub.to_parent);
+      }
       child.graph = std::move(child_sub.graph);
       child.to_global.reserve(part.size());
       for (Vertex v : child_sub.to_parent) {
@@ -265,6 +426,8 @@ class Hc2lBuilder {
     sub = Graph();
     to_global.clear();
     to_global.shrink_to_fit();
+    ann.clear();
+    ann.shrink_to_fit();
 
     if (children.size() == 2 && pool_.NumThreads() > 1) {
       // Hand the left subtree to the pool and recurse into the right one
@@ -272,15 +435,16 @@ class Hc2lBuilder {
       auto left = std::make_shared<Child>(std::move(children[0]));
       const ThreadPool::TaskHandle task = pool_.Submit([this, left]() {
         BuildNode(std::move(left->graph), std::move(left->to_global),
-                  left->node, left->code);
+                  std::move(left->ann), left->node, left->code);
       });
       BuildNode(std::move(children[1].graph), std::move(children[1].to_global),
-                children[1].node, children[1].code);
+                std::move(children[1].ann), children[1].node,
+                children[1].code);
       pool_.Wait(task);
     } else {
       for (Child& child : children) {
         BuildNode(std::move(child.graph), std::move(child.to_global),
-                  child.node, child.code);
+                  std::move(child.ann), child.node, child.code);
       }
     }
   }
@@ -293,6 +457,10 @@ class Hc2lBuilder {
   // Per-core-vertex label accumulators: concatenated level arrays + lengths.
   std::vector<std::vector<uint32_t>> label_data_;
   std::vector<std::vector<uint32_t>> label_lens_;
+  // Route-hint accumulators, in lockstep with the label ones (empty unless
+  // options_.route_hints).
+  std::vector<std::vector<uint32_t>> hint_data_;
+  std::vector<std::vector<uint32_t>> hint_lens_;
 };
 
 Hc2lIndex Hc2lIndex::Build(const Graph& g, const Hc2lOptions& options) {
@@ -456,9 +624,15 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
   auto& nodes = hierarchy_.nodes_;
   if (!scoped) repair_cache_.assign(nodes.size(), NodeRepairCache{});
 
-  // Fresh label accumulators.
+  // Fresh label accumulators. A hint-carrying index recomputes its route
+  // hints in the same walk (RepairLabels must keep them consistent); a
+  // hint-less index stays hint-less, keeping repair bit-identical to a
+  // rebuild in both modes.
+  const bool hints = HasRouteHints();
   std::vector<std::vector<uint32_t>> label_data(n);
   std::vector<std::vector<uint32_t>> label_lens(n);
+  std::vector<std::vector<uint32_t>> hint_data(hints ? n : 0);
+  std::vector<std::vector<uint32_t>> hint_lens(hints ? n : 0);
   uint64_t shortcut_count = 0;
   std::atomic<bool> overflow{false};
 
@@ -491,6 +665,7 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
   struct Frame {
     Graph sub;
     std::vector<Vertex> to_global;
+    std::vector<Vertex> ann;  // per-arc route annotations (hint mode only)
     int32_t node;
   };
   struct FrameOut {
@@ -504,7 +679,9 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
   {
     std::vector<Vertex> identity(n);
     for (Vertex v = 0; v < n; ++v) identity[v] = v;
-    level.push_back({core, std::move(identity), 0});
+    std::vector<Vertex> root_ann =
+        hints ? RootAnnotations(core) : std::vector<Vertex>{};
+    level.push_back({core, std::move(identity), std::move(root_ann), 0});
   }
   std::vector<Vertex> global_to_child(n, kInvalidVertex);
   const auto process_node = [&](Frame frame, FrameOut* out) {
@@ -585,9 +762,12 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
         mask[cut_child[i]] = 1;
       }
     }
+    const std::vector<size_t> arc_base =
+        hints ? ArcBases(frame.sub) : std::vector<size_t>{};
     if (m == 0) {
       for (Vertex v = 0; v < sub_n; ++v) {
         label_lens[frame.to_global[v]].push_back(0);
+        if (hints) hint_lens[frame.to_global[v]].push_back(0);
       }
     } else {
       for (Vertex v = 0; v < sub_n; ++v) {
@@ -603,6 +783,15 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
         label_lens[frame.to_global[v]].push_back(
             static_cast<uint32_t>(k + 1));
         out->recomputed += k + 1;
+        if (hints) {
+          auto& hdata = hint_data[frame.to_global[v]];
+          for (size_t i = 0; i <= k; ++i) {
+            hdata.push_back(WitnessAnnotation(frame.sub, frame.ann, arc_base,
+                                              v, results[i].dist));
+          }
+          hint_lens[frame.to_global[v]].push_back(
+              static_cast<uint32_t>(k + 1));
+        }
       }
     }
 
@@ -627,15 +816,27 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
       for (Vertex v : child_sub.to_parent) {
         child_to_global.push_back(frame.to_global[v]);
       }
+      std::vector<Vertex> child_ann;
+      if (hints) {
+        child_ann = DeriveChildAnnotations(frame.sub, frame.ann, arc_base,
+                                           sc.shortcuts, dist_from_cut,
+                                           child_sub.graph,
+                                           child_sub.to_parent);
+      }
 
       NodeRepairCache& cache = repair_cache_[child];
+      // A byte-identical child subgraph does NOT imply identical hints:
+      // ancestor weight changes can switch which equal-distance witness the
+      // annotations picked, so hint mode also compares the annotations.
       if (scoped && child_to_global == cache.to_global &&
-          SameGraph(child_sub.graph, cache.sub)) {
+          SameGraph(child_sub.graph, cache.sub) &&
+          (!hints || child_ann == cache.ann)) {
         // Clean subtree: identical inputs reproduce identical labels, so
         // every descendant level array is spliced verbatim out of the
         // current store instead of recursing. The cache entry stays valid.
         const uint32_t child_depth = TreeCodeDepth(nodes[child].code);
         const uint32_t* arena = labels_.arena.data();
+        const uint32_t* hint_arena = hints ? hints_.arena.data() : nullptr;
         for (const Vertex gv : child_to_global) {
           const uint32_t base = labels_.base[gv];
           const uint32_t arrays = labels_.base[gv + 1] - base;
@@ -646,6 +847,13 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
             data.insert(data.end(), arena + start, arena + start + len);
             label_lens[gv].push_back(len);
             out->reused += len;
+            if (hints) {
+              // The hint store shares the label store's offset tables.
+              auto& hdata = hint_data[gv];
+              hdata.insert(hdata.end(), hint_arena + start,
+                           hint_arena + start + len);
+              hint_lens[gv].push_back(len);
+            }
           }
         }
         out->clean_subtrees.push_back(child);
@@ -653,9 +861,11 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
       }
       cache.sub = child_sub.graph;
       cache.to_global = child_to_global;
+      cache.ann = child_ann;
       cache.shortcuts_into = sc.shortcuts.size();
-      out->children.push_back(
-          {std::move(child_sub.graph), std::move(child_to_global), child});
+      out->children.push_back({std::move(child_sub.graph),
+                               std::move(child_to_global),
+                               std::move(child_ann), child});
     }
   };
   std::vector<int32_t> clean_roots;
@@ -714,6 +924,7 @@ Status Hc2lIndex::RelabelWalk(const Graph& core, bool scoped,
   uint64_t total_entries = 0;
   for (size_t v = 0; v < n; ++v) total_entries += label_data[v].size();
   labels_.BuildFrom(&label_data, &label_lens);
+  if (hints) hints_.BuildFrom(&hint_data, &hint_lens);
 
   stats_.num_shortcuts = shortcut_count;
   stats_.label_entries = total_entries;
@@ -749,6 +960,14 @@ Hc2lIndex Hc2lIndex::Clone() const {
   out.labels_.arena.Reset(labels_.arena.size());
   std::memcpy(out.labels_.arena.data(), labels_.arena.data(),
               labels_.arena.SizeBytes());
+  if (HasRouteHints()) {
+    out.hints_.base = hints_.base;
+    out.hints_.level_start = hints_.level_start;
+    out.hints_.level_len = hints_.level_len;
+    out.hints_.arena.Reset(hints_.arena.size());
+    std::memcpy(out.hints_.arena.data(), hints_.arena.data(),
+                hints_.arena.SizeBytes());
+  }
   out.repair_cache_ = repair_cache_;
   out.repair_cache_tail_pruning_ = repair_cache_tail_pruning_;
   out.repair_stats_ = repair_stats_;
@@ -803,7 +1022,14 @@ bool Hc2lIndex::IdenticalTo(const Hc2lIndex& other) const {
          labels_.level_len == other.labels_.level_len &&
          labels_.arena.size() == other.labels_.arena.size() &&
          std::memcmp(labels_.arena.data(), other.labels_.arena.data(),
-                     labels_.arena.SizeBytes()) == 0;
+                     labels_.arena.SizeBytes()) == 0 &&
+         hints_.base == other.hints_.base &&
+         hints_.level_start == other.hints_.level_start &&
+         hints_.level_len == other.hints_.level_len &&
+         hints_.arena.size() == other.hints_.arena.size() &&
+         (hints_.arena.size() == 0 ||
+          std::memcmp(hints_.arena.data(), other.hints_.arena.data(),
+                      hints_.arena.SizeBytes()) == 0);
 }
 
 size_t Hc2lIndex::LabelSizeBytes() const { return labels_.ResidentBytes(); }
@@ -939,17 +1165,275 @@ std::vector<std::pair<Dist, Vertex>> Hc2lIndex::KNearest(
   return SelectKNearest(dists, candidates, k);
 }
 
+// --- Route unpacking. CoreRoute walks the hint store from both ends: the
+// argmin hub of the pair's LCA level pins a shortest path through one cut
+// vertex, and the stored first-hop hints advance whichever endpoint is not
+// the hub itself. Every emitted hop is a real core edge (the annotations
+// propagate first *real* hops through shortcuts), so the walk needs no
+// graph and does O(path length) label scans.
+
+Status Hc2lIndex::CoreRoute(Vertex cs, Vertex ct,
+                            std::vector<Vertex>* out) const {
+  out->clear();
+  const size_t core_n = labels_.base.size() - 1;
+  std::vector<Vertex> back;  // suffix toward ct, collected in reverse
+  Vertex s = cs;
+  Vertex t = ct;
+  out->push_back(s);
+  size_t steps = 0;
+  while (s != t) {
+    // Each iteration advances one hop along a shortest (hence simple) path,
+    // so exceeding the vertex count proves the hints are inconsistent.
+    if (++steps > core_n + 1) {
+      return Status::Internal(
+          "route unpacking exceeded the path-length bound (inconsistent "
+          "hint store)");
+    }
+    const uint32_t level = hierarchy_.LcaLevel(s, t);
+    const uint32_t s_idx = labels_.base[s] + level;
+    const uint32_t t_idx = labels_.base[t] + level;
+    const uint32_t* ds = labels_.arena.data() + labels_.level_start[s_idx];
+    const uint32_t* dt = labels_.arena.data() + labels_.level_start[t_idx];
+    const uint32_t len =
+        std::min(labels_.level_len[s_idx], labels_.level_len[t_idx]);
+    uint64_t best = UINT64_MAX;
+    uint32_t best_i = UINT32_MAX;
+    for (uint32_t i = 0; i < len; ++i) {
+      if (ds[i] == kUnreachableLabel || dt[i] == kUnreachableLabel) continue;
+      const uint64_t sum = uint64_t{ds[i]} + dt[i];
+      if (sum < best) {
+        best = sum;
+        best_i = i;
+      }
+    }
+    if (best_i == UINT32_MAX) {
+      return Status::Internal(
+          "route unpacking found no common hub for a reachable pair");
+    }
+    if (ds[best_i] > 0) {
+      // Step the source end toward the hub.
+      const Vertex hint =
+          hints_.arena.data()[hints_.level_start[s_idx] + best_i];
+      if (hint >= core_n) {
+        return Status::Internal("route hint out of range");
+      }
+      s = hint;
+      out->push_back(s);
+    } else {
+      // s *is* the hub; step the target end toward it instead. dt > 0 here
+      // (both zero would mean s == t).
+      const Vertex hint =
+          hints_.arena.data()[hints_.level_start[t_idx] + best_i];
+      if (hint >= core_n) {
+        return Status::Internal("route hint out of range");
+      }
+      back.push_back(t);
+      t = hint;
+    }
+  }
+  out->insert(out->end(), back.rbegin(), back.rend());
+  return Status::Ok();
+}
+
+Status Hc2lIndex::ExpandRoute(Vertex s, Vertex t, Dist weight,
+                              const std::vector<Vertex>& core_path,
+                              RoutePath* out) const {
+  out->vertices.clear();
+  out->weight = weight;
+  if (core_path.empty()) {
+    return Status::Internal("empty core path for a reachable pair");
+  }
+  if (contraction_ == nullptr) {
+    out->vertices = core_path;
+    return Status::Ok();
+  }
+  // s's pendant chain down to (excluding) its root, the core path mapped to
+  // original ids, then t's chain reversed back up from its root.
+  const DegreeOneContraction& c = *contraction_;
+  for (Vertex v = s; c.depth_[v] > 0; v = c.parent_[v]) {
+    out->vertices.push_back(v);
+  }
+  for (const Vertex cv : core_path) {
+    out->vertices.push_back(c.to_original_[cv]);
+  }
+  std::vector<Vertex> tail;
+  for (Vertex v = t; c.depth_[v] > 0; v = c.parent_[v]) {
+    tail.push_back(v);
+  }
+  out->vertices.insert(out->vertices.end(), tail.rbegin(), tail.rend());
+  return Status::Ok();
+}
+
+Status Hc2lIndex::Route(Vertex s, Vertex t, RoutePath* out) const {
+  HC2L_CHECK_LT(s, stats_.num_vertices);
+  HC2L_CHECK_LT(t, stats_.num_vertices);
+  out->vertices.clear();
+  out->weight = kInfDist;
+  if (s == t) {
+    out->vertices.push_back(s);
+    out->weight = 0;
+    return Status::Ok();
+  }
+  if (!HasRouteHints()) {
+    return Status::FailedPrecondition(
+        "index carries no route hints (built with route_hints = false, or "
+        "loaded from a distance-only HC2L0002 file); routes need a "
+        "graph-backed fallback unpacker");
+  }
+  if (contraction_ != nullptr) {
+    const Vertex root_s = contraction_->RootCoreId(s);
+    const Vertex root_t = contraction_->RootCoreId(t);
+    if (root_s == root_t) {
+      // Same pendant tree: the unique simple path climbs both sides to the
+      // in-tree LCA (always reachable — the tree is connected).
+      const DegreeOneContraction& c = *contraction_;
+      out->weight = c.SameTreeDistance(s, t);
+      std::vector<Vertex> down;
+      Vertex a = s;
+      Vertex b = t;
+      while (c.depth_[a] > c.depth_[b]) {
+        out->vertices.push_back(a);
+        a = c.parent_[a];
+      }
+      while (c.depth_[b] > c.depth_[a]) {
+        down.push_back(b);
+        b = c.parent_[b];
+      }
+      while (a != b) {
+        out->vertices.push_back(a);
+        a = c.parent_[a];
+        down.push_back(b);
+        b = c.parent_[b];
+      }
+      out->vertices.push_back(a);
+      out->vertices.insert(out->vertices.end(), down.rbegin(), down.rend());
+      return Status::Ok();
+    }
+    const Dist core_d = CoreQuery(root_s, root_t, nullptr);
+    if (core_d == kInfDist) return Status::Ok();
+    const Dist total = AddDist(AddDist(contraction_->DistToRoot(s), core_d),
+                               contraction_->DistToRoot(t));
+    std::vector<Vertex> core_path;
+    if (Status st = CoreRoute(root_s, root_t, &core_path); !st.ok()) {
+      return st;
+    }
+    return ExpandRoute(s, t, total, core_path, out);
+  }
+  const Dist d = CoreQuery(s, t, nullptr);
+  if (d == kInfDist) return Status::Ok();
+  std::vector<Vertex> core_path;
+  if (Status st = CoreRoute(s, t, &core_path); !st.ok()) return st;
+  return ExpandRoute(s, t, d, core_path, out);
+}
+
+Status Hc2lIndex::Routes(Vertex s, Vertex t, size_t k,
+                         std::vector<RoutePath>* out) const {
+  out->clear();
+  if (k == 0) return Status::Ok();
+  RoutePath first;
+  if (Status st = Route(s, t, &first); !st.ok()) return st;
+  if (first.vertices.empty()) return Status::Ok();  // unreachable pair
+  out->push_back(std::move(first));
+  if (out->size() >= k || s == t) return Status::Ok();
+
+  Vertex cs = s;
+  Vertex ct = t;
+  Dist offset = 0;
+  if (contraction_ != nullptr) {
+    cs = contraction_->RootCoreId(s);
+    ct = contraction_->RootCoreId(t);
+    // One pendant tree admits exactly one simple path.
+    if (cs == ct) return Status::Ok();
+    offset =
+        AddDist(contraction_->DistToRoot(s), contraction_->DistToRoot(t));
+  }
+
+  // Alternative candidates are the other separator hubs of the pair's LCA
+  // level: routing via hub i costs ds[i] + dt[i] (>= the optimum), and the
+  // cut of the LCA node lists the hubs in exactly the label entries' rank
+  // order.
+  const uint32_t level = hierarchy_.LcaLevel(cs, ct);
+  const uint32_t s_idx = labels_.base[cs] + level;
+  const uint32_t t_idx = labels_.base[ct] + level;
+  const uint32_t* ds = labels_.arena.data() + labels_.level_start[s_idx];
+  const uint32_t* dt = labels_.arena.data() + labels_.level_start[t_idx];
+  int32_t node = static_cast<int32_t>(hierarchy_.NodeOf(cs));
+  while (TreeCodeDepth(hierarchy_.Node(node).code) > level) {
+    node = hierarchy_.Node(node).parent;
+    if (node < 0) {
+      return Status::Internal("LCA climb fell off the hierarchy root");
+    }
+  }
+  const std::vector<Vertex>& cut = hierarchy_.Node(node).cut;
+  uint32_t len =
+      std::min(labels_.level_len[s_idx], labels_.level_len[t_idx]);
+  len = std::min(len, static_cast<uint32_t>(cut.size()));
+  std::vector<std::pair<uint64_t, uint32_t>> candidates;
+  for (uint32_t i = 0; i < len; ++i) {
+    if (ds[i] == kUnreachableLabel || dt[i] == kUnreachableLabel) continue;
+    candidates.emplace_back(uint64_t{ds[i]} + dt[i], i);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  std::unordered_set<Vertex> used((*out)[0].vertices.begin(),
+                                  (*out)[0].vertices.end());
+  for (const auto& [sum, i] : candidates) {
+    if (out->size() >= k) break;
+    const Vertex hub = cut[i];
+    const Vertex hub_orig =
+        contraction_ != nullptr ? contraction_->OriginalId(hub) : hub;
+    // Plateaux-style dedup: a via hub already on a selected route can only
+    // reproduce a path through it.
+    if (used.count(hub_orig) != 0) continue;
+    std::vector<Vertex> core_path;
+    std::vector<Vertex> second;
+    if (Status st = CoreRoute(cs, hub, &core_path); !st.ok()) return st;
+    if (Status st = CoreRoute(hub, ct, &second); !st.ok()) return st;
+    core_path.insert(core_path.end(), second.begin() + 1, second.end());
+    // The two legs may overlap; a non-simple detour is never a useful
+    // alternative.
+    std::unordered_set<Vertex> on_path;
+    bool simple = true;
+    for (const Vertex v : core_path) {
+      if (!on_path.insert(v).second) {
+        simple = false;
+        break;
+      }
+    }
+    if (!simple) continue;
+    RoutePath alt;
+    if (Status st = ExpandRoute(s, t, AddDist(offset, sum), core_path, &alt);
+        !st.ok()) {
+      return st;
+    }
+    bool dup = false;
+    for (const RoutePath& r : *out) {
+      if (r.vertices == alt.vertices) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    for (const Vertex v : alt.vertices) used.insert(v);
+    out->push_back(std::move(alt));
+  }
+  return Status::Ok();
+}
+
 // Format 2 (kHc2lIndexMagic, src/core/index_format.h): labels stored as the
 // cache-aligned arena (sentinel padding included) plus explicit per-array
 // start/length tables. The helpers live in common/binary_io.h, shared with
-// the directed index.
+// the directed index. A hint-carrying index appends the hint store and
+// switches the magic to format 3 (kHc2lIndexMagicV3); a hint-less index
+// keeps writing format 2 so files stay readable by older builds.
 Status Hc2lIndex::Save(const std::string& path) const {
   io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     return Status::Unavailable("cannot open " + path + " for writing");
   }
-  bool ok = io::WriteValue(f.get(), kHc2lIndexMagic) &&
-            io::WriteValue(f.get(), stats_);
+  const uint64_t magic =
+      HasRouteHints() ? kHc2lIndexMagicV3 : kHc2lIndexMagic;
+  bool ok = io::WriteValue(f.get(), magic) && io::WriteValue(f.get(), stats_);
   const uint8_t has_contraction = contraction_ != nullptr ? 1 : 0;
   ok = ok && io::WriteValue(f.get(), has_contraction);
   if (ok && has_contraction) {
@@ -966,6 +1450,9 @@ Status Hc2lIndex::Save(const std::string& path) const {
   }
   ok = ok && hierarchy_.WriteTo(f.get()) &&
        io::WriteLabelStore(f.get(), labels_);
+  if (HasRouteHints()) {
+    ok = ok && io::WriteLabelStore(f.get(), hints_);
+  }
   if (!ok) {
     return Status::Unavailable("write error on " + path);
   }
@@ -980,9 +1467,11 @@ Result<Hc2lIndex> Hc2lIndex::Load(const std::string& path) {
   io::Reader reader(f.get());
   io::Reader* r = &reader;
   uint64_t magic = 0;
-  if (!io::ReadValue(r, &magic) || magic != kHc2lIndexMagic) {
+  if (!io::ReadValue(r, &magic) ||
+      (magic != kHc2lIndexMagic && magic != kHc2lIndexMagicV3)) {
     return Status::InvalidArgument("not an HC2L index file: " + path);
   }
+  const bool has_hints = magic == kHc2lIndexMagicV3;
   Hc2lIndex index;
   bool ok = io::ReadValue(r, &index.stats_);
   uint8_t has_contraction = 0;
@@ -1010,6 +1499,27 @@ Result<Hc2lIndex> Hc2lIndex::Load(const std::string& path) {
   // index files are not designed to be loaded from adversarial sources.
   ok = ok && index.hierarchy_.ReadFrom(r) &&
        io::ReadLabelStore(r, &index.labels_);
+  if (ok && has_hints) {
+    // The hint store must mirror the label store's shape exactly (Route
+    // indexes both with the same offsets), and every true-length entry must
+    // be a core vertex id or the no-hint sentinel.
+    ok = io::ReadLabelStore(r, &index.hints_) &&
+         index.hints_.base == index.labels_.base &&
+         index.hints_.level_start == index.labels_.level_start &&
+         index.hints_.level_len == index.labels_.level_len;
+    const size_t core = ok ? index.hints_.base.size() - 1 : 0;
+    for (size_t v = 0; ok && v < core; ++v) {
+      for (uint32_t a = index.hints_.base[v]; a < index.hints_.base[v + 1];
+           ++a) {
+        const uint32_t start = index.hints_.level_start[a];
+        const uint32_t len = index.hints_.level_len[a];
+        for (uint32_t j = 0; ok && j < len; ++j) {
+          const uint32_t e = index.hints_.arena.data()[start + j];
+          ok = e == kInvalidVertex || e < core;
+        }
+      }
+    }
+  }
   if (ok && has_contraction) {
     // The contraction mapping is indexed by the query paths without bounds
     // checks: its arrays must agree in size and every id must stay in

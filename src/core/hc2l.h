@@ -33,6 +33,11 @@ struct Hc2lOptions {
   /// Degree-one contraction (Section 4.2.2). Disabling indexes the full
   /// graph (ablation).
   bool contract_degree_one = true;
+  /// Record route hints (the first core-graph hop toward every hub) next to
+  /// the distance labels, enabling label-based path unpacking (Route).
+  /// Disabling builds a distance-only index that serializes in the legacy
+  /// HC2L0002 format; routes then require a graph-backed fallback unpacker.
+  bool route_hints = true;
   /// Number of construction threads; >1 gives the paper's HC2L_p variant.
   /// Query processing is always single-threaded per query.
   uint32_t num_threads = 1;
@@ -154,6 +159,29 @@ class Hc2lIndex {
   /// Number of vertices of the indexed graph.
   size_t NumVertices() const { return stats_.num_vertices; }
 
+  /// True when the index carries route hints (built with route_hints, or
+  /// loaded from an HC2L0003 file) and can unpack paths without a graph.
+  bool HasRouteHints() const { return !hints_.base.empty(); }
+
+  /// Reconstructs one shortest path s -> t from the labels: out->vertices
+  /// holds the full original-id sequence (s first, t last; the single
+  /// vertex for s == t; empty when unreachable) and out->weight the path
+  /// weight, which always equals Query(s, t). Vertex ids must be in range
+  /// (the facade validates). Errors: kFailedPrecondition (no route hints —
+  /// use a graph-backed fallback), kInternal (hint invariants broken, e.g.
+  /// a corrupt hint store).
+  Status Route(Vertex s, Vertex t, RoutePath* out) const;
+
+  /// Up to k alternative routes s -> t, sorted ascending by weight; the
+  /// first is a shortest path (Route's answer). Alternatives are built by
+  /// routing via the other separator hubs of the s/t cut level and deduped
+  /// by vertex sequence (plateaux-style: a via-hub already on a selected
+  /// route adds nothing new). Fewer than k may return; an unreachable pair
+  /// returns an empty list. k == 0 is an empty list. Error contract as
+  /// Route.
+  Status Routes(Vertex s, Vertex t, size_t k,
+                std::vector<RoutePath>* out) const;
+
   /// Construction/size statistics.
   const Hc2lStats& Stats() const { return stats_; }
 
@@ -231,9 +259,11 @@ class Hc2lIndex {
   /// Serializes the index (labels, hierarchy, contraction) to a file.
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save(). Errors: kNotFound (cannot
-  /// open), kInvalidArgument (not an HC2L0002 file), kDataLoss (truncated or
-  /// corrupt).
+  /// Loads an index previously written by Save(). Accepts both the legacy
+  /// distance-only HC2L0002 format and the hint-carrying HC2L0003 format
+  /// (the latter restores route hints, so Route works without a graph).
+  /// Errors: kNotFound (cannot open), kInvalidArgument (neither format),
+  /// kDataLoss (truncated or corrupt).
   static Result<Hc2lIndex> Load(const std::string& path);
 
  private:
@@ -243,15 +273,29 @@ class Hc2lIndex {
   /// Query over core-graph ids (labels + hierarchy only).
   Dist CoreQuery(Vertex s, Vertex t, uint64_t* hubs_scanned) const;
 
+  /// Hint-store walk over core ids: writes the full core-id shortest path
+  /// cs..ct (inclusive; cleared first) into *out. Requires HasRouteHints().
+  /// kInternal when the hints are inconsistent with the labels.
+  Status CoreRoute(Vertex cs, Vertex ct, std::vector<Vertex>* out) const;
+
+  /// Maps a core-id path back to original ids and splices the pendant-tree
+  /// chains of s and/or t around it (`weight` is the known total).
+  Status ExpandRoute(Vertex s, Vertex t, Dist weight,
+                     const std::vector<Vertex>& core_path,
+                     RoutePath* out) const;
+
   /// Per-hierarchy-node inputs of the last relabel walk: the node's induced
-  /// subgraph (local ids), the local->core-global id map, and how many
-  /// shortcuts its creation added. A repair walk re-derives a child's
-  /// inputs at its (dirty) parent and compares them against this cache —
-  /// equality proves the whole subtree's labels are unchanged, because the
-  /// walk is deterministic in exactly these inputs.
+  /// subgraph (local ids), the local->core-global id map, the per-arc route
+  /// annotations (first real core hop each subgraph arc stands for; empty
+  /// when the index is hint-less), and how many shortcuts its creation
+  /// added. A repair walk re-derives a child's inputs at its (dirty) parent
+  /// and compares them against this cache — equality proves the whole
+  /// subtree's labels (and hints) are unchanged, because the walk is
+  /// deterministic in exactly these inputs.
   struct NodeRepairCache {
     Graph sub;
     std::vector<Vertex> to_global;
+    std::vector<Vertex> ann;
     uint64_t shortcuts_into = 0;
   };
 
@@ -279,6 +323,12 @@ class Hc2lIndex {
   /// at labels_.arena[labels_.level_start[labels_.base[v] + k]] and holds
   /// labels_.level_len[labels_.base[v] + k] entries.
   LabelStore labels_;
+  /// Route hints, shaped exactly like labels_ (same offset tables): entry
+  /// (v, level, i) is the first core-graph hop from v toward that level's
+  /// i-th hub (kInvalidVertex when v is the hub or the hub is unreachable).
+  /// Empty tables when the index is hint-less (route_hints = false, or an
+  /// HC2L0002 load).
+  LabelStore hints_;
   /// Node-indexed relabel-walk inputs; empty = cold (after Build/Load), so
   /// the next RepairLabels falls back to a full walk that populates it.
   std::vector<NodeRepairCache> repair_cache_;

@@ -28,6 +28,22 @@ inline constexpr uint64_t kDirectedIndexMagic = 0x4843324430303031ULL;
 /// header and the hierarchy. Written for contracted indexes.
 inline constexpr uint64_t kDirectedIndexMagicV2 = 0x4843324430303032ULL;
 
+/// Undirected index, format 3 ("HC2L0003"): format 2 plus a second label
+/// store of route hints appended after the distance store. The hint store
+/// has the same per-vertex/per-level shape as the label store; each entry
+/// is the first core-graph hop from the vertex toward that level's hub
+/// (kInvalidVertex for the hub itself or an unreachable hub). Written only
+/// when the index was built with route hints; hint-less indexes keep the
+/// HC2L0002 format so older readers stay compatible.
+inline constexpr uint64_t kHc2lIndexMagicV3 = 0x4843324c30303033ULL;
+
+/// Directed index, format 3 ("HC2D0003"): a uint8 has-contraction marker
+/// after the header (collapsing the V1/V2 split), then the V2 body followed
+/// by two hint stores — out-hints (first hop of v -> hub) and in-hints
+/// (predecessor on the hub -> v path), shaped like the out-/in-label
+/// stores. Written only for hint-carrying indexes.
+inline constexpr uint64_t kDirectedIndexMagicV3 = 0x4843324430303033ULL;
+
 }  // namespace hc2l
 
 #endif  // HC2L_CORE_INDEX_FORMAT_H_

@@ -80,6 +80,74 @@ std::vector<Dist> AllDistancesFrom(const Graph& g, Vertex source) {
   return out;
 }
 
+Dist BidirectionalShortestPath(const Graph& g, Vertex s, Vertex t,
+                               std::vector<Vertex>* path) {
+  HC2L_CHECK_LT(s, g.NumVertices());
+  HC2L_CHECK_LT(t, g.NumVertices());
+  path->clear();
+  if (s == t) {
+    path->push_back(s);
+    return 0;
+  }
+
+  // Side 0 grows a ball around s, side 1 around t; pred[side][v] is the
+  // previous vertex on the side's shortest path to v. The search stops once
+  // neither frontier can improve the best meeting vertex.
+  std::vector<Dist> dist[2];
+  std::vector<Vertex> pred[2];
+  std::vector<HeapEntry> heap[2];
+  for (int side = 0; side < 2; ++side) {
+    dist[side].assign(g.NumVertices(), kInfDist);
+    pred[side].assign(g.NumVertices(), kInvalidVertex);
+  }
+  dist[0][s] = 0;
+  heap[0].emplace_back(0, s);
+  dist[1][t] = 0;
+  heap[1].emplace_back(0, t);
+
+  Dist best = kInfDist;
+  Vertex meet = kInvalidVertex;
+  while (!heap[0].empty() || !heap[1].empty()) {
+    int side;
+    if (heap[0].empty()) {
+      side = 1;
+    } else if (heap[1].empty()) {
+      side = 0;
+    } else {
+      side = heap[0].front().first <= heap[1].front().first ? 0 : 1;
+    }
+    std::pop_heap(heap[side].begin(), heap[side].end(), HeapGreater{});
+    const auto [d, v] = heap[side].back();
+    heap[side].pop_back();
+    if (d > dist[side][v]) continue;  // stale entry
+    if (d >= best) break;             // cannot improve further
+    for (const Arc& a : g.Neighbors(v)) {
+      const Dist nd = d + a.weight;
+      if (nd < dist[side][a.to]) {
+        dist[side][a.to] = nd;
+        pred[side][a.to] = v;
+        heap[side].emplace_back(nd, a.to);
+        std::push_heap(heap[side].begin(), heap[side].end(), HeapGreater{});
+        const Dist total = AddDist(nd, dist[1 - side][a.to]);
+        if (total < best) {
+          best = total;
+          meet = a.to;
+        }
+      }
+    }
+  }
+  if (meet == kInvalidVertex) return kInfDist;
+
+  // s-side chain: meet back to s, reversed in place.
+  for (Vertex v = meet; v != kInvalidVertex; v = pred[0][v]) path->push_back(v);
+  std::reverse(path->begin(), path->end());
+  // t-side chain: pred[1] points toward t.
+  for (Vertex v = pred[1][meet]; v != kInvalidVertex; v = pred[1][v]) {
+    path->push_back(v);
+  }
+  return best;
+}
+
 BidirectionalDijkstra::BidirectionalDijkstra(const Graph& graph)
     : graph_(graph) {
   for (int side = 0; side < 2; ++side) {

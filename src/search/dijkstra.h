@@ -53,6 +53,13 @@ class Dijkstra {
 /// One-shot convenience: distance between s and t (kInfDist if disconnected).
 Dist ShortestPathDistance(const Graph& g, Vertex s, Vertex t);
 
+/// Bidirectional Dijkstra that also reconstructs one shortest s..t path into
+/// *path (full vertex sequence, s first and t last; the single vertex for
+/// s == t; cleared to empty when disconnected). Returns the path weight.
+/// This is the graph-backed fallback unpacker for hint-less HC2L indexes.
+Dist BidirectionalShortestPath(const Graph& g, Vertex s, Vertex t,
+                               std::vector<Vertex>* path);
+
 /// One-shot convenience: all distances from source.
 std::vector<Dist> AllDistancesFrom(const Graph& g, Vertex source);
 

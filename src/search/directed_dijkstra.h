@@ -21,6 +21,14 @@ std::vector<Dist> DirectedDistancesFrom(const Digraph& g, Vertex source,
 /// One-shot s -> t distance.
 Dist DirectedShortestPathDistance(const Digraph& g, Vertex s, Vertex t);
 
+/// Bidirectional directed Dijkstra (forward over out-arcs, backward over
+/// in-arcs) that also reconstructs one shortest s -> t path into *path (full
+/// vertex sequence, s first and t last; the single vertex for s == t; cleared
+/// to empty when t is unreachable). Returns the path weight. This is the
+/// digraph-backed fallback unpacker for hint-less directed HC2L indexes.
+Dist DirectedShortestPath(const Digraph& g, Vertex s, Vertex t,
+                          std::vector<Vertex>* path);
+
 /// Directed version of Algorithm 4: Dijkstra from `root` in `direction`
 /// that flags, per vertex, whether some shortest path passes through a
 /// tracked intermediate vertex. Used by the directed HC2L's per-side tail

@@ -523,14 +523,32 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
     request.kind = QueryKind::kMatrix;
   } else if (req_.op == "knearest") {
     request.kind = QueryKind::kKNearest;
+  } else if (req_.op == "route") {
+    request.kind = QueryKind::kRoute;
+    if (req_.sources.size() != 1 || req_.targets.size() != 1) {
+      AppendErrorResponse(
+          Status::InvalidArgument(
+              "\"route\" needs a single \"source\" and a single \"target\""),
+          out);
+      return;
+    }
+    if (req_.k > kMaxRouteAlternatives) {
+      AppendErrorResponse(
+          Status::InvalidArgument(
+              "\"k\" = " + std::to_string(req_.k) + " alternative routes "
+              "exceeds this server's cap of " +
+              std::to_string(kMaxRouteAlternatives)),
+          out);
+      return;
+    }
   } else {
     AppendErrorResponse(
         Status::InvalidArgument(
             req_.op.empty()
                 ? "request has no \"op\""
                 : "unknown op \"" + req_.op +
-                      "\" (expected batch, point, matrix, knearest, info, "
-                      "ping, reload or update_weights)"),
+                      "\" (expected batch, point, matrix, knearest, route, "
+                      "info, ping, reload or update_weights)"),
         out);
     return;
   }
@@ -570,12 +588,54 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
     }
   } release_guard{hooks_.admit ? &hooks_.release : nullptr};
 
+  // k-alternative routes allocate per route and are answered on the Router
+  // directly (Execute carries only the single shortest path); everything
+  // else flows through Execute into the connection's reusable buffers.
+  if (request.kind == QueryKind::kRoute && req_.k >= 2) {
+    const Vertex s = req_.sources[0];
+    const Vertex t = req_.targets[0];
+    if (req_.options.missing_vertices == MissingVertexPolicy::kUnreachable &&
+        (s >= router.NumVertices() || t >= router.NumVertices())) {
+      out->append(
+          "{\"ok\":true,\"op\":\"route\",\"count\":0,\"routes\":[]}\n");
+      return;
+    }
+    const Result<std::vector<RoutePath>> routes = router.Routes(s, t, req_.k);
+    if (!routes.ok()) {
+      AppendErrorResponse(routes.status(), out);
+      return;
+    }
+    out->append("{\"ok\":true,\"op\":\"route\",\"count\":");
+    AppendUint(out, routes->size());
+    out->append(",\"routes\":[");
+    for (size_t i = 0; i < routes->size(); ++i) {
+      if (i != 0) out->push_back(',');
+      out->append("{\"distance\":");
+      AppendDist(out, (*routes)[i].weight);
+      out->append(",\"vertices\":[");
+      for (size_t j = 0; j < (*routes)[i].vertices.size(); ++j) {
+        if (j != 0) out->push_back(',');
+        AppendUint(out, (*routes)[i].vertices[j]);
+      }
+      out->append("]}");
+    }
+    out->append("]}\n");
+    return;
+  }
+
   // Execute into the connection's reusable buffers.
   QueryOutput output;
   if (request.kind == QueryKind::kKNearest) {
     const size_t need = std::min<uint64_t>(req_.k, req_.targets.size());
     dists_.resize(need);
     verts_.resize(need);
+    output.vertices = verts_;
+  } else if (request.kind == QueryKind::kRoute) {
+    // A path can visit every vertex; the weight lands in dists_[0]. Capped
+    // at the per-request result bound like every other output.
+    dists_.resize(1);
+    verts_.resize(static_cast<size_t>(
+        std::min<uint64_t>(router.NumVertices(), kMaxResultEntries)));
     output.vertices = verts_;
   } else {
     dists_.resize(result_entries);
@@ -590,6 +650,17 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
   out->append("{\"ok\":true,\"op\":\"");
   out->append(req_.op);
   out->append("\"");
+  if (request.kind == QueryKind::kRoute) {
+    out->append(",\"distance\":");
+    AppendDist(out, dists_[0]);
+    out->append(",\"vertices\":[");
+    for (size_t i = 0; i < response->written; ++i) {
+      if (i != 0) out->push_back(',');
+      AppendUint(out, verts_[i]);
+    }
+    out->append("]}\n");
+    return;
+  }
   if (request.kind == QueryKind::kKNearest) {
     out->append(",\"count\":");
     AppendUint(out, response->written);

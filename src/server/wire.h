@@ -14,6 +14,7 @@
 ///   {"op":"point",   "sources":[...], "targets":[...]}   pairwise
 ///   {"op":"matrix",  "sources":[...], "targets":[...]}   many-to-many
 ///   {"op":"knearest","source":S, "candidates":[...], "k":K}
+///   {"op":"route",   "source":S, "target":T [, "k":K]}   unpacked path(s)
 ///   {"op":"info"}    {"op":"ping"}
 ///   {"op":"reload" [, "path":"/new/index"]}              admin: hot swap
 ///   {"op":"update_weights","edges":[[u,v,w],...]}        admin: live repair
@@ -28,11 +29,19 @@
 ///   {"ok":true,"op":"batch","distances":[7,null,3]}      null = unreachable
 ///   {"ok":true,"op":"matrix","rows":R,"cols":C,"distances":[...]}  row-major
 ///   {"ok":true,"op":"knearest","count":N,"neighbors":[[dist,vertex],...]}
+///   {"ok":true,"op":"route","distance":D,"vertices":[s,...,t]}     k <= 1
+///   {"ok":true,"op":"route","count":N,"routes":[                   k >= 2
+///       {"distance":D,"vertices":[...]},...]}            ascending by weight
 ///   {"ok":true,"op":"info","directed":false,"vertices":N,...}
 ///   {"ok":true,"op":"reload","epoch":E}
 ///   {"ok":true,"op":"update_weights","epoch":E}
 ///   {"ok":false,"code":"InvalidArgument","message":"..."}
 ///   {"ok":false,"code":"Overloaded","retry_after_ms":M,"message":"..."}
+///
+/// An unreachable route answers distance null with an empty vertex array
+/// (count 0 with empty routes for k >= 2). A route against an index that
+/// carries no route hints and has no graph attached answers ok:false with
+/// code FailedPrecondition.
 ///
 /// This header is the testable, socket-free core: parsing into reusable
 /// buffers and executing into reusable buffers — the per-connection
@@ -61,12 +70,19 @@ namespace hc2l {
 /// kMaxResultEntries bounds query output; real update batches are tiny.
 inline constexpr uint64_t kMaxUpdateEdges = uint64_t{1} << 16;
 
+/// Alternative routes one "route" request may ask for (its "k" key).
+/// Alternatives cost one hub-restricted unpack each and allocate per route;
+/// this keeps one wire line from demanding thousands. A larger k is
+/// rejected, not clamped — a client asking for 10000 alternatives
+/// misunderstands the protocol and should hear so.
+inline constexpr uint64_t kMaxRouteAlternatives = 16;
+
 /// One parsed request, held in reusable buffers (Clear() keeps capacity).
 struct WireRequest {
   std::string op;
   std::vector<Vertex> sources;
-  std::vector<Vertex> targets;  // also the k-nearest candidates
-  uint64_t k = 0;
+  std::vector<Vertex> targets;  // also the knearest candidates / route target
+  uint64_t k = 0;               // knearest neighbors / route alternatives
   std::string path;  // "reload" only: index file to swap to ("" = original)
   std::vector<EdgeDelta> edges;  // "update_weights" only
   QueryOptions options;

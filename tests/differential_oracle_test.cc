@@ -178,6 +178,118 @@ std::string RoundTripPath(const char* prefix, uint64_t seed) {
          ".hc2l";
 }
 
+/// Asserts `route` is a real path of the undirected graph: endpoints s and
+/// t, every consecutive pair an existing edge, and the edge weights summing
+/// to route.weight. Call through ASSERT_NO_FATAL_FAILURE.
+void CheckRealUndirectedPath(const Graph& g, Vertex s, Vertex t,
+                             const RoutePath& route) {
+  ASSERT_FALSE(route.vertices.empty());
+  ASSERT_EQ(route.vertices.front(), s);
+  ASSERT_EQ(route.vertices.back(), t);
+  if (route.vertices.size() == 1) {
+    ASSERT_EQ(s, t);
+    ASSERT_EQ(route.weight, Dist{0});
+    return;
+  }
+  Dist sum = 0;
+  for (size_t i = 0; i + 1 < route.vertices.size(); ++i) {
+    const Vertex u = route.vertices[i];
+    const Vertex v = route.vertices[i + 1];
+    ASSERT_LT(u, g.NumVertices());
+    ASSERT_LT(v, g.NumVertices());
+    ASSERT_NE(u, v) << "hop " << i << " repeats vertex " << u;
+    bool found = false;
+    for (const Arc& a : g.Neighbors(u)) {
+      if (a.to == v) {
+        sum += a.weight;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "hop " << i << ": {" << u << "," << v
+                       << "} is not an edge of the graph";
+  }
+  ASSERT_EQ(sum, route.weight) << "edge weights do not sum to the weight";
+}
+
+/// Directed twin: every hop must be a real arc traversed in its direction
+/// (scanned over OutArcs, so one-way semantics are enforced).
+void CheckRealDirectedPath(const Digraph& g, Vertex s, Vertex t,
+                           const RoutePath& route) {
+  ASSERT_FALSE(route.vertices.empty());
+  ASSERT_EQ(route.vertices.front(), s);
+  ASSERT_EQ(route.vertices.back(), t);
+  if (route.vertices.size() == 1) {
+    ASSERT_EQ(s, t);
+    ASSERT_EQ(route.weight, Dist{0});
+    return;
+  }
+  Dist sum = 0;
+  for (size_t i = 0; i + 1 < route.vertices.size(); ++i) {
+    const Vertex u = route.vertices[i];
+    const Vertex v = route.vertices[i + 1];
+    ASSERT_LT(u, g.NumVertices());
+    ASSERT_LT(v, g.NumVertices());
+    ASSERT_NE(u, v) << "hop " << i << " repeats vertex " << u;
+    bool found = false;
+    for (const Arc& a : g.OutArcs(u)) {
+      if (a.to == v) {
+        sum += a.weight;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "hop " << i << ": " << u << " -> " << v
+                       << " is not an arc of the digraph (or is traversed "
+                          "against its direction)";
+  }
+  ASSERT_EQ(sum, route.weight) << "arc weights do not sum to the weight";
+}
+
+/// Asserts an unpacked shortest route matches the oracle distance exactly
+/// (empty path for unreachable pairs) and is a real path of the graph.
+template <typename GraphT, typename CheckRealPath>
+void CheckRouteAgainstOracle(const GraphT& g, Vertex s, Vertex t,
+                             Dist expected, const RoutePath& route,
+                             CheckRealPath check_real) {
+  ASSERT_EQ(route.weight, expected) << "route weight != oracle distance";
+  if (expected == kInfDist) {
+    ASSERT_TRUE(route.vertices.empty()) << "unreachable pair carries a path";
+    return;
+  }
+  ASSERT_NO_FATAL_FAILURE(check_real(g, s, t, route));
+}
+
+/// K-alternative routes: the first is the shortest path, weights ascend,
+/// every alternative is a real path, and the vertex sequences are pairwise
+/// distinct.
+template <typename RoutesFn, typename GraphT, typename CheckRealPath>
+void CheckAlternativesAgainstOracle(RoutesFn routes_fn, const GraphT& g,
+                                    Vertex s, Vertex t, Dist expected,
+                                    CheckRealPath check_real) {
+  std::vector<RoutePath> alts;
+  const Status st = routes_fn(s, t, size_t{4}, &alts);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  if (expected == kInfDist) {
+    ASSERT_TRUE(alts.empty());
+    return;
+  }
+  ASSERT_FALSE(alts.empty());
+  ASSERT_LE(alts.size(), size_t{4});
+  ASSERT_EQ(alts[0].weight, expected) << "first alternative is not optimal";
+  for (size_t i = 0; i < alts.size(); ++i) {
+    SCOPED_TRACE("alternative " + std::to_string(i));
+    ASSERT_NO_FATAL_FAILURE(check_real(g, s, t, alts[i]));
+    if (i > 0) {
+      ASSERT_GE(alts[i].weight, alts[i - 1].weight);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      ASSERT_NE(alts[i].vertices, alts[j].vertices)
+          << "duplicate of alternative " << j;
+    }
+  }
+}
+
 /// Runs the batch and matrix oracles through the facade's request/response
 /// path (Router::Execute with caller-owned span outputs): the zero-copy API
 /// must agree with the oracle bit for bit, like the vector methods do.
@@ -281,6 +393,30 @@ void CheckUndirectedSeed(uint64_t seed) {
     ASSERT_EQ(nearest, expected) << "k=" << k;
   }
 
+  // Route oracle, all pairs: the unpacked path's weight equals the oracle
+  // distance, every hop is a real edge, and the edge weights sum to it.
+  RoutePath route;
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      SCOPED_TRACE("route s=" + std::to_string(s) + " t=" + std::to_string(t));
+      const Status st = index.Route(s, t, &route);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+          g, s, t, oracle[s][t], route, CheckRealUndirectedPath));
+    }
+  }
+
+  // K-alternative routes on a diagonal sample of pairs.
+  for (Vertex s = 0; s < n; s += 3) {
+    const Vertex t = static_cast<Vertex>((s * 5 + 7) % n);
+    SCOPED_TRACE("alts s=" + std::to_string(s) + " t=" + std::to_string(t));
+    ASSERT_NO_FATAL_FAILURE(CheckAlternativesAgainstOracle(
+        [&](Vertex a, Vertex b, size_t k, std::vector<RoutePath>* out) {
+          return index.Routes(a, b, k, out);
+        },
+        g, s, t, oracle[s][t], CheckRealUndirectedPath));
+  }
+
   // The same batch and matrix, through the facade's span-output request
   // path.
   BuildOptions facade_options;
@@ -291,6 +427,30 @@ void CheckUndirectedSeed(uint64_t seed) {
   const Result<Router> router = Router::Build(g, facade_options);
   ASSERT_TRUE(router.ok()) << router.status().ToString();
   CheckExecuteAgainstOracle(*router, oracle, batch_source, targets, sources);
+
+  // The facade route path agrees with the oracle too.
+  for (Vertex s = 0; s < n; s += 5) {
+    const Vertex t = static_cast<Vertex>((s * 3 + 1) % n);
+    const Status st = router->Route(s, t, &route);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+        g, s, t, oracle[s][t], route, CheckRealUndirectedPath));
+  }
+
+  // A hint-less build answers routes through the attached-graph fallback
+  // (Build(const Graph&) attaches automatically) — old index files without
+  // hint stores behave the same way after Open + AttachGraph.
+  BuildOptions hintless_options = facade_options;
+  hintless_options.route_hints = false;
+  const Result<Router> hintless = Router::Build(g, hintless_options);
+  ASSERT_TRUE(hintless.ok()) << hintless.status().ToString();
+  for (Vertex s = 0; s < n; s += 4) {
+    const Vertex t = static_cast<Vertex>((s * 7 + 2) % n);
+    const Status st = hintless->Route(s, t, &route);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+        g, s, t, oracle[s][t], route, CheckRealUndirectedPath));
+  }
 
   // Serialize / deserialize round-trip must preserve every mode.
   const std::string path = RoundTripPath("oracle_und", seed);
@@ -309,6 +469,18 @@ void CheckUndirectedSeed(uint64_t seed) {
   ASSERT_EQ(loaded->DistanceMatrix(sources, targets), matrix);
   ASSERT_EQ(loaded->KNearest(batch_source, targets, 3),
             index.KNearest(batch_source, targets, 3));
+  // Hints survive the round-trip: the loaded index unpacks correct routes.
+  ASSERT_TRUE(loaded->HasRouteHints());
+  for (Vertex s = 0; s < n; s += 2) {
+    for (Vertex t = 1; t < n; t += 3) {
+      SCOPED_TRACE("round-trip route s=" + std::to_string(s) +
+                   " t=" + std::to_string(t));
+      const Status st = loaded->Route(s, t, &route);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+          g, s, t, oracle[s][t], route, CheckRealUndirectedPath));
+    }
+  }
 }
 
 /// Runs the full differential check for one directed seed.
@@ -367,6 +539,30 @@ void CheckDirectedSeed(uint64_t seed) {
     ASSERT_EQ(nearest, expected) << "k=" << k;
   }
 
+  // Route oracle, all directed pairs: weight equals the oracle distance and
+  // every hop is a real arc traversed in its direction (one-way semantics).
+  RoutePath route;
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      SCOPED_TRACE("route s=" + std::to_string(s) + " t=" + std::to_string(t));
+      const Status st = index.Route(s, t, &route);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+          g, s, t, oracle[s][t], route, CheckRealDirectedPath));
+    }
+  }
+
+  // K-alternative directed routes on a diagonal sample.
+  for (Vertex s = 0; s < n; s += 3) {
+    const Vertex t = static_cast<Vertex>((s * 5 + 7) % n);
+    SCOPED_TRACE("alts s=" + std::to_string(s) + " t=" + std::to_string(t));
+    ASSERT_NO_FATAL_FAILURE(CheckAlternativesAgainstOracle(
+        [&](Vertex a, Vertex b, size_t k, std::vector<RoutePath>* out) {
+          return index.Routes(a, b, k, out);
+        },
+        g, s, t, oracle[s][t], CheckRealDirectedPath));
+  }
+
   // The directed facade request path against the same oracle.
   BuildOptions facade_options;
   facade_options.contract_degree_one = options.contract_degree_one;
@@ -376,6 +572,20 @@ void CheckDirectedSeed(uint64_t seed) {
   const Result<Router> router = Router::Build(g, facade_options);
   ASSERT_TRUE(router.ok()) << router.status().ToString();
   CheckExecuteAgainstOracle(*router, oracle, batch_source, targets, sources);
+
+  // Hint-less directed build: routes fall back to the attached digraph.
+  BuildOptions hintless_options = facade_options;
+  hintless_options.route_hints = false;
+  Result<Router> hintless = Router::Build(g, hintless_options);
+  ASSERT_TRUE(hintless.ok()) << hintless.status().ToString();
+  hintless->AttachDigraph(g);
+  for (Vertex s = 0; s < n; s += 4) {
+    const Vertex t = static_cast<Vertex>((s * 7 + 2) % n);
+    const Status st = hintless->Route(s, t, &route);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+        g, s, t, oracle[s][t], route, CheckRealDirectedPath));
+  }
 
   const std::string path = RoundTripPath("oracle_dir", seed);
   const Status saved = index.Save(path);
@@ -392,6 +602,19 @@ void CheckDirectedSeed(uint64_t seed) {
   }
   ASSERT_EQ(loaded->BatchQuery(batch_source, targets), batch);
   ASSERT_EQ(loaded->DistanceMatrix(sources, targets), matrix);
+  // Hints survive the round-trip: the loaded index unpacks correct directed
+  // routes.
+  ASSERT_TRUE(loaded->HasRouteHints());
+  for (Vertex s = 0; s < n; s += 2) {
+    for (Vertex t = 1; t < n; t += 3) {
+      SCOPED_TRACE("round-trip route s=" + std::to_string(s) +
+                   " t=" + std::to_string(t));
+      const Status st = loaded->Route(s, t, &route);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+          g, s, t, oracle[s][t], route, CheckRealDirectedPath));
+    }
+  }
 }
 
 // 140 undirected + 80 directed seeds = 220 random graphs, sharded so ctest

@@ -389,28 +389,36 @@ TEST(DirectedHc2l, SaveWritesFormatPerContractionAndBothLoad) {
   opt.cols = 8;
   opt.seed = 31;
   const Digraph g = GenerateDirectedRoadNetwork(opt, 0.25);
-  for (const bool contract : {true, false}) {
-    SCOPED_TRACE(contract ? "contracted" : "uncontracted");
-    DirectedHc2lOptions options;
-    options.contract_degree_one = contract;
-    const DirectedHc2lIndex index = DirectedHc2lIndex::Build(g, options);
-    const std::string path = ::testing::TempDir() + "/hc2l_dir_fmt_" +
-                             (contract ? "v2" : "v1") + ".idx";
-    ASSERT_TRUE(index.Save(path).ok());
-    // Uncontracted indexes keep the HC2D0001 layout — the backward-compat
-    // guarantee that files from pre-contraction builds stay loadable is
-    // pinned by loading exactly that layout here.
-    EXPECT_EQ(FileMagic(path),
-              contract ? kDirectedIndexMagicV2 : kDirectedIndexMagic);
-    const auto loaded = DirectedHc2lIndex::Load(path);
-    std::remove(path.c_str());
-    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-    EXPECT_EQ(loaded->NumVertices(), index.NumVertices());
-    EXPECT_EQ(loaded->NumCoreVertices(), index.NumCoreVertices());
-    for (Vertex s = 0; s < g.NumVertices(); s += 7) {
-      for (Vertex t = 0; t < g.NumVertices(); t += 5) {
-        ASSERT_EQ(loaded->Query(s, t), index.Query(s, t))
-            << "s=" << s << " t=" << t;
+  for (const bool hints : {true, false}) {
+    for (const bool contract : {true, false}) {
+      SCOPED_TRACE(std::string(hints ? "hinted" : "hint-less") + " " +
+                   (contract ? "contracted" : "uncontracted"));
+      DirectedHc2lOptions options;
+      options.contract_degree_one = contract;
+      options.route_hints = hints;
+      const DirectedHc2lIndex index = DirectedHc2lIndex::Build(g, options);
+      const std::string path = ::testing::TempDir() + "/hc2l_dir_fmt.idx";
+      ASSERT_TRUE(index.Save(path).ok());
+      // Hint-carrying indexes (the default) write HC2D0003. Hint-less ones
+      // keep the legacy layouts, and uncontracted hint-less indexes keep
+      // HC2D0001 — the backward-compat guarantee that files from
+      // pre-contraction builds stay loadable is pinned by loading exactly
+      // that layout here.
+      EXPECT_EQ(FileMagic(path),
+                hints ? kDirectedIndexMagicV3
+                      : (contract ? kDirectedIndexMagicV2
+                                  : kDirectedIndexMagic));
+      const auto loaded = DirectedHc2lIndex::Load(path);
+      std::remove(path.c_str());
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_EQ(loaded->NumVertices(), index.NumVertices());
+      EXPECT_EQ(loaded->NumCoreVertices(), index.NumCoreVertices());
+      EXPECT_EQ(loaded->HasRouteHints(), hints);
+      for (Vertex s = 0; s < g.NumVertices(); s += 7) {
+        for (Vertex t = 0; t < g.NumVertices(); t += 5) {
+          ASSERT_EQ(loaded->Query(s, t), index.Query(s, t))
+              << "s=" << s << " t=" << t;
+        }
       }
     }
   }

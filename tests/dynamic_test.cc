@@ -432,6 +432,72 @@ TEST(RepairLabels, DistanceOverflowReturnsOutOfRangeInsteadOfAborting) {
             StatusCode::kOutOfRange);
 }
 
+/// Asserts `route` is a real path in g from s to t whose edge weights sum
+/// to route.weight — the invariant RepairLabels must preserve for hints.
+void ExpectRealRoute(const Graph& g, Vertex s, Vertex t,
+                     const RoutePath& route) {
+  ASSERT_FALSE(route.vertices.empty());
+  ASSERT_EQ(route.vertices.front(), s);
+  ASSERT_EQ(route.vertices.back(), t);
+  Dist sum = 0;
+  for (size_t i = 0; i + 1 < route.vertices.size(); ++i) {
+    const Vertex u = route.vertices[i];
+    const Vertex v = route.vertices[i + 1];
+    Weight w = 0;
+    bool found = false;
+    for (const auto& a : g.Neighbors(u)) {
+      if (a.to == v) {
+        w = a.weight;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "hop " << u << "->" << v << " is not an edge";
+    sum += w;
+  }
+  ASSERT_EQ(sum, route.weight);
+}
+
+TEST(RepairLabels, RouteHintsStayConsistentAcrossRepairs) {
+  // The route subsystem's dynamic contract: after every scoped repair the
+  // parent hints must still unpack real paths on the UPDATED graph whose
+  // weights equal the repaired distances — stale hints would either walk
+  // phantom edges or sum to the pre-update weight.
+  RoadNetworkOptions opt;
+  opt.rows = 11;
+  opt.cols = 11;
+  opt.seed = 53;
+  Graph g = GenerateRoadNetwork(opt);
+  Hc2lIndex index = Hc2lIndex::Build(g);
+  ASSERT_TRUE(index.HasRouteHints());
+  ASSERT_TRUE(index.RebuildLabels(g).ok());
+
+  Rng rng(67);
+  std::vector<EdgeDelta> deltas;
+  RoutePath route;
+  for (int batch = 0; batch < 8; ++batch) {
+    g = PerturbWithDeltas(g, 1 + rng.Below(6), 700 + batch, &deltas);
+    ASSERT_TRUE(index.RepairLabels(g, deltas).ok()) << "batch=" << batch;
+    Dijkstra dijkstra(g);
+    for (int i = 0; i < 6; ++i) {
+      const Vertex s = static_cast<Vertex>(rng.Below(g.NumVertices()));
+      dijkstra.Run(s);
+      for (int j = 0; j < 4; ++j) {
+        const Vertex t = static_cast<Vertex>(rng.Below(g.NumVertices()));
+        ASSERT_TRUE(index.Route(s, t, &route).ok());
+        ASSERT_EQ(route.weight, dijkstra.DistanceTo(t))
+            << "batch=" << batch << " s=" << s << " t=" << t;
+        if (s == t) {
+          ASSERT_EQ(route.vertices, std::vector<Vertex>{s});
+        } else {
+          ASSERT_NO_FATAL_FAILURE(ExpectRealRoute(g, s, t, route))
+              << "batch=" << batch << " s=" << s << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
 TEST(Query, UnreachableCoreDistanceDoesNotWrapThroughPendantDetour) {
   // Regression (the dynamic-update detour bug): the cross-tree detour
   // DistToRoot(s) + core + DistToRoot(t) used an unguarded uint64 add, so an

@@ -522,6 +522,192 @@ TEST_P(RequestApiTest, KNearestEmptyEdgesAreNotErrors) {
   EXPECT_EQ(el->written, 0u);
 }
 
+TEST_P(RequestApiTest, ExecuteRouteMatchesRouteAndDistance) {
+  // Pick a reachable pair (one-way arcs may disconnect arbitrary pairs in
+  // the directed flavour) whose path has at least one hop.
+  Vertex source = 3;
+  Vertex target = source;
+  for (Vertex t = n_; t-- > 0;) {
+    if (t != source && *router_->Distance(source, t) != kInfDist) {
+      target = t;
+      break;
+    }
+  }
+  ASSERT_NE(target, source) << "no reachable pair from " << source;
+  RoutePath expected;
+  ASSERT_TRUE(router_->Route(source, target, &expected).ok());
+  ASSERT_GE(expected.vertices.size(), 2u);
+
+  QueryRequest req;
+  req.kind = QueryKind::kRoute;
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = std::span<const Vertex>(&target, 1);
+  std::vector<Dist> dist(1, 12345);
+  std::vector<Vertex> verts(n_, kInvalidVertex);
+
+  for (const bool parallel : {false, true}) {
+    std::fill(dist.begin(), dist.end(), 12345);
+    std::fill(verts.begin(), verts.end(), kInvalidVertex);
+    const Result<QueryResponse> r =
+        parallel ? threaded_->Execute(req, QueryOutput{dist, verts})
+                 : router_->Execute(req, QueryOutput{dist, verts});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->written, expected.vertices.size());
+    EXPECT_EQ(r->rows, 1u);
+    EXPECT_EQ(r->cols, expected.vertices.size());
+    EXPECT_EQ(dist[0], expected.weight);
+    EXPECT_EQ(dist[0], *router_->Distance(source, target));
+    for (size_t i = 0; i < r->written; ++i) {
+      EXPECT_EQ(verts[i], expected.vertices[i]) << "hop " << i;
+    }
+  }
+
+  // A route to itself is the single-vertex path of weight zero.
+  req.targets = std::span<const Vertex>(&source, 1);
+  const Result<QueryResponse> self =
+      router_->Execute(req, QueryOutput{dist, verts});
+  ASSERT_TRUE(self.ok()) << self.status().ToString();
+  EXPECT_EQ(self->written, 1u);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(verts[0], source);
+
+  // An out-of-range endpoint under the lenient policy is an empty,
+  // unreachable route — not an error.
+  const Vertex bad = n_ + 42;
+  req.targets = std::span<const Vertex>(&bad, 1);
+  req.options.missing_vertices = MissingVertexPolicy::kUnreachable;
+  const Result<QueryResponse> miss =
+      router_->Execute(req, QueryOutput{dist, verts});
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_EQ(miss->written, 0u);
+  EXPECT_EQ(dist[0], kInfDist);
+}
+
+TEST_P(RequestApiTest, ExecuteRouteShapeErrors) {
+  const Vertex source = 0;
+  const Vertex target = 5;
+  std::vector<Vertex> two = {0, 1};
+  std::vector<Dist> dist(1);
+  std::vector<Vertex> verts(n_);
+
+  // Exactly one source and one target.
+  QueryRequest req;
+  req.kind = QueryKind::kRoute;
+  req.sources = two;
+  req.targets = std::span<const Vertex>(&target, 1);
+  EXPECT_EQ(router_->Execute(req, QueryOutput{dist, verts}).status().code(),
+            StatusCode::kInvalidArgument);
+  req.sources = std::span<const Vertex>(&source, 1);
+  req.targets = two;
+  EXPECT_EQ(router_->Execute(req, QueryOutput{dist, verts}).status().code(),
+            StatusCode::kInvalidArgument);
+  req.targets = std::span<const Vertex>(&target, 1);
+
+  // Alternatives do not fit the single-path request shape.
+  req.k = 2;
+  EXPECT_EQ(router_->Execute(req, QueryOutput{dist, verts}).status().code(),
+            StatusCode::kInvalidArgument);
+  req.k = 0;
+
+  // The path weight needs a distance slot.
+  EXPECT_EQ(router_->Execute(req, QueryOutput{{}, verts}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A vertex span shorter than the unpacked path is an overflow error,
+  // never a truncation.
+  RoutePath full;
+  ASSERT_TRUE(router_->Route(source, target, &full).ok());
+  ASSERT_GT(full.vertices.size(), 1u);
+  std::vector<Vertex> tiny(full.vertices.size() - 1);
+  const Result<QueryResponse> r =
+      router_->Execute(req, QueryOutput{dist, tiny});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // An out-of-range id under the default policy is the caller's bug.
+  const Vertex bad = n_ + 1;
+  req.targets = std::span<const Vertex>(&bad, 1);
+  EXPECT_EQ(router_->Execute(req, QueryOutput{dist, verts}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(RequestApiTest, MissingVertexPolicyUncheckedMatchesChecked) {
+  // kUnchecked skips id validation for callers that already guarantee
+  // in-range ids; on valid input it is bit-identical to the default policy
+  // on every kind and both executors.
+  const Vertex source = 6;
+  QueryRequest batch;
+  batch.kind = QueryKind::kPointBatch;
+  batch.sources = std::span<const Vertex>(&source, 1);
+  batch.targets = targets_;
+  std::vector<Dist> expected(targets_.size());
+  ASSERT_TRUE(router_->Execute(batch, QueryOutput{expected, {}}).ok());
+
+  batch.options.missing_vertices = MissingVertexPolicy::kUnchecked;
+  std::vector<Dist> out(targets_.size(), 1);
+  for (const bool parallel : {false, true}) {
+    std::fill(out.begin(), out.end(), 1);
+    const Result<QueryResponse> r =
+        parallel ? threaded_->Execute(batch, QueryOutput{out, {}})
+                 : router_->Execute(batch, QueryOutput{out, {}});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(out, expected);
+  }
+
+  QueryRequest matrix;
+  matrix.kind = QueryKind::kMatrix;
+  matrix.sources = sources_;
+  matrix.targets = targets_;
+  std::vector<Dist> mexpected(sources_.size() * targets_.size());
+  ASSERT_TRUE(router_->Execute(matrix, QueryOutput{mexpected, {}}).ok());
+  matrix.options.missing_vertices = MissingVertexPolicy::kUnchecked;
+  std::vector<Dist> mflat(mexpected.size(), 1);
+  ASSERT_TRUE(threaded_->Execute(matrix, QueryOutput{mflat, {}}).ok());
+  EXPECT_EQ(mflat, mexpected);
+
+  QueryRequest knearest;
+  knearest.kind = QueryKind::kKNearest;
+  knearest.sources = std::span<const Vertex>(&source, 1);
+  knearest.targets = targets_;
+  knearest.k = 4;
+  std::vector<Dist> kd(4);
+  std::vector<Vertex> kv(4);
+  const Result<QueryResponse> checked =
+      router_->Execute(knearest, QueryOutput{kd, kv});
+  ASSERT_TRUE(checked.ok());
+  knearest.options.missing_vertices = MissingVertexPolicy::kUnchecked;
+  std::vector<Dist> ukd(4);
+  std::vector<Vertex> ukv(4);
+  const Result<QueryResponse> unchecked =
+      router_->Execute(knearest, QueryOutput{ukd, ukv});
+  ASSERT_TRUE(unchecked.ok());
+  ASSERT_EQ(unchecked->written, checked->written);
+  EXPECT_EQ(ukd, kd);
+  EXPECT_EQ(ukv, kv);
+
+  QueryRequest route;
+  route.kind = QueryKind::kRoute;
+  const Vertex target = n_ - 1;
+  route.sources = std::span<const Vertex>(&source, 1);
+  route.targets = std::span<const Vertex>(&target, 1);
+  std::vector<Dist> rdist(1);
+  std::vector<Vertex> rverts(n_);
+  const Result<QueryResponse> rchecked =
+      router_->Execute(route, QueryOutput{rdist, rverts});
+  ASSERT_TRUE(rchecked.ok()) << rchecked.status().ToString();
+  route.options.missing_vertices = MissingVertexPolicy::kUnchecked;
+  std::vector<Dist> urdist(1);
+  std::vector<Vertex> urverts(n_);
+  const Result<QueryResponse> runchecked =
+      router_->Execute(route, QueryOutput{urdist, urverts});
+  ASSERT_TRUE(runchecked.ok()) << runchecked.status().ToString();
+  ASSERT_EQ(runchecked->written, rchecked->written);
+  EXPECT_EQ(urdist[0], rdist[0]);
+  for (size_t i = 0; i < rchecked->written; ++i) {
+    EXPECT_EQ(urverts[i], rverts[i]) << "hop " << i;
+  }
+}
+
 TEST_P(RequestApiTest, PerRequestThreadCapMatchesSequential) {
   const Vertex source = 4;
   QueryRequest req;

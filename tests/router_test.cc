@@ -157,6 +157,147 @@ TEST(RouterOpen, SniffsDirectedFormat) {
             *built->DistanceMatrix(targets, targets));
 }
 
+TEST(RouterRoute, RouteIntoMatchesRouteAndRejectsShortSpans) {
+  const Graph g = TestGraph(9, 11, 21);
+  Result<Router> router = Router::Build(g);
+  ASSERT_TRUE(router.ok());
+
+  RoutePath expected;
+  ASSERT_TRUE(router->Route(0, 80, &expected).ok());
+  ASSERT_GE(expected.vertices.size(), 2u);
+  EXPECT_EQ(expected.weight, *router->Distance(0, 80));
+
+  std::vector<Vertex> buf(router->NumVertices(), kInvalidVertex);
+  Dist weight = 12345;
+  const Result<size_t> written = router->RouteInto(0, 80, buf, &weight);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  ASSERT_EQ(*written, expected.vertices.size());
+  EXPECT_EQ(weight, expected.weight);
+  for (size_t i = 0; i < *written; ++i) {
+    EXPECT_EQ(buf[i], expected.vertices[i]) << "hop " << i;
+  }
+
+  // A span shorter than the path is an error naming the required size, not
+  // a truncation; the error path must not touch the weight out-param.
+  std::vector<Vertex> tiny(expected.vertices.size() - 1);
+  weight = 777;
+  const Result<size_t> overflow = router->RouteInto(0, 80, tiny, &weight);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(weight, 777u);
+
+  // Out-of-range endpoints are the caller's bug on every route surface.
+  EXPECT_EQ(router->Route(0, 9999, &expected).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router->RouteInto(9999, 0, buf, &weight).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router->Routes(0, 9999, 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RouterRoute, RoutesReturnsDistinctAscendingAlternatives) {
+  const Graph g = TestGraph(10, 10, 33);
+  Result<Router> router = Router::Build(g);
+  ASSERT_TRUE(router.ok());
+
+  const Result<std::vector<RoutePath>> alts = router->Routes(0, 99, 4);
+  ASSERT_TRUE(alts.ok()) << alts.status().ToString();
+  ASSERT_FALSE(alts->empty());
+  ASSERT_LE(alts->size(), 4u);
+  EXPECT_EQ((*alts)[0].weight, *router->Distance(0, 99));
+  for (size_t i = 1; i < alts->size(); ++i) {
+    EXPECT_GE((*alts)[i].weight, (*alts)[i - 1].weight) << i;
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NE((*alts)[i].vertices, (*alts)[j].vertices)
+          << "alternatives " << i << " and " << j << " are identical";
+    }
+  }
+
+  // k == 0 is an empty result, not an error.
+  const auto none = router->Routes(0, 99, 0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(RouterRoute, HintlessOpenNeedsAnAttachedGraph) {
+  // A hint-less index file (the pre-0003 format) opened from disk has
+  // nothing to unpack against: Route is FailedPrecondition until a graph is
+  // attached, then answers through the bidirectional-Dijkstra fallback.
+  const Graph g = TestGraph(8, 9, 44);
+  BuildOptions options;
+  options.route_hints = false;
+  Result<Router> hintless = Router::Build(g, options);
+  ASSERT_TRUE(hintless.ok());
+  const std::string path = ::testing::TempDir() + "/hc2l_router_hintless.idx";
+  ASSERT_TRUE(hintless->Save(path).ok());
+  Result<Router> opened = Router::Open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_FALSE(opened->HasGraph());
+
+  RoutePath route;
+  EXPECT_EQ(opened->Route(0, 50, &route).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(opened->Routes(0, 50, 3).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  opened->AttachGraph(g);
+  EXPECT_TRUE(opened->HasGraph());
+  ASSERT_TRUE(opened->Route(0, 50, &route).ok());
+  EXPECT_EQ(route.weight, *opened->Distance(0, 50));
+  EXPECT_EQ(route.vertices.front(), 0u);
+  EXPECT_EQ(route.vertices.back(), 50u);
+}
+
+TEST(RouterRoute, AttachDigraphEnablesDirectedFallback) {
+  const Digraph g = TestDigraph(8, 9, 45);
+  BuildOptions options;
+  options.route_hints = false;
+  Result<Router> hintless = Router::Build(g, options);
+  ASSERT_TRUE(hintless.ok());
+  // Build(const Digraph&) does not attach automatically.
+  EXPECT_FALSE(hintless->HasDigraph());
+  RoutePath route;
+  EXPECT_EQ(hintless->Route(0, 50, &route).code(),
+            StatusCode::kFailedPrecondition);
+
+  hintless->AttachDigraph(g);
+  EXPECT_TRUE(hintless->HasDigraph());
+  for (Vertex t = 1; t < 60; t += 13) {
+    const Status st = hintless->Route(0, t, &route);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(route.weight, *hintless->Distance(0, t)) << "t=" << t;
+  }
+}
+
+TEST(RouterRoute, OpenedHintCarryingFileRoutesLikeTheBuilder) {
+  // Both flavours: the 0003 formats carry the hints, so an Open()ed router
+  // routes without any attached graph, identically to the builder.
+  for (const bool directed : {false, true}) {
+    SCOPED_TRACE(directed ? "directed" : "undirected");
+    Result<Router> built = directed ? Router::Build(TestDigraph(9, 9, 46))
+                                    : Router::Build(TestGraph(9, 9, 46));
+    ASSERT_TRUE(built.ok());
+    const std::string path = ::testing::TempDir() + "/hc2l_router_hints_" +
+                             (directed ? "dir" : "und") + ".idx";
+    ASSERT_TRUE(built->Save(path).ok());
+    Result<Router> opened = Router::Open(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_FALSE(opened->HasGraph());
+    EXPECT_FALSE(opened->HasDigraph());
+
+    RoutePath from_built;
+    RoutePath from_opened;
+    for (Vertex t = 1; t < 81; t += 7) {
+      ASSERT_TRUE(built->Route(2, t, &from_built).ok());
+      ASSERT_TRUE(opened->Route(2, t, &from_opened).ok());
+      EXPECT_EQ(from_opened.weight, from_built.weight) << "t=" << t;
+      EXPECT_EQ(from_opened.vertices, from_built.vertices) << "t=" << t;
+    }
+  }
+}
+
 TEST(RouterBuild, RejectsBadOptions) {
   const Graph g = TestGraph(6, 6, 1);
   BuildOptions bad_beta;

@@ -389,6 +389,72 @@ TEST_F(ChaosTest, UpdateWeightsSwapsEpochAndFailureKeepsServing) {
   server->Stop();
 }
 
+/// The exact wire response line the given router would answer a k<=1
+/// route query with — the oracle for route-after-update checks.
+std::string ExpectedRouteLine(const Router& r, Vertex s, Vertex t) {
+  RoutePath p;
+  EXPECT_TRUE(r.Route(s, t, &p).ok());
+  std::string out = "{\"ok\":true,\"op\":\"route\",\"distance\":" +
+                    std::to_string(p.weight) + ",\"vertices\":[";
+  for (size_t i = 0; i < p.vertices.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(p.vertices[i]);
+  }
+  return out + "]}";
+}
+
+TEST_F(ChaosTest, RoutesRerouteAfterUpdateAndSurviveFailedUpdate) {
+  // The route verb under live weight updates: a successful update_weights
+  // swap must answer subsequent routes from the repaired snapshot (weight
+  // equal to the new distance, path avoiding the now-expensive edge), and a
+  // failed update must leave route serving exactly as it was.
+  const Graph g = ChaosGraph();
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  Result<QueryServer> server = QueryServer::Start(*router_, options);
+  ASSERT_TRUE(server.ok());
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  const Edge edge = g.UndirectedEdges()[3];
+  const std::string route_query = "{\"op\":\"route\",\"source\":" +
+                                  std::to_string(edge.u) + ",\"target\":" +
+                                  std::to_string(edge.v) + "}\n";
+  ASSERT_TRUE(client.Send(route_query));
+  EXPECT_EQ(client.ReadLine(), ExpectedRouteLine(*router_, edge.u, edge.v));
+
+  // Make the edge prohibitively heavy; the repaired facade copy is the
+  // oracle for both the new distance and the new path.
+  const std::vector<EdgeDelta> deltas = {{edge.u, edge.v, 5555}};
+  Result<Router> expected = router_->UpdateWeights(deltas);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_TRUE(client.Send("{\"op\":\"update_weights\",\"edges\":[[" +
+                          std::to_string(edge.u) + "," +
+                          std::to_string(edge.v) + ",5555]]}\n"));
+  EXPECT_EQ(client.ReadLine(),
+            "{\"ok\":true,\"op\":\"update_weights\",\"epoch\":1}");
+
+  const std::string rerouted = ExpectedRouteLine(*expected, edge.u, edge.v);
+  ASSERT_TRUE(client.Send(route_query));
+  EXPECT_EQ(client.ReadLine(), rerouted);
+  // The reported weight really is the post-update distance.
+  RoutePath repaired_route;
+  ASSERT_TRUE(expected->Route(edge.u, edge.v, &repaired_route).ok());
+  EXPECT_EQ(repaired_route.weight, *expected->Distance(edge.u, edge.v));
+
+  // A failed update (non-edge) moves nothing: same epoch, same routes.
+  ASSERT_TRUE(
+      client.Send("{\"op\":\"update_weights\",\"edges\":[[0,99,12]]}\n"));
+  EXPECT_EQ(client.ReadLine().find(
+                "{\"ok\":false,\"code\":\"InvalidArgument\""),
+            0u);
+  EXPECT_EQ(server->epoch(), 1u);
+  ASSERT_TRUE(client.Send(route_query));
+  EXPECT_EQ(client.ReadLine(), rerouted);
+  server->Stop();
+}
+
 TEST_F(ChaosTest, ServerLifecycleLeaksNoFdsOrThreads) {
   const size_t fds_before = OpenFdCount();
   for (int round = 0; round < 3; ++round) {

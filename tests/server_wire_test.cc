@@ -405,6 +405,130 @@ TEST_F(WireTest, ResponsesMatchRouterDistances) {
             0u);
 }
 
+TEST_F(WireTest, RouteResponsesMatchRouterRoutes) {
+  RoutePath expected;
+  ASSERT_TRUE(router_->Route(0, 37, &expected).ok());
+  ASSERT_GE(expected.vertices.size(), 2u);
+  std::string want = "{\"ok\":true,\"op\":\"route\",\"distance\":" +
+                     std::to_string(expected.weight) + ",\"vertices\":[";
+  for (size_t i = 0; i < expected.vertices.size(); ++i) {
+    if (i != 0) want += ",";
+    want += std::to_string(expected.vertices[i]);
+  }
+  want += "]}";
+  EXPECT_EQ(Handle(R"({"op":"route","source":0,"target":37})"), want);
+  // k omitted, k:0 and k:1 are all the single-path shape.
+  EXPECT_EQ(Handle(R"({"op":"route","source":0,"target":37,"k":1})"), want);
+
+  // A route to itself is the one-vertex path of weight zero.
+  EXPECT_EQ(Handle(R"({"op":"route","source":5,"target":5})"),
+            "{\"ok\":true,\"op\":\"route\",\"distance\":0,\"vertices\":[5]}");
+
+  // k >= 2 mirrors Router::Routes exactly: ascending alternatives, the
+  // first one optimal.
+  const auto alts = router_->Routes(0, 37, 3);
+  ASSERT_TRUE(alts.ok()) << alts.status().ToString();
+  ASSERT_FALSE(alts->empty());
+  EXPECT_EQ((*alts)[0].weight, expected.weight);
+  std::string kwant = "{\"ok\":true,\"op\":\"route\",\"count\":" +
+                      std::to_string(alts->size()) + ",\"routes\":[";
+  for (size_t i = 0; i < alts->size(); ++i) {
+    if (i != 0) kwant += ",";
+    kwant += "{\"distance\":" + std::to_string((*alts)[i].weight) +
+             ",\"vertices\":[";
+    for (size_t j = 0; j < (*alts)[i].vertices.size(); ++j) {
+      if (j != 0) kwant += ",";
+      kwant += std::to_string((*alts)[i].vertices[j]);
+    }
+    kwant += "]}";
+  }
+  kwant += "]}";
+  EXPECT_EQ(Handle(R"({"op":"route","source":0,"target":37,"k":3})"), kwant);
+
+  // Unreachable (an out-of-range id under the lenient policy): distance
+  // null with no vertices; count 0 with no routes for k >= 2.
+  EXPECT_EQ(Handle(R"({"op":"route","source":0,"target":999999,)"
+                   R"("missing":"unreachable"})"),
+            "{\"ok\":true,\"op\":\"route\",\"distance\":null,"
+            "\"vertices\":[]}");
+  EXPECT_EQ(Handle(R"({"op":"route","source":0,"target":999999,"k":3,)"
+                   R"("missing":"unreachable"})"),
+            "{\"ok\":true,\"op\":\"route\",\"count\":0,\"routes\":[]}");
+}
+
+TEST_F(WireTest, HostileRoutePayloadsAreErrorsNotAborts) {
+  const char* kBad[] = {
+      R"({"op":"route"})",                               // no endpoints
+      R"({"op":"route","source":0})",                    // missing target
+      R"({"op":"route","target":5})",                    // missing source
+      R"({"op":"route","sources":[0,1],"target":5})",    // two sources
+      R"({"op":"route","source":0,"targets":[5,6]})",    // two targets
+      R"({"op":"route","source":0,"targets":[]})",       // empty target list
+      R"({"op":"route","source":0,"target":5,"k":-1})",  // negative k
+      R"({"op":"route","source":0,"target":5,"k":1.5})",  // fractional k
+      R"({"op":"route","source":0,"target":5,"k":17})",   // just over the cap
+      R"({"op":"route","source":0,"target":5,"k":10000})",     // far over
+      R"({"op":"route","source":0,"target":5,"k":999999999999999999999})",
+      R"({"op":"route","source":-3,"target":5})",        // negative id
+      R"({"op":"route","source":"zero","target":5})",    // string id
+      R"({"op":"route","source":0,"target":[5]})",       // array target
+      R"({"op":"route","source":0,"target":5,"edges":7})",  // non-array edges
+      R"({"op":"route","source":0,"target":999999})",    // OOR, default policy
+      R"({"op":"route","source":0,"target":5,"k":})",    // truncated
+  };
+  for (const char* line : kBad) {
+    const std::string response = Handle(line);
+    EXPECT_EQ(response.find("{\"ok\":false"), 0u) << line << " -> "
+                                                  << response;
+  }
+  // The "missing":"unchecked" facade policy is not a wire surface: ids on
+  // the wire are untrusted by definition.
+  EXPECT_EQ(Handle(R"({"op":"route","source":0,"target":5,)"
+                   R"("missing":"unchecked"})")
+                .find("{\"ok\":false"),
+            0u);
+  // The cap itself is fine.
+  EXPECT_EQ(Handle(R"({"op":"route","source":0,"target":5,"k":16})")
+                .find("{\"ok\":true"),
+            0u);
+}
+
+TEST_F(WireTest, RouteOnDistanceOnlyIndexIsFailedPrecondition) {
+  // An old-format (hint-less) index file opened for serving answers
+  // distances but has nothing to unpack routes against: ok:false with
+  // FailedPrecondition — and the connection keeps serving.
+  BuildOptions options;
+  options.route_hints = false;
+  Result<Router> hintless = Router::Build(WireTestGraph(), options);
+  ASSERT_TRUE(hintless.ok()) << hintless.status().ToString();
+  const std::string path =
+      ::testing::TempDir() + "/wire_hintless_route.hc2l";
+  ASSERT_TRUE(hintless->Save(path).ok());
+  Result<Router> opened = Router::Open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Result<ThreadedRouter> threaded = opened->WithThreads(1);
+  ASSERT_TRUE(threaded.ok());
+
+  RequestHandler handler;
+  std::string out;
+  handler.HandleLine(R"({"op":"route","source":0,"target":7})", *opened,
+                     *threaded, &out);
+  EXPECT_EQ(out.find("{\"ok\":false,\"code\":\"FailedPrecondition\""), 0u)
+      << out;
+  out.clear();
+  handler.HandleLine(R"({"op":"route","source":0,"target":7,"k":3})",
+                     *opened, *threaded, &out);
+  EXPECT_EQ(out.find("{\"ok\":false,\"code\":\"FailedPrecondition\""), 0u)
+      << out;
+  // Distances still serve on the same connection.
+  out.clear();
+  handler.HandleLine(R"({"op":"batch","source":0,"targets":[7]})", *opened,
+                     *threaded, &out);
+  EXPECT_EQ(out, "{\"ok\":true,\"op\":\"batch\",\"distances\":[" +
+                     std::to_string(*opened->Distance(0, 7)) + "]}\n");
+}
+
 TEST_F(WireTest, OversizedRequestIsRejected) {
   // A matrix whose result would exceed the per-request cap fails cleanly.
   std::string line = R"({"op":"matrix","sources":[)";

@@ -322,6 +322,39 @@ def main():
         print(f"check_bench: directed section: not in the {missing_in} "
               f"snapshot, skipped")
 
+    # The route-unpacking section: ns per unpacked edge for both flavours,
+    # machine-matched like every other absolute timing, skipped (never
+    # failed) when the section is missing on either side. A whole route on
+    # grid48 is only ~2-4 us, so even the bench's best-of-3 shows ~±15%
+    # run-to-run jitter on a shared box — the route gate therefore uses a
+    # 60% threshold (a real regression, e.g. losing the hint walk to the
+    # Dijkstra fallback, is ~100x, not 1.6x).
+    route_threshold = max(args.threshold, 0.60)
+    fresh_route = fresh.get("route")
+    committed_route = committed.get("route")
+    if isinstance(fresh_route, dict) and isinstance(committed_route, dict):
+        for flavour in ("undirected", "directed"):
+            for metric in ("ns_per_edge", "ns_per_route"):
+                fresh_v = lookup(fresh_route, (flavour, metric))
+                committed_v = lookup(committed_route, (flavour, metric))
+                if fresh_v is None or committed_v is None or committed_v <= 0:
+                    print(f"check_bench: route {flavour} {metric}: missing "
+                          f"in a snapshot, skipped")
+                    continue
+                ratio = fresh_v / committed_v
+                verdict = ("OK" if ratio <= 1.0 + route_threshold
+                           else "REGRESSION")
+                print(f"check_bench: route {flavour} {metric}: "
+                      f"committed={committed_v:.2f} fresh={fresh_v:.2f} "
+                      f"ratio={ratio:.2f} {verdict}")
+                if verdict != "OK":
+                    failures.append(f"route.{flavour}.{metric}")
+    else:
+        missing_in = "fresh" if not isinstance(fresh_route, dict) \
+            else "committed"
+        print(f"check_bench: route section: not in the {missing_in} "
+              f"snapshot, skipped")
+
     if failures:
         print(f"check_bench: FAILED — >{args.threshold:.0%} regression in: "
               + ", ".join(failures))

@@ -25,6 +25,14 @@
 //       T = 0 for all cores) the pairs are answered by the parallel query
 //       engine in input order; without it queries stream one at a time.
 //
+//   hc2l route --index index.hc2l [--pairs pairs.txt] [--k K]
+//       Unpack shortest paths. Pairs come from --pairs or stdin like query;
+//       "s t" (1-based) -> one line "weight: v1 v2 ... vn" (1-based vertex
+//       sequence) or "inf". With --k K >= 2 each pair prints up to K
+//       alternative routes, best first. Needs a hint-carrying index
+//       (HC2L0003/HC2D0003, the default build) — older files answer
+//       distances only.
+//
 //   hc2l stats --index index.hc2l
 //       Print construction and size statistics of a saved index (either
 //       format).
@@ -115,7 +123,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hc2l <generate|build|query|stats|serve|client> "
+               "usage: hc2l <generate|build|query|route|stats|serve|client> "
                "[options]\n"
                "  generate --rows R --cols C --out FILE [--seed S] "
                "[--travel-time] [--pendant-frac F] [--oneway-frac F]\n"
@@ -123,6 +131,7 @@ int Usage() {
                "[--leaf-size L] [--threads T] [--no-tail-pruning] "
                "[--no-contraction]\n"
                "  query    --index FILE [--pairs FILE] [--threads T]\n"
+               "  route    --index FILE [--pairs FILE] [--k K]\n"
                "  stats    --index FILE\n"
                "  serve    --index FILE [--port P] [--host H] [--threads T]\n"
                "  client   [--port P] [--host H] [--retry N]\n");
@@ -268,6 +277,77 @@ int RunQuery(const Args& args) {
     }
   }
   return 0;
+}
+
+int RunRoute(const Args& args) {
+  const char* index_path = args.Get("--index");
+  if (index_path == nullptr) return Usage();
+  const long k = args.GetLong("--k", 1);
+  if (k < 1 || k > 64) {
+    std::fprintf(stderr, "error: --k must be in [1, 64], got %ld\n", k);
+    return 2;
+  }
+  Result<Router> router = Router::Open(index_path);
+  if (!router.ok()) return Fail(router.status());
+
+  std::FILE* in = stdin;
+  const char* pairs_path = args.Get("--pairs");
+  if (pairs_path != nullptr) {
+    in = std::fopen(pairs_path, "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", pairs_path);
+      return 1;
+    }
+  }
+  const unsigned long long n = router->NumVertices();
+  // "weight: v1 v2 ... vn" with the CLI's 1-based DIMACS ids, like query.
+  const auto print_route = [](const RoutePath& route) {
+    if (route.weight == kInfDist) {
+      std::printf("inf\n");
+      return;
+    }
+    std::printf("%llu:", static_cast<unsigned long long>(route.weight));
+    for (const Vertex v : route.vertices) {
+      std::printf(" %llu", static_cast<unsigned long long>(v) + 1);
+    }
+    std::printf("\n");
+  };
+
+  unsigned long long s = 0;
+  unsigned long long t = 0;
+  RoutePath route;
+  int status = 0;
+  while (std::fscanf(in, "%llu %llu", &s, &t) == 2) {
+    if (s < 1 || t < 1 || s > n || t > n) {
+      std::printf("out-of-range\n");
+      continue;
+    }
+    const Vertex from = static_cast<Vertex>(s - 1);
+    const Vertex to = static_cast<Vertex>(t - 1);
+    if (k == 1) {
+      if (const Status st = router->Route(from, to, &route); !st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        status = 1;
+        break;
+      }
+      print_route(route);
+      continue;
+    }
+    const Result<std::vector<RoutePath>> alts =
+        router->Routes(from, to, static_cast<size_t>(k));
+    if (!alts.ok()) {
+      std::fprintf(stderr, "error: %s\n", alts.status().ToString().c_str());
+      status = 1;
+      break;
+    }
+    if (alts->empty()) {
+      std::printf("inf\n");
+      continue;
+    }
+    for (const RoutePath& alt : *alts) print_route(alt);
+  }
+  if (in != stdin) std::fclose(in);
+  return status;
 }
 
 int RunStats(const Args& args) {
@@ -426,6 +506,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return hc2l::RunGenerate(args);
   if (command == "build") return hc2l::RunBuild(args);
   if (command == "query") return hc2l::RunQuery(args);
+  if (command == "route") return hc2l::RunRoute(args);
   if (command == "stats") return hc2l::RunStats(args);
   if (command == "serve") return hc2l::RunServe(args);
   if (command == "client") return hc2l::RunClient(args);
