@@ -1,0 +1,242 @@
+// Continental-scale serving bench: cold-open latency of the mmap-able V4
+// format vs the heap deserialize, arena residency split, and query latency
+// through a 3-shard sharded index — all on a grid96-scale road network
+// (~12k vertices, the largest fixture in the suite).
+//
+// The headline number is the cold-open speedup: Router::Open with
+// OpenMode::kMmap parses only the section table and the small metadata
+// section, mapping the label/hint arenas in place, while the heap open
+// copies every arena byte and scans the hint entries. The numbers are
+// merged into BENCH_query.json as the "large_graph" section and gated by
+// tools/check_bench.py (machine-matched absolutes plus an always-on
+// speedup floor). Like the "route" section, the merge splices BEFORE the
+// "update_latency"/"parallel" markers, whose own merges truncate forward.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchsupport/table_printer.h"
+#include "benchsupport/workload.h"
+#include "common/timer.h"
+#include "graph/road_network_generator.h"
+#include "hc2l/hc2l.h"
+#include "shard/sharded_index.h"
+
+namespace {
+
+using namespace hc2l;
+
+/// Best-of-N cold opens in one mode, in milliseconds. Every rep opens a
+/// fresh Router from the same (page-cache-warm) file, so the measurement
+/// isolates the deserialize-vs-map work rather than disk latency.
+double MeasureColdOpenMs(const std::string& path, OpenMode mode, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    Result<Router> router = Router::Open(path, mode);
+    const double ms = timer.Seconds() * 1e3;
+    if (!router.ok()) {
+      std::fprintf(stderr, "FATAL: open failed: %s\n",
+                   router.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Best-of-3 per-query nanoseconds over `pairs` via DistanceUnchecked (the
+/// facade's hot path). The checksum defeats dead-code elimination.
+double MeasureQueryNs(const Router& router,
+                      const std::vector<QueryPair>& pairs) {
+  uint64_t checksum = 0;
+  for (const auto& [s, t] : pairs) checksum += router.DistanceUnchecked(s, t);
+  double best_s = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer timer;
+    for (const auto& [s, t] : pairs) {
+      checksum += router.DistanceUnchecked(s, t);
+    }
+    const double s = timer.Seconds();
+    if (rep == 0 || s < best_s) best_s = s;
+  }
+  if (checksum == 0) std::printf("(empty checksum)\n");
+  return best_s * 1e9 / pairs.size();
+}
+
+/// Splices the "large_graph" section into BENCH_query.json, before the
+/// "update_latency"/"parallel" markers (their merges truncate forward and
+/// would destroy anything placed after them).
+void MergeLargeGraphSection(const std::string& path,
+                            const std::string& section) {
+  std::string existing;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb"); f != nullptr) {
+    char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      existing.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  const std::string kMarker = ",\n  \"large_graph\":";
+  const std::string kUpdateMarker = ",\n  \"update_latency\":";
+  const std::string kParallelMarker = ",\n  \"parallel\":";
+  if (const size_t m = existing.find(kMarker); m != std::string::npos) {
+    size_t next = existing.find(kUpdateMarker, m);
+    if (next == std::string::npos) {
+      next = existing.find(kParallelMarker, m);
+    }
+    existing = existing.substr(0, m) +
+               (next != std::string::npos ? existing.substr(next) : "\n}\n");
+  }
+  std::string out;
+  size_t insert = existing.find(kUpdateMarker);
+  if (insert == std::string::npos) insert = existing.find(kParallelMarker);
+  const size_t close = existing.rfind('}');
+  if (close == std::string::npos) {
+    out = "{\n  \"bench\": \"large_graph\"" + section + "\n}\n";
+  } else if (insert != std::string::npos) {
+    out = existing.substr(0, insert) + section + existing.substr(insert);
+  } else {
+    out = existing.substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+    out += section + "\n}\n";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+}  // namespace
+
+int main() {
+  RoadNetworkOptions opt;
+  opt.rows = 96;
+  opt.cols = 96;
+  opt.seed = 2026;
+  const Graph g = GenerateRoadNetwork(opt);
+
+  std::printf("=== Continental-scale serving: mmap cold open + shards ===\n");
+  std::printf("graph: %zu vertices\n\n", g.NumVertices());
+
+  BuildOptions build;
+  build.num_threads = 0;  // all hardware threads
+  Result<Router> mono = Router::Build(g, build);
+  if (!mono.ok()) {
+    std::fprintf(stderr, "FATAL: build failed\n");
+    return 1;
+  }
+  const std::string index_path = TempPath("hc2l_bench_large.idx");
+  if (!mono->Save(index_path).ok()) {
+    std::fprintf(stderr, "FATAL: save failed\n");
+    return 1;
+  }
+
+  constexpr int kOpenReps = 5;
+  const double heap_ms = MeasureColdOpenMs(index_path, OpenMode::kHeap,
+                                           kOpenReps);
+  const double mmap_ms = MeasureColdOpenMs(index_path, OpenMode::kMmap,
+                                           kOpenReps);
+  const double speedup = mmap_ms > 0.0 ? heap_ms / mmap_ms : 0.0;
+
+  Result<Router> mapped = Router::Open(index_path, OpenMode::kMmap);
+  Result<Router> heaped = Router::Open(index_path, OpenMode::kHeap);
+  if (!mapped.ok() || !heaped.ok()) {
+    std::fprintf(stderr, "FATAL: reopen failed\n");
+    return 1;
+  }
+  const IndexInfo mapped_info = mapped->Info();
+  const IndexInfo heaped_info = heaped->Info();
+
+  // The sharded layer on the same graph: 3 shards, queried through the
+  // facade over the saved manifest (the serving configuration). Uniform
+  // random pairs on a 3-way partition mostly cross shards, so the number
+  // is dominated by the boundary-join path.
+  ShardOptions shard_options;
+  shard_options.num_shards = 3;
+  shard_options.num_threads = 0;
+  Result<ShardedIndex> sharded = ShardedIndex::Build(g, shard_options);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "FATAL: shard build failed: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  const std::string manifest_path = TempPath("hc2l_bench_large.hc2s");
+  if (!sharded->Save(manifest_path).ok()) {
+    std::fprintf(stderr, "FATAL: manifest save failed\n");
+    return 1;
+  }
+  Result<Router> sharded_router = Router::Open(manifest_path, OpenMode::kMmap);
+  if (!sharded_router.ok()) {
+    std::fprintf(stderr, "FATAL: manifest open failed: %s\n",
+                 sharded_router.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t kPairs = 20000;
+  const auto pairs = UniformRandomPairs(g.NumVertices(), kPairs, 17);
+  const double mono_ns = MeasureQueryNs(*mapped, pairs);
+  const double sharded_ns = MeasureQueryNs(*sharded_router, pairs);
+
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"cold open, heap [ms]", FormatDouble(heap_ms, 2)});
+  table.AddRow({"cold open, mmap [ms]", FormatDouble(mmap_ms, 2)});
+  table.AddRow({"open speedup", FormatDouble(speedup, 1) + "x"});
+  table.AddRow({"mmap mapped bytes",
+                std::to_string(mapped_info.mapped_bytes)});
+  table.AddRow({"mmap heap bytes", std::to_string(mapped_info.heap_bytes)});
+  table.AddRow({"heap-open heap bytes",
+                std::to_string(heaped_info.heap_bytes)});
+  table.AddRow({"shards", std::to_string(sharded->NumShards())});
+  table.AddRow({"boundary vertices",
+                std::to_string(sharded->NumBoundaryVertices())});
+  table.AddRow({"mono query [ns]", FormatDouble(mono_ns, 1)});
+  table.AddRow({"sharded query [ns]", FormatDouble(sharded_ns, 1)});
+  table.Print();
+
+  char section[768];
+  std::snprintf(
+      section, sizeof(section),
+      ",\n  \"large_graph\": {\n"
+      "    \"api\": \"router\",\n"
+      "    \"vertices\": %zu,\n"
+      "    \"queries\": %zu,\n"
+      "    \"cold_open_heap_ms\": %.3f,\n"
+      "    \"cold_open_mmap_ms\": %.3f,\n"
+      "    \"open_speedup\": %.1f,\n"
+      "    \"mmap_mapped_bytes\": %llu,\n"
+      "    \"mmap_heap_bytes\": %llu,\n"
+      "    \"shards\": %zu,\n"
+      "    \"boundary_vertices\": %zu,\n"
+      "    \"mono_query_ns\": %.1f,\n"
+      "    \"sharded_query_ns\": %.1f\n  }",
+      g.NumVertices(), kPairs, heap_ms, mmap_ms, speedup,
+      static_cast<unsigned long long>(mapped_info.mapped_bytes),
+      static_cast<unsigned long long>(mapped_info.heap_bytes),
+      sharded->NumShards(), sharded->NumBoundaryVertices(), mono_ns,
+      sharded_ns);
+  const char* json = std::getenv("HC2L_BENCH_JSON");
+  const std::string path = json != nullptr ? json : "BENCH_query.json";
+  MergeLargeGraphSection(path, section);
+  std::printf("merged large_graph section into %s\n", path.c_str());
+
+  std::remove(index_path.c_str());
+  std::remove(manifest_path.c_str());
+  for (size_t k = 0; k < sharded->NumShards(); ++k) {
+    std::remove((manifest_path + "." + std::to_string(k)).c_str());
+  }
+  return 0;
+}

@@ -81,6 +81,19 @@ struct ParallelOptions {
   uint32_t min_shard_queries = 1024;
 };
 
+/// How Router::Open attaches an index file's label storage.
+enum class OpenMode {
+  /// Deserialize everything onto the heap (every format).
+  kHeap,
+  /// Map the label/hint arenas of a sectioned V4 file (HC2L0004/HC2D0004)
+  /// in place: O(1) open — only the metadata section is parsed, no arena
+  /// copy — with the mapped pages advised MADV_RANDOM for the label access
+  /// pattern. Legacy formats silently fall back to the heap path (their
+  /// arenas interleave with the metadata stream). Shard manifests open
+  /// every member shard in this mode. Queries are bit-identical to kHeap.
+  kMmap,
+};
+
 /// Size and construction statistics, unified across both index flavours.
 /// Fields that only exist for one flavour are documented as such.
 struct IndexInfo {
@@ -111,6 +124,16 @@ struct IndexInfo {
   /// opened HC2L0002 file reports the original build's time; directed
   /// indexes do not persist it and report 0 after Open.
   double build_seconds = 0.0;
+  /// Label storage (arenas + offset tables, labels and route hints, all
+  /// directions) split by backing: bytes served from a file mapping
+  /// (OpenMode::kMmap on a V4 file; paged in on demand) vs bytes held on
+  /// the heap. A mapped open views the offset tables as well as the
+  /// arenas, so its heap share is only the parsed metadata.
+  uint64_t mapped_bytes = 0;
+  uint64_t heap_bytes = 0;
+  /// Member shards when the router was opened from a shard manifest
+  /// (HC2S0001); 0 for a monolithic index.
+  uint64_t num_shards = 0;
 };
 
 class ThreadedRouter;
@@ -120,12 +143,19 @@ class ThreadedRouter;
 /// format magic.
 class Router {
  public:
-  /// Opens a serialized index, sniffing the format magic: HC2L0002/HC2L0003
-  /// load the undirected index, HC2D0001/HC2D0002/HC2D0003 the directed one
-  /// (the 0003 formats carry route hints). Errors: kNotFound (cannot open),
-  /// kInvalidArgument (not an HC2L index file), kDataLoss (truncated or
-  /// corrupt).
+  /// Opens a serialized index, sniffing the format magic:
+  /// HC2L0002/HC2L0003/HC2L0004 load the undirected index,
+  /// HC2D0001/HC2D0002/HC2D0003/HC2D0004 the directed one (formats 0003 and
+  /// up carry route hints), and HC2S0001 — a shard manifest written by
+  /// `hc2l shard` — loads every member shard and answers queries across
+  /// them, bit-identical to the monolithic index over the same graph.
+  /// Errors: kNotFound (cannot open), kInvalidArgument (not an HC2L index
+  /// file), kDataLoss (truncated or corrupt).
   static Result<Router> Open(const std::string& path);
+
+  /// Open with an explicit label-storage mode (see OpenMode). The
+  /// single-argument overload is Open(path, OpenMode::kHeap).
+  static Result<Router> Open(const std::string& path, OpenMode mode);
 
   /// Builds an undirected index. Errors: kInvalidArgument (bad options).
   static Result<Router> Build(const Graph& graph,
@@ -149,10 +179,13 @@ class Router {
   IndexInfo Info() const;
 
   /// Serializes the index in its flavour's format. Hint-carrying indexes
-  /// (the route_hints default) write HC2L0003/HC2D0003; hint-less ones keep
-  /// the legacy layouts (HC2L0002 for undirected; HC2D0002 for contracted
-  /// directed indexes, HC2D0001 for uncontracted ones — the latter stays
-  /// readable by pre-contraction builds).
+  /// (the route_hints default) write the sectioned, mmap-able
+  /// HC2L0004/HC2D0004 layouts; hint-less ones keep the legacy layouts
+  /// (HC2L0002 for undirected; HC2D0002 for contracted directed indexes,
+  /// HC2D0001 for uncontracted ones — the latter stays readable by
+  /// pre-contraction builds). A sharded router does not Save
+  /// (kFailedPrecondition) — its on-disk form is the manifest it was opened
+  /// from.
   Status Save(const std::string& path) const;
 
   /// Exact distance d(s, t) — d(s -> t) for directed indexes; kInfDist when

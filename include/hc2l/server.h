@@ -112,6 +112,11 @@ struct ServerOptions {
   /// router has no graph of its own). Empty: reloaded snapshots accept no
   /// weight updates until the next restart with a graph-attached router.
   std::string graph_path;
+  /// Reload ("reload" op / SIGHUP) reopens the index with OpenMode::kMmap —
+  /// set this when the initial router was opened that way, so a hot reload
+  /// keeps the label arenas file-backed instead of silently deserializing
+  /// them onto the heap.
+  bool open_mmap = false;
 };
 
 /// The TCP front end. Construction binds, listens and spawns the accept

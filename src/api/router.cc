@@ -16,6 +16,7 @@
 #include "search/dijkstra.h"
 #include "search/directed_dijkstra.h"
 #include "server/query_engine.h"
+#include "shard/sharded_index.h"
 
 namespace hc2l {
 
@@ -479,6 +480,7 @@ struct Router::Impl {
   // Exactly one is non-null.
   std::unique_ptr<Hc2lIndex> undirected;
   std::unique_ptr<DirectedHc2lIndex> directed;
+  std::unique_ptr<ShardedIndex> sharded;
   // The graph UpdateWeights repairs against (and hint-less undirected
   // indexes unpack routes against): kept by Build(const Graph&), attachable
   // after Open via AttachGraph, carried forward (with the deltas applied)
@@ -492,11 +494,13 @@ struct Router::Impl {
   // undirected flavour carries its own persisted Hc2lStats instead.
   double directed_build_seconds = 0.0;
 
-  /// Calls fn on whichever concrete index is present. Both instantiations
+  /// Calls fn on whichever concrete index is present. All instantiations
   /// must return the same type (the query surfaces are shape-identical).
   template <typename Fn>
   decltype(auto) Visit(Fn&& fn) const {
-    return undirected != nullptr ? fn(*undirected) : fn(*directed);
+    if (undirected != nullptr) return fn(*undirected);
+    if (directed != nullptr) return fn(*directed);
+    return fn(*sharded);
   }
 };
 
@@ -509,6 +513,11 @@ namespace {
 template <typename RouterImpl>
 Status RouteOnImpl(const RouterImpl& impl, Vertex s, Vertex t,
                    RoutePath* out) {
+  if (impl.sharded != nullptr) {
+    // Sharded indexes always carry route hints (Build forces them on, Load
+    // rejects hint-less shards).
+    return impl.sharded->Route(s, t, out);
+  }
   if (impl.undirected != nullptr) {
     if (impl.undirected->HasRouteHints()) {
       return impl.undirected->Route(s, t, out);
@@ -541,6 +550,9 @@ Status RoutesOnImpl(const RouterImpl& impl, Vertex s, Vertex t, size_t k,
                     std::vector<RoutePath>* out) {
   out->clear();
   if (k == 0) return Status::Ok();
+  if (impl.sharded != nullptr) {
+    return impl.sharded->Routes(s, t, k, out);
+  }
   if (impl.undirected != nullptr && impl.undirected->HasRouteHints()) {
     return impl.undirected->Routes(s, t, k, out);
   }
@@ -589,6 +601,10 @@ Router& Router::operator=(Router&&) noexcept = default;
 Router::~Router() = default;
 
 Result<Router> Router::Open(const std::string& path) {
+  return Open(path, OpenMode::kHeap);
+}
+
+Result<Router> Router::Open(const std::string& path, OpenMode mode) {
   uint64_t magic = 0;
   {
     io::FilePtr f(std::fopen(path.c_str(), "rb"));
@@ -600,22 +616,29 @@ Result<Router> Router::Open(const std::string& path) {
       return Status::DataLoss(path + " is too short to hold an index header");
     }
   }
+  const bool use_mmap = mode == OpenMode::kMmap;
   auto impl = std::make_unique<Impl>();
-  if (magic == kHc2lIndexMagic || magic == kHc2lIndexMagicV3) {
-    Result<Hc2lIndex> index = Hc2lIndex::Load(path);
+  if (magic == kHc2lIndexMagic || magic == kHc2lIndexMagicV3 ||
+      magic == kHc2lIndexMagicV4) {
+    Result<Hc2lIndex> index = Hc2lIndex::Load(path, use_mmap);
     if (!index.ok()) return index.status();
     impl->undirected =
         std::make_unique<Hc2lIndex>(std::move(index).value());
   } else if (magic == kDirectedIndexMagic || magic == kDirectedIndexMagicV2 ||
-             magic == kDirectedIndexMagicV3) {
-    Result<DirectedHc2lIndex> index = DirectedHc2lIndex::Load(path);
+             magic == kDirectedIndexMagicV3 ||
+             magic == kDirectedIndexMagicV4) {
+    Result<DirectedHc2lIndex> index = DirectedHc2lIndex::Load(path, use_mmap);
     if (!index.ok()) return index.status();
     impl->directed =
         std::make_unique<DirectedHc2lIndex>(std::move(index).value());
+  } else if (magic == kShardManifestMagic) {
+    Result<ShardedIndex> index = ShardedIndex::Load(path, use_mmap);
+    if (!index.ok()) return index.status();
+    impl->sharded = std::make_unique<ShardedIndex>(std::move(index).value());
   } else {
     return Status::InvalidArgument(
         path + " is not an HC2L index (unrecognized format magic; expected "
-               "HC2L0002, HC2L0003, HC2D0001, HC2D0002 or HC2D0003)");
+               "HC2L0002-0004, HC2D0001-0004 or an HC2S0001 shard manifest)");
   }
   return Router(std::move(impl));
 }
@@ -654,7 +677,10 @@ Result<Router> Router::Build(const Digraph& graph,
   return Router(std::move(impl));
 }
 
-bool Router::directed() const { return impl_->directed != nullptr; }
+bool Router::directed() const {
+  if (impl_->sharded != nullptr) return impl_->sharded->directed();
+  return impl_->directed != nullptr;
+}
 
 uint64_t Router::NumVertices() const {
   return impl_->Visit(
@@ -663,6 +689,58 @@ uint64_t Router::NumVertices() const {
 
 IndexInfo Router::Info() const {
   IndexInfo info;
+  if (impl_->sharded != nullptr) {
+    const ShardedIndex& sharded = *impl_->sharded;
+    info.directed = sharded.directed();
+    info.num_vertices = sharded.NumVertices();
+    info.num_shards = sharded.NumShards();
+    // Aggregate over the member shards: sums for sizes, max for heights and
+    // cuts (replicated boundary vertices make the core/contracted sums
+    // slightly exceed the monolithic figures — that duplication is exactly
+    // the sharding overhead the fields should surface).
+    for (const Hc2lIndex& shard : sharded.UndirectedShards()) {
+      const Hc2lStats& s = shard.Stats();
+      info.num_core_vertices += s.num_core_vertices;
+      info.num_contracted += s.num_contracted;
+      info.tree_height = std::max<uint32_t>(info.tree_height, s.tree_height);
+      info.num_tree_nodes += s.num_tree_nodes;
+      info.max_cut_size = std::max(info.max_cut_size, s.max_cut_size);
+      info.num_shortcuts += s.num_shortcuts;
+      info.label_entries += s.label_entries;
+      info.label_logical_bytes += s.label_bytes;
+      info.label_resident_bytes += shard.LabelSizeBytes();
+      info.lca_bytes += s.lca_bytes;
+      info.build_seconds += s.build_seconds;
+    }
+    for (const DirectedHc2lIndex& shard : sharded.DirectedShards()) {
+      const BalancedTreeHierarchy& h = shard.Hierarchy();
+      info.num_core_vertices += shard.NumCoreVertices();
+      info.num_contracted += shard.NumContracted();
+      info.tree_height = std::max(info.tree_height, h.Height());
+      info.num_tree_nodes += h.NumNodes();
+      info.max_cut_size = std::max<uint64_t>(info.max_cut_size, h.MaxCutSize());
+      info.label_entries += shard.NumEntries();
+      info.label_logical_bytes += shard.LabelLogicalBytes();
+      info.label_resident_bytes += shard.LabelSizeBytes();
+      info.lca_bytes += h.LcaStorageBytes();
+    }
+    if (info.num_tree_nodes > 0) {
+      // Weighted mean of the shard averages.
+      double weighted = 0.0;
+      for (const Hc2lIndex& shard : sharded.UndirectedShards()) {
+        const Hc2lStats& s = shard.Stats();
+        weighted += s.avg_cut_size * static_cast<double>(s.num_tree_nodes);
+      }
+      for (const DirectedHc2lIndex& shard : sharded.DirectedShards()) {
+        const BalancedTreeHierarchy& h = shard.Hierarchy();
+        weighted += h.AvgCutSize() * static_cast<double>(h.NumNodes());
+      }
+      info.avg_cut_size = weighted / static_cast<double>(info.num_tree_nodes);
+    }
+    info.mapped_bytes = sharded.MappedBytes();
+    info.heap_bytes = sharded.ArenaResidentBytes() - info.mapped_bytes;
+    return info;
+  }
   if (impl_->undirected != nullptr) {
     const Hc2lStats& s = impl_->undirected->Stats();
     info.directed = false;
@@ -679,6 +757,9 @@ IndexInfo Router::Info() const {
     info.label_resident_bytes = impl_->undirected->LabelSizeBytes();
     info.lca_bytes = s.lca_bytes;
     info.build_seconds = s.build_seconds;
+    info.mapped_bytes = impl_->undirected->MappedBytes();
+    info.heap_bytes =
+        impl_->undirected->ArenaResidentBytes() - info.mapped_bytes;
   } else {
     const DirectedHc2lIndex& index = *impl_->directed;
     const BalancedTreeHierarchy& h = index.Hierarchy();
@@ -696,11 +777,18 @@ IndexInfo Router::Info() const {
     info.label_resident_bytes = index.LabelSizeBytes();
     info.lca_bytes = h.LcaStorageBytes();
     info.build_seconds = impl_->directed_build_seconds;
+    info.mapped_bytes = index.MappedBytes();
+    info.heap_bytes = index.ArenaResidentBytes() - info.mapped_bytes;
   }
   return info;
 }
 
 Status Router::Save(const std::string& path) const {
+  if (impl_->sharded != nullptr) {
+    return Status::FailedPrecondition(
+        "a sharded router does not Save; its on-disk form is the manifest it "
+        "was opened from (write new shards with `hc2l shard`)");
+  }
   return impl_->Visit([&](const auto& index) { return index.Save(path); });
 }
 
@@ -841,10 +929,11 @@ Result<size_t> Router::KNearestInto(Vertex source,
 
 Status Router::RebuildLabels(const Graph& updated, bool tail_pruning,
                              uint32_t num_threads) {
-  if (impl_->directed != nullptr) {
+  if (impl_->undirected == nullptr) {
     return Status::FailedPrecondition(
-        "RebuildLabels is only supported by undirected indexes (the directed "
-        "extension rebuilds from scratch)");
+        "RebuildLabels is only supported by monolithic undirected indexes "
+        "(the directed extension rebuilds from scratch; sharded indexes "
+        "re-shard with `hc2l shard`)");
   }
   // The concrete index validates what it can cheaply detect (vertex count,
   // pendant structure) before mutating anything.
@@ -867,10 +956,11 @@ bool Router::HasDigraph() const { return impl_->digraph != nullptr; }
 Result<Router> Router::UpdateWeights(std::span<const EdgeDelta> deltas,
                                      bool tail_pruning,
                                      uint32_t num_threads) const {
-  if (impl_->directed != nullptr) {
+  if (impl_->undirected == nullptr) {
     return Status::FailedPrecondition(
-        "UpdateWeights is only supported by undirected indexes (the directed "
-        "extension rebuilds from scratch)");
+        "UpdateWeights is only supported by monolithic undirected indexes "
+        "(the directed extension rebuilds from scratch; sharded indexes "
+        "re-shard with `hc2l shard`)");
   }
   if (impl_->graph == nullptr) {
     return Status::FailedPrecondition(
@@ -912,6 +1002,7 @@ struct ThreadedRouter::Impl {
   // Exactly one is non-null, matching the Router's flavour.
   std::unique_ptr<QueryEngine> undirected;
   std::unique_ptr<DirectedQueryEngine> directed;
+  std::unique_ptr<BasicQueryEngine<ShardedIndex>> sharded;
   // The borrowed Router's impl (the handle must not outlive it anyway):
   // route requests are single queries, answered inline through the same
   // hint-or-fallback primitive as Router::Route rather than sharded.
@@ -920,7 +1011,9 @@ struct ThreadedRouter::Impl {
 
   template <typename Fn>
   decltype(auto) Visit(Fn&& fn) const {
-    return undirected != nullptr ? fn(*undirected) : fn(*directed);
+    if (undirected != nullptr) return fn(*undirected);
+    if (directed != nullptr) return fn(*directed);
+    return fn(*sharded);
   }
 };
 
@@ -1001,9 +1094,12 @@ Result<ThreadedRouter> Router::WithThreads(
   if (impl_->undirected != nullptr) {
     impl->undirected =
         std::make_unique<QueryEngine>(*impl_->undirected, engine_options);
-  } else {
+  } else if (impl_->directed != nullptr) {
     impl->directed = std::make_unique<DirectedQueryEngine>(*impl_->directed,
                                                            engine_options);
+  } else {
+    impl->sharded = std::make_unique<BasicQueryEngine<ShardedIndex>>(
+        *impl_->sharded, engine_options);
   }
   return ThreadedRouter(std::move(impl));
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -64,16 +65,33 @@ class Reader {
     }
   }
 
+  /// Memory-backed cursor over `bytes` at `data`: the V4 mmap loaders parse
+  /// the metadata section straight out of the file mapping, through the
+  /// same bounded interface (and the same fault point) as the file path.
+  Reader(const uint8_t* data, uint64_t bytes) : mem_(data), remaining_(bytes) {}
+
   bool Read(void* p, size_t bytes) {
     if (HC2L_FAULT_SHOULD_FAIL("index.load.read")) return false;
     if (bytes > remaining_) return false;
-    if (std::fread(p, 1, bytes, f_) != bytes) return false;
+    if (mem_ != nullptr) {
+      std::memcpy(p, mem_, bytes);
+      mem_ += bytes;
+    } else if (std::fread(p, 1, bytes, f_) != bytes) {
+      return false;
+    }
     remaining_ -= bytes;
     return true;
   }
 
   /// Bytes left in the file — the hard upper bound for any claimed size.
   uint64_t remaining() const { return remaining_; }
+
+  /// Tightens the bound to `bytes` (no-op when the file holds less). Used
+  /// by the sectioned V4 format: the metadata parser is clamped to its own
+  /// section so a corrupt size field cannot read into the label arenas.
+  void LimitTo(uint64_t bytes) {
+    if (bytes < remaining_) remaining_ = bytes;
+  }
 
   /// True when `count` elements of `elem_bytes` each could still be backed
   /// by the file. Overflow-safe: implies count * elem_bytes <= remaining().
@@ -82,7 +100,8 @@ class Reader {
   }
 
  private:
-  std::FILE* f_;
+  std::FILE* f_ = nullptr;
+  const uint8_t* mem_ = nullptr;
   uint64_t remaining_ = 0;
 };
 
@@ -98,6 +117,20 @@ bool ReadVector(Reader* r, std::vector<T>* v) {
   if (!r->CanHold(size, sizeof(T))) return false;  // cannot be backed: corrupt
   v->resize(size);
   return size == 0 || r->Read(v->data(), size * sizeof(T));
+}
+
+inline bool WriteVector(std::FILE* f, const U32Array& v) {
+  const uint64_t size = v.size();
+  return WriteValue(f, size) &&
+         (size == 0 || WritePod(f, v.data(), size * sizeof(uint32_t)));
+}
+
+inline bool ReadVector(Reader* r, U32Array* v) {
+  uint64_t size = 0;
+  if (!ReadValue(r, &size)) return false;
+  if (!r->CanHold(size, sizeof(uint32_t))) return false;
+  v->ResizeOwned(size);
+  return size == 0 || r->Read(v->MutableData(), size * sizeof(uint32_t));
 }
 
 /// The arena round-trips verbatim (padding included): its size is already a
@@ -127,17 +160,19 @@ inline bool WriteLabelStore(std::FILE* f, const LabelStore& labels) {
 
 /// Structural invariants the query paths index by without bounds checks:
 /// base is a non-decreasing 0-led partition of the array list, and every
-/// (start, len) array lies inside the arena. Rejecting violations at load
-/// time turns a corrupt offset table into a clean load failure instead of
-/// out-of-bounds reads at query time.
-inline bool ValidateLabelStore(const LabelStore& labels) {
+/// (start, len) array lies inside an arena of `arena_size` entries.
+/// Rejecting violations at load time turns a corrupt offset table into a
+/// clean load failure instead of out-of-bounds reads at query time. Split
+/// from ValidateLabelStore so the sectioned V4 loader can validate the
+/// offset tables against the section table's arena size before any arena
+/// bytes are read (or mapped pages touched).
+inline bool ValidateLabelShape(const LabelStore& labels, size_t arena_size) {
   if (labels.base.empty() || labels.base.front() != 0) return false;
   if (labels.level_start.size() != labels.level_len.size()) return false;
   for (size_t v = 0; v + 1 < labels.base.size(); ++v) {
     if (labels.base[v] > labels.base[v + 1]) return false;
   }
   if (labels.base.back() != labels.level_start.size()) return false;
-  const size_t arena_size = labels.arena.size();
   for (size_t i = 0; i < labels.level_start.size(); ++i) {
     const size_t start = labels.level_start[i];
     // BuildFrom's layout: every array starts on a cache-line boundary and
@@ -150,6 +185,10 @@ inline bool ValidateLabelStore(const LabelStore& labels) {
     }
   }
   return true;
+}
+
+inline bool ValidateLabelStore(const LabelStore& labels) {
+  return ValidateLabelShape(labels, labels.arena.size());
 }
 
 inline bool ReadLabelStore(Reader* r, LabelStore* labels) {

@@ -12,28 +12,45 @@ namespace hc2l {
 static_assert(LabelArena::kAlignEntries >= simd::kPadLanes,
               "arena padding must cover the widest vector the kernel reads");
 
-LabelArena::~LabelArena() { std::free(data_); }
+LabelArena::~LabelArena() {
+  if (owned_) std::free(data_);
+}
 
 LabelArena& LabelArena::operator=(LabelArena&& other) noexcept {
   if (this != &other) {
-    std::free(data_);
+    if (owned_) std::free(data_);
     data_ = other.data_;
     size_ = other.size_;
+    owned_ = other.owned_;
     other.data_ = nullptr;
     other.size_ = 0;
+    other.owned_ = true;
   }
   return *this;
 }
 
 void LabelArena::Reset(size_t entries) {
-  std::free(data_);
+  if (owned_) std::free(data_);
   data_ = nullptr;
+  owned_ = true;
   size_ = PaddedCapacity(entries);
   if (size_ == 0) return;
   data_ = static_cast<uint32_t*>(
       std::aligned_alloc(kAlignBytes, size_ * sizeof(uint32_t)));
   HC2L_CHECK(data_ != nullptr);
   std::memset(data_, 0xFF, size_ * sizeof(uint32_t));  // sentinel fill
+}
+
+void LabelArena::ResetView(const uint32_t* data, size_t entries) {
+  HC2L_CHECK_EQ(entries, PaddedCapacity(entries));
+  HC2L_CHECK_EQ(reinterpret_cast<uintptr_t>(data) % kAlignBytes, 0u);
+  if (owned_) std::free(data_);
+  // The const_cast is confined here: every accessor of a view-backed arena
+  // goes through the const data() path (queries never write the arena), and
+  // mutation paths check owned() first.
+  data_ = const_cast<uint32_t*>(data);
+  size_ = entries;
+  owned_ = false;
 }
 
 void LabelStore::BuildFrom(std::vector<std::vector<uint32_t>>* data,
@@ -62,7 +79,7 @@ void LabelStore::BuildFrom(std::vector<std::vector<uint32_t>>* data,
 
   size_t pos = 0;
   for (size_t v = 0; v < n; ++v) {
-    base[v] = static_cast<uint32_t>(level_start.size());
+    base.Set(v, static_cast<uint32_t>(level_start.size()));
     size_t off = 0;
     for (const uint32_t len : (*lens)[v]) {
       level_start.push_back(static_cast<uint32_t>(pos));
@@ -79,7 +96,7 @@ void LabelStore::BuildFrom(std::vector<std::vector<uint32_t>>* data,
     (*data)[v] = {};
     (*lens)[v] = {};
   }
-  base[n] = static_cast<uint32_t>(level_start.size());
+  base.Set(n, static_cast<uint32_t>(level_start.size()));
   HC2L_CHECK_EQ(pos, padded_total);
 }
 

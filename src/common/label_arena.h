@@ -16,6 +16,7 @@
 ///     whole vectors with no scalar tail: padded lanes saturate and never
 ///     win the min-reduction.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -46,6 +47,18 @@ class LabelArena {
   /// whole number of cache lines. Discards previous contents.
   void Reset(size_t entries);
 
+  /// Points the arena at externally owned storage (an mmap'd index file)
+  /// instead of allocating: `entries` must already be padded to a whole
+  /// number of cache lines and `data` 64-byte aligned. The arena does not
+  /// free a view; whoever owns the mapping must outlive it. The buffer is
+  /// treated as const — a view-backed index is read-only by construction
+  /// (its Clone() materializes owned copies).
+  void ResetView(const uint32_t* data, size_t entries);
+
+  /// False for a ResetView arena (the query path never writes, so this only
+  /// matters to mutation paths like RepairLabels, which require ownership).
+  bool owned() const { return owned_; }
+
   uint32_t* data() { return data_; }
   const uint32_t* data() const { return data_; }
   size_t size() const { return size_; }
@@ -54,6 +67,96 @@ class LabelArena {
  private:
   uint32_t* data_ = nullptr;
   size_t size_ = 0;
+  bool owned_ = true;
+};
+
+/// Owned-or-view uint32 array for the label stores' offset tables, the same
+/// pattern as LabelArena: built and mutated as a heap vector, or pointed
+/// into the offsets section of an mmap'd V4 index file by ResetView.
+/// Reads always go through the const subscript (there is no mutable one —
+/// writers use Set, which requires ownership); copying materializes an
+/// owned deep copy, so a cloned index never dangles into a mapping it does
+/// not hold.
+class U32Array {
+ public:
+  U32Array() = default;
+  U32Array(const U32Array& other) { *this = other; }
+  U32Array& operator=(const U32Array& other) {
+    if (this != &other) {
+      owned_.assign(other.data(), other.data() + other.size());
+      view_ = nullptr;
+      view_size_ = 0;
+    }
+    return *this;
+  }
+  U32Array(U32Array&& other) noexcept { *this = std::move(other); }
+  U32Array& operator=(U32Array&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      view_ = other.view_;
+      view_size_ = other.view_size_;
+      other.owned_.clear();
+      other.view_ = nullptr;
+      other.view_size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Points the array at externally owned storage (an mmap'd index file).
+  /// Whoever owns the mapping must outlive the view.
+  void ResetView(const uint32_t* data, size_t size) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    view_ = data;
+    view_size_ = size;
+  }
+
+  /// False for a ResetView array; every mutator requires ownership.
+  bool owned() const { return view_ == nullptr; }
+
+  /// Owned-mode resize for deserialization (drops a previous view); the
+  /// caller fills the buffer through MutableData.
+  void ResizeOwned(size_t size) {
+    view_ = nullptr;
+    view_size_ = 0;
+    owned_.resize(size);
+  }
+  uint32_t* MutableData() { return owned_.data(); }
+
+  const uint32_t* data() const {
+    return view_ != nullptr ? view_ : owned_.data();
+  }
+  size_t size() const { return view_ != nullptr ? view_size_ : owned_.size(); }
+  const uint32_t* begin() const { return data(); }
+  const uint32_t* end() const { return data() + size(); }
+  bool empty() const { return size() == 0; }
+  uint32_t operator[](size_t i) const { return data()[i]; }
+  uint32_t front() const { return data()[0]; }
+  uint32_t back() const { return data()[size() - 1]; }
+  void Set(size_t i, uint32_t value) { owned_[i] = value; }
+
+  void assign(size_t count, uint32_t value) {
+    view_ = nullptr;
+    view_size_ = 0;
+    owned_.assign(count, value);
+  }
+  void clear() {
+    view_ = nullptr;
+    view_size_ = 0;
+    owned_.clear();
+  }
+  void reserve(size_t count) { owned_.reserve(count); }
+  void push_back(uint32_t value) { owned_.push_back(value); }
+
+  friend bool operator==(const U32Array& a, const U32Array& b) {
+    return a.size() == b.size() &&
+           std::equal(a.data(), a.data() + a.size(), b.data());
+  }
+
+ private:
+  std::vector<uint32_t> owned_;
+  const uint32_t* view_ = nullptr;
+  size_t view_size_ = 0;
 };
 
 /// Flattened label storage shared by the undirected and directed indexes:
@@ -61,9 +164,9 @@ class LabelArena {
 ///   arena[level_start[base[v] + i] .. +level_len[base[v] + i]).
 struct LabelStore {
   LabelArena arena;
-  std::vector<uint32_t> level_start;  // aligned arena offset of each array
-  std::vector<uint32_t> level_len;    // true (unpadded) length of each array
-  std::vector<uint32_t> base;         // size n+1; arrays of v: [base[v], base[v+1])
+  U32Array level_start;  // aligned arena offset of each array
+  U32Array level_len;    // true (unpadded) length of each array
+  U32Array base;         // size n+1; arrays of v: [base[v], base[v+1])
 
   /// Lays the per-vertex accumulators out into the arena (consuming them
   /// vertex by vertex to bound peak memory): data[v] holds vertex v's level

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/label_arena.h"
+#include "common/mmap_file.h"
 #include "core/query_common.h"
 #include "graph/digraph.h"
 #include "hc2l/status.h"
@@ -156,15 +157,33 @@ class DirectedHc2lIndex {
   /// Serializes the index (hierarchy + both label stores). Hint-less
   /// indexes keep the legacy layouts — HC2D0001 without contraction
   /// (readable by pre-contraction builds), HC2D0002 with it — while
-  /// hint-carrying indexes write HC2D0003 (an explicit has-contraction
-  /// marker, the legacy body, then the out- and in-hint stores).
+  /// hint-carrying indexes write the sectioned, mmap-able HC2D0004 (a
+  /// 64-byte-aligned section table; metadata plus the four raw arenas as
+  /// separate sections).
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save() — HC2D0001, HC2D0002 or
-  /// HC2D0003 (the latter restores route hints). Errors: kNotFound (cannot
-  /// open), kInvalidArgument (not a directed HC2L file), kDataLoss
-  /// (truncated or corrupt).
+  /// Loads an index previously written by Save() — HC2D0001, HC2D0002,
+  /// HC2D0003 or HC2D0004 (the latter two restore route hints). Errors:
+  /// kNotFound (cannot open), kInvalidArgument (not a directed HC2L file),
+  /// kDataLoss (truncated or corrupt).
   static Result<DirectedHc2lIndex> Load(const std::string& path);
+
+  /// Load with an explicit open mode. With use_mmap and an HC2D0004 file the
+  /// four arenas are mapped in place (O(1) open: only the metadata section
+  /// is parsed and the label pages are advised MADV_RANDOM); legacy formats
+  /// ignore the flag and deserialize onto the heap. A mapped index answers
+  /// queries identically to a heap-loaded one.
+  static Result<DirectedHc2lIndex> Load(const std::string& path,
+                                        bool use_mmap);
+
+  /// Bytes of label/hint storage (arenas + offset tables) backed by a file
+  /// mapping rather than the heap (0 for heap-loaded or built indexes).
+  size_t MappedBytes() const;
+
+  /// Total arena and offset-table bytes of all four stores regardless of
+  /// backing; ArenaResidentBytes() - MappedBytes() is what the label
+  /// structures hold on the heap.
+  size_t ArenaResidentBytes() const;
 
  private:
   DirectedHc2lIndex() = default;
@@ -204,6 +223,9 @@ class DirectedHc2lIndex {
   // hub). Empty when the index is hint-less.
   LabelStore out_hints_;
   LabelStore in_hints_;
+  // Keeps an mmap-backed file alive while any arena above is a view into
+  // it; null for heap-loaded or built indexes.
+  std::shared_ptr<MappedFile> mapping_;
 };
 
 }  // namespace hc2l

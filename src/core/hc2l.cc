@@ -13,6 +13,7 @@
 #include "common/binary_io.h"
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/section_file.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -1420,38 +1421,64 @@ Status Hc2lIndex::Routes(Vertex s, Vertex t, size_t k,
   return Status::Ok();
 }
 
-// Format 2 (kHc2lIndexMagic, src/core/index_format.h): labels stored as the
-// cache-aligned arena (sentinel padding included) plus explicit per-array
-// start/length tables. The helpers live in common/binary_io.h, shared with
-// the directed index. A hint-carrying index appends the hint store and
-// switches the magic to format 3 (kHc2lIndexMagicV3); a hint-less index
-// keeps writing format 2 so files stay readable by older builds.
+// On-disk formats (src/core/index_format.h): a hint-less index writes the
+// legacy format 2 (kHc2lIndexMagic) — stats, optional contraction,
+// hierarchy, label store — so files stay readable by older builds. A
+// hint-carrying index writes the sectioned format 4 (kHc2lIndexMagicV4):
+// the same body with the arenas lifted out into their own 64-byte-aligned
+// sections, so OpenMode::kMmap can use them in place. Format 3 files
+// (V4's predecessor, arenas inline) remain loadable. The helpers live in
+// common/binary_io.h and common/section_file.h, shared with the directed
+// index; byte-level spec in docs/format.md.
 Status Hc2lIndex::Save(const std::string& path) const {
   io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     return Status::Unavailable("cannot open " + path + " for writing");
   }
-  const uint64_t magic =
-      HasRouteHints() ? kHc2lIndexMagicV3 : kHc2lIndexMagic;
-  bool ok = io::WriteValue(f.get(), magic) && io::WriteValue(f.get(), stats_);
-  const uint8_t has_contraction = contraction_ != nullptr ? 1 : 0;
-  ok = ok && io::WriteValue(f.get(), has_contraction);
-  if (ok && has_contraction) {
-    const DegreeOneContraction& c = *contraction_;
-    ok = io::WriteVector(f.get(), c.core_id_) &&
-         io::WriteVector(f.get(), c.to_original_) &&
-         io::WriteVector(f.get(), c.root_core_id_) &&
-         io::WriteVector(f.get(), c.dist_to_root_) &&
-         io::WriteVector(f.get(), c.parent_) &&
-         io::WriteVector(f.get(), c.parent_weight_) &&
-         io::WriteVector(f.get(), c.depth_);
-    const uint64_t contracted = c.num_contracted_;
-    ok = ok && io::WriteValue(f.get(), contracted);
-  }
-  ok = ok && hierarchy_.WriteTo(f.get()) &&
-       io::WriteLabelStore(f.get(), labels_);
-  if (HasRouteHints()) {
-    ok = ok && io::WriteLabelStore(f.get(), hints_);
+  const auto write_contraction = [&](std::FILE* out) {
+    const uint8_t has_contraction = contraction_ != nullptr ? 1 : 0;
+    bool ok = io::WriteValue(out, has_contraction);
+    if (ok && has_contraction) {
+      const DegreeOneContraction& c = *contraction_;
+      ok = io::WriteVector(out, c.core_id_) &&
+           io::WriteVector(out, c.to_original_) &&
+           io::WriteVector(out, c.root_core_id_) &&
+           io::WriteVector(out, c.dist_to_root_) &&
+           io::WriteVector(out, c.parent_) &&
+           io::WriteVector(out, c.parent_weight_) &&
+           io::WriteVector(out, c.depth_);
+      const uint64_t contracted = c.num_contracted_;
+      ok = ok && io::WriteValue(out, contracted);
+    }
+    return ok;
+  };
+
+  bool ok;
+  if (!HasRouteHints()) {
+    ok = io::WriteValue(f.get(), kHc2lIndexMagic) &&
+         io::WriteValue(f.get(), stats_) && write_contraction(f.get()) &&
+         hierarchy_.WriteTo(f.get()) && io::WriteLabelStore(f.get(), labels_);
+  } else {
+    io::SectionWriter w(f.get());
+    const auto write_arena = [&](size_t index, uint64_t id,
+                                 const LabelArena& arena) {
+      return w.Begin(index, id) &&
+             (arena.size() == 0 ||
+              io::WritePod(f.get(), arena.data(), arena.SizeBytes())) &&
+             w.End(index);
+    };
+    // The hint store mirrors the label store's shape (a class invariant the
+    // loader rebuilds by sharing), so one counts record and one offsets
+    // section cover both stores, and both arena sections have equal sizes.
+    HC2L_CHECK_EQ(hints_.arena.size(), labels_.arena.size());
+    ok = w.Start(kHc2lIndexMagicV4, 4) && w.Begin(0, io::kSectionMeta) &&
+         io::WriteValue(f.get(), stats_) && write_contraction(f.get()) &&
+         hierarchy_.WriteTo(f.get()) &&
+         io::WriteLabelStoreCounts(f.get(), labels_) && w.End(0) &&
+         w.Begin(1, io::kSectionLabelOffsets) &&
+         io::WriteLabelStoreOffsets(f.get(), labels_) && w.End(1) &&
+         write_arena(2, io::kSectionLabelArena, labels_.arena) &&
+         write_arena(3, io::kSectionHintArena, hints_.arena) && w.Finish();
   }
   if (!ok) {
     return Status::Unavailable("write error on " + path);
@@ -1460,102 +1487,234 @@ Status Hc2lIndex::Save(const std::string& path) const {
 }
 
 Result<Hc2lIndex> Hc2lIndex::Load(const std::string& path) {
+  return Load(path, /*use_mmap=*/false);
+}
+
+Result<Hc2lIndex> Hc2lIndex::Load(const std::string& path, bool use_mmap) {
   io::FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path);
   }
   io::Reader reader(f.get());
   io::Reader* r = &reader;
+  const uint64_t file_size = reader.remaining();
   uint64_t magic = 0;
   if (!io::ReadValue(r, &magic) ||
-      (magic != kHc2lIndexMagic && magic != kHc2lIndexMagicV3)) {
+      (magic != kHc2lIndexMagic && magic != kHc2lIndexMagicV3 &&
+       magic != kHc2lIndexMagicV4)) {
     return Status::InvalidArgument("not an HC2L index file: " + path);
   }
-  const bool has_hints = magic == kHc2lIndexMagicV3;
   Hc2lIndex index;
-  bool ok = io::ReadValue(r, &index.stats_);
   uint8_t has_contraction = 0;
-  ok = ok && io::ReadValue(r, &has_contraction);
-  if (ok && has_contraction) {
-    index.contraction_ =
-        std::unique_ptr<DegreeOneContraction>(new DegreeOneContraction());
-    DegreeOneContraction& c = *index.contraction_;
-    ok = io::ReadVector(r, &c.core_id_) &&
-         io::ReadVector(r, &c.to_original_) &&
-         io::ReadVector(r, &c.root_core_id_) &&
-         io::ReadVector(r, &c.dist_to_root_) &&
-         io::ReadVector(r, &c.parent_) &&
-         io::ReadVector(r, &c.parent_weight_) &&
-         io::ReadVector(r, &c.depth_);
-    uint64_t contracted = 0;
-    ok = ok && io::ReadValue(r, &contracted);
-    c.num_contracted_ = contracted;
-  }
-  // Query-path hardening against corrupt offset tables (the label store's
-  // own structure is validated inside ReadLabelStore): the per-vertex code
-  // tables must cover every labelled vertex, and each vertex must own at
-  // least depth+1 label arrays so any LCA level indexes inside its range.
-  // Graph-level semantics (weights, actual distances) remain trusted —
-  // index files are not designed to be loaded from adversarial sources.
-  ok = ok && index.hierarchy_.ReadFrom(r) &&
-       io::ReadLabelStore(r, &index.labels_);
-  if (ok && has_hints) {
-    // The hint store must mirror the label store's shape exactly (Route
-    // indexes both with the same offsets), and every true-length entry must
-    // be a core vertex id or the no-hint sentinel.
-    ok = io::ReadLabelStore(r, &index.hints_) &&
-         index.hints_.base == index.labels_.base &&
-         index.hints_.level_start == index.labels_.level_start &&
-         index.hints_.level_len == index.labels_.level_len;
-    const size_t core = ok ? index.hints_.base.size() - 1 : 0;
-    for (size_t v = 0; ok && v < core; ++v) {
+  bool has_hints = magic != kHc2lIndexMagic;
+
+  const auto read_contraction = [&](io::Reader* in) {
+    bool ok = io::ReadValue(in, &has_contraction);
+    if (ok && has_contraction) {
+      index.contraction_ =
+          std::unique_ptr<DegreeOneContraction>(new DegreeOneContraction());
+      DegreeOneContraction& c = *index.contraction_;
+      ok = io::ReadVector(in, &c.core_id_) &&
+           io::ReadVector(in, &c.to_original_) &&
+           io::ReadVector(in, &c.root_core_id_) &&
+           io::ReadVector(in, &c.dist_to_root_) &&
+           io::ReadVector(in, &c.parent_) &&
+           io::ReadVector(in, &c.parent_weight_) &&
+           io::ReadVector(in, &c.depth_);
+      uint64_t contracted = 0;
+      ok = ok && io::ReadValue(in, &contracted);
+      c.num_contracted_ = contracted;
+    }
+    return ok;
+  };
+
+  // The hint store must mirror the label store's shape exactly (Route
+  // indexes both with the same offsets).
+  const auto hints_match_labels = [&]() {
+    return index.hints_.base == index.labels_.base &&
+           index.hints_.level_start == index.labels_.level_start &&
+           index.hints_.level_len == index.labels_.level_len;
+  };
+
+  // Every true-length hint entry must be a core vertex id or the no-hint
+  // sentinel. O(entries) — run on heap loads only; a mapped open skips it
+  // (the point of kMmap is not touching the arena pages) and relies on
+  // CoreRoute's per-step range checks instead, which re-validate every hint
+  // the walk actually dereferences.
+  const auto validate_hint_entries = [&]() {
+    const size_t core = index.hints_.base.size() - 1;
+    for (size_t v = 0; v < core; ++v) {
       for (uint32_t a = index.hints_.base[v]; a < index.hints_.base[v + 1];
            ++a) {
         const uint32_t start = index.hints_.level_start[a];
         const uint32_t len = index.hints_.level_len[a];
-        for (uint32_t j = 0; ok && j < len; ++j) {
+        for (uint32_t j = 0; j < len; ++j) {
           const uint32_t e = index.hints_.arena.data()[start + j];
-          ok = e == kInvalidVertex || e < core;
+          if (e != kInvalidVertex && e >= core) return false;
         }
       }
     }
-  }
-  if (ok && has_contraction) {
-    // The contraction mapping is indexed by the query paths without bounds
-    // checks: its arrays must agree in size and every id must stay in
-    // range, mirroring the directed loader's validation.
-    const DegreeOneContraction& c = *index.contraction_;
-    const size_t n = c.core_id_.size();
-    const size_t core = c.to_original_.size();
-    ok = c.root_core_id_.size() == n && c.dist_to_root_.size() == n &&
-         c.parent_.size() == n && c.parent_weight_.size() == n &&
-         c.depth_.size() == n && core + c.num_contracted_ == n;
-    for (size_t v = 0; ok && v < n; ++v) {
-      ok = c.root_core_id_[v] < core && c.parent_[v] < n &&
-           (c.core_id_[v] == kInvalidVertex ||
-            (c.core_id_[v] < core &&
-             c.to_original_[c.core_id_[v]] == static_cast<Vertex>(v)));
+    return true;
+  };
+
+  // Query-path hardening shared by both loaders: the contraction mapping
+  // and per-vertex code tables are indexed without bounds checks, so their
+  // sizes and id ranges must agree with the structures actually loaded, and
+  // each vertex must own at least depth+1 label arrays so any LCA level
+  // indexes inside its range. The stored stats counts feed the facade's
+  // range checks (NumVertices gates every query id), so a corrupt stats
+  // block must not survive either: pin it to the loaded sizes. Graph-level
+  // semantics (weights, actual distances) remain trusted — index files are
+  // not designed to be loaded from adversarial sources.
+  const auto validate_structure = [&]() {
+    if (has_contraction) {
+      const DegreeOneContraction& c = *index.contraction_;
+      const size_t n = c.core_id_.size();
+      const size_t core = c.to_original_.size();
+      if (c.root_core_id_.size() != n || c.dist_to_root_.size() != n ||
+          c.parent_.size() != n || c.parent_weight_.size() != n ||
+          c.depth_.size() != n || core + c.num_contracted_ != n) {
+        return false;
+      }
+      for (size_t v = 0; v < n; ++v) {
+        if (c.root_core_id_[v] >= core || c.parent_[v] >= n) return false;
+        if (c.core_id_[v] != kInvalidVertex &&
+            (c.core_id_[v] >= core ||
+             c.to_original_[c.core_id_[v]] != static_cast<Vertex>(v))) {
+          return false;
+        }
+      }
     }
-  }
-  if (ok) {
+    if (index.labels_.base.empty()) return false;
     const size_t core = index.labels_.base.size() - 1;
-    ok = index.hierarchy_.vertex_code_.size() == core &&
-         index.hierarchy_.node_of_vertex_.size() == core &&
-         (!has_contraction || index.contraction_->to_original_.size() == core);
-    // The stored counts feed the facade's range checks (NumVertices gates
-    // every query id), so a corrupt stats block must not survive: pin them
-    // to the sizes of the structures actually loaded.
+    if (index.hierarchy_.vertex_code_.size() != core ||
+        index.hierarchy_.node_of_vertex_.size() != core) {
+      return false;
+    }
+    if (has_contraction && index.contraction_->to_original_.size() != core) {
+      return false;
+    }
     const uint64_t n =
         has_contraction ? index.contraction_->core_id_.size() : core;
     const uint64_t contracted =
         has_contraction ? index.contraction_->num_contracted_ : 0;
-    ok = ok && index.stats_.num_vertices == n &&
-         index.stats_.num_core_vertices == core &&
-         index.stats_.num_contracted == contracted;
-    for (size_t v = 0; ok && v < core; ++v) {
-      const uint32_t arrays = index.labels_.base[v + 1] - index.labels_.base[v];
-      ok = arrays >= TreeCodeDepth(index.hierarchy_.vertex_code_[v]) + 1;
+    if (index.stats_.num_vertices != n ||
+        index.stats_.num_core_vertices != core ||
+        index.stats_.num_contracted != contracted) {
+      return false;
     }
+    for (size_t v = 0; v < core; ++v) {
+      const uint32_t arrays = index.labels_.base[v + 1] - index.labels_.base[v];
+      if (arrays < TreeCodeDepth(index.hierarchy_.vertex_code_[v]) + 1) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  bool ok = true;
+  if (magic == kHc2lIndexMagicV4) {
+    // Sectioned format: parse the table, map the file when asked — so the
+    // metadata parse runs straight off the mapping, no fread and no heap
+    // staging — then attach the offset tables and arenas by view (kMmap:
+    // no copy, no arena page touched) or by straight reads (kHeap). The
+    // hint store shares the label store's offset tables: stored once,
+    // shapes equal by construction.
+    std::vector<io::SectionEntry> sections;
+    ok = io::ReadSectionTable(r, file_size, &sections);
+    const io::SectionEntry* meta =
+        ok ? io::FindSection(sections, io::kSectionMeta) : nullptr;
+    const io::SectionEntry* offsets =
+        ok ? io::FindSection(sections, io::kSectionLabelOffsets) : nullptr;
+    const io::SectionEntry* labels =
+        ok ? io::FindSection(sections, io::kSectionLabelArena) : nullptr;
+    const io::SectionEntry* hints =
+        ok ? io::FindSection(sections, io::kSectionHintArena) : nullptr;
+    ok = meta != nullptr && offsets != nullptr && labels != nullptr &&
+         hints != nullptr;
+    if (ok && use_mmap) {
+      // Mapping dereferences nothing by itself; every later access stays
+      // inside section bounds the table validation pinned to the real file
+      // size.
+      index.mapping_ = MappedFile::Open(path);
+      ok = index.mapping_ != nullptr && index.mapping_->size() == file_size;
+    }
+    io::LabelStoreCounts counts;
+    if (ok) {
+      const auto parse_meta = [&](io::Reader* mr) {
+        return io::ReadValue(mr, &index.stats_) && read_contraction(mr) &&
+               index.hierarchy_.ReadFrom(mr) &&
+               io::ReadLabelStoreCounts(mr, &counts);
+      };
+      if (use_mmap) {
+        io::Reader mr(index.mapping_->data() + meta->offset, meta->bytes);
+        ok = parse_meta(&mr);
+      } else {
+        ok = std::fseek(f.get(), static_cast<long>(meta->offset), SEEK_SET) ==
+             0;
+        io::Reader mr(f.get());
+        mr.LimitTo(meta->bytes);
+        ok = ok && parse_meta(&mr);
+      }
+      // The declared table and entry counts must exactly match the offsets
+      // and arena sections' byte sizes (the divisions avoid forged-count
+      // overflows), and the hint arena must mirror the label arena.
+      ok = ok && io::OffsetsSectionMatches(*offsets, counts) &&
+           labels->bytes % sizeof(uint32_t) == 0 &&
+           labels->bytes / sizeof(uint32_t) == counts.arena_entries &&
+           hints->bytes == labels->bytes;
+    }
+    if (ok && use_mmap) {
+      const uint8_t* base = index.mapping_->data();
+      io::AttachOffsetsView(base + offsets->offset, counts, &index.labels_,
+                            &index.hints_);
+      index.labels_.arena.ResetView(
+          reinterpret_cast<const uint32_t*>(base + labels->offset),
+          counts.arena_entries);
+      index.hints_.arena.ResetView(
+          reinterpret_cast<const uint32_t*>(base + hints->offset),
+          counts.arena_entries);
+      ok = io::ValidateLabelShape(index.labels_, counts.arena_entries) &&
+           validate_structure();
+      if (ok) {
+        index.mapping_->AdviseRandom(labels->offset, labels->bytes);
+        index.mapping_->AdviseRandom(hints->offset, hints->bytes);
+      }
+    } else if (ok) {
+      const auto read_arena = [&](const io::SectionEntry& s, uint64_t entries,
+                                  LabelArena* arena) {
+        if (std::fseek(f.get(), static_cast<long>(s.offset), SEEK_SET) != 0) {
+          return false;
+        }
+        io::Reader ar(f.get());
+        arena->Reset(entries);
+        return entries == 0 ||
+               ar.Read(arena->data(), entries * sizeof(uint32_t));
+      };
+      ok = std::fseek(f.get(), static_cast<long>(offsets->offset), SEEK_SET) ==
+           0;
+      io::Reader orr(f.get());
+      orr.LimitTo(offsets->bytes);
+      ok = ok &&
+           io::ReadLabelStoreOffsets(&orr, counts, &index.labels_,
+                                     &index.hints_) &&
+           io::ValidateLabelShape(index.labels_, counts.arena_entries) &&
+           validate_structure() &&
+           read_arena(*labels, counts.arena_entries, &index.labels_.arena) &&
+           read_arena(*hints, counts.arena_entries, &index.hints_.arena) &&
+           validate_hint_entries();
+    }
+  } else {
+    // Legacy inline formats (HC2L0002 / HC2L0003); use_mmap is ignored —
+    // their arenas interleave with the metadata stream, so there is
+    // nothing alignable to map.
+    ok = io::ReadValue(r, &index.stats_) && read_contraction(r) &&
+         index.hierarchy_.ReadFrom(r) && io::ReadLabelStore(r, &index.labels_);
+    if (ok && has_hints) {
+      ok = io::ReadLabelStore(r, &index.hints_) && hints_match_labels() &&
+           validate_hint_entries();
+    }
+    ok = ok && validate_structure();
   }
   if (!ok) {
     return Status::DataLoss("truncated or corrupt HC2L index file: " + path);
@@ -1564,6 +1723,25 @@ Result<Hc2lIndex> Hc2lIndex::Load(const std::string& path) {
   // bucket sizing; recompute it (equal for well-formed files).
   index.stats_.tree_height = index.hierarchy_.LevelBound();
   return index;
+}
+
+size_t Hc2lIndex::MappedBytes() const {
+  size_t bytes = 0;
+  if (!labels_.arena.owned()) bytes += labels_.arena.SizeBytes();
+  if (!hints_.arena.owned()) bytes += hints_.arena.SizeBytes();
+  // A mapped open views the offset tables too; the hint store shares the
+  // label store's tables (the same mapped bytes), so they count once.
+  if (!labels_.base.owned()) bytes += labels_.MetadataBytes();
+  return bytes;
+}
+
+size_t Hc2lIndex::ArenaResidentBytes() const {
+  size_t bytes = labels_.arena.SizeBytes() + hints_.arena.SizeBytes() +
+                 labels_.MetadataBytes();
+  // Heap loads hold separate (identical) hint offset tables; a mapped open
+  // shares the label store's, which must then count once.
+  if (hints_.base.owned()) bytes += hints_.MetadataBytes();
+  return bytes;
 }
 
 }  // namespace hc2l

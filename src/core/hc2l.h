@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/label_arena.h"
+#include "common/mmap_file.h"
 #include "core/query_common.h"
 #include "graph/graph.h"
 #include "hc2l/status.h"
@@ -259,12 +260,32 @@ class Hc2lIndex {
   /// Serializes the index (labels, hierarchy, contraction) to a file.
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save(). Accepts both the legacy
-  /// distance-only HC2L0002 format and the hint-carrying HC2L0003 format
-  /// (the latter restores route hints, so Route works without a graph).
-  /// Errors: kNotFound (cannot open), kInvalidArgument (neither format),
-  /// kDataLoss (truncated or corrupt).
+  /// Loads an index previously written by Save(). Accepts every undirected
+  /// format: the legacy distance-only HC2L0002, the hint-carrying HC2L0003
+  /// and the sectioned HC2L0004 (the hint-carrying formats restore route
+  /// hints, so Route works without a graph). Errors: kNotFound (cannot
+  /// open), kInvalidArgument (not an undirected index), kDataLoss
+  /// (truncated or corrupt).
   static Result<Hc2lIndex> Load(const std::string& path);
+
+  /// Load with an open mode. use_mmap maps an HC2L0004 file's label arenas
+  /// in place (O(1) open: only the metadata section is parsed; the arenas
+  /// are views into the page cache, advised MADV_RANDOM). Legacy formats
+  /// ignore the flag and load via the heap path. A mapped index answers
+  /// every query identically; mutation (RebuildLabels/RepairLabels)
+  /// materializes owned arenas on first use, and Clone() always produces a
+  /// fully owned copy.
+  static Result<Hc2lIndex> Load(const std::string& path, bool use_mmap);
+
+  /// Label bytes (arenas + offset tables) served straight from the file
+  /// mapping (0 for a heap load). The IndexInfo mapped_bytes/heap_bytes
+  /// split.
+  size_t MappedBytes() const;
+
+  /// Total label + hint arena and offset-table bytes regardless of
+  /// backing; ArenaResidentBytes() - MappedBytes() is what the label
+  /// structures hold on the heap.
+  size_t ArenaResidentBytes() const;
 
  private:
   friend class Hc2lBuilder;
@@ -329,6 +350,10 @@ class Hc2lIndex {
   /// Empty tables when the index is hint-less (route_hints = false, or an
   /// HC2L0002 load).
   LabelStore hints_;
+  /// The file mapping backing view-mode arenas (Load with use_mmap); null
+  /// for built or heap-loaded indexes. Held for lifetime only — all access
+  /// goes through the label stores.
+  std::shared_ptr<MappedFile> mapping_;
   /// Node-indexed relabel-walk inputs; empty = cold (after Build/Load), so
   /// the next RepairLabels falls back to a full walk that populates it.
   std::vector<NodeRepairCache> repair_cache_;

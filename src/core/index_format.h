@@ -44,6 +44,29 @@ inline constexpr uint64_t kHc2lIndexMagicV3 = 0x4843324c30303033ULL;
 /// stores. Written only for hint-carrying indexes.
 inline constexpr uint64_t kDirectedIndexMagicV3 = 0x4843324430303033ULL;
 
+/// Undirected index, format 4 ("HC2L0004"): the mmap-able sectioned layout.
+/// After the magic comes a section table (count, then {id, offset, bytes}
+/// triples) and 64-byte-aligned section payloads: a metadata section (the V3
+/// body with each label store's arena replaced by its entry count) and one
+/// raw arena section per store. Because every arena payload starts on a
+/// 64-byte file offset, `Open(path, OpenMode::kMmap)` can point the label
+/// arenas straight into the mapping — no copy, no O(n) validation scan.
+/// This is the written format for hint-carrying undirected indexes since
+/// format 4; V3 files remain loadable (heap only). docs/format.md has the
+/// byte-level specification.
+inline constexpr uint64_t kHc2lIndexMagicV4 = 0x4843324c30303034ULL;
+
+/// Directed index, format 4 ("HC2D0004"): the same sectioned layout over the
+/// V3 directed body, with four arena sections (out/in labels, out/in hints).
+/// Written for hint-carrying directed indexes since format 4.
+inline constexpr uint64_t kDirectedIndexMagicV4 = 0x4843324430303034ULL;
+
+/// Shard manifest ("HC2S0001"): not an index itself but a directory of
+/// per-partition index files plus the boundary-vertex tables that make
+/// cross-shard queries exact (src/shard/). Router::Open sniffs it like the
+/// index magics and opens every member shard.
+inline constexpr uint64_t kShardManifestMagic = 0x4843325330303031ULL;
+
 }  // namespace hc2l
 
 #endif  // HC2L_CORE_INDEX_FORMAT_H_

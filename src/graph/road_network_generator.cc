@@ -158,6 +158,18 @@ Graph GenerateRoadNetwork(const RoadNetworkOptions& opt) {
   return g;
 }
 
+RoadNetworkOptions RoadNetworkOptionsForVertices(uint64_t target_vertices,
+                                                 RoadNetworkOptions base) {
+  const double pendants = std::max(0.0, base.pendant_frac);
+  const double backbone =
+      static_cast<double>(target_vertices) / (1.0 + pendants);
+  const uint32_t side = static_cast<uint32_t>(
+      std::max<long long>(2, std::llround(std::sqrt(backbone))));
+  base.rows = side;
+  base.cols = side;
+  return base;
+}
+
 std::vector<DatasetSpec> PaperDatasets(BenchScale scale, WeightMode mode) {
   struct PaperRow {
     const char* name;

@@ -50,6 +50,14 @@ struct RoadNetworkOptions {
 /// Generates a connected synthetic road network. Deterministic in the seed.
 Graph GenerateRoadNetwork(const RoadNetworkOptions& options);
 
+/// Sizes `base` so the generated network has approximately `target_vertices`
+/// vertices: the square backbone closest to target / (1 + pendant_frac) on a
+/// side (at least 2x2; pendant attachment adds the rest). Every other field
+/// of `base` — seed included — is kept, so the result is as reproducible as
+/// explicit --rows/--cols. Backs `hc2l generate --model road --vertices N`.
+RoadNetworkOptions RoadNetworkOptionsForVertices(uint64_t target_vertices,
+                                                 RoadNetworkOptions base = {});
+
 /// A named miniature of one of the paper's Table 1 datasets.
 struct DatasetSpec {
   std::string name;    // e.g. "NY"

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/query_common.h"
+#include "shard/sharded_index.h"
 
 namespace hc2l {
 
@@ -264,5 +265,6 @@ std::vector<std::pair<Dist, Vertex>> BasicQueryEngine<Index>::KNearest(
 
 template class BasicQueryEngine<Hc2lIndex>;
 template class BasicQueryEngine<DirectedHc2lIndex>;
+template class BasicQueryEngine<ShardedIndex>;
 
 }  // namespace hc2l

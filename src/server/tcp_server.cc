@@ -164,7 +164,8 @@ struct QueryServer::Impl {
     }
     // Build the whole replacement off to the side: any failure leaves the
     // current snapshot serving untouched.
-    Result<Router> reopened = Router::Open(target);
+    Result<Router> reopened = Router::Open(
+        target, options.open_mmap ? OpenMode::kMmap : OpenMode::kHeap);
     if (!reopened.ok()) return reopened.status();
     auto next = std::make_shared<ServingState>();
     next->owned = std::make_unique<Router>(std::move(reopened).value());

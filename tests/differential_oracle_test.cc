@@ -27,6 +27,7 @@
 #include "hc2l/router.h"
 #include "search/dijkstra.h"
 #include "search/directed_dijkstra.h"
+#include "shard/sharded_index.h"
 
 namespace hc2l {
 namespace {
@@ -617,6 +618,144 @@ void CheckDirectedSeed(uint64_t seed) {
   }
 }
 
+/// Removes a sharded manifest and its per-shard index files.
+void RemoveShardFiles(const std::string& manifest, size_t num_shards) {
+  std::remove(manifest.c_str());
+  for (size_t k = 0; k < num_shards; ++k) {
+    std::remove((manifest + "." + std::to_string(k)).c_str());
+  }
+}
+
+/// Compares a (re)loaded sharded index against the monolithic reference on a
+/// strided sample of pairs: distances bit-identical, routes real and optimal.
+template <typename MonoIndex, typename GraphT, typename CheckRealPath>
+void CheckShardedSample(const ShardedIndex& sharded, const MonoIndex& mono,
+                        const GraphT& g, size_t n, CheckRealPath check_real) {
+  RoutePath route;
+  for (Vertex s = 0; s < n; s += 2) {
+    for (Vertex t = 1; t < n; t += 3) {
+      SCOPED_TRACE("sample s=" + std::to_string(s) + " t=" + std::to_string(t));
+      const Dist expected = mono.Query(s, t);
+      ASSERT_EQ(sharded.Query(s, t), expected);
+      const Status st = sharded.Route(s, t, &route);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ASSERT_NO_FATAL_FAILURE(
+          CheckRouteAgainstOracle(g, s, t, expected, route, check_real));
+    }
+  }
+}
+
+/// Full sharded differential for one seed, templated over flavour: the graph
+/// cut into 2-4 shards must answer every mode bit-identically to the
+/// monolithic index over the same graph — point and batch distances, real
+/// and optimal routes, k-alternatives — including after a manifest
+/// save/reload in both heap and mmap modes and through the Router::Open
+/// magic sniff.
+template <typename MonoIndex, typename GraphT, typename CheckRealPath>
+void CheckShardedSeed(uint64_t seed, const GraphT& g, size_t n,
+                      const char* flavour, CheckRealPath check_real) {
+  const MonoIndex mono = MonoIndex::Build(g, {});
+
+  ShardOptions options;
+  options.num_shards = static_cast<uint32_t>(std::min<uint64_t>(
+      2 + seed % 3, n));  // 2-4 shards, clamped to tiny graphs
+  options.leaf_size = 2 + static_cast<uint32_t>(seed % 7);
+  options.tail_pruning = seed % 3 != 0;
+  options.contract_degree_one = seed % 2 == 0;
+  options.num_threads = 1 + static_cast<uint32_t>(seed % 2);
+  const Result<ShardedIndex> built = ShardedIndex::Build(g, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const ShardedIndex& sharded = *built;
+  ASSERT_EQ(sharded.NumShards(), options.num_shards);
+  ASSERT_EQ(sharded.NumVertices(), n);
+
+  // Point distances, all pairs: bit-identical to the monolithic index.
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      ASSERT_EQ(sharded.Query(s, t), mono.Query(s, t))
+          << "point s=" << s << " t=" << t;
+    }
+  }
+
+  // Batch with duplicate / self / shuffled targets, against the monolithic
+  // batch answer.
+  Rng rng(seed * 7331 + 11);
+  const Vertex batch_source = static_cast<Vertex>(rng.Below(n));
+  const std::vector<Vertex> targets = MakeTargets(rng, n, batch_source);
+  const std::vector<Dist> expected_batch = mono.BatchQuery(batch_source, targets);
+  std::vector<Dist> batch(targets.size(), Dist{0xDEAD});
+  sharded.BatchQueryInto(batch_source, targets, batch.data());
+  ASSERT_EQ(batch, expected_batch);
+
+  // Route oracle, all pairs: weight equals the monolithic distance, every
+  // hop a real edge/arc of the original graph.
+  RoutePath route;
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      SCOPED_TRACE("route s=" + std::to_string(s) + " t=" + std::to_string(t));
+      const Status st = sharded.Route(s, t, &route);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      ASSERT_NO_FATAL_FAILURE(CheckRouteAgainstOracle(
+          g, s, t, mono.Query(s, t), route, check_real));
+    }
+  }
+
+  // K-alternative cross-shard routes on a diagonal sample.
+  for (Vertex s = 0; s < n; s += 3) {
+    const Vertex t = static_cast<Vertex>((s * 5 + 7) % n);
+    SCOPED_TRACE("alts s=" + std::to_string(s) + " t=" + std::to_string(t));
+    ASSERT_NO_FATAL_FAILURE(CheckAlternativesAgainstOracle(
+        [&](Vertex a, Vertex b, size_t k, std::vector<RoutePath>* out) {
+          return sharded.Routes(a, b, k, out);
+        },
+        g, s, t, mono.Query(s, t), check_real));
+  }
+
+  // Manifest save / reload round-trip, heap and mmap: the reloaded index
+  // stays bit-identical on a strided pair sample.
+  const std::string manifest = ::testing::TempDir() + "/oracle_shard_" +
+                               flavour + "_" + std::to_string(seed) + ".hc2s";
+  const Status saved = sharded.Save(manifest);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  for (const bool use_mmap : {false, true}) {
+    SCOPED_TRACE(use_mmap ? "reload mmap" : "reload heap");
+    const Result<ShardedIndex> reload = ShardedIndex::Load(manifest, use_mmap);
+    ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+    ASSERT_EQ(reload->NumShards(), sharded.NumShards());
+    ASSERT_EQ(reload->NumVertices(), n);
+    ASSERT_EQ(reload->MappedBytes() > 0, use_mmap);
+    ASSERT_NO_FATAL_FAILURE(
+        CheckShardedSample(*reload, mono, g, n, check_real));
+  }
+
+  // The facade sniffs the manifest magic and serves it through the same
+  // surface as a monolithic file.
+  const Result<Router> router = Router::Open(manifest, OpenMode::kMmap);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  for (Vertex s = 0; s < n; s += 5) {
+    const Vertex t = static_cast<Vertex>((s * 3 + 1) % n);
+    const Result<Dist> d = router->Distance(s, t);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    ASSERT_EQ(*d, mono.Query(s, t)) << "facade s=" << s << " t=" << t;
+  }
+  RemoveShardFiles(manifest, options.num_shards);
+}
+
+void CheckShardedUndirectedSeed(uint64_t seed) {
+  SCOPED_TRACE("sharded undirected seed=" + std::to_string(seed));
+  size_t n = 0;
+  const Graph g = RandomGraph(seed, &n);
+  CheckShardedSeed<Hc2lIndex>(seed, g, n, "und", CheckRealUndirectedPath);
+}
+
+void CheckShardedDirectedSeed(uint64_t seed) {
+  SCOPED_TRACE("sharded directed seed=" + std::to_string(seed));
+  size_t n = 0;
+  const Digraph g = RandomDigraph(seed, &n);
+  CheckShardedSeed<DirectedHc2lIndex>(seed, g, n, "dir",
+                                      CheckRealDirectedPath);
+}
+
 // 140 undirected + 80 directed seeds = 220 random graphs, sharded so ctest
 // can run them in parallel and a timeout pins the failing range.
 
@@ -634,6 +773,27 @@ TEST(DifferentialOracle, DirectedSeeds1To40) {
 
 TEST(DifferentialOracle, DirectedSeeds41To80) {
   for (uint64_t seed = 41; seed <= 80; ++seed) CheckDirectedSeed(seed);
+}
+
+// The same 220 seeds again, each cut into 2-4 shards: sharded routing must
+// be indistinguishable from the monolithic index, on- and off-disk.
+
+TEST(DifferentialOracle, ShardedUndirectedSeeds1To70) {
+  for (uint64_t seed = 1; seed <= 70; ++seed) CheckShardedUndirectedSeed(seed);
+}
+
+TEST(DifferentialOracle, ShardedUndirectedSeeds71To140) {
+  for (uint64_t seed = 71; seed <= 140; ++seed) {
+    CheckShardedUndirectedSeed(seed);
+  }
+}
+
+TEST(DifferentialOracle, ShardedDirectedSeeds1To40) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) CheckShardedDirectedSeed(seed);
+}
+
+TEST(DifferentialOracle, ShardedDirectedSeeds41To80) {
+  for (uint64_t seed = 41; seed <= 80; ++seed) CheckShardedDirectedSeed(seed);
 }
 
 }  // namespace

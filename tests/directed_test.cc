@@ -399,13 +399,13 @@ TEST(DirectedHc2l, SaveWritesFormatPerContractionAndBothLoad) {
       const DirectedHc2lIndex index = DirectedHc2lIndex::Build(g, options);
       const std::string path = ::testing::TempDir() + "/hc2l_dir_fmt.idx";
       ASSERT_TRUE(index.Save(path).ok());
-      // Hint-carrying indexes (the default) write HC2D0003. Hint-less ones
-      // keep the legacy layouts, and uncontracted hint-less indexes keep
-      // HC2D0001 — the backward-compat guarantee that files from
-      // pre-contraction builds stay loadable is pinned by loading exactly
-      // that layout here.
+      // Hint-carrying indexes (the default) write the sectioned, mmap-able
+      // HC2D0004. Hint-less ones keep the legacy layouts, and uncontracted
+      // hint-less indexes keep HC2D0001 — the backward-compat guarantee that
+      // files from pre-contraction builds stay loadable is pinned by loading
+      // exactly that layout here.
       EXPECT_EQ(FileMagic(path),
-                hints ? kDirectedIndexMagicV3
+                hints ? kDirectedIndexMagicV4
                       : (contract ? kDirectedIndexMagicV2
                                   : kDirectedIndexMagic));
       const auto loaded = DirectedHc2lIndex::Load(path);

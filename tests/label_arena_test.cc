@@ -82,22 +82,23 @@ TEST(LabelStore, ValidateAcceptsBuiltStoresAndRejectsCorruptTables) {
 
   {
     LabelStore s = make_store();  // array pushed past the arena
-    s.level_len.back() = static_cast<uint32_t>(s.arena.size());
+    s.level_len.Set(s.level_len.size() - 1,
+                    static_cast<uint32_t>(s.arena.size()));
     EXPECT_FALSE(io::ValidateLabelStore(s));
   }
   {
     LabelStore s = make_store();  // unaligned start
-    s.level_start[1] += 1;
+    s.level_start.Set(1, s.level_start[1] + 1);
     EXPECT_FALSE(io::ValidateLabelStore(s));
   }
   {
     LabelStore s = make_store();  // base not a partition of the array list
-    s.base.back() += 3;
+    s.base.Set(s.base.size() - 1, s.base.back() + 3);
     EXPECT_FALSE(io::ValidateLabelStore(s));
   }
   {
     LabelStore s = make_store();  // decreasing base
-    s.base[1] = s.base[2] + 1;
+    s.base.Set(1, s.base[2] + 1);
     EXPECT_FALSE(io::ValidateLabelStore(s));
   }
 }

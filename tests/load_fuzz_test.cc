@@ -1,12 +1,15 @@
-// Corrupt-index fuzz hardening for the loaders, over every on-disk format
-// (HC2L0002 undirected, HC2D0001 uncontracted directed, HC2D0002 contracted
-// directed). Router::Open on a truncated, bit-flipped, size-field-smashed
-// or plain-garbage file must return a Status — never crash, never abort,
-// and never allocate beyond what the file itself could justify. The last
-// property is pinned with a global operator-new high-water mark: a flipped
-// or hostile size field must be rejected BEFORE the allocation it names
-// (the historical failure mode is a 2^60 "element count" turning into a
-// bad_alloc abort or an OOM kill).
+// Corrupt-index fuzz hardening for the loaders, over every on-disk format:
+// the sectioned V4 files (HC2L0004 / HC2D0004), the legacy hint-less
+// magics (HC2L0002, HC2D0001, HC2D0002) and the HC2S0001 shard manifest.
+// Router::Open on a truncated, bit-flipped, size-field-smashed or
+// plain-garbage file — in BOTH OpenMode::kHeap and OpenMode::kMmap — must
+// return a Status — never crash, never abort, and never allocate beyond
+// what the file itself could justify. The last property is pinned with a
+// global operator-new high-water mark: a flipped or hostile size field must
+// be rejected BEFORE the allocation it names (the historical failure mode
+// is a 2^60 "element count" turning into a bad_alloc abort or an OOM
+// kill). For kMmap the analogous property is that a forged section table
+// is rejected before any query dereferences the mapping.
 
 #include <gtest/gtest.h>
 
@@ -22,8 +25,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "core/index_format.h"
 #include "graph/road_network_generator.h"
 #include "hc2l/hc2l.h"
+#include "shard/sharded_index.h"
 
 // --------------------------------------------- allocation high-water mark ---
 // Global operator new replacement: when tracking is on, records the largest
@@ -71,8 +77,10 @@ size_t MaxAllocDuring(const std::function<void()>& fn) {
 
 struct FormatFile {
   std::string name;            // for SCOPED_TRACE
-  std::vector<char> pristine;  // the valid serialized index
+  std::vector<char> pristine;  // the valid serialized index (or manifest)
   uint64_t num_vertices = 0;   // the true vertex count of that index
+  uint64_t magic = 0;          // the expected on-disk magic
+  bool sectioned = false;      // V4: starts with a section table
 };
 
 std::vector<char> ReadFileBytes(const std::string& path) {
@@ -97,7 +105,10 @@ void WriteFileBytes(const std::string& path, const char* data, size_t size) {
   std::fclose(f);
 }
 
-/// Builds and serializes one index per format, once for the whole suite.
+/// Builds and serializes one index per format, once for the whole suite:
+/// the V4 sectioned files (default builds carry route hints), the legacy
+/// hint-less magics, and a sharded manifest whose member shard files stay
+/// pristine in TempDir for the manifest sweeps to resolve against.
 const std::vector<FormatFile>& AllFormats() {
   static const std::vector<FormatFile>* formats = [] {
     auto* out = new std::vector<FormatFile>();
@@ -105,28 +116,66 @@ const std::vector<FormatFile>& AllFormats() {
     opt.rows = 8;
     opt.cols = 8;
     opt.seed = 5;
+    const Graph graph = GenerateRoadNetwork(opt);
     const std::string path = ::testing::TempDir() + "/hc2l_fuzz_seed.idx";
 
-    Result<Router> undirected = Router::Build(GenerateRoadNetwork(opt));
-    EXPECT_TRUE(undirected.ok());
-    EXPECT_TRUE(undirected->Save(path).ok());
-    out->push_back({"HC2L0002-undirected", ReadFileBytes(path),
-                    undirected->NumVertices()});
+    for (const bool hints : {true, false}) {
+      BuildOptions build;
+      build.route_hints = hints;
+      Result<Router> undirected = Router::Build(graph, build);
+      EXPECT_TRUE(undirected.ok());
+      EXPECT_TRUE(undirected->Save(path).ok());
+      out->push_back({hints ? "HC2L0004-undirected-sectioned"
+                            : "HC2L0002-undirected-hintless",
+                      ReadFileBytes(path), undirected->NumVertices(),
+                      hints ? kHc2lIndexMagicV4 : kHc2lIndexMagic, hints});
+    }
 
     const Digraph digraph = GenerateDirectedRoadNetwork(opt, 0.25);
-    for (const bool contract : {false, true}) {
+    struct DirectedCase {
+      const char* name;
+      bool contract;
+      bool hints;
+      uint64_t magic;
+    };
+    const DirectedCase directed_cases[] = {
+        {"HC2D0004-directed-contracted-sectioned", true, true,
+         kDirectedIndexMagicV4},
+        {"HC2D0001-directed-uncontracted-hintless", false, false,
+         kDirectedIndexMagic},
+        {"HC2D0002-directed-contracted-hintless", true, false,
+         kDirectedIndexMagicV2},
+    };
+    for (const DirectedCase& c : directed_cases) {
       BuildOptions build;
-      build.contract_degree_one = contract;
+      build.contract_degree_one = c.contract;
+      build.route_hints = c.hints;
       Result<Router> directed = Router::Build(digraph, build);
       EXPECT_TRUE(directed.ok());
       EXPECT_TRUE(directed->Save(path).ok());
-      out->push_back({contract ? "HC2D0002-directed-contracted"
-                               : "HC2D0001-directed-uncontracted",
-                      ReadFileBytes(path), directed->NumVertices()});
+      out->push_back({c.name, ReadFileBytes(path), directed->NumVertices(),
+                      c.magic, c.hints});
     }
     std::remove(path.c_str());
+
+    // The sharded manifest: its member shard files stay pristine next to
+    // the mutated manifest copies (shard paths resolve relative to the
+    // manifest's directory, and every scratch path shares TempDir).
+    ShardOptions shard_options;
+    shard_options.num_shards = 3;
+    Result<ShardedIndex> sharded = ShardedIndex::Build(graph, shard_options);
+    EXPECT_TRUE(sharded.ok());
+    const std::string manifest = ::testing::TempDir() + "/hc2l_fuzz_seed.hc2s";
+    EXPECT_TRUE(sharded->Save(manifest).ok());
+    out->push_back({"HC2S0001-shard-manifest", ReadFileBytes(manifest),
+                    sharded->NumVertices(), kShardManifestMagic, false});
+    std::remove(manifest.c_str());  // the .0/.1/.2 shard files remain
+
     for (const FormatFile& file : *out) {
       EXPECT_GT(file.pristine.size(), 64u) << file.name;
+      uint64_t magic = 0;
+      std::memcpy(&magic, file.pristine.data(), sizeof(magic));
+      EXPECT_EQ(magic, file.magic) << file.name;
     }
     return out;
   }();
@@ -149,26 +198,40 @@ class LoadFuzzTest : public ::testing::Test {
            ".idx";
   }
 
-  /// Opens a mutated file, asserting only cleanliness: a Status or a
-  /// usable router, bounded allocation, no crash.
+  /// Opens a mutated file in BOTH open modes, asserting only cleanliness: a
+  /// Status or a usable router, bounded allocation, no crash, and — for
+  /// kMmap — rejection before any query dereferences the mapping. The modes
+  /// share the structural validation layers, but the heap path additionally
+  /// scans the hint arenas (mmap defers that to the query walk's per-step
+  /// range checks, to avoid touching arena pages at open), so kMmap may
+  /// accept strictly more files than kHeap — never fewer.
   void OpenExpectingNoHarm(const FormatFile& file, const std::string& path,
                            bool* opened_ok = nullptr) {
-    const size_t peak = MaxAllocDuring([&] {
-      Result<Router> reopened = Router::Open(path);
-      if (opened_ok != nullptr) *opened_ok = reopened.ok();
-      if (reopened.ok()) {
-        // A mutation that still parses (e.g. a flipped weight bit or a
-        // purely informational stats field) must not have inflated the id
-        // space — the vertex count gates every query's range check — and
-        // must still answer queries without crashing; the answer itself is
-        // allowed to differ or be an error.
-        EXPECT_EQ(reopened->NumVertices(), file.num_vertices) << file.name;
-        (void)reopened->Distance(0, 1);
-      }
-    });
-    EXPECT_LE(peak, AllocBound(file))
-        << file.name << ": a corrupted " << file.pristine.size()
-        << "-byte file drove a " << peak << "-byte allocation";
+    bool ok_by_mode[2] = {false, false};
+    for (const OpenMode mode : {OpenMode::kHeap, OpenMode::kMmap}) {
+      const bool mmap = mode == OpenMode::kMmap;
+      const size_t peak = MaxAllocDuring([&] {
+        Result<Router> reopened = Router::Open(path, mode);
+        ok_by_mode[mmap ? 1 : 0] = reopened.ok();
+        if (reopened.ok()) {
+          // A mutation that still parses (e.g. a flipped weight bit or a
+          // purely informational stats field) must not have inflated the id
+          // space — the vertex count gates every query's range check — and
+          // must still answer queries without crashing; the answer itself
+          // is allowed to differ or be an error.
+          EXPECT_EQ(reopened->NumVertices(), file.num_vertices) << file.name;
+          (void)reopened->Distance(0, 1);
+        }
+      });
+      EXPECT_LE(peak, AllocBound(file))
+          << file.name << (mmap ? " (mmap)" : " (heap)") << ": a corrupted "
+          << file.pristine.size() << "-byte file drove a " << peak
+          << "-byte allocation";
+    }
+    EXPECT_TRUE(!ok_by_mode[0] || ok_by_mode[1])
+        << file.name << ": the heap open accepted a file the mmap open "
+        << "rejected";
+    if (opened_ok != nullptr) *opened_ok = ok_by_mode[1];
   }
 };
 
@@ -276,15 +339,180 @@ TEST_F(LoadFuzzTest, GarbageFilesFailCleanly) {
 }
 
 TEST_F(LoadFuzzTest, PristineFilesStillRoundTrip) {
-  // The control arm: the exact bytes the sweeps mutate do load.
+  // The control arm: the exact bytes the sweeps mutate do load, in both
+  // open modes.
   const std::string path = ScratchPath();
   for (const FormatFile& file : AllFormats()) {
     SCOPED_TRACE(file.name);
     WriteFileBytes(path, file.pristine.data(), file.pristine.size());
-    Result<Router> reopened = Router::Open(path);
-    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
-    EXPECT_TRUE(reopened->Distance(0, 1).ok());
+    for (const OpenMode mode : {OpenMode::kHeap, OpenMode::kMmap}) {
+      Result<Router> reopened = Router::Open(path, mode);
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      EXPECT_TRUE(reopened->Distance(0, 1).ok());
+    }
   }
+  std::remove(path.c_str());
+}
+
+TEST_F(LoadFuzzTest, ForgedSectionTablesAreRejectedBeforeMapping) {
+  // V4 files only: forge one field of one section-table entry at a time —
+  // an out-of-file offset, a misaligned offset, a byte count past EOF, a
+  // duplicated id, a hostile section count. Every forgery must be rejected
+  // by the table validation itself, in both open modes, before any label
+  // bytes are copied or mapped.
+  const std::string path = ScratchPath();
+  for (const FormatFile& file : AllFormats()) {
+    if (!file.sectioned) continue;
+    SCOPED_TRACE(file.name);
+    const uint64_t size = file.pristine.size();
+    uint64_t count = 0;
+    std::memcpy(&count, file.pristine.data() + 8, sizeof(count));
+    ASSERT_GE(count, 3u) << file.name;
+    ASSERT_LE(count, 64u) << file.name;
+
+    auto forge = [&](const char* what, size_t field_offset, uint64_t value) {
+      SCOPED_TRACE(what);
+      std::vector<char> mutated = file.pristine;
+      std::memcpy(mutated.data() + field_offset, &value, sizeof(value));
+      WriteFileBytes(path, mutated.data(), mutated.size());
+      bool opened_ok = false;
+      OpenExpectingNoHarm(file, path, &opened_ok);
+      EXPECT_FALSE(opened_ok) << what;
+    };
+
+    forge("section count zero", 8, 0);
+    forge("section count hostile", 8, ~uint64_t{0});
+    for (uint64_t i = 0; i < count; ++i) {
+      SCOPED_TRACE("section " + std::to_string(i));
+      const size_t entry = 16 + static_cast<size_t>(i) * 24;
+      uint64_t offset = 0;
+      std::memcpy(&offset, file.pristine.data() + entry + 8, sizeof(offset));
+      forge("offset beyond the file", entry + 8, (size + 127) & ~uint64_t{63});
+      forge("offset misaligned", entry + 8, offset + 8);
+      forge("byte count past EOF", entry + 16, size);
+      if (i > 0) {
+        uint64_t first_id = 0;
+        std::memcpy(&first_id, file.pristine.data() + 16, sizeof(first_id));
+        forge("duplicate section id", entry, first_id);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(LoadFuzzTest, ShardManifestCrossValidatesItsShards) {
+  // The manifest is only as good as the shard files it names: a missing,
+  // truncated or transposed member shard must fail the open — in both
+  // modes — even though the manifest bytes themselves are pristine.
+  RoadNetworkOptions opt;
+  opt.rows = 6;
+  opt.cols = 6;
+  opt.seed = 9;
+  ShardOptions shard_options;
+  shard_options.num_shards = 3;
+  Result<ShardedIndex> sharded =
+      ShardedIndex::Build(GenerateRoadNetwork(opt), shard_options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  const std::string manifest = ::testing::TempDir() + "/hc2l_fuzz_xval.hc2s";
+  ASSERT_TRUE(sharded->Save(manifest).ok());
+
+  const auto open_fails = [&](const char* what) {
+    for (const OpenMode mode : {OpenMode::kHeap, OpenMode::kMmap}) {
+      Result<Router> r = Router::Open(manifest, mode);
+      EXPECT_FALSE(r.ok()) << what;
+    }
+  };
+  const auto open_succeeds = [&](const char* what) {
+    for (const OpenMode mode : {OpenMode::kHeap, OpenMode::kMmap}) {
+      Result<Router> r = Router::Open(manifest, mode);
+      ASSERT_TRUE(r.ok()) << what << ": " << r.status().ToString();
+      EXPECT_EQ(r->NumVertices(), sharded->NumVertices());
+    }
+  };
+  open_succeeds("pristine manifest");
+
+  const std::string shard0 = manifest + ".0";
+  const std::string shard1 = manifest + ".1";
+  const std::vector<char> shard0_bytes = ReadFileBytes(shard0);
+  const std::vector<char> shard1_bytes = ReadFileBytes(shard1);
+  ASSERT_FALSE(shard0_bytes.empty());
+  ASSERT_FALSE(shard1_bytes.empty());
+
+  std::remove(shard0.c_str());
+  open_fails("missing shard file");
+
+  WriteFileBytes(shard0, shard0_bytes.data(), shard0_bytes.size() / 2);
+  open_fails("truncated shard file");
+
+  // Two individually valid shard files in each other's slots: the loaded
+  // members disagree with the manifest's partition tables.
+  WriteFileBytes(shard0, shard1_bytes.data(), shard1_bytes.size());
+  WriteFileBytes(shard1, shard0_bytes.data(), shard0_bytes.size());
+  open_fails("transposed shard files");
+
+  WriteFileBytes(shard0, shard0_bytes.data(), shard0_bytes.size());
+  WriteFileBytes(shard1, shard1_bytes.data(), shard1_bytes.size());
+  open_succeeds("restored shard files");
+
+  std::remove(manifest.c_str());
+  for (size_t k = 0; k < 3; ++k) {
+    std::remove((manifest + "." + std::to_string(k)).c_str());
+  }
+}
+
+TEST_F(LoadFuzzTest, ManifestLoadSurvivesInjectedReadFaults) {
+  // A read fault injected at every successive position inside the
+  // manifest-and-shards load (the manifest loader and every member shard's
+  // loader share the bounded reader's "index.load.read" point): each open
+  // either fails with a clean Status or — when the fault lands after the
+  // last read — yields a fully usable router. Never a crash, never an
+  // unbounded allocation.
+  namespace fi = ::hc2l::testing;
+  if (!fi::FaultInjector::kEnabled) {
+    GTEST_SKIP() << "built without HC2L_FAULT_INJECTION";
+  }
+  const FormatFile& manifest_file = AllFormats().back();
+  ASSERT_EQ(manifest_file.magic, kShardManifestMagic);
+  const std::string path = ScratchPath();
+  WriteFileBytes(path, manifest_file.pristine.data(),
+                 manifest_file.pristine.size());
+
+  // Count the reads one clean load performs; the sweep then lands exactly
+  // one fault at every position, plus one past the end.
+  fi::FaultInjector::Instance().Reset();
+  {
+    Result<Router> warm = Router::Open(path, OpenMode::kMmap);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  }
+  const uint64_t total_reads =
+      fi::FaultInjector::Instance().Hits("index.load.read");
+  ASSERT_GT(total_reads, 0u);
+
+  bool any_failed = false;
+  bool any_succeeded = false;
+  for (uint64_t fire_after = 0; fire_after <= total_reads; ++fire_after) {
+    SCOPED_TRACE("fire_after=" + std::to_string(fire_after));
+    fi::FaultSpec spec;
+    spec.fire_after = fire_after;
+    spec.fire_count = 1;
+    fi::FaultInjector::Instance().Arm("index.load.read", spec);
+    const size_t peak = MaxAllocDuring([&] {
+      Result<Router> reopened = Router::Open(path, OpenMode::kMmap);
+      if (reopened.ok()) {
+        any_succeeded = true;
+        EXPECT_EQ(reopened->NumVertices(), manifest_file.num_vertices);
+        EXPECT_TRUE(reopened->Distance(0, 1).ok());
+      } else {
+        any_failed = true;
+      }
+    });
+    EXPECT_LE(peak, AllocBound(manifest_file));
+    fi::FaultInjector::Instance().Reset();
+  }
+  // The sweep crossed the load: early faults failed it, late ones (past
+  // the last read) let it through.
+  EXPECT_TRUE(any_failed);
+  EXPECT_TRUE(any_succeeded);
   std::remove(path.c_str());
 }
 

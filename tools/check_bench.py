@@ -95,6 +95,14 @@ def parallel_threads(snapshot):
     return lookup(snapshot, ("parallel", "hardware_threads"))
 
 
+# Hard floor on the mmap-vs-heap cold-open speedup of the large_graph
+# section. The mapped open parses only the section table and the small
+# metadata section while the heap open copies and scans every label byte,
+# so the ratio is structural: it cannot erode to single digits without the
+# mmap path having regressed to copying (or the heap path to mapping).
+OPEN_SPEEDUP_FLOOR = 10.0
+
+
 def api_tag(snapshot):
     """Which API produced the snapshot's end-to-end numbers.
 
@@ -233,6 +241,39 @@ def main():
         if verdict != "OK":
             failures.append("parallel matrix speedup")
 
+    # Fourth CPU-independent gate: the large_graph section's cold-open
+    # speedup. Both opens run back to back on the same machine and file, so
+    # the ratio survives runner changes; it gates against a hard floor (the
+    # mmap open must stay an order of magnitude ahead of the heap
+    # deserialize) and against the committed ratio. Loudly skipped — never
+    # failed — when the section is missing on either side.
+    fresh_lg = fresh.get("large_graph")
+    committed_lg = committed.get("large_graph")
+    fresh_open = lookup(fresh_lg if isinstance(fresh_lg, dict) else {},
+                        ("open_speedup",))
+    committed_open = lookup(
+        committed_lg if isinstance(committed_lg, dict) else {},
+        ("open_speedup",))
+    if not isinstance(fresh_lg, dict) or not isinstance(committed_lg, dict):
+        missing_in = "fresh" if not isinstance(fresh_lg, dict) else "committed"
+        print(f"check_bench: large_graph section: not in the {missing_in} "
+              f"snapshot, skipped")
+    elif fresh_open is None or committed_open is None or committed_open <= 0:
+        print("check_bench: large_graph open speedup: missing in a snapshot, "
+              "skipped")
+    else:
+        rel = fresh_open / committed_open
+        verdict = "OK"
+        if fresh_open < OPEN_SPEEDUP_FLOOR:
+            verdict = f"BELOW FLOOR ({OPEN_SPEEDUP_FLOOR:.0f}x)"
+        elif rel < 1.0 - args.threshold:
+            verdict = "REGRESSION"
+        print(f"check_bench: large_graph open speedup: "
+              f"committed={committed_open:.1f}x fresh={fresh_open:.1f}x "
+              f"rel={rel:.2f} {verdict}")
+        if verdict != "OK":
+            failures.append("large_graph.open_speedup")
+
     # Absolute nanosecond timings are only comparable on the machine that
     # recorded the snapshot. CPU model alone is a weak proxy (hypervisors
     # report generic strings like "Intel(R) Xeon(R) Processor @ 2.10GHz" on
@@ -353,6 +394,35 @@ def main():
         missing_in = "fresh" if not isinstance(fresh_route, dict) \
             else "committed"
         print(f"check_bench: route section: not in the {missing_in} "
+              f"snapshot, skipped")
+
+    # The large_graph section's absolute timings (the speedup ratio gated
+    # above, machine-independently). Cold opens are a few milliseconds and
+    # cross-shard queries hit the boundary-pair table, so both jitter more
+    # than the steady-state microbenches — gate at the route section's
+    # relaxed threshold. Skipped, never failed, when the section is missing
+    # on either side.
+    if isinstance(fresh_lg, dict) and isinstance(committed_lg, dict):
+        for metric in ("cold_open_heap_ms", "cold_open_mmap_ms",
+                       "mono_query_ns", "sharded_query_ns"):
+            fresh_v = lookup(fresh_lg, (metric,))
+            committed_v = lookup(committed_lg, (metric,))
+            if fresh_v is None or committed_v is None or committed_v <= 0:
+                print(f"check_bench: large_graph {metric}: missing in a "
+                      f"snapshot, skipped")
+                continue
+            ratio = fresh_v / committed_v
+            verdict = ("OK" if ratio <= 1.0 + route_threshold
+                       else "REGRESSION")
+            print(f"check_bench: large_graph {metric}: "
+                  f"committed={committed_v:.2f} fresh={fresh_v:.2f} "
+                  f"ratio={ratio:.2f} {verdict}")
+            if verdict != "OK":
+                failures.append(f"large_graph.{metric}")
+    else:
+        missing_in = "fresh" if not isinstance(fresh_lg, dict) \
+            else "committed"
+        print(f"check_bench: large_graph section: not in the {missing_in} "
               f"snapshot, skipped")
 
     if failures:

@@ -4,9 +4,14 @@
 // Subcommands:
 //   hc2l generate --rows R --cols C [--seed S] [--travel-time]
 //                 [--pendant-frac F] [--oneway-frac F] --out network.gr
+//   hc2l generate --model road --vertices N [--seed S] [...] --out network.gr
 //       Emit a synthetic road network in DIMACS .gr format. With
 //       --oneway-frac F > 0 the network is directed (F of the streets are
-//       one-way) and every arc is written individually.
+//       one-way) and every arc is written individually. --model road sizes
+//       the grid from a target vertex count instead of explicit --rows/
+//       --cols: the square backbone closest to N vertices after pendant
+//       attachment (seed-reproducible — same N, seed and fractions, same
+//       network).
 //
 //   hc2l build --graph network.gr --out index.hc2l [--directed]
 //              [--beta B] [--leaf-size L] [--threads T]
@@ -17,13 +22,25 @@
 //       otherwise arcs collapse to undirected edges (format HC2L0002).
 //       --no-contraction disables degree-one contraction in both flavours.
 //
-//   hc2l query --index index.hc2l [--pairs pairs.txt] [--threads T]
+//   hc2l shard --graph network.gr --out index.hc2s [--shards N]
+//              [--directed] [--beta B] [--leaf-size L] [--threads T]
+//       Partition the graph into N shards (recursive balanced cuts), build
+//       one HC2L index per shard plus the boundary-pair distance table, and
+//       write an HC2S0001 manifest (with the per-shard index files next to
+//       it as index.hc2s.0, .1, ...). The manifest opens through every
+//       --index flag below and answers bit-identically to a monolithic
+//       index over the same graph.
+//
+//   hc2l query --index index.hc2l [--pairs pairs.txt] [--threads T] [--mmap]
 //       Answer distance queries. The index format is sniffed by
 //       Router::Open, so the same subcommand serves undirected and directed
 //       indexes. Pairs come from --pairs (two 1-based vertex ids per line)
 //       or stdin; "s t" -> prints d(s, t) or "inf". With --threads T (or
 //       T = 0 for all cores) the pairs are answered by the parallel query
 //       engine in input order; without it queries stream one at a time.
+//       --mmap (also on route/stats/serve) opens the index with
+//       OpenMode::kMmap: V4 label arenas are mapped in place instead of
+//       deserialized.
 //
 //   hc2l route --index index.hc2l [--pairs pairs.txt] [--k K]
 //       Unpack shortest paths. Pairs come from --pairs or stdin like query;
@@ -64,6 +81,7 @@
 
 #include "hc2l/hc2l.h"
 #include "hc2l/server.h"
+#include "shard/sharded_index.h"
 
 namespace hc2l {
 namespace {
@@ -121,19 +139,31 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Open for every --index consumer: --mmap selects OpenMode::kMmap.
+Result<Router> OpenIndex(const Args& args, const char* index_path) {
+  return Router::Open(index_path,
+                      args.Has("--mmap") ? OpenMode::kMmap : OpenMode::kHeap);
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: hc2l <generate|build|query|route|stats|serve|client> "
-               "[options]\n"
+               "usage: hc2l <generate|build|shard|query|route|stats|serve|"
+               "client> [options]\n"
                "  generate --rows R --cols C --out FILE [--seed S] "
+               "[--travel-time] [--pendant-frac F] [--oneway-frac F]\n"
+               "  generate --model road --vertices N --out FILE [--seed S] "
                "[--travel-time] [--pendant-frac F] [--oneway-frac F]\n"
                "  build    --graph FILE --out FILE [--directed] [--beta B] "
                "[--leaf-size L] [--threads T] [--no-tail-pruning] "
                "[--no-contraction]\n"
-               "  query    --index FILE [--pairs FILE] [--threads T]\n"
-               "  route    --index FILE [--pairs FILE] [--k K]\n"
-               "  stats    --index FILE\n"
-               "  serve    --index FILE [--port P] [--host H] [--threads T]\n"
+               "  shard    --graph FILE --out FILE [--shards N] [--directed] "
+               "[--beta B] [--leaf-size L] [--threads T]\n"
+               "  query    --index FILE [--pairs FILE] [--threads T] "
+               "[--mmap]\n"
+               "  route    --index FILE [--pairs FILE] [--k K] [--mmap]\n"
+               "  stats    --index FILE [--mmap]\n"
+               "  serve    --index FILE [--port P] [--host H] [--threads T] "
+               "[--mmap]\n"
                "  client   [--port P] [--host H] [--retry N]\n");
   return 2;
 }
@@ -148,6 +178,21 @@ int RunGenerate(const Args& args) {
   options.pendant_frac = args.GetDouble("--pendant-frac", 0.3);
   options.weight_mode = args.Has("--travel-time") ? WeightMode::kTravelTime
                                                   : WeightMode::kDistance;
+  if (const char* model = args.Get("--model"); model != nullptr) {
+    if (std::strcmp(model, "road") != 0) {
+      std::fprintf(stderr, "error: unknown --model \"%s\" (only: road)\n",
+                   model);
+      return 2;
+    }
+    const long vertices = args.GetLong("--vertices", 0);
+    if (vertices < 4) {
+      std::fprintf(stderr,
+                   "error: --model road needs --vertices N (N >= 4)\n");
+      return 2;
+    }
+    options = RoadNetworkOptionsForVertices(
+        static_cast<uint64_t>(vertices), options);
+  }
   const double oneway_frac = args.GetDouble("--oneway-frac", 0.0);
   if (oneway_frac < 0.0 || oneway_frac > 1.0) {
     std::fprintf(stderr, "error: --oneway-frac must be in [0, 1]\n");
@@ -209,10 +254,50 @@ int RunBuild(const Args& args) {
   return 0;
 }
 
+int RunShard(const Args& args) {
+  const char* graph_path = args.Get("--graph");
+  const char* out = args.Get("--out");
+  if (graph_path == nullptr || out == nullptr) return Usage();
+  ShardOptions options;
+  const long shards = args.GetLong("--shards", 2);
+  if (shards < 1 || shards > 4096) {
+    std::fprintf(stderr, "error: --shards must be in [1, 4096], got %ld\n",
+                 shards);
+    return 2;
+  }
+  options.num_shards = static_cast<uint32_t>(shards);
+  options.build_beta = args.GetDouble("--beta", 0.2);
+  options.leaf_size = static_cast<uint32_t>(args.GetLong("--leaf-size", 8));
+  uint32_t threads = 1;
+  if (args.Has("--threads") && !GetThreads(args, &threads)) return 2;
+  options.num_threads = threads;
+
+  Timer timer;
+  Result<ShardedIndex> index = [&]() -> Result<ShardedIndex> {
+    if (args.Has("--directed")) {
+      Result<Digraph> graph = ReadDimacsDigraph(graph_path);
+      if (!graph.ok()) return graph.status();
+      return ShardedIndex::Build(*graph, options);
+    }
+    Result<Graph> graph = ReadDimacsGraph(graph_path);
+    if (!graph.ok()) return graph.status();
+    return ShardedIndex::Build(*graph, options);
+  }();
+  if (!index.ok()) return Fail(index.status());
+  std::printf(
+      "sharded %s index in %.2fs: %zu shards, %zu vertices, %zu boundary "
+      "vertices\n",
+      index->directed() ? "directed" : "undirected", timer.Seconds(),
+      index->NumShards(), index->NumVertices(), index->NumBoundaryVertices());
+  if (Status s = index->Save(out); !s.ok()) return Fail(s);
+  std::printf("saved %s (+ %zu shard files)\n", out, index->NumShards());
+  return 0;
+}
+
 int RunQuery(const Args& args) {
   const char* index_path = args.Get("--index");
   if (index_path == nullptr) return Usage();
-  Result<Router> router = Router::Open(index_path);
+  Result<Router> router = OpenIndex(args, index_path);
   if (!router.ok()) return Fail(router.status());
   std::FILE* in = stdin;
   const char* pairs_path = args.Get("--pairs");
@@ -287,7 +372,7 @@ int RunRoute(const Args& args) {
     std::fprintf(stderr, "error: --k must be in [1, 64], got %ld\n", k);
     return 2;
   }
-  Result<Router> router = Router::Open(index_path);
+  Result<Router> router = OpenIndex(args, index_path);
   if (!router.ok()) return Fail(router.status());
 
   std::FILE* in = stdin;
@@ -353,7 +438,7 @@ int RunRoute(const Args& args) {
 int RunStats(const Args& args) {
   const char* index_path = args.Get("--index");
   if (index_path == nullptr) return Usage();
-  Result<Router> router = Router::Open(index_path);
+  Result<Router> router = OpenIndex(args, index_path);
   if (!router.ok()) return Fail(router.status());
   const IndexInfo s = router->Info();
   std::printf("flavour:         %s\n", s.directed ? "directed" : "undirected");
@@ -380,6 +465,14 @@ int RunStats(const Args& args) {
               static_cast<unsigned long long>(s.label_resident_bytes));
   std::printf("lca bytes:       %llu\n",
               static_cast<unsigned long long>(s.lca_bytes));
+  std::printf("mapped bytes:    %llu\n",
+              static_cast<unsigned long long>(s.mapped_bytes));
+  std::printf("heap bytes:      %llu\n",
+              static_cast<unsigned long long>(s.heap_bytes));
+  if (s.num_shards > 0) {
+    std::printf("shards:          %llu\n",
+                static_cast<unsigned long long>(s.num_shards));
+  }
   std::printf("build seconds:   %.3f\n", s.build_seconds);
   return 0;
 }
@@ -401,7 +494,7 @@ int RunServe(const Args& args) {
   if (args.Has("--threads") && !GetThreads(args, &threads)) return 2;
   options.num_threads = threads;
 
-  Result<Router> router = Router::Open(index_path);
+  Result<Router> router = OpenIndex(args, index_path);
   if (!router.ok()) return Fail(router.status());
   Result<QueryServer> server = QueryServer::Start(*router, options);
   if (!server.ok()) return Fail(server.status());
@@ -505,6 +598,7 @@ int main(int argc, char** argv) {
   const hc2l::Args args(argc, argv);
   if (command == "generate") return hc2l::RunGenerate(args);
   if (command == "build") return hc2l::RunBuild(args);
+  if (command == "shard") return hc2l::RunShard(args);
   if (command == "query") return hc2l::RunQuery(args);
   if (command == "route") return hc2l::RunRoute(args);
   if (command == "stats") return hc2l::RunStats(args);

@@ -69,6 +69,13 @@ const char* FlagValue(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 /// Parses a non-negative integer flag into *out; false (with a message) on
 /// a malformed or out-of-range value.
 bool UintFlag(int argc, char** argv, const char* name, long max, long* out) {
@@ -89,11 +96,14 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: hc2ld --index FILE [--port P] [--host H] [--threads T]\n"
-      "             [--graph FILE] [--max-connections N] [--max-in-flight N]\n"
+      "             [--mmap] [--graph FILE] [--max-connections N] "
+      "[--max-in-flight N]\n"
       "             [--idle-timeout-ms MS] [--read-timeout-ms MS]\n"
       "             [--max-requests-per-connection N] [--drain-ms MS]\n"
       "  --graph enables the update_weights op (live weight repair) by\n"
       "  attaching the DIMACS graph the index was built from.\n"
+      "  --mmap maps V4/sharded label arenas in place (OpenMode::kMmap),\n"
+      "  for open and for every reload.\n"
       "  --port 0 (default) binds an ephemeral port; the chosen port is "
       "printed.\n"
       "  --threads 0 (default) uses all hardware threads for the shared "
@@ -146,7 +156,10 @@ int main(int argc, char** argv) {
   options.limits.max_requests_per_connection =
       static_cast<uint64_t>(max_requests);
 
-  hc2l::Result<hc2l::Router> router = hc2l::Router::Open(index_path);
+  options.open_mmap = HasFlag(argc, argv, "--mmap");
+  hc2l::Result<hc2l::Router> router = hc2l::Router::Open(
+      index_path,
+      options.open_mmap ? hc2l::OpenMode::kMmap : hc2l::OpenMode::kHeap);
   if (!router.ok()) {
     std::fprintf(stderr, "error: %s\n", router.status().ToString().c_str());
     return 1;
