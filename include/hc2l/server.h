@@ -3,12 +3,16 @@
 
 /// hc2ld — the HC2L serving front end: line-delimited JSON over TCP.
 ///
-/// QueryServer wraps a Router in a listening socket: one accept loop, one
-/// lightweight thread per connection, one reusable buffer set per
-/// connection (requests parse into and execute out of the same memory line
-/// after line — the zero-copy request/response facade API end to end). All
-/// queries run through one shared ThreadedRouter, so concurrent connections
-/// share the engine's worker pool instead of spawning their own.
+/// QueryServer wraps a Router in an epoll reactor: ONE event thread owns
+/// every socket (accept, nonblocking reads/writes, deadline eviction) and a
+/// small worker pool executes requests off the event thread, each
+/// connection carrying one reusable buffer set (requests parse into and
+/// execute out of the same memory line after line — the zero-copy
+/// request/response facade API end to end). All queries run through one
+/// shared ThreadedRouter, so concurrent connections share the engine's
+/// worker pool instead of spawning their own. Small concurrently-arriving
+/// point/batch requests are coalesced into one engine batch (bit-identical
+/// answers, demultiplexed per connection; ServerOptions::coalesce).
 ///
 ///   hc2l::Result<hc2l::Router> router = hc2l::Router::Open("city.idx");
 ///   hc2l::Result<hc2l::QueryServer> server =
@@ -42,7 +46,7 @@
 /// and unmoved until the server is stopped AND destroyed (after a Reload
 /// the server stops using it but holds index snapshots of its own).
 /// QueryServer is movable, not copyable; Stop() is idempotent and joins
-/// every connection thread before returning.
+/// the event thread and every reactor worker before returning.
 
 #include <chrono>
 #include <cstdint>
@@ -77,8 +81,9 @@ struct ServerLimits {
   /// budget — the slowloris guard: a client trickling one byte at a time
   /// cannot hold a connection slot forever.
   uint32_t read_timeout_ms = 30'000;
-  /// SO_SNDTIMEO on every connection: a client that stops draining its
-  /// receive window fails the server's send() after this and is evicted.
+  /// A client that stops draining its receive window keeps the server's
+  /// pending response bytes blocked; after this long continuously blocked
+  /// the connection is closed hard.
   uint32_t write_timeout_ms = 30'000;
   /// Requests answered on one connection before the server closes it
   /// (cycles long-lived connections; 0 = unlimited).
@@ -117,6 +122,13 @@ struct ServerOptions {
   /// keeps the label arenas file-backed instead of silently deserializing
   /// them onto the heap.
   bool open_mmap = false;
+  /// Reactor worker threads (request execution off the event thread);
+  /// 0 = clamp(hardware_concurrency / 2, 2, 8).
+  uint32_t reactor_threads = 0;
+  /// Coalesce small concurrently-arriving default-option point/batch
+  /// requests into one engine batch. Answers are bit-identical either way;
+  /// disable to trade batching throughput for strict per-request execution.
+  bool coalesce = true;
 };
 
 /// The TCP front end. Construction binds, listens and spawns the accept
@@ -136,6 +148,8 @@ class QueryServer {
                                      // UpdateWeights
     uint64_t reloads = 0;            // successful Reload count
     uint64_t weight_updates = 0;     // successful UpdateWeights count
+    uint64_t requests_coalesced = 0;  // requests answered via a merged batch
+    uint64_t coalesced_batches = 0;   // merged engine batches executed
   };
 
   /// Binds host:port and starts serving `router`. Errors: kUnavailable

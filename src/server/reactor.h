@@ -1,0 +1,109 @@
+#ifndef HC2L_SERVER_REACTOR_H_
+#define HC2L_SERVER_REACTOR_H_
+
+/// The hc2ld connection engine: one epoll event thread, a small worker
+/// pool, nonblocking sockets, per-connection buffers.
+///
+/// Division of labor (the invariant everything below leans on):
+///
+///  - The EVENT THREAD owns every file descriptor. It accepts, reads
+///    request bytes into per-connection input buffers, writes response
+///    bytes from per-connection output buffers, enforces the idle /
+///    read (slowloris) / write deadlines, and closes sockets. It never
+///    parses or executes a request.
+///  - WORKER THREADS own request processing. A worker pops a scheduled
+///    connection, consumes its complete request lines through the wire
+///    protocol core (server/wire.h), and appends the response bytes to the
+///    connection's output buffer. Workers never touch an fd.
+///
+/// The two sides meet at each connection's mutex (input/output buffer
+/// hand-off) and an eventfd (workers wake the event thread to start
+/// writing). A connection is scheduled to at most one worker at a time;
+/// responses therefore stay in request order per connection.
+///
+/// Coalescing: a worker staging small default-options point/batch requests
+/// (RequestHandler::Prepare returning kStaged) merges them — across the
+/// pipelined lines of one connection AND across a handful of concurrently
+/// ready connections — into ONE pairwise engine Execute, then demultiplexes
+/// the combined distance slice into per-connection responses. Eligibility
+/// (wire.h) guarantees the answers are bit-identical to unbatched
+/// execution.
+///
+/// The PR 6/7 robustness contract carries over unchanged: admission and
+/// connection limits, Overloaded shed lines, idle/read/write deadline
+/// eviction, the per-line byte cap with discard-to-newline,
+/// max_requests_per_connection cycling, half-close (EOF with pipelined
+/// requests still answers them), graceful drain, and the "server.recv" /
+/// "server.send" fault points on every socket read and write.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hc2l/server.h"
+#include "hc2l/status.h"
+#include "server/metrics.h"
+#include "server/wire.h"
+
+namespace hc2l {
+
+/// One RCU serving snapshot as the reactor sees it: the routers plus an
+/// opaque keepalive that pins them (the server's ServingState shared_ptr).
+struct ServingSnapshot {
+  std::shared_ptr<const void> keepalive;
+  const Router* router = nullptr;
+  const ThreadedRouter* threaded = nullptr;
+};
+
+/// Everything the reactor borrows from the QueryServer that owns it. All
+/// pointers must outlive the reactor.
+struct ReactorEnv {
+  ServerOptions options;
+  /// The current serving snapshot; re-acquired per request line so hot
+  /// reloads land between requests of one connection.
+  std::function<ServingSnapshot()> snapshot;
+  /// Base per-connection hooks (admission, reload, update_weights, info,
+  /// record). The reactor adds the streaming flush hook itself.
+  std::function<ServerHooks()> hooks;
+  ServerMetrics* metrics = nullptr;
+  std::atomic<uint64_t>* accepted = nullptr;
+  std::atomic<uint64_t>* connections_shed = nullptr;
+  std::atomic<uint64_t>* live_connections = nullptr;
+};
+
+class Reactor {
+ public:
+  /// `listen_fd` is borrowed (bound + listening); the reactor puts it into
+  /// nonblocking mode and accepts on it until Stop()/Drain(), but the
+  /// caller closes it.
+  Reactor(int listen_fd, ReactorEnv env);
+  ~Reactor();  // implies Stop()
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates the epoll instance and wakeup eventfd and spawns the event
+  /// thread + workers. Errors: kUnavailable.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, sweep each connection's socket for
+  /// already-sent requests, answer everything, close connections as they
+  /// drain. Returns true when all connections finished within `budget`;
+  /// stragglers are then closed hard either way. The reactor is fully
+  /// stopped (threads joined) on return.
+  bool Drain(std::chrono::milliseconds budget);
+
+  /// Hard stop: disconnect every client, join all threads. Idempotent.
+  void Stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hc2l
+
+#endif  // HC2L_SERVER_REACTOR_H_

@@ -2,34 +2,29 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <climits>
 #include <condition_variable>
 #include <cstring>
-#include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
-#include <vector>
 
-#include "common/fault_injection.h"
 #include "graph/dimacs_io.h"
 #include "graph/graph.h"
+#include "server/metrics.h"
+#include "server/reactor.h"
 #include "server/wire.h"
 
 namespace hc2l {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /// close() wrapper that survives EINTR.
 void CloseFd(int fd) {
@@ -39,60 +34,13 @@ void CloseFd(int fd) {
   }
 }
 
-/// recv() with the "server.recv" fault point in front: the chaos suite can
-/// turn any read into an EINTR/ECONNRESET failure, a short read, or a
-/// premature EOF without a cooperating client.
-ssize_t RecvSome(int fd, char* buf, size_t cap, int flags) {
-  const auto act = HC2L_FAULT_ON_IO("server.recv", cap);
-  if (act.fail) {
-    errno = act.err != 0 ? act.err : ECONNRESET;
-    return -1;
-  }
-  if (act.eof) return 0;
-  return ::recv(fd, buf, std::min(act.bytes, cap), flags);
-}
-
-/// Writes the whole buffer, retrying short writes and EINTR; false on a
-/// dead peer or a write deadline (SO_SNDTIMEO turns a stuck client into
-/// EAGAIN here). Carries the "server.send" fault point.
-bool SendAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const size_t want = size - sent;
-    const auto act = HC2L_FAULT_ON_IO("server.send", want);
-    ssize_t n;
-    if (act.fail) {
-      errno = act.err != 0 ? act.err : EPIPE;
-      n = -1;
-    } else if (act.eof) {
-      errno = EPIPE;
-      n = -1;
-    } else {
-      n = ::send(fd, data + sent, std::min(act.bytes, want), MSG_NOSIGNAL);
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-void AppendDeadlineResponse(const char* what, std::string* out) {
-  out->append("{\"ok\":false,\"code\":\"DeadlineExceeded\",\"message\":\"");
-  out->append(what);
-  out->append("\"}\n");
-}
-
 }  // namespace
 
 struct QueryServer::Impl {
   ServerOptions options;
 
   /// One immutable serving snapshot: the index facade plus the shared query
-  /// engine built on it. Connections take a shared_ptr per request line;
+  /// engine built on it. The reactor takes a shared_ptr per request line;
   /// Reload publishes a fresh snapshot and the old one dies with its last
   /// in-flight reference (RCU). `owned` is null for the initial snapshot,
   /// whose Router is borrowed from Start()'s caller. Declared before
@@ -113,38 +61,30 @@ struct QueryServer::Impl {
 
   int listen_fd = -1;
   uint16_t bound_port = 0;
-  std::thread accept_thread;
-
-  // Connections poll the read end; Drain() closes the write end, which
-  // wakes every poll with one readable-forever fd (POLLHUP) — a broadcast
-  // with no per-connection bookkeeping.
-  int drain_pipe[2] = {-1, -1};
 
   mutable std::mutex mu;
   std::condition_variable stopped_cv;
-  std::condition_variable conn_done_cv;  // signalled per connection exit
-  bool stopping = false;                 // guarded by mu
-  bool draining = false;                 // guarded by mu
-  size_t live_connections = 0;           // guarded by mu
+  bool stopping = false;  // guarded by mu
   // Serializes StopAndJoin/DrainAndJoin callers (Stop() from any thread,
-  // the destructor): the joins and fd teardown below must run exactly once
-  // at a time; the joinable()/fd guards then make later callers no-ops.
+  // the destructor): the reactor teardown below must run exactly once at a
+  // time; the null/flag guards then make later callers no-ops.
   std::mutex stop_mu;
 
   std::atomic<uint64_t> accepted{0};
   std::atomic<uint64_t> connections_shed{0};
+  std::atomic<uint64_t> live_connections{0};
   std::atomic<uint64_t> requests_admitted{0};
   std::atomic<uint64_t> requests_shed{0};
   std::atomic<uint64_t> reloads{0};
   std::atomic<uint64_t> weight_updates{0};
   std::atomic<uint32_t> in_flight{0};
 
-  struct Connection {
-    int fd = -1;  // guarded by mu once registered; -1 after eager close
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-  std::vector<std::unique_ptr<Connection>> connections;  // guarded by mu
+  ServerMetrics metrics;
+
+  // Declared after everything it borrows (metrics, counters, state) so the
+  // member destruction order alone cannot leave a reactor thread touching
+  // a dead field; StopAndJoin in ~Impl stops it first anyway.
+  std::unique_ptr<Reactor> reactor;
 
   ~Impl() { StopAndJoin(); }
 
@@ -241,15 +181,14 @@ struct QueryServer::Impl {
     Stats s;
     s.connections_accepted = accepted.load(std::memory_order_relaxed);
     s.connections_shed = connections_shed.load(std::memory_order_relaxed);
+    s.connections_live = live_connections.load(std::memory_order_relaxed);
     s.requests_admitted = requests_admitted.load(std::memory_order_relaxed);
     s.requests_shed = requests_shed.load(std::memory_order_relaxed);
     s.in_flight = in_flight.load(std::memory_order_relaxed);
     s.reloads = reloads.load(std::memory_order_relaxed);
     s.weight_updates = weight_updates.load(std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      s.connections_live = live_connections;
-    }
+    s.requests_coalesced = metrics.coalesced_requests();
+    s.coalesced_batches = metrics.coalesced_batches();
     {
       std::lock_guard<std::mutex> lock(state_mu);
       s.epoch = state->epoch;
@@ -276,6 +215,7 @@ struct QueryServer::Impl {
     field("in_flight", s.in_flight);
     field("max_connections", options.limits.max_connections);
     field("max_in_flight", options.limits.max_in_flight);
+    metrics.AppendInfoJson(json);
   }
 
   ServerHooks MakeHooks() {
@@ -312,317 +252,51 @@ struct QueryServer::Impl {
       return UpdateWeightsIndex(edges, epoch);
     };
     hooks.info = [this](std::string* json) { AppendServingInfo(json); };
+    hooks.record = [this](std::string_view op, uint64_t ns) {
+      metrics.RecordLatency(op, ns);
+    };
+    // hooks.flush is the reactor's: it wires each connection's socket write
+    // path in itself.
     return hooks;
   }
 
-  void ServeConnection(Connection* conn) {
-    const ServerLimits& limits = options.limits;
-    if (limits.write_timeout_ms != 0) {
-      timeval tv{};
-      tv.tv_sec = limits.write_timeout_ms / 1000;
-      tv.tv_usec = static_cast<long>(limits.write_timeout_ms % 1000) * 1000;
-      ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    }
-
-    RequestHandler handler(MakeHooks());
-    std::string inbuf;
-    std::string outbuf;
-    char buf[16384];
-    bool discarding = false;  // oversized line: drop bytes to its newline
-    bool evict = false;       // flush outbuf, then close
-    uint64_t served = 0;
-    Clock::time_point last_byte = Clock::now();
-    Clock::time_point line_start = last_byte;
-    bool line_open = false;
-
-    // Handles every complete line buffered in inbuf against the CURRENT
-    // serving snapshot (re-acquired per line, so a hot reload lands between
-    // requests of one connection), drops the consumed prefix, and enforces
-    // the line-byte cap by switching into discard mode: one error response,
-    // then bytes are dropped until the offending line's newline — the
-    // buffer stays bounded and the connection stays usable. Returns whether
-    // any newline was consumed (the caller re-bases the slowloris clock).
-    const auto process_buffered = [&]() -> bool {
-      size_t consumed = 0;
-      const std::string_view view(inbuf);
-      for (;;) {
-        const size_t nl = inbuf.find('\n', consumed);
-        if (discarding) {
-          if (nl == std::string::npos) {
-            inbuf.clear();
-            return consumed > 0;
-          }
-          consumed = nl + 1;
-          discarding = false;
-          continue;
-        }
-        if (nl == std::string::npos) break;
-        const size_t before = outbuf.size();
-        const auto snap = Snapshot();
-        handler.HandleLine(view.substr(consumed, nl - consumed),
-                           *snap->router, *snap->threaded, &outbuf);
-        consumed = nl + 1;
-        if (outbuf.size() > before) {
-          ++served;
-          if (limits.max_requests_per_connection != 0 &&
-              served >= limits.max_requests_per_connection) {
-            evict = true;
-            break;
-          }
-        }
-      }
-      if (consumed > 0) inbuf.erase(0, consumed);
-      if (!discarding && inbuf.size() > options.max_line_bytes) {
-        outbuf.append(
-            "{\"ok\":false,\"code\":\"InvalidArgument\",\"message\":\"request "
-            "line exceeds the per-line byte cap\"}\n");
-        inbuf.clear();
-        discarding = true;
-      }
-      line_open = !inbuf.empty() || discarding;
-      return consumed > 0;
+  ReactorEnv MakeEnv() {
+    ReactorEnv env;
+    env.options = options;
+    env.snapshot = [this] {
+      std::shared_ptr<const ServingState> snap = Snapshot();
+      ServingSnapshot out;
+      out.router = snap->router;
+      out.threaded = snap->threaded.get();
+      out.keepalive = std::move(snap);
+      return out;
     };
-
-    for (;;) {
-      // The nearer of the idle and slowloris deadlines bounds the poll.
-      const char* deadline_reason = nullptr;
-      Clock::time_point deadline = Clock::time_point::max();
-      if (limits.idle_timeout_ms != 0) {
-        deadline = last_byte + std::chrono::milliseconds(limits.idle_timeout_ms);
-        deadline_reason = "connection evicted: idle timeout";
-      }
-      if (line_open && limits.read_timeout_ms != 0) {
-        const Clock::time_point read_deadline =
-            line_start + std::chrono::milliseconds(limits.read_timeout_ms);
-        if (read_deadline < deadline) {
-          deadline = read_deadline;
-          deadline_reason =
-              "connection evicted: request line not completed in time";
-        }
-      }
-      int timeout_ms = -1;
-      if (deadline != Clock::time_point::max()) {
-        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                              deadline - Clock::now())
-                              .count();
-        timeout_ms = static_cast<int>(
-            std::clamp<long long>(left, 0, std::numeric_limits<int>::max()));
-      }
-
-      pollfd fds[2] = {{conn->fd, POLLIN, 0}, {drain_pipe[0], POLLIN, 0}};
-      const int rc = ::poll(fds, 2, timeout_ms);
-      if (rc < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      if (rc == 0) {
-        // Deadline hit: one polite response line, then close. A slow client
-        // cannot hold a connection slot forever.
-        AppendDeadlineResponse(deadline_reason, &outbuf);
-        SendAll(conn->fd, outbuf.data(), outbuf.size());
-        break;
-      }
-
-      if (fds[1].revents != 0) {
-        // Drain: answer the requests already queued on the socket (a
-        // non-blocking sweep, processed chunk by chunk so the buffer stays
-        // bounded), flush, close. Anything the client sends after the
-        // drain signal is dropped with the close.
-        for (;;) {
-          const ssize_t n =
-              RecvSome(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
-          if (n < 0 && errno == EINTR) continue;
-          if (n <= 0) break;
-          inbuf.append(buf, static_cast<size_t>(n));
-          process_buffered();
-          if (evict) break;
-        }
-        if (!outbuf.empty()) SendAll(conn->fd, outbuf.data(), outbuf.size());
-        break;
-      }
-
-      const ssize_t n = RecvSome(conn->fd, buf, sizeof(buf), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
-      last_byte = Clock::now();
-      const bool was_open = line_open;
-      inbuf.append(buf, static_cast<size_t>(n));
-      const bool consumed_any = process_buffered();
-      // The slowloris clock restarts whenever the pending partial line
-      // began with this chunk (fresh connection input, or right after a
-      // completed line).
-      if (line_open && (!was_open || consumed_any)) line_start = last_byte;
-      if (!outbuf.empty()) {
-        if (!SendAll(conn->fd, outbuf.data(), outbuf.size())) break;
-        outbuf.clear();
-      }
-      if (evict) break;
-    }
-
-    // Eager fd release, under mu: the descriptor is closed the moment the
-    // handler finishes — not when the accept loop next reaps — so a burst
-    // of short-lived connections is bounded by live handlers, and Stop()'s
-    // shutdown sweep (same mu, fd >= 0 check) can never touch a reused
-    // descriptor number.
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      ::shutdown(conn->fd, SHUT_RDWR);
-      CloseFd(conn->fd);
-      conn->fd = -1;
-      --live_connections;
-    }
-    conn->done.store(true, std::memory_order_release);
-    conn_done_cv.notify_all();
+    env.hooks = [this] { return MakeHooks(); };
+    env.metrics = &metrics;
+    env.accepted = &accepted;
+    env.connections_shed = &connections_shed;
+    env.live_connections = &live_connections;
+    return env;
   }
 
-  /// Joins connection threads whose handler has finished (their fds are
-  /// already closed — see the handler epilogue). Called between accepts;
-  /// Stop()/Drain() sweep whatever remains.
-  void ReapFinished() {
-    std::vector<std::unique_ptr<Connection>> done;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t i = 0; i < connections.size();) {
-        if (connections[i]->done.load(std::memory_order_acquire)) {
-          done.push_back(std::move(connections[i]));
-          connections[i] = std::move(connections.back());
-          connections.pop_back();
-        } else {
-          ++i;
-        }
-      }
-    }
-    for (auto& conn : done) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
-  }
-
-  void AcceptLoop() {
-    for (;;) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
-      if (fd < 0) {
-        if (errno == EINTR) continue;
-        // Stop() shut the listen socket down (or the socket died): exit.
-        return;
-      }
-      accepted.fetch_add(1, std::memory_order_relaxed);
-      ReapFinished();
-      auto conn = std::make_unique<Connection>();
-      conn->fd = fd;
-      Connection* raw = conn.get();
-      bool shed = false;
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        if (stopping || draining) {
-          CloseFd(fd);
-          return;
-        }
-        if (options.limits.max_connections != 0 &&
-            live_connections >= options.limits.max_connections) {
-          shed = true;
-        } else {
-          ++live_connections;
-          conn->thread = std::thread([this, raw] { ServeConnection(raw); });
-          connections.push_back(std::move(conn));
-        }
-      }
-      if (shed) {
-        // Connection-level load shedding: one best-effort Overloaded line
-        // (the socket's send buffer is empty, so this will not block), then
-        // close — never a backlog of accepted-but-unserved sockets.
-        connections_shed.fetch_add(1, std::memory_order_relaxed);
-        std::string line;
-        AppendOverloadedResponse(options.limits.retry_after_ms,
-                                 "server is at its connection limit", &line);
-        ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
-        CloseFd(fd);
-      }
-    }
-  }
-
-  /// Stops the acceptor and joins it; shared by Stop and Drain. Returns
-  /// false when another caller already stopped the server.
-  bool BeginShutdown(bool graceful) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      if (stopping) return false;
-      if (graceful) {
-        if (draining) return false;
-        draining = true;
-      } else {
-        stopping = true;
-      }
-    }
-    if (listen_fd >= 0) {
-      // Unblocks accept() on Linux; the loop then exits on the error.
-      ::shutdown(listen_fd, SHUT_RDWR);
-    }
-    if (accept_thread.joinable()) accept_thread.join();
+  void FinishShutdown() {
     CloseFd(listen_fd);
     listen_fd = -1;
-    return true;
-  }
-
-  /// Joins every connection thread and finishes teardown. Handlers close
-  /// their own fds; anything still open here belongs to a thread we are
-  /// about to join, whose epilogue closes it.
-  void FinishShutdown() {
-    std::vector<std::unique_ptr<Connection>> to_join;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      stopping = true;
-      to_join.swap(connections);
-    }
-    for (auto& conn : to_join) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
-    CloseFd(drain_pipe[0]);
-    CloseFd(drain_pipe[1]);
-    drain_pipe[0] = drain_pipe[1] = -1;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      stopped_cv.notify_all();
-    }
+    std::lock_guard<std::mutex> lock(mu);
+    stopping = true;
+    stopped_cv.notify_all();
   }
 
   void StopAndJoin() {
     std::lock_guard<std::mutex> stop_lock(stop_mu);
-    if (!BeginShutdown(/*graceful=*/false)) {
-      // A Drain may still be waiting out its budget on another thread; the
-      // stop_mu hand-off above means it has finished by the time we get
-      // here, so there is nothing left to do beyond the idempotent sweep.
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      for (auto& conn : connections) {
-        // Kicks a handler blocked in poll/recv/send; it exits on the error.
-        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-      }
-    }
+    if (reactor != nullptr) reactor->Stop();
     FinishShutdown();
   }
 
   bool DrainAndJoin(std::chrono::milliseconds budget) {
     std::lock_guard<std::mutex> stop_lock(stop_mu);
-    if (!BeginShutdown(/*graceful=*/true)) return true;  // already stopped
-    // Broadcast the drain: every connection's poll wakes on the pipe's
-    // read end going readable (POLLHUP), answers what it has, and closes.
-    if (drain_pipe[1] >= 0) {
-      CloseFd(drain_pipe[1]);
-      drain_pipe[1] = -1;
-    }
-    bool drained;
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      drained = conn_done_cv.wait_for(lock, budget,
-                                      [this] { return live_connections == 0; });
-      if (!drained) {
-        // Budget spent: disconnect the stragglers hard.
-        for (auto& conn : connections) {
-          if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-        }
-      }
-    }
+    bool drained = true;
+    if (reactor != nullptr) drained = reactor->Drain(budget);
     FinishShutdown();
     return drained;
   }
@@ -652,11 +326,6 @@ Result<QueryServer> QueryServer::Start(const Router& router,
   initial->threaded =
       std::make_unique<ThreadedRouter>(std::move(threaded).value());
   impl->state = std::move(initial);
-
-  if (::pipe(impl->drain_pipe) != 0) {
-    return Status::Unavailable(std::string("pipe(): ") +
-                               std::strerror(errno));
-  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -695,8 +364,14 @@ Result<QueryServer> QueryServer::Start(const Router& router,
                     &bound_len) == 0) {
     impl->bound_port = ntohs(bound.sin_port);
   }
-  Impl* raw = impl.get();
-  impl->accept_thread = std::thread([raw] { raw->AcceptLoop(); });
+  impl->reactor = std::make_unique<Reactor>(impl->listen_fd, impl->MakeEnv());
+  const Status started = impl->reactor->Start();
+  if (!started.ok()) {
+    impl->reactor.reset();
+    CloseFd(impl->listen_fd);
+    impl->listen_fd = -1;
+    return started;
+  }
   return QueryServer(std::move(impl));
 }
 

@@ -21,6 +21,20 @@ constexpr uint64_t kMaxDeadlineMs = 86'400'000;
 /// line hostile ("[[[[[..." is not a request).
 constexpr int kMaxSkipDepth = 32;
 
+/// Maps a wire "code" name back to its StatusCode (client-side reassembly of
+/// server aborts). Unknown names — a newer server, say — land on kInternal.
+StatusCode WireCodeFromName(std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kDataLoss, StatusCode::kFailedPrecondition,
+        StatusCode::kUnavailable, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kOverloaded, StatusCode::kOutOfRange}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 void AppendUint(std::string* out, uint64_t v) {
   char buf[24];
   const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
@@ -204,6 +218,42 @@ class JsonCursor {
     return Status::Ok();
   }
 
+  Status ParseBool(bool* out) {
+    SkipWs();
+    if (s_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      *out = true;
+      return Status::Ok();
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      *out = false;
+      return Status::Ok();
+    }
+    return Error("expected true or false");
+  }
+
+  /// Array of distances as the wire serializes them: non-negative integers
+  /// with null for unreachable. APPENDS to *out (the stream reassembler
+  /// accumulates chunks into one buffer).
+  Status ParseDistArray(std::vector<Dist>* out) {
+    if (Status st = Expect('['); !st.ok()) return st;
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      if (s_.substr(pos_, 4) == "null") {
+        pos_ += 4;
+        out->push_back(kInfDist);
+      } else {
+        uint64_t v = 0;
+        if (Status st = ParseUint(&v); !st.ok()) return st;
+        out->push_back(v >= kInfDist ? kInfDist : static_cast<Dist>(v));
+      }
+      if (Consume(']')) return Status::Ok();
+      if (Status st = Expect(','); !st.ok()) return st;
+    }
+  }
+
   /// Array of vertex ids. Values beyond the 32-bit vertex space parse as
   /// kInvalidVertex — out of range for every graph, so the request's
   /// missing-vertex policy decides what happens to them.
@@ -363,6 +413,8 @@ Status ParseRequestLine(std::string_view line, WireRequest* req) {
         // Same sanity cap as Router::WithThreads.
         req->options.num_threads =
             t > 4096 ? 4096u : static_cast<uint32_t>(t);
+      } else if (key == "stream") {
+        field = c.ParseBool(&req->stream);
       } else if (key == "missing") {
         std::string policy;
         field = c.ParseString(&policy);
@@ -402,8 +454,7 @@ void AppendOverloadedResponse(uint64_t retry_after_ms, std::string_view what,
   out->append("\"}\n");
 }
 
-void RequestHandler::AppendErrorResponse(const Status& status,
-                                         std::string* out) const {
+void AppendWireError(const Status& status, std::string* out) {
   out->append("{\"ok\":false,\"code\":\"");
   out->append(StatusCodeName(status.code()));
   out->append("\",\"message\":\"");
@@ -411,15 +462,37 @@ void RequestHandler::AppendErrorResponse(const Status& status,
   out->append("\"}\n");
 }
 
+void RequestHandler::AppendErrorResponse(const Status& status,
+                                         std::string* out) const {
+  AppendWireError(status, out);
+}
+
 void RequestHandler::HandleLine(std::string_view line, const Router& router,
                                 const ThreadedRouter& threaded,
                                 std::string* out) {
+  // With no coalescing policy Prepare never stages; a kExecute line is
+  // finished immediately — together exactly the old one-shot behavior.
+  if (Prepare(line, router, threaded, /*coalesce=*/nullptr,
+              /*sources=*/nullptr, /*targets=*/nullptr, /*plan=*/nullptr,
+              out) == LineAction::kExecute) {
+    ExecuteParsed(router, threaded, out);
+  }
+}
+
+RequestHandler::LineAction RequestHandler::Prepare(
+    std::string_view line, const Router& router,
+    const ThreadedRouter& threaded, const CoalescePolicy* coalesce,
+    std::vector<Vertex>* sources, std::vector<Vertex>* targets,
+    StagePlan* plan, std::string* out) {
+  if (hooks_.record) prepare_start_ = std::chrono::steady_clock::now();
   while (!line.empty() && (line.back() == '\r')) line.remove_suffix(1);
-  if (line.find_first_not_of(" \t") == std::string_view::npos) return;
+  if (line.find_first_not_of(" \t") == std::string_view::npos) {
+    return LineAction::kDone;
+  }
 
   if (Status st = ParseRequestLine(line, &req_); !st.ok()) {
     AppendErrorResponse(st, out);
-    return;
+    return LineAction::kDone;
   }
 
   // ping/info/reload bypass admission control deliberately: liveness
@@ -427,23 +500,23 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
   // server that is shedding query load.
   if (req_.op == "ping") {
     out->append("{\"ok\":true,\"op\":\"ping\"}\n");
-    return;
+    return LineAction::kDone;
   }
   if (req_.op == "reload") {
     if (!hooks_.reload) {
       AppendErrorResponse(
           Status::Unimplemented("this endpoint has no reload hook"), out);
-      return;
+      return LineAction::kDone;
     }
     uint64_t epoch = 0;
     if (Status st = hooks_.reload(req_.path, &epoch); !st.ok()) {
       AppendErrorResponse(st, out);
-      return;
+      return LineAction::kDone;
     }
     out->append("{\"ok\":true,\"op\":\"reload\",\"epoch\":");
     AppendUint(out, epoch);
     out->append("}\n");
-    return;
+    return LineAction::kDone;
   }
   if (req_.op == "update_weights") {
     // Admission-exempt like reload: the operator's weight refresh must keep
@@ -453,7 +526,7 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
       AppendErrorResponse(
           Status::Unimplemented("this endpoint has no update_weights hook"),
           out);
-      return;
+      return LineAction::kDone;
     }
     if (req_.edges.empty()) {
       AppendErrorResponse(
@@ -461,17 +534,17 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
               "\"update_weights\" needs a non-empty \"edges\" array of "
               "[u, v, weight] triples"),
           out);
-      return;
+      return LineAction::kDone;
     }
     uint64_t epoch = 0;
     if (Status st = hooks_.update_weights(req_.edges, &epoch); !st.ok()) {
       AppendErrorResponse(st, out);
-      return;
+      return LineAction::kDone;
     }
     out->append("{\"ok\":true,\"op\":\"update_weights\",\"epoch\":");
     AppendUint(out, epoch);
     out->append("}\n");
-    return;
+    return LineAction::kDone;
   }
   if (req_.op == "info") {
     const IndexInfo info = router.Info();
@@ -487,25 +560,20 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
     AppendUint(out, threaded.NumThreads());
     if (hooks_.info) hooks_.info(out);
     out->append("}\n");
-    return;
+    return LineAction::kDone;
   }
 
-  QueryRequest request;
-  request.sources = req_.sources;
-  request.targets = req_.targets;
-  request.k = req_.k;
-  request.options = req_.options;
   if (req_.op == "batch") {
-    request.kind = QueryKind::kPointBatch;
+    kind_ = QueryKind::kPointBatch;
     if (req_.sources.size() != 1) {
       AppendErrorResponse(
           Status::InvalidArgument("\"batch\" needs a single \"source\" (use "
                                   "\"point\" for pairwise queries)"),
           out);
-      return;
+      return LineAction::kDone;
     }
   } else if (req_.op == "point") {
-    request.kind = QueryKind::kPointBatch;
+    kind_ = QueryKind::kPointBatch;
     // Enforce the pairwise shape here: Execute would reinterpret a single
     // source as one-to-many, silently answering a client that dropped an
     // id with plausible-looking wrong data.
@@ -517,20 +585,20 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
               std::to_string(req_.sources.size()) + " and " +
               std::to_string(req_.targets.size()) + ")"),
           out);
-      return;
+      return LineAction::kDone;
     }
   } else if (req_.op == "matrix") {
-    request.kind = QueryKind::kMatrix;
+    kind_ = QueryKind::kMatrix;
   } else if (req_.op == "knearest") {
-    request.kind = QueryKind::kKNearest;
+    kind_ = QueryKind::kKNearest;
   } else if (req_.op == "route") {
-    request.kind = QueryKind::kRoute;
+    kind_ = QueryKind::kRoute;
     if (req_.sources.size() != 1 || req_.targets.size() != 1) {
       AppendErrorResponse(
           Status::InvalidArgument(
               "\"route\" needs a single \"source\" and a single \"target\""),
           out);
-      return;
+      return LineAction::kDone;
     }
     if (req_.k > kMaxRouteAlternatives) {
       AppendErrorResponse(
@@ -539,7 +607,7 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
               "exceeds this server's cap of " +
               std::to_string(kMaxRouteAlternatives)),
           out);
-      return;
+      return LineAction::kDone;
     }
   } else {
     AppendErrorResponse(
@@ -550,22 +618,88 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
                       "\" (expected batch, point, matrix, knearest, route, "
                       "info, ping, reload or update_weights)"),
         out);
-    return;
+    return LineAction::kDone;
   }
 
-  const uint64_t result_entries =
-      request.kind == QueryKind::kMatrix
+  result_entries_ =
+      kind_ == QueryKind::kMatrix
           ? static_cast<uint64_t>(req_.sources.size()) * req_.targets.size()
           : req_.targets.size();
-  if (result_entries > kMaxResultEntries) {
+  // A streamed matrix computes and flushes chunk by chunk, so it answers to
+  // the (much larger) stream ceiling instead of the monolithic-response cap.
+  const bool streamed = kind_ == QueryKind::kMatrix && req_.stream;
+  const uint64_t entry_cap =
+      streamed ? kMaxStreamResultEntries : kMaxResultEntries;
+  if (result_entries_ > entry_cap) {
     AppendErrorResponse(
         Status::InvalidArgument(
-            "request would produce " + std::to_string(result_entries) +
-            " result entries; this server caps one request at " +
-            std::to_string(kMaxResultEntries)),
+            "request would produce " + std::to_string(result_entries_) +
+            (streamed
+                 ? " result entries; this server caps one streamed request at "
+                 : " result entries; this server caps one request at ") +
+            std::to_string(entry_cap)),
         out);
-    return;
+    return LineAction::kDone;
   }
+
+  // Coalescing: stage a small default-options point/batch query instead of
+  // executing it, appending its pairs to the caller's combined arrays. The
+  // eligibility rules guarantee batching cannot change any answer: exact
+  // distances, no per-request deadline or thread override, and every id
+  // verified in range (so the missing-vertex policy never fires).
+  if (coalesce != nullptr && plan != nullptr && sources != nullptr &&
+      targets != nullptr && kind_ == QueryKind::kPointBatch) {
+    const size_t pairs = req_.targets.size();
+    bool stageable =
+        pairs >= 1 && pairs <= coalesce->max_pairs_per_request &&
+        req_.options.deadline == std::chrono::nanoseconds::zero() &&
+        req_.options.num_threads == 0 &&
+        req_.options.missing_vertices != MissingVertexPolicy::kUnchecked;
+    for (size_t i = 0; stageable && i < req_.sources.size(); ++i) {
+      if (req_.sources[i] >= router.NumVertices()) stageable = false;
+    }
+    for (size_t i = 0; stageable && i < req_.targets.size(); ++i) {
+      if (req_.targets[i] >= router.NumVertices()) stageable = false;
+    }
+    if (stageable) {
+      // A staged request passes admission individually, exactly as its
+      // un-coalesced execution would; the caller owes one ReleaseStaged().
+      if (hooks_.admit) {
+        uint64_t retry_after_ms = 0;
+        if (!hooks_.admit(&retry_after_ms)) {
+          AppendOverloadedResponse(
+              retry_after_ms, "server is at its in-flight request limit",
+              out);
+          return LineAction::kDone;
+        }
+      }
+      plan->is_batch = req_.op == "batch";
+      plan->first = sources->size();
+      plan->count = pairs;
+      if (plan->is_batch) {
+        sources->insert(sources->end(), pairs, req_.sources[0]);
+      } else {
+        sources->insert(sources->end(), req_.sources.begin(),
+                        req_.sources.end());
+      }
+      targets->insert(targets->end(), req_.targets.begin(),
+                      req_.targets.end());
+      return LineAction::kStaged;
+    }
+  }
+  return LineAction::kExecute;
+}
+
+void RequestHandler::ExecuteParsed(const Router& router,
+                                   const ThreadedRouter& threaded,
+                                   std::string* out) {
+  QueryRequest request;
+  request.kind = kind_;
+  request.sources = req_.sources;
+  request.targets = req_.targets;
+  request.k = req_.k;
+  request.options = req_.options;
+  const uint64_t result_entries = result_entries_;
 
   // Admission control: shed instead of queueing unboundedly. Shedding
   // happens after shape validation so a shed is always a request the server
@@ -578,6 +712,21 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
       return;
     }
   }
+  // Latency observability: one record() per executed (admitted) request,
+  // measured from Prepare entry — parse + execute + serialize.
+  struct RecordGuard {
+    const RequestHandler* h;
+    ~RecordGuard() {
+      if (h->hooks_.record) {
+        h->hooks_.record(
+            h->req_.op,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - h->prepare_start_)
+                    .count()));
+      }
+    }
+  } record_guard{this};
   // An admitted request pairs with exactly one release() however the
   // execution below exits; without an admit hook nothing was admitted and
   // nothing is released.
@@ -587,6 +736,12 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
       if (release != nullptr && *release) (*release)();
     }
   } release_guard{hooks_.admit ? &hooks_.release : nullptr};
+
+  // Streamed matrix: header + chunk frames + trailer, flushed as computed.
+  if (kind_ == QueryKind::kMatrix && req_.stream) {
+    StreamMatrix(router, threaded, out);
+    return;
+  }
 
   // k-alternative routes allocate per route and are answered on the Router
   // directly (Execute carries only the single shortest path); everything
@@ -688,6 +843,257 @@ void RequestHandler::HandleLine(std::string_view line, const Router& router,
     AppendDist(out, dists_[i]);
   }
   out->append("]}\n");
+}
+
+void RequestHandler::StreamMatrix(const Router& router,
+                                  const ThreadedRouter& threaded,
+                                  std::string* out) {
+  (void)router;
+  const uint64_t rows = req_.sources.size();
+  const uint64_t cols = req_.targets.size();
+  // Whole rows per chunk when a row fits the nominal chunk size; a single
+  // (oversized) row per chunk otherwise. Entry-aligned by construction.
+  const uint64_t rows_per_chunk =
+      cols == 0 ? 1 : std::max<uint64_t>(1, kStreamChunkEntries / cols);
+
+  out->append("{\"ok\":true,\"op\":\"matrix\",\"stream\":true,\"rows\":");
+  AppendUint(out, rows);
+  out->append(",\"cols\":");
+  AppendUint(out, cols);
+  out->append(",\"chunk_entries\":");
+  AppendUint(out, rows_per_chunk * cols);
+  out->append("}\n");
+  if (hooks_.flush && !hooks_.flush(out)) return;
+
+  // The request's deadline budgets the WHOLE stream: every block executes
+  // with the remaining budget, so expiry aborts the stream promptly instead
+  // of restarting the clock chunk by chunk.
+  const auto start = std::chrono::steady_clock::now();
+  QueryRequest request;
+  request.kind = QueryKind::kMatrix;
+  request.targets = req_.targets;
+  request.options = req_.options;
+
+  uint64_t chunk = 0;
+  for (uint64_t r0 = 0; r0 < rows && cols > 0; r0 += rows_per_chunk) {
+    const uint64_t block = std::min(rows_per_chunk, rows - r0);
+    if (req_.options.deadline > std::chrono::nanoseconds::zero()) {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (elapsed >= req_.options.deadline) {
+        AppendErrorResponse(
+            Status::DeadlineExceeded("stream deadline expired after " +
+                                     std::to_string(chunk) + " chunks"),
+            out);
+        return;
+      }
+      request.options.deadline =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              req_.options.deadline - elapsed);
+    }
+    request.sources = std::span<const Vertex>(
+        req_.sources.data() + static_cast<size_t>(r0),
+        static_cast<size_t>(block));
+    dists_.resize(static_cast<size_t>(block * cols));
+    QueryOutput output;
+    output.distances = dists_;
+    const Result<QueryResponse> response = threaded.Execute(request, output);
+    if (!response.ok()) {
+      AppendErrorResponse(response.status(), out);
+      return;
+    }
+    out->append("{\"ok\":true,\"op\":\"matrix\",\"chunk\":");
+    AppendUint(out, chunk);
+    out->append(",\"count\":");
+    AppendUint(out, response->written);
+    out->append(",\"distances\":[");
+    for (size_t i = 0; i < response->written; ++i) {
+      if (i != 0) out->push_back(',');
+      AppendDist(out, dists_[i]);
+    }
+    out->append("]}\n");
+    ++chunk;
+    if (hooks_.flush && !hooks_.flush(out)) return;
+  }
+  out->append("{\"ok\":true,\"op\":\"matrix\",\"done\":true,\"chunks\":");
+  AppendUint(out, chunk);
+  out->append(",\"entries\":");
+  AppendUint(out, rows * cols);
+  out->append("}\n");
+}
+
+void RequestHandler::AppendStagedResponse(const StagePlan& plan,
+                                          std::span<const Dist> dists,
+                                          std::string* out) const {
+  out->append("{\"ok\":true,\"op\":\"");
+  out->append(plan.is_batch ? "batch" : "point");
+  out->append("\",\"distances\":[");
+  for (size_t i = 0; i < plan.count; ++i) {
+    if (i != 0) out->push_back(',');
+    AppendDist(out, dists[plan.first + i]);
+  }
+  out->append("]}\n");
+}
+
+void RequestHandler::ReleaseStaged() {
+  if (hooks_.admit && hooks_.release) hooks_.release();
+}
+
+Status StreamReassembler::Feed(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (poisoned_) {
+    return Status::FailedPrecondition("stream already failed; frame ignored");
+  }
+  // Parse the frame's fields; unknown keys are skipped like the server does.
+  bool ok = false;
+  bool has_ok = false;
+  std::string op;
+  bool stream_flag = false;
+  bool done_flag = false;
+  bool has_chunk = false;
+  uint64_t chunk = 0;
+  bool has_count = false;
+  uint64_t count = 0;
+  bool has_rows = false;
+  uint64_t rows = 0;
+  bool has_cols = false;
+  uint64_t cols = 0;
+  bool has_chunks = false;
+  uint64_t chunks = 0;
+  bool has_entries = false;
+  uint64_t entries = 0;
+  std::string code;
+  std::string message;
+  std::vector<Dist> frame_dists;
+  {
+    JsonCursor c(line);
+    if (Status st = c.Expect('{'); !st.ok()) return Poison(st);
+    if (!c.Consume('}')) {
+      for (;;) {
+        std::string key;
+        if (Status st = c.ParseString(&key); !st.ok()) return Poison(st);
+        if (Status st = c.Expect(':'); !st.ok()) return Poison(st);
+        Status field = Status::Ok();
+        if (key == "ok") {
+          field = c.ParseBool(&ok);
+          has_ok = true;
+        } else if (key == "op") {
+          field = c.ParseString(&op);
+        } else if (key == "stream") {
+          field = c.ParseBool(&stream_flag);
+        } else if (key == "done") {
+          field = c.ParseBool(&done_flag);
+        } else if (key == "chunk") {
+          field = c.ParseUint(&chunk);
+          has_chunk = true;
+        } else if (key == "count") {
+          field = c.ParseUint(&count);
+          has_count = true;
+        } else if (key == "rows") {
+          field = c.ParseUint(&rows);
+          has_rows = true;
+        } else if (key == "cols") {
+          field = c.ParseUint(&cols);
+          has_cols = true;
+        } else if (key == "chunks") {
+          field = c.ParseUint(&chunks);
+          has_chunks = true;
+        } else if (key == "entries") {
+          field = c.ParseUint(&entries);
+          has_entries = true;
+        } else if (key == "code") {
+          field = c.ParseString(&code);
+        } else if (key == "message") {
+          field = c.ParseString(&message);
+        } else if (key == "distances") {
+          field = c.ParseDistArray(&frame_dists);
+        } else {
+          field = c.SkipValue();
+        }
+        if (!field.ok()) return Poison(field);
+        if (c.Consume('}')) break;
+        if (Status st = c.Expect(','); !st.ok()) return Poison(st);
+      }
+    }
+    if (!c.AtEnd()) {
+      return Poison(c.Error("trailing bytes after the response object"));
+    }
+  }
+
+  if (!has_ok) {
+    return Poison(
+        Status::InvalidArgument("stream frame carries no \"ok\" field"));
+  }
+  if (!ok) {
+    // Server-side abort: surface it with the server's code name.
+    return Poison(Status(WireCodeFromName(code),
+                         message.empty() ? "stream aborted by the server"
+                                         : message));
+  }
+  if (done_) {
+    return Poison(
+        Status::InvalidArgument("frame after the stream's done trailer"));
+  }
+  if (!header_seen_) {
+    if (has_chunk || done_flag || !stream_flag || !has_rows || !has_cols) {
+      return Poison(Status::InvalidArgument(
+          "first stream frame is not a {\"stream\":true,...} header"));
+    }
+    if (op != "matrix") {
+      return Poison(Status::InvalidArgument(
+          "streamed op \"" + op + "\" is not \"matrix\""));
+    }
+    header_seen_ = true;
+    rows_ = rows;
+    cols_ = cols;
+    dists_.reserve(static_cast<size_t>(
+        std::min<uint64_t>(rows_ * cols_, kMaxStreamResultEntries)));
+    return Status::Ok();
+  }
+  if (done_flag) {
+    const uint64_t expected = rows_ * cols_;
+    if (dists_.size() != expected) {
+      return Poison(Status::InvalidArgument(
+          "done trailer after " + std::to_string(dists_.size()) + " of " +
+          std::to_string(expected) + " entries"));
+    }
+    if (has_chunks && chunks != chunks_) {
+      return Poison(Status::InvalidArgument(
+          "done trailer counts " + std::to_string(chunks) +
+          " chunks; client saw " + std::to_string(chunks_)));
+    }
+    if (has_entries && entries != expected) {
+      return Poison(Status::InvalidArgument(
+          "done trailer counts " + std::to_string(entries) +
+          " entries; header promised " + std::to_string(expected)));
+    }
+    done_ = true;
+    return Status::Ok();
+  }
+  if (!has_chunk) {
+    return Poison(Status::InvalidArgument(
+        "stream continuation is neither a chunk nor a done trailer"));
+  }
+  if (chunk != chunks_) {
+    return Poison(Status::InvalidArgument(
+        "out-of-order chunk " + std::to_string(chunk) + " (expected " +
+        std::to_string(chunks_) + ")"));
+  }
+  if (has_count && count != frame_dists.size()) {
+    return Poison(Status::InvalidArgument(
+        "chunk " + std::to_string(chunk) + " declares " +
+        std::to_string(count) + " entries but carries " +
+        std::to_string(frame_dists.size())));
+  }
+  if (dists_.size() + frame_dists.size() > rows_ * cols_) {
+    return Poison(Status::InvalidArgument(
+        "chunk " + std::to_string(chunk) +
+        " overflows the header's rows*cols"));
+  }
+  dists_.insert(dists_.end(), frame_dists.begin(), frame_dists.end());
+  ++chunks_;
+  return Status::Ok();
 }
 
 }  // namespace hc2l

@@ -23,6 +23,7 @@
 ///     "deadline_ms": B   // 0 = unlimited
 ///     "threads": T       // 0 = server default, 1 = inline
 ///     "missing": "error" | "unreachable"
+///     "stream": true     // matrix only: chunked response frames (below)
 ///
 /// Responses:
 ///
@@ -43,6 +44,26 @@
 /// carries no route hints and has no graph attached answers ok:false with
 /// code FailedPrecondition.
 ///
+/// Streamed matrix responses ("stream":true): ONE request, SEVERAL response
+/// lines — a header, zero or more chunk frames carrying contiguous row-major
+/// slices of the distance matrix, and a trailer. This lifts the
+/// kMaxResultEntries per-request cap (a streamed request is bounded by
+/// kMaxStreamResultEntries instead) while the server's memory stays bounded:
+/// each chunk is computed, serialized and flushed before the next.
+///
+///   {"ok":true,"op":"matrix","stream":true,"rows":R,"cols":C,
+///    "chunk_entries":K}                                  header
+///   {"ok":true,"op":"matrix","chunk":0,"count":N0,"distances":[...]}
+///   ...chunk frames, "chunk" strictly increasing from 0...
+///   {"ok":true,"op":"matrix","done":true,"chunks":M,"entries":R*C}
+///
+/// Chunks are entry-aligned (never split mid-number) and hold ~chunk_entries
+/// entries each — whole rows per chunk when a row fits, a single oversized
+/// row otherwise. A mid-stream failure (deadline expiry, engine error)
+/// replaces the remaining chunks with one {"ok":false,...} line and NO
+/// trailer — a client must treat a missing "done" frame as an aborted
+/// stream. StreamReassembler below implements the client side.
+///
 /// This header is the testable, socket-free core: parsing into reusable
 /// buffers and executing into reusable buffers — the per-connection
 /// zero-allocation steady state the request/response facade API exists for.
@@ -51,6 +72,7 @@
 /// hot reload (the "reload" op, or SIGHUP on hc2ld) swaps the index under
 /// live connections without touching this layer.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -77,6 +99,19 @@ inline constexpr uint64_t kMaxUpdateEdges = uint64_t{1} << 16;
 /// misunderstands the protocol and should hear so.
 inline constexpr uint64_t kMaxRouteAlternatives = 16;
 
+/// Nominal entries per streamed-matrix chunk frame. Chunks are whole rows
+/// when a row fits (rounding the real chunk size down toward this), one row
+/// per chunk otherwise (then a chunk exceeds this by cols - 1 at most).
+/// Bounds the per-connection compute-and-serialize granularity — and the
+/// latency of one flush — without a per-request knob.
+inline constexpr uint64_t kStreamChunkEntries = uint64_t{1} << 16;
+
+/// Result entries a streamed matrix request may produce in total. Streaming
+/// exists to lift RequestHandler::kMaxResultEntries, but an unbounded
+/// request would still pin a worker for hours; 2^30 entries (~7 GB of JSON
+/// across the stream, seconds of engine time) is the sanity ceiling.
+inline constexpr uint64_t kMaxStreamResultEntries = uint64_t{1} << 30;
+
 /// One parsed request, held in reusable buffers (Clear() keeps capacity).
 struct WireRequest {
   std::string op;
@@ -85,6 +120,7 @@ struct WireRequest {
   uint64_t k = 0;               // knearest neighbors / route alternatives
   std::string path;  // "reload" only: index file to swap to ("" = original)
   std::vector<EdgeDelta> edges;  // "update_weights" only
+  bool stream = false;           // "matrix" only: chunked response frames
   QueryOptions options;
 
   void Clear() {
@@ -94,6 +130,7 @@ struct WireRequest {
     k = 0;
     path.clear();
     edges.clear();
+    stream = false;
     options = QueryOptions{};
   }
 };
@@ -111,6 +148,11 @@ Status ParseRequestLine(std::string_view line, WireRequest* req);
 /// connection-level admission path (the TCP accept loop).
 void AppendOverloadedResponse(uint64_t retry_after_ms, std::string_view what,
                               std::string* out);
+
+/// Appends the wire's generic error response line for `status`:
+/// {"ok":false,"code":...,"message":...}. Shared by the handler and by the
+/// TCP layer's coalesced-batch demux path.
+void AppendWireError(const Status& status, std::string* out);
 
 /// Server-side operations the protocol core surfaces on the wire but cannot
 /// perform itself. All hooks are optional: a hook-less handler (the
@@ -138,6 +180,17 @@ struct ServerHooks {
   /// Appends extra "info" fields (serving stats: epoch, in-flight, shed
   /// counts, limits) as raw `,"key":value` JSON text.
   std::function<void(std::string* json)> info;
+  /// Streaming backpressure: called between chunk frames of a streamed
+  /// response with the response text accumulated so far. The TCP layer moves
+  /// *out into the connection's socket write path (out is cleared or left
+  /// as-is per its choosing) and may block until the socket drains. Return
+  /// false to abort the stream (connection evicted / shutting down): the
+  /// handler stops computing and appends nothing further. Absent hook =
+  /// chunks accumulate in *out (the socket-free tests read them all at once).
+  std::function<bool(std::string* out)> flush;
+  /// Observability: called once per executed query op with the op name and
+  /// its handling latency (parse + execute + serialize, nanoseconds).
+  std::function<void(std::string_view op, uint64_t ns)> record;
 };
 
 /// Parses one request line, executes it against the routers passed by the
@@ -163,13 +216,110 @@ class RequestHandler {
   void HandleLine(std::string_view line, const Router& router,
                   const ThreadedRouter& threaded, std::string* out);
 
+  /// --- Two-phase API for the reactor's request coalescing ---
+  ///
+  /// The reactor wants to merge small concurrently-arriving point/batch
+  /// requests from several connections into ONE engine call. HandleLine
+  /// can't express that (it executes immediately), so Prepare() splits the
+  /// parse from the execute: it parses exactly once (the "wire.parse" fault
+  /// point fires at most once per line, same as HandleLine), then either
+  ///
+  ///  - kDone:    the line was fully handled (admin op, error, non-query,
+  ///              not coalescible) and *out got its response line(s);
+  ///  - kStaged:  a coalescible point/batch query. Its (source,target)
+  ///              pairs were APPENDED pairwise to *sources/*targets and
+  ///              *plan records the slice + response shape. Nothing was
+  ///              executed and nothing written to *out; the caller runs one
+  ///              combined pairwise query over all staged pairs and calls
+  ///              AppendStagedResponse(plan, slice) per staged line to demux
+  ///              — byte-identical to what HandleLine would have produced.
+  ///              The admission hook was already consulted (admitted); the
+  ///              caller MUST call ReleaseStaged() once per kStaged line
+  ///              after demuxing (or on abandoning the batch).
+  ///  - kExecute: a non-coalescible query (matrix/knearest/route/stream,
+  ///              custom options, too many pairs). Parsed state is held in
+  ///              the handler; the caller finishes it with ExecuteParsed()
+  ///              against the snapshot of its choosing.
+  ///
+  /// Coalescing only stages requests whose answers cannot depend on
+  /// batching: default options (no deadline, no thread override, missing
+  /// policy checked), all ids in range, <= coalesce->max_pairs_per_request
+  /// pairs. `coalesce == nullptr` disables staging (kStaged never returned).
+  enum class LineAction { kDone, kStaged, kExecute };
+  struct StagePlan {
+    bool is_batch = false;  // response says "op":"batch" vs "op":"point"
+    size_t first = 0;       // slice of the caller's staged pair arrays
+    size_t count = 0;
+  };
+  struct CoalescePolicy {
+    size_t max_pairs_per_request = 16;
+  };
+  LineAction Prepare(std::string_view line, const Router& router,
+                     const ThreadedRouter& threaded,
+                     const CoalescePolicy* coalesce,
+                     std::vector<Vertex>* sources,
+                     std::vector<Vertex>* targets, StagePlan* plan,
+                     std::string* out);
+  /// Executes the request parsed by the last kExecute Prepare(). Exactly the
+  /// tail of HandleLine: admission, engine call, response serialization.
+  void ExecuteParsed(const Router& router, const ThreadedRouter& threaded,
+                     std::string* out);
+  /// Serializes the response line for one staged request from its slice of
+  /// the combined pairwise result.
+  void AppendStagedResponse(const StagePlan& plan, std::span<const Dist> dists,
+                            std::string* out) const;
+  /// Pairs the admission admit() consumed by one kStaged Prepare().
+  void ReleaseStaged();
+
  private:
   void AppendErrorResponse(const Status& status, std::string* out) const;
+  /// Streamed-matrix execution: header + chunk frames + trailer into *out,
+  /// honoring hooks_.flush between frames. `req_` holds the parsed request.
+  void StreamMatrix(const Router& router, const ThreadedRouter& threaded,
+                    std::string* out);
 
   ServerHooks hooks_;
   WireRequest req_;
   std::vector<Dist> dists_;
   std::vector<Vertex> verts_;
+  // Classification carried from Prepare() to ExecuteParsed().
+  QueryKind kind_ = QueryKind::kPointBatch;
+  uint64_t result_entries_ = 0;
+  std::chrono::steady_clock::time_point prepare_start_{};
+};
+
+/// Client-side reassembly of a streamed matrix response ("stream":true).
+/// Feed() it every response line belonging to the stream (header first);
+/// distances accumulate row-major. Used by the CLI client, the smoke test
+/// and the framing unit tests.
+class StreamReassembler {
+ public:
+  /// Consumes one response line (without the trailing '\n'). Returns an
+  /// error for malformed frames: out-of-order "chunk" index, count/entries
+  /// mismatch, a trailer before all entries arrived, frames after done, or
+  /// a server-side {"ok":false,...} abort (surfaced with its code). After
+  /// an error the reassembler is poisoned; further Feed()s fail.
+  Status Feed(std::string_view line);
+
+  bool done() const { return done_; }
+  uint64_t rows() const { return rows_; }
+  uint64_t cols() const { return cols_; }
+  uint64_t chunks() const { return chunks_; }
+  const std::vector<Dist>& distances() const { return dists_; }
+
+ private:
+  Status Poison(Status st) {
+    poisoned_ = true;
+    return st;
+  }
+
+  bool header_seen_ = false;
+  bool done_ = false;
+  bool poisoned_ = false;
+  uint64_t rows_ = 0;
+  uint64_t cols_ = 0;
+  uint64_t chunks_ = 0;  // chunk frames consumed so far
+  std::vector<Dist> dists_;
 };
 
 }  // namespace hc2l

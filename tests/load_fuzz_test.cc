@@ -12,6 +12,7 @@
 // is rejected before any query dereferences the mapping.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdint>
@@ -83,6 +84,15 @@ struct FormatFile {
   bool sectioned = false;      // V4: starts with a section table
 };
 
+/// TempDir path unique to this PROCESS, not just this test: ctest runs each
+/// gtest case as its own process in parallel, and a shared fixed name would
+/// let one process rewrite a fixture file (the seed index, the manifest's
+/// member shards) while a sibling is mmap-reading it.
+std::string ProcessTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/hc2l_fuzz_p" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
+
 std::vector<char> ReadFileBytes(const std::string& path) {
   std::vector<char> bytes;
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -117,7 +127,7 @@ const std::vector<FormatFile>& AllFormats() {
     opt.cols = 8;
     opt.seed = 5;
     const Graph graph = GenerateRoadNetwork(opt);
-    const std::string path = ::testing::TempDir() + "/hc2l_fuzz_seed.idx";
+    const std::string path = ProcessTempPath("seed.idx");
 
     for (const bool hints : {true, false}) {
       BuildOptions build;
@@ -165,7 +175,7 @@ const std::vector<FormatFile>& AllFormats() {
     shard_options.num_shards = 3;
     Result<ShardedIndex> sharded = ShardedIndex::Build(graph, shard_options);
     EXPECT_TRUE(sharded.ok());
-    const std::string manifest = ::testing::TempDir() + "/hc2l_fuzz_seed.hc2s";
+    const std::string manifest = ProcessTempPath("seed.hc2s");
     EXPECT_TRUE(sharded->Save(manifest).ok());
     out->push_back({"HC2S0001-shard-manifest", ReadFileBytes(manifest),
                     sharded->NumVertices(), kShardManifestMagic, false});
@@ -193,9 +203,10 @@ size_t AllocBound(const FormatFile& file) {
 class LoadFuzzTest : public ::testing::Test {
  protected:
   std::string ScratchPath() const {
-    return ::testing::TempDir() + "/hc2l_fuzz_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-           ".idx";
+    return ProcessTempPath(
+        std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+        ".idx");
   }
 
   /// Opens a mutated file in BOTH open modes, asserting only cleanliness: a
@@ -413,7 +424,7 @@ TEST_F(LoadFuzzTest, ShardManifestCrossValidatesItsShards) {
   Result<ShardedIndex> sharded =
       ShardedIndex::Build(GenerateRoadNetwork(opt), shard_options);
   ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
-  const std::string manifest = ::testing::TempDir() + "/hc2l_fuzz_xval.hc2s";
+  const std::string manifest = ProcessTempPath("xval.hc2s");
   ASSERT_TRUE(sharded->Save(manifest).ok());
 
   const auto open_fails = [&](const char* what) {

@@ -13,9 +13,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -751,6 +756,296 @@ TEST_F(WireTest, TcpServerMaxRequestsPerConnectionCycles) {
   // The per-connection budget is spent: the server closes after two.
   EXPECT_EQ(client.ReadLine(), "<connection closed>");
   server->Stop();
+}
+
+// --- Streaming responses ---------------------------------------------------
+
+/// A matrix request whose streamed response spans several chunk frames:
+/// 100 sources x 1000 targets = 100k entries, 65 rows (65000 entries) per
+/// chunk at kStreamChunkEntries = 65536 -> two chunks.
+std::string MultiChunkMatrixRequest(size_t num_vertices, bool stream) {
+  std::string request = "{\"op\":\"matrix\",\"sources\":[";
+  for (size_t i = 0; i < 100; ++i) {
+    if (i != 0) request += ',';
+    request += std::to_string(i % num_vertices);
+  }
+  request += "],\"targets\":[";
+  for (size_t i = 0; i < 1000; ++i) {
+    if (i != 0) request += ',';
+    request += std::to_string((i * 7) % num_vertices);
+  }
+  request += stream ? "],\"stream\":true}" : "]}";
+  return request;
+}
+
+TEST_F(WireTest, StreamedMatrixEqualsMonolithicResponse) {
+  const std::string mono =
+      Handle(MultiChunkMatrixRequest(router_->NumVertices(), false));
+  ASSERT_EQ(mono.compare(0, 10, "{\"ok\":true"), 0) << mono.substr(0, 120);
+
+  std::string streamed;
+  handler_->HandleLine(MultiChunkMatrixRequest(router_->NumVertices(), true),
+                       *router_, *threaded_, &streamed);
+  StreamReassembler reassembler;
+  size_t frames = 0;
+  size_t start = 0;
+  while (start < streamed.size()) {
+    const size_t nl = streamed.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    const Status fed =
+        reassembler.Feed(std::string_view(streamed).substr(start, nl - start));
+    ASSERT_TRUE(fed.ok()) << fed.ToString();
+    ++frames;
+    start = nl + 1;
+  }
+  EXPECT_TRUE(reassembler.done());
+  EXPECT_EQ(reassembler.rows(), 100u);
+  EXPECT_EQ(reassembler.cols(), 1000u);
+  EXPECT_EQ(reassembler.chunks(), 2u);
+  EXPECT_EQ(frames, 4u);  // header + 2 chunk frames + trailer
+  ASSERT_EQ(reassembler.distances().size(), 100'000u);
+
+  // The reassembled entries must be bit-identical to the monolithic
+  // response's distances array, parsed straight out of its JSON text.
+  const size_t open = mono.find("\"distances\":[");
+  ASSERT_NE(open, std::string::npos);
+  const char* p = mono.data() + open + std::strlen("\"distances\":[");
+  for (size_t i = 0; i < reassembler.distances().size(); ++i) {
+    char* end = nullptr;
+    const Dist mono_dist = static_cast<Dist>(std::strtoull(p, &end, 10));
+    ASSERT_NE(p, end) << "monolithic distances array ended early at " << i;
+    EXPECT_EQ(reassembler.distances()[i], mono_dist) << "entry " << i;
+    p = end + 1;  // past ',' (or past ']' on the final entry)
+  }
+}
+
+TEST_F(WireTest, StreamReassemblyAcrossArbitraryReadBoundaries) {
+  // The client may receive the stream in reads that split frames anywhere
+  // — including mid-number. Accumulating bytes 7 at a time and feeding each
+  // completed line must reassemble the identical result.
+  std::string streamed;
+  handler_->HandleLine(MultiChunkMatrixRequest(router_->NumVertices(), true),
+                       *router_, *threaded_, &streamed);
+  StreamReassembler whole_lines;
+  for (size_t start = 0; start < streamed.size();) {
+    const size_t nl = streamed.find('\n', start);
+    const std::string_view line =
+        std::string_view(streamed).substr(start, nl - start);
+    ASSERT_TRUE(whole_lines.Feed(line).ok());
+    start = nl + 1;
+  }
+  StreamReassembler fragmented;
+  std::string buffer;
+  for (size_t offset = 0; offset < streamed.size(); offset += 7) {
+    const size_t take = std::min<size_t>(7, streamed.size() - offset);
+    buffer.append(streamed, offset, take);
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const Status fed =
+          fragmented.Feed(std::string_view(buffer).substr(0, nl));
+      ASSERT_TRUE(fed.ok()) << fed.ToString();
+      buffer.erase(0, nl + 1);
+    }
+  }
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_TRUE(fragmented.done());
+  EXPECT_EQ(fragmented.distances(), whole_lines.distances());
+}
+
+TEST_F(WireTest, StreamMalformedContinuationsAreRejected) {
+  const std::string header =
+      R"({"ok":true,"op":"matrix","stream":true,"rows":2,"cols":2,)"
+      R"("chunk_entries":4})";
+  const std::string chunk0 =
+      R"({"ok":true,"op":"matrix","chunk":0,"count":4,)"
+      R"("distances":[1,2,3,4]})";
+  const std::string trailer =
+      R"({"ok":true,"op":"matrix","done":true,"chunks":1,"entries":4})";
+
+  {  // The happy path the mutations below break.
+    StreamReassembler r;
+    EXPECT_TRUE(r.Feed(header).ok());
+    EXPECT_TRUE(r.Feed(chunk0).ok());
+    EXPECT_TRUE(r.Feed(trailer).ok());
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(r.distances(), (std::vector<Dist>{1, 2, 3, 4}));
+  }
+  {  // Out-of-order chunk index.
+    const std::string chunk1 =
+        R"({"ok":true,"op":"matrix","chunk":1,"count":4,)"
+        R"("distances":[1,2,3,4]})";
+    StreamReassembler r;
+    EXPECT_TRUE(r.Feed(header).ok());
+    EXPECT_FALSE(r.Feed(chunk1).ok());
+    // Poisoned: even a now-correct frame is refused.
+    EXPECT_FALSE(r.Feed(chunk0).ok());
+  }
+  {  // "count" disagreeing with the distances actually carried.
+    const std::string short_chunk =
+        R"({"ok":true,"op":"matrix","chunk":0,"count":4,)"
+        R"("distances":[1,2,3]})";
+    StreamReassembler r;
+    EXPECT_TRUE(r.Feed(header).ok());
+    EXPECT_FALSE(r.Feed(short_chunk).ok());
+  }
+  {  // Trailer before all rows*cols entries arrived.
+    StreamReassembler r;
+    EXPECT_TRUE(r.Feed(header).ok());
+    EXPECT_FALSE(r.Feed(trailer).ok());
+  }
+  {  // Any frame after the done trailer.
+    StreamReassembler r;
+    EXPECT_TRUE(r.Feed(header).ok());
+    EXPECT_TRUE(r.Feed(chunk0).ok());
+    EXPECT_TRUE(r.Feed(trailer).ok());
+    EXPECT_FALSE(r.Feed(chunk0).ok());
+  }
+  {  // A non-header first frame.
+    StreamReassembler r;
+    EXPECT_FALSE(r.Feed(chunk0).ok());
+  }
+  {  // A server-side mid-stream abort surfaces its code to the caller.
+    const std::string abort_line =
+        R"({"ok":false,"code":"DeadlineExceeded","message":"expired"})";
+    StreamReassembler r;
+    EXPECT_TRUE(r.Feed(header).ok());
+    EXPECT_EQ(r.Feed(abort_line).code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST_F(WireTest, StreamDeadlineExpiryAbortsMidStreamWithoutTrailer) {
+  // A flush hook that stalls after each chunk frame for longer than the
+  // request deadline: the header and first chunk go out (the deadline clock
+  // starts after the header flush and chunk 0 executes well within budget),
+  // then the per-chunk deadline check aborts the stream with one
+  // {"ok":false,...} line and no trailer.
+  ServerHooks hooks;
+  int flushes = 0;
+  hooks.flush = [&flushes](std::string* /*out*/) {
+    if (++flushes > 1) {  // header flush is instant; chunk flushes stall
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    }
+    return true;
+  };
+  RequestHandler handler(std::move(hooks));
+  std::string out;
+  std::string request = MultiChunkMatrixRequest(router_->NumVertices(), true);
+  request.insert(request.size() - 1, ",\"deadline_ms\":500");
+  handler.HandleLine(request, *router_, *threaded_, &out);
+
+  std::vector<std::string> lines;
+  for (size_t start = 0; start < out.size();) {
+    const size_t nl = out.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    lines.push_back(out.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u) << out;
+  EXPECT_NE(lines[0].find("\"stream\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"chunk\":0"), std::string::npos);
+  const std::string abort_prefix =
+      "{\"ok\":false,\"code\":\"DeadlineExceeded\"";
+  EXPECT_EQ(lines[2].rfind(abort_prefix, 0), 0u) << lines[2];
+  EXPECT_EQ(out.find("\"done\":true"), std::string::npos);
+
+  // The reassembler sees the abort as a stream error, not as completion.
+  StreamReassembler reassembler;
+  EXPECT_TRUE(reassembler.Feed(lines[0]).ok());
+  EXPECT_TRUE(reassembler.Feed(lines[1]).ok());
+  EXPECT_EQ(reassembler.Feed(lines[2]).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(reassembler.done());
+}
+
+// --- Request coalescing (the reactor's staged path) ------------------------
+
+TEST_F(WireTest, PreparedStagedResponsesMatchHandleLineByteForByte) {
+  // The reactor answers eligible point/batch lines by staging their pairs
+  // into one combined engine batch and slicing the result back per request.
+  // Every staged response must be byte-identical to what HandleLine would
+  // have produced for the same line.
+  const std::string kLines[] = {
+      R"({"op":"point","sources":[3],"targets":[77]})",
+      R"({"op":"batch","source":5,"targets":[1,2,3,4,5,6]})",
+      R"({"op":"point","sources":[10,11],"targets":[90,91]})",
+      R"({"op":"batch","source":0,"targets":[99]})",
+  };
+  RequestHandler staging;  // hook-less, like the fixture's handler_
+  const RequestHandler::CoalescePolicy policy;
+  std::vector<Vertex> sources;
+  std::vector<Vertex> targets;
+  std::vector<RequestHandler::StagePlan> plans;
+  for (const std::string& line : kLines) {
+    RequestHandler::StagePlan plan;
+    std::string out;
+    const RequestHandler::LineAction action = staging.Prepare(
+        line, *router_, *threaded_, &policy, &sources, &targets, &plan, &out);
+    ASSERT_EQ(action, RequestHandler::LineAction::kStaged) << line;
+    EXPECT_TRUE(out.empty());
+    plans.push_back(plan);
+  }
+  ASSERT_EQ(sources.size(), targets.size());
+  ASSERT_EQ(sources.size(), 10u);  // 1 + 6 + 2 + 1 staged pairs
+
+  QueryRequest request;
+  request.kind = QueryKind::kPointBatch;
+  request.sources = sources;
+  request.targets = targets;
+  std::vector<Dist> dists(targets.size());
+  QueryOutput output;
+  output.distances = dists;
+  ASSERT_TRUE(threaded_->Execute(request, output).ok());
+
+  for (size_t i = 0; i < plans.size(); ++i) {
+    std::string staged;
+    staging.AppendStagedResponse(plans[i], dists, &staged);
+    ASSERT_FALSE(staged.empty());
+    staged.pop_back();  // trailing newline, like Handle()
+    EXPECT_EQ(staged, Handle(kLines[i])) << kLines[i];
+    staging.ReleaseStaged();
+  }
+}
+
+TEST_F(WireTest, IneligibleLinesAreNotStaged) {
+  RequestHandler staging;
+  const RequestHandler::CoalescePolicy policy;
+  std::vector<Vertex> sources;
+  std::vector<Vertex> targets;
+  RequestHandler::StagePlan plan;
+
+  const auto prepare = [&](std::string_view line, std::string* out) {
+    return staging.Prepare(line, *router_, *threaded_, &policy, &sources,
+                           &targets, &plan, out);
+  };
+  std::string out;
+  // Custom options, an out-of-range id under the error policy, too many
+  // pairs, and non-point ops must all take the kExecute (or kDone) path:
+  // their answers could depend on batching or need their own parse state.
+  EXPECT_EQ(prepare(R"({"op":"point","sources":[1],"targets":[2],)"
+                    R"("deadline_ms":100})",
+                    &out),
+            RequestHandler::LineAction::kExecute);
+  EXPECT_EQ(prepare(R"({"op":"point","sources":[1],"targets":[2],)"
+                    R"("threads":2})",
+                    &out),
+            RequestHandler::LineAction::kExecute);
+  EXPECT_EQ(prepare(R"({"op":"batch","source":0,"targets":)"
+                    R"([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17]})",
+                    &out),
+            RequestHandler::LineAction::kExecute);  // 17 pairs > 16 max
+  EXPECT_EQ(prepare(R"({"op":"matrix","sources":[1],"targets":[2]})", &out),
+            RequestHandler::LineAction::kExecute);
+  EXPECT_EQ(prepare(R"({"op":"ping"})", &out),
+            RequestHandler::LineAction::kDone);
+  // No pairs were appended by any of the above.
+  EXPECT_TRUE(sources.empty());
+  EXPECT_TRUE(targets.empty());
+  // With coalescing disabled (nullptr policy) even an eligible line takes
+  // the execute path.
+  EXPECT_EQ(staging.Prepare(R"({"op":"point","sources":[1],"targets":[2]})",
+                            *router_, *threaded_, nullptr, &sources, &targets,
+                            &plan, &out),
+            RequestHandler::LineAction::kExecute);
+  EXPECT_TRUE(sources.empty());
 }
 
 }  // namespace

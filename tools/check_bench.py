@@ -95,6 +95,14 @@ def parallel_threads(snapshot):
     return lookup(snapshot, ("parallel", "hardware_threads"))
 
 
+# Hard floor on the server_load section's coalesced-over-uncoalesced point
+# throughput ratio. Both runs serve the identical request sequence back to
+# back on the same machine, so the ratio is CPU-independent: request
+# coalescing must never LOSE throughput against per-request execution, and
+# a ratio under 1.0 means the reactor's batch merge stopped engaging (or
+# started costing more than the engine dispatch it amortizes).
+COALESCE_RATIO_FLOOR = 1.0
+
 # Hard floor on the mmap-vs-heap cold-open speedup of the large_graph
 # section. The mapped open parses only the section table and the small
 # metadata section while the heap open copies and scans every label byte,
@@ -274,6 +282,37 @@ def main():
         if verdict != "OK":
             failures.append("large_graph.open_speedup")
 
+    # Fifth CPU-independent gate: the server_load section's coalesce ratio,
+    # gated against a hard floor (coalescing must not lose throughput; see
+    # COALESCE_RATIO_FLOOR) and against the committed ratio. Loudly skipped
+    # — never failed — when the section is missing on either side.
+    fresh_sl = fresh.get("server_load")
+    committed_sl = committed.get("server_load")
+    fresh_cr = lookup(fresh_sl if isinstance(fresh_sl, dict) else {},
+                      ("coalesce_ratio",))
+    committed_cr = lookup(
+        committed_sl if isinstance(committed_sl, dict) else {},
+        ("coalesce_ratio",))
+    if not isinstance(fresh_sl, dict) or not isinstance(committed_sl, dict):
+        missing_in = "fresh" if not isinstance(fresh_sl, dict) else "committed"
+        print(f"check_bench: server_load section: not in the {missing_in} "
+              f"snapshot, skipped")
+    elif fresh_cr is None or committed_cr is None or committed_cr <= 0:
+        print("check_bench: server_load coalesce ratio: missing in a "
+              "snapshot, skipped")
+    else:
+        rel = fresh_cr / committed_cr
+        verdict = "OK"
+        if fresh_cr < COALESCE_RATIO_FLOOR:
+            verdict = f"BELOW FLOOR ({COALESCE_RATIO_FLOOR:.1f}x)"
+        elif rel < 1.0 - args.threshold:
+            verdict = "REGRESSION"
+        print(f"check_bench: server_load coalesce ratio: "
+              f"committed={committed_cr:.2f}x fresh={fresh_cr:.2f}x "
+              f"rel={rel:.2f} {verdict}")
+        if verdict != "OK":
+            failures.append("server_load.coalesce_ratio")
+
     # Absolute nanosecond timings are only comparable on the machine that
     # recorded the snapshot. CPU model alone is a weak proxy (hypervisors
     # report generic strings like "Intel(R) Xeon(R) Processor @ 2.10GHz" on
@@ -423,6 +462,40 @@ def main():
         missing_in = "fresh" if not isinstance(fresh_lg, dict) \
             else "committed"
         print(f"check_bench: large_graph section: not in the {missing_in} "
+              f"snapshot, skipped")
+
+    # The server_load section's absolute numbers (the coalesce ratio gated
+    # above, machine-independently). End-to-end TCP serving throughput and
+    # tail latency jitter like the route section does on a shared box, so
+    # both directions gate at the relaxed threshold. qps metrics are
+    # higher-is-better; the latency/wall-clock ones lower-is-better.
+    if isinstance(fresh_sl, dict) and isinstance(committed_sl, dict):
+        for metric, lower_is_better in (
+                ("qps_coalesced", False), ("qps_uncoalesced", False),
+                ("batch_qps", False), ("burst_p50_us", True),
+                ("burst_p99_us", True), ("matrix_ms", True),
+                ("stream_matrix_ms", True)):
+            fresh_v = lookup(fresh_sl, (metric,))
+            committed_v = lookup(committed_sl, (metric,))
+            if fresh_v is None or committed_v is None or committed_v <= 0:
+                print(f"check_bench: server_load {metric}: missing in a "
+                      f"snapshot, skipped")
+                continue
+            ratio = fresh_v / committed_v
+            if lower_is_better:
+                ok = ratio <= 1.0 + route_threshold
+            else:
+                ok = ratio >= 1.0 - route_threshold
+            verdict = "OK" if ok else "REGRESSION"
+            print(f"check_bench: server_load {metric}: "
+                  f"committed={committed_v:.2f} fresh={fresh_v:.2f} "
+                  f"ratio={ratio:.2f} {verdict}")
+            if verdict != "OK":
+                failures.append(f"server_load.{metric}")
+    else:
+        missing_in = "fresh" if not isinstance(fresh_sl, dict) \
+            else "committed"
+        print(f"check_bench: server_load section: not in the {missing_in} "
               f"snapshot, skipped")
 
     if failures:

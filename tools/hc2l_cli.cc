@@ -63,7 +63,10 @@
 //       Connect to a running hc2ld/serve instance, send each stdin line as
 //       one request, print the matching response line. --retry N (default
 //       50) retries the connect every 100 ms — handy right after starting
-//       the server in the background.
+//       the server in the background. A matrix request with "stream":true
+//       prints every frame of the chunked response, reassembles them
+//       client-side, and reports the reassembled size on stderr (exit 1 on
+//       an aborted or malformed stream).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -81,6 +84,7 @@
 
 #include "hc2l/hc2l.h"
 #include "hc2l/server.h"
+#include "server/wire.h"  // StreamReassembler: client-side stream frames
 #include "shard/sharded_index.h"
 
 namespace hc2l {
@@ -565,25 +569,70 @@ int RunClient(const Args& args) {
       }
       sent += static_cast<size_t>(n);
     }
-    // Read until the matching '\n'.
-    size_t nl;
-    while ((nl = response_buf.find('\n')) == std::string::npos) {
-      char buf[8192];
-      const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) {
-        std::fprintf(stderr, "error: connection closed before a response\n");
-        close(fd);
-        return 1;
+    const auto read_response_line = [&](std::string* out) {
+      size_t nl;
+      while ((nl = response_buf.find('\n')) == std::string::npos) {
+        char buf[8192];
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return false;
+        response_buf.append(buf, static_cast<size_t>(n));
       }
-      response_buf.append(buf, static_cast<size_t>(n));
+      out->assign(response_buf, 0, nl);
+      response_buf.erase(0, nl + 1);
+      return true;
+    };
+    // A streamed matrix request ("stream":true) answers with SEVERAL
+    // response lines: header, chunk frames, trailer. Detect it on the
+    // request side (whitespace-insensitively) and reassemble client-side;
+    // every other request gets exactly one response line.
+    std::string compact;
+    for (size_t i = 0; i < len; ++i) {
+      if (line[i] != ' ' && line[i] != '\t') compact.push_back(line[i]);
     }
-    std::printf("%.*s\n", static_cast<int>(nl), response_buf.data());
+    const bool streamed = compact.find("\"stream\":true") != std::string::npos;
+    if (streamed) {
+      StreamReassembler stream;
+      std::string frame;
+      for (;;) {
+        if (!read_response_line(&frame)) {
+          std::fprintf(stderr, "error: connection closed mid-stream\n");
+          close(fd);
+          return 1;
+        }
+        std::printf("%s\n", frame.c_str());
+        std::fflush(stdout);
+        const Status fed = stream.Feed(frame);
+        if (!fed.ok()) {
+          // Covers both malformed frames and a server-side mid-stream
+          // abort ({"ok":false,...} instead of the trailer).
+          std::fprintf(stderr, "error: stream aborted: %s\n",
+                       fed.ToString().c_str());
+          close(fd);
+          return 1;
+        }
+        if (stream.done()) break;
+      }
+      std::fprintf(stderr,
+                   "stream reassembled: %llu x %llu matrix, %llu chunks, "
+                   "%zu entries\n",
+                   static_cast<unsigned long long>(stream.rows()),
+                   static_cast<unsigned long long>(stream.cols()),
+                   static_cast<unsigned long long>(stream.chunks()),
+                   stream.distances().size());
+      continue;
+    }
+    std::string response;
+    if (!read_response_line(&response)) {
+      std::fprintf(stderr, "error: connection closed before a response\n");
+      close(fd);
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
     std::fflush(stdout);
     // Non-zero exit when any response reports failure, so scripts can
     // assert a whole session succeeded.
-    if (response_buf.compare(0, 11, "{\"ok\":false") == 0) status = 1;
-    response_buf.erase(0, nl + 1);
+    if (response.compare(0, 11, "{\"ok\":false") == 0) status = 1;
   }
   close(fd);
   return status;

@@ -3,7 +3,8 @@
 // over TCP.
 //
 //   hc2ld --index city.idx --port 8040 [--host 127.0.0.1] [--threads 0]
-//         [--graph city.gr] [--max-connections N] [--max-in-flight N]
+//         [--workers 0] [--no-coalesce] [--graph city.gr]
+//         [--max-connections N] [--max-in-flight N]
 //         [--drain-ms MS] [--idle-timeout-ms MS] [--read-timeout-ms MS]
 //         [--max-requests-per-connection N]
 //
@@ -96,8 +97,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: hc2ld --index FILE [--port P] [--host H] [--threads T]\n"
-      "             [--mmap] [--graph FILE] [--max-connections N] "
-      "[--max-in-flight N]\n"
+      "             [--workers W] [--no-coalesce] [--mmap] [--graph FILE]\n"
+      "             [--max-connections N] [--max-in-flight N]\n"
       "             [--idle-timeout-ms MS] [--read-timeout-ms MS]\n"
       "             [--max-requests-per-connection N] [--drain-ms MS]\n"
       "  --graph enables the update_weights op (live weight repair) by\n"
@@ -108,6 +109,9 @@ int Usage() {
       "printed.\n"
       "  --threads 0 (default) uses all hardware threads for the shared "
       "query engine.\n"
+      "  --workers 0 (default) sizes the reactor worker pool automatically;\n"
+      "  --no-coalesce disables merging small concurrent point/batch "
+      "requests.\n"
       "  Limit flags default to the library's ServerLimits; 0 disables the "
       "limit.\n"
       "  SIGTERM drains gracefully within --drain-ms (default 5000); "
@@ -128,6 +132,7 @@ int main(int argc, char** argv) {
   }
   long port = options.port;
   long threads = options.num_threads;
+  long workers = options.reactor_threads;
   long max_connections = options.limits.max_connections;
   long max_in_flight = options.limits.max_in_flight;
   long idle_timeout_ms = options.limits.idle_timeout_ms;
@@ -136,6 +141,7 @@ int main(int argc, char** argv) {
   long drain_ms = 5000;
   if (!UintFlag(argc, argv, "--port", 65535, &port) ||
       !UintFlag(argc, argv, "--threads", 4096, &threads) ||
+      !UintFlag(argc, argv, "--workers", 4096, &workers) ||
       !UintFlag(argc, argv, "--max-connections", 1 << 30, &max_connections) ||
       !UintFlag(argc, argv, "--max-in-flight", 1 << 30, &max_in_flight) ||
       !UintFlag(argc, argv, "--idle-timeout-ms", 1 << 30,
@@ -149,6 +155,8 @@ int main(int argc, char** argv) {
   }
   options.port = static_cast<uint16_t>(port);
   options.num_threads = static_cast<uint32_t>(threads);
+  options.reactor_threads = static_cast<uint32_t>(workers);
+  options.coalesce = !HasFlag(argc, argv, "--no-coalesce");
   options.limits.max_connections = static_cast<uint32_t>(max_connections);
   options.limits.max_in_flight = static_cast<uint32_t>(max_in_flight);
   options.limits.idle_timeout_ms = static_cast<uint32_t>(idle_timeout_ms);
